@@ -1,0 +1,212 @@
+//! PAF output for the seed-and-chain mapper.
+//!
+//! PAF (Pairwise mApping Format, the minimap2 interchange format) rows:
+//! `qname qlen qstart qend strand tname tlen tstart tend nmatch alen mapq`.
+//! Downstream scaffolders and genome browsers consume this directly; the
+//! seed-chain mapper is the only tool in the workspace with the coordinate
+//! resolution PAF wants.
+
+use crate::seedchain::{Chain, SeedChainMapper};
+use jem_seq::{SeqError, SeqRecord};
+use std::io::Write;
+
+/// One PAF row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PafRecord {
+    /// Query name.
+    pub qname: String,
+    /// Query length.
+    pub qlen: usize,
+    /// Query start (0-based).
+    pub qstart: u32,
+    /// Query end (exclusive).
+    pub qend: u32,
+    /// `+` or `-`.
+    pub strand: char,
+    /// Target (subject) name.
+    pub tname: String,
+    /// Target length.
+    pub tlen: usize,
+    /// Target start.
+    pub tstart: u32,
+    /// Target end (exclusive).
+    pub tend: u32,
+    /// Number of chained anchor bases (proxy for matching bases).
+    pub nmatch: u32,
+    /// Alignment block length (target span).
+    pub alen: u32,
+    /// Mapping quality (0–60, scaled from the chain-score margin).
+    pub mapq: u8,
+}
+
+impl PafRecord {
+    /// Build a row from a chain.
+    pub fn from_chain(
+        chain: &Chain,
+        qname: &str,
+        qlen: usize,
+        mapper: &SeedChainMapper,
+        tlen: usize,
+        mapq: u8,
+    ) -> PafRecord {
+        PafRecord {
+            qname: qname.to_string(),
+            qlen,
+            qstart: chain.q_start,
+            qend: chain.q_end.min(qlen as u32),
+            strand: if chain.reverse { '-' } else { '+' },
+            tname: mapper.subject_name(chain.subject).to_string(),
+            tlen,
+            tstart: chain.s_start,
+            tend: chain.s_end,
+            nmatch: chain.n_anchors * 15, // ≈ anchors × k
+            alen: chain.s_end - chain.s_start,
+            mapq,
+        }
+    }
+
+    /// Serialize as one tab-separated PAF line (no newline).
+    pub fn to_line(&self) -> String {
+        format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            self.qname,
+            self.qlen,
+            self.qstart,
+            self.qend,
+            self.strand,
+            self.tname,
+            self.tlen,
+            self.tstart,
+            self.tend,
+            self.nmatch.min(self.alen),
+            self.alen,
+            self.mapq
+        )
+    }
+}
+
+/// Mapping quality from the margin between the best and second-best chain
+/// scores (minimap2-flavoured: unique hits score high, ties score 0).
+pub fn mapq_from_scores(best: i64, second: Option<i64>) -> u8 {
+    let second = second.unwrap_or(0).max(0);
+    if best <= 0 {
+        return 0;
+    }
+    let margin = (best - second) as f64 / best as f64;
+    (60.0 * margin).round().clamp(0.0, 60.0) as u8
+}
+
+/// Map every query and write PAF rows for the best chain of each.
+pub fn write_paf<W: Write>(
+    out: &mut W,
+    mapper: &SeedChainMapper,
+    subject_lens: &[usize],
+    queries: &[SeqRecord],
+) -> Result<usize, SeqError> {
+    let mut written = 0;
+    for q in queries {
+        let chains = mapper.chains(&q.seq);
+        if let Some(best) = chains.first() {
+            let mapq = mapq_from_scores(best.score, chains.get(1).map(|c| c.score));
+            let rec = PafRecord::from_chain(
+                best,
+                &q.id,
+                q.seq.len(),
+                mapper,
+                subject_lens[best.subject as usize],
+                mapq,
+            );
+            writeln!(out, "{}", rec.to_line())?;
+            written += 1;
+        }
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seedchain::SeedChainConfig;
+    use jem_sim::Genome;
+
+    fn world() -> (SeedChainMapper, Vec<usize>, Genome) {
+        let g = Genome::random(20_000, 0.5, 91);
+        let subjects = vec![SeqRecord::new("ref", g.seq.clone())];
+        let lens = vec![g.len()];
+        let config = SeedChainConfig { k: 11, w: 5, max_predecessors: 50, max_gap: 2_000, min_score: 22 };
+        (SeedChainMapper::build(subjects, &config), lens, g)
+    }
+
+    #[test]
+    fn paf_row_fields() {
+        let (mapper, lens, g) = world();
+        let query = SeqRecord::new("q1", g.seq[5_000..6_000].to_vec());
+        let mut out = Vec::new();
+        let n = write_paf(&mut out, &mapper, &lens, &[query]).unwrap();
+        assert_eq!(n, 1);
+        let line = String::from_utf8(out).unwrap();
+        let fields: Vec<&str> = line.trim().split('\t').collect();
+        assert_eq!(fields.len(), 12);
+        assert_eq!(fields[0], "q1");
+        assert_eq!(fields[1], "1000");
+        assert_eq!(fields[4], "+");
+        assert_eq!(fields[5], "ref");
+        assert_eq!(fields[6], "20000");
+        let tstart: i64 = fields[7].parse().unwrap();
+        assert!((tstart - 5_000).abs() < 100);
+        let mapq: u8 = fields[11].parse().unwrap();
+        assert!(mapq > 30, "unique hit should have high mapq, got {mapq}");
+    }
+
+    #[test]
+    fn reverse_strand_flag() {
+        let (mapper, lens, g) = world();
+        let query = SeqRecord::new(
+            "q2",
+            jem_seq::alphabet::revcomp_bytes(&g.seq[10_000..11_200]),
+        );
+        let mut out = Vec::new();
+        write_paf(&mut out, &mapper, &lens, &[query]).unwrap();
+        let line = String::from_utf8(out).unwrap();
+        assert_eq!(line.split('\t').nth(4), Some("-"));
+    }
+
+    #[test]
+    fn unmapped_query_writes_nothing() {
+        let (mapper, lens, _) = world();
+        let alien = SeqRecord::new("alien", Genome::random(800, 0.5, 555).seq);
+        let mut out = Vec::new();
+        let n = write_paf(&mut out, &mapper, &lens, &[alien]).unwrap();
+        assert_eq!(n, 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn mapq_margins() {
+        assert_eq!(mapq_from_scores(100, None), 60);
+        assert_eq!(mapq_from_scores(100, Some(100)), 0);
+        assert_eq!(mapq_from_scores(100, Some(50)), 30);
+        assert_eq!(mapq_from_scores(0, None), 0);
+        assert_eq!(mapq_from_scores(100, Some(-5)), 60);
+    }
+
+    #[test]
+    fn nmatch_capped_by_alen() {
+        let rec = PafRecord {
+            qname: "q".into(),
+            qlen: 100,
+            qstart: 0,
+            qend: 100,
+            strand: '+',
+            tname: "t".into(),
+            tlen: 100,
+            tstart: 0,
+            tend: 50,
+            nmatch: 10_000,
+            alen: 50,
+            mapq: 60,
+        };
+        let line = rec.to_line();
+        assert_eq!(line.split('\t').nth(9), Some("50"));
+    }
+}

@@ -1,0 +1,332 @@
+//! A minimap2-flavoured seed-and-chain mapper.
+//!
+//! Minimizer *anchors* `(query pos, subject pos, strand)` are collected from
+//! a positional index and chained with a gap-penalized dynamic program per
+//! `(subject, strand)` group. The best chain gives the mapped subject and
+//! approximate coordinates — which is what the paper needs Minimap2 for:
+//! recovering the reference coordinates of contigs and reads during
+//! benchmark construction (Fig. 4).
+
+use jem_index::SubjectId;
+use jem_seq::{Kmer, SeqRecord};
+use jem_sketch::{minimizers, MinimizerParams};
+use std::collections::HashMap;
+
+/// Seed-and-chain configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SeedChainConfig {
+    /// k-mer size.
+    pub k: usize,
+    /// Minimizer window size (denser than mapping sketches: anchors drive
+    /// chaining resolution).
+    pub w: usize,
+    /// Maximum anchors considered as chaining predecessors.
+    pub max_predecessors: usize,
+    /// Maximum gap (bases) between chained anchors.
+    pub max_gap: usize,
+    /// Minimum chain score to report.
+    pub min_score: i64,
+}
+
+impl Default for SeedChainConfig {
+    fn default() -> Self {
+        SeedChainConfig { k: 15, w: 10, max_predecessors: 50, max_gap: 5_000, min_score: 30 }
+    }
+}
+
+/// A minimizer anchor: co-occurring position pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Anchor {
+    /// Query position (on the query's forward orientation; reverse-strand
+    /// anchors use transformed coordinates so chains stay co-linear).
+    pub qpos: u32,
+    /// Subject position.
+    pub spos: u32,
+    /// Subject id.
+    pub subject: SubjectId,
+    /// True if the query matches the subject's reverse strand.
+    pub reverse: bool,
+}
+
+/// A chained alignment candidate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Chain {
+    /// Mapped subject.
+    pub subject: SubjectId,
+    /// Chain score (anchors × k minus gap penalties).
+    pub score: i64,
+    /// Query range covered (forward coordinates).
+    pub q_start: u32,
+    /// Query range end (exclusive, approximate: last anchor + k).
+    pub q_end: u32,
+    /// Subject range covered.
+    pub s_start: u32,
+    /// Subject range end (exclusive, approximate).
+    pub s_end: u32,
+    /// Strand.
+    pub reverse: bool,
+    /// Number of chained anchors.
+    pub n_anchors: u32,
+}
+
+/// Posting in the positional index: subject occurrence of a minimizer.
+#[derive(Clone, Copy, Debug)]
+struct Posting {
+    subject: SubjectId,
+    pos: u32,
+    /// Was the canonical code the forward k-mer at this subject position?
+    fwd: bool,
+}
+
+/// The seed-and-chain mapper.
+#[derive(Clone, Debug)]
+pub struct SeedChainMapper {
+    config: SeedChainConfig,
+    params: MinimizerParams,
+    index: HashMap<u64, Vec<Posting>>,
+    subject_names: Vec<String>,
+}
+
+impl SeedChainMapper {
+    /// Index the subject set.
+    pub fn build(subjects: Vec<SeqRecord>, config: &SeedChainConfig) -> Self {
+        let params = MinimizerParams::new(config.k, config.w).expect("invalid k/w");
+        let mut index: HashMap<u64, Vec<Posting>> = HashMap::new();
+        for (id, rec) in subjects.iter().enumerate() {
+            for m in minimizers(&rec.seq, params) {
+                let fwd = occurrence_is_forward(&rec.seq, m.pos as usize, config.k, m.code);
+                index.entry(m.code).or_default().push(Posting {
+                    subject: id as SubjectId,
+                    pos: m.pos,
+                    fwd,
+                });
+            }
+        }
+        SeedChainMapper {
+            config: *config,
+            params,
+            index,
+            subject_names: subjects.into_iter().map(|s| s.id).collect(),
+        }
+    }
+
+    /// Number of indexed subjects.
+    pub fn n_subjects(&self) -> usize {
+        self.subject_names.len()
+    }
+
+    /// Name of subject `id`.
+    pub fn subject_name(&self, id: SubjectId) -> &str {
+        &self.subject_names[id as usize]
+    }
+
+    /// Collect anchors for a query sequence.
+    pub fn anchors(&self, query: &[u8]) -> Vec<Anchor> {
+        let k = self.config.k;
+        let qlen = query.len();
+        let mut anchors = Vec::new();
+        for m in minimizers(query, self.params) {
+            let Some(postings) = self.index.get(&m.code) else { continue };
+            let q_fwd = occurrence_is_forward(query, m.pos as usize, k, m.code);
+            for p in postings {
+                let reverse = q_fwd != p.fwd;
+                // For reverse-strand anchors, flip query coordinates so that
+                // increasing spos pairs with increasing transformed qpos.
+                let qpos = if reverse {
+                    (qlen - k) as u32 - m.pos
+                } else {
+                    m.pos
+                };
+                anchors.push(Anchor { qpos, spos: p.pos, subject: p.subject, reverse });
+            }
+        }
+        anchors
+    }
+
+    /// Chain anchors and return all chains with `score ≥ min_score`,
+    /// best first.
+    pub fn chains(&self, query: &[u8]) -> Vec<Chain> {
+        let mut anchors = self.anchors(query);
+        if anchors.is_empty() {
+            return Vec::new();
+        }
+        anchors.sort_unstable_by_key(|a| (a.subject, a.reverse, a.spos, a.qpos));
+        let k = self.config.k as i64;
+        let mut chains = Vec::new();
+        let mut i = 0;
+        while i < anchors.len() {
+            let (subject, reverse) = (anchors[i].subject, anchors[i].reverse);
+            let mut j = i;
+            while j < anchors.len()
+                && anchors[j].subject == subject
+                && anchors[j].reverse == reverse
+            {
+                j += 1;
+            }
+            let group = &anchors[i..j];
+            i = j;
+            // DP over the group.
+            let mut f: Vec<i64> = vec![k; group.len()];
+            let mut back: Vec<Option<usize>> = vec![None; group.len()];
+            for b in 0..group.len() {
+                let lo = b.saturating_sub(self.config.max_predecessors);
+                for a in lo..b {
+                    let ds = group[b].spos as i64 - group[a].spos as i64;
+                    let dq = group[b].qpos as i64 - group[a].qpos as i64;
+                    if ds <= 0 || dq <= 0 {
+                        continue;
+                    }
+                    if ds > self.config.max_gap as i64 || dq > self.config.max_gap as i64 {
+                        continue;
+                    }
+                    let gap = (ds - dq).abs();
+                    let gain = k.min(dq).min(ds) - gap / 2 - if gap > 0 { 1 } else { 0 };
+                    let cand = f[a] + gain;
+                    if cand > f[b] {
+                        f[b] = cand;
+                        back[b] = Some(a);
+                    }
+                }
+            }
+            // Best chain ending in this group.
+            if let Some((end, &score)) =
+                f.iter().enumerate().max_by_key(|&(idx, &s)| (s, std::cmp::Reverse(idx)))
+            {
+                if score >= self.config.min_score {
+                    let mut start = end;
+                    let mut n = 1u32;
+                    while let Some(prev) = back[start] {
+                        start = prev;
+                        n += 1;
+                    }
+                    chains.push(Chain {
+                        subject,
+                        score,
+                        q_start: group[start].qpos.min(group[end].qpos),
+                        q_end: group[start].qpos.max(group[end].qpos) + self.config.k as u32,
+                        s_start: group[start].spos,
+                        s_end: group[end].spos + self.config.k as u32,
+                        reverse,
+                        n_anchors: n,
+                    });
+                }
+            }
+        }
+        chains.sort_unstable_by_key(|c| (std::cmp::Reverse(c.score), c.subject));
+        chains
+    }
+
+    /// Best-hit mapping of a query: the top-scoring chain.
+    pub fn map(&self, query: &[u8]) -> Option<Chain> {
+        self.chains(query).into_iter().next()
+    }
+}
+
+/// Does the canonical code at `pos` equal the forward k-mer there?
+fn occurrence_is_forward(seq: &[u8], pos: usize, k: usize, canonical_code: u64) -> bool {
+    match Kmer::from_bytes(&seq[pos..pos + k]) {
+        Ok(kmer) => kmer.code() == canonical_code,
+        Err(_) => true, // unreachable for minimizer positions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jem_seq::alphabet::revcomp_bytes;
+    use jem_sim::Genome;
+
+    fn config() -> SeedChainConfig {
+        SeedChainConfig { k: 11, w: 5, max_predecessors: 50, max_gap: 2_000, min_score: 22 }
+    }
+
+    fn reference() -> Vec<SeqRecord> {
+        let g = Genome::random(30_000, 0.5, 71);
+        vec![SeqRecord::new("ref", g.seq)]
+    }
+
+    #[test]
+    fn forward_query_maps_with_correct_coordinates() {
+        let subjects = reference();
+        let truth = subjects[0].seq[5_000..7_000].to_vec();
+        let mapper = SeedChainMapper::build(subjects, &config());
+        let chain = mapper.map(&truth).expect("must map");
+        assert_eq!(chain.subject, 0);
+        assert!(!chain.reverse);
+        assert!((chain.s_start as i64 - 5_000).abs() < 100, "s_start {}", chain.s_start);
+        assert!((chain.s_end as i64 - 7_000).abs() < 100, "s_end {}", chain.s_end);
+        assert!(chain.n_anchors > 10);
+    }
+
+    #[test]
+    fn reverse_query_maps_with_strand_flag() {
+        let subjects = reference();
+        let truth = revcomp_bytes(&subjects[0].seq[12_000..13_500]);
+        let mapper = SeedChainMapper::build(subjects, &config());
+        let chain = mapper.map(&truth).expect("must map");
+        assert!(chain.reverse);
+        assert!((chain.s_start as i64 - 12_000).abs() < 100);
+        assert!((chain.s_end as i64 - 13_500).abs() < 100);
+    }
+
+    #[test]
+    fn unrelated_query_unmapped() {
+        let subjects = reference();
+        let mapper = SeedChainMapper::build(subjects, &config());
+        let alien = Genome::random(1_500, 0.5, 333).seq;
+        assert_eq!(mapper.map(&alien), None);
+    }
+
+    #[test]
+    fn split_reference_selects_right_contig() {
+        let g = Genome::random(30_000, 0.5, 73);
+        let subjects = vec![
+            SeqRecord::new("left", g.seq[..15_000].to_vec()),
+            SeqRecord::new("right", g.seq[15_000..].to_vec()),
+        ];
+        let mapper = SeedChainMapper::build(subjects, &config());
+        let q_left = g.seq[2_000..3_200].to_vec();
+        let q_right = g.seq[20_000..21_200].to_vec();
+        assert_eq!(mapper.map(&q_left).unwrap().subject, 0);
+        let right_chain = mapper.map(&q_right).unwrap();
+        assert_eq!(right_chain.subject, 1);
+        // Coordinates are contig-relative.
+        assert!((right_chain.s_start as i64 - 5_000).abs() < 100);
+    }
+
+    #[test]
+    fn chain_survives_scattered_mutations() {
+        let subjects = reference();
+        let mut query = subjects[0].seq[8_000..9_500].to_vec();
+        // ~2% substitutions break some anchors but chaining bridges them.
+        for i in (0..query.len()).step_by(50) {
+            query[i] = match query[i] {
+                b'A' => b'C',
+                b'C' => b'G',
+                b'G' => b'T',
+                _ => b'A',
+            };
+        }
+        let mapper = SeedChainMapper::build(subjects, &config());
+        let chain = mapper.map(&query).expect("must still map");
+        assert!((chain.s_start as i64 - 8_000).abs() < 200);
+    }
+
+    #[test]
+    fn gap_limit_splits_chains() {
+        // Two homologous blocks separated by a huge unrelated insert: with
+        // max_gap below the insert size the chain cannot bridge it.
+        let g = Genome::random(30_000, 0.5, 79);
+        let subjects = vec![SeqRecord::new("ref", g.seq.clone())];
+        let mut query = g.seq[1_000..2_000].to_vec();
+        query.extend_from_slice(&Genome::random(200, 0.5, 555).seq);
+        query.extend_from_slice(&g.seq[10_000..11_000]); // 8 kb away on ref
+        let cfg = SeedChainConfig { max_gap: 3_000, ..config() };
+        let mapper = SeedChainMapper::build(subjects, &cfg);
+        let chains = mapper.chains(&query);
+        assert!(!chains.is_empty());
+        let best = chains[0];
+        // The best chain covers one block, not the 10 kb span.
+        assert!(best.s_end - best.s_start < 5_000, "chain bridged the gap: {best:?}");
+    }
+}

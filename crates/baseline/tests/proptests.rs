@@ -1,0 +1,120 @@
+//! Property-based tests for the baseline mappers.
+
+use jem_baseline::{
+    ClassicMinHashConfig, ClassicMinHashMapper, MashmapConfig, MashmapMapper, SeedChainConfig,
+    SeedChainMapper,
+};
+use jem_index::LazyHitCounter;
+use jem_seq::alphabet::revcomp_bytes;
+use jem_seq::SeqRecord;
+use proptest::prelude::*;
+
+fn dna(min: usize, max: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(prop::sample::select(vec![b'A', b'C', b'G', b'T']), min..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn mashmap_window_of_subject_maps_home(
+        subjects in prop::collection::vec(dna(1_500, 3_000), 2..5),
+        pick in 0usize..5,
+        frac in 0.0f64..0.5,
+    ) {
+        let recs: Vec<SeqRecord> = subjects
+            .iter()
+            .enumerate()
+            .map(|(i, s)| SeqRecord::new(format!("c{i}"), s.clone()))
+            .collect();
+        let config = MashmapConfig { k: 12, w: 8, ell: 500, min_shared: 2 };
+        let mapper = MashmapMapper::build(recs, &config);
+        let idx = pick % subjects.len();
+        let offset = (subjects[idx].len() as f64 * frac) as usize;
+        let end = (offset + 500).min(subjects[idx].len());
+        let query = &subjects[idx][offset..end];
+        if let Some((best, score)) = mapper.map_segment(query) {
+            // Random subjects may coincidentally share minimizers, but the
+            // verbatim source must win or at least tie at a high score.
+            prop_assert!(score >= 2);
+            if best as usize != idx {
+                // Only acceptable if the winner has genuinely high overlap
+                // (vanishingly rare for random sequences) — flag it.
+                prop_assert!(false, "window of c{idx} mapped to c{best} (score {score})");
+            }
+        } else {
+            prop_assert!(false, "verbatim window failed to map");
+        }
+    }
+
+    #[test]
+    fn mashmap_strand_invariant(subject in dna(2_000, 3_000)) {
+        let config = MashmapConfig { k: 12, w: 8, ell: 500, min_shared: 2 };
+        let mapper = MashmapMapper::build(
+            vec![SeqRecord::new("c0", subject.clone())],
+            &config,
+        );
+        let fwd = &subject[500..1000];
+        let rc = revcomp_bytes(fwd);
+        let a = mapper.map_segment(fwd);
+        let b = mapper.map_segment(&rc);
+        prop_assert_eq!(a.map(|x| x.0), b.map(|x| x.0), "canonical minimizers are strand-free");
+    }
+
+    #[test]
+    fn classic_minhash_full_subject_hits_all_trials(
+        subjects in prop::collection::vec(dna(800, 2_000), 1..4),
+    ) {
+        let recs: Vec<SeqRecord> = subjects
+            .iter()
+            .enumerate()
+            .map(|(i, s)| SeqRecord::new(format!("c{i}"), s.clone()))
+            .collect();
+        let config = ClassicMinHashConfig { k: 12, trials: 12, ell: 1000, seed: 5 };
+        let mapper = ClassicMinHashMapper::build(&recs, &config);
+        for (i, s) in subjects.iter().enumerate() {
+            let mut counter = LazyHitCounter::new(mapper.n_subjects());
+            let (best, hits) = mapper
+                .map_segment(s, i as u64, &mut counter)
+                .expect("identical sequence must map");
+            prop_assert_eq!(hits as usize, 12, "all trials must collide for an identical query");
+            // best may tie with a duplicate subject; verify it's truly equal.
+            prop_assert!(subjects[best as usize] == *s || best as usize == i);
+        }
+    }
+
+    #[test]
+    fn seedchain_coordinates_within_tolerance(
+        reference in dna(8_000, 15_000),
+        start_frac in 0.0f64..0.6,
+    ) {
+        let config = SeedChainConfig { k: 11, w: 5, max_predecessors: 50, max_gap: 2_000, min_score: 22 };
+        let mapper = SeedChainMapper::build(
+            vec![SeqRecord::new("ref", reference.clone())],
+            &config,
+        );
+        let start = (reference.len() as f64 * start_frac) as usize;
+        let end = (start + 1_200).min(reference.len());
+        let chain = mapper.map(&reference[start..end]).expect("verbatim region must map");
+        prop_assert_eq!(chain.subject, 0);
+        prop_assert!(!chain.reverse);
+        prop_assert!((chain.s_start as i64 - start as i64).abs() < 150,
+            "s_start {} vs {}", chain.s_start, start);
+        prop_assert!((chain.s_end as i64 - end as i64).abs() < 150);
+        prop_assert!(chain.q_start < chain.q_end);
+        prop_assert!(chain.s_start < chain.s_end);
+    }
+
+    #[test]
+    fn seedchain_reverse_strand_detected(reference in dna(8_000, 12_000)) {
+        let config = SeedChainConfig { k: 11, w: 5, max_predecessors: 50, max_gap: 2_000, min_score: 22 };
+        let mapper = SeedChainMapper::build(
+            vec![SeqRecord::new("ref", reference.clone())],
+            &config,
+        );
+        let query = revcomp_bytes(&reference[3_000..4_200]);
+        let chain = mapper.map(&query).expect("revcomp region must map");
+        prop_assert!(chain.reverse);
+        prop_assert!((chain.s_start as i64 - 3_000).abs() < 150);
+    }
+}

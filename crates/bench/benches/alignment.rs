@@ -1,0 +1,48 @@
+//! Alignment microbenchmarks: global vs banded vs fitting vs local on
+//! HiFi-like similar pairs (the Fig. 9 identity-computation cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jem_eval::{align_fitting, align_global, align_local, banded_global};
+
+fn rng_seq(n: usize, seed: u64) -> Vec<u8> {
+    (0..n)
+        .scan(seed, |s, _| {
+            *s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            Some(b"ACGT"[((*s >> 33) % 4) as usize])
+        })
+        .collect()
+}
+
+/// Mutate ~0.5% of bases (HiFi-like divergence).
+fn diverge(seq: &[u8], seed: u64) -> Vec<u8> {
+    let mut out = seq.to_vec();
+    let mut s = seed;
+    for i in (0..out.len()).step_by(200) {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+        out[i] = b"ACGT"[((s >> 33) % 4) as usize];
+    }
+    out
+}
+
+fn bench_alignment(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alignment_1kb_pair");
+    g.sample_size(20);
+    let a = rng_seq(1_000, 1);
+    let b = diverge(&a, 2);
+    g.bench_function("global", |bch| bch.iter(|| align_global(&a, &b)));
+    g.bench_function("banded_32", |bch| bch.iter(|| banded_global(&a, &b, 32)));
+    g.bench_function("local_sw", |bch| bch.iter(|| align_local(&a, &b)));
+    g.finish();
+
+    // The Fig. 9 shape: a 1 kb segment against a 3 kb contig.
+    let mut g2 = c.benchmark_group("alignment_segment_vs_contig");
+    g2.sample_size(10);
+    let contig = rng_seq(3_000, 3);
+    let segment = diverge(&contig[800..1800], 4);
+    g2.bench_function("fitting", |bch| bch.iter(|| align_fitting(&segment, &contig)));
+    g2.bench_function("local_sw", |bch| bch.iter(|| align_local(&segment, &contig)));
+    g2.finish();
+}
+
+criterion_group!(benches, bench_alignment);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Index-layer microbenchmarks and ablations:
+//! * sketch-table build — sequential vs rayon;
+//! * encode/decode (the Allgatherv payload path);
+//! * lazy-update hit counter vs naive reset-per-query (the paper's §III-C
+//!   implementation-note optimization).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jem_index::{
+    builder::build_table_sequential, build_table_parallel, HitCounter, LazyHitCounter,
+    NaiveHitCounter, SketchTable,
+};
+use jem_sketch::{HashFamily, JemParams};
+
+fn rng_seq(n: usize, seed: u64) -> Vec<u8> {
+    (0..n)
+        .scan(seed, |s, _| {
+            *s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            Some(b"ACGT"[((*s >> 33) % 4) as usize])
+        })
+        .collect()
+}
+
+fn subjects(n: usize, len: usize) -> Vec<Vec<u8>> {
+    (0..n).map(|i| rng_seq(len, i as u64 + 1000)).collect()
+}
+
+fn bench_table_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table_build");
+    g.sample_size(10);
+    let subs = subjects(200, 3_000);
+    let params = JemParams::paper_default();
+    let family = HashFamily::generate(30, 5);
+    g.bench_function("sequential", |b| {
+        b.iter(|| build_table_sequential(&subs, params, &family))
+    });
+    g.bench_function("rayon", |b| b.iter(|| build_table_parallel(&subs, params, &family)));
+    g.finish();
+}
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table_codec");
+    g.sample_size(20);
+    let subs = subjects(200, 3_000);
+    let params = JemParams::paper_default();
+    let family = HashFamily::generate(30, 5);
+    let table = build_table_sequential(&subs, params, &family);
+    let encoded = table.encode();
+    g.bench_function("encode", |b| b.iter(|| table.encode()));
+    g.bench_function("decode", |b| b.iter(|| SketchTable::decode(&encoded, 30)));
+    g.bench_function("decode_into_merge", |b| {
+        b.iter(|| {
+            let mut t = SketchTable::new(30);
+            t.decode_into(&encoded);
+            t
+        })
+    });
+    g.finish();
+}
+
+/// The ablation the paper's implementation note motivates: lazy counters
+/// avoid an O(n) reset between queries.
+fn bench_hit_counters(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hit_counter");
+    g.sample_size(20);
+    let n_subjects = 100_000;
+    let queries = 500u64;
+    let hits_per_query = 20;
+    let run = |counter: &mut dyn HitCounter| {
+        let mut state = 99u64;
+        for q in 0..queries {
+            for _ in 0..hits_per_query {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                counter.record(q, (state % n_subjects as u64) as u32);
+            }
+            criterion::black_box(counter.best(q));
+        }
+    };
+    g.bench_function("lazy", |b| {
+        b.iter(|| {
+            let mut counter = LazyHitCounter::new(n_subjects);
+            run(&mut counter);
+        })
+    });
+    g.bench_function("naive_reset", |b| {
+        b.iter(|| {
+            let mut counter = NaiveHitCounter::new(n_subjects);
+            run(&mut counter);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table_build, bench_encode_decode, bench_hit_counters);
+criterion_main!(benches);

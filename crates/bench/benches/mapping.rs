@@ -1,0 +1,99 @@
+//! End-to-end mapping benchmarks: JEM-mapper vs the Mashmap baseline vs
+//! classical MinHash on a shared simulated dataset — the per-query cost
+//! structure behind Table II.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use jem_baseline::{ClassicMinHashConfig, ClassicMinHashMapper, MashmapConfig, MashmapMapper};
+use jem_core::{JemMapper, MapperConfig};
+use jem_index::LazyHitCounter;
+use jem_seq::SeqRecord;
+use jem_sim::{contig_records, fragment_contigs, read_records, simulate_hifi, ContigProfile, Genome, HifiProfile};
+
+struct Data {
+    subjects: Vec<SeqRecord>,
+    reads: Vec<SeqRecord>,
+    segments: Vec<Vec<u8>>,
+}
+
+fn data() -> Data {
+    let genome = Genome::random(300_000, 0.5, 50);
+    let contigs = fragment_contigs(&genome, &ContigProfile::eukaryotic(), 51);
+    let reads = simulate_hifi(&genome, &HifiProfile { coverage: 3.0, ..Default::default() }, 52);
+    let subjects = contig_records(&contigs);
+    let read_recs = read_records(&reads);
+    let segments: Vec<Vec<u8>> = read_recs
+        .iter()
+        .filter(|r| r.seq.len() >= 1000)
+        .map(|r| r.seq[..1000].to_vec())
+        .collect();
+    Data { subjects, reads: read_recs, segments }
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let d = data();
+    let mut g = c.benchmark_group("index_build");
+    g.sample_size(10);
+    g.bench_function("jem", |b| {
+        b.iter(|| JemMapper::build(d.subjects.clone(), &MapperConfig::default()))
+    });
+    g.bench_function("mashmap_w10", |b| {
+        b.iter(|| {
+            MashmapMapper::build(
+                d.subjects.clone(),
+                &MashmapConfig { k: 16, w: 10, ell: 1000, min_shared: 4 },
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_query_mapping(c: &mut Criterion) {
+    let d = data();
+    let jem = JemMapper::build(d.subjects.clone(), &MapperConfig::default());
+    let mash = MashmapMapper::build(
+        d.subjects.clone(),
+        &MashmapConfig { k: 16, w: 10, ell: 1000, min_shared: 4 },
+    );
+    let classic = ClassicMinHashMapper::build(&d.subjects, &ClassicMinHashConfig::default());
+
+    let mut g = c.benchmark_group("map_segments");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(d.segments.len() as u64));
+    g.bench_function("jem", |b| {
+        b.iter(|| {
+            let mut counter = jem.new_counter();
+            d.segments
+                .iter()
+                .enumerate()
+                .filter_map(|(q, s)| jem.map_segment(s, q as u64, &mut counter))
+                .count()
+        })
+    });
+    g.bench_function("mashmap", |b| {
+        b.iter(|| d.segments.iter().filter_map(|s| mash.map_segment(s)).count())
+    });
+    g.bench_function("classic_minhash", |b| {
+        b.iter(|| {
+            let mut counter = LazyHitCounter::new(classic.n_subjects());
+            d.segments
+                .iter()
+                .enumerate()
+                .filter_map(|(q, s)| classic.map_segment(s, q as u64, &mut counter))
+                .count()
+        })
+    });
+    g.finish();
+
+    let mut g2 = c.benchmark_group("map_reads_e2e");
+    g2.sample_size(10);
+    g2.bench_function("jem_sequential", |b| b.iter(|| jem.map_reads(&d.reads)));
+    g2.bench_function("jem_topk3_extension", |b| {
+        b.iter(|| {
+            d.segments.iter().map(|s| jem.map_segment_topk(s, 3).len()).sum::<usize>()
+        })
+    });
+    g2.finish();
+}
+
+criterion_group!(benches, bench_index_build, bench_query_mapping);
+criterion_main!(benches);

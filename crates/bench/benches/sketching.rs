@@ -1,0 +1,90 @@
+//! Sketching microbenchmarks and ablations:
+//! * minimizer extraction — O(n) deque vs quadratic reference;
+//! * JEM sketch — sliding-min vs naive Algorithm 1 transliteration;
+//! * JEM sketch vs classical MinHash at equal T.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use jem_sketch::{
+    classic_minhash_seq, jem::sketch_by_jem_naive, minimizers, minimizers_naive, sketch_by_jem,
+    HashFamily, JemParams, MinimizerParams,
+};
+
+fn rng_seq(n: usize, seed: u64) -> Vec<u8> {
+    (0..n)
+        .scan(seed, |s, _| {
+            *s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            Some(b"ACGT"[((*s >> 33) % 4) as usize])
+        })
+        .collect()
+}
+
+fn bench_minimizers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("minimizers");
+    g.sample_size(20);
+    let params = MinimizerParams::paper_default();
+    for n in [10_000usize, 100_000] {
+        let seq = rng_seq(n, 1);
+        g.throughput(Throughput::Bytes(n as u64));
+        g.bench_with_input(BenchmarkId::new("deque", n), &seq, |b, s| {
+            b.iter(|| minimizers(s, params))
+        });
+        if n <= 10_000 {
+            g.bench_with_input(BenchmarkId::new("naive", n), &seq, |b, s| {
+                b.iter(|| minimizers_naive(s, params))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_jem_sketch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("jem_sketch");
+    g.sample_size(20);
+    let params = JemParams::paper_default();
+    let family = HashFamily::generate(30, 7);
+    for n in [10_000usize, 100_000] {
+        let seq = rng_seq(n, 2);
+        g.throughput(Throughput::Bytes(n as u64));
+        g.bench_with_input(BenchmarkId::new("sliding_min", n), &seq, |b, s| {
+            b.iter(|| sketch_by_jem(s, params, &family))
+        });
+        if n <= 10_000 {
+            g.bench_with_input(BenchmarkId::new("naive_alg1", n), &seq, |b, s| {
+                b.iter(|| sketch_by_jem_naive(s, params, &family))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_schemes(c: &mut Criterion) {
+    use jem_sketch::{closed_syncmers, SketchScheme, SyncmerParams};
+    let mut g = c.benchmark_group("position_schemes");
+    g.sample_size(20);
+    let n = 100_000usize;
+    let seq = rng_seq(n, 5);
+    g.throughput(Throughput::Bytes(n as u64));
+    // Density-matched: minimizer w=5 vs closed syncmer s=11 at k=16.
+    let mp = MinimizerParams::new(16, 5).unwrap();
+    let sp = SyncmerParams::new(16, 11).unwrap();
+    g.bench_function("minimizer_w5", |b| b.iter(|| minimizers(&seq, mp)));
+    g.bench_function("closed_syncmer_s11", |b| b.iter(|| closed_syncmers(&seq, sp)));
+    let _ = SketchScheme::Minimizer { w: 5 }; // scheme type exercised in mapping bench
+    g.finish();
+}
+
+fn bench_jem_vs_classic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("jem_vs_classic_minhash");
+    g.sample_size(20);
+    let n = 50_000usize;
+    let seq = rng_seq(n, 3);
+    let family = HashFamily::generate(30, 9);
+    let params = JemParams::paper_default();
+    g.throughput(Throughput::Bytes(n as u64));
+    g.bench_function("jem_t30", |b| b.iter(|| sketch_by_jem(&seq, params, &family)));
+    g.bench_function("classic_t30", |b| b.iter(|| classic_minhash_seq(&seq, 16, &family)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_minimizers, bench_jem_sketch, bench_schemes, bench_jem_vs_classic);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Runs the ablations extension/ablation study (see DESIGN.md).
+fn main() {
+    let t0 = std::time::Instant::now();
+    jem_bench::experiments::ablations::run();
+    eprintln!("[ablations done in {:.1}s]", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,16 @@
+//! Runs every table/figure experiment in sequence.
+fn main() {
+    let t0 = std::time::Instant::now();
+    println!("# JEM-Mapper — full experiment suite (scale {})\n", jem_bench::env_scale());
+    jem_bench::experiments::table1_datasets::run();
+    jem_bench::experiments::fig5_quality::run();
+    jem_bench::experiments::fig6_trials::run();
+    jem_bench::experiments::table2_scaling::run();
+    jem_bench::experiments::fig7_breakdown::run();
+    jem_bench::experiments::fig8_comm::run();
+    jem_bench::experiments::fig9_identity::run();
+    jem_bench::experiments::ext_topk::run();
+    jem_bench::experiments::ext_contained::run();
+    jem_bench::experiments::ablations::run();
+    eprintln!("[all experiments done in {:.1}s]", t0.elapsed().as_secs_f64());
+}

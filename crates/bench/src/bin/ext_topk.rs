@@ -1,0 +1,6 @@
+//! Runs the ext_topk extension/ablation study (see DESIGN.md).
+fn main() {
+    let t0 = std::time::Instant::now();
+    jem_bench::experiments::ext_topk::run();
+    eprintln!("[ext_topk done in {:.1}s]", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig7 (see DESIGN.md experiment index).
+fn main() {
+    let t0 = std::time::Instant::now();
+    jem_bench::experiments::fig7_breakdown::run();
+    eprintln!("[fig7 done in {:.1}s]", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig9 (see DESIGN.md experiment index).
+fn main() {
+    let t0 = std::time::Instant::now();
+    jem_bench::experiments::fig9_identity::run();
+    eprintln!("[fig9 done in {:.1}s]", t0.elapsed().as_secs_f64());
+}

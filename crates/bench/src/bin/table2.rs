@@ -1,0 +1,6 @@
+//! Regenerates the paper's table2 (see DESIGN.md experiment index).
+fn main() {
+    let t0 = std::time::Instant::now();
+    jem_bench::experiments::table2_scaling::run();
+    eprintln!("[table2 done in {:.1}s]", t0.elapsed().as_secs_f64());
+}

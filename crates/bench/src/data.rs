@@ -1,0 +1,197 @@
+//! Dataset preparation and tool evaluation glue shared by all experiments.
+
+use jem_baseline::{ClassicMinHashConfig, ClassicMinHashMapper, MashmapConfig, MashmapMapper};
+use jem_core::{mapping_pairs, JemMapper, Mapping, MapperConfig, ReadEnd};
+use jem_eval::{Benchmark, MappingMetrics};
+use jem_seq::SeqRecord;
+use jem_sim::{contig_records, read_records, DatasetSpec, SegmentEnd, SimulatedDataset};
+use std::time::Instant;
+
+/// `JEM_SCALE` env knob (default 1.0).
+pub fn env_scale() -> f64 {
+    std::env::var("JEM_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+}
+
+/// `JEM_SEED` env knob (default 42).
+pub fn env_seed() -> u64 {
+    std::env::var("JEM_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42)
+}
+
+/// A generated dataset plus the record views the mappers consume.
+pub struct PreparedDataset {
+    /// The raw simulated dataset (with ground truth).
+    pub ds: SimulatedDataset,
+    /// Subject records (contigs).
+    pub subjects: Vec<SeqRecord>,
+    /// Query records (long reads).
+    pub reads: Vec<SeqRecord>,
+}
+
+impl PreparedDataset {
+    /// Generate from a spec.
+    pub fn generate(spec: &DatasetSpec, seed: u64) -> Self {
+        let ds = spec.generate(seed);
+        let subjects = contig_records(&ds.contigs);
+        let reads = read_records(&ds.reads);
+        PreparedDataset { ds, subjects, reads }
+    }
+
+    /// Human-readable dataset name.
+    pub fn name(&self) -> &'static str {
+        self.ds.spec.id.name()
+    }
+
+    /// Build the Fig. 4 benchmark from simulated truth coordinates.
+    ///
+    /// Enumerates exactly the segments the mappers will emit (prefix only
+    /// for reads no longer than ℓ, prefix + suffix otherwise).
+    pub fn truth(&self, ell: usize, k: u64) -> Benchmark {
+        let mut queries = Vec::with_capacity(self.ds.reads.len() * 2);
+        for r in &self.ds.reads {
+            if r.seq.is_empty() {
+                continue;
+            }
+            let mut push = |end: SegmentEnd, label: &str| {
+                let (s, e) = r.segment_ref_range(end, ell);
+                queries.push((format!("{}/{label}", r.id), (s as u64, e as u64)));
+            };
+            push(SegmentEnd::Prefix, "prefix");
+            if r.seq.len() > ell {
+                push(SegmentEnd::Suffix, "suffix");
+            }
+        }
+        let subjects: Vec<(String, (u64, u64))> = self
+            .ds
+            .contigs
+            .iter()
+            .map(|c| (c.id.clone(), (c.ref_start as u64, c.ref_end as u64)))
+            .collect();
+        Benchmark::from_coordinates(&queries, &subjects, k)
+    }
+}
+
+/// Quality + timing of one tool on one dataset.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct QualityResult {
+    /// Tool label.
+    pub tool: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Classification counts.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+    /// `TP / (TP+FP)`.
+    pub precision: f64,
+    /// `TP / (TP+FN)`.
+    pub recall: f64,
+    /// Wall seconds for index build.
+    pub build_secs: f64,
+    /// Wall seconds for query mapping.
+    pub map_secs: f64,
+}
+
+fn quality(
+    tool: &str,
+    prep: &PreparedDataset,
+    pairs: Vec<(String, String)>,
+    bench: &Benchmark,
+    build_secs: f64,
+    map_secs: f64,
+) -> QualityResult {
+    let m = MappingMetrics::classify(&pairs, bench);
+    QualityResult {
+        tool: tool.to_string(),
+        dataset: prep.name().to_string(),
+        tp: m.tp,
+        fp: m.fp,
+        fn_: m.fn_,
+        precision: m.precision(),
+        recall: m.recall(),
+        build_secs,
+        map_secs,
+    }
+}
+
+/// Run JEM-mapper on a dataset and score it against the benchmark.
+pub fn eval_jem(prep: &PreparedDataset, config: &MapperConfig, bench: &Benchmark) -> QualityResult {
+    let t0 = Instant::now();
+    let mapper = JemMapper::build(prep.subjects.clone(), config);
+    let build = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let mappings = mapper.map_reads(&prep.reads);
+    let map = t1.elapsed().as_secs_f64();
+    let pairs = mapping_pairs(&mappings, &prep.reads, &mapper);
+    quality("JEM-mapper", prep, pairs, bench, build, map)
+}
+
+/// Run JEM-mapper under an explicit sketch scheme and score it.
+pub fn eval_jem_scheme(
+    prep: &PreparedDataset,
+    config: &MapperConfig,
+    scheme: jem_sketch::SketchScheme,
+    bench: &Benchmark,
+    label: &str,
+) -> QualityResult {
+    let t0 = Instant::now();
+    let mapper = JemMapper::build_with_scheme(prep.subjects.clone(), config, scheme);
+    let build = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let mappings = mapper.map_reads(&prep.reads);
+    let map = t1.elapsed().as_secs_f64();
+    let pairs = mapping_pairs(&mappings, &prep.reads, &mapper);
+    quality(label, prep, pairs, bench, build, map)
+}
+
+/// Run the Mashmap baseline and score it.
+pub fn eval_mashmap(
+    prep: &PreparedDataset,
+    config: &MashmapConfig,
+    bench: &Benchmark,
+) -> QualityResult {
+    let t0 = Instant::now();
+    let mapper = MashmapMapper::build(prep.subjects.clone(), config);
+    let build = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let mappings = mapper.map_reads(&prep.reads);
+    let map = t1.elapsed().as_secs_f64();
+    let pairs = baseline_pairs(&mappings, &prep.reads, |id| mapper.subject_name(id).to_string());
+    quality("Mashmap", prep, pairs, bench, build, map)
+}
+
+/// Run the classical-MinHash baseline and score it.
+pub fn eval_classic(
+    prep: &PreparedDataset,
+    config: &ClassicMinHashConfig,
+    bench: &Benchmark,
+) -> QualityResult {
+    let t0 = Instant::now();
+    let mapper = ClassicMinHashMapper::build(&prep.subjects, config);
+    let build = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let mappings = mapper.map_reads(&prep.reads);
+    let map = t1.elapsed().as_secs_f64();
+    let pairs =
+        baseline_pairs(&mappings, &prep.reads, |id| prep.subjects[id as usize].id.clone());
+    quality("classical MinHash", prep, pairs, bench, build, map)
+}
+
+/// Convert mappings to `(query, subject)` string pairs.
+pub fn baseline_pairs(
+    mappings: &[Mapping],
+    reads: &[SeqRecord],
+    subject_name: impl Fn(u32) -> String,
+) -> Vec<(String, String)> {
+    mappings
+        .iter()
+        .map(|m| {
+            let end = match m.end {
+                ReadEnd::Prefix => "prefix",
+                ReadEnd::Suffix => "suffix",
+            };
+            (format!("{}/{end}", reads[m.read_idx as usize].id), subject_name(m.subject))
+        })
+        .collect()
+}

@@ -1,0 +1,42 @@
+//! Fig. 5 — precision and recall of JEM-mapper vs Mashmap on the seven
+//! simulated inputs.
+
+use crate::data::{env_seed, eval_jem, eval_mashmap, PreparedDataset};
+use crate::output::{pct, print_table, save_json};
+
+/// Run both mappers over every simulated input and print precision/recall.
+pub fn run() {
+    let jem_cfg = super::jem_config();
+    let mash_cfg = super::mashmap_config();
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for spec in super::simulated_specs() {
+        let prep = PreparedDataset::generate(&spec, env_seed());
+        let bench = prep.truth(jem_cfg.ell, jem_cfg.k as u64);
+        let jem = eval_jem(&prep, &jem_cfg, &bench);
+        let mash = eval_mashmap(&prep, &mash_cfg, &bench);
+        println!(
+            "{}: JEM p={} r={} | Mashmap p={} r={}",
+            prep.name(),
+            pct(jem.precision),
+            pct(jem.recall),
+            pct(mash.precision),
+            pct(mash.recall)
+        );
+        rows.push(vec![
+            prep.name().to_string(),
+            pct(jem.precision),
+            pct(jem.recall),
+            pct(mash.precision),
+            pct(mash.recall),
+        ]);
+        results.push(jem);
+        results.push(mash);
+    }
+    print_table(
+        "Fig. 5 — mapping quality (PacBio HiFi simulated reads)",
+        &["Input", "JEM precision", "JEM recall", "Mashmap precision", "Mashmap recall"],
+        &rows,
+    );
+    save_json("fig5", &results);
+}

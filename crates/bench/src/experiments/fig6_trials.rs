@@ -1,0 +1,50 @@
+//! Fig. 6 — effect of the number of trials `T` on quality, JEM-mapper vs
+//! classical MinHash, on the B. splendens analogue.
+
+use crate::data::{env_seed, eval_classic, eval_jem, PreparedDataset};
+use crate::output::{pct, print_table, save_json};
+use jem_baseline::ClassicMinHashConfig;
+use jem_sim::DatasetId;
+
+/// Trial counts swept by the paper's figure.
+pub const TRIALS: &[usize] = &[5, 10, 20, 30, 50, 100, 150];
+
+/// Sweep `T` for both schemes and print precision/recall per point.
+pub fn run() {
+    let spec = super::spec(DatasetId::BSplendens);
+    let prep = PreparedDataset::generate(&spec, env_seed());
+    let base = super::jem_config();
+    let bench = prep.truth(base.ell, base.k as u64);
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for &t in TRIALS {
+        let jem = eval_jem(&prep, &base.with_trials(t), &bench);
+        let classic_cfg = ClassicMinHashConfig { k: base.k, trials: t, ell: base.ell, seed: base.seed };
+        let classic = eval_classic(&prep, &classic_cfg, &bench);
+        println!(
+            "T={t}: JEM p={} r={} | classical MinHash p={} r={}",
+            pct(jem.precision),
+            pct(jem.recall),
+            pct(classic.precision),
+            pct(classic.recall)
+        );
+        rows.push(vec![
+            t.to_string(),
+            pct(jem.precision),
+            pct(jem.recall),
+            pct(classic.precision),
+            pct(classic.recall),
+        ]);
+        results.push(serde_json::json!({
+            "trials": t,
+            "jem": jem,
+            "classic": classic,
+        }));
+    }
+    print_table(
+        "Fig. 6 — quality vs number of trials T (B. splendens analogue)",
+        &["T", "JEM precision", "JEM recall", "MinHash precision", "MinHash recall"],
+        &rows,
+    );
+    save_json("fig6", &results);
+}

@@ -1,0 +1,52 @@
+//! Fig. 8 — computation vs communication fraction for Human chr 7 and
+//! B. splendens as p grows.
+
+use crate::data::{env_seed, PreparedDataset};
+use crate::output::{print_table, save_json};
+use jem_core::run_distributed;
+use jem_psim::{CostModel, ExecMode};
+use jem_sim::DatasetId;
+
+/// Process counts swept by the paper's figure.
+pub const PROCS: &[usize] = &[4, 8, 16, 32, 64];
+
+/// Run the computation/communication split for the two figure inputs.
+pub fn run() {
+    let config = super::jem_config();
+    let cost = CostModel::ethernet_10g();
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for id in [DatasetId::HumanChr7, DatasetId::BSplendens] {
+        let prep = PreparedDataset::generate(&super::spec(id), env_seed());
+        let mut series = Vec::new();
+        for &p in PROCS {
+            let o = run_distributed(
+                &prep.subjects,
+                &prep.reads,
+                &config,
+                p,
+                cost,
+                ExecMode::Sequential,
+            );
+            let comm = o.report.comm_fraction();
+            series.push(comm);
+            rows.push(vec![
+                prep.name().to_string(),
+                p.to_string(),
+                format!("{:.2}%", (1.0 - comm) * 100.0),
+                format!("{:.2}%", comm * 100.0),
+            ]);
+        }
+        results.push(serde_json::json!({
+            "dataset": prep.name(),
+            "procs": PROCS,
+            "comm_fraction": series,
+        }));
+    }
+    print_table(
+        "Fig. 8 — computation vs communication time",
+        &["Input", "p", "Computation", "Communication"],
+        &rows,
+    );
+    save_json("fig8", &results);
+}

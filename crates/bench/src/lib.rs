@@ -1,0 +1,23 @@
+//! # jem-bench — the experiment harness
+//!
+//! One module (and one thin binary) per table/figure of the paper's
+//! evaluation section. Every experiment prints a Markdown table matching
+//! the paper's rows/series and writes machine-readable JSON into
+//! `results/` so EXPERIMENTS.md can be regenerated.
+//!
+//! Environment knobs (all optional):
+//!
+//! * `JEM_SCALE` — multiplies every dataset's genome length (default 1.0 =
+//!   the scaled-analogue sizes of DESIGN.md §4). Use e.g. `0.1` for smoke
+//!   runs.
+//! * `JEM_SEED` — master seed (default 42).
+//!
+//! Run everything: `cargo run --release -p jem-bench --bin all_experiments`.
+
+#![forbid(unsafe_code)]
+
+pub mod data;
+pub mod experiments;
+pub mod output;
+
+pub use data::{env_scale, env_seed, PreparedDataset, QualityResult};

@@ -1,0 +1,102 @@
+//! Tests of the experiment-harness glue (dataset preparation, truth
+//! construction, tool evaluation) at micro scale.
+
+use jem_bench::data::{baseline_pairs, eval_classic, eval_jem, eval_mashmap, PreparedDataset};
+use jem_baseline::{ClassicMinHashConfig, MashmapConfig};
+use jem_core::{MapperConfig, Mapping, ReadEnd};
+use jem_seq::SeqRecord;
+use jem_sim::{ContigProfile, DatasetId, DatasetSpec, GenomeProfile, HifiProfile};
+
+fn micro_spec() -> DatasetSpec {
+    DatasetSpec {
+        id: DatasetId::EColi,
+        genome: GenomeProfile::bacterial(80_000),
+        contig: ContigProfile {
+            mean_len: 4_000,
+            std_len: 2_000,
+            min_len: 500,
+            gap_fraction: 0.05,
+            error_rate: 0.0005,
+        },
+        hifi: HifiProfile { coverage: 3.0, ..Default::default() },
+    }
+}
+
+#[test]
+fn prepared_dataset_is_consistent() {
+    let prep = PreparedDataset::generate(&micro_spec(), 11);
+    assert_eq!(prep.subjects.len(), prep.ds.contigs.len());
+    assert_eq!(prep.reads.len(), prep.ds.reads.len());
+    assert_eq!(prep.name(), "E. coli");
+    let stats = prep.ds.stats();
+    assert_eq!(stats.n_contigs, prep.subjects.len());
+    assert!(stats.query_bp > stats.subject_bp, "10x-ish coverage vs ~1x contigs");
+}
+
+#[test]
+fn truth_counts_match_segment_enumeration() {
+    let prep = PreparedDataset::generate(&micro_spec(), 12);
+    let ell = 1000;
+    let bench = prep.truth(ell, 16);
+    // Upper bound: 2 segments per read.
+    assert!(bench.n_mappable_queries() <= prep.reads.len() * 2);
+    // With 95% contig coverage, the vast majority of segments are mappable.
+    let n_segments: usize =
+        prep.reads.iter().map(|r| if r.seq.len() > ell { 2 } else { 1 }).sum();
+    assert!(
+        bench.n_mappable_queries() * 10 >= n_segments * 8,
+        "{} of {} segments mappable",
+        bench.n_mappable_queries(),
+        n_segments
+    );
+}
+
+#[test]
+fn all_three_evaluators_produce_sane_quality() {
+    let prep = PreparedDataset::generate(&micro_spec(), 13);
+    let config = MapperConfig::default();
+    let bench = prep.truth(config.ell, config.k as u64);
+
+    let jem = eval_jem(&prep, &config, &bench);
+    assert!(jem.precision > 0.9, "JEM precision {}", jem.precision);
+    assert!(jem.recall > 0.9, "JEM recall {}", jem.recall);
+    assert!(jem.recall <= jem.precision + 1e-9);
+    assert!(jem.build_secs >= 0.0 && jem.map_secs > 0.0);
+
+    let mash = eval_mashmap(
+        &prep,
+        &MashmapConfig { k: 16, w: 10, ell: 1000, min_shared: 4 },
+        &bench,
+    );
+    assert!(mash.precision > 0.9, "Mashmap precision {}", mash.precision);
+
+    // Classic MinHash at low T is the known-weak point (Fig. 6).
+    let classic = eval_classic(
+        &prep,
+        &ClassicMinHashConfig { k: 16, trials: 8, ell: 1000, seed: 1 },
+        &bench,
+    );
+    assert!(
+        classic.recall < jem.recall,
+        "classic recall {} must trail JEM {} at T=8",
+        classic.recall,
+        jem.recall
+    );
+}
+
+#[test]
+fn baseline_pairs_formats_keys() {
+    let reads = vec![SeqRecord::new("readA", b"ACGT".to_vec())];
+    let mappings = vec![
+        Mapping { read_idx: 0, end: ReadEnd::Prefix, subject: 3, hits: 5 },
+        Mapping { read_idx: 0, end: ReadEnd::Suffix, subject: 1, hits: 2 },
+    ];
+    let pairs = baseline_pairs(&mappings, &reads, |id| format!("contig_{id}"));
+    assert_eq!(
+        pairs,
+        vec![
+            ("readA/prefix".to_string(), "contig_3".to_string()),
+            ("readA/suffix".to_string(), "contig_1".to_string()),
+        ]
+    );
+}

@@ -1,0 +1,111 @@
+//! Minimal `--flag value` argument parser (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments: `--key value` pairs plus bare switches.
+#[derive(Debug, Default)]
+pub struct Args {
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parse from an iterator of raw arguments. A `--key` followed by a
+    /// value that does not start with `--` binds that value; otherwise it
+    /// is a boolean switch. Non-flag tokens are rejected.
+    pub fn parse(raw: impl Iterator<Item = String>) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut raw = raw.peekable();
+        while let Some(token) = raw.next() {
+            let key = token
+                .strip_prefix("--")
+                .ok_or_else(|| format!("unexpected argument {token:?} (expected --flag)"))?
+                .to_string();
+            if key.is_empty() {
+                return Err("empty flag name".into());
+            }
+            match raw.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    let value = raw.next().expect("peeked");
+                    if args.flags.insert(key.clone(), value).is_some() {
+                        return Err(format!("flag --{key} given twice"));
+                    }
+                }
+                _ => args.switches.push(key),
+            }
+        }
+        Ok(args)
+    }
+
+    /// Value of `--key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// Required value of `--key`.
+    pub fn req(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required flag --{key}"))
+    }
+
+    /// Parsed value of `--key` with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => {
+                v.parse().map_err(|_| format!("cannot parse --{key} value {v:?}"))
+            }
+        }
+    }
+
+    /// Was bare switch `--key` given?
+    pub fn has(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, String> {
+        Args::parse(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn flags_and_switches() {
+        let a = parse(&["--in", "x.fa", "--verbose", "--k", "16"]).unwrap();
+        assert_eq!(a.get("in"), Some("x.fa"));
+        assert_eq!(a.get_or("k", 0usize).unwrap(), 16);
+        assert!(a.has("verbose"));
+        assert!(!a.has("quiet"));
+        assert_eq!(a.get_or("w", 100usize).unwrap(), 100);
+    }
+
+    #[test]
+    fn required_flag_error() {
+        let a = parse(&[]).unwrap();
+        assert!(a.req("in").unwrap_err().contains("--in"));
+    }
+
+    #[test]
+    fn rejects_bare_positional() {
+        assert!(parse(&["x.fa"]).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_flag() {
+        assert!(parse(&["--k", "1", "--k", "2"]).is_err());
+    }
+
+    #[test]
+    fn bad_parse_reported() {
+        let a = parse(&["--k", "sixteen"]).unwrap();
+        assert!(a.get_or("k", 0usize).is_err());
+    }
+
+    #[test]
+    fn trailing_switch() {
+        let a = parse(&["--fast"]).unwrap();
+        assert!(a.has("fast"));
+    }
+}

@@ -1,0 +1,369 @@
+//! The `jem` subcommands.
+
+use crate::args::Args;
+use crate::io::{read_sequences, write_fasta};
+use jem_core::{
+    load_index, map_reads_parallel, save_index, write_mappings_tsv, JemMapper, Mapping,
+    MapperConfig, ReadEnd,
+};
+use jem_eval::{Benchmark, MappingMetrics};
+use jem_scaffold::{scaffold, AssemblyStats, ScaffoldParams};
+use jem_seq::{FastqRecord, FastqWriter, SeqRecord};
+use jem_sketch::SketchScheme;
+use jem_sim::{
+    contig_records, fragment_contigs, simulate_hifi, simulate_illumina, ContigProfile, Genome,
+    GenomeProfile, HifiProfile, IlluminaProfile, SegmentEnd,
+};
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+fn mapper_config(args: &Args) -> Result<(MapperConfig, SketchScheme), String> {
+    let d = MapperConfig::default();
+    let config = MapperConfig {
+        k: args.get_or("k", d.k)?,
+        w: args.get_or("w", d.w)?,
+        trials: args.get_or("trials", d.trials)?,
+        ell: args.get_or("ell", d.ell)?,
+        seed: args.get_or("seed", d.seed)?,
+    };
+    config.jem_params().map_err(|e| format!("invalid configuration: {e}"))?;
+    let scheme = match args.get("syncmer") {
+        None => SketchScheme::Minimizer { w: config.w },
+        Some(v) => {
+            let s: usize = v.parse().map_err(|_| format!("bad --syncmer value {v:?}"))?;
+            SketchScheme::ClosedSyncmer { s }
+        }
+    };
+    scheme.validate(config.k).map_err(|e| format!("invalid sketch scheme: {e}"))?;
+    Ok((config, scheme))
+}
+
+/// `jem index --subjects contigs.fa --out index.jem [--k --w --trials --ell --seed]`
+pub fn cmd_index(args: &Args) -> Result<(), String> {
+    let subjects = read_sequences(args.req("subjects")?)?;
+    let out_path = args.req("out")?;
+    let (config, scheme) = mapper_config(args)?;
+    eprintln!(
+        "indexing {} subjects (k={}, T={}, ell={}, scheme={scheme:?})",
+        subjects.len(), config.k, config.trials, config.ell
+    );
+    let mapper = JemMapper::build_with_scheme(subjects, &config, scheme);
+    let mut out = BufWriter::new(
+        File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?,
+    );
+    save_index(&mut out, &mapper).map_err(|e| format!("cannot write index: {e}"))?;
+    out.flush().map_err(|e| e.to_string())?;
+    eprintln!(
+        "wrote {out_path}: {} sketch entries over {} trials",
+        mapper.table().entry_count(),
+        config.trials
+    );
+    Ok(())
+}
+
+/// `jem map (--index index.jem | --subjects contigs.fa) --queries reads.fq
+///  [--out out.tsv] [--parallel] [config flags]`
+pub fn cmd_map(args: &Args) -> Result<(), String> {
+    let mapper = match (args.get("index"), args.get("subjects")) {
+        (Some(path), _) => {
+            let mut input = BufReader::new(
+                File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?,
+            );
+            load_index(&mut input).map_err(|e| format!("cannot load index {path}: {e}"))?
+        }
+        (None, Some(path)) => {
+            let (config, scheme) = mapper_config(args)?;
+            JemMapper::build_with_scheme(read_sequences(path)?, &config, scheme)
+        }
+        (None, None) => return Err("need --index or --subjects".into()),
+    };
+    let reads = read_sequences(args.req("queries")?)?;
+    eprintln!("mapping {} reads against {} subjects", reads.len(), mapper.n_subjects());
+    let mappings = if args.has("parallel") {
+        map_reads_parallel(&mapper, &reads)
+    } else {
+        mapper.map_reads(&reads)
+    };
+    eprintln!("{} end segments mapped", mappings.len());
+    match args.get("out") {
+        Some(path) => {
+            let mut out = BufWriter::new(
+                File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
+            );
+            write_mappings_tsv(&mut out, &mappings, &reads, &mapper)
+                .map_err(|e| e.to_string())?;
+            out.flush().map_err(|e| e.to_string())?;
+        }
+        None => {
+            let stdout = std::io::stdout();
+            let mut lock = stdout.lock();
+            write_mappings_tsv(&mut lock, &mappings, &reads, &mapper)
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+/// `jem simulate --out DIR [--genome-len N] [--coverage C] [--profile
+///  bacterial|eukaryotic] [--seed S]` — writes genome.fa, contigs.fa,
+///  reads.fq and truth.tsv (the Fig. 4 coordinate inputs).
+pub fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let dir = args.req("out")?;
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    let genome_len: usize = args.get_or("genome-len", 500_000)?;
+    let coverage: f64 = args.get_or("coverage", 10.0)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let ell: usize = args.get_or("ell", 1000)?;
+    let profile = args.get("profile").unwrap_or("eukaryotic");
+    let (gp, cp) = match profile {
+        "bacterial" => (GenomeProfile::bacterial(genome_len), ContigProfile::bacterial()),
+        "eukaryotic" => (GenomeProfile::eukaryotic(genome_len), ContigProfile::eukaryotic()),
+        other => return Err(format!("unknown --profile {other:?} (bacterial|eukaryotic)")),
+    };
+    let genome = Genome::from_profile("genome", &gp, seed);
+    let contigs = fragment_contigs(&genome, &cp, seed + 1);
+    let reads = simulate_hifi(&genome, &HifiProfile { coverage, ..Default::default() }, seed + 2);
+
+    let join = |name: &str| Path::new(dir).join(name).to_string_lossy().into_owned();
+    write_fasta(&join("genome.fa"), &[SeqRecord::new("genome", genome.seq.clone())])?;
+    write_fasta(&join("contigs.fa"), &contig_records(&contigs))?;
+    {
+        let path = join("reads.fq");
+        let mut w = FastqWriter::create(Path::new(&path))
+            .map_err(|e| format!("cannot create {path}: {e}"))?;
+        for r in &reads {
+            w.write_record(&FastqRecord::with_uniform_quality(r.id.clone(), r.seq.clone(), b'K'))
+                .map_err(|e| e.to_string())?;
+        }
+        w.flush().map_err(|e| e.to_string())?;
+    }
+    {
+        let path = join("truth.tsv");
+        let mut w = BufWriter::new(File::create(&path).map_err(|e| e.to_string())?);
+        writeln!(w, "#kind\tkey\tstart\tend").map_err(|e| e.to_string())?;
+        for c in &contigs {
+            writeln!(w, "S\t{}\t{}\t{}", c.id, c.ref_start, c.ref_end).map_err(|e| e.to_string())?;
+        }
+        for r in &reads {
+            let (s, e) = r.segment_ref_range(SegmentEnd::Prefix, ell);
+            writeln!(w, "Q\t{}/prefix\t{s}\t{e}", r.id).map_err(|e| e.to_string())?;
+            if r.len() > ell {
+                let (s, e) = r.segment_ref_range(SegmentEnd::Suffix, ell);
+                writeln!(w, "Q\t{}/suffix\t{s}\t{e}", r.id).map_err(|e| e.to_string())?;
+            }
+        }
+        w.flush().map_err(|e| e.to_string())?;
+    }
+    eprintln!(
+        "wrote {dir}/: genome ({} bp), {} contigs, {} reads, truth.tsv",
+        genome.len(),
+        contigs.len(),
+        reads.len()
+    );
+    Ok(())
+}
+
+/// `jem assemble --reads short.fq --out contigs.fa [--k --min-abundance
+///  --min-len --tip-len]` — plus `--simulate-from genome.fa --coverage C`
+///  to generate the short reads on the fly.
+pub fn cmd_assemble(args: &Args) -> Result<(), String> {
+    let read_seqs: Vec<Vec<u8>> = match (args.get("reads"), args.get("simulate-from")) {
+        (Some(path), _) => read_sequences(path)?.into_iter().map(|r| r.seq).collect(),
+        (None, Some(genome_path)) => {
+            let genome_recs = read_sequences(genome_path)?;
+            let rec = genome_recs.first().ok_or("empty genome file")?;
+            let genome = Genome {
+                name: rec.id.clone(),
+                seq: rec.seq.clone(),
+                repeat_regions: Vec::new(),
+            };
+            let profile = IlluminaProfile {
+                coverage: args.get_or("coverage", 30.0)?,
+                ..Default::default()
+            };
+            simulate_illumina(&genome, &profile, args.get_or("seed", 42)?)
+                .into_iter()
+                .map(|r| r.seq)
+                .collect()
+        }
+        (None, None) => return Err("need --reads or --simulate-from".into()),
+    };
+    let params = jem_dbg::AssemblyParams {
+        k: args.get_or("k", 31)?,
+        min_abundance: args.get_or("min-abundance", 3)?,
+        min_contig_len: args.get_or("min-len", 500)?,
+        tip_len: args.get_or("tip-len", 93)?,
+    };
+    eprintln!("assembling {} reads (k={}, min_abundance={})", read_seqs.len(), params.k, params.min_abundance);
+    let contigs = jem_dbg::assemble(&read_seqs, &params);
+    let stats = AssemblyStats::from_lengths(contigs.iter().map(|c| c.seq.len()));
+    eprintln!("{stats}");
+    write_fasta(args.req("out")?, &contigs)
+}
+
+/// `jem contained (--index FILE | --subjects FILE) --queries reads.fq
+///  [--stride ell/2] [--out FILE]` — whole-read tiled mapping: reports every
+///  contig a read touches, including contigs contained in its interior
+///  (invisible to end-segment mapping).
+pub fn cmd_contained(args: &Args) -> Result<(), String> {
+    let mapper = match (args.get("index"), args.get("subjects")) {
+        (Some(path), _) => {
+            let mut input = BufReader::new(
+                File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?,
+            );
+            load_index(&mut input).map_err(|e| format!("cannot load index {path}: {e}"))?
+        }
+        (None, Some(path)) => {
+            let (config, scheme) = mapper_config(args)?;
+            JemMapper::build_with_scheme(read_sequences(path)?, &config, scheme)
+        }
+        (None, None) => return Err("need --index or --subjects".into()),
+    };
+    let reads = read_sequences(args.req("queries")?)?;
+    let stride: usize = args.get_or("stride", mapper.config().ell / 2)?;
+    if stride == 0 {
+        return Err("--stride must be positive".into());
+    }
+    let mut rows = Vec::new();
+    for read in &reads {
+        for h in mapper.contained_hits(&read.seq, stride) {
+            rows.push(format!(
+                "{}\t{}\t{}\t{}\t{}\t{}",
+                read.id,
+                mapper.subject_name(h.subject),
+                h.first_offset,
+                h.last_offset,
+                h.windows,
+                h.best_hits
+            ));
+        }
+    }
+    eprintln!("{} (read, contig) incidences over {} reads", rows.len(), reads.len());
+    let header = "#read\tsubject\tfirst_offset\tlast_offset\twindows\tbest_hits";
+    match args.get("out") {
+        Some(path) => {
+            let mut out = BufWriter::new(
+                File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
+            );
+            writeln!(out, "{header}").map_err(|e| e.to_string())?;
+            for r in &rows {
+                writeln!(out, "{r}").map_err(|e| e.to_string())?;
+            }
+            out.flush().map_err(|e| e.to_string())?;
+        }
+        None => {
+            println!("{header}");
+            for r in &rows {
+                println!("{r}");
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Parse a mapping TSV (query, subject, hits, trials) into pairs.
+fn read_mapping_pairs(path: &str) -> Result<Vec<(String, String, u32)>, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let mut out = Vec::new();
+    for (no, line) in BufReader::new(file).lines().enumerate() {
+        let line = line.map_err(|e| e.to_string())?;
+        if line.starts_with('#') || line.trim().is_empty() {
+            continue;
+        }
+        let mut fields = line.split('\t');
+        let q = fields.next().ok_or(format!("{path}:{}: missing query", no + 1))?;
+        let s = fields.next().ok_or(format!("{path}:{}: missing subject", no + 1))?;
+        let hits: u32 = fields
+            .next()
+            .unwrap_or("1")
+            .parse()
+            .map_err(|_| format!("{path}:{}: bad hits field", no + 1))?;
+        out.push((q.to_string(), s.to_string(), hits));
+    }
+    Ok(out)
+}
+
+/// `jem eval --mappings out.tsv --truth truth.tsv [--k 16]`
+pub fn cmd_eval(args: &Args) -> Result<(), String> {
+    let truth_path = args.req("truth")?;
+    let k: u64 = args.get_or("k", 16)?;
+    let mut queries = Vec::new();
+    let mut subjects = Vec::new();
+    let file = File::open(truth_path).map_err(|e| format!("cannot open {truth_path}: {e}"))?;
+    for (no, line) in BufReader::new(file).lines().enumerate() {
+        let line = line.map_err(|e| e.to_string())?;
+        if line.starts_with('#') || line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 4 {
+            return Err(format!("{truth_path}:{}: expected 4 fields", no + 1));
+        }
+        let start: u64 =
+            fields[2].parse().map_err(|_| format!("{truth_path}:{}: bad start", no + 1))?;
+        let end: u64 =
+            fields[3].parse().map_err(|_| format!("{truth_path}:{}: bad end", no + 1))?;
+        match fields[0] {
+            "Q" => queries.push((fields[1].to_string(), (start, end))),
+            "S" => subjects.push((fields[1].to_string(), (start, end))),
+            other => return Err(format!("{truth_path}:{}: unknown kind {other:?}", no + 1)),
+        }
+    }
+    let bench = Benchmark::from_coordinates(&queries, &subjects, k);
+    let pairs: Vec<(String, String)> = read_mapping_pairs(args.req("mappings")?)?
+        .into_iter()
+        .map(|(q, s, _)| (q, s))
+        .collect();
+    let m = MappingMetrics::classify(&pairs, &bench);
+    println!(
+        "precision\t{:.4}\nrecall\t{:.4}\nf1\t{:.4}\ntp\t{}\nfp\t{}\nfn\t{}",
+        m.precision(),
+        m.recall(),
+        m.f1(),
+        m.tp,
+        m.fp,
+        m.fn_
+    );
+    Ok(())
+}
+
+/// `jem scaffold --subjects contigs.fa --mappings out.tsv --out scaffolds.fa
+///  [--min-support 2] [--gap 100]`
+pub fn cmd_scaffold(args: &Args) -> Result<(), String> {
+    let contigs = read_sequences(args.req("subjects")?)?;
+    let name_to_id: std::collections::HashMap<&str, u32> = contigs
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.id.as_str(), i as u32))
+        .collect();
+    let raw = read_mapping_pairs(args.req("mappings")?)?;
+    let mut read_ids: std::collections::HashMap<String, u32> = std::collections::HashMap::new();
+    let mut mappings = Vec::new();
+    for (q, s, hits) in &raw {
+        let (read, end) = q
+            .rsplit_once('/')
+            .ok_or_else(|| format!("query key {q:?} lacks /prefix or /suffix"))?;
+        let end = match end {
+            "prefix" => ReadEnd::Prefix,
+            "suffix" => ReadEnd::Suffix,
+            other => return Err(format!("unknown read end {other:?} in {q:?}")),
+        };
+        let next = read_ids.len() as u32;
+        let read_idx = *read_ids.entry(read.to_string()).or_insert(next);
+        let subject = *name_to_id
+            .get(s.as_str())
+            .ok_or_else(|| format!("mapping references unknown contig {s:?}"))?;
+        mappings.push(Mapping { read_idx, end, subject, hits: *hits });
+    }
+    let params = ScaffoldParams {
+        min_support: args.get_or("min-support", 2)?,
+        gap_n: args.get_or("gap", 100)?,
+    };
+    let scaffolds = scaffold(&mappings, &contigs, &params);
+    let before = AssemblyStats::from_lengths(contigs.iter().map(|c| c.seq.len()));
+    let after = AssemblyStats::from_lengths(scaffolds.iter().map(|s| s.seq.len()));
+    eprintln!("contigs:   {before}");
+    eprintln!("scaffolds: {after}");
+    write_fasta(args.req("out")?, &scaffolds)
+}

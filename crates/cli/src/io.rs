@@ -1,0 +1,94 @@
+//! Shared file I/O helpers for the CLI commands.
+
+use jem_seq::{FastaReader, FastqReader, FastqRecord, SeqRecord};
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+
+/// Read sequences from FASTA or FASTQ, sniffing the format from the first
+/// non-whitespace byte (`>` vs `@`).
+pub fn read_sequences(path: &str) -> Result<Vec<SeqRecord>, String> {
+    let mut reader = BufReader::new(
+        File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?,
+    );
+    let first = {
+        let buf = reader.fill_buf().map_err(|e| format!("cannot read {path}: {e}"))?;
+        buf.iter().copied().find(|b| !b.is_ascii_whitespace())
+    };
+    match first {
+        Some(b'>') => FastaReader::new(reader)
+            .read_all()
+            .map_err(|e| format!("FASTA parse error in {path}: {e}")),
+        Some(b'@') => Ok(FastqReader::new(reader)
+            .read_all()
+            .map_err(|e| format!("FASTQ parse error in {path}: {e}"))?
+            .into_iter()
+            .map(FastqRecord::into_seq_record)
+            .collect()),
+        Some(other) => Err(format!(
+            "{path}: unrecognized format (starts with {:?}, expected '>' or '@')",
+            other as char
+        )),
+        None => Ok(Vec::new()),
+    }
+}
+
+/// Write sequences as FASTA.
+pub fn write_fasta(path: &str, records: &[SeqRecord]) -> Result<(), String> {
+    let mut w = jem_seq::FastaWriter::create(Path::new(path))
+        .map_err(|e| format!("cannot create {path}: {e}"))?;
+    w.write_all_records(records).map_err(|e| format!("write error on {path}: {e}"))?;
+    w.flush().map_err(|e| format!("flush error on {path}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp(name: &str, content: &[u8]) -> String {
+        let path = std::env::temp_dir().join(format!("jemcli_{}_{name}", std::process::id()));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(content).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn sniffs_fasta() {
+        let p = tmp("a.fa", b">x\nACGT\n");
+        let recs = read_sequences(&p).unwrap();
+        assert_eq!(recs[0].seq, b"ACGT".to_vec());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn sniffs_fastq() {
+        let p = tmp("a.fq", b"@x\nACGT\n+\nIIII\n");
+        let recs = read_sequences(&p).unwrap();
+        assert_eq!(recs[0].seq, b"ACGT".to_vec());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let p = tmp("a.txt", b"hello world\n");
+        assert!(read_sequences(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn empty_file_is_empty() {
+        let p = tmp("empty", b"  \n");
+        assert!(read_sequences(&p).unwrap().is_empty());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn fasta_roundtrip_via_helpers() {
+        let p = tmp("rt.fa", b"");
+        let recs = vec![SeqRecord::new("s1", b"ACGTACGT".to_vec())];
+        write_fasta(&p, &recs).unwrap();
+        assert_eq!(read_sequences(&p).unwrap(), recs);
+        std::fs::remove_file(&p).ok();
+    }
+}

@@ -1,0 +1,77 @@
+//! `jem` — the JEM-Mapper command-line toolkit.
+//!
+//! ```text
+//! jem simulate --out data/ --genome-len 500000 --coverage 10
+//! jem index    --subjects data/contigs.fa --out data/index.jem
+//! jem map      --index data/index.jem --queries data/reads.fq --out data/map.tsv
+//! jem eval     --mappings data/map.tsv --truth data/truth.tsv
+//! jem scaffold --subjects data/contigs.fa --mappings data/map.tsv --out data/scaffolds.fa
+//! jem assemble --simulate-from data/genome.fa --out data/asm.fa
+//! ```
+
+mod args;
+mod commands;
+mod io;
+
+use args::Args;
+
+const USAGE: &str = "\
+jem — parallel sketch-based mapping of long reads to contigs (JEM-mapper)
+
+USAGE: jem <command> [--flag value ...]
+
+COMMANDS:
+  index     build a JEM sketch index over a contig set
+              --subjects FILE --out FILE [--k 16] [--w 100] [--trials 30]
+              [--ell 1000] [--seed N] [--syncmer S  use closed syncmers
+              instead of minimizers]
+  map       map long-read end segments to contigs (TSV to --out or stdout)
+              (--index FILE | --subjects FILE) --queries FILE [--out FILE]
+              [--parallel] [config flags as for index]
+  simulate  generate a synthetic genome, contig set, HiFi reads and truth
+              --out DIR [--genome-len 500000] [--coverage 10]
+              [--profile eukaryotic|bacterial] [--seed 42] [--ell 1000]
+  assemble  de Bruijn assembly of short reads (Minia-substitute)
+              (--reads FILE | --simulate-from GENOME.fa [--coverage 30])
+              --out FILE [--k 31] [--min-abundance 3] [--min-len 500]
+              [--tip-len 93]
+  contained whole-read tiled mapping: every contig a read touches,
+              including interior-contained ones
+              (--index FILE | --subjects FILE) --queries FILE
+              [--stride ELL/2] [--out FILE]
+  eval      score a mapping TSV against truth coordinates (Fig. 4 benchmark)
+              --mappings FILE --truth FILE [--k 16]
+  scaffold  chain contigs linked by long reads into scaffolds
+              --subjects FILE --mappings FILE --out FILE
+              [--min-support 2] [--gap 100]
+  help      print this message
+";
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let command = match argv.next() {
+        Some(c) => c,
+        None => {
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let result = Args::parse(argv).and_then(|args| match command.as_str() {
+        "index" => commands::cmd_index(&args),
+        "map" => commands::cmd_map(&args),
+        "contained" => commands::cmd_contained(&args),
+        "simulate" => commands::cmd_simulate(&args),
+        "assemble" => commands::cmd_assemble(&args),
+        "eval" => commands::cmd_eval(&args),
+        "scaffold" => commands::cmd_scaffold(&args),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?} (try `jem help`)")),
+    });
+    if let Err(msg) = result {
+        eprintln!("error: {msg}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,86 @@
+//! Mapper configuration (the paper's default parameter set).
+
+use jem_seq::SeqError;
+use jem_sketch::{HashFamily, JemParams};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a JEM-mapper run.
+///
+/// Defaults are the paper's (§IV-A-c): `k = 16`, `T = 30`, `w = 100`,
+/// `ℓ = 1000`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MapperConfig {
+    /// k-mer size.
+    pub k: usize,
+    /// Minimizer window size `w` (consecutive k-mers per window).
+    pub w: usize,
+    /// Number of MinHash trials `T`.
+    pub trials: usize,
+    /// End-segment / interval length ℓ in bases.
+    pub ell: usize,
+    /// Seed for the a-priori generated hash-function constants.
+    pub seed: u64,
+}
+
+impl Default for MapperConfig {
+    fn default() -> Self {
+        MapperConfig { k: 16, w: 100, trials: 30, ell: 1000, seed: 0x4a45_4d4d }
+    }
+}
+
+impl MapperConfig {
+    /// Validate and expose the embedded sketch parameters.
+    pub fn jem_params(&self) -> Result<JemParams, SeqError> {
+        if self.trials == 0 {
+            return Err(SeqError::InvalidParameter("trials T must be >= 1".into()));
+        }
+        JemParams::new(self.k, self.w, self.ell)
+    }
+
+    /// Generate the `T` hash functions for this configuration.
+    pub fn hash_family(&self) -> HashFamily {
+        HashFamily::generate(self.trials, self.seed)
+    }
+
+    /// Same configuration with a different trial count (Fig. 6 sweeps).
+    pub fn with_trials(mut self, t: usize) -> Self {
+        self.trials = t;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = MapperConfig::default();
+        assert_eq!((c.k, c.w, c.trials, c.ell), (16, 100, 30, 1000));
+        assert!(c.jem_params().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(MapperConfig { trials: 0, ..Default::default() }.jem_params().is_err());
+        assert!(MapperConfig { k: 0, ..Default::default() }.jem_params().is_err());
+        assert!(MapperConfig { k: 33, ..Default::default() }.jem_params().is_err());
+        assert!(MapperConfig { w: 0, ..Default::default() }.jem_params().is_err());
+        assert!(MapperConfig { ell: 0, ..Default::default() }.jem_params().is_err());
+    }
+
+    #[test]
+    fn family_is_deterministic_and_sized() {
+        let c = MapperConfig::default();
+        let f = c.hash_family();
+        assert_eq!(f.len(), 30);
+        assert_eq!(f.get(0), c.hash_family().get(0));
+    }
+
+    #[test]
+    fn with_trials_adjusts_only_t() {
+        let c = MapperConfig::default().with_trials(150);
+        assert_eq!(c.trials, 150);
+        assert_eq!(c.k, 16);
+    }
+}

@@ -1,0 +1,334 @@
+//! The distributed-memory driver — the paper's parallel steps S1–S4 on the
+//! `jem-psim` BSP world.
+//!
+//! | Step | Paper | Here |
+//! |------|-------|------|
+//! | S1 | block-distributed input load | superstep `"input load"` — each rank materializes its `O((N+M)/p)` block |
+//! | S2 | local subject sketching | superstep `"subject sketch"` — per-rank sketch tables, encoded to `u64` streams |
+//! | S3 | `MPI_Allgatherv` of local tables | collective `"sketch gather"` (charged `τ·log p + μ·nT` bytes) + replicated `"global table build"` (decode/union, identical on every rank) |
+//! | S4 | local query mapping | superstep `"query map"` — each rank segments and maps its read block against the replicated global table |
+//!
+//! A final `"result gather"` collective collects the mappings (small).
+//!
+//! Because the world is simulated, running with `p = 64` on a single-core
+//! host still yields faithful per-rank work decomposition; the simulated
+//! makespan is what Table II reports.
+
+use crate::config::MapperConfig;
+use crate::mapper::{JemMapper, Mapping};
+use crate::segment::make_segments;
+use jem_index::{SketchTable, SubjectId};
+use jem_seq::SeqRecord;
+use jem_psim::{CostModel, ExecMode, RunReport, World};
+use jem_sketch::sketch_by_jem;
+
+/// Result of a distributed run: mappings plus full timing.
+#[derive(Clone, Debug)]
+pub struct DistributedOutcome {
+    /// All mappings, ordered by `(read_idx, end)`.
+    pub mappings: Vec<Mapping>,
+    /// BSP timing report (simulated makespan, per-step, per-rank).
+    pub report: RunReport,
+    /// Total number of query segments processed.
+    pub n_segments: usize,
+}
+
+impl DistributedOutcome {
+    /// Fig. 7a-style breakdown of the run.
+    pub fn breakdown(&self) -> StepBreakdown {
+        StepBreakdown {
+            input_load: self.report.step_secs("input load"),
+            subject_sketch: self.report.step_secs("subject sketch"),
+            sketch_gather: self.report.step_secs("sketch gather"),
+            table_build: self.report.step_secs("global table build"),
+            query_map: self.report.step_secs("query map"),
+            result_gather: self.report.step_secs("result gather"),
+        }
+    }
+
+    /// Querying throughput (segments/sec over the critical-path query time),
+    /// the paper's Fig. 7b metric.
+    pub fn query_throughput(&self) -> f64 {
+        let t = self.report.step_secs("query map");
+        if t == 0.0 {
+            0.0
+        } else {
+            self.n_segments as f64 / t
+        }
+    }
+}
+
+/// Critical-path seconds per pipeline step (Fig. 7a).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StepBreakdown {
+    /// S1: input loading.
+    pub input_load: f64,
+    /// S2: subject sketching.
+    pub subject_sketch: f64,
+    /// S3 (comm): the Allgatherv.
+    pub sketch_gather: f64,
+    /// S3 (compute): building the replicated global table.
+    pub table_build: f64,
+    /// S4: query sketching + lookup + reporting.
+    pub query_map: f64,
+    /// Final result collection.
+    pub result_gather: f64,
+}
+
+impl StepBreakdown {
+    /// Total of all steps (≈ makespan).
+    pub fn total(&self) -> f64 {
+        self.input_load
+            + self.subject_sketch
+            + self.sketch_gather
+            + self.table_build
+            + self.query_map
+            + self.result_gather
+    }
+}
+
+/// Run the full distributed L2C mapping on `p` simulated ranks.
+pub fn run_distributed(
+    subjects: &[SeqRecord],
+    reads: &[SeqRecord],
+    config: &MapperConfig,
+    p: usize,
+    cost: CostModel,
+    mode: ExecMode,
+) -> DistributedOutcome {
+    let params = config.jem_params().expect("invalid mapper configuration");
+    let family = config.hash_family();
+    let mut world = World::new(p, cost).with_mode(mode);
+
+    // S1 — input load: each rank materializes its block of both inputs
+    // (byte copies stand in for FASTA parsing; volume is O((N+M)/p)).
+    let blocks: Vec<(Vec<SeqRecord>, Vec<SeqRecord>)> = world.superstep("input load", |rank| {
+        let s_range = world_block(p, subjects.len(), rank);
+        let q_range = world_block(p, reads.len(), rank);
+        (subjects[s_range].to_vec(), reads[q_range].to_vec())
+    });
+
+    // S2 — sketch subjects: per-rank local tables over global subject ids.
+    let encoded: Vec<Vec<u64>> = world.superstep("subject sketch", |rank| {
+        let s_range = world_block(p, subjects.len(), rank);
+        let mut local = SketchTable::new(config.trials);
+        let (local_subjects, _) = &blocks[rank];
+        for (offset, rec) in local_subjects.iter().enumerate() {
+            let id = (s_range.start + offset) as SubjectId;
+            local.insert_sketch(&sketch_by_jem(&rec.seq, params, &family), id);
+        }
+        local.encode()
+    });
+
+    // S3 — gather: charge the Allgatherv volume, then build the replicated
+    // global table (identical decode+union on every rank).
+    let gather_bytes: usize = encoded.iter().map(|e| e.len() * 8).sum();
+    world.charge_comm("sketch gather", gather_bytes);
+    let global_table = world.superstep_replicated("global table build", || {
+        let mut global = SketchTable::new(config.trials);
+        for stream in &encoded {
+            global.decode_into(stream);
+        }
+        global
+    });
+    let subject_names: Vec<String> = subjects.iter().map(|s| s.id.clone()).collect();
+    let mapper = JemMapper::from_table(global_table, subject_names, config);
+
+    // S4 — map queries: each rank segments and maps its read block.
+    let per_rank: Vec<(Vec<Mapping>, usize)> = world.superstep("query map", |rank| {
+        let q_range = world_block(p, reads.len(), rank);
+        let (_, local_reads) = &blocks[rank];
+        let mut segments = make_segments(local_reads, config.ell);
+        // Rebase read indices from block-local to global.
+        for s in segments.iter_mut() {
+            s.read_idx += q_range.start as u32;
+        }
+        let n = segments.len();
+        (mapper.map_segments(&segments), n)
+    });
+
+    // Final gather of the (small) mapping output.
+    let result_bytes: usize =
+        per_rank.iter().map(|(m, _)| m.len() * std::mem::size_of::<Mapping>()).sum();
+    world.charge_comm("result gather", result_bytes);
+
+    let n_segments = per_rank.iter().map(|(_, n)| n).sum();
+    let mut mappings: Vec<Mapping> = per_rank.into_iter().flat_map(|(m, _)| m).collect();
+    mappings.sort_unstable_by_key(|m| (m.read_idx, m.end));
+    DistributedOutcome { mappings, report: world.into_report(), n_segments }
+}
+
+/// Contiguous block distribution identical to [`World::block_range`] but
+/// callable from inside a superstep closure (which already borrows `world`).
+fn world_block(p: usize, n: usize, rank: usize) -> std::ops::Range<usize> {
+    let base = n / p;
+    let extra = n % p;
+    let start = rank * base + rank.min(extra);
+    let len = base + usize::from(rank < extra);
+    start..(start + len).min(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jem_sim::{contig_records, fragment_contigs, read_records, simulate_hifi, ContigProfile, Genome, HifiProfile};
+
+    fn world_data() -> (Vec<SeqRecord>, Vec<SeqRecord>) {
+        let genome = Genome::random(60_000, 0.5, 21);
+        let contigs = fragment_contigs(&genome, &ContigProfile::small_genome(), 22);
+        let profile = HifiProfile { coverage: 2.0, mean_len: 4_000, std_len: 800, min_len: 1_000, error_rate: 0.001 };
+        let reads = simulate_hifi(&genome, &profile, 23);
+        (contig_records(&contigs), read_records(&reads))
+    }
+
+    fn config() -> MapperConfig {
+        MapperConfig { k: 12, w: 10, trials: 8, ell: 400, seed: 3 }
+    }
+
+    #[test]
+    fn distributed_matches_sequential_for_any_p() {
+        let (subjects, reads) = world_data();
+        let mapper = JemMapper::build(subjects.clone(), &config());
+        let mut expected = mapper.map_reads(&reads);
+        expected.sort_unstable_by_key(|m| (m.read_idx, m.end));
+        for p in [1usize, 2, 3, 8] {
+            let outcome = run_distributed(
+                &subjects,
+                &reads,
+                &config(),
+                p,
+                CostModel::zero(),
+                ExecMode::Sequential,
+            );
+            assert_eq!(outcome.mappings, expected, "p = {p} must not change the result");
+        }
+    }
+
+    #[test]
+    fn report_contains_all_steps() {
+        let (subjects, reads) = world_data();
+        let outcome = run_distributed(
+            &subjects,
+            &reads,
+            &config(),
+            4,
+            CostModel::ethernet_10g(),
+            ExecMode::Sequential,
+        );
+        let b = outcome.breakdown();
+        assert!(b.input_load > 0.0);
+        assert!(b.subject_sketch > 0.0);
+        assert!(b.sketch_gather > 0.0, "gather must be charged for p > 1");
+        assert!(b.table_build > 0.0);
+        assert!(b.query_map > 0.0);
+        assert!(outcome.n_segments > 0);
+        assert!(outcome.query_throughput() > 0.0);
+        // Makespan decomposes into the named steps.
+        assert!((b.total() - outcome.report.makespan_secs()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comm_fraction_grows_with_p_but_stays_minor() {
+        let (subjects, reads) = world_data();
+        let frac = |p| {
+            run_distributed(&subjects, &reads, &config(), p, CostModel::ethernet_10g(), ExecMode::Sequential)
+                .report
+                .comm_fraction()
+        };
+        let f4 = frac(4);
+        let f16 = frac(16);
+        assert!(f16 >= f4 * 0.5, "comm fraction should not collapse with p (f4={f4}, f16={f16})");
+        assert!(f16 < 0.5, "communication must stay a minority share, got {f16}");
+    }
+
+    #[test]
+    fn single_rank_equals_sequential_work() {
+        let (subjects, reads) = world_data();
+        let outcome =
+            run_distributed(&subjects, &reads, &config(), 1, CostModel::ethernet_10g(), ExecMode::Sequential);
+        assert_eq!(outcome.report.comm_secs(), 0.0);
+        assert!(!outcome.mappings.is_empty());
+    }
+
+    #[test]
+    fn threaded_mode_matches_sequential() {
+        let (subjects, reads) = world_data();
+        let seq = run_distributed(
+            &subjects,
+            &reads,
+            &config(),
+            4,
+            CostModel::zero(),
+            ExecMode::Sequential,
+        );
+        let thr = run_distributed(
+            &subjects,
+            &reads,
+            &config(),
+            4,
+            CostModel::zero(),
+            ExecMode::Threaded,
+        );
+        assert_eq!(thr.mappings, seq.mappings);
+        assert_eq!(thr.n_segments, seq.n_segments);
+    }
+
+    #[test]
+    fn more_ranks_than_work_items() {
+        let (subjects, reads) = world_data();
+        let few_reads = &reads[..3.min(reads.len())];
+        let outcome = run_distributed(
+            &subjects,
+            few_reads,
+            &config(),
+            64,
+            CostModel::ethernet_10g(),
+            ExecMode::Sequential,
+        );
+        // Idle ranks are fine; results still correct.
+        let mapper = JemMapper::build(subjects.clone(), &config());
+        let mut expected = mapper.map_reads(few_reads);
+        expected.sort_unstable_by_key(|m| (m.read_idx, m.end));
+        assert_eq!(outcome.mappings, expected);
+    }
+
+    #[test]
+    fn empty_inputs_are_harmless() {
+        let (subjects, _) = world_data();
+        let outcome = run_distributed(
+            &subjects,
+            &[],
+            &config(),
+            4,
+            CostModel::ethernet_10g(),
+            ExecMode::Sequential,
+        );
+        assert!(outcome.mappings.is_empty());
+        assert_eq!(outcome.n_segments, 0);
+        let outcome = run_distributed(
+            &[],
+            &[],
+            &config(),
+            4,
+            CostModel::ethernet_10g(),
+            ExecMode::Sequential,
+        );
+        assert!(outcome.mappings.is_empty());
+    }
+
+    #[test]
+    fn strong_scaling_reduces_query_critical_path() {
+        let (subjects, reads) = world_data();
+        let q = |p| {
+            run_distributed(&subjects, &reads, &config(), p, CostModel::zero(), ExecMode::Sequential)
+                .report
+                .step_secs("query map")
+        };
+        let q1 = q(1);
+        let q8 = q(8);
+        assert!(
+            q8 < q1 * 0.5,
+            "query critical path must shrink substantially with p (q1={q1}, q8={q8})"
+        );
+    }
+}

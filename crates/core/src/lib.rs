@@ -1,0 +1,41 @@
+//! # jem-core — the JEM-Mapper (Algorithm 2 of the paper)
+//!
+//! Maps long-read *end segments* (prefix/suffix of length ℓ) to their best
+//! matching contig using the minimizer-based Jaccard estimator sketch:
+//!
+//! 1. **Index** — every contig is sketched with [`jem_sketch::sketch_by_jem`]
+//!    and inserted into the `T`-banked [`jem_index::SketchTable`].
+//! 2. **Map** — each query end segment is sketched the same way; for every
+//!    trial `t`, contigs colliding with the query in bank `t` form
+//!    `Hits_r[t]`; the most frequent contig across trials is the reported
+//!    best hit (ties to the smaller contig id). Hit counting uses the
+//!    paper's lazy-update counter.
+//!
+//! Three drivers share this logic:
+//!
+//! * [`JemMapper::map_reads`] — sequential (one counter, queries one by one);
+//! * [`parallel::map_reads_parallel`] — shared-memory rayon driver;
+//! * [`distributed::run_distributed`] — the paper's S1–S4 distributed
+//!   algorithm executed on the `jem-psim` BSP world, producing the per-step
+//!   timing breakdown of Figs. 7–8 and the strong-scaling data of Table II.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod contained;
+pub mod distributed;
+pub mod mapper;
+pub mod parallel;
+pub mod persist;
+pub mod report;
+pub mod segment;
+
+pub use config::MapperConfig;
+pub use contained::{ContainedHit, TiledMapping};
+pub use distributed::{run_distributed, DistributedOutcome, StepBreakdown};
+pub use mapper::{JemMapper, Mapping};
+pub use parallel::map_reads_parallel;
+pub use persist::{load_index, save_index};
+pub use report::{mapping_pairs, write_mappings_tsv};
+pub use segment::{make_segments, QuerySegment, ReadEnd};

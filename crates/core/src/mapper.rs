@@ -1,0 +1,396 @@
+//! The JEM-Mapper: index construction and best-hit query mapping.
+
+use crate::config::MapperConfig;
+use crate::segment::{make_segments, QuerySegment, ReadEnd};
+use jem_index::{
+    build_table_parallel_scheme, HitCounter, LazyHitCounter, SketchTable, SubjectId,
+};
+use jem_seq::SeqRecord;
+use jem_sketch::{sketch_by_scheme, HashFamily, JemParams, JemSketch, SketchScheme};
+
+/// One reported best-hit mapping of a read end segment to a contig.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Mapping {
+    /// Index of the source read in the query input.
+    pub read_idx: u32,
+    /// Which end segment was mapped.
+    pub end: ReadEnd,
+    /// Best-hit subject (contig) id — its index in the subject input.
+    pub subject: SubjectId,
+    /// Number of trials on which the subject collided with the query.
+    pub hits: u32,
+}
+
+impl Mapping {
+    /// Stable query key `"<read_id>/<end>"` for evaluation.
+    pub fn query_key(&self, reads: &[SeqRecord]) -> String {
+        format!("{}/{}", reads[self.read_idx as usize].id, self.end)
+    }
+}
+
+/// An immutable JEM-mapper index over a contig set, plus query drivers.
+///
+/// ```
+/// use jem_core::{JemMapper, MapperConfig};
+/// use jem_seq::SeqRecord;
+///
+/// let contig: Vec<u8> = (0..3000).map(|i| b"ACGT"[(i * 7 + i / 5) % 4]).collect();
+/// let config = MapperConfig { k: 11, w: 8, trials: 8, ell: 400, seed: 1 };
+/// let mapper = JemMapper::build(vec![SeqRecord::new("c0", contig.clone())], &config);
+///
+/// // A verbatim window of the contig maps back to it on most trials.
+/// let mut counter = mapper.new_counter();
+/// let (subject, hits) = mapper.map_segment(&contig[500..900], 0, &mut counter).unwrap();
+/// assert_eq!(subject, 0);
+/// assert!(hits >= 6);
+/// ```
+#[derive(Clone, Debug)]
+pub struct JemMapper {
+    config: MapperConfig,
+    #[allow(dead_code)] // retained for introspection; scheme drives sketching
+    params: JemParams,
+    scheme: SketchScheme,
+    family: HashFamily,
+    table: SketchTable,
+    subject_names: Vec<String>,
+}
+
+impl JemMapper {
+    /// Build the sketch table over `subjects` (Algorithm 2, lines 1–2),
+    /// using the paper's minimizer scheme with window `config.w`.
+    ///
+    /// Subject sketching runs in parallel (rayon). The result is fully
+    /// deterministic for a given `(subjects, config)`.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration (zero `k`/`w`/ℓ/`T`).
+    pub fn build(subjects: Vec<SeqRecord>, config: &MapperConfig) -> Self {
+        Self::build_with_scheme(subjects, config, SketchScheme::Minimizer { w: config.w })
+    }
+
+    /// Build under an alternative sketch-position scheme (e.g. closed
+    /// syncmers — the paper's future-work item i). `config.w` is ignored
+    /// when the scheme carries its own parameters.
+    pub fn build_with_scheme(
+        subjects: Vec<SeqRecord>,
+        config: &MapperConfig,
+        scheme: SketchScheme,
+    ) -> Self {
+        let params = config.jem_params().expect("invalid mapper configuration");
+        scheme.validate(config.k).expect("invalid sketch scheme");
+        let family = config.hash_family();
+        let seqs: Vec<Vec<u8>> = subjects.iter().map(|s| s.seq.clone()).collect();
+        let table = build_table_parallel_scheme(&seqs, config.k, config.ell, scheme, &family);
+        JemMapper {
+            config: *config,
+            params,
+            scheme,
+            family,
+            table,
+            subject_names: subjects.into_iter().map(|s| s.id).collect(),
+        }
+    }
+
+    /// Rebuild a mapper around an externally constructed table (the
+    /// distributed driver gathers a global table and wraps it here).
+    /// Assumes the paper's minimizer scheme.
+    pub fn from_table(
+        table: SketchTable,
+        subject_names: Vec<String>,
+        config: &MapperConfig,
+    ) -> Self {
+        Self::from_table_with_scheme(
+            table,
+            subject_names,
+            config,
+            SketchScheme::Minimizer { w: config.w },
+        )
+    }
+
+    /// [`JemMapper::from_table`] with an explicit sketch scheme (must match
+    /// the scheme the table was built with).
+    pub fn from_table_with_scheme(
+        table: SketchTable,
+        subject_names: Vec<String>,
+        config: &MapperConfig,
+        scheme: SketchScheme,
+    ) -> Self {
+        let params = config.jem_params().expect("invalid mapper configuration");
+        scheme.validate(config.k).expect("invalid sketch scheme");
+        assert_eq!(table.trials(), config.trials, "table T must match config T");
+        JemMapper {
+            config: *config,
+            params,
+            scheme,
+            family: config.hash_family(),
+            table,
+            subject_names,
+        }
+    }
+
+    /// The sketch-position scheme in effect.
+    pub fn scheme(&self) -> SketchScheme {
+        self.scheme
+    }
+
+    /// Sketch a sequence exactly as the index was built.
+    fn sketch(&self, seq: &[u8]) -> JemSketch {
+        sketch_by_scheme(seq, self.config.k, self.scheme, self.config.ell, &self.family)
+    }
+
+    /// Number of subjects indexed.
+    pub fn n_subjects(&self) -> usize {
+        self.subject_names.len()
+    }
+
+    /// Name of subject `id`.
+    pub fn subject_name(&self, id: SubjectId) -> &str {
+        &self.subject_names[id as usize]
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MapperConfig {
+        &self.config
+    }
+
+    /// Borrow the underlying sketch table (inspection/ablation).
+    pub fn table(&self) -> &SketchTable {
+        &self.table
+    }
+
+    /// A hit counter sized for this index (one per mapping thread).
+    pub fn new_counter(&self) -> LazyHitCounter {
+        LazyHitCounter::new(self.n_subjects())
+    }
+
+    /// Map one end segment (Algorithm 2, lines 4–8).
+    ///
+    /// Returns the best `(subject, hits)` or `None` if no trial collided.
+    /// `qid` must be unique per query for the lazy counter's correctness.
+    pub fn map_segment(
+        &self,
+        seg: &[u8],
+        qid: u64,
+        counter: &mut LazyHitCounter,
+    ) -> Option<(SubjectId, u32)> {
+        let sketch = self.sketch(seg);
+        let mut trial_subjects: Vec<SubjectId> = Vec::new();
+        for (t, codes) in sketch.per_trial.iter().enumerate() {
+            // Hits_r[t] is a *set*: a subject colliding on several sketch
+            // codes within the same trial still counts once for that trial.
+            trial_subjects.clear();
+            for &code in codes {
+                trial_subjects.extend_from_slice(self.table.lookup(t, code));
+            }
+            trial_subjects.sort_unstable();
+            trial_subjects.dedup();
+            for &s in &trial_subjects {
+                counter.record(qid, s);
+            }
+        }
+        counter.best(qid)
+    }
+
+    /// Map one end segment and return the top `x` candidate contigs,
+    /// ordered by descending hit count (ties toward smaller ids).
+    ///
+    /// This implements the paper's proposed recall extension ("if we are to
+    /// extend our method to report a fixed number, say top x hits per read,
+    /// several of the missing contig hits could possibly be recovered").
+    pub fn map_segment_topk(&self, seg: &[u8], x: usize) -> Vec<(SubjectId, u32)> {
+        let sketch = self.sketch(seg);
+        let mut counts: std::collections::HashMap<SubjectId, u32> = std::collections::HashMap::new();
+        let mut trial_subjects: Vec<SubjectId> = Vec::new();
+        for (t, codes) in sketch.per_trial.iter().enumerate() {
+            trial_subjects.clear();
+            for &code in codes {
+                trial_subjects.extend_from_slice(self.table.lookup(t, code));
+            }
+            trial_subjects.sort_unstable();
+            trial_subjects.dedup();
+            for &s in &trial_subjects {
+                *counts.entry(s).or_insert(0) += 1;
+            }
+        }
+        let mut ranked: Vec<(SubjectId, u32)> = counts.into_iter().collect();
+        ranked.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(x);
+        ranked
+    }
+
+    /// Map prepared segments one by one (the per-rank inner loop of S4).
+    pub fn map_segments(&self, segments: &[QuerySegment]) -> Vec<Mapping> {
+        let mut counter = self.new_counter();
+        let mut out = Vec::new();
+        for (qid, seg) in segments.iter().enumerate() {
+            if let Some((subject, hits)) = self.map_segment(&seg.seq, qid as u64, &mut counter) {
+                out.push(Mapping { read_idx: seg.read_idx, end: seg.end, subject, hits });
+            }
+        }
+        out
+    }
+
+    /// Full sequential query driver: segment every read, map every segment.
+    pub fn map_reads(&self, reads: &[SeqRecord]) -> Vec<Mapping> {
+        self.map_segments(&make_segments(reads, self.config.ell))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jem_sim::{contig_records, fragment_contigs, ContigProfile, Genome};
+    use jem_sketch::SketchScheme;
+
+    fn small_config() -> MapperConfig {
+        // Small ℓ/w so modest test sequences produce useful sketches.
+        MapperConfig { k: 12, w: 10, trials: 12, ell: 300, seed: 7 }
+    }
+
+    fn test_world() -> (Genome, Vec<SeqRecord>) {
+        let genome = Genome::random(60_000, 0.5, 99);
+        let contigs = fragment_contigs(
+            &genome,
+            &ContigProfile { error_rate: 0.0, ..ContigProfile::small_genome() },
+            1,
+        );
+        (genome, contig_records(&contigs))
+    }
+
+    #[test]
+    fn build_and_inspect() {
+        let (_, subjects) = test_world();
+        let n = subjects.len();
+        let mapper = JemMapper::build(subjects, &small_config());
+        assert_eq!(mapper.n_subjects(), n);
+        assert!(mapper.table().entry_count() > 0);
+        assert_eq!(mapper.subject_name(0), "contig_0");
+    }
+
+    #[test]
+    fn verbatim_window_maps_to_its_contig() {
+        let (genome, subjects) = test_world();
+        let mapper = JemMapper::build(subjects.clone(), &small_config());
+        // Take a query straight out of contig 3's interior.
+        let contig = &subjects[3];
+        let query = contig.seq[..300.min(contig.seq.len())].to_vec();
+        let mut counter = mapper.new_counter();
+        let (best, hits) = mapper.map_segment(&query, 0, &mut counter).expect("must map");
+        assert_eq!(best, 3, "verbatim window must map to its own contig");
+        assert!(hits >= 8, "most of the 12 trials should collide, got {hits}");
+        let _ = genome;
+    }
+
+    #[test]
+    fn unrelated_sequence_rarely_maps() {
+        let (_, subjects) = test_world();
+        let mapper = JemMapper::build(subjects, &small_config());
+        let alien = Genome::random(300, 0.5, 777).seq;
+        let mut counter = mapper.new_counter();
+        match mapper.map_segment(&alien, 0, &mut counter) {
+            None => {}
+            Some((_, hits)) => assert!(hits <= 2, "alien sequence collided on {hits} trials"),
+        }
+    }
+
+    #[test]
+    fn map_reads_end_to_end() {
+        let (genome, subjects) = test_world();
+        let mapper = JemMapper::build(subjects, &small_config());
+        let profile = jem_sim::HifiProfile {
+            coverage: 2.0,
+            mean_len: 5_000,
+            std_len: 1_000,
+            min_len: 1_000,
+            error_rate: 0.001,
+        };
+        let reads = jem_sim::read_records(&jem_sim::simulate_hifi(&genome, &profile, 5));
+        let mappings = mapper.map_reads(&reads);
+        assert!(!mappings.is_empty());
+        // Every mapping refers to a real read and subject.
+        for m in &mappings {
+            assert!((m.read_idx as usize) < reads.len());
+            assert!((m.subject as usize) < mapper.n_subjects());
+            assert!(m.hits >= 1);
+            assert!(m.hits as usize <= mapper.config().trials);
+        }
+        // Most segments should find some hit (contigs cover ~90% of genome).
+        let n_segments = make_segments(&reads, mapper.config().ell).len();
+        assert!(
+            mappings.len() * 10 >= n_segments * 5,
+            "only {}/{} segments mapped",
+            mappings.len(),
+            n_segments
+        );
+    }
+
+    #[test]
+    fn topk_contains_best_hit_first() {
+        let (_, subjects) = test_world();
+        let mapper = JemMapper::build(subjects.clone(), &small_config());
+        let query = subjects[2].seq[..300.min(subjects[2].seq.len())].to_vec();
+        let mut counter = mapper.new_counter();
+        let best = mapper.map_segment(&query, 0, &mut counter).expect("maps");
+        let top = mapper.map_segment_topk(&query, 3);
+        assert!(!top.is_empty());
+        assert_eq!(top[0], best, "top-1 must agree with the best-hit driver");
+        assert!(top.len() <= 3);
+        for w in top.windows(2) {
+            assert!(w[0].1 >= w[1].1, "top-k must be sorted by hits");
+        }
+    }
+
+    #[test]
+    fn from_table_round_trip() {
+        let (_, subjects) = test_world();
+        let config = small_config();
+        let built = JemMapper::build(subjects.clone(), &config);
+        let names: Vec<String> = subjects.iter().map(|s| s.id.clone()).collect();
+        let rebuilt = JemMapper::from_table(built.table().clone(), names, &config);
+        let query = subjects[1].seq[..250].to_vec();
+        let mut c1 = built.new_counter();
+        let mut c2 = rebuilt.new_counter();
+        assert_eq!(
+            built.map_segment(&query, 0, &mut c1),
+            rebuilt.map_segment(&query, 0, &mut c2)
+        );
+    }
+
+    #[test]
+    fn syncmer_scheme_maps_verbatim_windows_home() {
+        let (_, subjects) = test_world();
+        let config = MapperConfig { k: 16, ..small_config() };
+        let mapper = JemMapper::build_with_scheme(
+            subjects.clone(),
+            &config,
+            SketchScheme::ClosedSyncmer { s: 11 },
+        );
+        assert_eq!(mapper.scheme(), SketchScheme::ClosedSyncmer { s: 11 });
+        let query = subjects[3].seq[..300.min(subjects[3].seq.len())].to_vec();
+        let mut counter = mapper.new_counter();
+        let (best, hits) = mapper.map_segment(&query, 0, &mut counter).expect("must map");
+        assert_eq!(best, 3);
+        assert!(hits >= 8, "syncmer sketches should collide on most trials, got {hits}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sketch scheme")]
+    fn invalid_scheme_rejected_at_build() {
+        JemMapper::build_with_scheme(
+            Vec::new(),
+            &small_config(),
+            SketchScheme::ClosedSyncmer { s: 99 },
+        );
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let mapper = JemMapper::build(Vec::new(), &small_config());
+        assert_eq!(mapper.n_subjects(), 0);
+        let mappings = mapper.map_reads(&[]);
+        assert!(mappings.is_empty());
+        // Query against an empty index maps nothing.
+        let mut counter = mapper.new_counter();
+        assert_eq!(mapper.map_segment(b"ACGTACGTACGTACGT", 0, &mut counter), None);
+    }
+}

@@ -1,0 +1,194 @@
+//! Index persistence: save/load a built [`JemMapper`] so the subject
+//! sketching cost is paid once per contig set.
+//!
+//! Binary layout (all integers little-endian):
+//!
+//! ```text
+//! magic  b"JEMIDX2\0"                       8 bytes
+//! config k, w, trials, ell, seed           5 × u64
+//! scheme tag (0 = minimizer, 1 = closed syncmer), param   2 × u64
+//! n_subjects                               u64
+//! per subject: name_len u64, name bytes
+//! stream_len (u64 count)                   u64
+//! table stream                             stream_len × u64
+//! ```
+
+use crate::config::MapperConfig;
+use crate::mapper::JemMapper;
+use jem_index::SketchTable;
+use jem_seq::SeqError;
+use jem_sketch::SketchScheme;
+use std::io::{Read, Write};
+
+const MAGIC: &[u8; 8] = b"JEMIDX2\0";
+
+/// Serialize a built mapper index.
+pub fn save_index<W: Write>(out: &mut W, mapper: &JemMapper) -> Result<(), SeqError> {
+    let c = mapper.config();
+    out.write_all(MAGIC)?;
+    for v in [c.k as u64, c.w as u64, c.trials as u64, c.ell as u64, c.seed] {
+        out.write_all(&v.to_le_bytes())?;
+    }
+    let (tag, param): (u64, u64) = match mapper.scheme() {
+        SketchScheme::Minimizer { w } => (0, w as u64),
+        SketchScheme::ClosedSyncmer { s } => (1, s as u64),
+    };
+    out.write_all(&tag.to_le_bytes())?;
+    out.write_all(&param.to_le_bytes())?;
+    out.write_all(&(mapper.n_subjects() as u64).to_le_bytes())?;
+    for id in 0..mapper.n_subjects() {
+        let name = mapper.subject_name(id as u32).as_bytes();
+        out.write_all(&(name.len() as u64).to_le_bytes())?;
+        out.write_all(name)?;
+    }
+    let stream = mapper.table().encode();
+    out.write_all(&(stream.len() as u64).to_le_bytes())?;
+    for v in &stream {
+        out.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_u64<R: Read>(input: &mut R) -> Result<u64, SeqError> {
+    let mut buf = [0u8; 8];
+    input.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+/// Deserialize an index written by [`save_index`].
+pub fn load_index<R: Read>(input: &mut R) -> Result<JemMapper, SeqError> {
+    let mut magic = [0u8; 8];
+    input.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(SeqError::InvalidParameter("not a JEM index file (bad magic)".into()));
+    }
+    let k = read_u64(input)? as usize;
+    let w = read_u64(input)? as usize;
+    let trials = read_u64(input)? as usize;
+    let ell = read_u64(input)? as usize;
+    let seed = read_u64(input)?;
+    let config = MapperConfig { k, w, trials, ell, seed };
+    config.jem_params().map_err(|e| {
+        SeqError::InvalidParameter(format!("index holds an invalid configuration: {e}"))
+    })?;
+    let tag = read_u64(input)?;
+    let param = read_u64(input)? as usize;
+    let scheme = match tag {
+        0 => SketchScheme::Minimizer { w: param },
+        1 => SketchScheme::ClosedSyncmer { s: param },
+        other => {
+            return Err(SeqError::InvalidParameter(format!(
+                "unknown sketch scheme tag {other}"
+            )))
+        }
+    };
+    scheme.validate(k).map_err(|e| {
+        SeqError::InvalidParameter(format!("index holds an invalid scheme: {e}"))
+    })?;
+
+    let n_subjects = read_u64(input)? as usize;
+    let mut names = Vec::with_capacity(n_subjects);
+    for _ in 0..n_subjects {
+        let len = read_u64(input)? as usize;
+        if len > 1 << 20 {
+            return Err(SeqError::InvalidParameter("unreasonable subject name length".into()));
+        }
+        let mut buf = vec![0u8; len];
+        input.read_exact(&mut buf)?;
+        names.push(String::from_utf8(buf).map_err(|_| {
+            SeqError::InvalidParameter("subject name is not UTF-8".into())
+        })?);
+    }
+    let stream_len = read_u64(input)? as usize;
+    let mut stream = Vec::with_capacity(stream_len);
+    for _ in 0..stream_len {
+        stream.push(read_u64(input)?);
+    }
+    let table = SketchTable::decode(&stream, trials);
+    Ok(JemMapper::from_table_with_scheme(table, names, &config, scheme))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jem_seq::SeqRecord;
+    use jem_sim::{contig_records, fragment_contigs, ContigProfile, Genome};
+
+    fn build() -> (JemMapper, Vec<SeqRecord>) {
+        let genome = Genome::random(40_000, 0.5, 123);
+        let contigs = fragment_contigs(&genome, &ContigProfile::small_genome(), 124);
+        let subjects = contig_records(&contigs);
+        let config = MapperConfig { k: 12, w: 8, trials: 6, ell: 300, seed: 9 };
+        (JemMapper::build(subjects.clone(), &config), subjects)
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let (mapper, subjects) = build();
+        let mut buf = Vec::new();
+        save_index(&mut buf, &mapper).unwrap();
+        let loaded = load_index(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.config(), mapper.config());
+        assert_eq!(loaded.n_subjects(), mapper.n_subjects());
+        for i in 0..mapper.n_subjects() {
+            assert_eq!(loaded.subject_name(i as u32), mapper.subject_name(i as u32));
+        }
+        assert_eq!(loaded.table().entry_count(), mapper.table().entry_count());
+        // Mapping behaviour identical.
+        let query = subjects[1].seq[..250.min(subjects[1].seq.len())].to_vec();
+        let mut c1 = mapper.new_counter();
+        let mut c2 = loaded.new_counter();
+        assert_eq!(
+            mapper.map_segment(&query, 0, &mut c1),
+            loaded.map_segment(&query, 0, &mut c2)
+        );
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut data = b"NOTANIDX".to_vec();
+        data.extend_from_slice(&[0u8; 64]);
+        assert!(load_index(&mut data.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let (mapper, _) = build();
+        let mut buf = Vec::new();
+        save_index(&mut buf, &mapper).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(load_index(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn syncmer_index_roundtrips_with_scheme() {
+        let genome = Genome::random(30_000, 0.5, 321);
+        let contigs = fragment_contigs(&genome, &ContigProfile::small_genome(), 322);
+        let subjects = contig_records(&contigs);
+        let config = MapperConfig { k: 16, w: 8, trials: 6, ell: 300, seed: 9 };
+        let scheme = SketchScheme::ClosedSyncmer { s: 11 };
+        let mapper = JemMapper::build_with_scheme(subjects.clone(), &config, scheme);
+        let mut buf = Vec::new();
+        save_index(&mut buf, &mapper).unwrap();
+        let loaded = load_index(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.scheme(), scheme);
+        let query = subjects[0].seq[..250.min(subjects[0].seq.len())].to_vec();
+        let mut c1 = mapper.new_counter();
+        let mut c2 = loaded.new_counter();
+        assert_eq!(
+            mapper.map_segment(&query, 0, &mut c1),
+            loaded.map_segment(&query, 0, &mut c2)
+        );
+    }
+
+    #[test]
+    fn empty_index_roundtrips() {
+        let config = MapperConfig { k: 12, w: 8, trials: 4, ell: 300, seed: 1 };
+        let mapper = JemMapper::build(Vec::new(), &config);
+        let mut buf = Vec::new();
+        save_index(&mut buf, &mapper).unwrap();
+        let loaded = load_index(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.n_subjects(), 0);
+        assert_eq!(loaded.table().entry_count(), 0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Query segmentation: extracting long-read end segments (paper §III-B-1).
+//!
+//! Instead of sketching the whole long read, only its first and last ℓ
+//! bases are mapped. The revised query set `Q` therefore holds up to `2m`
+//! sequences of length ℓ. Reads no longer than ℓ contribute a single
+//! segment (their prefix and suffix coincide).
+
+use jem_seq::SeqRecord;
+
+/// Which end of a long read a segment came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ReadEnd {
+    /// First ℓ bases.
+    Prefix,
+    /// Last ℓ bases.
+    Suffix,
+}
+
+impl std::fmt::Display for ReadEnd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadEnd::Prefix => f.write_str("prefix"),
+            ReadEnd::Suffix => f.write_str("suffix"),
+        }
+    }
+}
+
+/// One query end segment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuerySegment {
+    /// Index of the source read in the input read list.
+    pub read_idx: u32,
+    /// Which end this segment is.
+    pub end: ReadEnd,
+    /// The segment bases (≤ ℓ of them).
+    pub seq: Vec<u8>,
+}
+
+impl QuerySegment {
+    /// A stable key identifying this segment: `"<read_id>/<end>"`.
+    pub fn key(&self, reads: &[SeqRecord]) -> String {
+        format!("{}/{}", reads[self.read_idx as usize].id, self.end)
+    }
+}
+
+/// Extract end segments of length ℓ from every read.
+///
+/// Empty reads are skipped; reads with `len ≤ ℓ` yield only a prefix
+/// segment (the suffix would be the identical sequence).
+pub fn make_segments(reads: &[SeqRecord], ell: usize) -> Vec<QuerySegment> {
+    assert!(ell > 0, "segment length ell must be positive");
+    let mut out = Vec::with_capacity(reads.len() * 2);
+    for (i, r) in reads.iter().enumerate() {
+        if r.seq.is_empty() {
+            continue;
+        }
+        let idx = u32::try_from(i).expect("read count exceeds u32");
+        if r.seq.len() <= ell {
+            out.push(QuerySegment { read_idx: idx, end: ReadEnd::Prefix, seq: r.seq.clone() });
+        } else {
+            out.push(QuerySegment {
+                read_idx: idx,
+                end: ReadEnd::Prefix,
+                seq: r.seq[..ell].to_vec(),
+            });
+            out.push(QuerySegment {
+                read_idx: idx,
+                end: ReadEnd::Suffix,
+                seq: r.seq[r.seq.len() - ell..].to_vec(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read(id: &str, n: usize) -> SeqRecord {
+        SeqRecord::new(id, (0..n).map(|i| b"ACGT"[i % 4]).collect::<Vec<u8>>())
+    }
+
+    #[test]
+    fn long_read_yields_two_segments() {
+        let reads = vec![read("r1", 5000)];
+        let segs = make_segments(&reads, 1000);
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].end, ReadEnd::Prefix);
+        assert_eq!(segs[1].end, ReadEnd::Suffix);
+        assert_eq!(segs[0].seq, reads[0].seq[..1000].to_vec());
+        assert_eq!(segs[1].seq, reads[0].seq[4000..].to_vec());
+        assert_eq!(segs[0].key(&reads), "r1/prefix");
+        assert_eq!(segs[1].key(&reads), "r1/suffix");
+    }
+
+    #[test]
+    fn short_read_yields_one_segment() {
+        let reads = vec![read("s", 800)];
+        let segs = make_segments(&reads, 1000);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].end, ReadEnd::Prefix);
+        assert_eq!(segs[0].seq.len(), 800);
+    }
+
+    #[test]
+    fn boundary_read_exactly_ell() {
+        let reads = vec![read("b", 1000)];
+        let segs = make_segments(&reads, 1000);
+        assert_eq!(segs.len(), 1, "len == ell means prefix == suffix");
+    }
+
+    #[test]
+    fn empty_reads_skipped() {
+        let reads = vec![SeqRecord::new("e", Vec::new()), read("x", 3000)];
+        let segs = make_segments(&reads, 1000);
+        assert_eq!(segs.len(), 2);
+        assert!(segs.iter().all(|s| s.read_idx == 1));
+    }
+
+    #[test]
+    fn segment_count_bound() {
+        let reads: Vec<SeqRecord> = (0..10).map(|i| read(&format!("r{i}"), 100 + i * 400)).collect();
+        let segs = make_segments(&reads, 1000);
+        assert!(segs.len() <= 2 * reads.len());
+        assert!(segs.iter().all(|s| s.seq.len() <= 1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_ell_rejected() {
+        make_segments(&[], 0);
+    }
+}

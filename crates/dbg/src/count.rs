@@ -1,0 +1,76 @@
+//! Canonical k-mer counting.
+
+use jem_index::U64Map;
+use jem_seq::CanonicalKmerIter;
+
+/// Count canonical k-mers over a collection of sequences.
+///
+/// Ambiguous bases break k-mer runs (handled by the iterator); counts
+/// saturate at `u32::MAX`.
+pub fn count_canonical_kmers<'a>(
+    seqs: impl Iterator<Item = &'a [u8]>,
+    k: usize,
+) -> U64Map<u32> {
+    let mut counts: U64Map<u32> = U64Map::with_capacity(1 << 16);
+    for seq in seqs {
+        if let Ok(iter) = CanonicalKmerIter::new(seq, k) {
+            for (_, kmer) in iter {
+                let c = counts.get_or_insert_with(kmer.code(), || 0);
+                *c = c.saturating_add(1);
+            }
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jem_seq::Kmer;
+
+    #[test]
+    fn counts_simple_sequence() {
+        // ACGTA: 3-mers ACG(→ACG? canonical of ACG = min(ACG, CGT)=ACG),
+        // CGT(canonical ACG), GTA(canonical GTA vs TAC → GTA<TAC so GTA).
+        let counts = count_canonical_kmers([&b"ACGTA"[..]].into_iter(), 3);
+        let acg = Kmer::from_bytes(b"ACG").unwrap().canonical().code();
+        let gta = Kmer::from_bytes(b"GTA").unwrap().canonical().code();
+        assert_eq!(counts.get(acg), Some(&2), "ACG and CGT share a canonical form");
+        assert_eq!(counts.get(gta), Some(&1));
+        assert_eq!(counts.len(), 2);
+    }
+
+    #[test]
+    fn strand_invariant_counts() {
+        let fwd = b"ACGGTTACGATTTACCAG".to_vec();
+        let rev = jem_seq::alphabet::revcomp_bytes(&fwd);
+        let a = count_canonical_kmers([fwd.as_slice()].into_iter(), 5);
+        let b = count_canonical_kmers([rev.as_slice()].into_iter(), 5);
+        assert_eq!(a.len(), b.len());
+        for (code, count) in a.iter() {
+            assert_eq!(b.get(code), Some(count));
+        }
+    }
+
+    #[test]
+    fn multiple_sequences_accumulate() {
+        let counts =
+            count_canonical_kmers([&b"AAAA"[..], &b"AAAA"[..], &b"TTTT"[..]].into_iter(), 4);
+        // AAAA and TTTT are the same canonical 4-mer: total 3.
+        assert_eq!(counts.get(0), Some(&3));
+    }
+
+    #[test]
+    fn ambiguous_bases_skipped() {
+        let counts = count_canonical_kmers([&b"ACGTNACGT"[..]].into_iter(), 4);
+        // Each run contributes 1 ACGT (palindromic canonical).
+        let acgt = Kmer::from_bytes(b"ACGT").unwrap().code();
+        assert_eq!(counts.get(acgt), Some(&2));
+    }
+
+    #[test]
+    fn empty_input() {
+        let counts = count_canonical_kmers(std::iter::empty(), 5);
+        assert_eq!(counts.len(), 0);
+    }
+}

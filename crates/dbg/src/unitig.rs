@@ -1,0 +1,71 @@
+//! Unitig sequence reconstruction from graph paths.
+
+use crate::graph::{DeBruijnGraph, UnitigPath};
+use jem_seq::Kmer;
+
+/// Spell the base sequence of a path of oriented k-mer codes.
+pub fn spell_path(path: &UnitigPath, k: usize) -> Vec<u8> {
+    let mut seq = Kmer::from_code(path.nodes[0], k).expect("valid code").to_bytes();
+    seq.reserve(path.nodes.len() - 1);
+    for &code in &path.nodes[1..] {
+        let last_base = (code & 3) as u8;
+        seq.push(jem_seq::alphabet::decode_base(last_base));
+    }
+    seq
+}
+
+/// Extract all unitig sequences of the graph.
+pub fn extract_unitigs(graph: &DeBruijnGraph) -> Vec<Vec<u8>> {
+    graph.unitig_paths().iter().map(|p| spell_path(p, graph.k())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::count::count_canonical_kmers;
+    use jem_seq::alphabet::revcomp_bytes;
+
+    fn graph_of(seqs: &[&[u8]], k: usize) -> DeBruijnGraph {
+        let counts = count_canonical_kmers(seqs.iter().copied(), k);
+        DeBruijnGraph::from_counts(&counts, k, 1)
+    }
+
+    #[test]
+    fn spell_reconstructs_the_input() {
+        let input = b"ACGGTCATTCAGGAT";
+        let g = graph_of(&[input], 5);
+        let unitigs = extract_unitigs(&g);
+        assert_eq!(unitigs.len(), 1);
+        // The unitig equals the input or its reverse complement (orientation
+        // is normalized to the lexicographically smaller direction).
+        let u = &unitigs[0];
+        assert!(
+            u == &input.to_vec() || u == &revcomp_bytes(input),
+            "got {}",
+            String::from_utf8_lossy(u)
+        );
+    }
+
+    #[test]
+    fn consecutive_kmers_overlap_correctly() {
+        let input = b"TTGACCAGTACCA";
+        let g = graph_of(&[input], 7);
+        for p in g.unitig_paths() {
+            let seq = spell_path(&p, 7);
+            assert_eq!(seq.len(), p.base_len(7));
+            // Every window of the spelled sequence must be a graph node.
+            for w in seq.windows(7) {
+                let code = jem_seq::Kmer::from_bytes(w).unwrap().code();
+                assert!(g.contains_oriented(code));
+            }
+        }
+    }
+
+    #[test]
+    fn orientation_deterministic() {
+        let input = b"ACGGTCATTCAGGAT";
+        let a = extract_unitigs(&graph_of(&[input], 5));
+        let b = extract_unitigs(&graph_of(&[&revcomp_bytes(input)], 5));
+        assert_eq!(a, b, "unitig output must be strand-independent");
+    }
+}

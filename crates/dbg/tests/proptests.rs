@@ -1,0 +1,97 @@
+//! Property-based tests for the de Bruijn assembler substrate.
+
+use jem_dbg::{assemble, count_canonical_kmers, extract_unitigs, AssemblyParams, DeBruijnGraph};
+use jem_seq::alphabet::revcomp_bytes;
+use proptest::prelude::*;
+
+fn dna(min: usize, max: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(prop::sample::select(vec![b'A', b'C', b'G', b'T']), min..max)
+}
+
+/// Error-free tiling reads of both strands.
+fn tile(genome: &[u8], read_len: usize, stride: usize) -> Vec<Vec<u8>> {
+    let mut reads = Vec::new();
+    let mut pos = 0;
+    while pos + read_len <= genome.len() {
+        let r = genome[pos..pos + read_len].to_vec();
+        reads.push(if pos % 2 == 0 { r } else { revcomp_bytes(&r) });
+        pos += stride;
+    }
+    reads.push(genome[genome.len().saturating_sub(read_len)..].to_vec());
+    reads
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn counts_strand_invariant(seqs in prop::collection::vec(dna(10, 120), 1..6), k in 2usize..8) {
+        let k = k * 2 + 1; // odd 5..=15
+        let fwd = count_canonical_kmers(seqs.iter().map(Vec::as_slice), k);
+        let rc: Vec<Vec<u8>> = seqs.iter().map(|s| revcomp_bytes(s)).collect();
+        let rev = count_canonical_kmers(rc.iter().map(Vec::as_slice), k);
+        prop_assert_eq!(fwd.len(), rev.len());
+        for (code, count) in fwd.iter() {
+            prop_assert_eq!(rev.get(code), Some(count));
+        }
+    }
+
+    #[test]
+    fn unitigs_partition_graph_nodes(seq in dna(100, 600)) {
+        let counts = count_canonical_kmers([seq.as_slice()].into_iter(), 11);
+        let g = DeBruijnGraph::from_counts(&counts, 11, 1);
+        let total_path_nodes: usize = g.unitig_paths().iter().map(|p| p.nodes.len()).sum();
+        prop_assert_eq!(total_path_nodes, g.len());
+    }
+
+    #[test]
+    fn unitig_sequences_walk_the_graph(seq in dna(100, 500)) {
+        let counts = count_canonical_kmers([seq.as_slice()].into_iter(), 9);
+        let g = DeBruijnGraph::from_counts(&counts, 9, 1);
+        for u in extract_unitigs(&g) {
+            prop_assert!(u.len() >= 9);
+            for w in u.windows(9) {
+                let code = jem_seq::Kmer::from_bytes(w).unwrap().code();
+                prop_assert!(g.contains_oriented(code), "unitig window not in graph");
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_assembly_contigs_are_substrings(seed_seq in dna(2_000, 6_000)) {
+        let reads = tile(&seed_seq, 100, 25);
+        let params = AssemblyParams { k: 21, min_abundance: 1, min_contig_len: 100, tip_len: 0 };
+        let contigs = assemble(&reads, &params);
+        let text = String::from_utf8(seed_seq.clone()).unwrap();
+        let rc_text = String::from_utf8(revcomp_bytes(&seed_seq)).unwrap();
+        for c in &contigs {
+            let s = String::from_utf8(c.seq.clone()).unwrap();
+            prop_assert!(
+                text.contains(&s) || rc_text.contains(&s),
+                "contig not a substring (len {})", s.len()
+            );
+        }
+        // Assembly must cover a decent share of the genome.
+        let total: usize = contigs.iter().map(|c| c.seq.len()).sum();
+        prop_assert!(total * 10 >= seed_seq.len() * 7, "covered {total}/{}", seed_seq.len());
+    }
+
+    #[test]
+    fn assembly_deterministic(seed_seq in dna(1_000, 3_000)) {
+        let reads = tile(&seed_seq, 80, 20);
+        let params = AssemblyParams { k: 17, min_abundance: 1, min_contig_len: 100, tip_len: 0 };
+        let a = assemble(&reads, &params);
+        let b = assemble(&reads, &params);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn higher_abundance_never_adds_nodes(seqs in prop::collection::vec(dna(50, 200), 1..5)) {
+        let counts = count_canonical_kmers(seqs.iter().map(Vec::as_slice), 11);
+        let g1 = DeBruijnGraph::from_counts(&counts, 11, 1);
+        let g2 = DeBruijnGraph::from_counts(&counts, 11, 2);
+        let g3 = DeBruijnGraph::from_counts(&counts, 11, 3);
+        prop_assert!(g1.len() >= g2.len());
+        prop_assert!(g2.len() >= g3.len());
+    }
+}

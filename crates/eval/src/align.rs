@@ -1,0 +1,390 @@
+//! Alignment with identity accounting (the BLAST substitute for Fig. 9).
+//!
+//! Three entry points:
+//!
+//! * [`align_global`] — Needleman–Wunsch over two full sequences;
+//! * [`banded_global`] — the same restricted to a diagonal band (for long,
+//!   similar pairs);
+//! * [`align_fitting`] — query-global / subject-local ("fitting")
+//!   alignment: the query must align end-to-end, gaps at the subject's
+//!   flanks are free. This is the right shape for "how well does this 1 kb
+//!   end segment match somewhere inside this contig".
+//!
+//! Scores: match `+1`, mismatch `−1`, gap `−1` (linear). Identity is
+//! `matches / alignment_columns` over the traceback path.
+
+/// Outcome of an alignment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AlignmentResult {
+    /// Alignment score under the +1/−1/−1 scheme.
+    pub score: i32,
+    /// Number of exactly matching columns.
+    pub matches: usize,
+    /// Total alignment columns (matches + mismatches + gaps).
+    pub columns: usize,
+}
+
+impl AlignmentResult {
+    /// Percent identity in `[0, 100]`.
+    pub fn identity(&self) -> f64 {
+        if self.columns == 0 {
+            0.0
+        } else {
+            100.0 * self.matches as f64 / self.columns as f64
+        }
+    }
+}
+
+const MATCH: i32 = 1;
+const MISMATCH: i32 = -1;
+const GAP: i32 = -1;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Step {
+    Diag,
+    Up,   // gap in b (consume a)
+    Left, // gap in a (consume b)
+    Stop,
+}
+
+/// Global Needleman–Wunsch alignment of `a` against `b`.
+pub fn align_global(a: &[u8], b: &[u8]) -> AlignmentResult {
+    // DP over (a rows, b cols) with full traceback.
+    let (n, m) = (a.len(), b.len());
+    let mut score = vec![0i32; (n + 1) * (m + 1)];
+    let mut trace = vec![Step::Stop; (n + 1) * (m + 1)];
+    let idx = |i: usize, j: usize| i * (m + 1) + j;
+    for i in 1..=n {
+        score[idx(i, 0)] = i as i32 * GAP;
+        trace[idx(i, 0)] = Step::Up;
+    }
+    for j in 1..=m {
+        score[idx(0, j)] = j as i32 * GAP;
+        trace[idx(0, j)] = Step::Left;
+    }
+    for i in 1..=n {
+        for j in 1..=m {
+            let sub = if a[i - 1] == b[j - 1] { MATCH } else { MISMATCH };
+            let diag = score[idx(i - 1, j - 1)] + sub;
+            let up = score[idx(i - 1, j)] + GAP;
+            let left = score[idx(i, j - 1)] + GAP;
+            let (best, step) = if diag >= up && diag >= left {
+                (diag, Step::Diag)
+            } else if up >= left {
+                (up, Step::Up)
+            } else {
+                (left, Step::Left)
+            };
+            score[idx(i, j)] = best;
+            trace[idx(i, j)] = step;
+        }
+    }
+    traceback(a, b, &score, &trace, n, m, m)
+}
+
+/// Fitting alignment: all of `query` against the best-matching region of
+/// `subject` (free gaps at the subject's flanks).
+pub fn align_fitting(query: &[u8], subject: &[u8]) -> AlignmentResult {
+    let (n, m) = (query.len(), subject.len());
+    let mut score = vec![0i32; (n + 1) * (m + 1)];
+    let mut trace = vec![Step::Stop; (n + 1) * (m + 1)];
+    let idx = |i: usize, j: usize| i * (m + 1) + j;
+    for i in 1..=n {
+        score[idx(i, 0)] = i as i32 * GAP;
+        trace[idx(i, 0)] = Step::Up;
+    }
+    // Row 0 stays 0 (free leading subject gap), trace Stop.
+    for i in 1..=n {
+        for j in 1..=m {
+            let sub = if query[i - 1] == subject[j - 1] { MATCH } else { MISMATCH };
+            let diag = score[idx(i - 1, j - 1)] + sub;
+            let up = score[idx(i - 1, j)] + GAP;
+            let left = score[idx(i, j - 1)] + GAP;
+            let (best, step) = if diag >= up && diag >= left {
+                (diag, Step::Diag)
+            } else if up >= left {
+                (up, Step::Up)
+            } else {
+                (left, Step::Left)
+            };
+            score[idx(i, j)] = best;
+            trace[idx(i, j)] = step;
+        }
+    }
+    // Free trailing subject gap: best cell in the last row.
+    let (best_j, _) = (0..=m)
+        .map(|j| (j, score[idx(n, j)]))
+        .max_by_key(|&(j, s)| (s, std::cmp::Reverse(j)))
+        .expect("row exists");
+    traceback(query, subject, &score, &trace, n, m, best_j)
+}
+
+/// Local (Smith–Waterman) alignment: the best-scoring pair of substrings.
+///
+/// This is the BLAST-shaped measure: identity is computed over the aligned
+/// region only, so a query that overlaps the subject partially (e.g. a
+/// boundary end segment) is judged on the overlap, not on its full length.
+pub fn align_local(a: &[u8], b: &[u8]) -> AlignmentResult {
+    let (n, m) = (a.len(), b.len());
+    let mut score = vec![0i32; (n + 1) * (m + 1)];
+    let mut trace = vec![Step::Stop; (n + 1) * (m + 1)];
+    let idx = |i: usize, j: usize| i * (m + 1) + j;
+    let mut best = (0i32, 0usize, 0usize);
+    for i in 1..=n {
+        for j in 1..=m {
+            let sub = if a[i - 1] == b[j - 1] { MATCH } else { MISMATCH };
+            let diag = score[idx(i - 1, j - 1)] + sub;
+            let up = score[idx(i - 1, j)] + GAP;
+            let left = score[idx(i, j - 1)] + GAP;
+            let (mut cell, mut step) = if diag >= up && diag >= left {
+                (diag, Step::Diag)
+            } else if up >= left {
+                (up, Step::Up)
+            } else {
+                (left, Step::Left)
+            };
+            if cell <= 0 {
+                cell = 0;
+                step = Step::Stop;
+            }
+            score[idx(i, j)] = cell;
+            trace[idx(i, j)] = step;
+            if cell > best.0 {
+                best = (cell, i, j);
+            }
+        }
+    }
+    // Traceback from the best cell until a zero cell.
+    let (best_score, mut i, mut j) = best;
+    let mut matches = 0usize;
+    let mut columns = 0usize;
+    while i > 0 && j > 0 {
+        match trace[idx(i, j)] {
+            Step::Diag => {
+                columns += 1;
+                if a[i - 1] == b[j - 1] {
+                    matches += 1;
+                }
+                i -= 1;
+                j -= 1;
+            }
+            Step::Up => {
+                columns += 1;
+                i -= 1;
+            }
+            Step::Left => {
+                columns += 1;
+                j -= 1;
+            }
+            Step::Stop => break,
+        }
+    }
+    AlignmentResult { score: best_score, matches, columns }
+}
+
+/// Banded global alignment: cells with `|i − j| > band` are not explored.
+/// Suitable when the two sequences are known to be similar end-to-end.
+pub fn banded_global(a: &[u8], b: &[u8], band: usize) -> AlignmentResult {
+    let (n, m) = (a.len(), b.len());
+    // The band must cover the length difference or no path exists.
+    let band = band.max(n.abs_diff(m) + 1);
+    const NEG: i32 = i32::MIN / 4;
+    let mut score = vec![NEG; (n + 1) * (m + 1)];
+    let mut trace = vec![Step::Stop; (n + 1) * (m + 1)];
+    let idx = |i: usize, j: usize| i * (m + 1) + j;
+    score[idx(0, 0)] = 0;
+    for i in 1..=n.min(band) {
+        score[idx(i, 0)] = i as i32 * GAP;
+        trace[idx(i, 0)] = Step::Up;
+    }
+    for j in 1..=m.min(band) {
+        score[idx(0, j)] = j as i32 * GAP;
+        trace[idx(0, j)] = Step::Left;
+    }
+    for i in 1..=n {
+        let lo = i.saturating_sub(band).max(1);
+        let hi = (i + band).min(m);
+        for j in lo..=hi {
+            let sub = if a[i - 1] == b[j - 1] { MATCH } else { MISMATCH };
+            let diag = score[idx(i - 1, j - 1)].saturating_add(sub);
+            let up = score[idx(i - 1, j)].saturating_add(GAP);
+            let left = score[idx(i, j - 1)].saturating_add(GAP);
+            let (best, step) = if diag >= up && diag >= left {
+                (diag, Step::Diag)
+            } else if up >= left {
+                (up, Step::Up)
+            } else {
+                (left, Step::Left)
+            };
+            score[idx(i, j)] = best;
+            trace[idx(i, j)] = step;
+        }
+    }
+    traceback(a, b, &score, &trace, n, m, m)
+}
+
+fn traceback(
+    a: &[u8],
+    b: &[u8],
+    score: &[i32],
+    trace: &[Step],
+    n: usize,
+    m: usize,
+    end_j: usize,
+) -> AlignmentResult {
+    let idx = |i: usize, j: usize| i * (m + 1) + j;
+    let (mut i, mut j) = (n, end_j);
+    let mut matches = 0usize;
+    let mut columns = 0usize;
+    while i > 0 || j > 0 {
+        match trace[idx(i, j)] {
+            Step::Diag => {
+                columns += 1;
+                if a[i - 1] == b[j - 1] {
+                    matches += 1;
+                }
+                i -= 1;
+                j -= 1;
+            }
+            Step::Up => {
+                columns += 1;
+                i -= 1;
+            }
+            Step::Left => {
+                columns += 1;
+                j -= 1;
+            }
+            Step::Stop => break, // fitting alignment's free leading gap
+        }
+    }
+    AlignmentResult { score: score[idx(n, end_j)], matches, columns }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sequences_100_percent() {
+        let r = align_global(b"ACGTACGT", b"ACGTACGT");
+        assert_eq!(r.score, 8);
+        assert_eq!(r.matches, 8);
+        assert_eq!(r.columns, 8);
+        assert_eq!(r.identity(), 100.0);
+    }
+
+    #[test]
+    fn single_mismatch() {
+        let r = align_global(b"ACGTACGT", b"ACGAACGT");
+        assert_eq!(r.score, 6);
+        assert_eq!(r.matches, 7);
+        assert_eq!(r.columns, 8);
+        assert!((r.identity() - 87.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_deletion() {
+        let r = align_global(b"ACGTACGT", b"ACGTCGT");
+        assert_eq!(r.score, 7 - 1);
+        assert_eq!(r.matches, 7);
+        assert_eq!(r.columns, 8);
+    }
+
+    #[test]
+    fn empty_sequences() {
+        let r = align_global(b"", b"");
+        assert_eq!(r.columns, 0);
+        assert_eq!(r.identity(), 0.0);
+        let r = align_global(b"ACG", b"");
+        assert_eq!(r.score, -3);
+        assert_eq!(r.columns, 3);
+    }
+
+    #[test]
+    fn fitting_finds_interior_region() {
+        // Query matches the middle of the subject exactly: identity 100,
+        // no penalty for the subject's flanks.
+        let subject = b"TTTTTTTTTTACGTACGTACGTTTTTTTTTTT";
+        let query = b"ACGTACGTACGT";
+        let r = align_fitting(query, subject);
+        assert_eq!(r.score, query.len() as i32);
+        assert_eq!(r.identity(), 100.0);
+        assert_eq!(r.columns, query.len());
+        // Global alignment of the same pair is much worse.
+        let g = align_global(query, subject);
+        assert!(g.score < r.score);
+    }
+
+    #[test]
+    fn fitting_with_errors() {
+        let subject = b"GGGGGGGGGGACGTACGTACGTGGGGGGGG";
+        let query = b"ACGTACCTACGT"; // one mismatch
+        let r = align_fitting(query, subject);
+        assert_eq!(r.matches, 11);
+        assert_eq!(r.columns, 12);
+        assert!((r.identity() - 100.0 * 11.0 / 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn local_ignores_unrelated_flanks() {
+        // Query = 200 unrelated bases + a 24-base exact match region.
+        let subject = b"CCCCCCCCCCACGGTCATTCAGGATACCAGTTCCCCCCCCCC";
+        let mut query = Vec::new();
+        for i in 0..200 {
+            query.push(b"AGTC"[(i * 7 + 1) % 4]);
+        }
+        query.extend_from_slice(b"ACGGTCATTCAGGATACCAGTT");
+        let r = align_local(&query, subject);
+        assert_eq!(r.identity(), 100.0, "local identity is over the aligned region only");
+        assert!(r.columns >= 20);
+        // Fitting alignment pays for the 200 unrelated bases.
+        let f = align_fitting(&query, subject);
+        assert!(f.identity() < 50.0);
+    }
+
+    #[test]
+    fn local_empty_and_disjoint() {
+        let r = align_local(b"AAAA", b"TTTT");
+        // Best local alignment of disjoint content is a single mismatching
+        // column at best score 0 — columns may be 0.
+        assert_eq!(r.score, 0);
+        let r = align_local(b"", b"ACGT");
+        assert_eq!(r.columns, 0);
+    }
+
+    #[test]
+    fn local_score_matches_global_on_identical() {
+        let s = b"ACGGTCATTCAGG";
+        let l = align_local(s, s);
+        assert_eq!(l.score, s.len() as i32);
+        assert_eq!(l.identity(), 100.0);
+    }
+
+    #[test]
+    fn banded_matches_global_for_similar_pairs() {
+        let a = b"ACGGTCATTCAGGATACCAGTTGACGGTCATT";
+        let mut b = a.to_vec();
+        b[5] = b'A';
+        b.remove(20);
+        let full = align_global(a, &b);
+        let banded = banded_global(a, &b, 8);
+        assert_eq!(full.score, banded.score);
+        assert_eq!(full.matches, banded.matches);
+    }
+
+    #[test]
+    fn banded_handles_length_difference() {
+        let a = b"ACGTACGTACGTACGT";
+        let b = b"ACGTACGT";
+        // band smaller than the length delta is widened internally.
+        let r = banded_global(a, b, 2);
+        assert_eq!(r.matches, 8);
+    }
+
+    #[test]
+    fn alignment_is_symmetric_in_score() {
+        let a = b"ACGGTCATT";
+        let b = b"ACGTTCATT";
+        assert_eq!(align_global(a, b).score, align_global(b, a).score);
+    }
+}

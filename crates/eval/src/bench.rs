@@ -1,0 +1,197 @@
+//! Benchmark construction (paper Fig. 4).
+//!
+//! Given reference-genome coordinate intervals for every query end segment
+//! and every contig, the set `Bench` of true `⟨read end, contig⟩` pairs
+//! contains exactly the pairs whose intervals intersect in at least `k`
+//! positions (`k` = the mapper's k-mer size: any smaller overlap cannot
+//! even share one k-mer).
+
+use std::collections::{HashMap, HashSet};
+
+/// The set of true `⟨query, subject⟩` mappings, queryable per query.
+///
+/// ```
+/// use jem_eval::Benchmark;
+///
+/// let subjects = vec![("c1".to_string(), (0u64, 5000u64))];
+/// let queries = vec![
+///     ("e1".to_string(), (100u64, 1100u64)),  // inside c1
+///     ("e2".to_string(), (6000, 7000)),       // past c1
+/// ];
+/// let bench = Benchmark::from_coordinates(&queries, &subjects, 16);
+/// assert!(bench.contains("e1", "c1"));
+/// assert!(!bench.contains("e2", "c1"));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Benchmark {
+    truth: HashMap<String, HashSet<String>>,
+    n_pairs: usize,
+}
+
+impl Benchmark {
+    /// Build from coordinate intervals.
+    ///
+    /// * `queries` — `(query key, (start, end))`, half-open genome interval
+    ///   of each end segment;
+    /// * `subjects` — `(subject key, (start, end))` per contig;
+    /// * `k` — minimum intersection in bases.
+    ///
+    /// Runs in `O((|Q| + |S|)·log |S| + |Bench|)` via interval sweeping.
+    pub fn from_coordinates(
+        queries: &[(String, (u64, u64))],
+        subjects: &[(String, (u64, u64))],
+        k: u64,
+    ) -> Self {
+        assert!(k >= 1, "intersection threshold must be >= 1");
+        // Sort subjects by start for binary-search range pruning.
+        let mut sorted: Vec<(u64, u64, &str)> =
+            subjects.iter().map(|(id, (s, e))| (*s, *e, id.as_str())).collect();
+        sorted.sort_unstable();
+        let starts: Vec<u64> = sorted.iter().map(|(s, _, _)| *s).collect();
+        let max_len = sorted.iter().map(|(s, e, _)| e.saturating_sub(*s)).max().unwrap_or(0);
+
+        let mut truth: HashMap<String, HashSet<String>> = HashMap::new();
+        let mut n_pairs = 0usize;
+        for (qid, (qs, qe)) in queries {
+            if qe <= qs {
+                continue;
+            }
+            // Candidates: subjects with start < qe and end > qs. Since ends
+            // vary, scan from the first start that could still reach qs.
+            let lo_bound = qs.saturating_sub(max_len);
+            let mut idx = starts.partition_point(|&s| s < lo_bound);
+            let mut matched: HashSet<String> = HashSet::new();
+            while idx < sorted.len() && sorted[idx].0 < *qe {
+                let (ss, se, sid) = sorted[idx];
+                idx += 1;
+                let inter = qe.min(&se).saturating_sub(*qs.max(&ss));
+                if inter >= k {
+                    matched.insert(sid.to_string());
+                }
+            }
+            if !matched.is_empty() {
+                n_pairs += matched.len();
+                truth.insert(qid.clone(), matched);
+            }
+        }
+        Benchmark { truth, n_pairs }
+    }
+
+    /// Number of true pairs `|Bench|`.
+    pub fn n_pairs(&self) -> usize {
+        self.n_pairs
+    }
+
+    /// Number of queries with at least one true subject.
+    pub fn n_mappable_queries(&self) -> usize {
+        self.truth.len()
+    }
+
+    /// Is `(query, subject)` a true pair?
+    pub fn contains(&self, query: &str, subject: &str) -> bool {
+        self.truth.get(query).is_some_and(|s| s.contains(subject))
+    }
+
+    /// True subjects of a query (empty slice view if none).
+    pub fn subjects_of(&self, query: &str) -> Option<&HashSet<String>> {
+        self.truth.get(query)
+    }
+
+    /// Iterate over the mappable queries (those with ≥1 true subject).
+    pub fn queries(&self) -> impl Iterator<Item = &str> {
+        self.truth.keys().map(String::as_str)
+    }
+
+    /// Iterate over all true pairs.
+    pub fn pairs(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.truth
+            .iter()
+            .flat_map(|(q, subs)| subs.iter().map(move |s| (q.as_str(), s.as_str())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(id: &str, s: u64, e: u64) -> (String, (u64, u64)) {
+        (id.to_string(), (s, e))
+    }
+
+    #[test]
+    fn fig4_cases() {
+        // Case A: segment fully inside a contig → true pair.
+        // Case B: partial overlap ≥ k → true pair.
+        // Case C: overlap < k (or none) → not a pair.
+        let subjects = vec![q("c1", 0, 5_000), q("c2", 6_000, 12_000)];
+        let queries = vec![
+            q("e1", 1_000, 2_000),  // A: inside c1
+            q("e2", 4_500, 6_500),  // B: 500 with c1, 500 with c2
+            q("e3", 5_001, 5_900),  // C: in the gap
+            q("e4", 5_990, 6_009),  // C: 9-base overlap with c2 < k=16
+        ];
+        let bench = Benchmark::from_coordinates(&queries, &subjects, 16);
+        assert!(bench.contains("e1", "c1"));
+        assert!(!bench.contains("e1", "c2"));
+        assert!(bench.contains("e2", "c1"));
+        assert!(bench.contains("e2", "c2"));
+        assert!(bench.subjects_of("e3").is_none());
+        assert!(bench.subjects_of("e4").is_none());
+        assert_eq!(bench.n_pairs(), 3);
+        assert_eq!(bench.n_mappable_queries(), 2);
+    }
+
+    #[test]
+    fn threshold_boundary_exact_k() {
+        let subjects = vec![q("c", 100, 200)];
+        let queries = vec![q("exact", 184, 300), q("short", 185, 300)];
+        let bench = Benchmark::from_coordinates(&queries, &subjects, 16);
+        assert!(bench.contains("exact", "c"), "16-base overlap must qualify at k=16");
+        assert!(!bench.contains("short", "c"), "15-base overlap must not");
+    }
+
+    #[test]
+    fn many_subjects_prune_correctly() {
+        // Contigs tiled every 100 bases; query overlapping exactly two.
+        let subjects: Vec<_> = (0..100u64).map(|i| q(&format!("c{i}"), i * 100, i * 100 + 90)).collect();
+        let queries = vec![q("e", 250, 410)];
+        let bench = Benchmark::from_coordinates(&queries, &subjects, 16);
+        assert!(bench.contains("e", "c2")); // 250..290 = 40 bases
+        assert!(bench.contains("e", "c3")); // 300..390 = 90 bases
+    }
+
+    #[test]
+    fn c4_overlap_below_threshold() {
+        let subjects: Vec<_> =
+            (0..100u64).map(|i| q(&format!("c{i}"), i * 100, i * 100 + 90)).collect();
+        let queries = vec![q("e", 250, 410)];
+        let bench = Benchmark::from_coordinates(&queries, &subjects, 16);
+        assert!(!bench.contains("e", "c4"), "10-base overlap < k");
+        assert_eq!(bench.subjects_of("e").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let bench = Benchmark::from_coordinates(&[], &[], 16);
+        assert_eq!(bench.n_pairs(), 0);
+        let bench = Benchmark::from_coordinates(&[q("e", 0, 100)], &[], 16);
+        assert_eq!(bench.n_pairs(), 0);
+    }
+
+    #[test]
+    fn degenerate_query_interval_skipped() {
+        let subjects = vec![q("c", 0, 1000)];
+        let queries = vec![q("bad", 50, 50)];
+        let bench = Benchmark::from_coordinates(&queries, &subjects, 1);
+        assert_eq!(bench.n_pairs(), 0);
+    }
+
+    #[test]
+    fn pairs_iterator_counts() {
+        let subjects = vec![q("c1", 0, 1000), q("c2", 900, 2000)];
+        let queries = vec![q("e1", 100, 300), q("e2", 850, 1100)];
+        let bench = Benchmark::from_coordinates(&queries, &subjects, 16);
+        assert_eq!(bench.pairs().count(), bench.n_pairs());
+        assert_eq!(bench.n_pairs(), 3); // e1-c1, e2-c1, e2-c2
+    }
+}

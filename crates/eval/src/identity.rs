@@ -1,0 +1,136 @@
+//! Percent-identity distributions over mapped pairs (Fig. 9).
+
+use crate::align::align_local;
+use jem_seq::alphabet::revcomp_bytes;
+
+/// Percent identity of a query end segment against its mapped contig —
+/// BLAST-style: the identity of the best *local* alignment (identity over
+/// the aligned region), strand-agnostic (the better of forward and
+/// reverse-complement, since the mappers are strand-free via canonical
+/// k-mers).
+pub fn percent_identity(query: &[u8], subject: &[u8]) -> f64 {
+    if query.is_empty() || subject.is_empty() {
+        return 0.0;
+    }
+    let fwd = align_local(query, subject);
+    let rc = align_local(&revcomp_bytes(query), subject);
+    // Prefer the higher score; on score ties prefer the higher identity so
+    // the result is strand-symmetric (query and revcomp(query) always see
+    // the same candidate pair).
+    if (rc.score, rc.identity()) > (fwd.score, fwd.identity()) {
+        rc.identity()
+    } else {
+        fwd.identity()
+    }
+}
+
+/// Histogram of percent identities (Fig. 9's x-axis bins).
+#[derive(Clone, Debug)]
+pub struct IdentityHistogram {
+    /// Inclusive lower bound of each bin, in percent (e.g. 80, 85, …, 95).
+    pub bin_edges: Vec<f64>,
+    /// Count per bin; `counts[i]` covers `[bin_edges[i], next_edge)`.
+    pub counts: Vec<usize>,
+    /// Values below the first edge.
+    pub below: usize,
+}
+
+impl IdentityHistogram {
+    /// Histogram with bins `[edges[0], edges[1]), …, [edges.last(), 100]`.
+    pub fn new(bin_edges: Vec<f64>) -> Self {
+        assert!(!bin_edges.is_empty(), "need at least one bin edge");
+        assert!(bin_edges.windows(2).all(|w| w[0] < w[1]), "edges must increase");
+        let n = bin_edges.len();
+        IdentityHistogram { bin_edges, counts: vec![0; n], below: 0 }
+    }
+
+    /// The paper's Fig. 9 binning: 5-point bins from 80 to 100.
+    pub fn fig9_bins() -> Self {
+        IdentityHistogram::new(vec![80.0, 85.0, 90.0, 95.0])
+    }
+
+    /// Add one identity observation.
+    pub fn add(&mut self, identity: f64) {
+        match self.bin_edges.iter().rposition(|&e| identity >= e) {
+            Some(i) => self.counts[i] += 1,
+            None => self.below += 1,
+        }
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum::<usize>() + self.below
+    }
+
+    /// Fraction of observations at or above `edge` (must be a bin edge).
+    pub fn fraction_at_or_above(&self, edge: f64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let start = self
+            .bin_edges
+            .iter()
+            .position(|&e| (e - edge).abs() < 1e-9)
+            .expect("edge must be one of the bin edges");
+        self.counts[start..].iter().sum::<usize>() as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_is_100() {
+        assert_eq!(percent_identity(b"ACGTACGTAA", b"ACGTACGTAA"), 100.0);
+    }
+
+    #[test]
+    fn revcomp_matches_100() {
+        let q = b"AACCGGTTAGGT";
+        let rc = revcomp_bytes(q);
+        assert_eq!(percent_identity(&rc, q), 100.0);
+    }
+
+    #[test]
+    fn interior_match_100() {
+        let subject = b"TTTTTTTTTTAACCGGTTAGGTTTTTTTTTTTT";
+        assert_eq!(percent_identity(b"AACCGGTTAGGT", subject), 100.0);
+    }
+
+    #[test]
+    fn empty_inputs_zero() {
+        assert_eq!(percent_identity(b"", b"ACGT"), 0.0);
+        assert_eq!(percent_identity(b"ACGT", b""), 0.0);
+    }
+
+    #[test]
+    fn histogram_binning() {
+        let mut h = IdentityHistogram::fig9_bins();
+        for v in [99.0, 97.0, 96.0, 92.0, 86.0, 81.0, 50.0] {
+            h.add(v);
+        }
+        assert_eq!(h.counts, vec![1, 1, 1, 3]); // [80,85) [85,90) [90,95) [95,100]
+        assert_eq!(h.below, 1);
+        assert_eq!(h.total(), 7);
+        assert!((h.fraction_at_or_above(95.0) - 3.0 / 7.0).abs() < 1e-12);
+        assert!((h.fraction_at_or_above(80.0) - 6.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_values_bin_correctly() {
+        let mut h = IdentityHistogram::fig9_bins();
+        h.add(95.0);
+        h.add(100.0);
+        h.add(80.0);
+        assert_eq!(h.counts, vec![1, 0, 0, 2]);
+        assert_eq!(h.below, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "edges must increase")]
+    fn bad_edges_rejected() {
+        IdentityHistogram::new(vec![90.0, 80.0]);
+    }
+}

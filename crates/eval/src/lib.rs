@@ -1,0 +1,25 @@
+//! # jem-eval — evaluation methodology (paper §IV-B)
+//!
+//! * [`bench`] — benchmark construction per Fig. 4: a read end segment
+//!   truly maps to a contig iff their reference-genome coordinate intervals
+//!   intersect in at least `k` positions.
+//! * [`metrics`] — TP/FP/FN/TN classification of an output mapping set
+//!   against the benchmark, with the paper's precision/recall definitions
+//!   (one best hit per query ⇒ every FP implies an FN; recall ≤ precision).
+//! * [`align`] — global, fitting (query-global/subject-local) and banded
+//!   alignment with identity accounting — the BLAST substitute behind the
+//!   percent-identity distribution of Fig. 9.
+//! * [`identity`] — percent-identity histograms over mapped pairs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod align;
+pub mod bench;
+pub mod identity;
+pub mod metrics;
+
+pub use align::{align_fitting, align_global, align_local, banded_global, AlignmentResult};
+pub use bench::Benchmark;
+pub use identity::{percent_identity, IdentityHistogram};
+pub use metrics::MappingMetrics;

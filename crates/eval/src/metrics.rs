@@ -1,0 +1,201 @@
+//! TP/FP/FN classification and the paper's precision/recall definitions.
+
+use crate::bench::Benchmark;
+use serde::{Deserialize, Serialize};
+
+/// Classification counts and quality metrics of one mapping run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MappingMetrics {
+    /// Pairs in both `Test` and `Bench`.
+    pub tp: usize,
+    /// Pairs in `Test` but not `Bench`.
+    pub fp: usize,
+    /// Pairs in `Bench` but not `Test`.
+    pub fn_: usize,
+}
+
+impl MappingMetrics {
+    /// Classify output pairs against the benchmark — *query-level*, the
+    /// paper's scheme ("there is room for only one best hit").
+    ///
+    /// For each mappable query (non-empty benchmark entry): a reported best
+    /// hit that is any true subject is one TP; a reported hit to a wrong
+    /// subject is one FP *and* one FN (the paper: "if an output mapping is
+    /// a false positive, then by implication it is also a false negative");
+    /// an unreported mappable query is one additional FN. A reported hit
+    /// for a query with no true subject is one FP. This makes recall
+    /// upper-bounded by precision, exactly as the paper observes.
+    pub fn classify(test: &[(String, String)], bench: &Benchmark) -> Self {
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        let mut fn_ = 0usize;
+        let mut answered: std::collections::HashSet<&str> =
+            std::collections::HashSet::with_capacity(test.len());
+        for (q, s) in test {
+            answered.insert(q.as_str());
+            match bench.subjects_of(q) {
+                Some(truth) if truth.contains(s) => tp += 1,
+                // Paper: every FP is by implication also an FN (the single
+                // best-hit slot was spent on a wrong answer) — this is what
+                // upper-bounds recall by precision in Fig. 5.
+                _ => {
+                    fp += 1;
+                    fn_ += 1;
+                }
+            }
+        }
+        // Mappable queries the tool never answered.
+        fn_ += bench
+            .queries()
+            .filter(|q| !answered.contains(*q))
+            .count();
+        MappingMetrics { tp, fp, fn_ }
+    }
+
+    /// Pair-level classification (the stricter alternative reading of the
+    /// paper's definitions): TP/FP over output pairs, FN = every benchmark
+    /// pair missing from the output. With multi-contig truths this bounds
+    /// recall well below 100% for any best-hit mapper; kept for reference
+    /// and ablations.
+    pub fn classify_pairs(test: &[(String, String)], bench: &Benchmark) -> Self {
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        let mut test_set: std::collections::HashSet<(&str, &str)> =
+            std::collections::HashSet::with_capacity(test.len());
+        for (q, s) in test {
+            test_set.insert((q.as_str(), s.as_str()));
+            if bench.contains(q, s) {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+        }
+        let fn_ = bench.pairs().filter(|(q, s)| !test_set.contains(&(*q, *s))).count();
+        MappingMetrics { tp, fp, fn_ }
+    }
+
+    /// `TP / (TP + FP)`; 0 when the output is empty.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// `TP / (TP + FN)`; 0 when the benchmark is empty.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench() -> Benchmark {
+        let subjects = vec![
+            ("c1".to_string(), (0u64, 1000u64)),
+            ("c2".to_string(), (900, 2000)),
+            ("c3".to_string(), (2500, 3000)),
+        ];
+        let queries = vec![
+            ("e1".to_string(), (100u64, 300u64)), // true: c1
+            ("e2".to_string(), (850, 1100)),      // true: c1, c2
+            ("e3".to_string(), (2600, 2800)),     // true: c3
+        ];
+        Benchmark::from_coordinates(&queries, &subjects, 16)
+    }
+
+    fn pair(q: &str, s: &str) -> (String, String) {
+        (q.to_string(), s.to_string())
+    }
+
+    #[test]
+    fn perfect_output() {
+        let b = bench();
+        let test = vec![pair("e1", "c1"), pair("e2", "c1"), pair("e2", "c2"), pair("e3", "c3")];
+        let m = MappingMetrics::classify(&test, &b);
+        assert_eq!((m.tp, m.fp, m.fn_), (4, 0, 0));
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.f1(), 1.0);
+    }
+
+    #[test]
+    fn any_true_subject_satisfies_a_query() {
+        // e2 has two true contigs; the single best hit to either is a full
+        // TP at query level.
+        let b = bench();
+        let test = vec![pair("e1", "c1"), pair("e2", "c1"), pair("e3", "c3")];
+        let m = MappingMetrics::classify(&test, &b);
+        assert_eq!((m.tp, m.fp, m.fn_), (3, 0, 0));
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        // Pair-level counting penalizes the unrecovered second contig.
+        let strict = MappingMetrics::classify_pairs(&test, &b);
+        assert_eq!((strict.tp, strict.fp, strict.fn_), (3, 0, 1));
+        assert!((strict.recall() - 0.75).abs() < 1e-12);
+        assert!(strict.recall() <= strict.precision());
+    }
+
+    #[test]
+    fn false_positive_implies_false_negative() {
+        // e1 mapped to the wrong contig: FP *and* its true pair is missed.
+        let b = bench();
+        let test = vec![pair("e1", "c3")];
+        let m = MappingMetrics::classify(&test, &b);
+        assert_eq!(m.fp, 1);
+        assert!(m.fn_ >= 1);
+        assert!(m.recall() <= m.precision() || m.precision() == 0.0);
+    }
+
+    #[test]
+    fn unmapped_query_is_a_false_negative() {
+        let b = bench();
+        let m = MappingMetrics::classify(&[], &b);
+        assert_eq!(m.tp, 0);
+        assert_eq!(m.fn_, b.n_mappable_queries());
+        assert_eq!(m.recall(), 0.0);
+        let strict = MappingMetrics::classify_pairs(&[], &b);
+        assert_eq!(strict.fn_, b.n_pairs());
+    }
+
+    #[test]
+    fn spurious_hit_on_unmappable_query_is_fp_only() {
+        let b = bench();
+        // "ghost" has no benchmark entry: mapping it is a pure FP.
+        let m = MappingMetrics::classify(&[pair("ghost", "c1")], &b);
+        assert_eq!(m.tp, 0);
+        assert_eq!(m.fp, 1);
+        // The ghost FP also counts as an FN (paper's implication), plus the
+        // three unanswered mappable queries.
+        assert_eq!(m.fn_, 1 + b.n_mappable_queries());
+        assert!(m.recall() <= m.precision() || m.precision() == 0.0);
+    }
+
+    #[test]
+    fn empty_everything() {
+        let b = Benchmark::from_coordinates(&[], &[], 16);
+        let m = MappingMetrics::classify(&[], &b);
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+    }
+}

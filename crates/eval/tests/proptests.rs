@@ -1,0 +1,130 @@
+//! Property-based tests for the evaluation layer.
+
+use jem_eval::{
+    align_fitting, align_global, align_local, banded_global, percent_identity, Benchmark,
+    MappingMetrics,
+};
+use proptest::prelude::*;
+
+fn dna(max: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(prop::sample::select(vec![b'A', b'C', b'G', b'T']), 0..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn global_alignment_invariants(a in dna(60), b in dna(60)) {
+        let r = align_global(&a, &b);
+        // Score bounded by the shorter sequence's all-match score minus the
+        // unavoidable length-difference gaps.
+        let bound = a.len().min(b.len()) as i32 - (a.len() as i32 - b.len() as i32).abs();
+        prop_assert!(r.score <= bound, "score {} exceeds bound {bound}", r.score);
+        prop_assert!(r.matches <= a.len().min(b.len()));
+        prop_assert!(r.columns >= a.len().max(b.len()));
+        prop_assert!(r.columns <= a.len() + b.len());
+        // Symmetry of the score.
+        prop_assert_eq!(r.score, align_global(&b, &a).score);
+    }
+
+    #[test]
+    fn self_alignment_is_perfect(a in dna(80)) {
+        let r = align_global(&a, &a);
+        prop_assert_eq!(r.score, a.len() as i32);
+        prop_assert_eq!(r.matches, a.len());
+        if !a.is_empty() {
+            prop_assert_eq!(r.identity(), 100.0);
+        }
+    }
+
+    #[test]
+    fn local_alignment_invariants(a in dna(60), b in dna(60)) {
+        let r = align_local(&a, &b);
+        prop_assert!(r.score >= 0, "local score is never negative");
+        prop_assert!(r.score >= align_global(&a, &b).score.min(0));
+        prop_assert!(r.matches <= a.len().min(b.len()));
+        let id = r.identity();
+        prop_assert!((0.0..=100.0).contains(&id));
+    }
+
+    #[test]
+    fn fitting_at_least_global(q in dna(40), s in dna(60)) {
+        // Fitting alignment relaxes global's subject-flank penalties.
+        prop_assert!(align_fitting(&q, &s).score >= align_global(&q, &s).score);
+        // Local relaxes everything.
+        prop_assert!(align_local(&q, &s).score >= align_fitting(&q, &s).score.min(0));
+    }
+
+    #[test]
+    fn banded_with_full_band_equals_global(a in dna(40), b in dna(40)) {
+        let full = align_global(&a, &b);
+        let banded = banded_global(&a, &b, a.len() + b.len() + 1);
+        prop_assert_eq!(full.score, banded.score);
+    }
+
+    #[test]
+    fn identity_bounds(q in dna(50), s in dna(80)) {
+        let id = percent_identity(&q, &s);
+        prop_assert!((0.0..=100.0).contains(&id));
+        // Strand invariance.
+        let rc = jem_seq::alphabet::revcomp_bytes(&q);
+        prop_assert!((percent_identity(&rc, &s) - id).abs() < 1e-9);
+    }
+
+    #[test]
+    fn benchmark_matches_naive_intersection(
+        queries in prop::collection::vec((0u64..500, 1u64..300), 0..30),
+        subjects in prop::collection::vec((0u64..500, 1u64..300), 0..30),
+        k in 1u64..50,
+    ) {
+        let q: Vec<(String, (u64, u64))> = queries
+            .iter()
+            .enumerate()
+            .map(|(i, (s, len))| (format!("q{i}"), (*s, s + len)))
+            .collect();
+        let s: Vec<(String, (u64, u64))> = subjects
+            .iter()
+            .enumerate()
+            .map(|(i, (st, len))| (format!("s{i}"), (*st, st + len)))
+            .collect();
+        let bench = Benchmark::from_coordinates(&q, &s, k);
+        for (qid, (qs, qe)) in &q {
+            for (sid, (ss, se)) in &s {
+                let inter = (*qe).min(*se).saturating_sub((*qs).max(*ss));
+                prop_assert_eq!(
+                    bench.contains(qid, sid),
+                    inter >= k,
+                    "q={:?} s={:?} k={}", (qs, qe), (ss, se), k
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_identities(
+        test in prop::collection::vec((0usize..10, 0usize..10), 0..20),
+        truth in prop::collection::vec((0usize..10, 0usize..10), 0..20),
+    ) {
+        // Build a benchmark from coordinate tricks: subject i at [i*100, i*100+50],
+        // query pairs chosen so inclusion is controlled by the truth list.
+        let subjects: Vec<(String, (u64, u64))> =
+            (0..10).map(|i| (format!("s{i}"), (i as u64 * 1000, i as u64 * 1000 + 50))).collect();
+        let queries: Vec<(String, (u64, u64))> = truth
+            .iter()
+            .map(|(q, s)| (format!("q{q}_{s}"), (*s as u64 * 1000, *s as u64 * 1000 + 50)))
+            .collect();
+        let bench = Benchmark::from_coordinates(&queries, &subjects, 16);
+        let test_pairs: Vec<(String, String)> = test
+            .iter()
+            .map(|(q, s)| (format!("q{q}_{s}"), format!("s{s}")))
+            .collect();
+        let m = MappingMetrics::classify(&test_pairs, &bench);
+        // tp + fp = number of test pairs (every output is classified).
+        prop_assert_eq!(m.tp + m.fp, test_pairs.len());
+        // recall <= precision or precision == 0 (paper's bound).
+        prop_assert!(m.recall() <= m.precision() + 1e-12 || m.precision() == 0.0);
+        prop_assert!((0.0..=1.0).contains(&m.precision()));
+        prop_assert!((0.0..=1.0).contains(&m.recall()));
+        prop_assert!((0.0..=1.0).contains(&m.f1()));
+    }
+}

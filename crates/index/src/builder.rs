@@ -1,0 +1,135 @@
+//! Shared-memory parallel sketch-table construction.
+//!
+//! Subjects are sketched in parallel with rayon and folded into per-worker
+//! partial tables that are merged at the end — structurally the same
+//! local-sketch → global-union shape as the distributed steps S2–S3, so the
+//! shared-memory and distributed drivers produce identical tables.
+
+use crate::table::{SketchTable, SubjectId};
+use jem_sketch::{
+    sketch_by_jem, sketch_by_scheme, HashFamily, JemParams, JemSketch, SketchScheme,
+};
+use rayon::prelude::*;
+
+/// Build a sketch table with an arbitrary per-subject sketcher.
+///
+/// Deterministic: the resulting table is independent of worker count and
+/// scheduling because subject-id lists are kept sorted.
+pub fn build_table_with(
+    subjects: &[Vec<u8>],
+    trials: usize,
+    sketcher: impl Fn(&[u8]) -> JemSketch + Sync,
+) -> SketchTable {
+    subjects
+        .par_iter()
+        .enumerate()
+        .fold(
+            || SketchTable::new(trials),
+            |mut table, (id, seq)| {
+                table.insert_sketch(&sketcher(seq), id as SubjectId);
+                table
+            },
+        )
+        .reduce(
+            || SketchTable::new(trials),
+            |mut a, b| {
+                a.merge_from(&b);
+                a
+            },
+        )
+}
+
+/// Build the sketch table with the paper's minimizer-based JEM sketch.
+pub fn build_table_parallel(
+    subjects: &[Vec<u8>],
+    params: JemParams,
+    family: &HashFamily,
+) -> SketchTable {
+    build_table_with(subjects, family.len(), |seq| sketch_by_jem(seq, params, family))
+}
+
+/// Build the sketch table under an alternative position scheme
+/// (e.g. closed syncmers).
+pub fn build_table_parallel_scheme(
+    subjects: &[Vec<u8>],
+    k: usize,
+    ell: usize,
+    scheme: SketchScheme,
+    family: &HashFamily,
+) -> SketchTable {
+    build_table_with(subjects, family.len(), |seq| {
+        sketch_by_scheme(seq, k, scheme, ell, family)
+    })
+}
+
+/// Sequential reference build (tests compare the parallel build against it).
+pub fn build_table_sequential(
+    subjects: &[Vec<u8>],
+    params: JemParams,
+    family: &HashFamily,
+) -> SketchTable {
+    let mut table = SketchTable::new(family.len());
+    for (id, seq) in subjects.iter().enumerate() {
+        table.insert_sketch(&sketch_by_jem(seq, params, family), id as SubjectId);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng_seq(n: usize, seed: u64) -> Vec<u8> {
+        (0..n)
+            .scan(seed, |s, _| {
+                *s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                Some(b"ACGT"[((*s >> 33) % 4) as usize])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        let subjects: Vec<Vec<u8>> = (0..40).map(|i| rng_seq(600, i + 7)).collect();
+        let params = JemParams::new(8, 6, 100).unwrap();
+        let family = HashFamily::generate(6, 13);
+        let par = build_table_parallel(&subjects, params, &family);
+        let seq = build_table_sequential(&subjects, params, &family);
+        assert_eq!(par.key_count(), seq.key_count());
+        assert_eq!(par.entry_count(), seq.entry_count());
+        // Lookups must agree on every sketch of every subject.
+        for (id, s) in subjects.iter().enumerate() {
+            let sketch = sketch_by_jem(s, params, &family);
+            for (t, codes) in sketch.per_trial.iter().enumerate() {
+                for &c in codes {
+                    assert_eq!(par.lookup(t, c), seq.lookup(t, c), "subject {id} trial {t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_subject_list() {
+        let params = JemParams::new(8, 6, 100).unwrap();
+        let family = HashFamily::generate(3, 1);
+        let t = build_table_parallel(&[], params, &family);
+        assert_eq!(t.entry_count(), 0);
+        assert_eq!(t.trials(), 3);
+    }
+
+    #[test]
+    fn subjects_without_kmers_are_skipped_gracefully() {
+        let subjects = vec![b"NNNNNNNNNN".to_vec(), rng_seq(300, 5), b"AC".to_vec()];
+        let params = JemParams::new(8, 4, 50).unwrap();
+        let family = HashFamily::generate(4, 2);
+        let t = build_table_parallel(&subjects, params, &family);
+        // Only subject 1 contributes entries.
+        assert!(t.entry_count() > 0);
+        let sketch = sketch_by_jem(&subjects[1], params, &family);
+        for (trial, codes) in sketch.per_trial.iter().enumerate() {
+            for &c in codes {
+                assert_eq!(t.lookup(trial, c), &[1]);
+            }
+        }
+    }
+}

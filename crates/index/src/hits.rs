@@ -1,0 +1,235 @@
+//! Hit counting across trials — the paper's lazy-update strategy.
+//!
+//! For each query, Algorithm 2 counts how many trial collisions each subject
+//! accumulated and reports the most frequent subject. Resetting an `n`-sized
+//! counter array between queries would cost `O(n)` per query; the paper's
+//! implementation note replaces that with an array `A[1..n]` of `(count,
+//! query-id)` tuples updated lazily: a counter is implicitly zero whenever
+//! its stored query id differs from the current query.
+
+use crate::table::SubjectId;
+
+/// Common interface of the lazy and naive counters (ablation benchmarks
+/// swap implementations through this trait).
+pub trait HitCounter {
+    /// Record one hit of `subject` for query `query`.
+    fn record(&mut self, query: u64, subject: SubjectId);
+    /// Current hit count of `subject` for query `query`.
+    fn count(&self, query: u64, subject: SubjectId) -> u32;
+    /// Best `(subject, count)` for `query`, ties broken toward the smaller
+    /// subject id. `None` if the query recorded no hits.
+    fn best(&self, query: u64) -> Option<(SubjectId, u32)>;
+}
+
+/// The paper's lazy-update counter: `O(1)` per hit, no per-query reset.
+#[derive(Clone, Debug)]
+pub struct LazyHitCounter {
+    /// `(u, v)` tuples: `u` = counter, `v` = query id the counter belongs to.
+    slots: Vec<(u32, u64)>,
+    /// Running best for the *current* query, maintained on the fly so
+    /// `best` is O(1) (the paper scans bins; keeping the argmax incremental
+    /// is equivalent and cheaper).
+    current_query: u64,
+    current_best: Option<(SubjectId, u32)>,
+}
+
+/// Sentinel meaning "no query has touched this slot yet" (paper: v = −1).
+const NO_QUERY: u64 = u64::MAX;
+
+impl LazyHitCounter {
+    /// Counter over `n` subjects.
+    pub fn new(n_subjects: usize) -> Self {
+        LazyHitCounter {
+            slots: vec![(0, NO_QUERY); n_subjects],
+            current_query: NO_QUERY,
+            current_best: None,
+        }
+    }
+
+    /// Number of subject slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if there are no subject slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+impl HitCounter for LazyHitCounter {
+    fn record(&mut self, query: u64, subject: SubjectId) {
+        debug_assert_ne!(query, NO_QUERY, "query id u64::MAX is reserved");
+        if query != self.current_query {
+            self.current_query = query;
+            self.current_best = None;
+        }
+        let slot = &mut self.slots[subject as usize];
+        if slot.1 == query {
+            slot.0 += 1;
+        } else {
+            // Lazy reset: overwrite the stale query id, restart the count.
+            *slot = (1, query);
+        }
+        let count = slot.0;
+        match self.current_best {
+            // Strictly-greater keeps the first subject to reach a count,
+            // which combined with ascending lookup order yields the
+            // smallest-id tie-break.
+            Some((best_s, best_c)) if count < best_c || (count == best_c && subject >= best_s) => {}
+            _ => self.current_best = Some((subject, count)),
+        }
+    }
+
+    fn count(&self, query: u64, subject: SubjectId) -> u32 {
+        let slot = self.slots[subject as usize];
+        if slot.1 == query {
+            slot.0
+        } else {
+            0
+        }
+    }
+
+    fn best(&self, query: u64) -> Option<(SubjectId, u32)> {
+        if query == self.current_query {
+            self.current_best
+        } else {
+            None
+        }
+    }
+}
+
+/// Reference counter that eagerly resets between queries — `O(n)` per query
+/// switch. Used to validate the lazy counter and as an ablation baseline.
+#[derive(Clone, Debug)]
+pub struct NaiveHitCounter {
+    counts: Vec<u32>,
+    current_query: u64,
+}
+
+impl NaiveHitCounter {
+    /// Counter over `n` subjects.
+    pub fn new(n_subjects: usize) -> Self {
+        NaiveHitCounter { counts: vec![0; n_subjects], current_query: NO_QUERY }
+    }
+}
+
+impl HitCounter for NaiveHitCounter {
+    fn record(&mut self, query: u64, subject: SubjectId) {
+        if query != self.current_query {
+            self.counts.iter_mut().for_each(|c| *c = 0);
+            self.current_query = query;
+        }
+        self.counts[subject as usize] += 1;
+    }
+
+    fn count(&self, query: u64, subject: SubjectId) -> u32 {
+        if query == self.current_query {
+            self.counts[subject as usize]
+        } else {
+            0
+        }
+    }
+
+    fn best(&self, query: u64) -> Option<(SubjectId, u32)> {
+        if query != self.current_query {
+            return None;
+        }
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .max_by(|(sa, ca), (sb, cb)| ca.cmp(cb).then(sb.cmp(sa)))
+            .map(|(s, &c)| (s as SubjectId, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_query_counting() {
+        let mut c = LazyHitCounter::new(10);
+        c.record(0, 3);
+        c.record(0, 3);
+        c.record(0, 7);
+        assert_eq!(c.count(0, 3), 2);
+        assert_eq!(c.count(0, 7), 1);
+        assert_eq!(c.count(0, 5), 0);
+        assert_eq!(c.best(0), Some((3, 2)));
+    }
+
+    #[test]
+    fn lazy_reset_between_queries() {
+        let mut c = LazyHitCounter::new(4);
+        c.record(0, 1);
+        c.record(0, 1);
+        c.record(1, 1); // new query: count restarts at 1 without any reset pass
+        assert_eq!(c.count(1, 1), 1);
+        assert_eq!(c.count(0, 1), 0, "stale query must read as zero");
+        assert_eq!(c.best(1), Some((1, 1)));
+        assert_eq!(c.best(0), None, "best of a past query is unavailable");
+    }
+
+    #[test]
+    fn tie_breaks_to_smaller_subject() {
+        for counter in [&mut LazyHitCounter::new(8) as &mut dyn HitCounter,
+                        &mut NaiveHitCounter::new(8) as &mut dyn HitCounter] {
+            counter.record(5, 6);
+            counter.record(5, 2);
+            counter.record(5, 6);
+            counter.record(5, 2);
+            assert_eq!(counter.best(5), Some((2, 2)));
+        }
+    }
+
+    #[test]
+    fn lazy_equals_naive_on_random_stream() {
+        let n = 50;
+        let mut lazy = LazyHitCounter::new(n);
+        let mut naive = NaiveHitCounter::new(n);
+        let mut state = 0xDEADBEEFu64;
+        let mut queries: Vec<u64> = Vec::new();
+        for q in 0..200u64 {
+            queries.push(q);
+            let hits = 1 + (q % 17) as usize;
+            let mut events: Vec<SubjectId> = Vec::new();
+            for _ in 0..hits {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                events.push((state % n as u64) as SubjectId);
+            }
+            // Queries are processed one by one (paper: "queries in Qlocal
+            // are processed one by one"), so interleave within one query only.
+            for &s in &events {
+                lazy.record(q, s);
+                naive.record(q, s);
+            }
+            assert_eq!(lazy.best(q), naive.best(q), "query {q}");
+            for s in 0..n as SubjectId {
+                assert_eq!(lazy.count(q, s), naive.count(q, s), "query {q} subject {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_hits_no_best() {
+        let c = LazyHitCounter::new(3);
+        assert_eq!(c.best(0), None);
+        let n = NaiveHitCounter::new(3);
+        assert_eq!(n.best(0), None);
+    }
+
+    #[test]
+    fn reuse_after_many_queries_stays_consistent() {
+        // Slot reuse across many queries must never leak counts.
+        let mut c = LazyHitCounter::new(2);
+        for q in 0..1000u64 {
+            c.record(q, (q % 2) as SubjectId);
+            assert_eq!(c.count(q, (q % 2) as SubjectId), 1);
+            assert_eq!(c.count(q, ((q + 1) % 2) as SubjectId), 0);
+        }
+    }
+}

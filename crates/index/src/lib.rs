@@ -1,0 +1,29 @@
+//! # jem-index — the sketch table `S` and hit counting for JEM-Mapper
+//!
+//! * [`u64map`] — a minimal insert-only open-addressing hash map keyed by
+//!   `u64` k-mer codes (Fibonacci hashing, linear probing). k-mer-code keys
+//!   make the default SipHash table needlessly slow; this map is the
+//!   workspace's `FxHashMap` stand-in built from scratch.
+//! * [`table`] — the `T`-banked sketch table: bank `t` maps a sketch k-mer
+//!   code to the list of subject (contig) ids that produced it on trial `t`
+//!   (paper Fig. 2 / Algorithm 2 line 2). Includes the flat `u64`-stream
+//!   encoding used by the distributed driver's Allgatherv step.
+//! * [`hits`] — the lazy-update hit counter array `A[1..n]` of `(count,
+//!   query-id)` tuples (paper §III-C implementation notes), plus the naive
+//!   reset-per-query counter it replaces, kept for tests and ablations.
+//! * [`builder`] — shared-memory parallel table construction with rayon
+//!   (sketch subjects in parallel, merge per-chunk tables — the same
+//!   local-sketch/global-merge shape as the distributed steps S2–S3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod hits;
+pub mod table;
+pub mod u64map;
+
+pub use builder::{build_table_parallel, build_table_parallel_scheme, build_table_with};
+pub use hits::{HitCounter, LazyHitCounter, NaiveHitCounter};
+pub use table::{SketchTable, SubjectId};
+pub use u64map::U64Map;

@@ -1,0 +1,269 @@
+//! The `T`-banked sketch table `S` of Algorithm 2.
+//!
+//! Bank `t` maps a sketch k-mer code to the sorted list of subject ids whose
+//! JEM sketch for trial `t` contained that code. The table also knows how to
+//! flatten itself into a `u64` stream and merge flattened parts — the
+//! payloads the distributed driver exchanges in its Allgatherv step (S3).
+
+use crate::u64map::U64Map;
+use jem_sketch::JemSketch;
+
+/// Identifier of a subject (contig). `u32` caps subjects at ~4.3 billion,
+/// far above the paper's largest contig set (98K).
+pub type SubjectId = u32;
+
+/// The sketch table: one bank per trial.
+#[derive(Clone, Debug, Default)]
+pub struct SketchTable {
+    banks: Vec<U64Map<Vec<SubjectId>>>,
+}
+
+impl SketchTable {
+    /// Empty table with `t` banks.
+    pub fn new(t: usize) -> Self {
+        SketchTable { banks: (0..t).map(|_| U64Map::new()).collect() }
+    }
+
+    /// Number of trials `T`.
+    pub fn trials(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Insert a single `(trial, code) → subject` association.
+    pub fn insert(&mut self, trial: usize, code: u64, subject: SubjectId) {
+        let list = self.banks[trial].get_or_insert_with(code, Vec::new);
+        // Keep lists sorted-unique so lookups return canonical output and
+        // merges stay cheap. Insertion during a build is nearly always at
+        // the tail (subjects arrive in id order), making this O(1) amortized.
+        match list.binary_search(&subject) {
+            Ok(_) => {}
+            Err(pos) => list.insert(pos, subject),
+        }
+    }
+
+    /// Insert every `(t, code)` entry of a subject's JEM sketch.
+    pub fn insert_sketch(&mut self, sketch: &JemSketch, subject: SubjectId) {
+        assert_eq!(sketch.trials(), self.trials(), "sketch T must match table T");
+        for (t, codes) in sketch.per_trial.iter().enumerate() {
+            for &code in codes {
+                self.insert(t, code, subject);
+            }
+        }
+    }
+
+    /// Subjects registered under `(trial, code)`, sorted ascending.
+    pub fn lookup(&self, trial: usize, code: u64) -> &[SubjectId] {
+        self.banks[trial].get(code).map_or(&[], Vec::as_slice)
+    }
+
+    /// Total `(trial, code)` key count across banks.
+    pub fn key_count(&self) -> usize {
+        self.banks.iter().map(U64Map::len).sum()
+    }
+
+    /// Total `(trial, code, subject)` association count.
+    pub fn entry_count(&self) -> usize {
+        self.banks.iter().flat_map(|b| b.iter()).map(|(_, v)| v.len()).sum()
+    }
+
+    /// Merge another table into this one (bank-wise union).
+    pub fn merge_from(&mut self, other: &SketchTable) {
+        assert_eq!(self.trials(), other.trials(), "tables must share T");
+        for (t, bank) in other.banks.iter().enumerate() {
+            for (code, subjects) in bank.iter() {
+                for &s in subjects {
+                    self.insert(t, code, s);
+                }
+            }
+        }
+    }
+
+    /// Flatten to a `u64` stream for communication.
+    ///
+    /// Layout per bank: `[n_keys, (code, n_subjects, subjects...)*]`.
+    /// The stream length in bytes (`8 × len`) is what the communication
+    /// cost model charges for the Allgatherv in step S3.
+    pub fn encode(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.key_count() * 3 + self.trials());
+        for bank in &self.banks {
+            out.push(bank.len() as u64);
+            for (code, subjects) in bank.iter() {
+                out.push(code);
+                out.push(subjects.len() as u64);
+                out.extend(subjects.iter().map(|&s| u64::from(s)));
+            }
+        }
+        out
+    }
+
+    /// Rebuild a table from [`SketchTable::encode`] output.
+    ///
+    /// # Panics
+    /// Panics on a malformed stream (truncation, subject overflow); encoded
+    /// streams only ever travel between this process's simulated ranks.
+    pub fn decode(stream: &[u64], trials: usize) -> SketchTable {
+        let mut table = SketchTable::new(trials);
+        table.decode_into(stream);
+        table
+    }
+
+    /// Merge an encoded stream directly into this table — the hot path of
+    /// the distributed driver's global-table build (S3): decoding `p`
+    /// streams into one table avoids materializing `p` intermediates.
+    ///
+    /// # Panics
+    /// Panics on a malformed stream.
+    pub fn decode_into(&mut self, stream: &[u64]) {
+        let trials = self.trials();
+        let mut i = 0;
+        for t in 0..trials {
+            let n_keys = stream[i] as usize;
+            i += 1;
+            for _ in 0..n_keys {
+                let code = stream[i];
+                let n_subj = stream[i + 1] as usize;
+                i += 2;
+                let list = self.banks[t].get_or_insert_with(code, Vec::new);
+                for _ in 0..n_subj {
+                    let s = SubjectId::try_from(stream[i]).expect("subject id overflow");
+                    i += 1;
+                    // Streams are per-rank sorted; appends are the common
+                    // case, collisions across ranks fall back to insertion.
+                    match list.last() {
+                        Some(&last) if last < s => list.push(s),
+                        Some(&last) if last == s => {}
+                        _ => {
+                            if let Err(pos) = list.binary_search(&s) {
+                                list.insert(pos, s);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(i, stream.len(), "trailing garbage in encoded table");
+    }
+
+    /// Approximate in-memory size in bytes (paper §III-C space analysis:
+    /// `O(n · m_s · T)` per process after the gather).
+    pub fn approx_bytes(&self) -> usize {
+        self.key_count() * 16 + self.entry_count() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jem_sketch::{sketch_by_jem, HashFamily, JemParams};
+
+    fn rng_seq(n: usize, seed: u64) -> Vec<u8> {
+        (0..n)
+            .scan(seed, |s, _| {
+                *s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                Some(b"ACGT"[((*s >> 33) % 4) as usize])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn insert_lookup_roundtrip() {
+        let mut t = SketchTable::new(3);
+        t.insert(0, 100, 5);
+        t.insert(0, 100, 2);
+        t.insert(0, 100, 5); // duplicate ignored
+        t.insert(2, 100, 9);
+        assert_eq!(t.lookup(0, 100), &[2, 5]);
+        assert_eq!(t.lookup(1, 100), &[] as &[SubjectId]);
+        assert_eq!(t.lookup(2, 100), &[9]);
+        assert_eq!(t.entry_count(), 3);
+        assert_eq!(t.key_count(), 2);
+    }
+
+    #[test]
+    fn insert_sketch_registers_all_trials() {
+        let family = HashFamily::generate(4, 7);
+        let params = JemParams::new(5, 4, 60).unwrap();
+        let seq = rng_seq(500, 1);
+        let sketch = sketch_by_jem(&seq, params, &family);
+        let mut table = SketchTable::new(4);
+        table.insert_sketch(&sketch, 17);
+        for (t, codes) in sketch.per_trial.iter().enumerate() {
+            for &c in codes {
+                assert_eq!(table.lookup(t, c), &[17]);
+            }
+        }
+        assert_eq!(table.entry_count(), sketch.total_entries());
+    }
+
+    #[test]
+    #[should_panic(expected = "sketch T must match table T")]
+    fn trial_mismatch_panics() {
+        let family = HashFamily::generate(4, 7);
+        let sketch = sketch_by_jem(b"ACGTACGTACGT", JemParams::new(3, 2, 10).unwrap(), &family);
+        SketchTable::new(8).insert_sketch(&sketch, 0);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let family = HashFamily::generate(5, 3);
+        let params = JemParams::new(6, 5, 80).unwrap();
+        let mut table = SketchTable::new(5);
+        for subject in 0..20u32 {
+            let seq = rng_seq(400, u64::from(subject) + 100);
+            table.insert_sketch(&sketch_by_jem(&seq, params, &family), subject);
+        }
+        let decoded = SketchTable::decode(&table.encode(), 5);
+        assert_eq!(decoded.key_count(), table.key_count());
+        assert_eq!(decoded.entry_count(), table.entry_count());
+        // Spot-check every bank agrees.
+        for t in 0..5 {
+            for (code, subjects) in table.banks[t].iter() {
+                assert_eq!(decoded.lookup(t, code), subjects.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn merge_equals_union_build() {
+        let family = HashFamily::generate(3, 9);
+        let params = JemParams::new(5, 4, 50).unwrap();
+        let seqs: Vec<Vec<u8>> = (0..12).map(|i| rng_seq(300, i + 400)).collect();
+
+        // One table built from everything...
+        let mut full = SketchTable::new(3);
+        for (i, s) in seqs.iter().enumerate() {
+            full.insert_sketch(&sketch_by_jem(s, params, &family), i as u32);
+        }
+        // ...must equal two half-tables merged (the S2→S3 path).
+        let mut left = SketchTable::new(3);
+        let mut right = SketchTable::new(3);
+        for (i, s) in seqs.iter().enumerate() {
+            let target = if i < 6 { &mut left } else { &mut right };
+            target.insert_sketch(&sketch_by_jem(s, params, &family), i as u32);
+        }
+        left.merge_from(&right);
+        assert_eq!(left.entry_count(), full.entry_count());
+        for t in 0..3 {
+            for (code, subjects) in full.banks[t].iter() {
+                assert_eq!(left.lookup(t, code), subjects.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_table_encodes_to_headers_only() {
+        let t = SketchTable::new(4);
+        let enc = t.encode();
+        assert_eq!(enc, vec![0, 0, 0, 0]);
+        let back = SketchTable::decode(&enc, 4);
+        assert_eq!(back.entry_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "trailing garbage")]
+    fn decode_rejects_trailing_garbage() {
+        let mut enc = SketchTable::new(2).encode();
+        enc.push(99);
+        SketchTable::decode(&enc, 2);
+    }
+}

@@ -1,0 +1,254 @@
+//! Insert-only open-addressing hash map keyed by `u64`.
+//!
+//! The sketch table's keys are k-mer codes — already well-mixed integers —
+//! so the standard library's HashDoS-resistant SipHash is pure overhead on
+//! the hot lookup path. `U64Map` uses Fibonacci (multiplicative) hashing
+//! into a power-of-two table with linear probing. There is no deletion:
+//! the mapping workloads only build and query.
+
+/// Fibonacci multiplier: `floor(2^64 / φ)`, odd.
+const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Insert-only open-addressing map from `u64` keys to `V` values.
+#[derive(Clone, Debug)]
+pub struct U64Map<V> {
+    /// Parallel arrays; `slots[i] == None` marks an empty bucket.
+    slots: Vec<Option<(u64, V)>>,
+    len: usize,
+    /// `capacity - 1`; capacity is always a power of two.
+    mask: usize,
+}
+
+impl<V> Default for U64Map<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> U64Map<V> {
+    /// Empty map with a small initial capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(16)
+    }
+
+    /// Empty map sized for at least `n` entries without rehashing.
+    pub fn with_capacity(n: usize) -> Self {
+        let cap = (n.max(8) * 2).next_power_of_two();
+        let mut slots = Vec::with_capacity(cap);
+        slots.resize_with(cap, || None);
+        U64Map { slots, len: 0, mask: cap - 1 }
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the map holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn bucket(&self, key: u64) -> usize {
+        // Fibonacci hashing: the high bits of key*FIB are well mixed.
+        ((key.wrapping_mul(FIB)) >> 32) as usize & self.mask
+    }
+
+    /// Look up `key`.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<&V> {
+        let mut i = self.bucket(key);
+        loop {
+            match &self.slots[i] {
+                None => return None,
+                Some((k, v)) if *k == key => return Some(v),
+                _ => i = (i + 1) & self.mask,
+            }
+        }
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
+        let mut i = self.bucket(key);
+        loop {
+            match &self.slots[i] {
+                None => return None,
+                Some((k, _)) if *k == key => break,
+                _ => i = (i + 1) & self.mask,
+            }
+        }
+        self.slots[i].as_mut().map(|(_, v)| v)
+    }
+
+    /// Get the value for `key`, inserting `default()` first if absent.
+    pub fn get_or_insert_with(&mut self, key: u64, default: impl FnOnce() -> V) -> &mut V {
+        if (self.len + 1) * 4 > self.slots.len() * 3 {
+            self.grow();
+        }
+        let mut i = self.bucket(key);
+        loop {
+            match &self.slots[i] {
+                Some((k, _)) if *k == key => break,
+                Some(_) => i = (i + 1) & self.mask,
+                None => {
+                    self.slots[i] = Some((key, default()));
+                    self.len += 1;
+                    break;
+                }
+            }
+        }
+        self.slots[i].as_mut().map(|(_, v)| v).expect("slot just filled")
+    }
+
+    /// Insert, returning the previous value if the key was present.
+    pub fn insert(&mut self, key: u64, value: V) -> Option<V> {
+        if (self.len + 1) * 4 > self.slots.len() * 3 {
+            self.grow();
+        }
+        let mut i = self.bucket(key);
+        loop {
+            match &mut self.slots[i] {
+                Some((k, v)) if *k == key => return Some(std::mem::replace(v, value)),
+                Some(_) => i = (i + 1) & self.mask,
+                None => {
+                    self.slots[i] = Some((key, value));
+                    self.len += 1;
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// True if `key` is present.
+    pub fn contains_key(&self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Iterate over `(key, &value)` in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
+        self.slots.iter().filter_map(|s| s.as_ref().map(|(k, v)| (*k, v)))
+    }
+
+    /// Consume into `(key, value)` pairs in unspecified order.
+    pub fn into_iter_pairs(self) -> impl Iterator<Item = (u64, V)> {
+        self.slots.into_iter().flatten()
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.slots.len() * 2;
+        let mut bigger = U64Map::<V> {
+            slots: {
+                let mut s = Vec::with_capacity(new_cap);
+                s.resize_with(new_cap, || None);
+                s
+            },
+            len: 0,
+            mask: new_cap - 1,
+        };
+        for (k, v) in self.slots.drain(..).flatten() {
+            // Direct re-insert; capacities guarantee a free bucket.
+            let mut i = bigger.bucket(k);
+            while bigger.slots[i].is_some() {
+                i = (i + 1) & bigger.mask;
+            }
+            bigger.slots[i] = Some((k, v));
+            bigger.len += 1;
+        }
+        *self = bigger;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut m = U64Map::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(42, "x"), None);
+        assert_eq!(m.insert(42, "y"), Some("x"));
+        assert_eq!(m.get(42), Some(&"y"));
+        assert_eq!(m.get(43), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn zero_key_is_a_valid_key() {
+        // Poly-A k-mers encode to 0; the map must not treat 0 as a sentinel.
+        let mut m = U64Map::new();
+        m.insert(0, 7u32);
+        assert_eq!(m.get(0), Some(&7));
+        assert!(m.contains_key(0));
+    }
+
+    #[test]
+    fn get_or_insert_with_semantics() {
+        let mut m: U64Map<Vec<u32>> = U64Map::new();
+        m.get_or_insert_with(5, Vec::new).push(1);
+        m.get_or_insert_with(5, Vec::new).push(2);
+        assert_eq!(m.get(5), Some(&vec![1, 2]));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn growth_preserves_entries() {
+        let mut m = U64Map::with_capacity(4);
+        for k in 0u64..10_000 {
+            m.insert(k.wrapping_mul(0x517C_C1B7_2722_0A95), k);
+        }
+        assert_eq!(m.len(), 10_000);
+        for k in 0u64..10_000 {
+            assert_eq!(m.get(k.wrapping_mul(0x517C_C1B7_2722_0A95)), Some(&k));
+        }
+    }
+
+    #[test]
+    fn matches_std_hashmap_on_mixed_ops() {
+        let mut ours = U64Map::new();
+        let mut std_map = HashMap::new();
+        let mut state = 88172645463325252u64;
+        for _ in 0..5000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let key = state % 701; // force collisions/overwrites
+            let val = state >> 32;
+            assert_eq!(ours.insert(key, val), std_map.insert(key, val));
+        }
+        assert_eq!(ours.len(), std_map.len());
+        for (k, v) in std_map {
+            assert_eq!(ours.get(k), Some(&v));
+        }
+    }
+
+    #[test]
+    fn iter_visits_every_entry_once() {
+        let mut m = U64Map::new();
+        for k in 0..100u64 {
+            m.insert(k * 3, k);
+        }
+        let mut seen: Vec<u64> = m.iter().map(|(k, _)| k).collect();
+        seen.sort_unstable();
+        let expect: Vec<u64> = (0..100).map(|k| k * 3).collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn adversarial_same_bucket_keys() {
+        // Keys crafted to collide in the initial table exercise probing.
+        let mut m = U64Map::with_capacity(8);
+        let cap = 16u64; // with_capacity(8) → 16 slots
+        let keys: Vec<u64> = (0..12).map(|i| i * cap * 4).collect();
+        for (i, &k) in keys.iter().enumerate() {
+            m.insert(k, i);
+        }
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(m.get(k), Some(&i));
+        }
+    }
+}

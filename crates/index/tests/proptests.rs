@@ -1,0 +1,152 @@
+//! Property-based tests for the index layer.
+
+use jem_index::{HitCounter, LazyHitCounter, NaiveHitCounter, SketchTable, U64Map};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #[test]
+    fn u64map_models_std_hashmap(ops in prop::collection::vec((0u64..200, 0u32..1000), 0..300)) {
+        let mut ours: U64Map<u32> = U64Map::new();
+        let mut model: HashMap<u64, u32> = HashMap::new();
+        for (k, v) in ops {
+            prop_assert_eq!(ours.insert(k, v), model.insert(k, v));
+            prop_assert_eq!(ours.len(), model.len());
+        }
+        for (k, v) in &model {
+            prop_assert_eq!(ours.get(*k), Some(v));
+        }
+        let mut keys: Vec<u64> = ours.iter().map(|(k, _)| k).collect();
+        keys.sort_unstable();
+        let mut expect: Vec<u64> = model.keys().copied().collect();
+        expect.sort_unstable();
+        prop_assert_eq!(keys, expect);
+    }
+
+    #[test]
+    fn lazy_counter_equals_naive(
+        stream in prop::collection::vec((0u64..40, 0u32..30), 1..400),
+    ) {
+        // Queries must be processed in order (the paper's "one by one");
+        // sort the stream by query id to model that.
+        let mut stream = stream;
+        stream.sort_by_key(|&(q, _)| q);
+        let mut lazy = LazyHitCounter::new(30);
+        let mut naive = NaiveHitCounter::new(30);
+        let mut last_q = None;
+        for (q, s) in &stream {
+            lazy.record(*q, *s);
+            naive.record(*q, *s);
+            last_q = Some(*q);
+        }
+        if let Some(q) = last_q {
+            prop_assert_eq!(lazy.best(q), naive.best(q));
+            for s in 0..30u32 {
+                prop_assert_eq!(lazy.count(q, s), naive.count(q, s));
+            }
+        }
+    }
+
+    #[test]
+    fn table_encode_decode_roundtrip(
+        entries in prop::collection::vec((0usize..4, 0u64..500, 0u32..60), 0..200),
+    ) {
+        let mut table = SketchTable::new(4);
+        for (t, code, subject) in &entries {
+            table.insert(*t, *code, *subject);
+        }
+        let decoded = SketchTable::decode(&table.encode(), 4);
+        prop_assert_eq!(decoded.key_count(), table.key_count());
+        prop_assert_eq!(decoded.entry_count(), table.entry_count());
+        for (t, code, _) in &entries {
+            prop_assert_eq!(decoded.lookup(*t, *code), table.lookup(*t, *code));
+        }
+    }
+
+    #[test]
+    fn table_lookup_sorted_unique(
+        entries in prop::collection::vec((0u64..50, 0u32..40), 0..300),
+    ) {
+        let mut table = SketchTable::new(1);
+        for (code, subject) in &entries {
+            table.insert(0, *code, *subject);
+        }
+        for (code, _) in &entries {
+            let list = table.lookup(0, *code);
+            for w in list.windows(2) {
+                prop_assert!(w[0] < w[1], "lookup lists must be sorted unique");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_union(
+        left in prop::collection::vec((0u64..100, 0u32..30), 0..150),
+        right in prop::collection::vec((0u64..100, 0u32..30), 0..150),
+    ) {
+        let mut a = SketchTable::new(2);
+        for (code, s) in &left {
+            a.insert(0, *code, *s);
+            a.insert(1, code.wrapping_mul(3), *s);
+        }
+        let mut b = SketchTable::new(2);
+        for (code, s) in &right {
+            b.insert(0, *code, *s);
+            b.insert(1, code.wrapping_mul(3), *s);
+        }
+        let mut merged = a.clone();
+        merged.merge_from(&b);
+        // Everything in either table is in the merge.
+        for t in 0..2 {
+            for (code, _) in left.iter().chain(&right) {
+                let key = if t == 0 { *code } else { code.wrapping_mul(3) };
+                let mut expect: Vec<u32> = a
+                    .lookup(t, key)
+                    .iter()
+                    .chain(b.lookup(t, key))
+                    .copied()
+                    .collect();
+                expect.sort_unstable();
+                expect.dedup();
+                prop_assert_eq!(merged.lookup(t, key), expect.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn decode_into_equals_merge_of_decodes(
+        parts in prop::collection::vec(
+            prop::collection::vec((0u64..80, 0u32..40), 0..80),
+            1..4,
+        ),
+    ) {
+        // The distributed driver's fast path (decode_into over p streams)
+        // must equal the slow path (decode each, merge).
+        let tables: Vec<SketchTable> = parts
+            .iter()
+            .map(|entries| {
+                let mut t = SketchTable::new(2);
+                for (code, s) in entries {
+                    t.insert((code % 2) as usize, *code, *s);
+                }
+                t
+            })
+            .collect();
+        let mut fast = SketchTable::new(2);
+        for t in &tables {
+            fast.decode_into(&t.encode());
+        }
+        let mut slow = SketchTable::new(2);
+        for t in &tables {
+            slow.merge_from(&SketchTable::decode(&t.encode(), 2));
+        }
+        prop_assert_eq!(fast.entry_count(), slow.entry_count());
+        for entries in &parts {
+            for (code, _) in entries {
+                for trial in 0..2 {
+                    prop_assert_eq!(fast.lookup(trial, *code), slow.lookup(trial, *code));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Per-step timing reports and the simulated-makespan computation.
+
+/// Whether a step was rank-local compute or a collective.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepKind {
+    /// A superstep: every rank computed independently.
+    Compute,
+    /// A collective: ranks exchanged data (virtual cost).
+    Communication,
+}
+
+/// Timing record of one step of a BSP run.
+#[derive(Clone, Debug)]
+pub struct StepReport {
+    /// Step label supplied by the program.
+    pub name: String,
+    /// Step category.
+    pub kind: StepKind,
+    /// Per-rank compute seconds (empty for collectives).
+    pub per_rank_secs: Vec<f64>,
+    /// Virtual communication seconds (0 for compute steps).
+    pub comm_secs: f64,
+    /// Total payload bytes moved (collectives only).
+    pub bytes: usize,
+}
+
+impl StepReport {
+    /// This step's contribution to the simulated makespan: the slowest
+    /// rank for compute steps, the modeled cost for collectives.
+    pub fn critical_secs(&self) -> f64 {
+        match self.kind {
+            StepKind::Compute => self.per_rank_secs.iter().cloned().fold(0.0, f64::max),
+            StepKind::Communication => self.comm_secs,
+        }
+    }
+
+    /// Sum of all rank compute seconds (total work, not critical path).
+    pub fn work_secs(&self) -> f64 {
+        self.per_rank_secs.iter().sum()
+    }
+}
+
+/// Complete timing record of a BSP run.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Steps in execution order.
+    pub steps: Vec<StepReport>,
+    /// Number of ranks the run used.
+    pub ranks: usize,
+}
+
+impl RunReport {
+    /// Simulated wall-clock: `Σ_steps critical_secs` — what a BSP MPI
+    /// program's elapsed time converges to.
+    pub fn makespan_secs(&self) -> f64 {
+        self.steps.iter().map(StepReport::critical_secs).sum()
+    }
+
+    /// Critical-path compute seconds (max-rank per superstep, summed).
+    pub fn compute_secs(&self) -> f64 {
+        self.steps
+            .iter()
+            .filter(|s| s.kind == StepKind::Compute)
+            .map(StepReport::critical_secs)
+            .sum()
+    }
+
+    /// Total modeled communication seconds.
+    pub fn comm_secs(&self) -> f64 {
+        self.steps.iter().filter(|s| s.kind == StepKind::Communication).map(|s| s.comm_secs).sum()
+    }
+
+    /// Fraction of the makespan spent communicating, in `[0, 1]`.
+    pub fn comm_fraction(&self) -> f64 {
+        let total = self.makespan_secs();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.comm_secs() / total
+        }
+    }
+
+    /// Total bytes moved by collectives.
+    pub fn total_bytes(&self) -> usize {
+        self.steps.iter().map(|s| s.bytes).sum()
+    }
+
+    /// Critical seconds of the step with the given name (0 if absent;
+    /// summed over repeated names).
+    pub fn step_secs(&self, name: &str) -> f64 {
+        self.steps.iter().filter(|s| s.name == name).map(StepReport::critical_secs).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compute(name: &str, per_rank: &[f64]) -> StepReport {
+        StepReport {
+            name: name.into(),
+            kind: StepKind::Compute,
+            per_rank_secs: per_rank.to_vec(),
+            comm_secs: 0.0,
+            bytes: 0,
+        }
+    }
+
+    fn comm(name: &str, secs: f64, bytes: usize) -> StepReport {
+        StepReport {
+            name: name.into(),
+            kind: StepKind::Communication,
+            per_rank_secs: Vec::new(),
+            comm_secs: secs,
+            bytes,
+        }
+    }
+
+    #[test]
+    fn makespan_is_critical_path() {
+        let r = RunReport {
+            steps: vec![compute("a", &[1.0, 3.0, 2.0]), comm("x", 0.5, 100), compute("b", &[2.0, 1.0, 1.0])],
+            ranks: 3,
+        };
+        assert!((r.makespan_secs() - 5.5).abs() < 1e-12);
+        assert!((r.compute_secs() - 5.0).abs() < 1e-12);
+        assert!((r.comm_secs() - 0.5).abs() < 1e-12);
+        assert!((r.comm_fraction() - 0.5 / 5.5).abs() < 1e-12);
+        assert_eq!(r.total_bytes(), 100);
+    }
+
+    #[test]
+    fn step_lookup_sums_repeats() {
+        let r = RunReport {
+            steps: vec![compute("map", &[1.0]), compute("map", &[2.0]), comm("gather", 0.25, 8)],
+            ranks: 1,
+        };
+        assert!((r.step_secs("map") - 3.0).abs() < 1e-12);
+        assert!((r.step_secs("gather") - 0.25).abs() < 1e-12);
+        assert_eq!(r.step_secs("absent"), 0.0);
+    }
+
+    #[test]
+    fn empty_report_is_zero() {
+        let r = RunReport::default();
+        assert_eq!(r.makespan_secs(), 0.0);
+        assert_eq!(r.comm_fraction(), 0.0);
+    }
+
+    #[test]
+    fn work_vs_critical() {
+        let s = compute("a", &[1.0, 2.0, 3.0]);
+        assert!((s.work_secs() - 6.0).abs() < 1e-12);
+        assert!((s.critical_secs() - 3.0).abs() < 1e-12);
+    }
+}

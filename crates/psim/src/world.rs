@@ -1,0 +1,347 @@
+//! The BSP world: supersteps, collectives, and timing capture.
+
+use crate::cost::CostModel;
+use crate::report::{RunReport, StepKind, StepReport};
+use parking_lot::Mutex;
+use std::time::Instant;
+
+/// How supersteps execute on the host.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Ranks run back-to-back on the calling thread. Per-rank timings are
+    /// exact even on a single-core host (the default, and what the
+    /// experiment harness uses).
+    Sequential,
+    /// Ranks run on OS threads via `std::thread::scope`. Faster on
+    /// multi-core hosts, but per-rank wall-clock measurements are inflated
+    /// when ranks outnumber cores.
+    Threaded,
+}
+
+/// A simulated distributed-memory machine of `p` ranks.
+///
+/// A program interacts with the world in bulk-synchronous phases:
+///
+/// ```
+/// use jem_psim::{CostModel, World};
+///
+/// let mut world = World::new(4, CostModel::ethernet_10g());
+/// // S2-style compute: each rank produces a local value.
+/// let locals: Vec<Vec<u64>> = world.superstep("square", |rank| {
+///     vec![(rank * rank) as u64]
+/// });
+/// // S3-style collective: everyone receives the concatenation.
+/// let global = world.allgatherv("gather", locals);
+/// assert_eq!(global, vec![0, 1, 4, 9]);
+/// let report = world.into_report();
+/// assert_eq!(report.ranks, 4);
+/// assert!(report.comm_secs() > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct World {
+    p: usize,
+    cost: CostModel,
+    mode: ExecMode,
+    steps: Vec<StepReport>,
+}
+
+impl World {
+    /// A world of `p` ranks executing sequentially.
+    ///
+    /// # Panics
+    /// Panics if `p == 0`.
+    pub fn new(p: usize, cost: CostModel) -> Self {
+        assert!(p >= 1, "world needs at least one rank");
+        World { p, cost, mode: ExecMode::Sequential, steps: Vec::new() }
+    }
+
+    /// Select the execution mode (see [`ExecMode`]).
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Number of ranks `p`.
+    pub fn ranks(&self) -> usize {
+        self.p
+    }
+
+    /// The communication cost model in effect.
+    pub fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+
+    /// Partition `n` items across ranks in contiguous blocks; returns the
+    /// half-open item range of `rank` (block distribution of step S1).
+    pub fn block_range(&self, n: usize, rank: usize) -> std::ops::Range<usize> {
+        debug_assert!(rank < self.p);
+        let base = n / self.p;
+        let extra = n % self.p;
+        let start = rank * base + rank.min(extra);
+        let len = base + usize::from(rank < extra);
+        start..(start + len).min(n)
+    }
+
+    /// Run one superstep: rank `r` evaluates `f(r)`; per-rank compute time
+    /// is recorded. Returns the rank-ordered outputs.
+    pub fn superstep<T: Send>(
+        &mut self,
+        name: &str,
+        f: impl Fn(usize) -> T + Sync,
+    ) -> Vec<T> {
+        let (outputs, per_rank) = match self.mode {
+            ExecMode::Sequential => {
+                let mut outs = Vec::with_capacity(self.p);
+                let mut times = Vec::with_capacity(self.p);
+                for rank in 0..self.p {
+                    let t0 = Instant::now();
+                    outs.push(f(rank));
+                    times.push(t0.elapsed().as_secs_f64());
+                }
+                (outs, times)
+            }
+            ExecMode::Threaded => {
+                let results: Mutex<Vec<Option<(T, f64)>>> =
+                    Mutex::new((0..self.p).map(|_| None).collect());
+                std::thread::scope(|scope| {
+                    for rank in 0..self.p {
+                        let f = &f;
+                        let results = &results;
+                        scope.spawn(move || {
+                            let t0 = Instant::now();
+                            let out = f(rank);
+                            let dt = t0.elapsed().as_secs_f64();
+                            results.lock()[rank] = Some((out, dt));
+                        });
+                    }
+                });
+                let mut outs = Vec::with_capacity(self.p);
+                let mut times = Vec::with_capacity(self.p);
+                for slot in results.into_inner() {
+                    let (out, dt) = slot.expect("every rank stores its result");
+                    outs.push(out);
+                    times.push(dt);
+                }
+                (outs, times)
+            }
+        };
+        self.steps.push(StepReport {
+            name: name.to_string(),
+            kind: StepKind::Compute,
+            per_rank_secs: per_rank,
+            comm_secs: 0.0,
+            bytes: 0,
+        });
+        outputs
+    }
+
+    /// Run a computation that every rank would perform *identically* (e.g.
+    /// decoding a replicated table after an allgather): `f` executes once,
+    /// and its measured time is charged to every rank. Equivalent to a
+    /// superstep of `p` identical closures, minus the redundant execution.
+    pub fn superstep_replicated<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        let dt = t0.elapsed().as_secs_f64();
+        self.steps.push(StepReport {
+            name: name.to_string(),
+            kind: StepKind::Compute,
+            per_rank_secs: vec![dt; self.p],
+            comm_secs: 0.0,
+            bytes: 0,
+        });
+        out
+    }
+
+    fn charge(&mut self, name: &str, bytes: usize) {
+        let comm_secs = self.cost.collective_cost(self.p, bytes);
+        self.steps.push(StepReport {
+            name: name.to_string(),
+            kind: StepKind::Communication,
+            per_rank_secs: Vec::new(),
+            comm_secs,
+            bytes,
+        });
+    }
+
+    /// `MPI_Allgatherv`: every rank contributes a variable-length vector;
+    /// every rank ends with the rank-ordered concatenation. Returns that
+    /// concatenation once (all ranks would hold identical copies).
+    ///
+    /// Charged bytes: the full payload (`Σ_r |local_r| · sizeof(T)`), the
+    /// same `O(μ·nT)` volume the paper's analysis charges step S3.
+    pub fn allgatherv<T: Send>(&mut self, name: &str, locals: Vec<Vec<T>>) -> Vec<T> {
+        assert_eq!(locals.len(), self.p, "one contribution per rank required");
+        let total: usize = locals.iter().map(Vec::len).sum();
+        self.charge(name, total * std::mem::size_of::<T>());
+        let mut out = Vec::with_capacity(total);
+        for l in locals {
+            out.extend(l);
+        }
+        out
+    }
+
+    /// `MPI_Gather` to rank 0: returns the rank-ordered values.
+    pub fn gather<T: Send>(&mut self, name: &str, locals: Vec<T>) -> Vec<T> {
+        assert_eq!(locals.len(), self.p, "one contribution per rank required");
+        self.charge(name, locals.len() * std::mem::size_of::<T>());
+        locals
+    }
+
+    /// `MPI_Bcast` from rank 0: every rank receives a clone of `value`.
+    /// `payload_bytes` sizes the charged traffic (heap payloads are opaque
+    /// to `size_of`, so the caller states the volume).
+    pub fn broadcast<T: Clone>(&mut self, name: &str, value: T, payload_bytes: usize) -> Vec<T> {
+        self.charge(name, payload_bytes);
+        vec![value; self.p]
+    }
+
+    /// Record an explicitly-sized communication event (for payloads whose
+    /// wire size `size_of` cannot see, e.g. nested vectors).
+    pub fn charge_comm(&mut self, name: &str, bytes: usize) {
+        self.charge(name, bytes);
+    }
+
+    /// Finish the run and return its timing report.
+    pub fn into_report(self) -> RunReport {
+        RunReport { steps: self.steps, ranks: self.p }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        World::new(0, CostModel::zero());
+    }
+
+    #[test]
+    fn block_range_covers_exactly() {
+        for p in [1usize, 2, 3, 7, 64] {
+            for n in [0usize, 1, 5, 64, 100, 1001] {
+                let w = World::new(p, CostModel::zero());
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for r in 0..p {
+                    let range = w.block_range(n, r);
+                    assert_eq!(range.start, prev_end, "ranges must be contiguous");
+                    prev_end = range.end;
+                    covered += range.len();
+                    // Balance: block sizes differ by at most 1.
+                    assert!(range.len() <= n / p + 1);
+                }
+                assert_eq!(covered, n, "p={p} n={n}");
+                assert_eq!(prev_end, n);
+            }
+        }
+    }
+
+    #[test]
+    fn superstep_outputs_in_rank_order() {
+        let mut w = World::new(5, CostModel::zero());
+        let out = w.superstep("id", |r| r * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40]);
+        let report = w.into_report();
+        assert_eq!(report.steps.len(), 1);
+        assert_eq!(report.steps[0].per_rank_secs.len(), 5);
+    }
+
+    #[test]
+    fn threaded_superstep_matches_sequential() {
+        let mut seq = World::new(8, CostModel::zero());
+        let a = seq.superstep("sq", |r| r * r);
+        let mut thr = World::new(8, CostModel::zero()).with_mode(ExecMode::Threaded);
+        let b = thr.superstep("sq", |r| r * r);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn allgatherv_concatenates_in_rank_order() {
+        let mut w = World::new(3, CostModel::ethernet_10g());
+        let locals = vec![vec![1u64, 2], vec![], vec![3]];
+        let global = w.allgatherv("g", locals);
+        assert_eq!(global, vec![1, 2, 3]);
+        let report = w.into_report();
+        assert_eq!(report.total_bytes(), 3 * 8);
+        assert!(report.comm_secs() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one contribution per rank")]
+    fn allgatherv_requires_p_contributions() {
+        let mut w = World::new(3, CostModel::zero());
+        w.allgatherv("g", vec![vec![1u8]]);
+    }
+
+    #[test]
+    fn broadcast_clones_to_all() {
+        let mut w = World::new(4, CostModel::ethernet_10g());
+        let copies = w.broadcast("b", String::from("hi"), 2);
+        assert_eq!(copies.len(), 4);
+        assert!(copies.iter().all(|c| c == "hi"));
+    }
+
+    #[test]
+    fn single_rank_comm_is_free() {
+        let mut w = World::new(1, CostModel::ethernet_10g());
+        let g = w.allgatherv("g", vec![vec![0u64; 1_000_000]]);
+        assert_eq!(g.len(), 1_000_000);
+        let r = w.into_report();
+        assert_eq!(r.comm_secs(), 0.0, "p=1 has no network");
+        assert_eq!(r.comm_fraction(), 0.0);
+    }
+
+    #[test]
+    fn replicated_superstep_charges_all_ranks() {
+        let mut w = World::new(4, CostModel::zero());
+        let v = w.superstep_replicated("decode", || 42);
+        assert_eq!(v, 42);
+        let r = w.into_report();
+        assert_eq!(r.steps[0].per_rank_secs.len(), 4);
+        let t = r.steps[0].per_rank_secs[0];
+        assert!(r.steps[0].per_rank_secs.iter().all(|&x| x == t));
+    }
+
+    #[test]
+    fn makespan_accumulates_steps() {
+        let mut w = World::new(2, CostModel { latency_s: 1.0, sec_per_byte: 0.0 });
+        w.superstep("work", |_| std::thread::sleep(std::time::Duration::from_millis(2)));
+        w.charge_comm("sync", 0);
+        let r = w.into_report();
+        // One collective at p=2 costs τ·log2(2) = 1s; compute adds ≥2 ms.
+        assert!(r.makespan_secs() > 1.0);
+        assert!(r.compute_secs() >= 0.002);
+        assert!((r.comm_secs() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn strong_scaling_shape_on_synthetic_work() {
+        // Critical path of an evenly-divided workload must shrink with p.
+        let busy = |units: usize| {
+            // Deterministic spin so timings are meaningful on any host.
+            let mut acc = 0u64;
+            for i in 0..units * 20_000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i as u64);
+            }
+            acc
+        };
+        let mut spans = Vec::new();
+        for p in [1usize, 2, 4, 8] {
+            let mut w = World::new(p, CostModel::zero());
+            w.superstep("work", |rank| {
+                let range = w_block(p, 64, rank);
+                busy(range.len())
+            });
+            spans.push(w.into_report().makespan_secs());
+        }
+        // Each doubling of p should cut the critical path substantially.
+        assert!(spans[3] < spans[0] * 0.5, "spans: {spans:?}");
+
+        fn w_block(p: usize, n: usize, rank: usize) -> std::ops::Range<usize> {
+            World::new(p, CostModel::zero()).block_range(n, rank)
+        }
+    }
+}

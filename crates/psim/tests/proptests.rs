@@ -1,0 +1,83 @@
+//! Property-based tests for the BSP process simulator.
+
+use jem_psim::{CostModel, ExecMode, World};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn block_range_partitions(p in 1usize..80, n in 0usize..5000) {
+        let w = World::new(p, CostModel::zero());
+        let mut prev_end = 0;
+        let mut total = 0;
+        for r in 0..p {
+            let range = w.block_range(n, r);
+            prop_assert_eq!(range.start, prev_end);
+            prop_assert!(range.len() <= n / p + 1, "block too large");
+            prop_assert!(n < p || range.len() >= n / p, "block too small");
+            prev_end = range.end;
+            total += range.len();
+        }
+        prop_assert_eq!(total, n);
+        prop_assert_eq!(prev_end, n);
+    }
+
+    #[test]
+    fn allgatherv_is_concatenation(
+        locals in prop::collection::vec(prop::collection::vec(0u64..1000, 0..20), 1..10),
+    ) {
+        let p = locals.len();
+        let mut w = World::new(p, CostModel::ethernet_10g());
+        let expect: Vec<u64> = locals.iter().flatten().copied().collect();
+        let total = expect.len();
+        let got = w.allgatherv("g", locals);
+        prop_assert_eq!(got, expect);
+        let report = w.into_report();
+        prop_assert_eq!(report.total_bytes(), total * 8);
+        if p > 1 && total > 0 {
+            prop_assert!(report.comm_secs() > 0.0);
+        }
+    }
+
+    #[test]
+    fn collective_cost_monotone(
+        p1 in 2usize..64, p2 in 2usize..64,
+        b1 in 0usize..1_000_000, b2 in 0usize..1_000_000,
+    ) {
+        let m = CostModel::ethernet_10g();
+        let (p_lo, p_hi) = (p1.min(p2), p1.max(p2));
+        let (b_lo, b_hi) = (b1.min(b2), b1.max(b2));
+        prop_assert!(m.collective_cost(p_lo, b_lo) <= m.collective_cost(p_hi, b_lo) + 1e-15);
+        prop_assert!(m.collective_cost(p_lo, b_lo) <= m.collective_cost(p_lo, b_hi) + 1e-15);
+    }
+
+    #[test]
+    fn superstep_results_rank_ordered(p in 1usize..32, base in 0usize..100) {
+        let mut w = World::new(p, CostModel::zero());
+        let out = w.superstep("f", |r| r * 3 + base);
+        prop_assert_eq!(out.len(), p);
+        for (r, v) in out.iter().enumerate() {
+            prop_assert_eq!(*v, r * 3 + base);
+        }
+    }
+
+    #[test]
+    fn threaded_equals_sequential(p in 1usize..12) {
+        let mut seq = World::new(p, CostModel::zero());
+        let mut thr = World::new(p, CostModel::zero()).with_mode(ExecMode::Threaded);
+        let a = seq.superstep("f", |r| (r, r * r));
+        let b = thr.superstep("f", |r| (r, r * r));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn makespan_decomposition(p in 1usize..16, comm_bytes in 0usize..1_000_000) {
+        let mut w = World::new(p, CostModel::ethernet_10g());
+        w.superstep("a", |r| r);
+        w.charge_comm("x", comm_bytes);
+        w.superstep("b", |r| r + 1);
+        let report = w.into_report();
+        let sum = report.compute_secs() + report.comm_secs();
+        prop_assert!((report.makespan_secs() - sum).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&report.comm_fraction()));
+    }
+}

@@ -1,0 +1,173 @@
+//! The scaffold graph and greedy path extraction.
+
+use crate::links::ContigLink;
+use jem_index::SubjectId;
+
+/// A scaffold: an ordered walk of contig ids (singletons allowed).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScaffoldPath {
+    /// Contig ids in walk order.
+    pub contigs: Vec<SubjectId>,
+}
+
+/// The accepted-link graph over contigs (max degree 2, acyclic).
+#[derive(Clone, Debug)]
+pub struct ScaffoldGraph {
+    n_contigs: usize,
+    /// Accepted neighbours per contig (0..=2 entries).
+    adj: Vec<Vec<SubjectId>>,
+}
+
+impl ScaffoldGraph {
+    /// Greedily accept links in support order, refusing any link that
+    /// would give a contig degree > 2 or close a cycle. `links` must be
+    /// support-sorted (as produced by [`crate::collect_links`]).
+    pub fn from_links(links: &[ContigLink], n_contigs: usize, min_support: u32) -> Self {
+        let mut adj: Vec<Vec<SubjectId>> = vec![Vec::new(); n_contigs];
+        // Union-find for cycle refusal.
+        let mut parent: Vec<u32> = (0..n_contigs as u32).collect();
+        fn find(parent: &mut [u32], x: u32) -> u32 {
+            let mut root = x;
+            while parent[root as usize] != root {
+                root = parent[root as usize];
+            }
+            // Path compression.
+            let mut cur = x;
+            while parent[cur as usize] != root {
+                let next = parent[cur as usize];
+                parent[cur as usize] = root;
+                cur = next;
+            }
+            root
+        }
+        for link in links {
+            if link.support < min_support {
+                continue; // sorted by support: everything after is weaker,
+                          // but stay robust to unsorted input and keep going
+            }
+            let (a, b) = (link.a as usize, link.b as usize);
+            if a >= n_contigs || b >= n_contigs || a == b {
+                continue;
+            }
+            if adj[a].len() >= 2 || adj[b].len() >= 2 {
+                continue;
+            }
+            let (ra, rb) = (find(&mut parent, link.a), find(&mut parent, link.b));
+            if ra == rb {
+                continue; // cycle
+            }
+            parent[ra as usize] = rb;
+            adj[a].push(link.b);
+            adj[b].push(link.a);
+        }
+        ScaffoldGraph { n_contigs, adj }
+    }
+
+    /// Number of accepted links.
+    pub fn n_links(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Extract every path (including singleton contigs), deterministic:
+    /// each path starts from its smallest-id endpoint; paths are ordered by
+    /// that endpoint.
+    pub fn greedy_paths(&self) -> Vec<ScaffoldPath> {
+        let mut visited = vec![false; self.n_contigs];
+        let mut paths = Vec::new();
+        // Degree ≤ 1 nodes are path endpoints; walk from each unvisited one.
+        for start in 0..self.n_contigs {
+            if visited[start] || self.adj[start].len() > 1 {
+                continue;
+            }
+            let mut path = vec![start as SubjectId];
+            visited[start] = true;
+            let mut prev = start as SubjectId;
+            let mut cur = self.adj[start].first().copied();
+            while let Some(c) = cur {
+                if visited[c as usize] {
+                    break;
+                }
+                visited[c as usize] = true;
+                path.push(c);
+                let next =
+                    self.adj[c as usize].iter().copied().find(|&n| n != prev);
+                prev = c;
+                cur = next;
+            }
+            paths.push(ScaffoldPath { contigs: path });
+        }
+        // Degree-2 leftovers would be cycles; the builder refuses cycles,
+        // so everything is visited here — but stay defensive.
+        debug_assert!(visited.iter().all(|&v| v), "cycle slipped past the builder");
+        paths
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link(a: u32, b: u32, support: u32) -> ContigLink {
+        ContigLink { a: a.min(b), b: a.max(b), support, total_hits: support * 10 }
+    }
+
+    #[test]
+    fn chain_of_three() {
+        let g = ScaffoldGraph::from_links(&[link(0, 1, 5), link(1, 2, 4)], 4, 1);
+        assert_eq!(g.n_links(), 2);
+        let paths = g.greedy_paths();
+        assert_eq!(paths.len(), 2); // [0,1,2] and [3]
+        assert_eq!(paths[0].contigs, vec![0, 1, 2]);
+        assert_eq!(paths[1].contigs, vec![3]);
+    }
+
+    #[test]
+    fn cycle_refused() {
+        let g = ScaffoldGraph::from_links(
+            &[link(0, 1, 5), link(1, 2, 4), link(0, 2, 3)],
+            3,
+            1,
+        );
+        assert_eq!(g.n_links(), 2, "the closing edge must be refused");
+        let paths = g.greedy_paths();
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].contigs.len(), 3);
+    }
+
+    #[test]
+    fn degree_cap_prefers_stronger_links() {
+        // Node 1 has three candidate neighbours; only the two strongest fit.
+        let g = ScaffoldGraph::from_links(
+            &[link(1, 0, 9), link(1, 2, 8), link(1, 3, 7)],
+            4,
+            1,
+        );
+        assert_eq!(g.n_links(), 2);
+        let paths = g.greedy_paths();
+        // Path 0-1-2 plus singleton 3.
+        let big = paths.iter().find(|p| p.contigs.len() == 3).expect("chain");
+        assert!(big.contigs.contains(&0) && big.contigs.contains(&2));
+        assert!(paths.iter().any(|p| p.contigs == vec![3]));
+    }
+
+    #[test]
+    fn min_support_filters() {
+        let g = ScaffoldGraph::from_links(&[link(0, 1, 1)], 2, 2);
+        assert_eq!(g.n_links(), 0);
+        assert_eq!(g.greedy_paths().len(), 2);
+    }
+
+    #[test]
+    fn empty_graph_all_singletons() {
+        let g = ScaffoldGraph::from_links(&[], 5, 1);
+        let paths = g.greedy_paths();
+        assert_eq!(paths.len(), 5);
+        assert!(paths.iter().all(|p| p.contigs.len() == 1));
+    }
+
+    #[test]
+    fn out_of_range_links_ignored() {
+        let g = ScaffoldGraph::from_links(&[link(0, 9, 5)], 2, 1);
+        assert_eq!(g.n_links(), 0);
+    }
+}

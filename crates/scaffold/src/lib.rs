@@ -1,0 +1,112 @@
+//! # jem-scaffold — hybrid scaffolding on top of JEM-mapper
+//!
+//! The paper motivates L2C mapping as the bottleneck step of *hybrid
+//! scaffolding*: a long read whose prefix maps to one contig and whose
+//! suffix maps to another proves those contigs are nearby on the genome
+//! (paper Fig. 1), and its end-segment strategy deliberately reports "the
+//! farthest separated pair of contigs that are linked by this long read".
+//! This crate completes that workflow (one of the paper's named future
+//! directions — "end-to-end hybrid assembly and scaffolding"):
+//!
+//! 1. [`links`] — collect contig–contig links from end-segment mappings
+//!    and aggregate read support;
+//! 2. [`graph`] — build the scaffold graph and extract simple paths
+//!    greedily by support (each contig joins at most two neighbours; cycles
+//!    are refused);
+//! 3. [`output`] — emit scaffold sequences (contigs joined by `N` gaps) as
+//!    FASTA-ready records;
+//! 4. [`stats`] — assembly statistics (N50/N90, totals) for before/after
+//!    comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod links;
+pub mod output;
+pub mod stats;
+
+pub use graph::{ScaffoldGraph, ScaffoldPath};
+pub use links::{collect_links, ContigLink};
+pub use output::scaffold_records;
+pub use stats::AssemblyStats;
+
+use jem_core::Mapping;
+use jem_seq::SeqRecord;
+
+/// Scaffolding parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScaffoldParams {
+    /// Minimum number of supporting reads for a link to be used.
+    pub min_support: u32,
+    /// Number of `N` bases inserted between joined contigs.
+    pub gap_n: usize,
+}
+
+impl Default for ScaffoldParams {
+    fn default() -> Self {
+        ScaffoldParams { min_support: 2, gap_n: 100 }
+    }
+}
+
+/// End-to-end scaffolding: mappings → links → paths → scaffold records.
+///
+/// `contigs` must be the same subject set (same order) the mappings were
+/// produced against.
+pub fn scaffold(
+    mappings: &[Mapping],
+    contigs: &[SeqRecord],
+    params: &ScaffoldParams,
+) -> Vec<SeqRecord> {
+    let links = collect_links(mappings);
+    let graph = ScaffoldGraph::from_links(&links, contigs.len(), params.min_support);
+    let paths = graph.greedy_paths();
+    scaffold_records(&paths, contigs, params.gap_n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jem_core::ReadEnd;
+
+    fn mapping(read: u32, end: ReadEnd, subject: u32) -> Mapping {
+        Mapping { read_idx: read, end, subject, hits: 10 }
+    }
+
+    fn contig(id: usize, len: usize) -> SeqRecord {
+        SeqRecord::new(format!("c{id}"), vec![b"ACGT"[id % 4]; len])
+    }
+
+    #[test]
+    fn end_to_end_two_contig_join() {
+        let contigs = vec![contig(0, 1000), contig(1, 800), contig(2, 500)];
+        // Two reads both bridge c0 and c1; c2 stays isolated.
+        let mappings = vec![
+            mapping(0, ReadEnd::Prefix, 0),
+            mapping(0, ReadEnd::Suffix, 1),
+            mapping(1, ReadEnd::Prefix, 1),
+            mapping(1, ReadEnd::Suffix, 0),
+        ];
+        let scaffolds = scaffold(&mappings, &contigs, &ScaffoldParams::default());
+        assert_eq!(scaffolds.len(), 2, "c0+c1 joined, c2 alone");
+        let joined = scaffolds.iter().find(|s| s.seq.len() > 1000).expect("joined scaffold");
+        assert_eq!(joined.seq.len(), 1000 + 100 + 800);
+        assert!(joined.seq.contains(&b'N'), "gap bases present");
+    }
+
+    #[test]
+    fn weak_links_ignored() {
+        let contigs = vec![contig(0, 1000), contig(1, 800)];
+        // Only one supporting read < min_support 2.
+        let mappings =
+            vec![mapping(0, ReadEnd::Prefix, 0), mapping(0, ReadEnd::Suffix, 1)];
+        let scaffolds = scaffold(&mappings, &contigs, &ScaffoldParams::default());
+        assert_eq!(scaffolds.len(), 2, "weak link must not join");
+        let scaffolds = scaffold(
+            &mappings,
+            &contigs,
+            &ScaffoldParams { min_support: 1, ..Default::default() },
+        );
+        assert_eq!(scaffolds.len(), 1, "min_support 1 joins");
+    }
+}

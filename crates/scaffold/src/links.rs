@@ -1,0 +1,121 @@
+//! Contig link collection from end-segment mappings.
+
+use jem_core::{Mapping, ReadEnd};
+use jem_index::SubjectId;
+use std::collections::HashMap;
+
+/// An undirected contig–contig link with read support.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ContigLink {
+    /// Smaller contig id.
+    pub a: SubjectId,
+    /// Larger contig id.
+    pub b: SubjectId,
+    /// Number of distinct long reads bridging the pair.
+    pub support: u32,
+    /// Sum of trial-hit counts over the supporting end segments (a
+    /// confidence proxy: higher means cleaner sketch agreement).
+    pub total_hits: u32,
+}
+
+/// Collect links: a read whose prefix and suffix map to *different*
+/// contigs contributes one unit of support to that pair.
+///
+/// Reads with only one mapped end (or both ends on the same contig — the
+/// read is contained or the contig spans it) produce no link. Output is
+/// sorted by descending support, then ascending `(a, b)` for determinism.
+pub fn collect_links(mappings: &[Mapping]) -> Vec<ContigLink> {
+    // Per read: best mapping per end.
+    let mut per_read: HashMap<u32, [Option<(SubjectId, u32)>; 2]> = HashMap::new();
+    for m in mappings {
+        let slot = match m.end {
+            ReadEnd::Prefix => 0,
+            ReadEnd::Suffix => 1,
+        };
+        per_read.entry(m.read_idx).or_default()[slot] = Some((m.subject, m.hits));
+    }
+    let mut agg: HashMap<(SubjectId, SubjectId), (u32, u32)> = HashMap::new();
+    for ends in per_read.values() {
+        if let [Some((sa, ha)), Some((sb, hb))] = ends {
+            if sa != sb {
+                let key = (*sa.min(sb), *sa.max(sb));
+                let entry = agg.entry(key).or_insert((0, 0));
+                entry.0 += 1;
+                entry.1 += ha + hb;
+            }
+        }
+    }
+    let mut links: Vec<ContigLink> = agg
+        .into_iter()
+        .map(|((a, b), (support, total_hits))| ContigLink { a, b, support, total_hits })
+        .collect();
+    links.sort_unstable_by(|x, y| {
+        y.support.cmp(&x.support).then(x.a.cmp(&y.a)).then(x.b.cmp(&y.b))
+    });
+    links
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(read: u32, end: ReadEnd, subject: u32, hits: u32) -> Mapping {
+        Mapping { read_idx: read, end, subject, hits }
+    }
+
+    #[test]
+    fn bridging_read_creates_link() {
+        let links = collect_links(&[
+            m(0, ReadEnd::Prefix, 3, 10),
+            m(0, ReadEnd::Suffix, 1, 20),
+        ]);
+        assert_eq!(links, vec![ContigLink { a: 1, b: 3, support: 1, total_hits: 30 }]);
+    }
+
+    #[test]
+    fn same_contig_both_ends_is_no_link() {
+        let links = collect_links(&[
+            m(0, ReadEnd::Prefix, 2, 10),
+            m(0, ReadEnd::Suffix, 2, 10),
+        ]);
+        assert!(links.is_empty());
+    }
+
+    #[test]
+    fn single_end_is_no_link() {
+        assert!(collect_links(&[m(0, ReadEnd::Prefix, 2, 10)]).is_empty());
+    }
+
+    #[test]
+    fn support_accumulates_across_reads() {
+        let links = collect_links(&[
+            m(0, ReadEnd::Prefix, 0, 5),
+            m(0, ReadEnd::Suffix, 1, 5),
+            m(1, ReadEnd::Prefix, 1, 7),
+            m(1, ReadEnd::Suffix, 0, 3),
+            m(2, ReadEnd::Prefix, 0, 4),
+            m(2, ReadEnd::Suffix, 2, 6),
+        ]);
+        assert_eq!(links.len(), 2);
+        assert_eq!(links[0], ContigLink { a: 0, b: 1, support: 2, total_hits: 20 });
+        assert_eq!(links[1], ContigLink { a: 0, b: 2, support: 1, total_hits: 10 });
+    }
+
+    #[test]
+    fn sorted_by_support_then_ids() {
+        let links = collect_links(&[
+            m(0, ReadEnd::Prefix, 5, 1),
+            m(0, ReadEnd::Suffix, 6, 1),
+            m(1, ReadEnd::Prefix, 1, 1),
+            m(1, ReadEnd::Suffix, 2, 1),
+        ]);
+        // Equal support: ordered by (a, b).
+        assert_eq!(links[0].a, 1);
+        assert_eq!(links[1].a, 5);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(collect_links(&[]).is_empty());
+    }
+}

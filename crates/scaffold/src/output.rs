@@ -1,0 +1,73 @@
+//! Scaffold sequence construction.
+
+use crate::graph::ScaffoldPath;
+use jem_seq::SeqRecord;
+
+/// Build scaffold records: contigs of each path joined with `gap_n` `N`s.
+///
+/// Orientation note: JEM mappings are strand-free (canonical k-mers), so
+/// contig orientation within a scaffold is not determined by the sketch
+/// layer; contigs are emitted in input orientation and a downstream
+/// polisher is expected to orient them (the paper's workflow delegates the
+/// same way). Scaffold ids are `scaffold_<i>` with a member list in the
+/// description.
+pub fn scaffold_records(
+    paths: &[ScaffoldPath],
+    contigs: &[SeqRecord],
+    gap_n: usize,
+) -> Vec<SeqRecord> {
+    let mut out = Vec::with_capacity(paths.len());
+    for (i, path) in paths.iter().enumerate() {
+        let mut seq = Vec::new();
+        for (j, &cid) in path.contigs.iter().enumerate() {
+            if j > 0 {
+                seq.extend(std::iter::repeat_n(b'N', gap_n));
+            }
+            seq.extend_from_slice(&contigs[cid as usize].seq);
+        }
+        let members: Vec<&str> =
+            path.contigs.iter().map(|&c| contigs[c as usize].id.as_str()).collect();
+        out.push(SeqRecord {
+            id: format!("scaffold_{i}"),
+            desc: Some(format!("members={}", members.join(","))),
+            seq,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn contig(id: usize, base: u8, len: usize) -> SeqRecord {
+        SeqRecord::new(format!("c{id}"), vec![base; len])
+    }
+
+    #[test]
+    fn joins_with_gaps() {
+        let contigs = vec![contig(0, b'A', 10), contig(1, b'C', 5)];
+        let paths = vec![ScaffoldPath { contigs: vec![0, 1] }];
+        let recs = scaffold_records(&paths, &contigs, 3);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].seq.len(), 10 + 3 + 5);
+        assert_eq!(&recs[0].seq[10..13], b"NNN");
+        assert_eq!(recs[0].desc.as_deref(), Some("members=c0,c1"));
+    }
+
+    #[test]
+    fn singleton_has_no_gap() {
+        let contigs = vec![contig(0, b'G', 7)];
+        let paths = vec![ScaffoldPath { contigs: vec![0] }];
+        let recs = scaffold_records(&paths, &contigs, 100);
+        assert_eq!(recs[0].seq, vec![b'G'; 7]);
+    }
+
+    #[test]
+    fn zero_gap_concatenates() {
+        let contigs = vec![contig(0, b'A', 2), contig(1, b'T', 2)];
+        let paths = vec![ScaffoldPath { contigs: vec![1, 0] }];
+        let recs = scaffold_records(&paths, &contigs, 0);
+        assert_eq!(recs[0].seq, b"TTAA".to_vec());
+    }
+}

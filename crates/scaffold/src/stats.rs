@@ -1,0 +1,102 @@
+//! Assembly statistics (N50-family metrics).
+
+/// Summary statistics of a sequence set (contigs or scaffolds).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AssemblyStats {
+    /// Number of sequences.
+    pub count: usize,
+    /// Total bases.
+    pub total: usize,
+    /// Longest sequence.
+    pub longest: usize,
+    /// N50: the length such that sequences ≥ it hold ≥ half the bases.
+    pub n50: usize,
+    /// N90: the length such that sequences ≥ it hold ≥ 90% of the bases.
+    pub n90: usize,
+}
+
+impl AssemblyStats {
+    /// Compute statistics from sequence lengths.
+    pub fn from_lengths(lengths: impl IntoIterator<Item = usize>) -> Self {
+        let mut lens: Vec<usize> = lengths.into_iter().collect();
+        lens.sort_unstable_by(|a, b| b.cmp(a));
+        let total: usize = lens.iter().sum();
+        let nx = |frac_num: usize, frac_den: usize| -> usize {
+            let threshold = total * frac_num;
+            let mut acc = 0usize;
+            for &l in &lens {
+                acc += l;
+                if acc * frac_den >= threshold {
+                    return l;
+                }
+            }
+            0
+        };
+        AssemblyStats {
+            count: lens.len(),
+            total,
+            longest: lens.first().copied().unwrap_or(0),
+            n50: if total == 0 { 0 } else { nx(1, 2) },
+            n90: if total == 0 { 0 } else { nx(9, 10) },
+        }
+    }
+}
+
+impl std::fmt::Display for AssemblyStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} sequences, {} bp total, longest {}, N50 {}, N90 {}",
+            self.count, self.total, self.longest, self.n50, self.n90
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_n50() {
+        // Lengths 80, 70, 50, 40, 30, 20 → total 290, half = 145;
+        // 80+70 = 150 ≥ 145 → N50 = 70.
+        let s = AssemblyStats::from_lengths([50, 80, 20, 30, 70, 40]);
+        assert_eq!(s.count, 6);
+        assert_eq!(s.total, 290);
+        assert_eq!(s.longest, 80);
+        assert_eq!(s.n50, 70);
+        // 90% = 261; 80+70+50+40 = 240 < 261; +30 = 270 ≥ → N90 = 30.
+        assert_eq!(s.n90, 30);
+    }
+
+    #[test]
+    fn single_sequence() {
+        let s = AssemblyStats::from_lengths([1234]);
+        assert_eq!(s.n50, 1234);
+        assert_eq!(s.n90, 1234);
+        assert_eq!(s.longest, 1234);
+    }
+
+    #[test]
+    fn empty_set() {
+        let s = AssemblyStats::from_lengths([]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.n50, 0);
+        assert_eq!(s.n90, 0);
+    }
+
+    #[test]
+    fn equal_lengths() {
+        let s = AssemblyStats::from_lengths([100; 10]);
+        assert_eq!(s.n50, 100);
+        assert_eq!(s.n90, 100);
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = AssemblyStats::from_lengths([10, 20]);
+        let text = s.to_string();
+        assert!(text.contains("2 sequences"));
+        assert!(text.contains("30 bp"));
+    }
+}

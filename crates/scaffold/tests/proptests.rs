@@ -1,0 +1,91 @@
+//! Property-based tests for the scaffolding layer.
+
+use jem_core::{Mapping, ReadEnd};
+use jem_scaffold::{collect_links, scaffold_records, AssemblyStats, ScaffoldGraph};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn links_are_normalized_and_supported(
+        bridges in prop::collection::vec((0u32..20, 0u32..20), 0..60),
+    ) {
+        let mut mappings = Vec::new();
+        for (i, (a, b)) in bridges.iter().enumerate() {
+            mappings.push(Mapping { read_idx: i as u32, end: ReadEnd::Prefix, subject: *a, hits: 5 });
+            mappings.push(Mapping { read_idx: i as u32, end: ReadEnd::Suffix, subject: *b, hits: 5 });
+        }
+        let links = collect_links(&mappings);
+        let bridging = bridges.iter().filter(|(a, b)| a != b).count();
+        let total_support: u32 = links.iter().map(|l| l.support).sum();
+        prop_assert_eq!(total_support as usize, bridging, "every bridging read counts once");
+        for l in &links {
+            prop_assert!(l.a < l.b, "links must be normalized");
+            prop_assert!(l.support >= 1);
+            prop_assert_eq!(l.total_hits, l.support * 10);
+        }
+        // Sorted by support descending.
+        for w in links.windows(2) {
+            prop_assert!(w[0].support >= w[1].support);
+        }
+    }
+
+    #[test]
+    fn graph_respects_degree_and_acyclicity(
+        bridges in prop::collection::vec((0u32..15, 0u32..15), 0..80),
+    ) {
+        let mut mappings = Vec::new();
+        for (i, (a, b)) in bridges.iter().enumerate() {
+            mappings.push(Mapping { read_idx: i as u32, end: ReadEnd::Prefix, subject: *a, hits: 1 });
+            mappings.push(Mapping { read_idx: i as u32, end: ReadEnd::Suffix, subject: *b, hits: 1 });
+        }
+        let links = collect_links(&mappings);
+        let graph = ScaffoldGraph::from_links(&links, 15, 1);
+        let paths = graph.greedy_paths();
+        // Paths partition all contigs.
+        let mut seen = [false; 15];
+        for p in &paths {
+            for &c in &p.contigs {
+                prop_assert!(!seen[c as usize], "contig in two scaffolds");
+                seen[c as usize] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        // Edges accepted = nodes - paths (forest property).
+        prop_assert_eq!(graph.n_links(), 15 - paths.len());
+    }
+
+    #[test]
+    fn scaffold_records_preserve_bases(
+        lens in prop::collection::vec(1usize..50, 1..10),
+        gap in 0usize..20,
+    ) {
+        let contigs: Vec<jem_seq::SeqRecord> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| jem_seq::SeqRecord::new(format!("c{i}"), vec![b"ACGT"[i % 4]; l]))
+            .collect();
+        // One path holding everything, in order.
+        let paths = vec![jem_scaffold::ScaffoldPath {
+            contigs: (0..contigs.len() as u32).collect(),
+        }];
+        let recs = scaffold_records(&paths, &contigs, gap);
+        prop_assert_eq!(recs.len(), 1);
+        let expected_len: usize = lens.iter().sum::<usize>() + gap * (lens.len() - 1);
+        prop_assert_eq!(recs[0].seq.len(), expected_len);
+        let n_count = recs[0].seq.iter().filter(|&&b| b == b'N').count();
+        prop_assert_eq!(n_count, gap * (lens.len() - 1));
+    }
+
+    #[test]
+    fn n50_bounds(lens in prop::collection::vec(1usize..10_000, 0..50)) {
+        let s = AssemblyStats::from_lengths(lens.clone());
+        prop_assert_eq!(s.count, lens.len());
+        prop_assert_eq!(s.total, lens.iter().sum::<usize>());
+        if !lens.is_empty() {
+            let min = *lens.iter().min().unwrap();
+            prop_assert!(s.n50 >= min && s.n50 <= s.longest);
+            prop_assert!(s.n90 <= s.n50, "N90 is never above N50");
+            prop_assert_eq!(s.longest, *lens.iter().max().unwrap());
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type shared across the sequence substrate.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced by the sequence substrate (parsing, packing, k-mer ops).
+#[derive(Debug)]
+pub enum SeqError {
+    /// Underlying I/O failure while reading or writing sequence files.
+    Io(io::Error),
+    /// A FASTA/FASTQ stream violated the format at the given 1-based line.
+    Format {
+        /// 1-based line number where the problem was detected.
+        line: u64,
+        /// Human-readable description of the violation.
+        msg: String,
+    },
+    /// A byte that is not an unambiguous nucleotide where one was required.
+    InvalidBase {
+        /// The offending byte.
+        byte: u8,
+        /// Position of the byte within the sequence.
+        pos: usize,
+    },
+    /// Requested k-mer size is unsupported (must be `1..=32`).
+    InvalidK(usize),
+    /// A parameter combination that cannot be satisfied.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for SeqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeqError::Io(e) => write!(f, "I/O error: {e}"),
+            SeqError::Format { line, msg } => write!(f, "format error at line {line}: {msg}"),
+            SeqError::InvalidBase { byte, pos } => {
+                write!(f, "invalid base {:?} (0x{byte:02x}) at position {pos}", *byte as char)
+            }
+            SeqError::InvalidK(k) => write!(f, "invalid k-mer size {k}: must be in 1..=32"),
+            SeqError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SeqError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SeqError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SeqError {
+    fn from(e: io::Error) -> Self {
+        SeqError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = SeqError::InvalidBase { byte: b'N', pos: 7 };
+        assert!(e.to_string().contains("'N'"));
+        assert!(e.to_string().contains("position 7"));
+        let e = SeqError::InvalidK(33);
+        assert!(e.to_string().contains("33"));
+        let e = SeqError::Format { line: 12, msg: "bad header".into() };
+        assert!(e.to_string().contains("line 12"));
+    }
+
+    #[test]
+    fn io_error_source_preserved() {
+        let inner = io::Error::new(io::ErrorKind::UnexpectedEof, "boom");
+        let e = SeqError::from(inner);
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

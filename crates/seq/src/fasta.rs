@@ -1,0 +1,268 @@
+//! Streaming FASTA reader and writer.
+//!
+//! The reader is a pull iterator over [`SeqRecord`]s and tolerates multi-line
+//! sequences, trailing whitespace, empty lines between records, and `\r\n`
+//! line endings. The writer wraps sequence lines at a configurable width.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::error::SeqError;
+use crate::record::{split_header, SeqRecord};
+
+/// Streaming FASTA parser over any `BufRead` source.
+pub struct FastaReader<R: BufRead> {
+    inner: R,
+    line_no: u64,
+    /// Header of the record currently being accumulated (without `>`).
+    pending_header: Option<String>,
+    buf: String,
+    done: bool,
+}
+
+impl FastaReader<BufReader<File>> {
+    /// Open a FASTA file from disk.
+    pub fn from_path(path: impl AsRef<Path>) -> Result<Self, SeqError> {
+        Ok(FastaReader::new(BufReader::new(File::open(path)?)))
+    }
+}
+
+impl<R: BufRead> FastaReader<R> {
+    /// Wrap a buffered reader.
+    pub fn new(inner: R) -> Self {
+        FastaReader { inner, line_no: 0, pending_header: None, buf: String::new(), done: false }
+    }
+
+    /// Read all remaining records into a vector.
+    pub fn read_all(self) -> Result<Vec<SeqRecord>, SeqError> {
+        self.collect()
+    }
+
+    fn next_record(&mut self) -> Result<Option<SeqRecord>, SeqError> {
+        if self.done {
+            return Ok(None);
+        }
+        let mut seq: Vec<u8> = Vec::new();
+        loop {
+            self.buf.clear();
+            let n = self.inner.read_line(&mut self.buf)?;
+            if n == 0 {
+                self.done = true;
+                return match self.pending_header.take() {
+                    Some(h) => {
+                        let (id, desc) = split_header(&h);
+                        Ok(Some(SeqRecord { id, desc, seq }))
+                    }
+                    None if seq.is_empty() => Ok(None),
+                    None => Err(SeqError::Format {
+                        line: self.line_no,
+                        msg: "sequence data before any '>' header".into(),
+                    }),
+                };
+            }
+            self.line_no += 1;
+            let line = self.buf.trim_end();
+            if let Some(header) = line.strip_prefix('>') {
+                let header = header.trim().to_string();
+                if header.is_empty() {
+                    return Err(SeqError::Format {
+                        line: self.line_no,
+                        msg: "empty FASTA header".into(),
+                    });
+                }
+                match self.pending_header.replace(header) {
+                    Some(prev) => {
+                        // Previous record is complete; emit it.
+                        let (id, desc) = split_header(&prev);
+                        return Ok(Some(SeqRecord { id, desc, seq }));
+                    }
+                    None => {
+                        if !seq.is_empty() {
+                            return Err(SeqError::Format {
+                                line: self.line_no,
+                                msg: "sequence data before any '>' header".into(),
+                            });
+                        }
+                    }
+                }
+            } else if !line.is_empty() {
+                if self.pending_header.is_none() {
+                    return Err(SeqError::Format {
+                        line: self.line_no,
+                        msg: "sequence data before any '>' header".into(),
+                    });
+                }
+                seq.extend_from_slice(line.as_bytes());
+            }
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for FastaReader<R> {
+    type Item = Result<SeqRecord, SeqError>;
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_record().transpose()
+    }
+}
+
+/// FASTA writer with configurable line wrapping.
+pub struct FastaWriter<W: Write> {
+    inner: W,
+    /// Maximum sequence-line width; 0 means no wrapping.
+    pub line_width: usize,
+}
+
+impl FastaWriter<BufWriter<File>> {
+    /// Create or truncate a FASTA file on disk.
+    pub fn create(path: impl AsRef<Path>) -> Result<Self, SeqError> {
+        Ok(FastaWriter::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write> FastaWriter<W> {
+    /// Wrap a writer; defaults to 80-column wrapping.
+    pub fn new(inner: W) -> Self {
+        FastaWriter { inner, line_width: 80 }
+    }
+
+    /// Write one record.
+    pub fn write_record(&mut self, rec: &SeqRecord) -> Result<(), SeqError> {
+        match &rec.desc {
+            Some(d) => writeln!(self.inner, ">{} {}", rec.id, d)?,
+            None => writeln!(self.inner, ">{}", rec.id)?,
+        }
+        if self.line_width == 0 {
+            self.inner.write_all(&rec.seq)?;
+            writeln!(self.inner)?;
+        } else {
+            for chunk in rec.seq.chunks(self.line_width) {
+                self.inner.write_all(chunk)?;
+                writeln!(self.inner)?;
+            }
+            if rec.seq.is_empty() {
+                // keep an (empty) sequence line for parse symmetry
+            }
+        }
+        Ok(())
+    }
+
+    /// Write many records.
+    pub fn write_all_records<'a>(
+        &mut self,
+        recs: impl IntoIterator<Item = &'a SeqRecord>,
+    ) -> Result<(), SeqError> {
+        for r in recs {
+            self.write_record(r)?;
+        }
+        Ok(())
+    }
+
+    /// Flush the underlying writer.
+    pub fn flush(&mut self) -> Result<(), SeqError> {
+        self.inner.flush()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(s: &str) -> Result<Vec<SeqRecord>, SeqError> {
+        FastaReader::new(Cursor::new(s.as_bytes())).read_all()
+    }
+
+    #[test]
+    fn single_record() {
+        let recs = parse(">r1 a description\nACGT\n").unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].id, "r1");
+        assert_eq!(recs[0].desc.as_deref(), Some("a description"));
+        assert_eq!(recs[0].seq, b"ACGT".to_vec());
+    }
+
+    #[test]
+    fn multiline_sequence_and_crlf() {
+        let recs = parse(">r1\r\nACGT\r\nTTAA\r\n>r2\r\nGG\r\n").unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].seq, b"ACGTTTAA".to_vec());
+        assert_eq!(recs[1].id, "r2");
+        assert_eq!(recs[1].seq, b"GG".to_vec());
+    }
+
+    #[test]
+    fn blank_lines_tolerated() {
+        let recs = parse("\n>r1\nAC\n\nGT\n\n>r2\nTT\n").unwrap();
+        assert_eq!(recs[0].seq, b"ACGT".to_vec());
+        assert_eq!(recs[1].seq, b"TT".to_vec());
+    }
+
+    #[test]
+    fn missing_final_newline() {
+        let recs = parse(">r1\nACGT").unwrap();
+        assert_eq!(recs[0].seq, b"ACGT".to_vec());
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(parse("").unwrap().is_empty());
+        assert!(parse("\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn record_with_empty_sequence() {
+        let recs = parse(">r1\n>r2\nAC\n").unwrap();
+        assert_eq!(recs.len(), 2);
+        assert!(recs[0].seq.is_empty());
+        assert_eq!(recs[1].seq, b"AC".to_vec());
+    }
+
+    #[test]
+    fn data_before_header_is_error() {
+        let err = parse("ACGT\n>r1\nAC\n").unwrap_err();
+        assert!(matches!(err, SeqError::Format { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn empty_header_is_error() {
+        assert!(parse(">\nACGT\n").is_err());
+        assert!(parse(">   \nACGT\n").is_err());
+    }
+
+    #[test]
+    fn writer_reader_roundtrip_with_wrapping() {
+        let recs = vec![
+            SeqRecord { id: "a".into(), desc: Some("d e s c".into()), seq: vec![b'A'; 205] },
+            SeqRecord::new("b", b"ACGT".to_vec()),
+            SeqRecord::new("c", Vec::new()),
+        ];
+        let mut out = Vec::new();
+        {
+            let mut w = FastaWriter::new(&mut out);
+            w.line_width = 60;
+            w.write_all_records(&recs).unwrap();
+            w.flush().unwrap();
+        }
+        let back = FastaReader::new(Cursor::new(&out)).read_all().unwrap();
+        assert_eq!(back, recs);
+        // Check actual wrapping happened.
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.lines().all(|l| l.len() <= 64));
+    }
+
+    #[test]
+    fn writer_no_wrapping() {
+        let rec = SeqRecord::new("a", vec![b'C'; 300]);
+        let mut out = Vec::new();
+        {
+            let mut w = FastaWriter::new(&mut out);
+            w.line_width = 0;
+            w.write_record(&rec).unwrap();
+            w.flush().unwrap();
+        }
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text.lines().count(), 2);
+    }
+}

@@ -1,0 +1,228 @@
+//! Streaming FASTQ reader and writer (strict 4-line records).
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::error::SeqError;
+use crate::record::{split_header, FastqRecord};
+
+/// Streaming FASTQ parser over any `BufRead` source.
+///
+/// Accepts the common strict layout: `@header`, sequence line, `+`
+/// separator (optionally repeating the header), quality line of the same
+/// length as the sequence.
+pub struct FastqReader<R: BufRead> {
+    inner: R,
+    line_no: u64,
+    buf: String,
+}
+
+impl FastqReader<BufReader<File>> {
+    /// Open a FASTQ file from disk.
+    pub fn from_path(path: impl AsRef<Path>) -> Result<Self, SeqError> {
+        Ok(FastqReader::new(BufReader::new(File::open(path)?)))
+    }
+}
+
+impl<R: BufRead> FastqReader<R> {
+    /// Wrap a buffered reader.
+    pub fn new(inner: R) -> Self {
+        FastqReader { inner, line_no: 0, buf: String::new() }
+    }
+
+    /// Read all remaining records into a vector.
+    pub fn read_all(self) -> Result<Vec<FastqRecord>, SeqError> {
+        self.collect()
+    }
+
+    /// Read one line, trimmed of the trailing newline. `Ok(None)` at EOF.
+    fn read_trimmed(&mut self) -> Result<Option<String>, SeqError> {
+        loop {
+            self.buf.clear();
+            if self.inner.read_line(&mut self.buf)? == 0 {
+                return Ok(None);
+            }
+            self.line_no += 1;
+            let line = self.buf.trim_end_matches(['\n', '\r']);
+            if !line.is_empty() {
+                return Ok(Some(line.to_string()));
+            }
+            // Skip stray blank lines between records.
+        }
+    }
+
+    fn format_err(&self, msg: impl Into<String>) -> SeqError {
+        SeqError::Format { line: self.line_no, msg: msg.into() }
+    }
+
+    fn next_record(&mut self) -> Result<Option<FastqRecord>, SeqError> {
+        let header = match self.read_trimmed()? {
+            None => return Ok(None),
+            Some(h) => h,
+        };
+        let header = header
+            .strip_prefix('@')
+            .ok_or_else(|| self.format_err("expected '@' record header"))?
+            .to_string();
+        if header.trim().is_empty() {
+            return Err(self.format_err("empty FASTQ header"));
+        }
+        let seq = self
+            .read_trimmed()?
+            .ok_or_else(|| self.format_err("truncated record: missing sequence line"))?;
+        let plus = self
+            .read_trimmed()?
+            .ok_or_else(|| self.format_err("truncated record: missing '+' line"))?;
+        if !plus.starts_with('+') {
+            return Err(self.format_err("expected '+' separator line"));
+        }
+        let qual = self
+            .read_trimmed()?
+            .ok_or_else(|| self.format_err("truncated record: missing quality line"))?;
+        if qual.len() != seq.len() {
+            return Err(self.format_err(format!(
+                "quality length {} != sequence length {}",
+                qual.len(),
+                seq.len()
+            )));
+        }
+        let (id, desc) = split_header(&header);
+        Ok(Some(FastqRecord { id, desc, seq: seq.into_bytes(), qual: qual.into_bytes() }))
+    }
+}
+
+impl<R: BufRead> Iterator for FastqReader<R> {
+    type Item = Result<FastqRecord, SeqError>;
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_record().transpose()
+    }
+}
+
+/// FASTQ writer (strict 4-line records).
+pub struct FastqWriter<W: Write> {
+    inner: W,
+}
+
+impl FastqWriter<BufWriter<File>> {
+    /// Create or truncate a FASTQ file on disk.
+    pub fn create(path: impl AsRef<Path>) -> Result<Self, SeqError> {
+        Ok(FastqWriter::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write> FastqWriter<W> {
+    /// Wrap a writer.
+    pub fn new(inner: W) -> Self {
+        FastqWriter { inner }
+    }
+
+    /// Write one record.
+    ///
+    /// Empty sequences are rejected: a zero-length read cannot be
+    /// represented unambiguously in the 4-line layout (its blank sequence
+    /// line is indistinguishable from stray blank lines that parsers skip).
+    pub fn write_record(&mut self, rec: &FastqRecord) -> Result<(), SeqError> {
+        debug_assert_eq!(rec.seq.len(), rec.qual.len());
+        if rec.seq.is_empty() {
+            return Err(SeqError::InvalidParameter(format!(
+                "cannot write empty FASTQ record {:?}",
+                rec.id
+            )));
+        }
+        match &rec.desc {
+            Some(d) => writeln!(self.inner, "@{} {}", rec.id, d)?,
+            None => writeln!(self.inner, "@{}", rec.id)?,
+        }
+        self.inner.write_all(&rec.seq)?;
+        writeln!(self.inner, "\n+")?;
+        self.inner.write_all(&rec.qual)?;
+        writeln!(self.inner)?;
+        Ok(())
+    }
+
+    /// Flush the underlying writer.
+    pub fn flush(&mut self) -> Result<(), SeqError> {
+        self.inner.flush()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(s: &str) -> Result<Vec<FastqRecord>, SeqError> {
+        FastqReader::new(Cursor::new(s.as_bytes())).read_all()
+    }
+
+    #[test]
+    fn single_record() {
+        let recs = parse("@r1 hifi\nACGT\n+\nIIII\n").unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].id, "r1");
+        assert_eq!(recs[0].desc.as_deref(), Some("hifi"));
+        assert_eq!(recs[0].seq, b"ACGT".to_vec());
+        assert_eq!(recs[0].qual, b"IIII".to_vec());
+    }
+
+    #[test]
+    fn plus_line_may_repeat_header() {
+        let recs = parse("@r1\nAC\n+r1\nII\n").unwrap();
+        assert_eq!(recs[0].seq, b"AC".to_vec());
+    }
+
+    #[test]
+    fn multiple_records() {
+        let recs = parse("@a\nA\n+\nI\n@b\nCC\n+\nJJ\n").unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[1].id, "b");
+    }
+
+    #[test]
+    fn quality_length_mismatch_is_error() {
+        let err = parse("@a\nACGT\n+\nII\n").unwrap_err();
+        assert!(err.to_string().contains("quality length"));
+    }
+
+    #[test]
+    fn truncated_record_is_error() {
+        assert!(parse("@a\nACGT\n+\n").is_err());
+        assert!(parse("@a\nACGT\n").is_err());
+        assert!(parse("@a\n").is_err());
+    }
+
+    #[test]
+    fn missing_at_sign_is_error() {
+        assert!(parse("r1\nACGT\n+\nIIII\n").is_err());
+    }
+
+    #[test]
+    fn writer_reader_roundtrip() {
+        let recs = vec![
+            FastqRecord {
+                id: "x".into(),
+                desc: Some("d".into()),
+                seq: b"ACGTACGT".to_vec(),
+                qual: b"IIIIJJJJ".to_vec(),
+            },
+            FastqRecord::with_uniform_quality("y", b"TT".to_vec(), b'?'),
+        ];
+        let mut out = Vec::new();
+        {
+            let mut w = FastqWriter::new(&mut out);
+            for r in &recs {
+                w.write_record(r).unwrap();
+            }
+            w.flush().unwrap();
+        }
+        let back = FastqReader::new(Cursor::new(&out)).read_all().unwrap();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(parse("").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,36 @@
+//! # jem-seq — DNA sequence substrate for JEM-Mapper
+//!
+//! This crate provides the low-level sequence machinery every other crate in
+//! the workspace builds on:
+//!
+//! * [`alphabet`] — the 2-bit DNA alphabet (`A=0, C=1, G=2, T=3`), chosen so
+//!   that numeric order of packed codes equals lexicographic order of the
+//!   underlying strings (the paper's minimizer ordering and "canonical k-mer
+//!   rank" both rely on lexicographic order).
+//! * [`kmer`] — fixed-`k` k-mers packed into a `u64` (`k ≤ 32`), reverse
+//!   complements, canonical forms, and rolling iteration over byte sequences.
+//! * [`packed`] — 2-bit packed sequences for memory-efficient storage of
+//!   contigs and reads.
+//! * [`record`] — named sequence records shared by the FASTA/FASTQ codecs.
+//! * [`fasta`] / [`fastq`] — streaming parsers and writers.
+//!
+//! The crate is dependency-free and `forbid(unsafe_code)`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alphabet;
+pub mod error;
+pub mod fasta;
+pub mod fastq;
+pub mod kmer;
+pub mod packed;
+pub mod record;
+
+pub use alphabet::{complement_base, decode_base, encode_base, is_dna, revcomp_bytes};
+pub use error::SeqError;
+pub use fasta::{FastaReader, FastaWriter};
+pub use fastq::{FastqReader, FastqWriter};
+pub use kmer::{CanonicalKmerIter, Kmer, KmerIter};
+pub use packed::PackedSeq;
+pub use record::{FastqRecord, SeqRecord};

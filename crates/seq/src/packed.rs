@@ -1,0 +1,248 @@
+//! 2-bit packed DNA sequences.
+//!
+//! Contig sets and read sets in the mapping workloads hold hundreds of
+//! megabases; storing them packed (4 bases/byte) quarters the memory of the
+//! resident sequence data. `PackedSeq` is append-only and supports random
+//! base access, sub-slice extraction and k-mer-code extraction without
+//! unpacking to ASCII first.
+
+use crate::alphabet::{decode_base, encode_base};
+use crate::error::SeqError;
+use crate::kmer::{kmer_mask, Kmer, MAX_K};
+
+/// An immutable-length, 2-bit packed DNA sequence (ACGT only).
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct PackedSeq {
+    /// 4 bases per byte, base `i` in bits `2*(i%4)..2*(i%4)+2` of byte `i/4`.
+    data: Vec<u8>,
+    len: usize,
+}
+
+impl PackedSeq {
+    /// Empty sequence.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-allocate for `n` bases.
+    pub fn with_capacity(n: usize) -> Self {
+        PackedSeq { data: Vec::with_capacity(n.div_ceil(4)), len: 0 }
+    }
+
+    /// Pack an ASCII sequence. Fails on the first ambiguous base.
+    pub fn from_bytes(seq: &[u8]) -> Result<Self, SeqError> {
+        let mut p = PackedSeq::with_capacity(seq.len());
+        for (pos, &b) in seq.iter().enumerate() {
+            let c = encode_base(b).ok_or(SeqError::InvalidBase { byte: b, pos })?;
+            p.push_code(c);
+        }
+        Ok(p)
+    }
+
+    /// Pack an ASCII sequence, replacing ambiguous bases with `A`.
+    ///
+    /// Useful when downstream consumers (simulated pipelines) cannot handle
+    /// gaps; callers that must *skip* ambiguous windows should iterate the
+    /// raw bytes with [`crate::kmer::KmerIter`] instead.
+    pub fn from_bytes_lossy(seq: &[u8]) -> Self {
+        let mut p = PackedSeq::with_capacity(seq.len());
+        for &b in seq {
+            p.push_code(encode_base(b).unwrap_or(0));
+        }
+        p
+    }
+
+    /// Append one 2-bit base code (must be `< 4`).
+    #[inline]
+    pub fn push_code(&mut self, code: u8) {
+        debug_assert!(code < 4);
+        let slot = self.len % 4;
+        if slot == 0 {
+            self.data.push(0);
+        }
+        let last = self.data.last_mut().expect("just ensured non-empty");
+        *last |= (code & 3) << (2 * slot);
+        self.len += 1;
+    }
+
+    /// Append one ASCII base.
+    pub fn push_base(&mut self, b: u8) -> Result<(), SeqError> {
+        let c = encode_base(b).ok_or(SeqError::InvalidBase { byte: b, pos: self.len })?;
+        self.push_code(c);
+        Ok(())
+    }
+
+    /// Number of bases.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the sequence holds no bases.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// 2-bit code of base `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn code_at(&self, i: usize) -> u8 {
+        assert!(i < self.len, "base index {i} out of range (len {})", self.len);
+        (self.data[i / 4] >> (2 * (i % 4))) & 3
+    }
+
+    /// ASCII base at position `i`.
+    #[inline]
+    pub fn base_at(&self, i: usize) -> u8 {
+        decode_base(self.code_at(i))
+    }
+
+    /// Unpack the whole sequence to ASCII.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        (0..self.len).map(|i| self.base_at(i)).collect()
+    }
+
+    /// Unpack the half-open base range `start..end` to ASCII.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds or inverted.
+    pub fn slice_bytes(&self, start: usize, end: usize) -> Vec<u8> {
+        assert!(start <= end && end <= self.len, "bad slice {start}..{end} (len {})", self.len);
+        (start..end).map(|i| self.base_at(i)).collect()
+    }
+
+    /// Packed code of the `k`-mer starting at base `start`.
+    ///
+    /// Returns `Err` for invalid `k` and `None`-free: the range must be in
+    /// bounds (panics otherwise, mirroring slice semantics).
+    pub fn kmer_at(&self, start: usize, k: usize) -> Result<Kmer, SeqError> {
+        if k == 0 || k > MAX_K {
+            return Err(SeqError::InvalidK(k));
+        }
+        assert!(start + k <= self.len, "k-mer {start}+{k} out of range (len {})", self.len);
+        let mut code = 0u64;
+        for i in start..start + k {
+            code = (code << 2) | u64::from(self.code_at(i));
+        }
+        debug_assert_eq!(code & kmer_mask(k), code);
+        Kmer::from_code(code, k)
+    }
+
+    /// Reverse complement as a new packed sequence.
+    pub fn revcomp(&self) -> PackedSeq {
+        let mut out = PackedSeq::with_capacity(self.len);
+        for i in (0..self.len).rev() {
+            out.push_code(3 - self.code_at(i));
+        }
+        out
+    }
+
+    /// Approximate heap footprint in bytes (the packed payload).
+    pub fn heap_bytes(&self) -> usize {
+        self.data.capacity()
+    }
+}
+
+impl std::fmt::Debug for PackedSeq {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.len <= 60 {
+            write!(f, "PackedSeq({})", String::from_utf8_lossy(&self.to_bytes()))
+        } else {
+            write!(
+                f,
+                "PackedSeq(len={}, {}...)",
+                self.len,
+                String::from_utf8_lossy(&self.slice_bytes(0, 24))
+            )
+        }
+    }
+}
+
+impl std::str::FromStr for PackedSeq {
+    type Err = SeqError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        PackedSeq::from_bytes(s.as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_various_lengths() {
+        for n in [0usize, 1, 2, 3, 4, 5, 7, 8, 9, 31, 64, 100] {
+            let seq: Vec<u8> = (0..n).map(|i| b"ACGT"[i % 4]).collect();
+            let p = PackedSeq::from_bytes(&seq).unwrap();
+            assert_eq!(p.len(), n);
+            assert_eq!(p.to_bytes(), seq);
+        }
+    }
+
+    #[test]
+    fn rejects_ambiguous() {
+        let err = PackedSeq::from_bytes(b"ACGNA").unwrap_err();
+        match err {
+            SeqError::InvalidBase { byte, pos } => {
+                assert_eq!(byte, b'N');
+                assert_eq!(pos, 3);
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn lossy_replaces_with_a() {
+        let p = PackedSeq::from_bytes_lossy(b"ANGT");
+        assert_eq!(p.to_bytes(), b"AAGT".to_vec());
+    }
+
+    #[test]
+    fn base_access() {
+        let p = PackedSeq::from_bytes(b"GATTACA").unwrap();
+        assert_eq!(p.base_at(0), b'G');
+        assert_eq!(p.base_at(6), b'A');
+        assert_eq!(p.slice_bytes(1, 4), b"ATT".to_vec());
+        assert_eq!(p.slice_bytes(0, 0), Vec::<u8>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn base_access_out_of_range_panics() {
+        let p = PackedSeq::from_bytes(b"ACGT").unwrap();
+        p.code_at(4);
+    }
+
+    #[test]
+    fn kmer_extraction_matches_bytes() {
+        let p = PackedSeq::from_bytes(b"ACGTTGCA").unwrap();
+        for start in 0..=5 {
+            let km = p.kmer_at(start, 3).unwrap();
+            let expect = Kmer::from_bytes(&p.slice_bytes(start, start + 3)).unwrap();
+            assert_eq!(km, expect);
+        }
+    }
+
+    #[test]
+    fn revcomp_matches_byte_revcomp() {
+        let p = PackedSeq::from_bytes(b"AACCGGTTAG").unwrap();
+        assert_eq!(p.revcomp().to_bytes(), crate::alphabet::revcomp_bytes(b"AACCGGTTAG"));
+    }
+
+    #[test]
+    fn packing_is_4x_denser() {
+        let seq = vec![b'A'; 1000];
+        let p = PackedSeq::from_bytes(&seq).unwrap();
+        assert_eq!(p.data.len(), 250);
+    }
+
+    #[test]
+    fn from_str_parses() {
+        let p: PackedSeq = "ACGT".parse().unwrap();
+        assert_eq!(p.to_bytes(), b"ACGT".to_vec());
+        assert!("ACXT".parse::<PackedSeq>().is_err());
+    }
+}

@@ -1,0 +1,99 @@
+//! Named sequence records shared by the FASTA/FASTQ codecs and the mappers.
+
+/// A named DNA sequence (FASTA-style record).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SeqRecord {
+    /// Record identifier (first whitespace-delimited token of the header).
+    pub id: String,
+    /// Remainder of the header line, if any.
+    pub desc: Option<String>,
+    /// Raw ASCII sequence bytes (may include ambiguity codes).
+    pub seq: Vec<u8>,
+}
+
+impl SeqRecord {
+    /// Convenience constructor without a description.
+    pub fn new(id: impl Into<String>, seq: impl Into<Vec<u8>>) -> Self {
+        SeqRecord { id: id.into(), desc: None, seq: seq.into() }
+    }
+
+    /// Sequence length in bases.
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// True if the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+}
+
+/// A named DNA sequence with per-base qualities (FASTQ-style record).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FastqRecord {
+    /// Record identifier.
+    pub id: String,
+    /// Remainder of the header line, if any.
+    pub desc: Option<String>,
+    /// Raw ASCII sequence bytes.
+    pub seq: Vec<u8>,
+    /// Phred+33 quality string, same length as `seq`.
+    pub qual: Vec<u8>,
+}
+
+impl FastqRecord {
+    /// Convenience constructor with a uniform quality value.
+    pub fn with_uniform_quality(id: impl Into<String>, seq: Vec<u8>, phred33: u8) -> Self {
+        let qual = vec![phred33; seq.len()];
+        FastqRecord { id: id.into(), desc: None, seq, qual }
+    }
+
+    /// Sequence length in bases.
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// True if the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+
+    /// Drop the qualities, keeping a FASTA-style record.
+    pub fn into_seq_record(self) -> SeqRecord {
+        SeqRecord { id: self.id, desc: self.desc, seq: self.seq }
+    }
+}
+
+/// Split a FASTA/FASTQ header into `(id, desc)` at the first whitespace.
+pub(crate) fn split_header(header: &str) -> (String, Option<String>) {
+    match header.split_once(char::is_whitespace) {
+        Some((id, rest)) => {
+            let rest = rest.trim();
+            (id.to_string(), if rest.is_empty() { None } else { Some(rest.to_string()) })
+        }
+        None => (header.to_string(), None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_header_variants() {
+        assert_eq!(split_header("read1"), ("read1".into(), None));
+        assert_eq!(split_header("read1 len=100"), ("read1".into(), Some("len=100".into())));
+        assert_eq!(split_header("read1\tdescription"), ("read1".into(), Some("description".into())));
+        assert_eq!(split_header("read1   "), ("read1".into(), None));
+    }
+
+    #[test]
+    fn record_basics() {
+        let r = SeqRecord::new("x", b"ACGT".to_vec());
+        assert_eq!(r.len(), 4);
+        assert!(!r.is_empty());
+        let q = FastqRecord::with_uniform_quality("y", b"ACGT".to_vec(), b'I');
+        assert_eq!(q.qual, b"IIII".to_vec());
+        assert_eq!(q.into_seq_record().seq, b"ACGT".to_vec());
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the sequence substrate.
+
+use jem_seq::{
+    alphabet::revcomp_bytes, CanonicalKmerIter, FastaReader, FastaWriter, FastqReader,
+    FastqWriter, FastqRecord, Kmer, KmerIter, PackedSeq, SeqRecord,
+};
+use proptest::prelude::*;
+
+/// Strategy: an ACGT-only sequence of length `0..max`.
+fn dna(max: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(prop::sample::select(vec![b'A', b'C', b'G', b'T']), 0..max)
+}
+
+/// Strategy: DNA with occasional ambiguity codes.
+fn dna_with_n(max: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(
+        prop::sample::select(vec![b'A', b'C', b'G', b'T', b'A', b'C', b'G', b'T', b'N']),
+        0..max,
+    )
+}
+
+proptest! {
+    #[test]
+    fn packed_roundtrip(seq in dna(300)) {
+        let p = PackedSeq::from_bytes(&seq).unwrap();
+        prop_assert_eq!(p.to_bytes(), seq);
+    }
+
+    #[test]
+    fn packed_revcomp_involution(seq in dna(200)) {
+        let p = PackedSeq::from_bytes(&seq).unwrap();
+        prop_assert_eq!(p.revcomp().revcomp().to_bytes(), seq);
+    }
+
+    #[test]
+    fn revcomp_bytes_involution(seq in dna(200)) {
+        prop_assert_eq!(revcomp_bytes(&revcomp_bytes(&seq)), seq);
+    }
+
+    #[test]
+    fn kmer_roundtrip(seq in dna(33).prop_filter("nonempty", |s| !s.is_empty())) {
+        let truncated = &seq[..seq.len().min(32)];
+        let k = Kmer::from_bytes(truncated).unwrap();
+        prop_assert_eq!(k.to_bytes(), truncated.to_vec());
+    }
+
+    #[test]
+    fn kmer_revcomp_matches_string(seq in dna(33).prop_filter("nonempty", |s| !s.is_empty())) {
+        let truncated = &seq[..seq.len().min(32)];
+        let k = Kmer::from_bytes(truncated).unwrap();
+        prop_assert_eq!(k.revcomp().to_bytes(), revcomp_bytes(truncated));
+    }
+
+    #[test]
+    fn kmer_order_is_lexicographic(a in dna(12), b in dna(12)) {
+        // Compare equal-length prefixes only (order is defined per fixed k).
+        let n = a.len().min(b.len());
+        if n == 0 { return Ok(()); }
+        let (a, b) = (&a[..n], &b[..n]);
+        let ka = Kmer::from_bytes(a).unwrap();
+        let kb = Kmer::from_bytes(b).unwrap();
+        prop_assert_eq!(ka.code().cmp(&kb.code()), a.cmp(b));
+    }
+
+    #[test]
+    fn kmer_iter_matches_windows(seq in dna_with_n(200), k in 1usize..9) {
+        let got: Vec<(usize, Vec<u8>)> = KmerIter::new(&seq, k)
+            .unwrap()
+            .map(|(p, km)| (p, km.to_bytes()))
+            .collect();
+        let expect: Vec<(usize, Vec<u8>)> = seq
+            .windows(k)
+            .enumerate()
+            .filter(|(_, w)| w.iter().all(|&b| jem_seq::is_dna(b)))
+            .map(|(p, w)| (p, w.to_vec()))
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn canonical_iter_matches_naive(seq in dna_with_n(200), k in 1usize..9) {
+        let fast: Vec<_> = CanonicalKmerIter::new(&seq, k).unwrap().collect();
+        let naive: Vec<_> = KmerIter::new(&seq, k)
+            .unwrap()
+            .map(|(p, km)| (p, km.canonical()))
+            .collect();
+        prop_assert_eq!(fast, naive);
+    }
+
+    #[test]
+    fn canonical_multiset_strand_invariant(seq in dna(200), k in 1usize..9) {
+        let rc = revcomp_bytes(&seq);
+        let mut a: Vec<u64> = CanonicalKmerIter::new(&seq, k).unwrap().map(|(_, km)| km.code()).collect();
+        let mut b: Vec<u64> = CanonicalKmerIter::new(&rc, k).unwrap().map(|(_, km)| km.code()).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fasta_roundtrip(records in prop::collection::vec((r"[a-zA-Z0-9_.]{1,12}", dna(120)), 0..6)) {
+        let recs: Vec<SeqRecord> = records
+            .into_iter()
+            .enumerate()
+            .map(|(i, (id, seq))| SeqRecord::new(format!("{id}_{i}"), seq))
+            .collect();
+        let mut out = Vec::new();
+        {
+            let mut w = FastaWriter::new(&mut out);
+            w.line_width = 37; // awkward width exercises wrapping
+            w.write_all_records(&recs).unwrap();
+            w.flush().unwrap();
+        }
+        let back = FastaReader::new(std::io::Cursor::new(&out)).read_all().unwrap();
+        prop_assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn fastq_roundtrip(
+        records in prop::collection::vec(
+            (r"[a-zA-Z0-9_.]{1,12}", dna(100).prop_filter("nonempty", |s| !s.is_empty())),
+            0..6,
+        ),
+    ) {
+        let recs: Vec<FastqRecord> = records
+            .into_iter()
+            .enumerate()
+            .map(|(i, (id, seq))| FastqRecord::with_uniform_quality(format!("{id}_{i}"), seq, b'F'))
+            .collect();
+        let mut out = Vec::new();
+        {
+            let mut w = FastqWriter::new(&mut out);
+            for r in &recs {
+                w.write_record(r).unwrap();
+            }
+            w.flush().unwrap();
+        }
+        let back = FastqReader::new(std::io::Cursor::new(&out)).read_all().unwrap();
+        prop_assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn packed_kmer_at_matches_slice(seq in dna(100), start in 0usize..80, k in 1usize..12) {
+        prop_assume!(start + k <= seq.len());
+        let p = PackedSeq::from_bytes(&seq).unwrap();
+        let km = p.kmer_at(start, k).unwrap();
+        prop_assert_eq!(km.to_bytes(), seq[start..start + k].to_vec());
+    }
+}

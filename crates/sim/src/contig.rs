@@ -1,0 +1,212 @@
+//! Direct contig generation (fast path to a Minia-like contig set).
+//!
+//! The paper's contigs come from Minia assemblies of simulated Illumina
+//! reads — a fragmented, non-redundant tiling of the genome whose lengths
+//! vary over 10³–10⁵ bp with gaps between fragments. [`fragment_contigs`]
+//! produces such a set directly from the genome with exact truth
+//! coordinates (the workspace's `jem-dbg` crate provides the full
+//! read-assembly path when assembly itself is the thing under test).
+
+use crate::genome::{mutate_base, Genome};
+use jem_seq::SeqRecord;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Contig length/gap distribution parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ContigProfile {
+    /// Mean contig length.
+    pub mean_len: usize,
+    /// Contig length standard deviation (distribution is lognormal-ish:
+    /// normal draws clamped below at `min_len`, matching the heavy
+    /// +std.dev of Table I).
+    pub std_len: usize,
+    /// Minimum contig length (paper filters contigs ≥ 500 bp).
+    pub min_len: usize,
+    /// Fraction of the genome NOT covered by contigs (assembly gaps);
+    /// Table I subject totals run ~70–100% of genome length.
+    pub gap_fraction: f64,
+    /// Per-base error rate inside contigs (assembly miscalls; tiny).
+    pub error_rate: f64,
+}
+
+impl ContigProfile {
+    /// Bacterial analogue (Table I E. coli: 12.4 kbp ± 14 kbp, ~97% covered).
+    pub fn bacterial() -> Self {
+        ContigProfile { mean_len: 12_400, std_len: 14_000, min_len: 500, gap_fraction: 0.03, error_rate: 0.0005 }
+    }
+
+    /// Eukaryote analogue (Table I C. elegans-like: 2.8 kbp ± 4.7 kbp, ~85%).
+    pub fn eukaryotic() -> Self {
+        ContigProfile { mean_len: 2_800, std_len: 4_700, min_len: 500, gap_fraction: 0.15, error_rate: 0.0005 }
+    }
+
+    /// A compact profile for doc examples and small tests.
+    pub fn small_genome() -> Self {
+        ContigProfile { mean_len: 3_000, std_len: 1_500, min_len: 500, gap_fraction: 0.1, error_rate: 0.0 }
+    }
+}
+
+/// A contig with its truth coordinates on the source genome.
+#[derive(Clone, Debug)]
+pub struct Contig {
+    /// Contig identifier.
+    pub id: String,
+    /// Contig bases.
+    pub seq: Vec<u8>,
+    /// Genome start (0-based, inclusive).
+    pub ref_start: usize,
+    /// Genome end (exclusive).
+    pub ref_end: usize,
+}
+
+impl Contig {
+    /// Contig length in bases.
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// True if the contig is empty (never produced by the generator).
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+}
+
+/// Fragment `genome` into a contig set following `profile`.
+///
+/// Contigs tile the genome left to right, separated by gaps whose sizes are
+/// drawn so the total gap mass matches `gap_fraction`. The resulting set is
+/// non-redundant (disjoint genome intervals) — the assumption the paper
+/// makes of Minia output.
+pub fn fragment_contigs(genome: &Genome, profile: &ContigProfile, seed: u64) -> Vec<Contig> {
+    assert!(profile.mean_len >= profile.min_len, "mean_len must be >= min_len");
+    assert!((0.0..1.0).contains(&profile.gap_fraction), "gap_fraction must be in [0,1)");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut contigs = Vec::new();
+    let n = genome.len();
+    // Mean gap sized so that gaps occupy gap_fraction of the genome:
+    // per contig of mean_len there is one gap of g where
+    // g / (g + mean_len) = gap_fraction.
+    let mean_gap = if profile.gap_fraction == 0.0 {
+        0.0
+    } else {
+        profile.gap_fraction * profile.mean_len as f64 / (1.0 - profile.gap_fraction)
+    };
+
+    let mut pos = 0usize;
+    let mut i = 0usize;
+    while pos < n {
+        let len = sample_clamped(&mut rng, profile.mean_len as f64, profile.std_len as f64, profile.min_len)
+            .min(n - pos);
+        if len >= profile.min_len {
+            let mut seq = genome.seq[pos..pos + len].to_vec();
+            if profile.error_rate > 0.0 {
+                for b in seq.iter_mut() {
+                    if rng.gen_bool(profile.error_rate) {
+                        *b = mutate_base(&mut rng, *b);
+                    }
+                }
+            }
+            contigs.push(Contig {
+                id: format!("contig_{i}"),
+                seq,
+                ref_start: pos,
+                ref_end: pos + len,
+            });
+            i += 1;
+        }
+        pos += len;
+        // Gap: exponential draw around the mean gap size.
+        if mean_gap > 0.0 {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            pos += (-u.ln() * mean_gap) as usize;
+        }
+    }
+    contigs
+}
+
+/// Convert contigs to plain [`SeqRecord`]s (dropping truth).
+pub fn contig_records(contigs: &[Contig]) -> Vec<SeqRecord> {
+    contigs.iter().map(|c| SeqRecord::new(c.id.clone(), c.seq.clone())).collect()
+}
+
+fn sample_clamped(rng: &mut StdRng, mean: f64, std: f64, min: usize) -> usize {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (mean + z * std).max(min as f64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn genome() -> Genome {
+        Genome::random(500_000, 0.5, 17)
+    }
+
+    #[test]
+    fn contigs_are_disjoint_and_ordered() {
+        let g = genome();
+        let contigs = fragment_contigs(&g, &ContigProfile::eukaryotic(), 3);
+        assert!(!contigs.is_empty());
+        for w in contigs.windows(2) {
+            assert!(w[0].ref_end <= w[1].ref_start, "contigs must not overlap");
+        }
+    }
+
+    #[test]
+    fn coordinates_match_sequence_when_error_free() {
+        let g = genome();
+        let profile = ContigProfile { error_rate: 0.0, ..ContigProfile::eukaryotic() };
+        for c in fragment_contigs(&g, &profile, 5) {
+            assert_eq!(c.seq, g.seq[c.ref_start..c.ref_end].to_vec());
+            assert_eq!(c.len(), c.ref_end - c.ref_start);
+        }
+    }
+
+    #[test]
+    fn gap_fraction_respected() {
+        let g = Genome::random(2_000_000, 0.5, 21);
+        let profile = ContigProfile { gap_fraction: 0.2, ..ContigProfile::eukaryotic() };
+        let contigs = fragment_contigs(&g, &profile, 7);
+        let covered: usize = contigs.iter().map(Contig::len).sum();
+        let cov = covered as f64 / g.len() as f64;
+        assert!((cov - 0.8).abs() < 0.08, "covered fraction {cov}, target 0.8");
+    }
+
+    #[test]
+    fn min_length_enforced() {
+        let g = genome();
+        let contigs = fragment_contigs(&g, &ContigProfile::eukaryotic(), 9);
+        assert!(contigs.iter().all(|c| c.len() >= 500));
+    }
+
+    #[test]
+    fn mean_length_in_band() {
+        let g = Genome::random(3_000_000, 0.5, 2);
+        let profile = ContigProfile::eukaryotic();
+        let contigs = fragment_contigs(&g, &profile, 11);
+        let mean = contigs.iter().map(Contig::len).sum::<usize>() as f64 / contigs.len() as f64;
+        // Clamping at min_len biases the mean upward; just demand the band.
+        assert!(mean > 2_000.0 && mean < 6_500.0, "mean contig length {mean}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = genome();
+        let a = fragment_contigs(&g, &ContigProfile::bacterial(), 13);
+        let b = fragment_contigs(&g, &ContigProfile::bacterial(), 13);
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(&b).all(|(x, y)| x.seq == y.seq));
+    }
+
+    #[test]
+    fn records_conversion() {
+        let g = genome();
+        let contigs = fragment_contigs(&g, &ContigProfile::small_genome(), 1);
+        let recs = contig_records(&contigs);
+        assert_eq!(recs.len(), contigs.len());
+        assert_eq!(recs[0].id, "contig_0");
+    }
+}

@@ -1,0 +1,289 @@
+//! Scaled analogues of the paper's eight input datasets (Table I).
+//!
+//! The paper's genomes span 4.6 Mbp (E. coli) to 339 Mbp (B. splendens).
+//! Running those sizes through every experiment on a laptop-class host is
+//! impractical, so each dataset is reproduced as a *scaled analogue*: the
+//! genome shrinks (bacteria ~1/10, eukaryotes ~1/64; `scale` multiplies
+//! further), while every distribution that shapes the algorithms —
+//! coverage (10×), read-length distribution, contig-length distribution,
+//! gap fraction, repeat density — matches Table I. Quality metrics and
+//! scaling *shapes* are size-free; absolute runtimes are not (documented in
+//! EXPERIMENTS.md).
+
+use crate::contig::{fragment_contigs, Contig, ContigProfile};
+use crate::genome::{Genome, GenomeProfile};
+use crate::hifi::{simulate_hifi, HifiProfile, SimulatedRead};
+
+/// The paper's eight inputs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DatasetId {
+    /// E. coli (bacterial, 4.64 Mbp).
+    EColi,
+    /// P. aeruginosa (bacterial, 6.26 Mbp).
+    PAeruginosa,
+    /// C. elegans (eukaryotic, 100 Mbp).
+    CElegans,
+    /// D. busckii (eukaryotic, 118 Mbp).
+    DBusckii,
+    /// Human chromosome 7 (159 Mbp).
+    HumanChr7,
+    /// Human chromosome 8 (145 Mbp).
+    HumanChr8,
+    /// B. splendens (eukaryotic, 339 Mbp — the paper's headline input).
+    BSplendens,
+    /// O. sativa chr 8 with *real* PacBio reads (28.4 Mbp genome).
+    OSativaChr8,
+}
+
+impl DatasetId {
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetId::EColi => "E. coli",
+            DatasetId::PAeruginosa => "P. aeruginosa",
+            DatasetId::CElegans => "C. elegans",
+            DatasetId::DBusckii => "D. busckii",
+            DatasetId::HumanChr7 => "Human chr 7",
+            DatasetId::HumanChr8 => "Human chr 8",
+            DatasetId::BSplendens => "B. splendens",
+            DatasetId::OSativaChr8 => "O. sativa chr 8 (real)",
+        }
+    }
+}
+
+/// Everything needed to generate one dataset analogue.
+#[derive(Clone, Debug)]
+pub struct DatasetSpec {
+    /// Which paper input this mirrors.
+    pub id: DatasetId,
+    /// Genome generation parameters.
+    pub genome: GenomeProfile,
+    /// Contig fragmentation parameters.
+    pub contig: ContigProfile,
+    /// Long-read simulation parameters.
+    pub hifi: HifiProfile,
+}
+
+impl DatasetSpec {
+    /// Generate the full dataset deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> SimulatedDataset {
+        let genome = Genome::from_profile(self.id.name(), &self.genome, seed);
+        let contigs = fragment_contigs(&genome, &self.contig, seed.wrapping_add(1));
+        let reads = simulate_hifi(&genome, &self.hifi, seed.wrapping_add(2));
+        SimulatedDataset { spec: self.clone(), genome, contigs, reads }
+    }
+}
+
+/// A generated dataset: genome + contigs (subjects) + long reads (queries).
+#[derive(Clone, Debug)]
+pub struct SimulatedDataset {
+    /// The spec this dataset was generated from.
+    pub spec: DatasetSpec,
+    /// The reference genome (ground truth only; the mappers never see it).
+    pub genome: Genome,
+    /// The subject set `S`.
+    pub contigs: Vec<Contig>,
+    /// The query set `Q` (full-length reads; segmentation happens in the mapper).
+    pub reads: Vec<SimulatedRead>,
+}
+
+impl SimulatedDataset {
+    /// Table I-style statistics row.
+    pub fn stats(&self) -> DatasetStats {
+        let n_contigs = self.contigs.len();
+        let subject_bp: usize = self.contigs.iter().map(Contig::len).sum();
+        let contig_mean = if n_contigs == 0 { 0.0 } else { subject_bp as f64 / n_contigs as f64 };
+        let contig_std = std_dev(self.contigs.iter().map(Contig::len), contig_mean);
+        let n_reads = self.reads.len();
+        let query_bp: usize = self.reads.iter().map(SimulatedRead::len).sum();
+        let read_mean = if n_reads == 0 { 0.0 } else { query_bp as f64 / n_reads as f64 };
+        let read_std = std_dev(self.reads.iter().map(SimulatedRead::len), read_mean);
+        DatasetStats {
+            name: self.spec.id.name(),
+            genome_bp: self.genome.len(),
+            n_contigs,
+            subject_bp,
+            contig_mean,
+            contig_std,
+            n_reads,
+            query_bp,
+            read_mean,
+            read_std,
+        }
+    }
+}
+
+/// One row of Table I.
+#[derive(Clone, Debug)]
+pub struct DatasetStats {
+    /// Input name.
+    pub name: &'static str,
+    /// Genome length in bp.
+    pub genome_bp: usize,
+    /// Number of contigs (≥ min length).
+    pub n_contigs: usize,
+    /// Total subject size in bp.
+    pub subject_bp: usize,
+    /// Mean contig length.
+    pub contig_mean: f64,
+    /// Contig length std. dev.
+    pub contig_std: f64,
+    /// Number of long reads.
+    pub n_reads: usize,
+    /// Total query size in bp.
+    pub query_bp: usize,
+    /// Mean read length.
+    pub read_mean: f64,
+    /// Read length std. dev.
+    pub read_std: f64,
+}
+
+fn std_dev(values: impl Iterator<Item = usize> + Clone, mean: f64) -> f64 {
+    let (sum_sq, n) = values.fold((0.0f64, 0usize), |(s, n), v| {
+        let d = v as f64 - mean;
+        (s + d * d, n + 1)
+    });
+    if n == 0 {
+        0.0
+    } else {
+        (sum_sq / n as f64).sqrt()
+    }
+}
+
+/// The eight scaled analogues of Table I. `scale` multiplies every genome
+/// length (1.0 = the default bench scale documented in DESIGN.md §4).
+pub fn paper_analogues(scale: f64) -> Vec<DatasetSpec> {
+    assert!(scale > 0.0, "scale must be positive");
+    let sz = |base: usize| ((base as f64 * scale) as usize).max(20_000);
+    let mut specs = Vec::new();
+
+    // --- Bacterial inputs: near-repeat-free, long contigs, tiny gaps.
+    for (id, len, contig_mean, contig_std, gap) in [
+        (DatasetId::EColi, 464_000, 12_400, 14_000, 0.026),
+        (DatasetId::PAeruginosa, 626_000, 13_400, 18_200, 0.017),
+    ] {
+        let mut genome = GenomeProfile::bacterial(sz(len));
+        genome.gc_content = 0.5;
+        specs.push(DatasetSpec {
+            id,
+            genome,
+            contig: ContigProfile {
+                mean_len: contig_mean,
+                std_len: contig_std,
+                min_len: 500,
+                gap_fraction: gap,
+                error_rate: 0.0005,
+            },
+            hifi: HifiProfile::default(),
+        });
+    }
+
+    // --- Eukaryotic inputs: repeat-rich, short contigs, larger gaps.
+    for (id, len, repeat_frac, contig_mean, contig_std, gap) in [
+        (DatasetId::CElegans, 1_600_000, 0.12, 2_800, 4_700, 0.146),
+        (DatasetId::DBusckii, 1_850_000, 0.15, 2_500, 3_150, 0.078),
+        (DatasetId::HumanChr7, 2_500_000, 0.20, 2_000, 1_930, 0.303),
+        (DatasetId::HumanChr8, 2_270_000, 0.20, 2_050, 1_880, 0.238),
+        (DatasetId::BSplendens, 5_300_000, 0.18, 3_460, 4_180, 0.02),
+    ] {
+        let mut genome = GenomeProfile::eukaryotic(sz(len));
+        genome.repeat_fraction = repeat_frac;
+        specs.push(DatasetSpec {
+            id,
+            genome,
+            contig: ContigProfile {
+                mean_len: contig_mean,
+                std_len: contig_std,
+                min_len: 500,
+                gap_fraction: gap,
+                error_rate: 0.0005,
+            },
+            hifi: HifiProfile::default(),
+        });
+    }
+
+    // --- O. sativa chr 8: real-data analogue (longer reads, sparse contigs).
+    specs.push(DatasetSpec {
+        id: DatasetId::OSativaChr8,
+        genome: {
+            let mut g = GenomeProfile::eukaryotic(sz(890_000));
+            g.repeat_fraction = 0.15;
+            g
+        },
+        contig: ContigProfile {
+            mean_len: 1_850,
+            std_len: 2_070,
+            min_len: 500,
+            gap_fraction: 0.353,
+            error_rate: 0.0005,
+        },
+        hifi: HifiProfile::real_data_analogue(),
+    });
+
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_analogues() {
+        let specs = paper_analogues(1.0);
+        assert_eq!(specs.len(), 8);
+        let names: Vec<&str> = specs.iter().map(|s| s.id.name()).collect();
+        assert!(names.contains(&"B. splendens"));
+        assert!(names.contains(&"O. sativa chr 8 (real)"));
+    }
+
+    #[test]
+    fn scale_shrinks_genomes() {
+        let big = paper_analogues(1.0);
+        let small = paper_analogues(0.1);
+        for (b, s) in big.iter().zip(&small) {
+            assert!(s.genome.length <= b.genome.length);
+            assert!(s.genome.length >= 20_000, "floor respected");
+        }
+    }
+
+    #[test]
+    fn generate_small_dataset_end_to_end() {
+        let spec = &paper_analogues(0.05)[0]; // E. coli analogue, tiny
+        let ds = spec.generate(42);
+        assert!(!ds.contigs.is_empty());
+        assert!(!ds.reads.is_empty());
+        let stats = ds.stats();
+        assert_eq!(stats.name, "E. coli");
+        assert!(stats.subject_bp <= stats.genome_bp);
+        assert!(stats.contig_mean >= 500.0);
+        // 10x coverage → query_bp ≈ 10 × genome.
+        let cov = stats.query_bp as f64 / stats.genome_bp as f64;
+        assert!((cov - 10.0).abs() < 3.0, "coverage {cov}");
+    }
+
+    #[test]
+    fn bacterial_vs_eukaryotic_character() {
+        let specs = paper_analogues(1.0);
+        let ecoli = specs.iter().find(|s| s.id == DatasetId::EColi).unwrap();
+        let human = specs.iter().find(|s| s.id == DatasetId::HumanChr7).unwrap();
+        assert!(ecoli.genome.repeat_fraction < human.genome.repeat_fraction);
+        assert!(ecoli.contig.mean_len > human.contig.mean_len);
+    }
+
+    #[test]
+    fn real_analogue_reads_longer() {
+        let specs = paper_analogues(1.0);
+        let osativa = specs.iter().find(|s| s.id == DatasetId::OSativaChr8).unwrap();
+        assert!(osativa.hifi.mean_len > 15_000);
+    }
+
+    #[test]
+    fn generation_deterministic() {
+        let spec = &paper_analogues(0.05)[0];
+        let a = spec.generate(7);
+        let b = spec.generate(7);
+        assert_eq!(a.genome.seq, b.genome.seq);
+        assert_eq!(a.contigs.len(), b.contigs.len());
+        assert_eq!(a.reads.len(), b.reads.len());
+    }
+}

@@ -1,0 +1,257 @@
+//! Synthetic genomes with planted repeat families.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a synthetic genome.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GenomeProfile {
+    /// Total genome length in bases.
+    pub length: usize,
+    /// GC content in `[0, 1]` (fraction of G/C bases in random regions).
+    pub gc_content: f64,
+    /// Fraction of the genome covered by planted repeat copies, `[0, 1)`.
+    pub repeat_fraction: f64,
+    /// Number of distinct repeat families to plant.
+    pub repeat_families: usize,
+    /// Repeat element length range (inclusive).
+    pub repeat_len: (usize, usize),
+    /// Per-base divergence between copies of the same family, `[0, 1)`.
+    /// Real eukaryotic repeats are not verbatim; divergence keeps copies
+    /// near-identical but not k-mer-identical everywhere.
+    pub repeat_divergence: f64,
+}
+
+impl GenomeProfile {
+    /// Bacterial-like: almost repeat-free.
+    pub fn bacterial(length: usize) -> Self {
+        GenomeProfile {
+            length,
+            gc_content: 0.5,
+            repeat_fraction: 0.02,
+            repeat_families: 3,
+            repeat_len: (500, 3000),
+            repeat_divergence: 0.02,
+        }
+    }
+
+    /// Eukaryote-like: dense, moderately diverged repeat families.
+    pub fn eukaryotic(length: usize) -> Self {
+        GenomeProfile {
+            length,
+            gc_content: 0.41,
+            repeat_fraction: 0.25,
+            repeat_families: 12,
+            repeat_len: (300, 5000),
+            repeat_divergence: 0.05,
+        }
+    }
+}
+
+/// A synthetic genome with known repeat layout.
+#[derive(Clone, Debug)]
+pub struct Genome {
+    /// Genome name (used as FASTA id).
+    pub name: String,
+    /// The full sequence (ACGT only).
+    pub seq: Vec<u8>,
+    /// Half-open ranges where repeat copies were planted.
+    pub repeat_regions: Vec<std::ops::Range<usize>>,
+}
+
+impl Genome {
+    /// Random genome without planted repeats.
+    pub fn random(length: usize, gc_content: f64, seed: u64) -> Self {
+        let profile = GenomeProfile {
+            length,
+            gc_content,
+            repeat_fraction: 0.0,
+            repeat_families: 0,
+            repeat_len: (0, 0),
+            repeat_divergence: 0.0,
+        };
+        Genome::from_profile("random", &profile, seed)
+    }
+
+    /// Generate a genome from a profile, deterministically from `seed`.
+    pub fn from_profile(name: &str, profile: &GenomeProfile, seed: u64) -> Self {
+        assert!(profile.length > 0, "genome length must be positive");
+        assert!(
+            (0.0..=1.0).contains(&profile.gc_content),
+            "gc_content must be a fraction"
+        );
+        assert!(
+            (0.0..1.0).contains(&profile.repeat_fraction),
+            "repeat_fraction must be in [0, 1)"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut seq = Vec::with_capacity(profile.length);
+        for _ in 0..profile.length {
+            seq.push(random_base(&mut rng, profile.gc_content));
+        }
+
+        // Plant repeat copies over random positions until the target
+        // fraction of bases lies inside a repeat region.
+        let mut repeat_regions = Vec::new();
+        if profile.repeat_fraction > 0.0 && profile.repeat_families > 0 {
+            let families: Vec<Vec<u8>> = (0..profile.repeat_families)
+                .map(|_| {
+                    let len = rng.gen_range(profile.repeat_len.0..=profile.repeat_len.1)
+                        .min(profile.length);
+                    (0..len).map(|_| random_base(&mut rng, profile.gc_content)).collect()
+                })
+                .collect();
+            let target = (profile.length as f64 * profile.repeat_fraction) as usize;
+            let mut planted = 0usize;
+            let mut guard = 0;
+            while planted < target && guard < 100_000 {
+                guard += 1;
+                let fam = &families[rng.gen_range(0..families.len())];
+                if fam.len() >= profile.length {
+                    break;
+                }
+                let start = rng.gen_range(0..profile.length - fam.len());
+                for (i, &b) in fam.iter().enumerate() {
+                    seq[start + i] = if rng.gen_bool(profile.repeat_divergence) {
+                        mutate_base(&mut rng, b)
+                    } else {
+                        b
+                    };
+                }
+                repeat_regions.push(start..start + fam.len());
+                planted += fam.len();
+            }
+        }
+
+        Genome { name: name.to_string(), seq, repeat_regions }
+    }
+
+    /// Genome length in bases.
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// True if the genome is empty (never produced by the generators).
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+
+    /// Fraction of bases lying inside at least one repeat region.
+    pub fn repeat_coverage(&self) -> f64 {
+        if self.seq.is_empty() {
+            return 0.0;
+        }
+        let mut covered = vec![false; self.seq.len()];
+        for r in &self.repeat_regions {
+            for c in covered[r.clone()].iter_mut() {
+                *c = true;
+            }
+        }
+        covered.iter().filter(|&&c| c).count() as f64 / self.seq.len() as f64
+    }
+}
+
+fn random_base(rng: &mut StdRng, gc: f64) -> u8 {
+    if rng.gen_bool(gc) {
+        if rng.gen_bool(0.5) {
+            b'G'
+        } else {
+            b'C'
+        }
+    } else if rng.gen_bool(0.5) {
+        b'A'
+    } else {
+        b'T'
+    }
+}
+
+/// Replace `b` with a different random base.
+pub(crate) fn mutate_base(rng: &mut StdRng, b: u8) -> u8 {
+    const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
+    loop {
+        let nb = BASES[rng.gen_range(0..4)];
+        if nb != b {
+            return nb;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_generation() {
+        let a = Genome::random(10_000, 0.5, 7);
+        let b = Genome::random(10_000, 0.5, 7);
+        assert_eq!(a.seq, b.seq);
+        let c = Genome::random(10_000, 0.5, 8);
+        assert_ne!(a.seq, c.seq);
+    }
+
+    #[test]
+    fn length_and_alphabet() {
+        let g = Genome::random(5000, 0.4, 1);
+        assert_eq!(g.len(), 5000);
+        assert!(g.seq.iter().all(|b| matches!(b, b'A' | b'C' | b'G' | b'T')));
+    }
+
+    #[test]
+    fn gc_content_approximate() {
+        for gc in [0.3, 0.5, 0.7] {
+            let g = Genome::random(200_000, gc, 3);
+            let observed = g.seq.iter().filter(|&&b| b == b'G' || b == b'C').count() as f64
+                / g.len() as f64;
+            assert!((observed - gc).abs() < 0.02, "target {gc}, observed {observed}");
+        }
+    }
+
+    #[test]
+    fn repeats_reach_target_fraction() {
+        let p = GenomeProfile::eukaryotic(300_000);
+        let g = Genome::from_profile("euk", &p, 11);
+        let cov = g.repeat_coverage();
+        assert!(cov > 0.15, "repeat coverage {cov} too low for target {}", p.repeat_fraction);
+        assert!(!g.repeat_regions.is_empty());
+    }
+
+    #[test]
+    fn bacterial_profile_nearly_repeat_free() {
+        let g = Genome::from_profile("bac", &GenomeProfile::bacterial(200_000), 5);
+        assert!(g.repeat_coverage() < 0.10);
+    }
+
+    #[test]
+    fn repeat_copies_share_kmers() {
+        // Two copies of the same family must share most of their k-mers —
+        // the property that creates mapping ambiguity.
+        let p = GenomeProfile {
+            length: 100_000,
+            gc_content: 0.5,
+            repeat_fraction: 0.1,
+            repeat_families: 1,
+            repeat_len: (2000, 2000),
+            repeat_divergence: 0.02,
+        };
+        let g = Genome::from_profile("r", &p, 13);
+        assert!(g.repeat_regions.len() >= 2);
+        let a = &g.seq[g.repeat_regions[0].clone()];
+        let b = &g.seq[g.repeat_regions[1].clone()];
+        let j = jem_shared_kmer_fraction(a, b, 16);
+        assert!(j > 0.3, "repeat copies share only {j} of k-mers");
+
+        fn jem_shared_kmer_fraction(a: &[u8], b: &[u8], k: usize) -> f64 {
+            use std::collections::HashSet;
+            let sa: HashSet<&[u8]> = a.windows(k).collect();
+            let sb: HashSet<&[u8]> = b.windows(k).collect();
+            let inter = sa.intersection(&sb).count();
+            inter as f64 / sa.len().min(sb.len()).max(1) as f64
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length must be positive")]
+    fn zero_length_rejected() {
+        Genome::random(0, 0.5, 1);
+    }
+}

@@ -1,0 +1,112 @@
+//! Illumina-like short-read simulation (ART substitute).
+//!
+//! 100 bp single-end reads with ~1% substitution error, uniform sampling,
+//! random strand — the input regime the paper feeds to ART before
+//! assembling contigs with Minia. These reads feed `jem-dbg`.
+
+use crate::genome::{mutate_base, Genome};
+use jem_seq::alphabet::revcomp_bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Short-read simulation parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IlluminaProfile {
+    /// Target coverage (short-read studies commonly use 30–50×).
+    pub coverage: f64,
+    /// Read length in bases (paper: 100 bp).
+    pub read_len: usize,
+    /// Per-base substitution error rate (Illumina: <1%).
+    pub error_rate: f64,
+}
+
+impl Default for IlluminaProfile {
+    fn default() -> Self {
+        IlluminaProfile { coverage: 30.0, read_len: 100, error_rate: 0.005 }
+    }
+}
+
+/// A simulated short read with its ground truth.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShortRead {
+    /// Read bases.
+    pub seq: Vec<u8>,
+    /// Genome start (0-based).
+    pub ref_start: usize,
+    /// True if sampled from the reverse strand.
+    pub reverse: bool,
+}
+
+/// Simulate short reads over `genome` at the profile's coverage.
+pub fn simulate_illumina(genome: &Genome, profile: &IlluminaProfile, seed: u64) -> Vec<ShortRead> {
+    assert!(profile.read_len > 0, "read length must be positive");
+    assert!(genome.len() >= profile.read_len, "genome shorter than a read");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_reads =
+        ((genome.len() as f64 * profile.coverage) / profile.read_len as f64).ceil() as usize;
+    let mut reads = Vec::with_capacity(n_reads);
+    let span = genome.len() - profile.read_len + 1;
+    for _ in 0..n_reads {
+        let start = rng.gen_range(0..span);
+        let reverse = rng.gen_bool(0.5);
+        let mut seq = genome.seq[start..start + profile.read_len].to_vec();
+        if reverse {
+            seq = revcomp_bytes(&seq);
+        }
+        for b in seq.iter_mut() {
+            if rng.gen_bool(profile.error_rate) {
+                *b = mutate_base(&mut rng, *b);
+            }
+        }
+        reads.push(ShortRead { seq, ref_start: start, reverse });
+    }
+    reads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_count_and_length() {
+        let g = Genome::random(50_000, 0.5, 1);
+        let p = IlluminaProfile { coverage: 10.0, ..Default::default() };
+        let reads = simulate_illumina(&g, &p, 2);
+        assert_eq!(reads.len(), (50_000.0 * 10.0 / 100.0) as usize);
+        assert!(reads.iter().all(|r| r.seq.len() == 100));
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = Genome::random(20_000, 0.5, 4);
+        let p = IlluminaProfile::default();
+        assert_eq!(simulate_illumina(&g, &p, 6), simulate_illumina(&g, &p, 6));
+    }
+
+    #[test]
+    fn substitution_rate_close_to_target() {
+        let g = Genome::random(100_000, 0.5, 3);
+        let p = IlluminaProfile { coverage: 5.0, error_rate: 0.02, ..Default::default() };
+        let reads = simulate_illumina(&g, &p, 9);
+        let mut errs = 0usize;
+        let mut total = 0usize;
+        for r in &reads {
+            let truth = if r.reverse {
+                revcomp_bytes(&g.seq[r.ref_start..r.ref_start + p.read_len])
+            } else {
+                g.seq[r.ref_start..r.ref_start + p.read_len].to_vec()
+            };
+            errs += r.seq.iter().zip(&truth).filter(|(a, b)| a != b).count();
+            total += p.read_len;
+        }
+        let rate = errs as f64 / total as f64;
+        assert!((rate - 0.02).abs() < 0.005, "observed {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "genome shorter")]
+    fn tiny_genome_rejected() {
+        let g = Genome::random(50, 0.5, 1);
+        simulate_illumina(&g, &IlluminaProfile::default(), 1);
+    }
+}

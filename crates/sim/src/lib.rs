@@ -1,0 +1,40 @@
+//! # jem-sim — data simulation substrate
+//!
+//! The paper evaluates on genomes from NCBI with reads from the Sim-it HiFi
+//! simulator and contigs from ART-simulated Illumina reads assembled by
+//! Minia. None of those artifacts are available offline, so this crate
+//! synthesizes equivalents that exercise the same code paths:
+//!
+//! * [`genome`] — random genomes with configurable GC content and *planted
+//!   repeat families*. Repeat density is the property that separates the
+//!   paper's bacterial inputs (high precision everywhere) from its
+//!   eukaryotic inputs (where JEM's multi-trial selection wins precision),
+//!   so eukaryote analogues get dense, diverged repeat families.
+//! * [`hifi`] — PacBio-HiFi-like long reads: ~10 kbp normal length
+//!   distribution (Table I: 10,205 ± 3,418 for the simulated sets), 99.9%
+//!   accuracy with substitution/insertion/deletion errors, uniform sampling
+//!   at a target coverage, random strand. True coordinates are retained for
+//!   benchmark construction (Fig. 4).
+//! * [`illumina`] — ART-like short reads (100 bp, ~1% substitution error)
+//!   feeding the de Bruijn assembler substrate (`jem-dbg`).
+//! * [`contig`] — direct contig generation: fragments the genome into
+//!   Minia-like contig sets (length distributions per Table I, inter-contig
+//!   gaps, optional per-base error) with exact truth coordinates.
+//! * [`datasets`] — scaled analogues of the paper's eight inputs (Table I).
+//!
+//! Everything is seeded and deterministic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod contig;
+pub mod datasets;
+pub mod genome;
+pub mod hifi;
+pub mod illumina;
+
+pub use contig::{contig_records, fragment_contigs, Contig, ContigProfile};
+pub use datasets::{paper_analogues, DatasetId, DatasetSpec, SimulatedDataset};
+pub use genome::{Genome, GenomeProfile};
+pub use hifi::{read_records, simulate_hifi, HifiProfile, SegmentEnd, SimulatedRead, Strand};
+pub use illumina::{simulate_illumina, IlluminaProfile, ShortRead};

@@ -1,0 +1,111 @@
+//! Property-based tests for the data simulators.
+
+use jem_seq::alphabet::revcomp_bytes;
+use jem_sim::{
+    fragment_contigs, simulate_hifi, simulate_illumina, Contig, ContigProfile, Genome,
+    HifiProfile, IlluminaProfile, SegmentEnd, Strand,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn genome_is_dna_and_deterministic(
+        len in 1_000usize..40_000,
+        gc in 0.2f64..0.8,
+        seed in 0u64..100,
+    ) {
+        let g = Genome::random(len, gc, seed);
+        prop_assert_eq!(g.len(), len);
+        prop_assert!(g.seq.iter().all(|b| matches!(b, b'A' | b'C' | b'G' | b'T')));
+        prop_assert_eq!(Genome::random(len, gc, seed).seq, g.seq);
+    }
+
+    #[test]
+    fn error_free_reads_match_genome(seed in 0u64..50) {
+        let g = Genome::random(30_000, 0.5, seed);
+        let p = HifiProfile { coverage: 1.0, mean_len: 4_000, std_len: 800, min_len: 1_000, error_rate: 0.0 };
+        for r in simulate_hifi(&g, &p, seed + 1) {
+            prop_assert!(r.ref_end <= g.len());
+            prop_assert!(r.ref_start < r.ref_end);
+            let region = &g.seq[r.ref_start..r.ref_end];
+            match r.strand {
+                Strand::Forward => prop_assert_eq!(&r.seq, region),
+                Strand::Reverse => prop_assert_eq!(r.seq.clone(), revcomp_bytes(region)),
+            }
+        }
+    }
+
+    #[test]
+    fn segment_ranges_inside_read_range(seed in 0u64..50, ell in 100usize..3_000) {
+        let g = Genome::random(30_000, 0.5, seed);
+        let p = HifiProfile { coverage: 1.0, mean_len: 4_000, std_len: 800, min_len: 1_000, error_rate: 0.001 };
+        for r in simulate_hifi(&g, &p, seed + 2) {
+            for end in [SegmentEnd::Prefix, SegmentEnd::Suffix] {
+                let (s, e) = r.segment_ref_range(end, ell);
+                prop_assert!(r.ref_start <= s && e <= r.ref_end);
+                prop_assert!(e - s <= ell.min(r.ref_end - r.ref_start));
+                prop_assert!(s < e);
+                // The segment itself is a slice of the read.
+                let seg = r.segment(end, ell);
+                prop_assert!(seg.len() <= ell);
+                prop_assert!(!seg.is_empty());
+            }
+            // Prefix and suffix ranges together cover the read's extremes.
+            let (ps, pe) = r.segment_ref_range(SegmentEnd::Prefix, ell);
+            let (ss, se) = r.segment_ref_range(SegmentEnd::Suffix, ell);
+            prop_assert_eq!(ps.min(ss), r.ref_start);
+            prop_assert_eq!(pe.max(se), r.ref_end);
+        }
+    }
+
+    #[test]
+    fn contigs_disjoint_sorted_within_genome(seed in 0u64..50, gap in 0.0f64..0.5) {
+        let g = Genome::random(100_000, 0.5, seed);
+        let profile = ContigProfile { gap_fraction: gap, ..ContigProfile::eukaryotic() };
+        let contigs = fragment_contigs(&g, &profile, seed + 3);
+        let mut prev_end = 0usize;
+        for c in &contigs {
+            prop_assert!(c.ref_start >= prev_end, "overlap");
+            prop_assert!(c.ref_end <= g.len());
+            prop_assert_eq!(c.len(), c.ref_end - c.ref_start);
+            prop_assert!(c.len() >= profile.min_len);
+            prev_end = c.ref_end;
+        }
+        // Ids are sequential.
+        for (i, c) in contigs.iter().enumerate() {
+            prop_assert_eq!(&c.id, &format!("contig_{i}"));
+        }
+    }
+
+    #[test]
+    fn illumina_reads_fixed_length(seed in 0u64..30, cov in 1.0f64..10.0) {
+        let g = Genome::random(20_000, 0.5, seed);
+        let p = IlluminaProfile { coverage: cov, ..Default::default() };
+        let reads = simulate_illumina(&g, &p, seed + 4);
+        prop_assert!(reads.iter().all(|r| r.seq.len() == p.read_len));
+        prop_assert!(reads.iter().all(|r| r.ref_start + p.read_len <= g.len()));
+        let expect = (g.len() as f64 * cov / p.read_len as f64).ceil() as usize;
+        prop_assert_eq!(reads.len(), expect);
+    }
+
+    #[test]
+    fn coverage_scales_base_count(cov in 2.0f64..20.0, seed in 0u64..20) {
+        let g = Genome::random(50_000, 0.5, seed);
+        let p = HifiProfile { coverage: cov, mean_len: 5_000, std_len: 500, min_len: 1_000, error_rate: 0.0 };
+        let total: usize = simulate_hifi(&g, &p, seed).iter().map(|r| r.len()).sum();
+        let observed = total as f64 / g.len() as f64;
+        prop_assert!((observed - cov).abs() < cov * 0.5 + 1.0, "target {cov}, got {observed}");
+    }
+
+    #[test]
+    fn contig_total_respects_gap_fraction(gap in 0.05f64..0.4, seed in 0u64..20) {
+        let g = Genome::random(500_000, 0.5, seed);
+        let profile = ContigProfile { gap_fraction: gap, ..ContigProfile::eukaryotic() };
+        let covered: usize =
+            fragment_contigs(&g, &profile, seed).iter().map(Contig::len).sum();
+        let frac = covered as f64 / g.len() as f64;
+        prop_assert!((frac - (1.0 - gap)).abs() < 0.15, "gap {gap}, covered {frac}");
+    }
+}

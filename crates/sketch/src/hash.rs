@@ -1,0 +1,219 @@
+//! The LCG hash family `h_t(x) = (A_t·x + B_t) mod P_t`.
+//!
+//! The paper (implementation notes, §III-B-2) generates the `T` trial hash
+//! functions as linear congruential transforms of the canonical k-mer rank
+//! `x`, with constants `A_t`, `B_t`, `P_t` "randomly generated a priori".
+//! We fix `P_t` to the Mersenne prime `2^61 − 1` (large enough for any
+//! `k ≤ 30` rank universe, and `mod` reduces to cheap shift/add) and draw
+//! `A_t ∈ [1, P)`, `B_t ∈ [0, P)` from a seeded xorshift generator so the
+//! family is fully reproducible.
+
+/// The Mersenne prime `2^61 − 1` used as the default modulus.
+pub const MERSENNE_P61: u64 = (1u64 << 61) - 1;
+
+/// One linear-congruential hash function over `Z_P`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LcgHash {
+    /// Multiplier `A_t ∈ [1, P)`.
+    pub a: u64,
+    /// Offset `B_t ∈ [0, P)`.
+    pub b: u64,
+    /// Prime modulus `P_t`.
+    pub p: u64,
+}
+
+impl LcgHash {
+    /// Construct a hash; panics on degenerate parameters.
+    pub fn new(a: u64, b: u64, p: u64) -> Self {
+        assert!(p > 1, "modulus must exceed 1");
+        assert!(a >= 1 && a < p, "multiplier must lie in [1, P)");
+        assert!(b < p, "offset must lie in [0, P)");
+        LcgHash { a, b, p }
+    }
+
+    /// Evaluate `h(x) = (A·x + B) mod P` with 128-bit intermediates.
+    #[inline]
+    pub fn hash(&self, x: u64) -> u64 {
+        let v = (self.a as u128) * (x as u128) + (self.b as u128);
+        (v % (self.p as u128)) as u64
+    }
+}
+
+/// A family of `T` independent LCG hash functions (one per MinHash trial).
+#[derive(Clone, Debug)]
+pub struct HashFamily {
+    fns: Vec<LcgHash>,
+    seed: u64,
+}
+
+impl HashFamily {
+    /// Generate `t` hash functions deterministically from `seed`.
+    ///
+    /// Uses a splitmix64/xorshift sequence, so identical `(t, seed)` pairs
+    /// produce identical families across processes — required for the
+    /// distributed driver, where every rank must sketch with the same family.
+    pub fn generate(t: usize, seed: u64) -> Self {
+        let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut next = move || -> u64 {
+            // splitmix64
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let fns = (0..t)
+            .map(|_| {
+                let a = 1 + next() % (MERSENNE_P61 - 1);
+                let b = next() % MERSENNE_P61;
+                LcgHash::new(a, b, MERSENNE_P61)
+            })
+            .collect();
+        HashFamily { fns, seed }
+    }
+
+    /// Number of trials `T`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.fns.len()
+    }
+
+    /// True if the family holds no hash functions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.fns.is_empty()
+    }
+
+    /// The seed this family was generated from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The `t`-th hash function.
+    #[inline]
+    pub fn get(&self, t: usize) -> &LcgHash {
+        &self.fns[t]
+    }
+
+    /// Iterate over all hash functions with their trial index.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &LcgHash)> {
+        self.fns.iter().enumerate()
+    }
+
+    /// Evaluate trial `t` on `x`.
+    #[inline]
+    pub fn hash(&self, t: usize, x: u64) -> u64 {
+        self.fns[t].hash(x)
+    }
+
+    /// Restrict to the first `t` trials (for trial-sweep experiments).
+    pub fn truncated(&self, t: usize) -> HashFamily {
+        assert!(t <= self.fns.len(), "cannot truncate {} trials to {t}", self.fns.len());
+        HashFamily { fns: self.fns[..t].to_vec(), seed: self.seed }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_generation() {
+        let f1 = HashFamily::generate(30, 42);
+        let f2 = HashFamily::generate(30, 42);
+        assert_eq!(f1.len(), 30);
+        for t in 0..30 {
+            assert_eq!(f1.get(t), f2.get(t));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let f1 = HashFamily::generate(10, 1);
+        let f2 = HashFamily::generate(10, 2);
+        assert!((0..10).any(|t| f1.get(t) != f2.get(t)));
+    }
+
+    #[test]
+    fn trials_are_distinct() {
+        let f = HashFamily::generate(100, 7);
+        for t in 1..100 {
+            assert_ne!(f.get(t - 1), f.get(t), "adjacent trials must differ");
+        }
+    }
+
+    #[test]
+    fn hash_respects_modulus() {
+        let f = HashFamily::generate(5, 3);
+        for t in 0..5 {
+            for x in [0u64, 1, 17, u32::MAX as u64, (1 << 32) - 1] {
+                assert!(f.hash(t, x) < MERSENNE_P61);
+            }
+        }
+    }
+
+    #[test]
+    fn hash_is_injective_like_on_small_domain() {
+        // An LCG over a prime modulus is a bijection of Z_P, so distinct
+        // 16-mer ranks (< 2^32 << P) never collide.
+        let h = HashFamily::generate(1, 9);
+        let mut seen = std::collections::HashSet::new();
+        for x in 0u64..2000 {
+            assert!(seen.insert(h.hash(0, x)), "collision at {x}");
+        }
+    }
+
+    #[test]
+    fn minwise_probability_approximates_uniform() {
+        // Over an *unstructured* item set, each of n items should be the
+        // minimum under a random trial with probability ~1/n. (A linear
+        // family is only 2-universal, not min-wise independent: structured
+        // sets such as arithmetic progressions measurably bias their extreme
+        // elements. The paper's tool uses the same family; the sketches only
+        // need approximate min-wise behaviour on k-mer-code sets, which are
+        // unstructured in practice.)
+        let n = 16usize;
+        let trials = 4000;
+        let f = HashFamily::generate(trials, 1234);
+        // splitmix-style scrambled items
+        let items: Vec<u64> = (0..n as u64)
+            .map(|x| {
+                let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z ^ (z >> 31)
+            })
+            .collect();
+        let mut wins = vec![0usize; n];
+        for t in 0..trials {
+            let argmin = (0..n).min_by_key(|&i| f.hash(t, items[i])).unwrap();
+            wins[argmin] += 1;
+        }
+        let expect = trials as f64 / n as f64;
+        for (x, &w) in wins.iter().enumerate() {
+            let dev = (w as f64 - expect).abs() / expect;
+            assert!(dev < 0.6, "item {x} won {w} times, expected ~{expect}");
+        }
+    }
+
+    #[test]
+    fn truncation_preserves_prefix() {
+        let f = HashFamily::generate(30, 5);
+        let g = f.truncated(10);
+        assert_eq!(g.len(), 10);
+        for t in 0..10 {
+            assert_eq!(f.get(t), g.get(t));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot truncate")]
+    fn over_truncation_panics() {
+        HashFamily::generate(5, 0).truncated(6);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiplier")]
+    fn zero_multiplier_rejected() {
+        LcgHash::new(0, 1, 97);
+    }
+}

@@ -1,0 +1,127 @@
+//! Jaccard similarity: exact, minimizer-estimated, and MinHash-estimated.
+//!
+//! `J(A,B) = |A∩B| / |A∪B|`; the minimizer Jaccard estimate of the paper is
+//! `J_m(A,B;w) = J(M(A,w), M(B,w))` where `M(·,w)` is the minimizer sketch
+//! (set of minimizer k-mers).
+
+use crate::hash::HashFamily;
+use crate::minhash::classic_minhash_set;
+use crate::minimizer::{minimizers, MinimizerParams};
+use jem_seq::CanonicalKmerIter;
+use std::collections::HashSet;
+
+/// The set of canonical k-mer codes of a sequence.
+pub fn kmer_set(seq: &[u8], k: usize) -> HashSet<u64> {
+    match CanonicalKmerIter::new(seq, k) {
+        Ok(it) => it.map(|(_, km)| km.code()).collect(),
+        Err(_) => HashSet::new(),
+    }
+}
+
+/// Exact Jaccard similarity of two u64 sets. Empty ∪ empty is defined as 0.
+pub fn exact_jaccard(a: &HashSet<u64>, b: &HashSet<u64>) -> f64 {
+    let inter = a.intersection(b).count();
+    let union = a.len() + b.len() - inter;
+    if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Exact Jaccard of the canonical k-mer sets of two sequences.
+pub fn kmer_jaccard(a: &[u8], b: &[u8], k: usize) -> f64 {
+    exact_jaccard(&kmer_set(a, k), &kmer_set(b, k))
+}
+
+/// The minimizer Jaccard estimate `J_m(A,B;w)` between two sequences.
+pub fn minimizer_jaccard(a: &[u8], b: &[u8], params: MinimizerParams) -> f64 {
+    let ma: HashSet<u64> = minimizers(a, params).iter().map(|m| m.code).collect();
+    let mb: HashSet<u64> = minimizers(b, params).iter().map(|m| m.code).collect();
+    exact_jaccard(&ma, &mb)
+}
+
+/// Broder's T-trial MinHash estimate of `J(A,B)` over u64 sets.
+pub fn sketch_jaccard_estimate(a: &[u64], b: &[u64], family: &HashFamily) -> f64 {
+    classic_minhash_set(a, family).collision_rate(&classic_minhash_set(b, family))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng_seq(n: usize, seed: u64) -> Vec<u8> {
+        (0..n)
+            .scan(seed, |s, _| {
+                *s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                Some(b"ACGT"[((*s >> 33) % 4) as usize])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_jaccard_basics() {
+        let a: HashSet<u64> = [1, 2, 3, 4].into_iter().collect();
+        let b: HashSet<u64> = [3, 4, 5, 6].into_iter().collect();
+        assert!((exact_jaccard(&a, &b) - 2.0 / 6.0).abs() < 1e-12);
+        assert_eq!(exact_jaccard(&a, &a), 1.0);
+        let empty = HashSet::new();
+        assert_eq!(exact_jaccard(&a, &empty), 0.0);
+        assert_eq!(exact_jaccard(&empty, &empty), 0.0);
+    }
+
+    #[test]
+    fn kmer_jaccard_identical_sequences() {
+        let s = rng_seq(500, 3);
+        assert_eq!(kmer_jaccard(&s, &s, 8), 1.0);
+    }
+
+    #[test]
+    fn kmer_jaccard_strand_invariant() {
+        let s = rng_seq(500, 4);
+        let rc = jem_seq::alphabet::revcomp_bytes(&s);
+        assert_eq!(kmer_jaccard(&s, &rc, 9), 1.0, "canonical k-mers are strand-free");
+    }
+
+    #[test]
+    fn unrelated_sequences_low_jaccard() {
+        let a = rng_seq(2000, 10);
+        let b = rng_seq(2000, 20);
+        assert!(kmer_jaccard(&a, &b, 12) < 0.01);
+    }
+
+    #[test]
+    fn overlapping_sequences_graded_jaccard() {
+        // b shares its first half with a: Jaccard must land strictly
+        // between the unrelated and identical extremes, near 1/3.
+        let a = rng_seq(4000, 30);
+        let mut b = a[..2000].to_vec();
+        b.extend(rng_seq(2000, 31));
+        let j = kmer_jaccard(&a, &b, 12);
+        assert!(j > 0.2 && j < 0.5, "jaccard {j} out of expected band");
+    }
+
+    #[test]
+    fn minimizer_jaccard_tracks_kmer_jaccard() {
+        let a = rng_seq(4000, 50);
+        let mut b = a[..3000].to_vec();
+        b.extend(rng_seq(1000, 51));
+        let p = MinimizerParams::new(12, 10).unwrap();
+        let jm = minimizer_jaccard(&a, &b, p);
+        let jk = kmer_jaccard(&a, &b, 12);
+        // The minimizer estimate is biased (Belbasi et al. 2022) but must
+        // land in the same qualitative band.
+        assert!((jm - jk).abs() < 0.25, "J_m={jm} vs J={jk}");
+        assert_eq!(minimizer_jaccard(&a, &a, p), 1.0);
+    }
+
+    #[test]
+    fn minhash_estimate_converges() {
+        let a: Vec<u64> = (0..200).collect();
+        let b: Vec<u64> = (100..300).collect();
+        // True J = 100/300 = 1/3.
+        let f = HashFamily::generate(800, 17);
+        let est = sketch_jaccard_estimate(&a, &b, &f);
+        assert!((est - 1.0 / 3.0).abs() < 0.07, "estimate {est}");
+    }
+}

@@ -1,0 +1,313 @@
+//! The minimizer-based Jaccard estimator (JEM) sketch — Algorithm 1.
+//!
+//! Given a sequence `s`, the minimizer list `Mo(s, w)` is generated and an
+//! interval of length ℓ (the query end-segment length) is slid over the
+//! minimizer *positions*: for each minimizer `⟨k_i, p_i⟩`, the interval
+//! `M_i = {⟨k_j, p_j⟩ : p_i ≤ p_j ≤ p_i + ℓ}` is formed, and for each trial
+//! `t ∈ [1, T]` the k-mer minimizing `h_t` over `M_i` joins trial `t`'s
+//! sketch set. Sketches are thereby generated *at the resolution of the end
+//! segment length* on both subjects and queries, which is the paper's key
+//! departure from Mashmap (no positional post-filtering needed).
+//!
+//! [`sketch_by_jem`] runs in `O(|Mo|·T)` using one monotone deque per trial
+//! (the intervals advance monotonically); [`sketch_by_jem_naive`] is the
+//! direct transliteration of Algorithm 1 used by tests.
+
+use crate::hash::HashFamily;
+use crate::minimizer::{minimizers, Minimizer, MinimizerParams};
+use jem_seq::SeqError;
+use std::collections::VecDeque;
+
+/// Parameters of the JEM sketch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JemParams {
+    /// k-mer size.
+    pub k: usize,
+    /// Minimizer window size `w` (number of consecutive k-mers).
+    pub w: usize,
+    /// Interval / end-segment length ℓ in bases.
+    pub ell: usize,
+}
+
+impl JemParams {
+    /// Construct and validate.
+    pub fn new(k: usize, w: usize, ell: usize) -> Result<Self, SeqError> {
+        MinimizerParams::new(k, w)?;
+        if ell == 0 {
+            return Err(SeqError::InvalidParameter("interval length ell must be >= 1".into()));
+        }
+        Ok(JemParams { k, w, ell })
+    }
+
+    /// Paper defaults: `k = 16`, `w = 100`, `ℓ = 1000`.
+    pub fn paper_default() -> Self {
+        JemParams { k: 16, w: 100, ell: 1000 }
+    }
+
+    /// The embedded minimizer parameters.
+    pub fn minimizer_params(&self) -> MinimizerParams {
+        MinimizerParams { k: self.k, w: self.w }
+    }
+}
+
+/// A JEM sketch: for each trial `t`, the sorted, deduplicated set of k-mer
+/// codes selected over all ℓ-intervals of the minimizer list.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct JemSketch {
+    /// `per_trial[t]` = sorted unique sketch k-mer codes for trial `t`.
+    pub per_trial: Vec<Vec<u64>>,
+}
+
+impl JemSketch {
+    /// Number of trials `T`.
+    pub fn trials(&self) -> usize {
+        self.per_trial.len()
+    }
+
+    /// Total number of (trial, code) entries.
+    pub fn total_entries(&self) -> usize {
+        self.per_trial.iter().map(Vec::len).sum()
+    }
+
+    /// True if no trial selected any sketch (input had no minimizers).
+    pub fn is_empty(&self) -> bool {
+        self.per_trial.iter().all(Vec::is_empty)
+    }
+}
+
+/// Compute the JEM sketch of `seq` — efficient version of Algorithm 1.
+///
+/// ```
+/// use jem_sketch::{sketch_by_jem, HashFamily, JemParams};
+///
+/// let params = JemParams::new(11, 10, 200).unwrap();
+/// let family = HashFamily::generate(8, 42); // T = 8 trials
+/// let seq: Vec<u8> = (0..2000).map(|i| b"ACGT"[(i * 7 + i / 3) % 4]).collect();
+/// let sketch = sketch_by_jem(&seq, params, &family);
+/// assert_eq!(sketch.trials(), 8);
+/// assert!(!sketch.is_empty());
+/// ```
+pub fn sketch_by_jem(seq: &[u8], params: JemParams, family: &HashFamily) -> JemSketch {
+    let mins = minimizers(seq, params.minimizer_params());
+    sketch_minimizer_list(&mins, params.ell, family)
+}
+
+/// Compute the JEM sketch from a precomputed minimizer list.
+///
+/// Exposed separately so the mapper can reuse the minimizer list when it
+/// needs both the sketch and the list itself (e.g. the Mashmap baseline and
+/// ablations share minimizer extraction).
+pub fn sketch_minimizer_list(mins: &[Minimizer], ell: usize, family: &HashFamily) -> JemSketch {
+    let t_count = family.len();
+    let mut per_trial: Vec<Vec<u64>> = vec![Vec::new(); t_count];
+    if mins.is_empty() || t_count == 0 {
+        return JemSketch { per_trial };
+    }
+
+    // One monotone deque per trial over (index, hash, code); fronts hold the
+    // current interval minimum. Entries are pushed once as the right edge
+    // advances, so total work is O(|mins| * T).
+    let mut deques: Vec<VecDeque<(usize, u64, u64)>> = vec![VecDeque::new(); t_count];
+    let mut end = 0usize;
+
+    for i in 0..mins.len() {
+        let hi = u64::from(mins[i].pos) + ell as u64;
+        // Advance the right edge: include every minimizer with p_j <= p_i + ell.
+        while end < mins.len() && u64::from(mins[end].pos) <= hi {
+            let code = mins[end].code;
+            for (t, h) in family.iter() {
+                let hv = h.hash(code);
+                let dq = &mut deques[t];
+                while let Some(&(_, bh, bc)) = dq.back() {
+                    // Keep earlier entries on ties: pop only strictly worse.
+                    if (bh, bc) > (hv, code) {
+                        dq.pop_back();
+                    } else {
+                        break;
+                    }
+                }
+                dq.push_back((end, hv, code));
+            }
+            end += 1;
+        }
+        // Retire entries left of the interval start and take the minimum.
+        for dq in deques.iter_mut() {
+            while let Some(&(idx, _, _)) = dq.front() {
+                if idx < i {
+                    dq.pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
+        for (t, dq) in deques.iter().enumerate() {
+            let &(_, _, code) = dq.front().expect("interval contains minimizer i itself");
+            per_trial[t].push(code);
+        }
+    }
+
+    for list in per_trial.iter_mut() {
+        list.sort_unstable();
+        list.dedup();
+    }
+    JemSketch { per_trial }
+}
+
+/// Direct transliteration of Algorithm 1 (quadratic; for tests).
+pub fn sketch_by_jem_naive(seq: &[u8], params: JemParams, family: &HashFamily) -> JemSketch {
+    let mins = minimizers(seq, params.minimizer_params());
+    let mut per_trial: Vec<Vec<u64>> = vec![Vec::new(); family.len()];
+    for (i, mi) in mins.iter().enumerate() {
+        // M_i = {⟨k_j, p_j⟩ : p_i ≤ p_j ≤ p_i + ℓ}
+        let hi = u64::from(mi.pos) + params.ell as u64;
+        let interval: Vec<&Minimizer> =
+            mins[i..].iter().take_while(|m| u64::from(m.pos) <= hi).collect();
+        for (t, h) in family.iter() {
+            let best = interval
+                .iter()
+                .map(|m| (h.hash(m.code), m.code))
+                .min()
+                .expect("interval contains m_i");
+            per_trial[t].push(best.1);
+        }
+    }
+    for list in per_trial.iter_mut() {
+        list.sort_unstable();
+        list.dedup();
+    }
+    JemSketch { per_trial }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng_seq(n: usize, seed: u64) -> Vec<u8> {
+        (0..n)
+            .scan(seed, |s, _| {
+                *s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                Some(b"ACGT"[((*s >> 33) % 4) as usize])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn params_validation() {
+        assert!(JemParams::new(16, 100, 0).is_err());
+        assert!(JemParams::new(0, 100, 1000).is_err());
+        assert!(JemParams::new(16, 0, 1000).is_err());
+        let p = JemParams::paper_default();
+        assert_eq!((p.k, p.w, p.ell), (16, 100, 1000));
+    }
+
+    #[test]
+    fn empty_input_empty_sketch() {
+        let f = HashFamily::generate(8, 1);
+        let s = sketch_by_jem(b"", JemParams::new(5, 4, 100).unwrap(), &f);
+        assert!(s.is_empty());
+        assert_eq!(s.trials(), 8);
+    }
+
+    #[test]
+    fn matches_naive_small() {
+        let f = HashFamily::generate(10, 42);
+        for (n, k, w, ell) in [(200, 5, 4, 50), (500, 7, 10, 100), (300, 16, 8, 60)] {
+            let seq = rng_seq(n, n as u64);
+            let p = JemParams::new(k, w, ell).unwrap();
+            assert_eq!(
+                sketch_by_jem(&seq, p, &f),
+                sketch_by_jem_naive(&seq, p, &f),
+                "n={n} k={k} w={w} ell={ell}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_naive_with_ambiguous() {
+        let mut seq = rng_seq(400, 9);
+        seq[100] = b'N';
+        seq[101] = b'N';
+        seq[250] = b'N';
+        let f = HashFamily::generate(6, 5);
+        let p = JemParams::new(5, 6, 80).unwrap();
+        assert_eq!(sketch_by_jem(&seq, p, &f), sketch_by_jem_naive(&seq, p, &f));
+    }
+
+    #[test]
+    fn single_minimizer_sequence() {
+        // Short sequence → one minimizer → each trial sketches exactly it.
+        let seq = b"ACGTGCA";
+        let f = HashFamily::generate(5, 3);
+        let p = JemParams::new(3, 100, 1000).unwrap();
+        let s = sketch_by_jem(seq, p, &f);
+        for t in 0..5 {
+            assert_eq!(s.per_trial[t].len(), 1);
+        }
+        // All trials sketch the same sole minimizer.
+        let m = minimizers(seq, p.minimizer_params());
+        assert_eq!(m.len(), 1);
+        assert!(s.per_trial.iter().all(|v| v == &vec![m[0].code]));
+    }
+
+    #[test]
+    fn sketch_entries_are_minimizer_codes() {
+        let seq = rng_seq(2000, 77);
+        let p = JemParams::new(9, 12, 150).unwrap();
+        let f = HashFamily::generate(8, 6);
+        let codes: std::collections::HashSet<u64> =
+            minimizers(&seq, p.minimizer_params()).iter().map(|m| m.code).collect();
+        let s = sketch_by_jem(&seq, p, &f);
+        for list in &s.per_trial {
+            for c in list {
+                assert!(codes.contains(c), "sketch code not a minimizer of the input");
+            }
+        }
+    }
+
+    #[test]
+    fn trial_lists_sorted_unique() {
+        let seq = rng_seq(3000, 5);
+        let s = sketch_by_jem(&seq, JemParams::new(8, 10, 200).unwrap(), &HashFamily::generate(4, 2));
+        for list in &s.per_trial {
+            for w in list.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn sketch_smaller_than_minimizer_list() {
+        // Interval sketching selects ~one code per interval; with long
+        // intervals the per-trial sketch must be far smaller than |Mo|.
+        let seq = rng_seq(20_000, 31);
+        let p = JemParams::new(16, 20, 2000).unwrap();
+        let f = HashFamily::generate(1, 8);
+        let m = minimizers(&seq, p.minimizer_params()).len();
+        let s = sketch_by_jem(&seq, p, &f);
+        assert!(
+            s.per_trial[0].len() * 4 < m,
+            "sketch {} not much smaller than |Mo| = {m}",
+            s.per_trial[0].len()
+        );
+    }
+
+    #[test]
+    fn shared_subsequence_produces_shared_sketches() {
+        // A query that is a verbatim ℓ-window of the subject must share at
+        // least one sketch with it on most trials (the basis of mapping).
+        let subject = rng_seq(5000, 13);
+        let query = subject[2000..3000].to_vec();
+        let p = JemParams::new(11, 10, 1000).unwrap();
+        let f = HashFamily::generate(16, 99);
+        let ss = sketch_by_jem(&subject, p, &f);
+        let qs = sketch_by_jem(&query, p, &f);
+        let mut collisions = 0;
+        for t in 0..16 {
+            let sub: std::collections::HashSet<&u64> = ss.per_trial[t].iter().collect();
+            if qs.per_trial[t].iter().any(|c| sub.contains(c)) {
+                collisions += 1;
+            }
+        }
+        assert!(collisions >= 12, "only {collisions}/16 trials collided for a verbatim window");
+    }
+}

@@ -1,0 +1,318 @@
+//! Window minimizers under lexicographic order of canonical k-mers.
+//!
+//! Given a sequence `s`, k-mer size `k` and window size `w`, the minimizer of
+//! a window of `w` consecutive k-mers is the lexicographically smallest
+//! *canonical* k-mer in that window (paper §III-B-2; the paper uses the
+//! lexicographically smallest k-mer as its "uniformly random" hash, citing
+//! [23], [24]). The minimizer list `Mo(s, w)` contains `(kmer, position)`
+//! tuples sorted by position, with a tuple appended "only if the minimizer
+//! changes or the current one goes out of bounds" — i.e. classic winnowing
+//! deduplication.
+//!
+//! [`minimizers`] runs in O(n) using a monotone deque; [`minimizers_naive`]
+//! is the quadratic reference used by tests.
+
+use jem_seq::{CanonicalKmerIter, Kmer, SeqError};
+use std::collections::VecDeque;
+
+/// Parameters for minimizer extraction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MinimizerParams {
+    /// k-mer size (`1..=32`).
+    pub k: usize,
+    /// Window size: a minimizer is selected from `w` consecutive k-mers.
+    pub w: usize,
+}
+
+impl MinimizerParams {
+    /// Construct and validate parameters.
+    pub fn new(k: usize, w: usize) -> Result<Self, SeqError> {
+        if k == 0 || k > jem_seq::kmer::MAX_K {
+            return Err(SeqError::InvalidK(k));
+        }
+        if w == 0 {
+            return Err(SeqError::InvalidParameter("window size w must be >= 1".into()));
+        }
+        Ok(MinimizerParams { k, w })
+    }
+
+    /// Paper defaults: `k = 16`, `w = 100`.
+    pub fn paper_default() -> Self {
+        MinimizerParams { k: 16, w: 100 }
+    }
+}
+
+/// One entry of the minimizer list `Mo(s, w)`: a canonical k-mer and the
+/// 0-based start position of its window occurrence on the sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Minimizer {
+    /// Canonical k-mer code (lexicographic rank in `Π*_k`).
+    pub code: u64,
+    /// 0-based position of the k-mer occurrence on the sequence.
+    pub pos: u32,
+}
+
+/// Extract the minimizer list `Mo(s, w)` in O(n) with a monotone deque.
+///
+/// Runs of valid bases separated by ambiguity codes are winnowed
+/// independently (a window never spans an `N`). Sequences shorter than a
+/// full window still produce the minimizer of whatever k-mers exist, so no
+/// short contig is silently dropped. Ties inside a window keep the leftmost
+/// occurrence.
+///
+/// ```
+/// use jem_sketch::{minimizers, MinimizerParams};
+///
+/// let params = MinimizerParams::new(5, 4).unwrap();
+/// let mins = minimizers(b"ACGGTCATTCAGGATACCAG", params);
+/// assert!(!mins.is_empty());
+/// // Positions are sorted and in range.
+/// assert!(mins.windows(2).all(|w| w[0].pos <= w[1].pos));
+/// ```
+pub fn minimizers(seq: &[u8], params: MinimizerParams) -> Vec<Minimizer> {
+    let MinimizerParams { k, w } = params;
+    let mut out = Vec::new();
+    let iter = match CanonicalKmerIter::new(seq, k) {
+        Ok(it) => it,
+        Err(_) => return out,
+    };
+
+    // Monotone deque of (index-in-run, pos, code); front is the window min.
+    let mut deque: VecDeque<(usize, u32, u64)> = VecDeque::new();
+    let mut prev_pos: Option<usize> = None; // position of previous yielded k-mer
+    let mut idx_in_run = 0usize;
+    let mut last_emitted: Option<(u32, u64)> = None;
+
+    let flush_short_run =
+        |deque: &VecDeque<(usize, u32, u64)>, count: usize, out: &mut Vec<Minimizer>| {
+            // Run ended with fewer than w k-mers: emit the run minimum so
+            // short contigs/segments are never silently dropped.
+            if count > 0 && count < w {
+                if let Some(&(_, pos, code)) = deque.front() {
+                    out.push(Minimizer { code, pos });
+                }
+            }
+        };
+
+    for (pos, kmer) in iter {
+        // Detect run breaks (KmerIter skips over ambiguous bases, so
+        // consecutive yielded positions jump by more than 1 at a break).
+        let is_new_run = matches!(prev_pos, Some(pp) if pos != pp + 1);
+        if is_new_run {
+            flush_short_run(&deque, idx_in_run, &mut out);
+            deque.clear();
+            idx_in_run = 0;
+            last_emitted = None;
+        }
+        prev_pos = Some(pos);
+
+        let code = kmer.code();
+        // Pop strictly larger entries: `<=` keeps the leftmost on ties.
+        while let Some(&(_, _, back_code)) = deque.back() {
+            if back_code > code {
+                deque.pop_back();
+            } else {
+                break;
+            }
+        }
+        deque.push_back((idx_in_run, pos as u32, code));
+        idx_in_run += 1;
+
+        if idx_in_run >= w {
+            // Window of the last w k-mers is full: evict out-of-window front.
+            let window_lo = idx_in_run - w;
+            while let Some(&(i, _, _)) = deque.front() {
+                if i < window_lo {
+                    deque.pop_front();
+                } else {
+                    break;
+                }
+            }
+            let &(_, mpos, mcode) = deque.front().expect("window is non-empty");
+            // Winnowing dedup: emit only on change (pos identifies occurrence).
+            if last_emitted != Some((mpos, mcode)) {
+                out.push(Minimizer { code: mcode, pos: mpos });
+                last_emitted = Some((mpos, mcode));
+            }
+        }
+    }
+    // Tail: if the final run never filled a window, emit its overall min.
+    flush_short_run(&deque, idx_in_run, &mut out);
+    out
+}
+
+/// Quadratic reference implementation of [`minimizers`] used by tests.
+pub fn minimizers_naive(seq: &[u8], params: MinimizerParams) -> Vec<Minimizer> {
+    let MinimizerParams { k, w } = params;
+    let kmers: Vec<(usize, Kmer)> = match CanonicalKmerIter::new(seq, k) {
+        Ok(it) => it.collect(),
+        Err(_) => return Vec::new(),
+    };
+    // Split into runs of consecutive positions.
+    let mut runs: Vec<&[(usize, Kmer)]> = Vec::new();
+    let mut start = 0;
+    for i in 1..kmers.len() {
+        if kmers[i].0 != kmers[i - 1].0 + 1 {
+            runs.push(&kmers[start..i]);
+            start = i;
+        }
+    }
+    if !kmers.is_empty() {
+        runs.push(&kmers[start..]);
+    }
+
+    let mut out = Vec::new();
+    for run in runs {
+        if run.is_empty() {
+            continue;
+        }
+        if run.len() < w {
+            // Short run: single window over everything.
+            let (pos, km) =
+                run.iter().min_by_key(|(p, km)| (km.code(), *p)).expect("non-empty run");
+            out.push(Minimizer { code: km.code(), pos: *pos as u32 });
+            continue;
+        }
+        let mut last: Option<(u32, u64)> = None;
+        for win in run.windows(w) {
+            let (pos, km) = win.iter().min_by_key(|(p, km)| (km.code(), *p)).expect("window");
+            let entry = (*pos as u32, km.code());
+            if last != Some(entry) {
+                out.push(Minimizer { code: entry.1, pos: entry.0 });
+                last = Some(entry);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jem_seq::alphabet::revcomp_bytes;
+
+    fn p(k: usize, w: usize) -> MinimizerParams {
+        MinimizerParams::new(k, w).unwrap()
+    }
+
+    #[test]
+    fn params_validation() {
+        assert!(MinimizerParams::new(0, 5).is_err());
+        assert!(MinimizerParams::new(33, 5).is_err());
+        assert!(MinimizerParams::new(16, 0).is_err());
+        assert_eq!(MinimizerParams::paper_default(), MinimizerParams { k: 16, w: 100 });
+    }
+
+    #[test]
+    fn single_window_minimizer() {
+        // 6 bases, k=3 -> 4 k-mers, w=4 -> exactly one window.
+        let seq = b"ACGTGC";
+        let m = minimizers(seq, p(3, 4));
+        assert_eq!(m.len(), 1);
+        // Canonical 3-mers: ACG(pos0)=ACG/CGT->min(ACG,ACG?)..; verify against naive.
+        assert_eq!(m, minimizers_naive(seq, p(3, 4)));
+    }
+
+    #[test]
+    fn short_sequence_still_emits() {
+        // Fewer k-mers than w: still emit the run minimum (one entry).
+        let seq = b"ACGTGCAT";
+        let m = minimizers(seq, p(3, 100));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m, minimizers_naive(seq, p(3, 100)));
+    }
+
+    #[test]
+    fn no_kmers_no_minimizers() {
+        assert!(minimizers(b"AC", p(3, 4)).is_empty());
+        assert!(minimizers(b"", p(3, 4)).is_empty());
+        assert!(minimizers(b"NNNNNNN", p(3, 4)).is_empty());
+    }
+
+    #[test]
+    fn positions_sorted_and_deduped() {
+        let seq: Vec<u8> = (0..500).map(|i| b"ACGT"[(i * 7 + i / 3) % 4]).collect();
+        let m = minimizers(&seq, p(5, 8));
+        for pair in m.windows(2) {
+            assert!(pair[0].pos <= pair[1].pos, "positions must be sorted");
+            assert_ne!(pair[0], pair[1], "adjacent duplicates must be winnowed");
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_patterned_input() {
+        for (k, w) in [(3, 2), (3, 5), (5, 8), (7, 3), (16, 10)] {
+            let seq: Vec<u8> = (0..300).map(|i| b"ACGT"[(i * i + 3 * i) % 4]).collect();
+            assert_eq!(
+                minimizers(&seq, p(k, w)),
+                minimizers_naive(&seq, p(k, w)),
+                "k={k} w={w}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_naive_with_ambiguous_breaks() {
+        let seq = b"ACGTGCATNNACGTTTGCATGGANCCGTA";
+        for (k, w) in [(3, 2), (3, 4), (4, 6)] {
+            assert_eq!(minimizers(seq, p(k, w)), minimizers_naive(seq, p(k, w)), "k={k} w={w}");
+        }
+    }
+
+    #[test]
+    fn every_window_is_covered() {
+        // Coverage invariant: every window of w consecutive k-mers contains
+        // at least one selected minimizer occurrence.
+        let seq: Vec<u8> = (0..400).map(|i| b"ACGT"[(i * 13 + 5) % 4]).collect();
+        let (k, w) = (5, 6);
+        let m = minimizers(&seq, p(k, w));
+        let positions: std::collections::HashSet<u32> = m.iter().map(|mm| mm.pos).collect();
+        let n_kmers = seq.len() - k + 1;
+        for start in 0..=(n_kmers - w) {
+            let covered = (start..start + w).any(|i| positions.contains(&(i as u32)));
+            assert!(covered, "window starting at k-mer {start} has no minimizer");
+        }
+    }
+
+    #[test]
+    fn density_bounds() {
+        // Expected winnowing density is ~2/(w+1); allow a generous band.
+        let seq: Vec<u8> = (0..20_000)
+            .scan(12345u64, |s, _| {
+                *s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                Some(b"ACGT"[((*s >> 33) % 4) as usize])
+            })
+            .collect();
+        let (k, w) = (16, 100);
+        let m = minimizers(&seq, p(k, w));
+        let n_kmers = (seq.len() - k + 1) as f64;
+        let density = m.len() as f64 / n_kmers;
+        let expect = 2.0 / (w as f64 + 1.0);
+        assert!(density > expect * 0.5 && density < expect * 2.0, "density {density} vs {expect}");
+    }
+
+    #[test]
+    fn strand_symmetric_codes() {
+        // The *set* of minimizer codes of a sequence and its revcomp agree
+        // (canonical k-mers + symmetric windows). Positions differ.
+        let seq: Vec<u8> = (0..300).map(|i| b"ACGT"[(i * 11 + 2) % 4]).collect();
+        let rc = revcomp_bytes(&seq);
+        let (k, w) = (7, 5);
+        let a: std::collections::HashSet<u64> =
+            minimizers(&seq, p(k, w)).iter().map(|m| m.code).collect();
+        let b: std::collections::HashSet<u64> =
+            minimizers(&rc, p(k, w)).iter().map(|m| m.code).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn homopolymer_collapses_to_one() {
+        // All windows share the same minimum; winnowing dedup keeps changes
+        // only, but the *position* advances as old occurrences expire.
+        let seq = vec![b'A'; 100];
+        let m = minimizers(&seq, p(4, 8));
+        // code must always be AAAA = 0
+        assert!(m.iter().all(|mm| mm.code == 0));
+        assert_eq!(minimizers(&seq, p(4, 8)), minimizers_naive(&seq, p(4, 8)));
+    }
+}

@@ -1,0 +1,251 @@
+//! Closed syncmers — an alternative sketch-position scheme.
+//!
+//! The paper's future work item (i) asks for "algorithmic optimizations to
+//! further improve quality of mapping". Syncmers (Edgar 2021) are the
+//! natural candidate: a k-mer is a *closed syncmer* if the smallest of its
+//! `s`-mers sits at the first or last offset. Selection is decided by the
+//! k-mer *alone* (no window context), so a substitution can only affect the
+//! k-mers that overlap it — unlike minimizers, where one mutation can
+//! reshuffle selections across a whole window. This "conservation" property
+//! makes syncmer sketches more robust on error-bearing reads.
+//!
+//! Expected density is `2/(k−s+1)` (vs `2/(w+1)` for minimizers), so
+//! matched-density comparisons pick `s ≈ k − w` when possible.
+//!
+//! Selections are made on *canonical* k-mers, so the selected code set is
+//! strand-invariant, and the output is interchangeable with
+//! [`crate::minimizer::minimizers`]: the same `(code, pos)` tuples feed
+//! [`crate::jem::sketch_minimizer_list`].
+
+use crate::minimizer::Minimizer;
+use jem_seq::kmer::kmer_mask;
+use jem_seq::{CanonicalKmerIter, SeqError};
+
+/// Parameters of closed-syncmer extraction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SyncmerParams {
+    /// k-mer size.
+    pub k: usize,
+    /// Inner s-mer size (`1 ≤ s < k`).
+    pub s: usize,
+}
+
+impl SyncmerParams {
+    /// Construct and validate.
+    pub fn new(k: usize, s: usize) -> Result<Self, SeqError> {
+        if k == 0 || k > jem_seq::kmer::MAX_K {
+            return Err(SeqError::InvalidK(k));
+        }
+        if s == 0 || s >= k {
+            return Err(SeqError::InvalidParameter(format!(
+                "syncmer s must satisfy 1 <= s < k (got s={s}, k={k})"
+            )));
+        }
+        Ok(SyncmerParams { k, s })
+    }
+
+    /// Expected selection density `2/(k−s+1)` (fraction of k-mers chosen).
+    pub fn expected_density(&self) -> f64 {
+        2.0 / (self.k - self.s + 1) as f64
+    }
+}
+
+/// Scrambling rank of an `s`-mer (splitmix64).
+///
+/// Selection must rank s-mers by a *hash*, not lexicographically: the
+/// decision runs on canonical k-mers, and a k-mer is canonical exactly
+/// because its prefix compares small — lexicographic ranking would
+/// therefore over-select offset 0 and inflate density well above
+/// `2/(k−s+1)`. Hashing decorrelates the two.
+#[inline]
+pub fn smer_rank(smer: u64) -> u64 {
+    let mut z = smer.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Is the packed `k`-mer `code` a closed syncmer for inner size `s`?
+///
+/// True iff the `s`-mer with minimal [`smer_rank`] (leftmost tie) occurs at
+/// offset `0` or offset `k − s`.
+pub fn is_closed_syncmer(code: u64, k: usize, s: usize) -> bool {
+    let mask = kmer_mask(s);
+    let last = k - s;
+    let mut best_offset = 0usize;
+    let mut best = smer_rank((code >> (2 * last)) & mask); // offset 0
+    for offset in 1..=last {
+        let rank = smer_rank((code >> (2 * (last - offset))) & mask);
+        if rank < best {
+            best = rank;
+            best_offset = offset;
+        }
+    }
+    best_offset == 0 || best_offset == last
+}
+
+/// Extract closed syncmers of a sequence as `(canonical code, position)`
+/// tuples sorted by position — drop-in replacement for the minimizer list.
+pub fn closed_syncmers(seq: &[u8], params: SyncmerParams) -> Vec<Minimizer> {
+    let mut out = Vec::new();
+    let iter = match CanonicalKmerIter::new(seq, params.k) {
+        Ok(it) => it,
+        Err(_) => return out,
+    };
+    for (pos, kmer) in iter {
+        if is_closed_syncmer(kmer.code(), params.k, params.s) {
+            out.push(Minimizer { code: kmer.code(), pos: pos as u32 });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jem_seq::Kmer;
+
+    fn rng_seq(n: usize, seed: u64) -> Vec<u8> {
+        (0..n)
+            .scan(seed, |s, _| {
+                *s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                Some(b"ACGT"[((*s >> 33) % 4) as usize])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn params_validation() {
+        assert!(SyncmerParams::new(16, 0).is_err());
+        assert!(SyncmerParams::new(16, 16).is_err());
+        assert!(SyncmerParams::new(0, 1).is_err());
+        let p = SyncmerParams::new(16, 11).unwrap();
+        assert!((p.expected_density() - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn definition_matches_manual_rank_scan() {
+        // Recompute the argmin of smer_rank by hand for a batch of k-mers
+        // and check is_closed_syncmer agrees with the definition.
+        let (k, s) = (9usize, 4usize);
+        let seq = rng_seq(500, 4);
+        for w in seq.windows(k) {
+            let code = Kmer::from_bytes(w).unwrap().code();
+            let last = k - s;
+            let argmin = (0..=last)
+                .min_by_key(|&o| {
+                    let smer = Kmer::from_bytes(&w[o..o + s]).unwrap().code();
+                    (smer_rank(smer), o)
+                })
+                .unwrap();
+            assert_eq!(
+                is_closed_syncmer(code, k, s),
+                argmin == 0 || argmin == last,
+                "kmer {}",
+                String::from_utf8_lossy(w)
+            );
+        }
+    }
+
+    #[test]
+    fn density_close_to_expected() {
+        let seq = rng_seq(50_000, 1);
+        let p = SyncmerParams::new(16, 11).unwrap();
+        let selected = closed_syncmers(&seq, p);
+        let n_kmers = (seq.len() - p.k + 1) as f64;
+        let density = selected.len() as f64 / n_kmers;
+        let expect = p.expected_density();
+        assert!((density - expect).abs() < expect * 0.2, "density {density} vs {expect}");
+    }
+
+    #[test]
+    fn codes_strand_invariant() {
+        let seq = rng_seq(5_000, 2);
+        let rc = jem_seq::alphabet::revcomp_bytes(&seq);
+        let p = SyncmerParams::new(12, 7).unwrap();
+        let a: std::collections::HashSet<u64> =
+            closed_syncmers(&seq, p).iter().map(|m| m.code).collect();
+        let b: std::collections::HashSet<u64> =
+            closed_syncmers(&rc, p).iter().map(|m| m.code).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn positions_sorted_and_valid() {
+        let seq = rng_seq(2_000, 3);
+        let p = SyncmerParams::new(14, 9).unwrap();
+        let list = closed_syncmers(&seq, p);
+        assert!(!list.is_empty());
+        for pair in list.windows(2) {
+            assert!(pair[0].pos < pair[1].pos);
+        }
+        assert!(list.iter().all(|m| (m.pos as usize) + p.k <= seq.len()));
+    }
+
+    #[test]
+    fn selection_is_context_free() {
+        // The same k-mer is selected (or not) regardless of its neighbours —
+        // the property minimizers lack.
+        let p = SyncmerParams::new(9, 5).unwrap();
+        let core = b"ACGGTCATT";
+        let code = Kmer::from_bytes(core).unwrap().canonical().code();
+        let expect = is_closed_syncmer(code, 9, 5);
+        for (left, right) in [(&b"AAAA"[..], &b"TTTT"[..]), (b"GGGG", b"CCCC"), (b"TACG", b"GATC")] {
+            let mut seq = left.to_vec();
+            seq.extend_from_slice(core);
+            seq.extend_from_slice(right);
+            let found = closed_syncmers(&seq, p)
+                .iter()
+                .any(|m| m.pos == 4 && m.code == code);
+            assert_eq!(found, expect, "context changed the decision");
+        }
+    }
+
+    #[test]
+    fn conservation_beats_minimizers_under_mutation() {
+        // Mutate 2% of bases and compare how much of the selected-position
+        // set survives for syncmers vs density-matched minimizers. The
+        // conservation advantage is the whole point of the scheme.
+        use crate::minimizer::{minimizers, MinimizerParams};
+        let k = 16;
+        let seq = rng_seq(30_000, 7);
+        let mut mutated = seq.clone();
+        let mut state = 99u64;
+        for base in mutated.iter_mut() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(11);
+            if state.is_multiple_of(50) {
+                *base = match *base {
+                    b'A' => b'C',
+                    b'C' => b'G',
+                    b'G' => b'T',
+                    _ => b'A',
+                };
+            }
+        }
+        let survival = |orig: &[Minimizer], mutd: &[Minimizer]| {
+            let set: std::collections::HashSet<(u64, u32)> =
+                mutd.iter().map(|m| (m.code, m.pos)).collect();
+            let kept = orig.iter().filter(|m| set.contains(&(m.code, m.pos))).count();
+            kept as f64 / orig.len().max(1) as f64
+        };
+        // Density-matched: syncmer s=11 → 2/6; minimizer w=5 → 2/6.
+        let sp = SyncmerParams::new(k, 11).unwrap();
+        let mp = MinimizerParams::new(k, 5).unwrap();
+        let sync_survival =
+            survival(&closed_syncmers(&seq, sp), &closed_syncmers(&mutated, sp));
+        let mini_survival = survival(&minimizers(&seq, mp), &minimizers(&mutated, mp));
+        assert!(
+            sync_survival >= mini_survival - 0.02,
+            "syncmer survival {sync_survival:.3} should not trail minimizers {mini_survival:.3}"
+        );
+        assert!(sync_survival > 0.5, "2% mutations should keep most syncmers");
+    }
+
+    #[test]
+    fn empty_and_short_inputs() {
+        let p = SyncmerParams::new(12, 7).unwrap();
+        assert!(closed_syncmers(b"", p).is_empty());
+        assert!(closed_syncmers(b"ACGT", p).is_empty());
+        assert!(closed_syncmers(b"NNNNNNNNNNNNNNNN", p).is_empty());
+    }
+}

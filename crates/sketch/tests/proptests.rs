@@ -1,0 +1,101 @@
+//! Property-based tests for the sketching layer.
+
+use jem_sketch::{
+    exact_jaccard, hash::HashFamily, jem::sketch_by_jem_naive, kmer_set, minimizers,
+    minimizers_naive, sketch_by_jem, sketch_jaccard_estimate, JemParams, MinimizerParams,
+};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn dna(max: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(prop::sample::select(vec![b'A', b'C', b'G', b'T']), 0..max)
+}
+
+fn dna_with_n(max: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(
+        prop::sample::select(vec![b'A', b'C', b'G', b'T', b'A', b'C', b'G', b'T', b'N']),
+        0..max,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn deque_minimizers_match_naive(seq in dna_with_n(400), k in 2usize..9, w in 1usize..12) {
+        let p = MinimizerParams::new(k, w).unwrap();
+        prop_assert_eq!(minimizers(&seq, p), minimizers_naive(&seq, p));
+    }
+
+    #[test]
+    fn minimizer_positions_valid(seq in dna(400), k in 2usize..9, w in 1usize..12) {
+        let p = MinimizerParams::new(k, w).unwrap();
+        for m in minimizers(&seq, p) {
+            prop_assert!((m.pos as usize) + k <= seq.len());
+        }
+    }
+
+    #[test]
+    fn minimizer_codes_are_canonical_kmers_of_seq(seq in dna(300), k in 2usize..8, w in 1usize..10) {
+        let p = MinimizerParams::new(k, w).unwrap();
+        let all: HashSet<u64> = kmer_set(&seq, k);
+        for m in minimizers(&seq, p) {
+            prop_assert!(all.contains(&m.code));
+        }
+    }
+
+    #[test]
+    fn jem_fast_matches_naive(seq in dna_with_n(300), k in 2usize..8, w in 1usize..8, ell in 1usize..120) {
+        let params = JemParams::new(k, w, ell).unwrap();
+        let family = HashFamily::generate(5, 11);
+        prop_assert_eq!(
+            sketch_by_jem(&seq, params, &family),
+            sketch_by_jem_naive(&seq, params, &family)
+        );
+    }
+
+    #[test]
+    fn jem_deterministic(seq in dna(300)) {
+        let params = JemParams::new(5, 4, 60).unwrap();
+        let family = HashFamily::generate(6, 77);
+        prop_assert_eq!(sketch_by_jem(&seq, params, &family), sketch_by_jem(&seq, params, &family));
+    }
+
+    #[test]
+    fn exact_jaccard_bounds_and_symmetry(
+        a in prop::collection::hash_set(0u64..500, 0..60),
+        b in prop::collection::hash_set(0u64..500, 0..60),
+    ) {
+        let j = exact_jaccard(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&j));
+        prop_assert_eq!(j, exact_jaccard(&b, &a));
+        if !a.is_empty() {
+            prop_assert_eq!(exact_jaccard(&a, &a), 1.0);
+        }
+        // Subset: J = |A| / |B| when A ⊆ B.
+        if a.is_subset(&b) && !b.is_empty() {
+            prop_assert!((j - a.len() as f64 / b.len() as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn minhash_estimate_within_bounds(
+        a in prop::collection::vec(0u64..10_000, 1..80),
+        b in prop::collection::vec(0u64..10_000, 1..80),
+    ) {
+        let family = HashFamily::generate(48, 5);
+        let est = sketch_jaccard_estimate(&a, &b, &family);
+        prop_assert!((0.0..=1.0).contains(&est));
+        // Identical multisets estimate exactly 1.
+        prop_assert_eq!(sketch_jaccard_estimate(&a, &a, &family), 1.0);
+    }
+
+    #[test]
+    fn hash_family_truncation_consistency(t in 1usize..40, seed in 0u64..1000) {
+        let full = HashFamily::generate(40, seed);
+        let cut = full.truncated(t);
+        for i in 0..t {
+            prop_assert_eq!(full.hash(i, 12345), cut.hash(i, 12345));
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! The paper's full data-preparation pipeline, end to end:
+//! genome → Illumina short reads (ART substitute) → de Bruijn assembly
+//! (Minia substitute) → contigs → map HiFi long-read end segments to the
+//! *assembled* contigs with JEM-mapper.
+//!
+//! Run: `cargo run --release --example assembly_pipeline`
+
+use jem::prelude::*;
+use jem_dbg::{assemble, AssemblyParams};
+use jem_sim::{simulate_illumina, IlluminaProfile};
+
+fn main() {
+    // 1. Genome.
+    let genome = Genome::random(150_000, 0.5, 21);
+    println!("genome: {} bp", genome.len());
+
+    // 2. Short reads (100 bp, 30x, 0.5% substitution error).
+    let short_reads = simulate_illumina(&genome, &IlluminaProfile::default(), 22);
+    println!("short reads: {} x {} bp", short_reads.len(), short_reads[0].seq.len());
+
+    // 3. Assemble with the de Bruijn substrate.
+    let read_seqs: Vec<Vec<u8>> = short_reads.into_iter().map(|r| r.seq).collect();
+    let params = AssemblyParams { k: 31, min_abundance: 3, min_contig_len: 500, tip_len: 93 };
+    let contigs = assemble(&read_seqs, &params);
+    let total: usize = contigs.iter().map(|c| c.seq.len()).sum();
+    println!(
+        "assembled {} contigs, {} bp total ({:.1}% of genome), longest {} bp",
+        contigs.len(),
+        total,
+        100.0 * total as f64 / genome.len() as f64,
+        contigs.iter().map(|c| c.seq.len()).max().unwrap_or(0)
+    );
+
+    // 4. HiFi long reads and JEM mapping against the *assembled* contigs.
+    let reads = simulate_hifi(&genome, &HifiProfile { coverage: 5.0, ..Default::default() }, 23);
+    let config = MapperConfig::default();
+    let mapper = JemMapper::build(contigs, &config);
+    let mappings = mapper.map_reads(&read_records(&reads));
+    let n_segments: usize =
+        reads.iter().map(|r| if r.len() > config.ell { 2 } else { 1 }).sum();
+    println!(
+        "mapped {}/{} end segments ({:.1}%)",
+        mappings.len(),
+        n_segments,
+        100.0 * mappings.len() as f64 / n_segments as f64
+    );
+    let strong = mappings.iter().filter(|m| m.hits as usize >= config.trials / 2).count();
+    println!("{strong} mappings supported by a majority of the {} trials", config.trials);
+}

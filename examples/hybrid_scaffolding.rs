@@ -1,0 +1,103 @@
+//! Hybrid scaffolding: the application the paper's mapping step exists for.
+//!
+//! Long reads whose prefix maps to one contig and suffix to another *link*
+//! those contigs (Fig. 1 of the paper). This example maps end segments with
+//! JEM-mapper, collects contig links, greedily chains them into scaffolds,
+//! and reports how much the N50 improves over the raw contig set.
+//!
+//! Run: `cargo run --release --example hybrid_scaffolding`
+
+use jem::prelude::*;
+use jem_core::ReadEnd;
+use std::collections::HashMap;
+
+fn n50(mut lens: Vec<usize>) -> usize {
+    lens.sort_unstable_by(|a, b| b.cmp(a));
+    let total: usize = lens.iter().sum();
+    let mut acc = 0;
+    for l in &lens {
+        acc += l;
+        if acc * 2 >= total {
+            return *l;
+        }
+    }
+    0
+}
+
+fn main() {
+    // Simulate a genome with a fragmented assembly and decent HiFi coverage.
+    let genome = Genome::random(400_000, 0.45, 11);
+    let contigs = fragment_contigs(&genome, &ContigProfile::eukaryotic(), 12);
+    let reads = simulate_hifi(&genome, &HifiProfile { coverage: 8.0, ..Default::default() }, 13);
+    println!("contigs: {}  reads: {}", contigs.len(), reads.len());
+
+    // Map end segments.
+    let config = MapperConfig::default();
+    let mapper = JemMapper::build(contig_records(&contigs), &config);
+    let mappings = mapper.map_reads(&read_records(&reads));
+
+    // Collect links: a read whose two ends map to *different* contigs
+    // bridges them. Count support per (min, max) contig pair.
+    let mut per_read: HashMap<u32, [Option<u32>; 2]> = HashMap::new();
+    for m in &mappings {
+        let slot = match m.end {
+            ReadEnd::Prefix => 0,
+            ReadEnd::Suffix => 1,
+        };
+        per_read.entry(m.read_idx).or_default()[slot] = Some(m.subject);
+    }
+    let mut links: HashMap<(u32, u32), u32> = HashMap::new();
+    for ends in per_read.values() {
+        if let [Some(a), Some(b)] = ends {
+            if a != b {
+                *links.entry((*a.min(b), *a.max(b))).or_insert(0) += 1;
+            }
+        }
+    }
+    // Keep links with ≥2 supporting reads (standard scaffolding hygiene).
+    let strong: Vec<((u32, u32), u32)> =
+        links.iter().filter(|(_, &c)| c >= 2).map(|(&k, &c)| (k, c)).collect();
+    println!("contig links: {} total, {} with >=2 read support", links.len(), strong.len());
+
+    // Greedy chaining: sort links by support, join contigs whose endpoints
+    // are still free (each contig joins at most two scaffolds ends).
+    let mut degree = vec![0u8; contigs.len()];
+    let mut dsu: Vec<u32> = (0..contigs.len() as u32).collect();
+    fn find(dsu: &mut Vec<u32>, x: u32) -> u32 {
+        if dsu[x as usize] != x {
+            let root = find(dsu, dsu[x as usize]);
+            dsu[x as usize] = root;
+        }
+        dsu[x as usize]
+    }
+    let mut sorted = strong.clone();
+    sorted.sort_unstable_by_key(|&(_, c)| std::cmp::Reverse(c));
+    let mut joins = 0;
+    for ((a, b), _) in sorted {
+        if degree[a as usize] >= 2 || degree[b as usize] >= 2 {
+            continue;
+        }
+        let (ra, rb) = (find(&mut dsu, a), find(&mut dsu, b));
+        if ra == rb {
+            continue; // would close a cycle
+        }
+        dsu[ra as usize] = rb;
+        degree[a as usize] += 1;
+        degree[b as usize] += 1;
+        joins += 1;
+    }
+
+    // Scaffold lengths = sum of member contig lengths (gaps ignored).
+    let mut scaffold_len: HashMap<u32, usize> = HashMap::new();
+    for (i, c) in contigs.iter().enumerate() {
+        let root = find(&mut dsu, i as u32);
+        *scaffold_len.entry(root).or_insert(0) += c.len();
+    }
+    let contig_n50 = n50(contigs.iter().map(|c| c.len()).collect());
+    let scaffold_n50 = n50(scaffold_len.values().copied().collect());
+    println!("joins made: {joins}");
+    println!("contig   N50: {contig_n50} bp  ({} sequences)", contigs.len());
+    println!("scaffold N50: {scaffold_n50} bp  ({} scaffolds)", scaffold_len.len());
+    assert!(scaffold_n50 >= contig_n50, "scaffolding should not reduce N50");
+    println!("N50 improvement: {:.2}x", scaffold_n50 as f64 / contig_n50 as f64);
+}

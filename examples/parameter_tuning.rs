@@ -1,0 +1,68 @@
+//! Parameter exploration: how k, w and T trade quality against work.
+//!
+//! Sweeps each parameter around the paper's defaults on a small simulated
+//! dataset and prints precision/recall plus sketch-table size — a compact
+//! version of the ablations DESIGN.md calls out.
+//!
+//! Run: `cargo run --release --example parameter_tuning`
+
+use jem::prelude::*;
+use jem_core::mapping_pairs;
+use jem_eval::{Benchmark, MappingMetrics};
+use jem_seq::SeqRecord;
+use jem_sim::{Contig, SegmentEnd, SimulatedRead};
+
+fn evaluate(
+    contigs: &[Contig],
+    reads: &[SimulatedRead],
+    subjects: &[SeqRecord],
+    query_reads: &[SeqRecord],
+    config: &MapperConfig,
+) -> (f64, f64, usize) {
+    let mapper = JemMapper::build(subjects.to_vec(), config);
+    let mappings = mapper.map_reads(query_reads);
+    let mut queries = Vec::new();
+    for r in reads {
+        let (s, e) = r.segment_ref_range(SegmentEnd::Prefix, config.ell);
+        queries.push((format!("{}/prefix", r.id), (s as u64, e as u64)));
+        if r.len() > config.ell {
+            let (s, e) = r.segment_ref_range(SegmentEnd::Suffix, config.ell);
+            queries.push((format!("{}/suffix", r.id), (s as u64, e as u64)));
+        }
+    }
+    let coords: Vec<(String, (u64, u64))> = contigs
+        .iter()
+        .map(|c| (c.id.clone(), (c.ref_start as u64, c.ref_end as u64)))
+        .collect();
+    let bench = Benchmark::from_coordinates(&queries, &coords, config.k as u64);
+    let m = MappingMetrics::classify(&mapping_pairs(&mappings, query_reads, &mapper), &bench);
+    (m.precision(), m.recall(), mapper.table().entry_count())
+}
+
+fn main() {
+    let genome = Genome::random(250_000, 0.45, 31);
+    let contigs = fragment_contigs(&genome, &ContigProfile::eukaryotic(), 32);
+    let reads = simulate_hifi(&genome, &HifiProfile { coverage: 4.0, ..Default::default() }, 33);
+    let subjects = contig_records(&contigs);
+    let query_reads = read_records(&reads);
+    println!("{} contigs, {} reads\n", contigs.len(), reads.len());
+
+    println!("| param | precision | recall | table entries |");
+    println!("|---|---|---|---|");
+    for t in [5usize, 15, 30, 60] {
+        let cfg = MapperConfig { trials: t, ..Default::default() };
+        let (p, r, e) = evaluate(&contigs, &reads, &subjects, &query_reads, &cfg);
+        println!("| T={t} | {:.2}% | {:.2}% | {e} |", p * 100.0, r * 100.0);
+    }
+    for w in [20usize, 50, 100, 200] {
+        let cfg = MapperConfig { w, ..Default::default() };
+        let (p, r, e) = evaluate(&contigs, &reads, &subjects, &query_reads, &cfg);
+        println!("| w={w} | {:.2}% | {:.2}% | {e} |", p * 100.0, r * 100.0);
+    }
+    for k in [12usize, 16, 20, 24] {
+        let cfg = MapperConfig { k, ..Default::default() };
+        let (p, r, e) = evaluate(&contigs, &reads, &subjects, &query_reads, &cfg);
+        println!("| k={k} | {:.2}% | {:.2}% | {e} |", p * 100.0, r * 100.0);
+    }
+    println!("\npaper defaults: k=16, w=100, T=30, ell=1000");
+}

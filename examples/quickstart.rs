@@ -1,0 +1,60 @@
+//! Quickstart: simulate a small dataset, map long-read end segments to
+//! contigs with JEM-mapper, and score the result against the ground truth.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use jem::prelude::*;
+use jem_core::{mapping_pairs, write_mappings_tsv};
+use jem_eval::{Benchmark, MappingMetrics};
+use jem_sim::SegmentEnd;
+
+fn main() {
+    // 1. Simulate a 200 kb genome, a fragmented contig set, and HiFi reads.
+    let genome = Genome::random(200_000, 0.5, 7);
+    let contigs = fragment_contigs(&genome, &ContigProfile::eukaryotic(), 8);
+    let reads = simulate_hifi(&genome, &HifiProfile { coverage: 5.0, ..Default::default() }, 9);
+    println!("genome: {} bp, contigs: {}, reads: {}", genome.len(), contigs.len(), reads.len());
+
+    // 2. Build the JEM-mapper index over the contigs (paper defaults:
+    //    k=16, w=100, T=30, ell=1000).
+    let config = MapperConfig::default();
+    let subjects = contig_records(&contigs);
+    let query_reads = read_records(&reads);
+    let mapper = JemMapper::build(subjects, &config);
+
+    // 3. Map every read's end segments.
+    let mappings = mapper.map_reads(&query_reads);
+    println!("mapped {} end segments", mappings.len());
+
+    // 4. Print the first few mappings as TSV.
+    let mut tsv = Vec::new();
+    write_mappings_tsv(&mut tsv, &mappings[..mappings.len().min(5)], &query_reads, &mapper)
+        .expect("in-memory write");
+    print!("{}", String::from_utf8_lossy(&tsv));
+
+    // 5. Score against the simulated truth (Fig. 4 benchmark).
+    let mut queries = Vec::new();
+    for r in &reads {
+        let (s, e) = r.segment_ref_range(SegmentEnd::Prefix, config.ell);
+        queries.push((format!("{}/prefix", r.id), (s as u64, e as u64)));
+        if r.len() > config.ell {
+            let (s, e) = r.segment_ref_range(SegmentEnd::Suffix, config.ell);
+            queries.push((format!("{}/suffix", r.id), (s as u64, e as u64)));
+        }
+    }
+    let subject_coords: Vec<(String, (u64, u64))> = contigs
+        .iter()
+        .map(|c| (c.id.clone(), (c.ref_start as u64, c.ref_end as u64)))
+        .collect();
+    let bench = Benchmark::from_coordinates(&queries, &subject_coords, config.k as u64);
+    let pairs = mapping_pairs(&mappings, &query_reads, &mapper);
+    let m = MappingMetrics::classify(&pairs, &bench);
+    println!(
+        "precision {:.2}%  recall {:.2}%  (TP {}, FP {}, FN {})",
+        m.precision() * 100.0,
+        m.recall() * 100.0,
+        m.tp,
+        m.fp,
+        m.fn_
+    );
+}

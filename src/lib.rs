@@ -1,0 +1,43 @@
+//! # JEM-Mapper suite
+//!
+//! Umbrella crate re-exporting the whole workspace: a Rust reproduction of
+//! *"An Efficient Parallel Sketch-based Algorithm for Mapping Long Reads to
+//! Contigs"* (Rahman, Bhowmik, Kalyanaraman — IPDPSW 2023).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use jem::prelude::*;
+//!
+//! // Simulate a tiny genome, contigs, and HiFi long reads.
+//! let genome = Genome::random(50_000, 0.5, 1);
+//! let contigs = fragment_contigs(&genome, &ContigProfile::small_genome(), 2);
+//! let reads = simulate_hifi(&genome, &HifiProfile { coverage: 3.0, ..Default::default() }, 3);
+//!
+//! // Map long-read end segments to contigs with the JEM sketch.
+//! let config = MapperConfig { ell: 500, ..MapperConfig::default() };
+//! let mapper = JemMapper::build(contig_records(&contigs), &config);
+//! let mappings = mapper.map_reads(&read_records(&reads));
+//! assert!(!mappings.is_empty());
+//! ```
+
+pub use jem_baseline as baseline;
+pub use jem_core as core;
+pub use jem_dbg as dbg;
+pub use jem_eval as eval;
+pub use jem_index as index;
+pub use jem_psim as psim;
+pub use jem_seq as seq;
+pub use jem_sim as sim;
+pub use jem_sketch as sketch;
+
+/// Convenient single import for examples and downstream users.
+pub mod prelude {
+    pub use jem_core::{JemMapper, MapperConfig, Mapping};
+    pub use jem_seq::{FastaReader, FastaWriter, SeqRecord};
+    pub use jem_sim::{
+        contig_records, fragment_contigs, read_records, simulate_hifi, ContigProfile, Genome,
+        HifiProfile,
+    };
+    pub use jem_sketch::{JemParams, MinimizerParams};
+}

@@ -1,0 +1,89 @@
+//! Integration of the assembly substrate with the mappers: the paper's
+//! full data-preparation path (short reads → DBG assembly → contigs), plus
+//! coordinate recovery with the seed-chain mapper (the Minimap2 role).
+
+use jem_baseline::{SeedChainConfig, SeedChainMapper};
+use jem_core::{JemMapper, MapperConfig};
+use jem_dbg::{assemble, AssemblyParams};
+use jem_seq::SeqRecord;
+use jem_sim::{
+    read_records, simulate_hifi, simulate_illumina, Genome, HifiProfile, IlluminaProfile,
+};
+
+fn assembled_world() -> (Genome, Vec<SeqRecord>) {
+    let genome = Genome::random(120_000, 0.5, 777);
+    let short = simulate_illumina(&genome, &IlluminaProfile::default(), 778);
+    let read_seqs: Vec<Vec<u8>> = short.into_iter().map(|r| r.seq).collect();
+    let contigs = assemble(
+        &read_seqs,
+        &AssemblyParams { k: 31, min_abundance: 3, min_contig_len: 500, tip_len: 93 },
+    );
+    (genome, contigs)
+}
+
+#[test]
+fn assembly_covers_most_of_the_genome() {
+    let (genome, contigs) = assembled_world();
+    assert!(!contigs.is_empty());
+    let total: usize = contigs.iter().map(|c| c.seq.len()).sum();
+    assert!(
+        total as f64 > genome.len() as f64 * 0.9,
+        "assembly covers only {total}/{} bases",
+        genome.len()
+    );
+}
+
+#[test]
+fn assembled_contigs_remap_to_reference_coordinates() {
+    // The benchmark-construction path: map each assembled contig back to
+    // the reference with the seed-chain mapper and check the recovered
+    // span is plausible (the paper does this with Minimap2).
+    let (genome, contigs) = assembled_world();
+    let reference = vec![SeqRecord::new("ref", genome.seq.clone())];
+    let mapper = SeedChainMapper::build(reference, &SeedChainConfig::default());
+    let inspected: Vec<_> = contigs.iter().take(10).collect();
+    let mut mapped = 0;
+    for c in &inspected {
+        if let Some(chain) = mapper.map(&c.seq) {
+            mapped += 1;
+            let span = (chain.s_end - chain.s_start) as f64;
+            assert!(
+                span > c.seq.len() as f64 * 0.8 && span < c.seq.len() as f64 * 1.2,
+                "recovered span {span} vs contig length {}",
+                c.seq.len()
+            );
+        }
+    }
+    assert!(
+        mapped * 10 >= inspected.len() * 8,
+        "only {mapped}/{} contigs remapped",
+        inspected.len()
+    );
+}
+
+#[test]
+fn hifi_ends_map_to_assembled_contigs() {
+    let (genome, contigs) = assembled_world();
+    let reads = simulate_hifi(
+        &genome,
+        &HifiProfile { coverage: 3.0, ..Default::default() },
+        779,
+    );
+    let query_reads = read_records(&reads);
+    let config = MapperConfig::default();
+    let n_contigs = contigs.len();
+    let mapper = JemMapper::build(contigs, &config);
+    let mappings = mapper.map_reads(&query_reads);
+    let n_segments: usize =
+        query_reads.iter().map(|r| if r.seq.len() > config.ell { 2 } else { 1 }).sum();
+    assert!(
+        mappings.len() * 10 >= n_segments * 8,
+        "only {}/{} segments mapped against {n_contigs} assembled contigs",
+        mappings.len(),
+        n_segments
+    );
+    // Strong support: HiFi segments over error-filtered contigs should
+    // collide on most trials.
+    let strong = mappings.iter().filter(|m| m.hits as usize >= config.trials / 2).count();
+    assert!(strong * 10 >= mappings.len() * 9, "{strong}/{} strong", mappings.len());
+}

@@ -1,0 +1,61 @@
+//! Disk round-trips: the mapping pipeline driven through FASTA/FASTQ files
+//! rather than in-memory records (the shape a real user runs).
+
+use jem_core::{JemMapper, MapperConfig};
+use jem_seq::{FastaReader, FastaWriter, FastqReader, FastqWriter, FastqRecord, SeqRecord};
+use jem_sim::{contig_records, fragment_contigs, simulate_hifi, ContigProfile, Genome, HifiProfile};
+
+#[test]
+fn mapping_through_fasta_files_matches_in_memory() {
+    let dir = std::env::temp_dir().join(format!("jem_it_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let genome = Genome::random(80_000, 0.5, 1234);
+    let contigs = fragment_contigs(&genome, &ContigProfile::small_genome(), 1235);
+    let reads = simulate_hifi(
+        &genome,
+        &HifiProfile { coverage: 2.0, ..Default::default() },
+        1236,
+    );
+    let subjects = contig_records(&contigs);
+
+    // Write contigs as FASTA, reads as FASTQ.
+    let contig_path = dir.join("contigs.fa");
+    {
+        let mut w = FastaWriter::create(&contig_path).unwrap();
+        w.write_all_records(&subjects).unwrap();
+        w.flush().unwrap();
+    }
+    let reads_path = dir.join("reads.fq");
+    {
+        let mut w = FastqWriter::create(&reads_path).unwrap();
+        for r in &reads {
+            w.write_record(&FastqRecord::with_uniform_quality(r.id.clone(), r.seq.clone(), b'K'))
+                .unwrap();
+        }
+        w.flush().unwrap();
+    }
+
+    // Read back.
+    let subjects_back: Vec<SeqRecord> =
+        FastaReader::from_path(&contig_path).unwrap().read_all().unwrap();
+    let reads_back: Vec<SeqRecord> = FastqReader::from_path(&reads_path)
+        .unwrap()
+        .read_all()
+        .unwrap()
+        .into_iter()
+        .map(FastqRecord::into_seq_record)
+        .collect();
+    assert_eq!(subjects_back.len(), subjects.len());
+    assert_eq!(reads_back.len(), reads.len());
+
+    // Map both ways; results must be identical.
+    let config = MapperConfig { trials: 8, ..Default::default() };
+    let mem_reads: Vec<SeqRecord> =
+        reads.iter().map(|r| SeqRecord::new(r.id.clone(), r.seq.clone())).collect();
+    let from_memory = JemMapper::build(subjects, &config).map_reads(&mem_reads);
+    let from_disk = JemMapper::build(subjects_back, &config).map_reads(&reads_back);
+    assert_eq!(from_memory, from_disk);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
