@@ -28,11 +28,11 @@
 #![warn(missing_docs)]
 
 pub mod mashmap;
-pub mod paf;
 pub mod minhash_mapper;
+pub mod paf;
 pub mod seedchain;
 
-pub use paf::{mapq_from_scores, write_paf, PafRecord};
 pub use mashmap::{run_mashmap_threaded, MashmapConfig, MashmapMapper};
 pub use minhash_mapper::{ClassicMinHashConfig, ClassicMinHashMapper};
+pub use paf::{mapq_from_scores, write_paf, PafRecord};
 pub use seedchain::{Anchor, Chain, SeedChainConfig, SeedChainMapper};

@@ -39,7 +39,12 @@ pub struct MashmapConfig {
 
 impl Default for MashmapConfig {
     fn default() -> Self {
-        MashmapConfig { k: 16, w: 100, ell: 1000, min_shared: 2 }
+        MashmapConfig {
+            k: 16,
+            w: 100,
+            ell: 1000,
+            min_shared: 2,
+        }
     }
 }
 
@@ -67,10 +72,10 @@ impl MashmapMapper {
         let mut index: HashMap<u64, Vec<Posting>> = HashMap::new();
         for (id, rec) in subjects.iter().enumerate() {
             for m in minimizers(&rec.seq, params) {
-                index
-                    .entry(m.code)
-                    .or_default()
-                    .push(Posting { subject: id as SubjectId, pos: m.pos });
+                index.entry(m.code).or_default().push(Posting {
+                    subject: id as SubjectId,
+                    pos: m.pos,
+                });
             }
         }
         MashmapMapper {
@@ -155,7 +160,12 @@ impl MashmapMapper {
         let mut out = Vec::new();
         for seg in &segments {
             if let Some((subject, score)) = self.map_segment(&seg.seq) {
-                out.push(Mapping { read_idx: seg.read_idx, end: seg.end, subject, hits: score });
+                out.push(Mapping {
+                    read_idx: seg.read_idx,
+                    end: seg.end,
+                    subject,
+                    hits: score,
+                });
             }
         }
         out
@@ -204,8 +214,9 @@ pub fn run_mashmap_threaded(
     mode: ExecMode,
 ) -> (Vec<Mapping>, RunReport) {
     let mut world = World::new(threads, CostModel::zero()).with_mode(mode);
-    let mapper = world
-        .superstep_replicated("index build", || MashmapMapper::build(subjects.to_vec(), config));
+    let mapper = world.superstep_replicated("index build", || {
+        MashmapMapper::build(subjects.to_vec(), config)
+    });
     let segments = make_segments(reads, config.ell);
     let per_rank: Vec<Vec<Mapping>> = world.superstep("query map", |rank| {
         let range = {
@@ -217,7 +228,12 @@ pub fn run_mashmap_threaded(
         let mut out = Vec::new();
         for seg in &segments[range] {
             if let Some((subject, score)) = mapper.map_segment(&seg.seq) {
-                out.push(Mapping { read_idx: seg.read_idx, end: seg.end, subject, hits: score });
+                out.push(Mapping {
+                    read_idx: seg.read_idx,
+                    end: seg.end,
+                    subject,
+                    hits: score,
+                });
             }
         }
         out
@@ -239,17 +255,28 @@ pub fn mapping_key(m: &Mapping, reads: &[SeqRecord]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use jem_sim::{contig_records, fragment_contigs, read_records, simulate_hifi, ContigProfile, Genome, HifiProfile};
+    use jem_sim::{
+        contig_records, fragment_contigs, read_records, simulate_hifi, ContigProfile, Genome,
+        HifiProfile,
+    };
 
     fn config() -> MashmapConfig {
-        MashmapConfig { k: 12, w: 10, ell: 400, min_shared: 2 }
+        MashmapConfig {
+            k: 12,
+            w: 10,
+            ell: 400,
+            min_shared: 2,
+        }
     }
 
     fn world_data() -> (Genome, Vec<SeqRecord>) {
         let genome = Genome::random(60_000, 0.5, 31);
         let contigs = fragment_contigs(
             &genome,
-            &ContigProfile { error_rate: 0.0, ..ContigProfile::small_genome() },
+            &ContigProfile {
+                error_rate: 0.0,
+                ..ContigProfile::small_genome()
+            },
             32,
         );
         (genome, contig_records(&contigs))
@@ -285,7 +312,13 @@ mod tests {
     fn map_reads_end_to_end() {
         let (genome, subjects) = world_data();
         let mapper = MashmapMapper::build(subjects, &config());
-        let profile = HifiProfile { coverage: 2.0, mean_len: 4_000, std_len: 800, min_len: 1_000, error_rate: 0.001 };
+        let profile = HifiProfile {
+            coverage: 2.0,
+            mean_len: 4_000,
+            std_len: 800,
+            min_len: 1_000,
+            error_rate: 0.001,
+        };
         let reads = read_records(&simulate_hifi(&genome, &profile, 33));
         let mappings = mapper.map_reads(&reads);
         assert!(!mappings.is_empty());
@@ -297,7 +330,13 @@ mod tests {
     #[test]
     fn threaded_run_matches_sequential_mappings() {
         let (genome, subjects) = world_data();
-        let profile = HifiProfile { coverage: 1.0, mean_len: 4_000, std_len: 800, min_len: 1_000, error_rate: 0.001 };
+        let profile = HifiProfile {
+            coverage: 1.0,
+            mean_len: 4_000,
+            std_len: 800,
+            min_len: 1_000,
+            error_rate: 0.001,
+        };
         let reads = read_records(&simulate_hifi(&genome, &profile, 34));
         let mapper = MashmapMapper::build(subjects.clone(), &config());
         let mut expected = mapper.map_reads(&reads);
@@ -314,8 +353,14 @@ mod tests {
     fn local_intersection_window_logic() {
         // Positions 0..5 close together (5 distinct), one far outlier of the
         // same query minimizer 0.
-        let group: Vec<(u32, SubjectId, u32)> =
-            vec![(0, 0, 0), (1, 0, 10), (2, 0, 20), (3, 0, 30), (4, 0, 40), (0, 0, 5000)];
+        let group: Vec<(u32, SubjectId, u32)> = vec![
+            (0, 0, 0),
+            (1, 0, 10),
+            (2, 0, 20),
+            (3, 0, 30),
+            (4, 0, 40),
+            (0, 0, 5000),
+        ];
         assert_eq!(max_local_intersection(&group, 100), 5);
         // Tiny window: only individual hits.
         assert_eq!(max_local_intersection(&group, 1), 1);

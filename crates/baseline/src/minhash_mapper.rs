@@ -30,7 +30,12 @@ pub struct ClassicMinHashConfig {
 
 impl Default for ClassicMinHashConfig {
     fn default() -> Self {
-        ClassicMinHashConfig { k: 16, trials: 30, ell: 1000, seed: 0x4a45_4d4d }
+        ClassicMinHashConfig {
+            k: 16,
+            trials: 30,
+            ell: 1000,
+            seed: 0x4a45_4d4d,
+        }
     }
 }
 
@@ -56,7 +61,12 @@ impl ClassicMinHashMapper {
                 }
             }
         }
-        ClassicMinHashMapper { config: *config, family, table, n_subjects: subjects.len() }
+        ClassicMinHashMapper {
+            config: *config,
+            family,
+            table,
+            n_subjects: subjects.len(),
+        }
     }
 
     /// Number of indexed subjects.
@@ -89,7 +99,12 @@ impl ClassicMinHashMapper {
         let mut out = Vec::new();
         for (qid, seg) in segments.iter().enumerate() {
             if let Some((subject, hits)) = self.map_segment(&seg.seq, qid as u64, &mut counter) {
-                out.push(Mapping { read_idx: seg.read_idx, end: seg.end, subject, hits });
+                out.push(Mapping {
+                    read_idx: seg.read_idx,
+                    end: seg.end,
+                    subject,
+                    hits,
+                });
             }
         }
         out
@@ -102,14 +117,22 @@ mod tests {
     use jem_sim::{contig_records, fragment_contigs, ContigProfile, Genome};
 
     fn config() -> ClassicMinHashConfig {
-        ClassicMinHashConfig { k: 12, trials: 24, ell: 400, seed: 5 }
+        ClassicMinHashConfig {
+            k: 12,
+            trials: 24,
+            ell: 400,
+            seed: 5,
+        }
     }
 
     fn subjects() -> Vec<SeqRecord> {
         let genome = Genome::random(40_000, 0.5, 61);
         let contigs = fragment_contigs(
             &genome,
-            &ContigProfile { error_rate: 0.0, ..ContigProfile::small_genome() },
+            &ContigProfile {
+                error_rate: 0.0,
+                ..ContigProfile::small_genome()
+            },
             62,
         );
         contig_records(&contigs)
@@ -133,7 +156,11 @@ mod tests {
         // the contig's *global* minimum on only a fraction of trials.
         let subjects = subjects();
         let mapper = ClassicMinHashMapper::build(&subjects, &config());
-        let long = subjects.iter().enumerate().max_by_key(|(_, s)| s.seq.len()).unwrap();
+        let long = subjects
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, s)| s.seq.len())
+            .unwrap();
         let query = long.1.seq[..400].to_vec();
         let mut counter = LazyHitCounter::new(mapper.n_subjects());
         let hits = mapper
@@ -161,6 +188,8 @@ mod tests {
         let reads = vec![SeqRecord::new("r0", subjects[0].seq.clone())];
         let mappings = mapper.map_reads(&reads);
         assert!(!mappings.is_empty());
-        assert!(mappings.iter().all(|m| (m.subject as usize) < mapper.n_subjects()));
+        assert!(mappings
+            .iter()
+            .all(|m| (m.subject as usize) < mapper.n_subjects()));
     }
 }

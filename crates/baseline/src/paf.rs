@@ -133,7 +133,13 @@ mod tests {
         let g = Genome::random(20_000, 0.5, 91);
         let subjects = vec![SeqRecord::new("ref", g.seq.clone())];
         let lens = vec![g.len()];
-        let config = SeedChainConfig { k: 11, w: 5, max_predecessors: 50, max_gap: 2_000, min_score: 22 };
+        let config = SeedChainConfig {
+            k: 11,
+            w: 5,
+            max_predecessors: 50,
+            max_gap: 2_000,
+            min_score: 22,
+        };
         (SeedChainMapper::build(subjects, &config), lens, g)
     }
 

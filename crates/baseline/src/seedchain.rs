@@ -30,7 +30,13 @@ pub struct SeedChainConfig {
 
 impl Default for SeedChainConfig {
     fn default() -> Self {
-        SeedChainConfig { k: 15, w: 10, max_predecessors: 50, max_gap: 5_000, min_score: 30 }
+        SeedChainConfig {
+            k: 15,
+            w: 10,
+            max_predecessors: 50,
+            max_gap: 5_000,
+            min_score: 30,
+        }
     }
 }
 
@@ -126,7 +132,9 @@ impl SeedChainMapper {
         let qlen = query.len();
         let mut anchors = Vec::new();
         for m in minimizers(query, self.params) {
-            let Some(postings) = self.index.get(&m.code) else { continue };
+            let Some(postings) = self.index.get(&m.code) else {
+                continue;
+            };
             let q_fwd = occurrence_is_forward(query, m.pos as usize, k, m.code);
             for p in postings {
                 let reverse = q_fwd != p.fwd;
@@ -137,7 +145,12 @@ impl SeedChainMapper {
                 } else {
                     m.pos
                 };
-                anchors.push(Anchor { qpos, spos: p.pos, subject: p.subject, reverse });
+                anchors.push(Anchor {
+                    qpos,
+                    spos: p.pos,
+                    subject: p.subject,
+                    reverse,
+                });
             }
         }
         anchors
@@ -189,8 +202,10 @@ impl SeedChainMapper {
                 }
             }
             // Best chain ending in this group.
-            if let Some((end, &score)) =
-                f.iter().enumerate().max_by_key(|&(idx, &s)| (s, std::cmp::Reverse(idx)))
+            if let Some((end, &score)) = f
+                .iter()
+                .enumerate()
+                .max_by_key(|&(idx, &s)| (s, std::cmp::Reverse(idx)))
             {
                 if score >= self.config.min_score {
                     let mut start = end;
@@ -237,7 +252,13 @@ mod tests {
     use jem_sim::Genome;
 
     fn config() -> SeedChainConfig {
-        SeedChainConfig { k: 11, w: 5, max_predecessors: 50, max_gap: 2_000, min_score: 22 }
+        SeedChainConfig {
+            k: 11,
+            w: 5,
+            max_predecessors: 50,
+            max_gap: 2_000,
+            min_score: 22,
+        }
     }
 
     fn reference() -> Vec<SeqRecord> {
@@ -253,8 +274,16 @@ mod tests {
         let chain = mapper.map(&truth).expect("must map");
         assert_eq!(chain.subject, 0);
         assert!(!chain.reverse);
-        assert!((chain.s_start as i64 - 5_000).abs() < 100, "s_start {}", chain.s_start);
-        assert!((chain.s_end as i64 - 7_000).abs() < 100, "s_end {}", chain.s_end);
+        assert!(
+            (chain.s_start as i64 - 5_000).abs() < 100,
+            "s_start {}",
+            chain.s_start
+        );
+        assert!(
+            (chain.s_end as i64 - 7_000).abs() < 100,
+            "s_end {}",
+            chain.s_end
+        );
         assert!(chain.n_anchors > 10);
     }
 
@@ -321,12 +350,18 @@ mod tests {
         let mut query = g.seq[1_000..2_000].to_vec();
         query.extend_from_slice(&Genome::random(200, 0.5, 555).seq);
         query.extend_from_slice(&g.seq[10_000..11_000]); // 8 kb away on ref
-        let cfg = SeedChainConfig { max_gap: 3_000, ..config() };
+        let cfg = SeedChainConfig {
+            max_gap: 3_000,
+            ..config()
+        };
         let mapper = SeedChainMapper::build(subjects, &cfg);
         let chains = mapper.chains(&query);
         assert!(!chains.is_empty());
         let best = chains[0];
         // The best chain covers one block, not the 10 kb span.
-        assert!(best.s_end - best.s_start < 5_000, "chain bridged the gap: {best:?}");
+        assert!(
+            best.s_end - best.s_start < 5_000,
+            "chain bridged the gap: {best:?}"
+        );
     }
 }

@@ -7,7 +7,9 @@ use jem_eval::{align_fitting, align_global, align_local, banded_global};
 fn rng_seq(n: usize, seed: u64) -> Vec<u8> {
     (0..n)
         .scan(seed, |s, _| {
-            *s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             Some(b"ACGT"[((*s >> 33) % 4) as usize])
         })
         .collect()
@@ -39,8 +41,12 @@ fn bench_alignment(c: &mut Criterion) {
     g2.sample_size(10);
     let contig = rng_seq(3_000, 3);
     let segment = diverge(&contig[800..1800], 4);
-    g2.bench_function("fitting", |bch| bch.iter(|| align_fitting(&segment, &contig)));
-    g2.bench_function("local_sw", |bch| bch.iter(|| align_local(&segment, &contig)));
+    g2.bench_function("fitting", |bch| {
+        bch.iter(|| align_fitting(&segment, &contig))
+    });
+    g2.bench_function("local_sw", |bch| {
+        bch.iter(|| align_local(&segment, &contig))
+    });
     g2.finish();
 }
 

@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use jem_index::{
-    builder::build_table_sequential, build_table_parallel, HitCounter, LazyHitCounter,
+    build_table_parallel, builder::build_table_sequential, HitCounter, LazyHitCounter,
     NaiveHitCounter, SketchTable,
 };
 use jem_sketch::{HashFamily, JemParams};
@@ -14,7 +14,9 @@ use jem_sketch::{HashFamily, JemParams};
 fn rng_seq(n: usize, seed: u64) -> Vec<u8> {
     (0..n)
         .scan(seed, |s, _| {
-            *s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             Some(b"ACGT"[((*s >> 33) % 4) as usize])
         })
         .collect()
@@ -33,7 +35,9 @@ fn bench_table_build(c: &mut Criterion) {
     g.bench_function("sequential", |b| {
         b.iter(|| build_table_sequential(&subs, params, &family))
     });
-    g.bench_function("rayon", |b| b.iter(|| build_table_parallel(&subs, params, &family)));
+    g.bench_function("rayon", |b| {
+        b.iter(|| build_table_parallel(&subs, params, &family))
+    });
     g.finish();
 }
 
@@ -46,11 +50,13 @@ fn bench_encode_decode(c: &mut Criterion) {
     let table = build_table_sequential(&subs, params, &family);
     let encoded = table.encode();
     g.bench_function("encode", |b| b.iter(|| table.encode()));
-    g.bench_function("decode", |b| b.iter(|| SketchTable::decode(&encoded, 30)));
+    g.bench_function("decode", |b| {
+        b.iter(|| SketchTable::decode(&encoded, 30).unwrap())
+    });
     g.bench_function("decode_into_merge", |b| {
         b.iter(|| {
             let mut t = SketchTable::new(30);
-            t.decode_into(&encoded);
+            t.decode_into(&encoded).unwrap();
             t
         })
     });
@@ -92,5 +98,10 @@ fn bench_hit_counters(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_table_build, bench_encode_decode, bench_hit_counters);
+criterion_group!(
+    benches,
+    bench_table_build,
+    bench_encode_decode,
+    bench_hit_counters
+);
 criterion_main!(benches);

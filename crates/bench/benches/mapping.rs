@@ -7,7 +7,10 @@ use jem_baseline::{ClassicMinHashConfig, ClassicMinHashMapper, MashmapConfig, Ma
 use jem_core::{JemMapper, MapperConfig};
 use jem_index::LazyHitCounter;
 use jem_seq::SeqRecord;
-use jem_sim::{contig_records, fragment_contigs, read_records, simulate_hifi, ContigProfile, Genome, HifiProfile};
+use jem_sim::{
+    contig_records, fragment_contigs, read_records, simulate_hifi, ContigProfile, Genome,
+    HifiProfile,
+};
 
 struct Data {
     subjects: Vec<SeqRecord>,
@@ -18,7 +21,14 @@ struct Data {
 fn data() -> Data {
     let genome = Genome::random(300_000, 0.5, 50);
     let contigs = fragment_contigs(&genome, &ContigProfile::eukaryotic(), 51);
-    let reads = simulate_hifi(&genome, &HifiProfile { coverage: 3.0, ..Default::default() }, 52);
+    let reads = simulate_hifi(
+        &genome,
+        &HifiProfile {
+            coverage: 3.0,
+            ..Default::default()
+        },
+        52,
+    );
     let subjects = contig_records(&contigs);
     let read_recs = read_records(&reads);
     let segments: Vec<Vec<u8>> = read_recs
@@ -26,7 +36,11 @@ fn data() -> Data {
         .filter(|r| r.seq.len() >= 1000)
         .map(|r| r.seq[..1000].to_vec())
         .collect();
-    Data { subjects, reads: read_recs, segments }
+    Data {
+        subjects,
+        reads: read_recs,
+        segments,
+    }
 }
 
 fn bench_index_build(c: &mut Criterion) {
@@ -40,7 +54,12 @@ fn bench_index_build(c: &mut Criterion) {
         b.iter(|| {
             MashmapMapper::build(
                 d.subjects.clone(),
-                &MashmapConfig { k: 16, w: 10, ell: 1000, min_shared: 4 },
+                &MashmapConfig {
+                    k: 16,
+                    w: 10,
+                    ell: 1000,
+                    min_shared: 4,
+                },
             )
         })
     });
@@ -52,7 +71,12 @@ fn bench_query_mapping(c: &mut Criterion) {
     let jem = JemMapper::build(d.subjects.clone(), &MapperConfig::default());
     let mash = MashmapMapper::build(
         d.subjects.clone(),
-        &MashmapConfig { k: 16, w: 10, ell: 1000, min_shared: 4 },
+        &MashmapConfig {
+            k: 16,
+            w: 10,
+            ell: 1000,
+            min_shared: 4,
+        },
     );
     let classic = ClassicMinHashMapper::build(&d.subjects, &ClassicMinHashConfig::default());
 
@@ -70,7 +94,12 @@ fn bench_query_mapping(c: &mut Criterion) {
         })
     });
     g.bench_function("mashmap", |b| {
-        b.iter(|| d.segments.iter().filter_map(|s| mash.map_segment(s)).count())
+        b.iter(|| {
+            d.segments
+                .iter()
+                .filter_map(|s| mash.map_segment(s))
+                .count()
+        })
     });
     g.bench_function("classic_minhash", |b| {
         b.iter(|| {
@@ -89,7 +118,10 @@ fn bench_query_mapping(c: &mut Criterion) {
     g2.bench_function("jem_sequential", |b| b.iter(|| jem.map_reads(&d.reads)));
     g2.bench_function("jem_topk3_extension", |b| {
         b.iter(|| {
-            d.segments.iter().map(|s| jem.map_segment_topk(s, 3).len()).sum::<usize>()
+            d.segments
+                .iter()
+                .map(|s| jem.map_segment_topk(s, 3).len())
+                .sum::<usize>()
         })
     });
     g2.finish();

@@ -12,7 +12,9 @@ use jem_sketch::{
 fn rng_seq(n: usize, seed: u64) -> Vec<u8> {
     (0..n)
         .scan(seed, |s, _| {
-            *s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             Some(b"ACGT"[((*s >> 33) % 4) as usize])
         })
         .collect()
@@ -68,7 +70,9 @@ fn bench_schemes(c: &mut Criterion) {
     let mp = MinimizerParams::new(16, 5).unwrap();
     let sp = SyncmerParams::new(16, 11).unwrap();
     g.bench_function("minimizer_w5", |b| b.iter(|| minimizers(&seq, mp)));
-    g.bench_function("closed_syncmer_s11", |b| b.iter(|| closed_syncmers(&seq, sp)));
+    g.bench_function("closed_syncmer_s11", |b| {
+        b.iter(|| closed_syncmers(&seq, sp))
+    });
     let _ = SketchScheme::Minimizer { w: 5 }; // scheme type exercised in mapping bench
     g.finish();
 }
@@ -81,10 +85,20 @@ fn bench_jem_vs_classic(c: &mut Criterion) {
     let family = HashFamily::generate(30, 9);
     let params = JemParams::paper_default();
     g.throughput(Throughput::Bytes(n as u64));
-    g.bench_function("jem_t30", |b| b.iter(|| sketch_by_jem(&seq, params, &family)));
-    g.bench_function("classic_t30", |b| b.iter(|| classic_minhash_seq(&seq, 16, &family)));
+    g.bench_function("jem_t30", |b| {
+        b.iter(|| sketch_by_jem(&seq, params, &family))
+    });
+    g.bench_function("classic_t30", |b| {
+        b.iter(|| classic_minhash_seq(&seq, 16, &family))
+    });
     g.finish();
 }
 
-criterion_group!(benches, bench_minimizers, bench_jem_sketch, bench_schemes, bench_jem_vs_classic);
+criterion_group!(
+    benches,
+    bench_minimizers,
+    bench_jem_sketch,
+    bench_schemes,
+    bench_jem_vs_classic
+);
 criterion_main!(benches);

@@ -1,7 +1,10 @@
 //! Runs every table/figure experiment in sequence.
 fn main() {
     let t0 = std::time::Instant::now();
-    println!("# JEM-Mapper — full experiment suite (scale {})\n", jem_bench::env_scale());
+    println!(
+        "# JEM-Mapper — full experiment suite (scale {})\n",
+        jem_bench::env_scale()
+    );
     jem_bench::experiments::table1_datasets::run();
     jem_bench::experiments::fig5_quality::run();
     jem_bench::experiments::fig6_trials::run();
@@ -12,5 +15,8 @@ fn main() {
     jem_bench::experiments::ext_topk::run();
     jem_bench::experiments::ext_contained::run();
     jem_bench::experiments::ablations::run();
-    eprintln!("[all experiments done in {:.1}s]", t0.elapsed().as_secs_f64());
+    eprintln!(
+        "[all experiments done in {:.1}s]",
+        t0.elapsed().as_secs_f64()
+    );
 }

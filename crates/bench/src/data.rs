@@ -1,7 +1,7 @@
 //! Dataset preparation and tool evaluation glue shared by all experiments.
 
 use jem_baseline::{ClassicMinHashConfig, ClassicMinHashMapper, MashmapConfig, MashmapMapper};
-use jem_core::{mapping_pairs, JemMapper, Mapping, MapperConfig, ReadEnd};
+use jem_core::{mapping_pairs, JemMapper, MapperConfig, Mapping, ReadEnd};
 use jem_eval::{Benchmark, MappingMetrics};
 use jem_seq::SeqRecord;
 use jem_sim::{contig_records, read_records, DatasetSpec, SegmentEnd, SimulatedDataset};
@@ -9,12 +9,18 @@ use std::time::Instant;
 
 /// `JEM_SCALE` env knob (default 1.0).
 pub fn env_scale() -> f64 {
-    std::env::var("JEM_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+    std::env::var("JEM_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
 }
 
 /// `JEM_SEED` env knob (default 42).
 pub fn env_seed() -> u64 {
-    std::env::var("JEM_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42)
+    std::env::var("JEM_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
 }
 
 /// A generated dataset plus the record views the mappers consume.
@@ -33,7 +39,11 @@ impl PreparedDataset {
         let ds = spec.generate(seed);
         let subjects = contig_records(&ds.contigs);
         let reads = read_records(&ds.reads);
-        PreparedDataset { ds, subjects, reads }
+        PreparedDataset {
+            ds,
+            subjects,
+            reads,
+        }
     }
 
     /// Human-readable dataset name.
@@ -157,7 +167,9 @@ pub fn eval_mashmap(
     let t1 = Instant::now();
     let mappings = mapper.map_reads(&prep.reads);
     let map = t1.elapsed().as_secs_f64();
-    let pairs = baseline_pairs(&mappings, &prep.reads, |id| mapper.subject_name(id).to_string());
+    let pairs = baseline_pairs(&mappings, &prep.reads, |id| {
+        mapper.subject_name(id).to_string()
+    });
     quality("Mashmap", prep, pairs, bench, build, map)
 }
 
@@ -173,8 +185,9 @@ pub fn eval_classic(
     let t1 = Instant::now();
     let mappings = mapper.map_reads(&prep.reads);
     let map = t1.elapsed().as_secs_f64();
-    let pairs =
-        baseline_pairs(&mappings, &prep.reads, |id| prep.subjects[id as usize].id.clone());
+    let pairs = baseline_pairs(&mappings, &prep.reads, |id| {
+        prep.subjects[id as usize].id.clone()
+    });
     quality("classical MinHash", prep, pairs, bench, build, map)
 }
 
@@ -191,7 +204,10 @@ pub fn baseline_pairs(
                 ReadEnd::Prefix => "prefix",
                 ReadEnd::Suffix => "suffix",
             };
-            (format!("{}/{end}", reads[m.read_idx as usize].id), subject_name(m.subject))
+            (
+                format!("{}/{end}", reads[m.read_idx as usize].id),
+                subject_name(m.subject),
+            )
         })
         .collect()
 }

@@ -27,7 +27,9 @@ pub fn run() {
     for w in [10usize, 25, 50, 100, 200, 400] {
         let config = MapperConfig { w, ..base };
         let q = eval_jem(&prep, &config, &bench);
-        let entries = JemMapper::build(prep.subjects.clone(), &config).table().entry_count();
+        let entries = JemMapper::build(prep.subjects.clone(), &config)
+            .table()
+            .entry_count();
         rows.push(vec![
             w.to_string(),
             pct(q.precision),
@@ -73,8 +75,18 @@ pub fn run() {
         "Ablation 2 — lazy-update vs reset-per-query hit counting",
         &["Counter", "Subjects", "Queries", "Seconds"],
         &[
-            vec!["lazy (paper)".into(), n_subjects.to_string(), queries.to_string(), f(lazy_secs, 4)],
-            vec!["naive reset".into(), n_subjects.to_string(), queries.to_string(), f(naive_secs, 4)],
+            vec![
+                "lazy (paper)".into(),
+                n_subjects.to_string(),
+                queries.to_string(),
+                f(lazy_secs, 4),
+            ],
+            vec![
+                "naive reset".into(),
+                n_subjects.to_string(),
+                queries.to_string(),
+                f(naive_secs, 4),
+            ],
         ],
     );
     println!("lazy speedup: {:.1}x", naive_secs / lazy_secs.max(1e-12));
@@ -89,9 +101,10 @@ pub fn run() {
     // --- (3) interconnect sensitivity of the comm fraction at p = 64.
     let mut rows = Vec::new();
     let mut series = Vec::new();
-    for (label, cost) in
-        [("10GbE", CostModel::ethernet_10g()), ("InfiniBand", CostModel::infiniband())]
-    {
+    for (label, cost) in [
+        ("10GbE", CostModel::ethernet_10g()),
+        ("InfiniBand", CostModel::infiniband()),
+    ] {
         let o = run_distributed(
             &prep.subjects,
             &prep.reads,
@@ -122,7 +135,11 @@ pub fn run() {
     };
     let noisy = PreparedDataset::generate(&noisy_spec, env_seed() + 7);
     // Matched density 2/6: minimizer w = 5 vs closed syncmer s = k − 5.
-    let dense_cfg = MapperConfig { k: 16, w: 5, ..base };
+    let dense_cfg = MapperConfig {
+        k: 16,
+        w: 5,
+        ..base
+    };
     let noisy_bench = noisy.truth(dense_cfg.ell, dense_cfg.k as u64);
     let mini = crate::data::eval_jem_scheme(
         &noisy,
@@ -142,8 +159,18 @@ pub fn run() {
         "Ablation 4 — sketch scheme under 2% read error (matched density 1/3)",
         &["Scheme", "Precision", "Recall", "Map secs"],
         &[
-            vec![mini.tool.clone(), pct(mini.precision), pct(mini.recall), f(mini.map_secs, 3)],
-            vec![sync.tool.clone(), pct(sync.precision), pct(sync.recall), f(sync.map_secs, 3)],
+            vec![
+                mini.tool.clone(),
+                pct(mini.precision),
+                pct(mini.recall),
+                f(mini.map_secs, 3),
+            ],
+            vec![
+                sync.tool.clone(),
+                pct(sync.precision),
+                pct(sync.recall),
+                f(sync.map_secs, 3),
+            ],
         ],
     );
     results.insert(
@@ -164,7 +191,10 @@ pub fn run() {
             .iter()
             .filter(|m| m.hits >= min_hits)
             .map(|m| {
-                (m.query_key(&prep.reads), mapper.subject_name(m.subject).to_string())
+                (
+                    m.query_key(&prep.reads),
+                    mapper.subject_name(m.subject).to_string(),
+                )
             })
             .collect();
         let m = jem_eval::MappingMetrics::classify(&pairs, &bench);

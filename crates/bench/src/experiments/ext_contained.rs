@@ -42,8 +42,8 @@ pub fn run() {
             .contigs
             .iter()
             .filter(|c| {
-                let overlaps_prefix = c.ref_start < read.ref_start + config.ell
-                    && c.ref_end > read.ref_start;
+                let overlaps_prefix =
+                    c.ref_start < read.ref_start + config.ell && c.ref_end > read.ref_start;
                 let overlaps_suffix =
                     c.ref_start < read.ref_end && c.ref_end + config.ell > read.ref_end;
                 overlaps_prefix || overlaps_suffix
@@ -62,15 +62,24 @@ pub fn run() {
         interior_recovered += interior.iter().filter(|c| found.contains(*c)).count();
     }
 
-    let recovery =
-        if interior_total == 0 { 0.0 } else { interior_recovered as f64 / interior_total as f64 };
+    let recovery = if interior_total == 0 {
+        0.0
+    } else {
+        interior_recovered as f64 / interior_total as f64
+    };
     print_table(
         "Extension — contained-contig recovery by whole-read tiling (C. elegans analogue)",
         &["Metric", "Value"],
         &[
             vec!["reads sampled".into(), sample.len().to_string()],
-            vec!["end-visible contig incidences".into(), end_visible.to_string()],
-            vec!["interior-only incidences (invisible to end segments)".into(), interior_total.to_string()],
+            vec![
+                "end-visible contig incidences".into(),
+                end_visible.to_string(),
+            ],
+            vec![
+                "interior-only incidences (invisible to end segments)".into(),
+                interior_total.to_string(),
+            ],
             vec!["recovered by tiling".into(), interior_recovered.to_string()],
             vec!["tiling recovery rate".into(), pct(recovery)],
         ],

@@ -28,14 +28,19 @@ pub fn run() {
         .iter()
         .map(|seg| {
             let key = seg.key(&prep.reads);
-            let top: Vec<u32> =
-                mapper.map_segment_topk(&seg.seq, max_x).into_iter().map(|(s, _)| s).collect();
+            let top: Vec<u32> = mapper
+                .map_segment_topk(&seg.seq, max_x)
+                .into_iter()
+                .map(|(s, _)| s)
+                .collect();
             (key, top)
         })
         .collect();
 
-    let mappable: Vec<&(String, Vec<u32>)> =
-        candidates.iter().filter(|(key, _)| bench.subjects_of(key).is_some()).collect();
+    let mappable: Vec<&(String, Vec<u32>)> = candidates
+        .iter()
+        .filter(|(key, _)| bench.subjects_of(key).is_some())
+        .collect();
     let mut rows = Vec::new();
     let mut results = Vec::new();
     for &x in TOP_X {
@@ -43,7 +48,9 @@ pub fn run() {
             .iter()
             .filter(|(key, top)| {
                 let truth = bench.subjects_of(key).expect("filtered to mappable");
-                top.iter().take(x).any(|s| truth.contains(prep.subjects[*s as usize].id.as_str()))
+                top.iter()
+                    .take(x)
+                    .any(|s| truth.contains(prep.subjects[*s as usize].id.as_str()))
             })
             .count();
         let recall = recovered as f64 / mappable.len().max(1) as f64;

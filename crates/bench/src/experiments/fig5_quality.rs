@@ -35,7 +35,13 @@ pub fn run() {
     }
     print_table(
         "Fig. 5 — mapping quality (PacBio HiFi simulated reads)",
-        &["Input", "JEM precision", "JEM recall", "Mashmap precision", "Mashmap recall"],
+        &[
+            "Input",
+            "JEM precision",
+            "JEM recall",
+            "Mashmap precision",
+            "Mashmap recall",
+        ],
         &rows,
     );
     save_json("fig5", &results);

@@ -19,7 +19,12 @@ pub fn run() {
     let mut results = Vec::new();
     for &t in TRIALS {
         let jem = eval_jem(&prep, &base.with_trials(t), &bench);
-        let classic_cfg = ClassicMinHashConfig { k: base.k, trials: t, ell: base.ell, seed: base.seed };
+        let classic_cfg = ClassicMinHashConfig {
+            k: base.k,
+            trials: t,
+            ell: base.ell,
+            seed: base.seed,
+        };
         let classic = eval_classic(&prep, &classic_cfg, &bench);
         println!(
             "T={t}: JEM p={} r={} | classical MinHash p={} r={}",
@@ -43,7 +48,13 @@ pub fn run() {
     }
     print_table(
         "Fig. 6 — quality vs number of trials T (B. splendens analogue)",
-        &["T", "JEM precision", "JEM recall", "MinHash precision", "MinHash recall"],
+        &[
+            "T",
+            "JEM precision",
+            "JEM recall",
+            "MinHash precision",
+            "MinHash recall",
+        ],
         &rows,
     );
     save_json("fig6", &results);

@@ -20,8 +20,14 @@ pub fn run() {
         let prep = PreparedDataset::generate(&spec, env_seed());
 
         // (a) breakdown at p = 16.
-        let outcome =
-            run_distributed(&prep.subjects, &prep.reads, &config, 16, cost, ExecMode::Sequential);
+        let outcome = run_distributed(
+            &prep.subjects,
+            &prep.reads,
+            &config,
+            16,
+            cost,
+            ExecMode::Sequential,
+        );
         let b = outcome.breakdown();
         rows_a.push(vec![
             prep.name().to_string(),
@@ -62,7 +68,14 @@ pub fn run() {
     }
     print_table(
         "Fig. 7a — runtime breakdown by step at p=16 (seconds)",
-        &["Input", "Input load", "Subject sketch", "Gather+table", "Query map", "Total"],
+        &[
+            "Input",
+            "Input load",
+            "Subject sketch",
+            "Gather+table",
+            "Query map",
+            "Total",
+        ],
         &rows_a,
     );
     print_table(

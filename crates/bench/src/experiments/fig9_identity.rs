@@ -34,8 +34,7 @@ pub fn run() {
     }
 
     let labels = ["[80,85)", "[85,90)", "[90,95)", "[95,100]"];
-    let mut rows: Vec<Vec<String>> =
-        vec![vec!["< 80".to_string(), hist.below.to_string()]];
+    let mut rows: Vec<Vec<String>> = vec![vec!["< 80".to_string(), hist.below.to_string()]];
     for (label, count) in labels.iter().zip(&hist.counts) {
         rows.push(vec![label.to_string(), count.to_string()]);
     }

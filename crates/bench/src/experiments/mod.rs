@@ -31,7 +31,12 @@ pub fn jem_config() -> MapperConfig {
 /// Table II. `min_shared` plays the role of Mashmap's stage-1 count cutoff
 /// `m = ⌈s·τ⌉`.
 pub fn mashmap_config() -> MashmapConfig {
-    MashmapConfig { k: 16, w: 10, ell: 1000, min_shared: 4 }
+    MashmapConfig {
+        k: 16,
+        w: 10,
+        ell: 1000,
+        min_shared: 4,
+    }
 }
 
 /// All dataset analogues at the environment scale.
@@ -41,20 +46,24 @@ pub fn all_specs() -> Vec<DatasetSpec> {
 
 /// The seven simulated inputs (Fig. 5 uses these; O. sativa is "real").
 pub fn simulated_specs() -> Vec<DatasetSpec> {
-    all_specs().into_iter().filter(|s| s.id != DatasetId::OSativaChr8).collect()
+    all_specs()
+        .into_iter()
+        .filter(|s| s.id != DatasetId::OSativaChr8)
+        .collect()
 }
 
 /// The six larger inputs used in the performance study (Table II, Figs. 7–8).
 pub fn performance_specs() -> Vec<DatasetSpec> {
     all_specs()
         .into_iter()
-        .filter(|s| {
-            !matches!(s.id, DatasetId::EColi | DatasetId::PAeruginosa)
-        })
+        .filter(|s| !matches!(s.id, DatasetId::EColi | DatasetId::PAeruginosa))
         .collect()
 }
 
 /// Fetch one spec by id.
 pub fn spec(id: DatasetId) -> DatasetSpec {
-    all_specs().into_iter().find(|s| s.id == id).expect("known dataset id")
+    all_specs()
+        .into_iter()
+        .find(|s| s.id == id)
+        .expect("known dataset id")
 }

@@ -35,7 +35,10 @@ pub fn run() {
         }));
     }
     print_table(
-        &format!("Table I — dataset statistics (scale {})", crate::env_scale()),
+        &format!(
+            "Table I — dataset statistics (scale {})",
+            crate::env_scale()
+        ),
         &[
             "Input",
             "Genome (bp)",

@@ -21,7 +21,14 @@ pub fn run() {
         let prep = PreparedDataset::generate(&spec, env_seed());
         // Untimed warm-up so the p=4 row doesn't absorb allocator/page-cache
         // first-touch costs.
-        let _ = run_distributed(&prep.subjects, &prep.reads, &config, 2, cost, ExecMode::Sequential);
+        let _ = run_distributed(
+            &prep.subjects,
+            &prep.reads,
+            &config,
+            2,
+            cost,
+            ExecMode::Sequential,
+        );
         let mut jem_secs = Vec::new();
         for &p in PROCS {
             let best = (0..2)
@@ -79,7 +86,16 @@ pub fn run() {
     }
     print_table(
         "Table II — strong scaling (simulated makespan, seconds)",
-        &["Input", "p=4", "p=8", "p=16", "p=32", "p=64", "Mashmap t=64", "Speedup @64"],
+        &[
+            "Input",
+            "p=4",
+            "p=8",
+            "p=16",
+            "p=32",
+            "p=64",
+            "Mashmap t=64",
+            "Speedup @64",
+        ],
         &rows,
     );
     save_json("table2", &results);

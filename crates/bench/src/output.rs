@@ -7,7 +7,10 @@ use std::path::PathBuf;
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n### {title}\n");
     println!("| {} |", headers.join(" | "));
-    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for row in rows {
         println!("| {} |", row.join(" | "));
     }
@@ -17,7 +20,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
 /// Directory where experiment JSON lands (`<workspace>/results`).
 pub fn results_dir() -> PathBuf {
     let dir = std::env::var("JEM_RESULTS_DIR").unwrap_or_else(|_| {
-        format!("{}/results", env!("CARGO_MANIFEST_DIR").trim_end_matches("/crates/bench"))
+        format!(
+            "{}/results",
+            env!("CARGO_MANIFEST_DIR").trim_end_matches("/crates/bench")
+        )
     });
     PathBuf::from(dir)
 }

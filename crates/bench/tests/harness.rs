@@ -1,8 +1,8 @@
 //! Tests of the experiment-harness glue (dataset preparation, truth
 //! construction, tool evaluation) at micro scale.
 
-use jem_bench::data::{baseline_pairs, eval_classic, eval_jem, eval_mashmap, PreparedDataset};
 use jem_baseline::{ClassicMinHashConfig, MashmapConfig};
+use jem_bench::data::{baseline_pairs, eval_classic, eval_jem, eval_mashmap, PreparedDataset};
 use jem_core::{MapperConfig, Mapping, ReadEnd};
 use jem_seq::SeqRecord;
 use jem_sim::{ContigProfile, DatasetId, DatasetSpec, GenomeProfile, HifiProfile};
@@ -18,7 +18,10 @@ fn micro_spec() -> DatasetSpec {
             gap_fraction: 0.05,
             error_rate: 0.0005,
         },
-        hifi: HifiProfile { coverage: 3.0, ..Default::default() },
+        hifi: HifiProfile {
+            coverage: 3.0,
+            ..Default::default()
+        },
     }
 }
 
@@ -30,7 +33,10 @@ fn prepared_dataset_is_consistent() {
     assert_eq!(prep.name(), "E. coli");
     let stats = prep.ds.stats();
     assert_eq!(stats.n_contigs, prep.subjects.len());
-    assert!(stats.query_bp > stats.subject_bp, "10x-ish coverage vs ~1x contigs");
+    assert!(
+        stats.query_bp > stats.subject_bp,
+        "10x-ish coverage vs ~1x contigs"
+    );
 }
 
 #[test]
@@ -41,8 +47,11 @@ fn truth_counts_match_segment_enumeration() {
     // Upper bound: 2 segments per read.
     assert!(bench.n_mappable_queries() <= prep.reads.len() * 2);
     // With 95% contig coverage, the vast majority of segments are mappable.
-    let n_segments: usize =
-        prep.reads.iter().map(|r| if r.seq.len() > ell { 2 } else { 1 }).sum();
+    let n_segments: usize = prep
+        .reads
+        .iter()
+        .map(|r| if r.seq.len() > ell { 2 } else { 1 })
+        .sum();
     assert!(
         bench.n_mappable_queries() * 10 >= n_segments * 8,
         "{} of {} segments mappable",
@@ -65,7 +74,12 @@ fn all_three_evaluators_produce_sane_quality() {
 
     let mash = eval_mashmap(
         &prep,
-        &MashmapConfig { k: 16, w: 10, ell: 1000, min_shared: 4 },
+        &MashmapConfig {
+            k: 16,
+            w: 10,
+            ell: 1000,
+            min_shared: 4,
+        },
         &bench,
     );
     assert!(mash.precision > 0.9, "Mashmap precision {}", mash.precision);
@@ -73,7 +87,12 @@ fn all_three_evaluators_produce_sane_quality() {
     // Classic MinHash at low T is the known-weak point (Fig. 6).
     let classic = eval_classic(
         &prep,
-        &ClassicMinHashConfig { k: 16, trials: 8, ell: 1000, seed: 1 },
+        &ClassicMinHashConfig {
+            k: 16,
+            trials: 8,
+            ell: 1000,
+            seed: 1,
+        },
         &bench,
     );
     assert!(
@@ -88,8 +107,18 @@ fn all_three_evaluators_produce_sane_quality() {
 fn baseline_pairs_formats_keys() {
     let reads = vec![SeqRecord::new("readA", b"ACGT".to_vec())];
     let mappings = vec![
-        Mapping { read_idx: 0, end: ReadEnd::Prefix, subject: 3, hits: 5 },
-        Mapping { read_idx: 0, end: ReadEnd::Suffix, subject: 1, hits: 2 },
+        Mapping {
+            read_idx: 0,
+            end: ReadEnd::Prefix,
+            subject: 3,
+            hits: 5,
+        },
+        Mapping {
+            read_idx: 0,
+            end: ReadEnd::Suffix,
+            subject: 1,
+            hits: 2,
+        },
     ];
     let pairs = baseline_pairs(&mappings, &reads, |id| format!("contig_{id}"));
     assert_eq!(

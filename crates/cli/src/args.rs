@@ -1,5 +1,6 @@
 //! Minimal `--flag value` argument parser (no external dependencies).
 
+use crate::error::CliError;
 use std::collections::HashMap;
 
 /// Parsed command-line arguments: `--key value` pairs plus bare switches.
@@ -13,22 +14,24 @@ impl Args {
     /// Parse from an iterator of raw arguments. A `--key` followed by a
     /// value that does not start with `--` binds that value; otherwise it
     /// is a boolean switch. Non-flag tokens are rejected.
-    pub fn parse(raw: impl Iterator<Item = String>) -> Result<Args, String> {
+    pub fn parse(raw: impl Iterator<Item = String>) -> Result<Args, CliError> {
         let mut args = Args::default();
         let mut raw = raw.peekable();
         while let Some(token) = raw.next() {
             let key = token
                 .strip_prefix("--")
-                .ok_or_else(|| format!("unexpected argument {token:?} (expected --flag)"))?
+                .ok_or_else(|| {
+                    CliError::Usage(format!("unexpected argument {token:?} (expected --flag)"))
+                })?
                 .to_string();
             if key.is_empty() {
-                return Err("empty flag name".into());
+                return Err(CliError::Usage("empty flag name".into()));
             }
             match raw.peek() {
                 Some(v) if !v.starts_with("--") => {
                     let value = raw.next().expect("peeked");
                     if args.flags.insert(key.clone(), value).is_some() {
-                        return Err(format!("flag --{key} given twice"));
+                        return Err(CliError::Usage(format!("flag --{key} given twice")));
                     }
                 }
                 _ => args.switches.push(key),
@@ -43,17 +46,18 @@ impl Args {
     }
 
     /// Required value of `--key`.
-    pub fn req(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing required flag --{key}"))
+    pub fn req(&self, key: &str) -> Result<&str, CliError> {
+        self.get(key)
+            .ok_or_else(|| CliError::Usage(format!("missing required flag --{key}")))
     }
 
     /// Parsed value of `--key` with a default.
-    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => {
-                v.parse().map_err(|_| format!("cannot parse --{key} value {v:?}"))
-            }
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("cannot parse --{key} value {v:?}"))),
         }
     }
 
@@ -67,7 +71,7 @@ impl Args {
 mod tests {
     use super::*;
 
-    fn parse(tokens: &[&str]) -> Result<Args, String> {
+    fn parse(tokens: &[&str]) -> Result<Args, CliError> {
         Args::parse(tokens.iter().map(|s| s.to_string()))
     }
 
@@ -84,12 +88,15 @@ mod tests {
     #[test]
     fn required_flag_error() {
         let a = parse(&[]).unwrap();
-        assert!(a.req("in").unwrap_err().contains("--in"));
+        let err = a.req("in").unwrap_err();
+        assert!(err.to_string().contains("--in"));
+        assert!(matches!(err, CliError::Usage(_)));
+        assert_eq!(err.exit_code(), 2);
     }
 
     #[test]
     fn rejects_bare_positional() {
-        assert!(parse(&["x.fa"]).is_err());
+        assert!(matches!(parse(&["x.fa"]).unwrap_err(), CliError::Usage(_)));
     }
 
     #[test]
@@ -100,7 +107,10 @@ mod tests {
     #[test]
     fn bad_parse_reported() {
         let a = parse(&["--k", "sixteen"]).unwrap();
-        assert!(a.get_or("k", 0usize).is_err());
+        assert!(matches!(
+            a.get_or("k", 0usize).unwrap_err(),
+            CliError::Usage(_)
+        ));
     }
 
     #[test]

@@ -1,24 +1,26 @@
 //! The `jem` subcommands.
 
 use crate::args::Args;
+use crate::error::CliError;
 use crate::io::{read_sequences, write_fasta};
 use jem_core::{
-    load_index, map_reads_parallel, save_index, write_mappings_tsv, JemMapper, Mapping,
-    MapperConfig, ReadEnd,
+    load_index, map_reads_parallel, run_distributed_resilient, save_index, write_mappings_tsv,
+    JemMapper, MapperConfig, Mapping, ReadEnd, ResilienceOptions,
 };
 use jem_eval::{Benchmark, MappingMetrics};
+use jem_psim::{CostModel, ExecMode, FaultPlan};
 use jem_scaffold::{scaffold, AssemblyStats, ScaffoldParams};
 use jem_seq::{FastqRecord, FastqWriter, SeqRecord};
-use jem_sketch::SketchScheme;
 use jem_sim::{
     contig_records, fragment_contigs, simulate_hifi, simulate_illumina, ContigProfile, Genome,
     GenomeProfile, HifiProfile, IlluminaProfile, SegmentEnd,
 };
+use jem_sketch::SketchScheme;
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
-fn mapper_config(args: &Args) -> Result<(MapperConfig, SketchScheme), String> {
+fn mapper_config(args: &Args) -> Result<(MapperConfig, SketchScheme), CliError> {
     let d = MapperConfig::default();
     let config = MapperConfig {
         k: args.get_or("k", d.k)?,
@@ -27,33 +29,40 @@ fn mapper_config(args: &Args) -> Result<(MapperConfig, SketchScheme), String> {
         ell: args.get_or("ell", d.ell)?,
         seed: args.get_or("seed", d.seed)?,
     };
-    config.jem_params().map_err(|e| format!("invalid configuration: {e}"))?;
+    config
+        .jem_params()
+        .map_err(|e| CliError::Usage(format!("invalid configuration: {e}")))?;
     let scheme = match args.get("syncmer") {
         None => SketchScheme::Minimizer { w: config.w },
         Some(v) => {
-            let s: usize = v.parse().map_err(|_| format!("bad --syncmer value {v:?}"))?;
+            let s: usize = v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("bad --syncmer value {v:?}")))?;
             SketchScheme::ClosedSyncmer { s }
         }
     };
-    scheme.validate(config.k).map_err(|e| format!("invalid sketch scheme: {e}"))?;
+    scheme
+        .validate(config.k)
+        .map_err(|e| CliError::Usage(format!("invalid sketch scheme: {e}")))?;
     Ok((config, scheme))
 }
 
 /// `jem index --subjects contigs.fa --out index.jem [--k --w --trials --ell --seed]`
-pub fn cmd_index(args: &Args) -> Result<(), String> {
+pub fn cmd_index(args: &Args) -> Result<(), CliError> {
     let subjects = read_sequences(args.req("subjects")?)?;
     let out_path = args.req("out")?;
     let (config, scheme) = mapper_config(args)?;
     eprintln!(
         "indexing {} subjects (k={}, T={}, ell={}, scheme={scheme:?})",
-        subjects.len(), config.k, config.trials, config.ell
+        subjects.len(),
+        config.k,
+        config.trials,
+        config.ell
     );
     let mapper = JemMapper::build_with_scheme(subjects, &config, scheme);
-    let mut out = BufWriter::new(
-        File::create(out_path).map_err(|e| format!("cannot create {out_path}: {e}"))?,
-    );
-    save_index(&mut out, &mapper).map_err(|e| format!("cannot write index: {e}"))?;
-    out.flush().map_err(|e| e.to_string())?;
+    let mut out = BufWriter::new(File::create(out_path).map_err(CliError::io(out_path))?);
+    save_index(&mut out, &mapper).map_err(CliError::format(out_path))?;
+    out.flush().map_err(CliError::io(out_path))?;
     eprintln!(
         "wrote {out_path}: {} sketch entries over {} trials",
         mapper.table().entry_count(),
@@ -62,24 +71,35 @@ pub fn cmd_index(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// `jem map (--index index.jem | --subjects contigs.fa) --queries reads.fq
-///  [--out out.tsv] [--parallel] [config flags]`
-pub fn cmd_map(args: &Args) -> Result<(), String> {
-    let mapper = match (args.get("index"), args.get("subjects")) {
+/// Load a mapper from `--index` or build one from `--subjects`.
+fn load_or_build_mapper(args: &Args) -> Result<JemMapper, CliError> {
+    match (args.get("index"), args.get("subjects")) {
         (Some(path), _) => {
-            let mut input = BufReader::new(
-                File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?,
-            );
-            load_index(&mut input).map_err(|e| format!("cannot load index {path}: {e}"))?
+            let mut input = BufReader::new(File::open(path).map_err(CliError::io(path))?);
+            load_index(&mut input).map_err(CliError::format(path))
         }
         (None, Some(path)) => {
             let (config, scheme) = mapper_config(args)?;
-            JemMapper::build_with_scheme(read_sequences(path)?, &config, scheme)
+            Ok(JemMapper::build_with_scheme(
+                read_sequences(path)?,
+                &config,
+                scheme,
+            ))
         }
-        (None, None) => return Err("need --index or --subjects".into()),
-    };
+        (None, None) => Err(CliError::Usage("need --index or --subjects".into())),
+    }
+}
+
+/// `jem map (--index index.jem | --subjects contigs.fa) --queries reads.fq
+///  [--out out.tsv] [--parallel] [config flags]`
+pub fn cmd_map(args: &Args) -> Result<(), CliError> {
+    let mapper = load_or_build_mapper(args)?;
     let reads = read_sequences(args.req("queries")?)?;
-    eprintln!("mapping {} reads against {} subjects", reads.len(), mapper.n_subjects());
+    eprintln!(
+        "mapping {} reads against {} subjects",
+        reads.len(),
+        mapper.n_subjects()
+    );
     let mappings = if args.has("parallel") {
         map_reads_parallel(&mapper, &reads)
     } else {
@@ -88,19 +108,109 @@ pub fn cmd_map(args: &Args) -> Result<(), String> {
     eprintln!("{} end segments mapped", mappings.len());
     match args.get("out") {
         Some(path) => {
-            let mut out = BufWriter::new(
-                File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
-            );
+            let mut out = BufWriter::new(File::create(path).map_err(CliError::io(path))?);
             write_mappings_tsv(&mut out, &mappings, &reads, &mapper)
-                .map_err(|e| e.to_string())?;
-            out.flush().map_err(|e| e.to_string())?;
+                .map_err(CliError::format(path))?;
+            out.flush().map_err(CliError::io(path))?;
         }
         None => {
             let stdout = std::io::stdout();
             let mut lock = stdout.lock();
             write_mappings_tsv(&mut lock, &mappings, &reads, &mapper)
-                .map_err(|e| e.to_string())?;
+                .map_err(CliError::format("<stdout>"))?;
         }
+    }
+    Ok(())
+}
+
+/// `jem distributed --subjects contigs.fa --queries reads.fq [--ranks 8]
+///  [--fault-plan SPEC] [--retries 3] [--checkpoint FILE] [--threads]
+///  [--out out.tsv] [config flags]` — run the S1–S4 pipeline on simulated
+///  ranks, optionally under an injected fault plan, and report the
+///  simulated makespan plus recovery counters.
+pub fn cmd_distributed(args: &Args) -> Result<(), CliError> {
+    let subjects = read_sequences(args.req("subjects")?)?;
+    let reads = read_sequences(args.req("queries")?)?;
+    let (config, scheme) = mapper_config(args)?;
+    if !matches!(scheme, SketchScheme::Minimizer { .. }) {
+        return Err(CliError::Usage(
+            "the distributed driver supports only the minimizer scheme (drop --syncmer)".into(),
+        ));
+    }
+    let p: usize = args.get_or("ranks", 8)?;
+    if p == 0 {
+        return Err(CliError::Usage("--ranks must be at least 1".into()));
+    }
+    let plan = match args.get("fault-plan") {
+        None => FaultPlan::none(),
+        Some(spec) => {
+            FaultPlan::parse(spec).map_err(|e| CliError::Usage(format!("bad --fault-plan: {e}")))?
+        }
+    }
+    .with_corruption_seed(args.get_or("corruption-seed", 0u64)?);
+    let opts = ResilienceOptions {
+        plan,
+        max_retries: args.get_or("retries", 3)?,
+        checkpoint: args.get("checkpoint").map(std::path::PathBuf::from),
+    };
+    let mode = if args.has("threads") {
+        ExecMode::Threaded
+    } else {
+        ExecMode::Sequential
+    };
+    eprintln!(
+        "distributed run: {} subjects, {} reads on {p} simulated ranks (plan: {})",
+        subjects.len(),
+        reads.len(),
+        opts.plan
+    );
+    let outcome = run_distributed_resilient(
+        &subjects,
+        &reads,
+        &config,
+        p,
+        CostModel::ethernet_10g(),
+        mode,
+        &opts,
+    )?;
+
+    let b = outcome.breakdown();
+    eprintln!(
+        "simulated makespan: {:.6} s",
+        outcome.report.makespan_secs()
+    );
+    eprintln!(
+        "  input load {:.6}  subject sketch {:.6}  gather {:.6}  table build {:.6}  query map {:.6}",
+        b.input_load, b.subject_sketch, b.sketch_gather, b.table_build, b.query_map
+    );
+    let fs = outcome.report.fault_stats;
+    if fs.any() {
+        eprintln!("faults/recovery: {fs}");
+    }
+    eprintln!(
+        "{} segments mapped to {} mappings",
+        outcome.n_segments,
+        outcome.mappings.len()
+    );
+
+    if let Some(path) = args.get("out") {
+        let mut out = BufWriter::new(File::create(path).map_err(CliError::io(path))?);
+        let write = |out: &mut dyn Write| -> std::io::Result<()> {
+            writeln!(out, "#query\tsubject\thits\ttrials")?;
+            for m in &outcome.mappings {
+                writeln!(
+                    out,
+                    "{}\t{}\t{}\t{}",
+                    m.query_key(&reads),
+                    subjects[m.subject as usize].id,
+                    m.hits,
+                    config.trials
+                )?;
+            }
+            Ok(())
+        };
+        write(&mut out).map_err(CliError::io(path))?;
+        out.flush().map_err(CliError::io(path))?;
     }
     Ok(())
 }
@@ -108,52 +218,79 @@ pub fn cmd_map(args: &Args) -> Result<(), String> {
 /// `jem simulate --out DIR [--genome-len N] [--coverage C] [--profile
 ///  bacterial|eukaryotic] [--seed S]` — writes genome.fa, contigs.fa,
 ///  reads.fq and truth.tsv (the Fig. 4 coordinate inputs).
-pub fn cmd_simulate(args: &Args) -> Result<(), String> {
+pub fn cmd_simulate(args: &Args) -> Result<(), CliError> {
     let dir = args.req("out")?;
-    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    std::fs::create_dir_all(dir).map_err(CliError::io(dir))?;
     let genome_len: usize = args.get_or("genome-len", 500_000)?;
     let coverage: f64 = args.get_or("coverage", 10.0)?;
     let seed: u64 = args.get_or("seed", 42)?;
     let ell: usize = args.get_or("ell", 1000)?;
     let profile = args.get("profile").unwrap_or("eukaryotic");
     let (gp, cp) = match profile {
-        "bacterial" => (GenomeProfile::bacterial(genome_len), ContigProfile::bacterial()),
-        "eukaryotic" => (GenomeProfile::eukaryotic(genome_len), ContigProfile::eukaryotic()),
-        other => return Err(format!("unknown --profile {other:?} (bacterial|eukaryotic)")),
+        "bacterial" => (
+            GenomeProfile::bacterial(genome_len),
+            ContigProfile::bacterial(),
+        ),
+        "eukaryotic" => (
+            GenomeProfile::eukaryotic(genome_len),
+            ContigProfile::eukaryotic(),
+        ),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --profile {other:?} (bacterial|eukaryotic)"
+            )))
+        }
     };
     let genome = Genome::from_profile("genome", &gp, seed);
     let contigs = fragment_contigs(&genome, &cp, seed + 1);
-    let reads = simulate_hifi(&genome, &HifiProfile { coverage, ..Default::default() }, seed + 2);
+    let reads = simulate_hifi(
+        &genome,
+        &HifiProfile {
+            coverage,
+            ..Default::default()
+        },
+        seed + 2,
+    );
 
     let join = |name: &str| Path::new(dir).join(name).to_string_lossy().into_owned();
-    write_fasta(&join("genome.fa"), &[SeqRecord::new("genome", genome.seq.clone())])?;
+    write_fasta(
+        &join("genome.fa"),
+        &[SeqRecord::new("genome", genome.seq.clone())],
+    )?;
     write_fasta(&join("contigs.fa"), &contig_records(&contigs))?;
     {
         let path = join("reads.fq");
-        let mut w = FastqWriter::create(Path::new(&path))
-            .map_err(|e| format!("cannot create {path}: {e}"))?;
+        let mut w = FastqWriter::create(Path::new(&path)).map_err(CliError::format(&path))?;
         for r in &reads {
-            w.write_record(&FastqRecord::with_uniform_quality(r.id.clone(), r.seq.clone(), b'K'))
-                .map_err(|e| e.to_string())?;
+            w.write_record(&FastqRecord::with_uniform_quality(
+                r.id.clone(),
+                r.seq.clone(),
+                b'K',
+            ))
+            .map_err(CliError::format(&path))?;
         }
-        w.flush().map_err(|e| e.to_string())?;
+        w.flush().map_err(CliError::format(&path))?;
     }
     {
         let path = join("truth.tsv");
-        let mut w = BufWriter::new(File::create(&path).map_err(|e| e.to_string())?);
-        writeln!(w, "#kind\tkey\tstart\tend").map_err(|e| e.to_string())?;
-        for c in &contigs {
-            writeln!(w, "S\t{}\t{}\t{}", c.id, c.ref_start, c.ref_end).map_err(|e| e.to_string())?;
-        }
-        for r in &reads {
-            let (s, e) = r.segment_ref_range(SegmentEnd::Prefix, ell);
-            writeln!(w, "Q\t{}/prefix\t{s}\t{e}", r.id).map_err(|e| e.to_string())?;
-            if r.len() > ell {
-                let (s, e) = r.segment_ref_range(SegmentEnd::Suffix, ell);
-                writeln!(w, "Q\t{}/suffix\t{s}\t{e}", r.id).map_err(|e| e.to_string())?;
+        let mut w = BufWriter::new(File::create(&path).map_err(CliError::io(&path))?);
+        let write = |w: &mut dyn Write| -> std::io::Result<()> {
+            writeln!(w, "#kind\tkey\tstart\tend")?;
+            for c in &contigs {
+                writeln!(w, "S\t{}\t{}\t{}", c.id, c.ref_start, c.ref_end)?;
             }
-        }
-        w.flush().map_err(|e| e.to_string())?;
+            for r in &reads {
+                let (s, e) = r.segment_ref_range(SegmentEnd::Prefix, ell);
+                writeln!(w, "Q\t{}/prefix\t{s}\t{e}", r.id)?;
+                if r.len() > ell {
+                    let (s, e) = r.segment_ref_range(SegmentEnd::Suffix, ell);
+                    writeln!(w, "Q\t{}/suffix\t{s}\t{e}", r.id)?;
+                }
+            }
+            Ok(())
+        };
+        write(&mut w).map_err(CliError::io(&path))?;
+        w.flush().map_err(CliError::io(&path))?;
     }
     eprintln!(
         "wrote {dir}/: genome ({} bp), {} contigs, {} reads, truth.tsv",
@@ -167,12 +304,14 @@ pub fn cmd_simulate(args: &Args) -> Result<(), String> {
 /// `jem assemble --reads short.fq --out contigs.fa [--k --min-abundance
 ///  --min-len --tip-len]` — plus `--simulate-from genome.fa --coverage C`
 ///  to generate the short reads on the fly.
-pub fn cmd_assemble(args: &Args) -> Result<(), String> {
+pub fn cmd_assemble(args: &Args) -> Result<(), CliError> {
     let read_seqs: Vec<Vec<u8>> = match (args.get("reads"), args.get("simulate-from")) {
         (Some(path), _) => read_sequences(path)?.into_iter().map(|r| r.seq).collect(),
         (None, Some(genome_path)) => {
             let genome_recs = read_sequences(genome_path)?;
-            let rec = genome_recs.first().ok_or("empty genome file")?;
+            let rec = genome_recs
+                .first()
+                .ok_or_else(|| CliError::Data(format!("{genome_path}: empty genome file")))?;
             let genome = Genome {
                 name: rec.id.clone(),
                 seq: rec.seq.clone(),
@@ -187,7 +326,7 @@ pub fn cmd_assemble(args: &Args) -> Result<(), String> {
                 .map(|r| r.seq)
                 .collect()
         }
-        (None, None) => return Err("need --reads or --simulate-from".into()),
+        (None, None) => return Err(CliError::Usage("need --reads or --simulate-from".into())),
     };
     let params = jem_dbg::AssemblyParams {
         k: args.get_or("k", 31)?,
@@ -195,7 +334,12 @@ pub fn cmd_assemble(args: &Args) -> Result<(), String> {
         min_contig_len: args.get_or("min-len", 500)?,
         tip_len: args.get_or("tip-len", 93)?,
     };
-    eprintln!("assembling {} reads (k={}, min_abundance={})", read_seqs.len(), params.k, params.min_abundance);
+    eprintln!(
+        "assembling {} reads (k={}, min_abundance={})",
+        read_seqs.len(),
+        params.k,
+        params.min_abundance
+    );
     let contigs = jem_dbg::assemble(&read_seqs, &params);
     let stats = AssemblyStats::from_lengths(contigs.iter().map(|c| c.seq.len()));
     eprintln!("{stats}");
@@ -206,24 +350,12 @@ pub fn cmd_assemble(args: &Args) -> Result<(), String> {
 ///  [--stride ell/2] [--out FILE]` — whole-read tiled mapping: reports every
 ///  contig a read touches, including contigs contained in its interior
 ///  (invisible to end-segment mapping).
-pub fn cmd_contained(args: &Args) -> Result<(), String> {
-    let mapper = match (args.get("index"), args.get("subjects")) {
-        (Some(path), _) => {
-            let mut input = BufReader::new(
-                File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?,
-            );
-            load_index(&mut input).map_err(|e| format!("cannot load index {path}: {e}"))?
-        }
-        (None, Some(path)) => {
-            let (config, scheme) = mapper_config(args)?;
-            JemMapper::build_with_scheme(read_sequences(path)?, &config, scheme)
-        }
-        (None, None) => return Err("need --index or --subjects".into()),
-    };
+pub fn cmd_contained(args: &Args) -> Result<(), CliError> {
+    let mapper = load_or_build_mapper(args)?;
     let reads = read_sequences(args.req("queries")?)?;
     let stride: usize = args.get_or("stride", mapper.config().ell / 2)?;
     if stride == 0 {
-        return Err("--stride must be positive".into());
+        return Err(CliError::Usage("--stride must be positive".into()));
     }
     let mut rows = Vec::new();
     for read in &reads {
@@ -239,18 +371,24 @@ pub fn cmd_contained(args: &Args) -> Result<(), String> {
             ));
         }
     }
-    eprintln!("{} (read, contig) incidences over {} reads", rows.len(), reads.len());
+    eprintln!(
+        "{} (read, contig) incidences over {} reads",
+        rows.len(),
+        reads.len()
+    );
     let header = "#read\tsubject\tfirst_offset\tlast_offset\twindows\tbest_hits";
     match args.get("out") {
         Some(path) => {
-            let mut out = BufWriter::new(
-                File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
-            );
-            writeln!(out, "{header}").map_err(|e| e.to_string())?;
-            for r in &rows {
-                writeln!(out, "{r}").map_err(|e| e.to_string())?;
-            }
-            out.flush().map_err(|e| e.to_string())?;
+            let mut out = BufWriter::new(File::create(path).map_err(CliError::io(path))?);
+            let write = |out: &mut dyn Write| -> std::io::Result<()> {
+                writeln!(out, "{header}")?;
+                for r in &rows {
+                    writeln!(out, "{r}")?;
+                }
+                Ok(())
+            };
+            write(&mut out).map_err(CliError::io(path))?;
+            out.flush().map_err(CliError::io(path))?;
         }
         None => {
             println!("{header}");
@@ -263,51 +401,65 @@ pub fn cmd_contained(args: &Args) -> Result<(), String> {
 }
 
 /// Parse a mapping TSV (query, subject, hits, trials) into pairs.
-fn read_mapping_pairs(path: &str) -> Result<Vec<(String, String, u32)>, String> {
-    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+fn read_mapping_pairs(path: &str) -> Result<Vec<(String, String, u32)>, CliError> {
+    let file = File::open(path).map_err(CliError::io(path))?;
     let mut out = Vec::new();
     for (no, line) in BufReader::new(file).lines().enumerate() {
-        let line = line.map_err(|e| e.to_string())?;
+        let line = line.map_err(CliError::io(path))?;
         if line.starts_with('#') || line.trim().is_empty() {
             continue;
         }
         let mut fields = line.split('\t');
-        let q = fields.next().ok_or(format!("{path}:{}: missing query", no + 1))?;
-        let s = fields.next().ok_or(format!("{path}:{}: missing subject", no + 1))?;
+        let q = fields
+            .next()
+            .ok_or_else(|| CliError::Data(format!("{path}:{}: missing query", no + 1)))?;
+        let s = fields
+            .next()
+            .ok_or_else(|| CliError::Data(format!("{path}:{}: missing subject", no + 1)))?;
         let hits: u32 = fields
             .next()
             .unwrap_or("1")
             .parse()
-            .map_err(|_| format!("{path}:{}: bad hits field", no + 1))?;
+            .map_err(|_| CliError::Data(format!("{path}:{}: bad hits field", no + 1)))?;
         out.push((q.to_string(), s.to_string(), hits));
     }
     Ok(out)
 }
 
 /// `jem eval --mappings out.tsv --truth truth.tsv [--k 16]`
-pub fn cmd_eval(args: &Args) -> Result<(), String> {
+pub fn cmd_eval(args: &Args) -> Result<(), CliError> {
     let truth_path = args.req("truth")?;
     let k: u64 = args.get_or("k", 16)?;
     let mut queries = Vec::new();
     let mut subjects = Vec::new();
-    let file = File::open(truth_path).map_err(|e| format!("cannot open {truth_path}: {e}"))?;
+    let file = File::open(truth_path).map_err(CliError::io(truth_path))?;
     for (no, line) in BufReader::new(file).lines().enumerate() {
-        let line = line.map_err(|e| e.to_string())?;
+        let line = line.map_err(CliError::io(truth_path))?;
         if line.starts_with('#') || line.trim().is_empty() {
             continue;
         }
         let fields: Vec<&str> = line.split('\t').collect();
         if fields.len() != 4 {
-            return Err(format!("{truth_path}:{}: expected 4 fields", no + 1));
+            return Err(CliError::Data(format!(
+                "{truth_path}:{}: expected 4 fields",
+                no + 1
+            )));
         }
-        let start: u64 =
-            fields[2].parse().map_err(|_| format!("{truth_path}:{}: bad start", no + 1))?;
-        let end: u64 =
-            fields[3].parse().map_err(|_| format!("{truth_path}:{}: bad end", no + 1))?;
+        let start: u64 = fields[2]
+            .parse()
+            .map_err(|_| CliError::Data(format!("{truth_path}:{}: bad start", no + 1)))?;
+        let end: u64 = fields[3]
+            .parse()
+            .map_err(|_| CliError::Data(format!("{truth_path}:{}: bad end", no + 1)))?;
         match fields[0] {
             "Q" => queries.push((fields[1].to_string(), (start, end))),
             "S" => subjects.push((fields[1].to_string(), (start, end))),
-            other => return Err(format!("{truth_path}:{}: unknown kind {other:?}", no + 1)),
+            other => {
+                return Err(CliError::Data(format!(
+                    "{truth_path}:{}: unknown kind {other:?}",
+                    no + 1
+                )))
+            }
         }
     }
     let bench = Benchmark::from_coordinates(&queries, &subjects, k);
@@ -330,7 +482,7 @@ pub fn cmd_eval(args: &Args) -> Result<(), String> {
 
 /// `jem scaffold --subjects contigs.fa --mappings out.tsv --out scaffolds.fa
 ///  [--min-support 2] [--gap 100]`
-pub fn cmd_scaffold(args: &Args) -> Result<(), String> {
+pub fn cmd_scaffold(args: &Args) -> Result<(), CliError> {
     let contigs = read_sequences(args.req("subjects")?)?;
     let name_to_id: std::collections::HashMap<&str, u32> = contigs
         .iter()
@@ -343,18 +495,27 @@ pub fn cmd_scaffold(args: &Args) -> Result<(), String> {
     for (q, s, hits) in &raw {
         let (read, end) = q
             .rsplit_once('/')
-            .ok_or_else(|| format!("query key {q:?} lacks /prefix or /suffix"))?;
+            .ok_or_else(|| CliError::Data(format!("query key {q:?} lacks /prefix or /suffix")))?;
         let end = match end {
             "prefix" => ReadEnd::Prefix,
             "suffix" => ReadEnd::Suffix,
-            other => return Err(format!("unknown read end {other:?} in {q:?}")),
+            other => {
+                return Err(CliError::Data(format!(
+                    "unknown read end {other:?} in {q:?}"
+                )))
+            }
         };
         let next = read_ids.len() as u32;
         let read_idx = *read_ids.entry(read.to_string()).or_insert(next);
         let subject = *name_to_id
             .get(s.as_str())
-            .ok_or_else(|| format!("mapping references unknown contig {s:?}"))?;
-        mappings.push(Mapping { read_idx, end, subject, hits: *hits });
+            .ok_or_else(|| CliError::Data(format!("mapping references unknown contig {s:?}")))?;
+        mappings.push(Mapping {
+            read_idx,
+            end,
+            subject,
+            hits: *hits,
+        });
     }
     let params = ScaffoldParams {
         min_support: args.get_or("min-support", 2)?,

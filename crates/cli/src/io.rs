@@ -1,44 +1,44 @@
 //! Shared file I/O helpers for the CLI commands.
 
+use crate::error::CliError;
 use jem_seq::{FastaReader, FastqReader, FastqRecord, SeqRecord};
 use std::fs::File;
 use std::io::{BufRead, BufReader};
 use std::path::Path;
 
 /// Read sequences from FASTA or FASTQ, sniffing the format from the first
-/// non-whitespace byte (`>` vs `@`).
-pub fn read_sequences(path: &str) -> Result<Vec<SeqRecord>, String> {
-    let mut reader = BufReader::new(
-        File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?,
-    );
+/// non-whitespace byte (`>` vs `@`). Malformed input — including a file
+/// truncated mid-record — is a [`CliError::Format`], never a panic.
+pub fn read_sequences(path: &str) -> Result<Vec<SeqRecord>, CliError> {
+    let mut reader = BufReader::new(File::open(path).map_err(CliError::io(path))?);
     let first = {
-        let buf = reader.fill_buf().map_err(|e| format!("cannot read {path}: {e}"))?;
+        let buf = reader.fill_buf().map_err(CliError::io(path))?;
         buf.iter().copied().find(|b| !b.is_ascii_whitespace())
     };
     match first {
         Some(b'>') => FastaReader::new(reader)
             .read_all()
-            .map_err(|e| format!("FASTA parse error in {path}: {e}")),
+            .map_err(CliError::format(path)),
         Some(b'@') => Ok(FastqReader::new(reader)
             .read_all()
-            .map_err(|e| format!("FASTQ parse error in {path}: {e}"))?
+            .map_err(CliError::format(path))?
             .into_iter()
             .map(FastqRecord::into_seq_record)
             .collect()),
-        Some(other) => Err(format!(
+        Some(other) => Err(CliError::Data(format!(
             "{path}: unrecognized format (starts with {:?}, expected '>' or '@')",
             other as char
-        )),
+        ))),
         None => Ok(Vec::new()),
     }
 }
 
 /// Write sequences as FASTA.
-pub fn write_fasta(path: &str, records: &[SeqRecord]) -> Result<(), String> {
-    let mut w = jem_seq::FastaWriter::create(Path::new(path))
-        .map_err(|e| format!("cannot create {path}: {e}"))?;
-    w.write_all_records(records).map_err(|e| format!("write error on {path}: {e}"))?;
-    w.flush().map_err(|e| format!("flush error on {path}: {e}"))
+pub fn write_fasta(path: &str, records: &[SeqRecord]) -> Result<(), CliError> {
+    let mut w = jem_seq::FastaWriter::create(Path::new(path)).map_err(CliError::format(path))?;
+    w.write_all_records(records)
+        .map_err(CliError::format(path))?;
+    w.flush().map_err(CliError::format(path))
 }
 
 #[cfg(test)]
@@ -72,6 +72,32 @@ mod tests {
     #[test]
     fn rejects_garbage() {
         let p = tmp("a.txt", b"hello world\n");
+        assert!(read_sequences(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error_with_path() {
+        let err = read_sequences("/nonexistent/surely/absent.fa").unwrap_err();
+        assert!(matches!(err, CliError::Io { .. }));
+        assert!(err.to_string().contains("absent.fa"));
+    }
+
+    #[test]
+    fn truncated_fastq_is_a_format_error() {
+        // Quality line missing entirely.
+        let p = tmp("trunc1.fq", b"@x\nACGT\n+\n");
+        let err = read_sequences(&p).unwrap_err();
+        assert!(matches!(err, CliError::Format { .. }), "got {err:?}");
+        assert!(err.to_string().contains(&p), "message must name the file");
+        std::fs::remove_file(&p).ok();
+        // Record cut mid-way: second record has no sequence line.
+        let p = tmp("trunc2.fq", b"@x\nACGT\n+\nIIII\n@y\n");
+        let err = read_sequences(&p).unwrap_err();
+        assert!(matches!(err, CliError::Format { .. }), "got {err:?}");
+        std::fs::remove_file(&p).ok();
+        // Quality shorter than sequence.
+        let p = tmp("trunc3.fq", b"@x\nACGT\n+\nII\n");
         assert!(read_sequences(&p).is_err());
         std::fs::remove_file(&p).ok();
     }

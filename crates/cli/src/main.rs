@@ -1,19 +1,23 @@
 //! `jem` — the JEM-Mapper command-line toolkit.
 //!
 //! ```text
-//! jem simulate --out data/ --genome-len 500000 --coverage 10
-//! jem index    --subjects data/contigs.fa --out data/index.jem
-//! jem map      --index data/index.jem --queries data/reads.fq --out data/map.tsv
-//! jem eval     --mappings data/map.tsv --truth data/truth.tsv
-//! jem scaffold --subjects data/contigs.fa --mappings data/map.tsv --out data/scaffolds.fa
-//! jem assemble --simulate-from data/genome.fa --out data/asm.fa
+//! jem simulate    --out data/ --genome-len 500000 --coverage 10
+//! jem index       --subjects data/contigs.fa --out data/index.jem
+//! jem map         --index data/index.jem --queries data/reads.fq --out data/map.tsv
+//! jem distributed --subjects data/contigs.fa --queries data/reads.fq --ranks 8 \
+//!                 --fault-plan 'crash@1:subject sketch'
+//! jem eval        --mappings data/map.tsv --truth data/truth.tsv
+//! jem scaffold    --subjects data/contigs.fa --mappings data/map.tsv --out data/scaffolds.fa
+//! jem assemble    --simulate-from data/genome.fa --out data/asm.fa
 //! ```
 
 mod args;
 mod commands;
+mod error;
 mod io;
 
 use args::Args;
+use error::CliError;
 
 const USAGE: &str = "\
 jem — parallel sketch-based mapping of long reads to contigs (JEM-mapper)
@@ -21,30 +25,36 @@ jem — parallel sketch-based mapping of long reads to contigs (JEM-mapper)
 USAGE: jem <command> [--flag value ...]
 
 COMMANDS:
-  index     build a JEM sketch index over a contig set
-              --subjects FILE --out FILE [--k 16] [--w 100] [--trials 30]
-              [--ell 1000] [--seed N] [--syncmer S  use closed syncmers
-              instead of minimizers]
-  map       map long-read end segments to contigs (TSV to --out or stdout)
-              (--index FILE | --subjects FILE) --queries FILE [--out FILE]
-              [--parallel] [config flags as for index]
-  simulate  generate a synthetic genome, contig set, HiFi reads and truth
-              --out DIR [--genome-len 500000] [--coverage 10]
-              [--profile eukaryotic|bacterial] [--seed 42] [--ell 1000]
-  assemble  de Bruijn assembly of short reads (Minia-substitute)
-              (--reads FILE | --simulate-from GENOME.fa [--coverage 30])
-              --out FILE [--k 31] [--min-abundance 3] [--min-len 500]
-              [--tip-len 93]
-  contained whole-read tiled mapping: every contig a read touches,
+  index       build a JEM sketch index over a contig set
+                --subjects FILE --out FILE [--k 16] [--w 100] [--trials 30]
+                [--ell 1000] [--seed N] [--syncmer S  use closed syncmers
+                instead of minimizers]
+  map         map long-read end segments to contigs (TSV to --out or stdout)
+                (--index FILE | --subjects FILE) --queries FILE [--out FILE]
+                [--parallel] [config flags as for index]
+  distributed run the S1–S4 pipeline on simulated MPI ranks, with optional
+              fault injection and recovery (makespan + fault report)
+                --subjects FILE --queries FILE [--ranks 8] [--threads]
+                [--fault-plan 'crash@R:STEP,corrupt@R:STEP,straggle@R:STEP*F']
+                [--corruption-seed N] [--retries 3] [--checkpoint FILE]
+                [--out FILE] [config flags]
+  simulate    generate a synthetic genome, contig set, HiFi reads and truth
+                --out DIR [--genome-len 500000] [--coverage 10]
+                [--profile eukaryotic|bacterial] [--seed 42] [--ell 1000]
+  assemble    de Bruijn assembly of short reads (Minia-substitute)
+                (--reads FILE | --simulate-from GENOME.fa [--coverage 30])
+                --out FILE [--k 31] [--min-abundance 3] [--min-len 500]
+                [--tip-len 93]
+  contained   whole-read tiled mapping: every contig a read touches,
               including interior-contained ones
-              (--index FILE | --subjects FILE) --queries FILE
-              [--stride ELL/2] [--out FILE]
-  eval      score a mapping TSV against truth coordinates (Fig. 4 benchmark)
-              --mappings FILE --truth FILE [--k 16]
-  scaffold  chain contigs linked by long reads into scaffolds
-              --subjects FILE --mappings FILE --out FILE
-              [--min-support 2] [--gap 100]
-  help      print this message
+                (--index FILE | --subjects FILE) --queries FILE
+                [--stride ELL/2] [--out FILE]
+  eval        score a mapping TSV against truth coordinates (Fig. 4 benchmark)
+                --mappings FILE --truth FILE [--k 16]
+  scaffold    chain contigs linked by long reads into scaffolds
+                --subjects FILE --mappings FILE --out FILE
+                [--min-support 2] [--gap 100]
+  help        print this message
 ";
 
 fn main() {
@@ -59,6 +69,7 @@ fn main() {
     let result = Args::parse(argv).and_then(|args| match command.as_str() {
         "index" => commands::cmd_index(&args),
         "map" => commands::cmd_map(&args),
+        "distributed" => commands::cmd_distributed(&args),
         "contained" => commands::cmd_contained(&args),
         "simulate" => commands::cmd_simulate(&args),
         "assemble" => commands::cmd_assemble(&args),
@@ -68,10 +79,12 @@ fn main() {
             print!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command {other:?} (try `jem help`)")),
+        other => Err(CliError::Usage(format!(
+            "unknown command {other:?} (try `jem help`)"
+        ))),
     });
-    if let Err(msg) = result {
-        eprintln!("error: {msg}");
-        std::process::exit(1);
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(e.exit_code());
     }
 }

@@ -36,7 +36,13 @@ fn full_workflow() {
         assert!(dir.join(f).exists(), "{f} missing");
     }
 
-    run(jem().args(["index", "--subjects", &p("contigs.fa"), "--out", &p("index.jem")]));
+    run(jem().args([
+        "index",
+        "--subjects",
+        &p("contigs.fa"),
+        "--out",
+        &p("index.jem"),
+    ]));
     assert!(dir.join("index.jem").exists());
 
     run(jem().args([
@@ -135,7 +141,10 @@ fn contained_reports_incidences() {
         "--queries",
         &p("reads.fq"),
     ]));
-    assert!(out.starts_with("#read\tsubject"), "header expected, got {out:.60}");
+    assert!(
+        out.starts_with("#read\tsubject"),
+        "header expected, got {out:.60}"
+    );
     // Tiling must report at least as many incidences as reads (each read
     // touches >= 1 contig with 95% contig coverage).
     assert!(out.lines().count() > 10);
@@ -144,7 +153,10 @@ fn contained_reports_incidences() {
 
 #[test]
 fn errors_are_reported() {
-    let out = jem().args(["map", "--queries", "/nonexistent"]).output().unwrap();
+    let out = jem()
+        .args(["map", "--queries", "/nonexistent"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
 

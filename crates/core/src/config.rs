@@ -24,7 +24,13 @@ pub struct MapperConfig {
 
 impl Default for MapperConfig {
     fn default() -> Self {
-        MapperConfig { k: 16, w: 100, trials: 30, ell: 1000, seed: 0x4a45_4d4d }
+        MapperConfig {
+            k: 16,
+            w: 100,
+            trials: 30,
+            ell: 1000,
+            seed: 0x4a45_4d4d,
+        }
     }
 }
 
@@ -62,11 +68,36 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        assert!(MapperConfig { trials: 0, ..Default::default() }.jem_params().is_err());
-        assert!(MapperConfig { k: 0, ..Default::default() }.jem_params().is_err());
-        assert!(MapperConfig { k: 33, ..Default::default() }.jem_params().is_err());
-        assert!(MapperConfig { w: 0, ..Default::default() }.jem_params().is_err());
-        assert!(MapperConfig { ell: 0, ..Default::default() }.jem_params().is_err());
+        assert!(MapperConfig {
+            trials: 0,
+            ..Default::default()
+        }
+        .jem_params()
+        .is_err());
+        assert!(MapperConfig {
+            k: 0,
+            ..Default::default()
+        }
+        .jem_params()
+        .is_err());
+        assert!(MapperConfig {
+            k: 33,
+            ..Default::default()
+        }
+        .jem_params()
+        .is_err());
+        assert!(MapperConfig {
+            w: 0,
+            ..Default::default()
+        }
+        .jem_params()
+        .is_err());
+        assert!(MapperConfig {
+            ell: 0,
+            ..Default::default()
+        }
+        .jem_params()
+        .is_err());
     }
 
     #[test]

@@ -56,9 +56,12 @@ impl JemMapper {
             if end <= offset + self.config().k.saturating_sub(1) {
                 break;
             }
-            if let Some((subject, hits)) = self.map_segment(&read[offset..end], qid, &mut counter)
-            {
-                out.push(TiledMapping { offset: offset as u32, subject, hits });
+            if let Some((subject, hits)) = self.map_segment(&read[offset..end], qid, &mut counter) {
+                out.push(TiledMapping {
+                    offset: offset as u32,
+                    subject,
+                    hits,
+                });
             }
             qid += 1;
             if end == read.len() {
@@ -108,7 +111,13 @@ mod tests {
     /// A read whose interior fully contains a small contig that neither
     /// end segment overlaps.
     fn contained_world() -> (JemMapper, Vec<u8>, MapperConfig) {
-        let config = MapperConfig { k: 12, w: 8, trials: 10, ell: 500, seed: 4 };
+        let config = MapperConfig {
+            k: 12,
+            w: 8,
+            trials: 10,
+            ell: 500,
+            seed: 4,
+        };
         let genome = Genome::random(10_000, 0.5, 55);
         // Read spans genome[2000..8000]; the contained contig is
         // genome[4000..5000] — entirely inside, >ℓ away from both ends.
@@ -131,8 +140,12 @@ mod tests {
             "end segments must not see the interior contig"
         );
         // But they do find the flanking contigs.
-        assert!(mappings.iter().any(|m| m.end == ReadEnd::Prefix && m.subject == 0));
-        assert!(mappings.iter().any(|m| m.end == ReadEnd::Suffix && m.subject == 2));
+        assert!(mappings
+            .iter()
+            .any(|m| m.end == ReadEnd::Prefix && m.subject == 0));
+        assert!(mappings
+            .iter()
+            .any(|m| m.end == ReadEnd::Suffix && m.subject == 2));
     }
 
     #[test]
@@ -140,7 +153,10 @@ mod tests {
         let (mapper, read, config) = contained_world();
         let hits = mapper.contained_hits(&read, config.ell / 2);
         let subjects: Vec<SubjectId> = hits.iter().map(|h| h.subject).collect();
-        assert!(subjects.contains(&1), "tiled mapping must recover the contained contig: {hits:?}");
+        assert!(
+            subjects.contains(&1),
+            "tiled mapping must recover the contained contig: {hits:?}"
+        );
         assert!(subjects.contains(&0) && subjects.contains(&2));
         // Order along the read: left, contained, right.
         assert_eq!(subjects, vec![0, 1, 2]);

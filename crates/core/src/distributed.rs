@@ -18,8 +18,8 @@ use crate::config::MapperConfig;
 use crate::mapper::{JemMapper, Mapping};
 use crate::segment::make_segments;
 use jem_index::{SketchTable, SubjectId};
+use jem_psim::{block_range, CostModel, ExecMode, RunReport, World};
 use jem_seq::SeqRecord;
-use jem_psim::{CostModel, ExecMode, RunReport, World};
 use jem_sketch::sketch_by_jem;
 
 /// Result of a distributed run: mappings plus full timing.
@@ -103,14 +103,14 @@ pub fn run_distributed(
     // S1 — input load: each rank materializes its block of both inputs
     // (byte copies stand in for FASTA parsing; volume is O((N+M)/p)).
     let blocks: Vec<(Vec<SeqRecord>, Vec<SeqRecord>)> = world.superstep("input load", |rank| {
-        let s_range = world_block(p, subjects.len(), rank);
-        let q_range = world_block(p, reads.len(), rank);
+        let s_range = block_range(p, subjects.len(), rank);
+        let q_range = block_range(p, reads.len(), rank);
         (subjects[s_range].to_vec(), reads[q_range].to_vec())
     });
 
     // S2 — sketch subjects: per-rank local tables over global subject ids.
     let encoded: Vec<Vec<u64>> = world.superstep("subject sketch", |rank| {
-        let s_range = world_block(p, subjects.len(), rank);
+        let s_range = block_range(p, subjects.len(), rank);
         let mut local = SketchTable::new(config.trials);
         let (local_subjects, _) = &blocks[rank];
         for (offset, rec) in local_subjects.iter().enumerate() {
@@ -127,7 +127,9 @@ pub fn run_distributed(
     let global_table = world.superstep_replicated("global table build", || {
         let mut global = SketchTable::new(config.trials);
         for stream in &encoded {
-            global.decode_into(stream);
+            global
+                .decode_into(stream)
+                .expect("in-process encoded streams are well-formed by construction");
         }
         global
     });
@@ -136,7 +138,7 @@ pub fn run_distributed(
 
     // S4 — map queries: each rank segments and maps its read block.
     let per_rank: Vec<(Vec<Mapping>, usize)> = world.superstep("query map", |rank| {
-        let q_range = world_block(p, reads.len(), rank);
+        let q_range = block_range(p, reads.len(), rank);
         let (_, local_reads) = &blocks[rank];
         let mut segments = make_segments(local_reads, config.ell);
         // Rebase read indices from block-local to global.
@@ -148,41 +150,52 @@ pub fn run_distributed(
     });
 
     // Final gather of the (small) mapping output.
-    let result_bytes: usize =
-        per_rank.iter().map(|(m, _)| m.len() * std::mem::size_of::<Mapping>()).sum();
+    let result_bytes: usize = per_rank
+        .iter()
+        .map(|(m, _)| m.len() * std::mem::size_of::<Mapping>())
+        .sum();
     world.charge_comm("result gather", result_bytes);
 
     let n_segments = per_rank.iter().map(|(_, n)| n).sum();
     let mut mappings: Vec<Mapping> = per_rank.into_iter().flat_map(|(m, _)| m).collect();
     mappings.sort_unstable_by_key(|m| (m.read_idx, m.end));
-    DistributedOutcome { mappings, report: world.into_report(), n_segments }
-}
-
-/// Contiguous block distribution identical to [`World::block_range`] but
-/// callable from inside a superstep closure (which already borrows `world`).
-fn world_block(p: usize, n: usize, rank: usize) -> std::ops::Range<usize> {
-    let base = n / p;
-    let extra = n % p;
-    let start = rank * base + rank.min(extra);
-    let len = base + usize::from(rank < extra);
-    start..(start + len).min(n)
+    DistributedOutcome {
+        mappings,
+        report: world.into_report(),
+        n_segments,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use jem_sim::{contig_records, fragment_contigs, read_records, simulate_hifi, ContigProfile, Genome, HifiProfile};
+    use jem_sim::{
+        contig_records, fragment_contigs, read_records, simulate_hifi, ContigProfile, Genome,
+        HifiProfile,
+    };
 
     fn world_data() -> (Vec<SeqRecord>, Vec<SeqRecord>) {
         let genome = Genome::random(60_000, 0.5, 21);
         let contigs = fragment_contigs(&genome, &ContigProfile::small_genome(), 22);
-        let profile = HifiProfile { coverage: 2.0, mean_len: 4_000, std_len: 800, min_len: 1_000, error_rate: 0.001 };
+        let profile = HifiProfile {
+            coverage: 2.0,
+            mean_len: 4_000,
+            std_len: 800,
+            min_len: 1_000,
+            error_rate: 0.001,
+        };
         let reads = simulate_hifi(&genome, &profile, 23);
         (contig_records(&contigs), read_records(&reads))
     }
 
     fn config() -> MapperConfig {
-        MapperConfig { k: 12, w: 10, trials: 8, ell: 400, seed: 3 }
+        MapperConfig {
+            k: 12,
+            w: 10,
+            trials: 8,
+            ell: 400,
+            seed: 3,
+        }
     }
 
     #[test]
@@ -200,7 +213,10 @@ mod tests {
                 CostModel::zero(),
                 ExecMode::Sequential,
             );
-            assert_eq!(outcome.mappings, expected, "p = {p} must not change the result");
+            assert_eq!(
+                outcome.mappings, expected,
+                "p = {p} must not change the result"
+            );
         }
     }
 
@@ -231,21 +247,40 @@ mod tests {
     fn comm_fraction_grows_with_p_but_stays_minor() {
         let (subjects, reads) = world_data();
         let frac = |p| {
-            run_distributed(&subjects, &reads, &config(), p, CostModel::ethernet_10g(), ExecMode::Sequential)
-                .report
-                .comm_fraction()
+            run_distributed(
+                &subjects,
+                &reads,
+                &config(),
+                p,
+                CostModel::ethernet_10g(),
+                ExecMode::Sequential,
+            )
+            .report
+            .comm_fraction()
         };
         let f4 = frac(4);
         let f16 = frac(16);
-        assert!(f16 >= f4 * 0.5, "comm fraction should not collapse with p (f4={f4}, f16={f16})");
-        assert!(f16 < 0.5, "communication must stay a minority share, got {f16}");
+        assert!(
+            f16 >= f4 * 0.5,
+            "comm fraction should not collapse with p (f4={f4}, f16={f16})"
+        );
+        assert!(
+            f16 < 0.5,
+            "communication must stay a minority share, got {f16}"
+        );
     }
 
     #[test]
     fn single_rank_equals_sequential_work() {
         let (subjects, reads) = world_data();
-        let outcome =
-            run_distributed(&subjects, &reads, &config(), 1, CostModel::ethernet_10g(), ExecMode::Sequential);
+        let outcome = run_distributed(
+            &subjects,
+            &reads,
+            &config(),
+            1,
+            CostModel::ethernet_10g(),
+            ExecMode::Sequential,
+        );
         assert_eq!(outcome.report.comm_secs(), 0.0);
         assert!(!outcome.mappings.is_empty());
     }
@@ -320,9 +355,16 @@ mod tests {
     fn strong_scaling_reduces_query_critical_path() {
         let (subjects, reads) = world_data();
         let q = |p| {
-            run_distributed(&subjects, &reads, &config(), p, CostModel::zero(), ExecMode::Sequential)
-                .report
-                .step_secs("query map")
+            run_distributed(
+                &subjects,
+                &reads,
+                &config(),
+                p,
+                CostModel::zero(),
+                ExecMode::Sequential,
+            )
+            .report
+            .step_secs("query map")
         };
         let q1 = q(1);
         let q8 = q(8);

@@ -18,6 +18,11 @@
 //! * [`distributed::run_distributed`] — the paper's S1–S4 distributed
 //!   algorithm executed on the `jem-psim` BSP world, producing the per-step
 //!   timing breakdown of Figs. 7–8 and the strong-scaling data of Table II.
+//! * [`resilient::run_distributed_resilient`] — the same pipeline under a
+//!   [`jem_psim::FaultPlan`]: crashed ranks' blocks are reassigned and
+//!   replayed, corrupted sketch streams are detected (framed, checksummed
+//!   transport) and re-requested, and an optional checkpoint makes the run
+//!   restartable past the sketch-gather barrier.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,6 +34,7 @@ pub mod mapper;
 pub mod parallel;
 pub mod persist;
 pub mod report;
+pub mod resilient;
 pub mod segment;
 
 pub use config::MapperConfig;
@@ -38,4 +44,5 @@ pub use mapper::{JemMapper, Mapping};
 pub use parallel::map_reads_parallel;
 pub use persist::{load_index, save_index};
 pub use report::{mapping_pairs, write_mappings_tsv};
+pub use resilient::{run_distributed_resilient, ResilienceError, ResilienceOptions};
 pub use segment::{make_segments, QuerySegment, ReadEnd};

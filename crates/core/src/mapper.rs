@@ -2,9 +2,7 @@
 
 use crate::config::MapperConfig;
 use crate::segment::{make_segments, QuerySegment, ReadEnd};
-use jem_index::{
-    build_table_parallel_scheme, HitCounter, LazyHitCounter, SketchTable, SubjectId,
-};
+use jem_index::{build_table_parallel_scheme, HitCounter, LazyHitCounter, SketchTable, SubjectId};
 use jem_seq::SeqRecord;
 use jem_sketch::{sketch_by_scheme, HashFamily, JemParams, JemSketch, SketchScheme};
 
@@ -135,7 +133,13 @@ impl JemMapper {
 
     /// Sketch a sequence exactly as the index was built.
     fn sketch(&self, seq: &[u8]) -> JemSketch {
-        sketch_by_scheme(seq, self.config.k, self.scheme, self.config.ell, &self.family)
+        sketch_by_scheme(
+            seq,
+            self.config.k,
+            self.scheme,
+            self.config.ell,
+            &self.family,
+        )
     }
 
     /// Number of subjects indexed.
@@ -199,7 +203,8 @@ impl JemMapper {
     /// several of the missing contig hits could possibly be recovered").
     pub fn map_segment_topk(&self, seg: &[u8], x: usize) -> Vec<(SubjectId, u32)> {
         let sketch = self.sketch(seg);
-        let mut counts: std::collections::HashMap<SubjectId, u32> = std::collections::HashMap::new();
+        let mut counts: std::collections::HashMap<SubjectId, u32> =
+            std::collections::HashMap::new();
         let mut trial_subjects: Vec<SubjectId> = Vec::new();
         for (t, codes) in sketch.per_trial.iter().enumerate() {
             trial_subjects.clear();
@@ -224,7 +229,12 @@ impl JemMapper {
         let mut out = Vec::new();
         for (qid, seg) in segments.iter().enumerate() {
             if let Some((subject, hits)) = self.map_segment(&seg.seq, qid as u64, &mut counter) {
-                out.push(Mapping { read_idx: seg.read_idx, end: seg.end, subject, hits });
+                out.push(Mapping {
+                    read_idx: seg.read_idx,
+                    end: seg.end,
+                    subject,
+                    hits,
+                });
             }
         }
         out
@@ -244,14 +254,23 @@ mod tests {
 
     fn small_config() -> MapperConfig {
         // Small ℓ/w so modest test sequences produce useful sketches.
-        MapperConfig { k: 12, w: 10, trials: 12, ell: 300, seed: 7 }
+        MapperConfig {
+            k: 12,
+            w: 10,
+            trials: 12,
+            ell: 300,
+            seed: 7,
+        }
     }
 
     fn test_world() -> (Genome, Vec<SeqRecord>) {
         let genome = Genome::random(60_000, 0.5, 99);
         let contigs = fragment_contigs(
             &genome,
-            &ContigProfile { error_rate: 0.0, ..ContigProfile::small_genome() },
+            &ContigProfile {
+                error_rate: 0.0,
+                ..ContigProfile::small_genome()
+            },
             1,
         );
         (genome, contig_records(&contigs))
@@ -275,9 +294,14 @@ mod tests {
         let contig = &subjects[3];
         let query = contig.seq[..300.min(contig.seq.len())].to_vec();
         let mut counter = mapper.new_counter();
-        let (best, hits) = mapper.map_segment(&query, 0, &mut counter).expect("must map");
+        let (best, hits) = mapper
+            .map_segment(&query, 0, &mut counter)
+            .expect("must map");
         assert_eq!(best, 3, "verbatim window must map to its own contig");
-        assert!(hits >= 8, "most of the 12 trials should collide, got {hits}");
+        assert!(
+            hits >= 8,
+            "most of the 12 trials should collide, got {hits}"
+        );
         let _ = genome;
     }
 
@@ -359,7 +383,10 @@ mod tests {
     #[test]
     fn syncmer_scheme_maps_verbatim_windows_home() {
         let (_, subjects) = test_world();
-        let config = MapperConfig { k: 16, ..small_config() };
+        let config = MapperConfig {
+            k: 16,
+            ..small_config()
+        };
         let mapper = JemMapper::build_with_scheme(
             subjects.clone(),
             &config,
@@ -368,9 +395,14 @@ mod tests {
         assert_eq!(mapper.scheme(), SketchScheme::ClosedSyncmer { s: 11 });
         let query = subjects[3].seq[..300.min(subjects[3].seq.len())].to_vec();
         let mut counter = mapper.new_counter();
-        let (best, hits) = mapper.map_segment(&query, 0, &mut counter).expect("must map");
+        let (best, hits) = mapper
+            .map_segment(&query, 0, &mut counter)
+            .expect("must map");
         assert_eq!(best, 3);
-        assert!(hits >= 8, "syncmer sketches should collide on most trials, got {hits}");
+        assert!(
+            hits >= 8,
+            "syncmer sketches should collide on most trials, got {hits}"
+        );
     }
 
     #[test]
@@ -391,6 +423,9 @@ mod tests {
         assert!(mappings.is_empty());
         // Query against an empty index maps nothing.
         let mut counter = mapper.new_counter();
-        assert_eq!(mapper.map_segment(b"ACGTACGTACGTACGT", 0, &mut counter), None);
+        assert_eq!(
+            mapper.map_segment(b"ACGTACGTACGTACGT", 0, &mut counter),
+            None
+        );
     }
 }

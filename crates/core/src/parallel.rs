@@ -14,7 +14,10 @@ use rayon::prelude::*;
 /// result set (order-normalized).
 pub fn map_reads_parallel(mapper: &JemMapper, reads: &[SeqRecord]) -> Vec<Mapping> {
     let segments = make_segments(reads, mapper.config().ell);
-    let chunk = segments.len().div_ceil(rayon::current_num_threads().max(1)).max(1);
+    let chunk = segments
+        .len()
+        .div_ceil(rayon::current_num_threads().max(1))
+        .max(1);
     let mut mappings: Vec<Mapping> = segments
         .par_chunks(chunk)
         .flat_map_iter(|chunk| mapper.map_segments(chunk))
@@ -27,15 +30,30 @@ pub fn map_reads_parallel(mapper: &JemMapper, reads: &[SeqRecord]) -> Vec<Mappin
 mod tests {
     use super::*;
     use crate::config::MapperConfig;
-    use jem_sim::{contig_records, fragment_contigs, read_records, simulate_hifi, ContigProfile, Genome, HifiProfile};
+    use jem_sim::{
+        contig_records, fragment_contigs, read_records, simulate_hifi, ContigProfile, Genome,
+        HifiProfile,
+    };
 
     #[test]
     fn parallel_matches_sequential() {
         let genome = Genome::random(80_000, 0.5, 3);
         let contigs = fragment_contigs(&genome, &ContigProfile::small_genome(), 4);
-        let config = MapperConfig { k: 12, w: 10, trials: 10, ell: 400, seed: 2 };
+        let config = MapperConfig {
+            k: 12,
+            w: 10,
+            trials: 10,
+            ell: 400,
+            seed: 2,
+        };
         let mapper = JemMapper::build(contig_records(&contigs), &config);
-        let profile = HifiProfile { coverage: 3.0, mean_len: 4_000, std_len: 800, min_len: 1_000, error_rate: 0.001 };
+        let profile = HifiProfile {
+            coverage: 3.0,
+            mean_len: 4_000,
+            std_len: 800,
+            min_len: 1_000,
+            error_rate: 0.001,
+        };
         let reads = read_records(&simulate_hifi(&genome, &profile, 6));
 
         let mut sequential = mapper.map_reads(&reads);
@@ -46,7 +64,13 @@ mod tests {
 
     #[test]
     fn empty_read_set() {
-        let config = MapperConfig { k: 8, w: 4, trials: 4, ell: 100, seed: 1 };
+        let config = MapperConfig {
+            k: 8,
+            w: 4,
+            trials: 4,
+            ell: 100,
+            seed: 1,
+        };
         let mapper = JemMapper::build(Vec::new(), &config);
         assert!(map_reads_parallel(&mapper, &[]).is_empty());
     }

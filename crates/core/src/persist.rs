@@ -4,14 +4,23 @@
 //! Binary layout (all integers little-endian):
 //!
 //! ```text
-//! magic  b"JEMIDX2\0"                       8 bytes
-//! config k, w, trials, ell, seed           5 × u64
-//! scheme tag (0 = minimizer, 1 = closed syncmer), param   2 × u64
-//! n_subjects                               u64
-//! per subject: name_len u64, name bytes
-//! stream_len (u64 count)                   u64
-//! table stream                             stream_len × u64
+//! magic  b"JEMIDX3\0"                       8 bytes
+//! body_len (bytes)                          u64
+//! fnv1a64(body)                             u64
+//! body:
+//!   config k, w, trials, ell, seed          5 × u64
+//!   scheme tag (0 = minimizer, 1 = closed syncmer), param   2 × u64
+//!   n_subjects                              u64
+//!   per subject: name_len u64, name bytes
+//!   stream_len (u64 count)                  u64
+//!   table stream                            stream_len × u64
 //! ```
+//!
+//! The whole-body checksum makes *any* byte-level damage to a saved index a
+//! load-time error: flips that would still parse (e.g. a changed seed or a
+//! swapped subject id) are caught by the frame, and flips that garble the
+//! structure are caught by the fallible [`SketchTable::decode`] — no code
+//! path panics on a malformed file.
 
 use crate::config::MapperConfig;
 use crate::mapper::JemMapper;
@@ -20,32 +29,52 @@ use jem_seq::SeqError;
 use jem_sketch::SketchScheme;
 use std::io::{Read, Write};
 
-const MAGIC: &[u8; 8] = b"JEMIDX2\0";
+const MAGIC: &[u8; 8] = b"JEMIDX3\0";
+
+/// FNV-1a over raw bytes — the integrity check of the index frame.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 /// Serialize a built mapper index.
 pub fn save_index<W: Write>(out: &mut W, mapper: &JemMapper) -> Result<(), SeqError> {
     let c = mapper.config();
-    out.write_all(MAGIC)?;
-    for v in [c.k as u64, c.w as u64, c.trials as u64, c.ell as u64, c.seed] {
-        out.write_all(&v.to_le_bytes())?;
+    let mut body = Vec::new();
+    for v in [
+        c.k as u64,
+        c.w as u64,
+        c.trials as u64,
+        c.ell as u64,
+        c.seed,
+    ] {
+        body.extend_from_slice(&v.to_le_bytes());
     }
     let (tag, param): (u64, u64) = match mapper.scheme() {
         SketchScheme::Minimizer { w } => (0, w as u64),
         SketchScheme::ClosedSyncmer { s } => (1, s as u64),
     };
-    out.write_all(&tag.to_le_bytes())?;
-    out.write_all(&param.to_le_bytes())?;
-    out.write_all(&(mapper.n_subjects() as u64).to_le_bytes())?;
+    body.extend_from_slice(&tag.to_le_bytes());
+    body.extend_from_slice(&param.to_le_bytes());
+    body.extend_from_slice(&(mapper.n_subjects() as u64).to_le_bytes());
     for id in 0..mapper.n_subjects() {
         let name = mapper.subject_name(id as u32).as_bytes();
-        out.write_all(&(name.len() as u64).to_le_bytes())?;
-        out.write_all(name)?;
+        body.extend_from_slice(&(name.len() as u64).to_le_bytes());
+        body.extend_from_slice(name);
     }
     let stream = mapper.table().encode();
-    out.write_all(&(stream.len() as u64).to_le_bytes())?;
+    body.extend_from_slice(&(stream.len() as u64).to_le_bytes());
     for v in &stream {
-        out.write_all(&v.to_le_bytes())?;
+        body.extend_from_slice(&v.to_le_bytes());
     }
+    out.write_all(MAGIC)?;
+    out.write_all(&(body.len() as u64).to_le_bytes())?;
+    out.write_all(&fnv1a64(&body).to_le_bytes())?;
+    out.write_all(&body)?;
     Ok(())
 }
 
@@ -56,18 +85,49 @@ fn read_u64<R: Read>(input: &mut R) -> Result<u64, SeqError> {
 }
 
 /// Deserialize an index written by [`save_index`].
+///
+/// Returns `Err` — never panics — on any malformed input: bad magic, a
+/// truncated or extended frame, a checksum mismatch (any flipped byte), or
+/// a body whose table stream fails the fallible decode.
 pub fn load_index<R: Read>(input: &mut R) -> Result<JemMapper, SeqError> {
     let mut magic = [0u8; 8];
     input.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(SeqError::InvalidParameter("not a JEM index file (bad magic)".into()));
+        return Err(SeqError::InvalidParameter(
+            "not a JEM index file (bad magic)".into(),
+        ));
     }
+    let body_len = read_u64(input)?;
+    let declared = read_u64(input)?;
+    let mut body = Vec::new();
+    // `take` bounds the read without trusting `body_len` for an allocation.
+    input.take(body_len).read_to_end(&mut body)?;
+    if body.len() as u64 != body_len {
+        return Err(SeqError::InvalidParameter(format!(
+            "index frame truncated: header declares {body_len} body bytes, found {}",
+            body.len()
+        )));
+    }
+    let computed = fnv1a64(&body);
+    if computed != declared {
+        return Err(SeqError::InvalidParameter(format!(
+            "index checksum mismatch: frame declares {declared:#018x}, body hashes to {computed:#018x}"
+        )));
+    }
+
+    let input = &mut body.as_slice();
     let k = read_u64(input)? as usize;
     let w = read_u64(input)? as usize;
     let trials = read_u64(input)? as usize;
     let ell = read_u64(input)? as usize;
     let seed = read_u64(input)?;
-    let config = MapperConfig { k, w, trials, ell, seed };
+    let config = MapperConfig {
+        k,
+        w,
+        trials,
+        ell,
+        seed,
+    };
     config.jem_params().map_err(|e| {
         SeqError::InvalidParameter(format!("index holds an invalid configuration: {e}"))
     })?;
@@ -82,30 +142,36 @@ pub fn load_index<R: Read>(input: &mut R) -> Result<JemMapper, SeqError> {
             )))
         }
     };
-    scheme.validate(k).map_err(|e| {
-        SeqError::InvalidParameter(format!("index holds an invalid scheme: {e}"))
-    })?;
+    scheme
+        .validate(k)
+        .map_err(|e| SeqError::InvalidParameter(format!("index holds an invalid scheme: {e}")))?;
 
     let n_subjects = read_u64(input)? as usize;
-    let mut names = Vec::with_capacity(n_subjects);
+    let mut names = Vec::with_capacity(n_subjects.min(1 << 16));
     for _ in 0..n_subjects {
         let len = read_u64(input)? as usize;
         if len > 1 << 20 {
-            return Err(SeqError::InvalidParameter("unreasonable subject name length".into()));
+            return Err(SeqError::InvalidParameter(
+                "unreasonable subject name length".into(),
+            ));
         }
         let mut buf = vec![0u8; len];
         input.read_exact(&mut buf)?;
-        names.push(String::from_utf8(buf).map_err(|_| {
-            SeqError::InvalidParameter("subject name is not UTF-8".into())
-        })?);
+        names.push(
+            String::from_utf8(buf)
+                .map_err(|_| SeqError::InvalidParameter("subject name is not UTF-8".into()))?,
+        );
     }
     let stream_len = read_u64(input)? as usize;
-    let mut stream = Vec::with_capacity(stream_len);
+    let mut stream = Vec::with_capacity(stream_len.min(1 << 20));
     for _ in 0..stream_len {
         stream.push(read_u64(input)?);
     }
-    let table = SketchTable::decode(&stream, trials);
-    Ok(JemMapper::from_table_with_scheme(table, names, &config, scheme))
+    let table = SketchTable::decode(&stream, trials)
+        .map_err(|e| SeqError::InvalidParameter(format!("index table stream is corrupt: {e}")))?;
+    Ok(JemMapper::from_table_with_scheme(
+        table, names, &config, scheme,
+    ))
 }
 
 #[cfg(test)]
@@ -118,8 +184,29 @@ mod tests {
         let genome = Genome::random(40_000, 0.5, 123);
         let contigs = fragment_contigs(&genome, &ContigProfile::small_genome(), 124);
         let subjects = contig_records(&contigs);
-        let config = MapperConfig { k: 12, w: 8, trials: 6, ell: 300, seed: 9 };
+        let config = MapperConfig {
+            k: 12,
+            w: 8,
+            trials: 6,
+            ell: 300,
+            seed: 9,
+        };
         (JemMapper::build(subjects.clone(), &config), subjects)
+    }
+
+    /// A deliberately tiny index, so exhaustive corruption sweeps stay fast.
+    fn build_tiny() -> JemMapper {
+        let genome = Genome::random(3_000, 0.5, 55);
+        let contigs = fragment_contigs(&genome, &ContigProfile::small_genome(), 56);
+        let subjects = contig_records(&contigs);
+        let config = MapperConfig {
+            k: 12,
+            w: 8,
+            trials: 2,
+            ell: 300,
+            seed: 9,
+        };
+        JemMapper::build(subjects, &config)
     }
 
     #[test]
@@ -161,11 +248,69 @@ mod tests {
     }
 
     #[test]
+    fn every_single_byte_flip_rejected() {
+        let mapper = build_tiny();
+        let mut buf = Vec::new();
+        save_index(&mut buf, &mapper).unwrap();
+        assert!(
+            load_index(&mut buf.as_slice()).is_ok(),
+            "pristine file must load"
+        );
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                load_index(&mut bad.as_slice()).is_err(),
+                "flip of byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_but_well_framed_stream_rejected_by_decode() {
+        // Hand-build a file whose frame (length + checksum) is intact but
+        // whose table stream is structural garbage: the error must come from
+        // the fallible decode, not a panic.
+        let mut body = Vec::new();
+        for v in [12u64, 8, 2, 300, 9] {
+            body.extend_from_slice(&v.to_le_bytes());
+        }
+        for v in [0u64, 8] {
+            body.extend_from_slice(&v.to_le_bytes()); // minimizer, w = 8
+        }
+        body.extend_from_slice(&0u64.to_le_bytes()); // no subjects
+        body.extend_from_slice(&1u64.to_le_bytes()); // stream_len = 1
+        body.extend_from_slice(&999u64.to_le_bytes()); // garbage stream word
+        let mut file = MAGIC.to_vec();
+        file.extend_from_slice(&(body.len() as u64).to_le_bytes());
+        file.extend_from_slice(&fnv1a64(&body).to_le_bytes());
+        file.extend_from_slice(&body);
+        let err = load_index(&mut file.as_slice()).unwrap_err();
+        assert!(
+            err.to_string().contains("table stream is corrupt"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn old_format_magic_rejected() {
+        let mut data = b"JEMIDX2\0".to_vec();
+        data.extend_from_slice(&[0u8; 128]);
+        assert!(load_index(&mut data.as_slice()).is_err());
+    }
+
+    #[test]
     fn syncmer_index_roundtrips_with_scheme() {
         let genome = Genome::random(30_000, 0.5, 321);
         let contigs = fragment_contigs(&genome, &ContigProfile::small_genome(), 322);
         let subjects = contig_records(&contigs);
-        let config = MapperConfig { k: 16, w: 8, trials: 6, ell: 300, seed: 9 };
+        let config = MapperConfig {
+            k: 16,
+            w: 8,
+            trials: 6,
+            ell: 300,
+            seed: 9,
+        };
         let scheme = SketchScheme::ClosedSyncmer { s: 11 };
         let mapper = JemMapper::build_with_scheme(subjects.clone(), &config, scheme);
         let mut buf = Vec::new();
@@ -183,7 +328,13 @@ mod tests {
 
     #[test]
     fn empty_index_roundtrips() {
-        let config = MapperConfig { k: 12, w: 8, trials: 4, ell: 300, seed: 1 };
+        let config = MapperConfig {
+            k: 12,
+            w: 8,
+            trials: 4,
+            ell: 300,
+            seed: 1,
+        };
         let mapper = JemMapper::build(Vec::new(), &config);
         let mut buf = Vec::new();
         save_index(&mut buf, &mapper).unwrap();

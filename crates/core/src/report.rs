@@ -36,7 +36,12 @@ pub fn mapping_pairs(
 ) -> Vec<(String, String)> {
     mappings
         .iter()
-        .map(|m| (m.query_key(reads), mapper.subject_name(m.subject).to_string()))
+        .map(|m| {
+            (
+                m.query_key(reads),
+                mapper.subject_name(m.subject).to_string(),
+            )
+        })
         .collect()
 }
 
@@ -49,10 +54,21 @@ mod tests {
     fn tiny_world() -> (JemMapper, Vec<SeqRecord>, Vec<Mapping>) {
         let subj: Vec<u8> = (0..2000).map(|i| b"ACGT"[(i * 7 + i / 5) % 4]).collect();
         let subjects = vec![SeqRecord::new("c0", subj.clone())];
-        let config = MapperConfig { k: 8, w: 4, trials: 4, ell: 200, seed: 1 };
+        let config = MapperConfig {
+            k: 8,
+            w: 4,
+            trials: 4,
+            ell: 200,
+            seed: 1,
+        };
         let mapper = JemMapper::build(subjects, &config);
         let reads = vec![SeqRecord::new("r0", subj[..1000].to_vec())];
-        let mappings = vec![Mapping { read_idx: 0, end: ReadEnd::Prefix, subject: 0, hits: 4 }];
+        let mappings = vec![Mapping {
+            read_idx: 0,
+            end: ReadEnd::Prefix,
+            subject: 0,
+            hits: 4,
+        }];
         (mapper, reads, mappings)
     }
 

@@ -1,0 +1,755 @@
+//! The fault-tolerant distributed driver: S1–S4 under an adversarial
+//! [`FaultPlan`], with block reassignment, corrupt-payload re-request, and
+//! an optional restartable checkpoint.
+//!
+//! Recovery model (all work units are the `p` original S1 *blocks*, so the
+//! output is independent of which rank ends up computing which block):
+//!
+//! * **Crashes** — a rank that dies takes its assigned blocks with it; the
+//!   driver reassigns the pending blocks round-robin over the surviving
+//!   ranks and replays them in a `"<step> retry n"` superstep. Retries are
+//!   bounded by [`ResilienceOptions::max_retries`] and counted in the
+//!   report's [`FaultStats`].
+//! * **Corruption** — subject sketches travel as framed, checksummed
+//!   streams ([`SketchTable::encode_framed`]); a garbled frame fails the
+//!   fallible decode, leaves the global table untouched, and is
+//!   re-requested from a surviving rank.
+//! * **Stragglers** — need no recovery; their inflated compute time simply
+//!   degrades the simulated makespan in the [`RunReport`](jem_psim::RunReport).
+//! * **Checkpoint** — after the sketch-gather barrier the replicated index
+//!   can be written with the persist encoding; a later run pointed at the
+//!   same file skips S1–S3 entirely (a corrupt or mismatched checkpoint is
+//!   ignored, never trusted).
+//!
+//! Invariant: any plan that leaves at least one rank alive yields mappings
+//! identical to the fault-free [`run_distributed`](crate::run_distributed).
+//! This holds because sketch-table union is order-independent (subject
+//! lists are sorted-unique) and mappings are finally sorted by
+//! `(read_idx, end)`.
+
+use crate::config::MapperConfig;
+use crate::distributed::DistributedOutcome;
+use crate::mapper::{JemMapper, Mapping};
+use crate::persist::{load_index, save_index};
+use crate::segment::make_segments;
+use jem_index::{SketchTable, SubjectId};
+use jem_psim::{block_range, corrupt_u64s, CostModel, ExecMode, FaultPlan, RankOutcome, World};
+use jem_seq::{SeqError, SeqRecord};
+use jem_sketch::sketch_by_jem;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Knobs of the resilient driver.
+#[derive(Clone, Debug)]
+pub struct ResilienceOptions {
+    /// Faults to inject (empty plan = behave like the plain driver).
+    pub plan: FaultPlan,
+    /// Retry supersteps allowed per pipeline step before giving up.
+    pub max_retries: usize,
+    /// Write the replicated index here after the sketch-gather barrier; if
+    /// the file already holds a matching index, S1–S3 are skipped.
+    pub checkpoint: Option<PathBuf>,
+}
+
+impl Default for ResilienceOptions {
+    fn default() -> Self {
+        ResilienceOptions {
+            plan: FaultPlan::none(),
+            max_retries: 3,
+            checkpoint: None,
+        }
+    }
+}
+
+/// Unrecoverable failure of a resilient run.
+#[derive(Debug)]
+pub enum ResilienceError {
+    /// Every rank crashed — nobody is left to reassign work to.
+    AllRanksFailed {
+        /// Pipeline step at which the last rank died.
+        step: String,
+    },
+    /// A step kept failing past [`ResilienceOptions::max_retries`].
+    RetriesExhausted {
+        /// Pipeline step that could not complete.
+        step: String,
+        /// Attempts made (initial + retries).
+        attempts: usize,
+    },
+    /// The checkpoint file could not be written.
+    Checkpoint(SeqError),
+}
+
+impl fmt::Display for ResilienceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResilienceError::AllRanksFailed { step } => {
+                write!(
+                    f,
+                    "all ranks failed at step {step:?}; no survivor to recover on"
+                )
+            }
+            ResilienceError::RetriesExhausted { step, attempts } => {
+                write!(
+                    f,
+                    "step {step:?} still incomplete after {attempts} attempts"
+                )
+            }
+            ResilienceError::Checkpoint(e) => write!(f, "checkpoint write failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ResilienceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ResilienceError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Driver-side recovery counters, merged into the report's `FaultStats`.
+#[derive(Default)]
+struct Recovery {
+    retries: usize,
+    reassigned: usize,
+    re_requests: usize,
+}
+
+/// Run per-block work under the fault plan, reassigning blocks of failed
+/// ranks to survivors until every block has a result. Outcomes that are not
+/// `Ok` (crashes — and corrupted payloads at steps with no transport
+/// framing) are redone from scratch.
+fn retry_blocks<T: Send>(
+    world: &mut World,
+    step: &str,
+    n_blocks: usize,
+    max_retries: usize,
+    rec: &mut Recovery,
+    f: impl Fn(usize) -> T + Sync,
+) -> Result<Vec<T>, ResilienceError> {
+    let mut done: Vec<Option<T>> = (0..n_blocks).map(|_| None).collect();
+    let mut pending: Vec<usize> = (0..n_blocks).collect();
+    let mut attempt = 0usize;
+    while !pending.is_empty() {
+        if attempt > max_retries {
+            return Err(ResilienceError::RetriesExhausted {
+                step: step.to_string(),
+                attempts: attempt,
+            });
+        }
+        let alive = world.alive_ranks();
+        if alive.is_empty() {
+            return Err(ResilienceError::AllRanksFailed {
+                step: step.to_string(),
+            });
+        }
+        // Round-robin over survivors; with everyone alive and all blocks
+        // pending this is the identity assignment (block b → rank b).
+        let mut assign: Vec<Vec<usize>> = vec![Vec::new(); world.ranks()];
+        for (i, &b) in pending.iter().enumerate() {
+            assign[alive[i % alive.len()]].push(b);
+        }
+        let name = if attempt == 0 {
+            step.to_string()
+        } else {
+            rec.retries += 1;
+            rec.reassigned += pending.len();
+            format!("{step} retry {attempt}")
+        };
+        let outcomes = world.superstep_faulty(&name, |rank| {
+            assign[rank].iter().map(|&b| f(b)).collect::<Vec<T>>()
+        });
+        let mut still = Vec::new();
+        for (rank, outcome) in outcomes.into_iter().enumerate() {
+            match outcome.ok() {
+                Some(vals) => {
+                    for (&b, v) in assign[rank].iter().zip(vals) {
+                        done[b] = Some(v);
+                    }
+                }
+                None => still.extend(assign[rank].iter().copied()),
+            }
+        }
+        pending = still;
+        attempt += 1;
+    }
+    Ok(done
+        .into_iter()
+        .map(|o| o.expect("loop exits only when all blocks are done"))
+        .collect())
+}
+
+/// Try to resume from a checkpoint: the file must load, and must describe
+/// exactly this run's configuration and subject set. Anything else —
+/// missing file, corrupt frame, stale contigs — means "compute from
+/// scratch"; a checkpoint is an optimization, never an authority.
+fn try_resume(
+    path: &std::path::Path,
+    subjects: &[SeqRecord],
+    config: &MapperConfig,
+) -> Option<JemMapper> {
+    let mut file = std::fs::File::open(path).ok()?;
+    let mapper = load_index(&mut file).ok()?;
+    if mapper.config() != config || mapper.n_subjects() != subjects.len() {
+        return None;
+    }
+    let names_match = subjects
+        .iter()
+        .enumerate()
+        .all(|(i, s)| mapper.subject_name(i as SubjectId) == s.id);
+    names_match.then_some(mapper)
+}
+
+/// Run the distributed L2C mapping on `p` simulated ranks under a fault
+/// plan, recovering from crashes and corrupted payloads.
+///
+/// With the empty plan this produces exactly the output and step names of
+/// [`run_distributed`](crate::run_distributed); under any plan that leaves
+/// at least one rank alive, the mappings are *identical* to the fault-free
+/// run and the report's fault counters record the recovery work.
+#[allow(clippy::too_many_arguments)]
+pub fn run_distributed_resilient(
+    subjects: &[SeqRecord],
+    reads: &[SeqRecord],
+    config: &MapperConfig,
+    p: usize,
+    cost: CostModel,
+    mode: ExecMode,
+    opts: &ResilienceOptions,
+) -> Result<DistributedOutcome, ResilienceError> {
+    let params = config.jem_params().expect("invalid mapper configuration");
+    let family = config.hash_family();
+    let mut world = World::new(p, cost)
+        .with_mode(mode)
+        .with_faults(opts.plan.clone());
+    let mut rec = Recovery::default();
+    let seed = opts.plan.corruption_seed();
+
+    let resumed = opts
+        .checkpoint
+        .as_deref()
+        .and_then(|path| try_resume(path, subjects, config));
+
+    let mapper = if let Some(mapper) = resumed {
+        mapper
+    } else {
+        // S1 — input load, blockwise so lost blocks can be replayed.
+        let blocks: Vec<(Vec<SeqRecord>, Vec<SeqRecord>)> = retry_blocks(
+            &mut world,
+            "input load",
+            p,
+            opts.max_retries,
+            &mut rec,
+            |b| {
+                let s_range = block_range(p, subjects.len(), b);
+                let q_range = block_range(p, reads.len(), b);
+                (subjects[s_range].to_vec(), reads[q_range].to_vec())
+            },
+        )?;
+
+        // S2 — subject sketch. Frames of corrupt-flagged ranks are garbled
+        // at the delivery boundary, exactly like wire damage; detection is
+        // the decoder's job, not the injector's.
+        let sketch_frame = |b: usize| {
+            let s_range = block_range(p, subjects.len(), b);
+            let mut local = SketchTable::new(config.trials);
+            for (offset, rec) in blocks[b].0.iter().enumerate() {
+                let id = (s_range.start + offset) as SubjectId;
+                local.insert_sketch(&sketch_by_jem(&rec.seq, params, &family), id);
+            }
+            local.encode_framed()
+        };
+        let mut frames: Vec<Option<Vec<u64>>> = (0..p).map(|_| None).collect();
+        let mut pending: Vec<usize> = (0..p).collect();
+        let mut attempt = 0usize;
+        while !pending.is_empty() {
+            if attempt > opts.max_retries {
+                return Err(ResilienceError::RetriesExhausted {
+                    step: "subject sketch".to_string(),
+                    attempts: attempt,
+                });
+            }
+            let alive = world.alive_ranks();
+            if alive.is_empty() {
+                return Err(ResilienceError::AllRanksFailed {
+                    step: "subject sketch".to_string(),
+                });
+            }
+            let mut assign: Vec<Vec<usize>> = vec![Vec::new(); p];
+            for (i, &b) in pending.iter().enumerate() {
+                assign[alive[i % alive.len()]].push(b);
+            }
+            let name = if attempt == 0 {
+                "subject sketch".to_string()
+            } else {
+                rec.retries += 1;
+                rec.reassigned += pending.len();
+                format!("subject sketch retry {attempt}")
+            };
+            let outcomes = world.superstep_faulty(&name, |rank| {
+                assign[rank]
+                    .iter()
+                    .map(|&b| sketch_frame(b))
+                    .collect::<Vec<Vec<u64>>>()
+            });
+            let mut still = Vec::new();
+            for (rank, outcome) in outcomes.into_iter().enumerate() {
+                match outcome {
+                    RankOutcome::Ok(vals) => {
+                        for (&b, frame) in assign[rank].iter().zip(vals) {
+                            frames[b] = Some(frame);
+                        }
+                    }
+                    RankOutcome::Corrupt(vals) => {
+                        for (&b, mut frame) in assign[rank].iter().zip(vals) {
+                            corrupt_u64s(&mut frame, seed ^ b as u64);
+                            frames[b] = Some(frame);
+                        }
+                    }
+                    RankOutcome::Failed => still.extend(assign[rank].iter().copied()),
+                }
+            }
+            pending = still;
+            attempt += 1;
+        }
+        let frames: Vec<Vec<u64>> = frames
+            .into_iter()
+            .map(|f| f.expect("all frames delivered"))
+            .collect();
+
+        // S3 — gather the framed streams, then build the replicated global
+        // table. A frame that fails its checksum or structural validation
+        // leaves the table untouched (decode is atomic) and is re-requested.
+        let gather_bytes: usize = frames.iter().map(|f| f.len() * 8).sum();
+        world.charge_comm("sketch gather", gather_bytes);
+        let (mut global, mut bad) = world.superstep_replicated("global table build", || {
+            let mut g = SketchTable::new(config.trials);
+            let mut bad = Vec::new();
+            for (b, frame) in frames.iter().enumerate() {
+                if g.decode_framed_into(frame).is_err() {
+                    bad.push(b);
+                }
+            }
+            (g, bad)
+        });
+        let mut round = 0usize;
+        while !bad.is_empty() {
+            round += 1;
+            if round > opts.max_retries {
+                return Err(ResilienceError::RetriesExhausted {
+                    step: "sketch re-request".to_string(),
+                    attempts: round - 1,
+                });
+            }
+            let alive = world.alive_ranks();
+            if alive.is_empty() {
+                return Err(ResilienceError::AllRanksFailed {
+                    step: "sketch re-request".to_string(),
+                });
+            }
+            rec.re_requests += bad.len();
+            let mut assign: Vec<Vec<usize>> = vec![Vec::new(); p];
+            for (i, &b) in bad.iter().enumerate() {
+                assign[alive[i % alive.len()]].push(b);
+            }
+            let outcomes = world.superstep_faulty(&format!("sketch re-request {round}"), |rank| {
+                assign[rank]
+                    .iter()
+                    .map(|&b| sketch_frame(b))
+                    .collect::<Vec<Vec<u64>>>()
+            });
+            let mut redelivered: Vec<(usize, Vec<u64>)> = Vec::new();
+            let mut next_bad = Vec::new();
+            for (rank, outcome) in outcomes.into_iter().enumerate() {
+                match outcome {
+                    RankOutcome::Ok(vals) => {
+                        redelivered.extend(assign[rank].iter().copied().zip(vals));
+                    }
+                    RankOutcome::Corrupt(vals) => {
+                        for (&b, mut frame) in assign[rank].iter().zip(vals) {
+                            // Vary the damage per round so a repeated fault
+                            // does not replay byte-identical garbage.
+                            corrupt_u64s(&mut frame, seed ^ (b as u64) ^ ((round as u64) << 32));
+                            redelivered.push((b, frame));
+                        }
+                    }
+                    RankOutcome::Failed => next_bad.extend(assign[rank].iter().copied()),
+                }
+            }
+            let resend_bytes: usize = redelivered.iter().map(|(_, f)| f.len() * 8).sum();
+            world.charge_comm("sketch re-request comm", resend_bytes);
+            for (b, frame) in redelivered {
+                if global.decode_framed_into(&frame).is_err() {
+                    next_bad.push(b);
+                }
+            }
+            next_bad.sort_unstable();
+            bad = next_bad;
+        }
+
+        let subject_names: Vec<String> = subjects.iter().map(|s| s.id.clone()).collect();
+        let mapper = JemMapper::from_table(global, subject_names, config);
+
+        // Checkpoint the replicated index past the gather barrier.
+        if let Some(path) = &opts.checkpoint {
+            let mut file = std::fs::File::create(path)
+                .map_err(|e| ResilienceError::Checkpoint(SeqError::from(e)))?;
+            save_index(&mut file, &mapper).map_err(ResilienceError::Checkpoint)?;
+        }
+        mapper
+    };
+
+    // S4 — query map, blockwise with the same reassignment machinery.
+    let per_block: Vec<(Vec<Mapping>, usize)> = retry_blocks(
+        &mut world,
+        "query map",
+        p,
+        opts.max_retries,
+        &mut rec,
+        |b| {
+            let q_range = block_range(p, reads.len(), b);
+            let mut segments = make_segments(&reads[q_range.clone()], config.ell);
+            for s in segments.iter_mut() {
+                s.read_idx += q_range.start as u32;
+            }
+            let n = segments.len();
+            (mapper.map_segments(&segments), n)
+        },
+    )?;
+
+    let result_bytes: usize = per_block
+        .iter()
+        .map(|(m, _)| m.len() * std::mem::size_of::<Mapping>())
+        .sum();
+    world.charge_comm("result gather", result_bytes);
+
+    let n_segments = per_block.iter().map(|(_, n)| n).sum();
+    let mut mappings: Vec<Mapping> = per_block.into_iter().flat_map(|(m, _)| m).collect();
+    mappings.sort_unstable_by_key(|m| (m.read_idx, m.end));
+
+    let mut report = world.into_report();
+    report.fault_stats.retries += rec.retries;
+    report.fault_stats.reassigned_blocks += rec.reassigned;
+    report.fault_stats.re_requests += rec.re_requests;
+    Ok(DistributedOutcome {
+        mappings,
+        report,
+        n_segments,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributed::run_distributed;
+    use jem_sim::{
+        contig_records, fragment_contigs, read_records, simulate_hifi, ContigProfile, Genome,
+        HifiProfile,
+    };
+
+    fn world_data() -> (Vec<SeqRecord>, Vec<SeqRecord>) {
+        let genome = Genome::random(60_000, 0.5, 21);
+        let contigs = fragment_contigs(&genome, &ContigProfile::small_genome(), 22);
+        let profile = HifiProfile {
+            coverage: 2.0,
+            mean_len: 4_000,
+            std_len: 800,
+            min_len: 1_000,
+            error_rate: 0.001,
+        };
+        let reads = simulate_hifi(&genome, &profile, 23);
+        (contig_records(&contigs), read_records(&reads))
+    }
+
+    fn config() -> MapperConfig {
+        MapperConfig {
+            k: 12,
+            w: 10,
+            trials: 8,
+            ell: 400,
+            seed: 3,
+        }
+    }
+
+    fn baseline(subjects: &[SeqRecord], reads: &[SeqRecord], p: usize) -> Vec<Mapping> {
+        run_distributed(
+            subjects,
+            reads,
+            &config(),
+            p,
+            CostModel::zero(),
+            ExecMode::Sequential,
+        )
+        .mappings
+    }
+
+    fn resilient(
+        subjects: &[SeqRecord],
+        reads: &[SeqRecord],
+        p: usize,
+        opts: &ResilienceOptions,
+    ) -> DistributedOutcome {
+        run_distributed_resilient(
+            subjects,
+            reads,
+            &config(),
+            p,
+            CostModel::zero(),
+            ExecMode::Sequential,
+            opts,
+        )
+        .expect("plan leaves survivors, run must succeed")
+    }
+
+    #[test]
+    fn fault_free_run_matches_plain_driver() {
+        let (subjects, reads) = world_data();
+        for p in [1usize, 3, 4] {
+            let expected = baseline(&subjects, &reads, p);
+            let outcome = resilient(&subjects, &reads, p, &ResilienceOptions::default());
+            assert_eq!(outcome.mappings, expected, "p = {p}");
+            assert!(
+                !outcome.report.fault_stats.any(),
+                "no faults, no recovery work"
+            );
+            // The plain step names survive, so breakdown() still works.
+            let b = outcome.breakdown();
+            assert!(b.subject_sketch >= 0.0 && b.query_map >= 0.0);
+        }
+    }
+
+    #[test]
+    fn single_crash_at_each_step_recovers() {
+        let (subjects, reads) = world_data();
+        for p in [4usize, 8] {
+            let expected = baseline(&subjects, &reads, p);
+            for step in ["input load", "subject sketch", "query map"] {
+                let opts = ResilienceOptions {
+                    plan: FaultPlan::none().with_crash(step, 1),
+                    ..Default::default()
+                };
+                let outcome = resilient(&subjects, &reads, p, &opts);
+                assert_eq!(outcome.mappings, expected, "p = {p}, crash at {step:?}");
+                let fs = outcome.report.fault_stats;
+                assert_eq!(fs.crashes, 1, "p = {p}, crash at {step:?}");
+                assert!(fs.retries >= 1, "crash at {step:?} must force a retry");
+                assert!(fs.reassigned_blocks >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn all_but_one_rank_may_die() {
+        let (subjects, reads) = world_data();
+        for p in [4usize, 8] {
+            let expected = baseline(&subjects, &reads, p);
+            let mut plan = FaultPlan::none();
+            for rank in 1..p {
+                plan = plan.with_crash("subject sketch", rank);
+            }
+            let opts = ResilienceOptions {
+                plan,
+                ..Default::default()
+            };
+            let outcome = resilient(&subjects, &reads, p, &opts);
+            assert_eq!(outcome.mappings, expected, "p = {p}, {} crashes", p - 1);
+            assert_eq!(outcome.report.fault_stats.crashes, p - 1);
+            assert!(outcome.report.fault_stats.reassigned_blocks >= p - 1);
+        }
+    }
+
+    #[test]
+    fn corrupt_sketch_stream_is_re_requested() {
+        let (subjects, reads) = world_data();
+        let p = 4;
+        let expected = baseline(&subjects, &reads, p);
+        for seed in [0u64, 1, 2, 3, 99] {
+            let opts = ResilienceOptions {
+                plan: FaultPlan::none()
+                    .with_corrupt("subject sketch", 2)
+                    .with_corruption_seed(seed),
+                ..Default::default()
+            };
+            let outcome = resilient(&subjects, &reads, p, &opts);
+            assert_eq!(outcome.mappings, expected, "corruption seed {seed}");
+            let fs = outcome.report.fault_stats;
+            assert_eq!(fs.corrupt_payloads, 1, "seed {seed}");
+            assert_eq!(
+                fs.re_requests, 1,
+                "seed {seed}: bad frame must be re-fetched"
+            );
+        }
+    }
+
+    #[test]
+    fn straggler_degrades_makespan_but_not_output() {
+        let (subjects, reads) = world_data();
+        let p = 4;
+        let plain = resilient(&subjects, &reads, p, &ResilienceOptions::default());
+        let opts = ResilienceOptions {
+            plan: FaultPlan::none().with_straggle("subject sketch", 0, 50.0),
+            ..Default::default()
+        };
+        let slow = resilient(&subjects, &reads, p, &opts);
+        assert_eq!(slow.mappings, plain.mappings);
+        assert_eq!(slow.report.fault_stats.straggles, 1);
+        assert!(
+            slow.report.step_secs("subject sketch") > plain.report.step_secs("subject sketch"),
+            "straggler must inflate the step time"
+        );
+    }
+
+    #[test]
+    fn mixed_faults_across_steps() {
+        let (subjects, reads) = world_data();
+        let p = 8;
+        let expected = baseline(&subjects, &reads, p);
+        let opts = ResilienceOptions {
+            plan: FaultPlan::none()
+                .with_crash("input load", 7)
+                .with_crash("subject sketch", 2)
+                .with_corrupt("subject sketch", 5)
+                .with_straggle("query map", 1, 3.0)
+                .with_crash("query map", 3),
+            ..Default::default()
+        };
+        let outcome = resilient(&subjects, &reads, p, &opts);
+        assert_eq!(outcome.mappings, expected);
+        let fs = outcome.report.fault_stats;
+        assert_eq!(fs.crashes, 3);
+        assert_eq!(fs.corrupt_payloads, 1);
+        assert_eq!(fs.straggles, 1);
+        assert!(fs.retries >= 3);
+        assert_eq!(fs.re_requests, 1);
+    }
+
+    #[test]
+    fn threaded_mode_recovers_identically() {
+        let (subjects, reads) = world_data();
+        let p = 4;
+        let expected = baseline(&subjects, &reads, p);
+        let opts = ResilienceOptions {
+            plan: FaultPlan::none()
+                .with_crash("subject sketch", 0)
+                .with_corrupt("query map", 2),
+            ..Default::default()
+        };
+        let outcome = run_distributed_resilient(
+            &subjects,
+            &reads,
+            &config(),
+            p,
+            CostModel::zero(),
+            ExecMode::Threaded,
+            &opts,
+        )
+        .unwrap();
+        assert_eq!(outcome.mappings, expected);
+    }
+
+    #[test]
+    fn all_ranks_dead_is_a_value_not_a_panic() {
+        let (subjects, reads) = world_data();
+        let p = 3;
+        let mut plan = FaultPlan::none();
+        for rank in 0..p {
+            plan = plan.with_crash("subject sketch", rank);
+        }
+        let opts = ResilienceOptions {
+            plan,
+            ..Default::default()
+        };
+        let err = run_distributed_resilient(
+            &subjects,
+            &reads,
+            &config(),
+            p,
+            CostModel::zero(),
+            ExecMode::Sequential,
+            &opts,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, ResilienceError::AllRanksFailed { .. }),
+            "got {err}"
+        );
+        assert!(err.to_string().contains("subject sketch"));
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_skips_rebuild_and_matches() {
+        let (subjects, reads) = world_data();
+        let p = 4;
+        let expected = baseline(&subjects, &reads, p);
+        let path =
+            std::env::temp_dir().join(format!("jem_ckpt_roundtrip_{}.idx", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let opts = ResilienceOptions {
+            checkpoint: Some(path.clone()),
+            ..Default::default()
+        };
+        // First run writes the checkpoint.
+        let first = resilient(&subjects, &reads, p, &opts);
+        assert_eq!(first.mappings, expected);
+        assert!(path.exists(), "checkpoint must be written");
+        // Second run resumes: identical output, no subject-phase steps.
+        let second = resilient(&subjects, &reads, p, &opts);
+        assert_eq!(second.mappings, expected);
+        assert_eq!(
+            second.report.step_secs("subject sketch"),
+            0.0,
+            "S2 skipped on resume"
+        );
+        assert!(second.report.step_secs("query map") > 0.0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_ignored_not_trusted() {
+        let (subjects, reads) = world_data();
+        let p = 4;
+        let expected = baseline(&subjects, &reads, p);
+        let path =
+            std::env::temp_dir().join(format!("jem_ckpt_corrupt_{}.idx", std::process::id()));
+        let opts = ResilienceOptions {
+            checkpoint: Some(path.clone()),
+            ..Default::default()
+        };
+        resilient(&subjects, &reads, p, &opts);
+        // Damage the file: resume must silently fall back to a full build
+        // (and rewrite a good checkpoint).
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let outcome = resilient(&subjects, &reads, p, &opts);
+        assert_eq!(outcome.mappings, expected);
+        assert!(
+            outcome.report.step_secs("subject sketch") > 0.0,
+            "must rebuild"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn random_plans_preserve_output() {
+        let (subjects, reads) = world_data();
+        let steps = ["input load", "subject sketch", "query map"];
+        for p in [4usize, 8] {
+            let expected = baseline(&subjects, &reads, p);
+            for seed in 0..6u64 {
+                let n_crashes = 1 + (seed as usize) % (p - 1);
+                let plan = FaultPlan::random(seed, p, &steps, n_crashes, 1);
+                let opts = ResilienceOptions {
+                    plan: plan.clone(),
+                    ..Default::default()
+                };
+                let outcome = resilient(&subjects, &reads, p, &opts);
+                assert_eq!(outcome.mappings, expected, "p={p} seed={seed} plan={plan}");
+                assert_eq!(outcome.report.fault_stats.crashes, plan.crashed_ranks());
+            }
+        }
+    }
+}

@@ -56,7 +56,11 @@ pub fn make_segments(reads: &[SeqRecord], ell: usize) -> Vec<QuerySegment> {
         }
         let idx = u32::try_from(i).expect("read count exceeds u32");
         if r.seq.len() <= ell {
-            out.push(QuerySegment { read_idx: idx, end: ReadEnd::Prefix, seq: r.seq.clone() });
+            out.push(QuerySegment {
+                read_idx: idx,
+                end: ReadEnd::Prefix,
+                seq: r.seq.clone(),
+            });
         } else {
             out.push(QuerySegment {
                 read_idx: idx,
@@ -120,7 +124,9 @@ mod tests {
 
     #[test]
     fn segment_count_bound() {
-        let reads: Vec<SeqRecord> = (0..10).map(|i| read(&format!("r{i}"), 100 + i * 400)).collect();
+        let reads: Vec<SeqRecord> = (0..10)
+            .map(|i| read(&format!("r{i}"), 100 + i * 400))
+            .collect();
         let segs = make_segments(&reads, 1000);
         assert!(segs.len() <= 2 * reads.len());
         assert!(segs.iter().all(|s| s.seq.len() <= 1000));

@@ -1,7 +1,10 @@
 //! Property-based tests for the mapping core.
 
-use jem_core::{make_segments, map_reads_parallel, run_distributed, JemMapper, MapperConfig, ReadEnd};
-use jem_psim::{CostModel, ExecMode};
+use jem_core::{
+    make_segments, map_reads_parallel, run_distributed, run_distributed_resilient, JemMapper,
+    MapperConfig, ReadEnd, ResilienceOptions,
+};
+use jem_psim::{CostModel, ExecMode, FaultPlan};
 use jem_seq::SeqRecord;
 use proptest::prelude::*;
 
@@ -74,6 +77,59 @@ proptest! {
             ExecMode::Sequential,
         );
         prop_assert_eq!(&distributed.mappings, &sequential);
+    }
+
+    #[test]
+    fn resilient_driver_survives_random_fault_plans(
+        subjects in prop::collection::vec(dna(300, 1200), 1..6),
+        reads in prop::collection::vec(dna(100, 2000), 0..6),
+        p in 2usize..6,
+        seed in any::<u64>(),
+        n_corrupt in 0usize..3,
+    ) {
+        let subject_recs: Vec<SeqRecord> = subjects
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| SeqRecord::new(format!("c{i}"), s))
+            .collect();
+        let read_recs: Vec<SeqRecord> = reads
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| SeqRecord::new(format!("r{i}"), s))
+            .collect();
+        let config = MapperConfig { k: 11, w: 8, trials: 6, ell: 400, seed: 3 };
+        let expected = run_distributed(
+            &subject_recs,
+            &read_recs,
+            &config,
+            p,
+            CostModel::zero(),
+            ExecMode::Sequential,
+        )
+        .mappings;
+        // Crash anywhere between 1 and p-1 ranks at random steps, plus a
+        // few corrupted sketch payloads; output must be untouched.
+        let steps = ["input load", "subject sketch", "query map"];
+        let n_crashes = 1 + (seed as usize) % (p - 1).max(1);
+        let plan = FaultPlan::random(seed, p, &steps, n_crashes, n_corrupt);
+        let opts = ResilienceOptions { plan: plan.clone(), ..Default::default() };
+        let outcome = run_distributed_resilient(
+            &subject_recs,
+            &read_recs,
+            &config,
+            p,
+            CostModel::zero(),
+            ExecMode::Sequential,
+            &opts,
+        )
+        .expect("a surviving rank remains, so the run must succeed");
+        prop_assert_eq!(&outcome.mappings, &expected, "plan: {}", plan);
+        let fs = outcome.report.fault_stats;
+        prop_assert_eq!(fs.crashes, plan.crashed_ranks());
+        if plan.crashed_ranks() > 0 {
+            prop_assert!(fs.retries >= 1, "crashes must force retries: {}", fs);
+            prop_assert!(fs.reassigned_blocks >= 1, "crashes must reassign blocks: {}", fs);
+        }
     }
 
     #[test]

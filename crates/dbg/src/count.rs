@@ -7,10 +7,7 @@ use jem_seq::CanonicalKmerIter;
 ///
 /// Ambiguous bases break k-mer runs (handled by the iterator); counts
 /// saturate at `u32::MAX`.
-pub fn count_canonical_kmers<'a>(
-    seqs: impl Iterator<Item = &'a [u8]>,
-    k: usize,
-) -> U64Map<u32> {
+pub fn count_canonical_kmers<'a>(seqs: impl Iterator<Item = &'a [u8]>, k: usize) -> U64Map<u32> {
     let mut counts: U64Map<u32> = U64Map::with_capacity(1 << 16);
     for seq in seqs {
         if let Ok(iter) = CanonicalKmerIter::new(seq, k) {
@@ -35,7 +32,11 @@ mod tests {
         let counts = count_canonical_kmers([&b"ACGTA"[..]].into_iter(), 3);
         let acg = Kmer::from_bytes(b"ACG").unwrap().canonical().code();
         let gta = Kmer::from_bytes(b"GTA").unwrap().canonical().code();
-        assert_eq!(counts.get(acg), Some(&2), "ACG and CGT share a canonical form");
+        assert_eq!(
+            counts.get(acg),
+            Some(&2),
+            "ACG and CGT share a canonical form"
+        );
         assert_eq!(counts.get(gta), Some(&1));
         assert_eq!(counts.len(), 2);
     }

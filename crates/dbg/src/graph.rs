@@ -52,7 +52,11 @@ impl DeBruijnGraph {
                 solid.insert(code, count);
             }
         }
-        DeBruijnGraph { k, mask: kmer_mask(k), solid }
+        DeBruijnGraph {
+            k,
+            mask: kmer_mask(k),
+            solid,
+        }
     }
 
     /// k-mer size.
@@ -146,18 +150,34 @@ impl DeBruijnGraph {
         let mut bwd = vec![revcomp_code(v, self.k)];
         self.extend(&mut bwd, visited);
         // bwd = rc(v) -> x -> y means the path is rc(y) -> rc(x) -> v.
-        let mut nodes: Vec<u64> =
-            bwd[1..].iter().rev().map(|&c| revcomp_code(c, self.k)).collect();
+        let mut nodes: Vec<u64> = bwd[1..]
+            .iter()
+            .rev()
+            .map(|&c| revcomp_code(c, self.k))
+            .collect();
         nodes.extend(fwd);
         let left_dead = self.predecessors(nodes[0]).is_empty();
-        let right_dead = self.successors(*nodes.last().expect("non-empty")).is_empty();
+        let right_dead = self
+            .successors(*nodes.last().expect("non-empty"))
+            .is_empty();
         // Canonical orientation for determinism.
-        let rc_nodes: Vec<u64> =
-            nodes.iter().rev().map(|&c| revcomp_code(c, self.k)).collect();
+        let rc_nodes: Vec<u64> = nodes
+            .iter()
+            .rev()
+            .map(|&c| revcomp_code(c, self.k))
+            .collect();
         if rc_nodes < nodes {
-            UnitigPath { nodes: rc_nodes, left_dead: right_dead, right_dead: left_dead }
+            UnitigPath {
+                nodes: rc_nodes,
+                left_dead: right_dead,
+                right_dead: left_dead,
+            }
         } else {
-            UnitigPath { nodes, left_dead, right_dead }
+            UnitigPath {
+                nodes,
+                left_dead,
+                right_dead,
+            }
         }
     }
 
@@ -263,7 +283,11 @@ mod tests {
         // Two sequences sharing a core create a branch at the junction.
         let g = graph_of(&[b"AACCGGTCATT", b"CACCGGTCGAA"], 5, 1);
         let paths = g.unitig_paths();
-        assert!(paths.len() >= 3, "branching graph must split, got {} paths", paths.len());
+        assert!(
+            paths.len() >= 3,
+            "branching graph must split, got {} paths",
+            paths.len()
+        );
         // Every node appears exactly once across paths.
         let total: usize = paths.iter().map(|p| p.nodes.len()).sum();
         assert_eq!(total, g.len());
@@ -309,7 +333,11 @@ mod tests {
         assert!(!g.contains_oriented(stub_code), "stub tip must be clipped");
         // The main path survives nearly whole (the input has one canonical
         // 7-mer collision, so allow the clip to shave a node at the repeat).
-        assert!(g.len() >= n_before - 2, "main path mostly intact: {} vs {n_before}", g.len());
+        assert!(
+            g.len() >= n_before - 2,
+            "main path mostly intact: {} vs {n_before}",
+            g.len()
+        );
     }
 
     #[test]

@@ -44,7 +44,12 @@ pub struct AssemblyParams {
 
 impl Default for AssemblyParams {
     fn default() -> Self {
-        AssemblyParams { k: 31, min_abundance: 3, min_contig_len: 500, tip_len: 93 }
+        AssemblyParams {
+            k: 31,
+            min_abundance: 3,
+            min_contig_len: 500,
+            tip_len: 93,
+        }
     }
 }
 
@@ -75,7 +80,9 @@ mod tests {
     fn rng_genome(n: usize, seed: u64) -> Vec<u8> {
         (0..n)
             .scan(seed, |s, _| {
-                *s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                *s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 Some(b"ACGT"[((*s >> 33) % 4) as usize])
             })
             .collect()
@@ -101,7 +108,12 @@ mod tests {
     fn perfect_reads_reassemble_the_genome() {
         let genome = rng_genome(20_000, 42);
         let reads = tiled_reads(&genome, 100, 20);
-        let params = AssemblyParams { k: 25, min_abundance: 1, min_contig_len: 200, tip_len: 0 };
+        let params = AssemblyParams {
+            k: 25,
+            min_abundance: 1,
+            min_contig_len: 200,
+            tip_len: 0,
+        };
         let contigs = assemble(&reads, &params);
         assert!(!contigs.is_empty());
         let total: usize = contigs.iter().map(|c| c.seq.len()).sum();
@@ -119,7 +131,12 @@ mod tests {
     fn contigs_are_genome_substrings() {
         let genome = rng_genome(10_000, 7);
         let reads = tiled_reads(&genome, 80, 15);
-        let params = AssemblyParams { k: 21, min_abundance: 1, min_contig_len: 100, tip_len: 0 };
+        let params = AssemblyParams {
+            k: 21,
+            min_abundance: 1,
+            min_contig_len: 100,
+            tip_len: 0,
+        };
         let text = String::from_utf8(genome.clone()).unwrap();
         let rc_text = String::from_utf8(revcomp_bytes(&genome)).unwrap();
         for c in assemble(&reads, &params) {
@@ -136,7 +153,7 @@ mod tests {
     fn abundance_threshold_removes_error_kmers() {
         let genome = rng_genome(5_000, 3);
         let mut reads = tiled_reads(&genome, 100, 10); // ~10x coverage
-        // Inject one singleton read full of errors (mutate every 10th base).
+                                                       // Inject one singleton read full of errors (mutate every 10th base).
         let mut bad = genome[1000..1100].to_vec();
         for i in (0..bad.len()).step_by(10) {
             bad[i] = match bad[i] {
@@ -147,13 +164,21 @@ mod tests {
             };
         }
         reads.push(bad);
-        let params = AssemblyParams { k: 21, min_abundance: 3, min_contig_len: 100, tip_len: 63 };
+        let params = AssemblyParams {
+            k: 21,
+            min_abundance: 3,
+            min_contig_len: 100,
+            tip_len: 63,
+        };
         let contigs = assemble(&reads, &params);
         let text = String::from_utf8(genome.clone()).unwrap();
         let rc_text = String::from_utf8(revcomp_bytes(&genome)).unwrap();
         for c in &contigs {
             let s = String::from_utf8(c.seq.clone()).unwrap();
-            assert!(text.contains(&s) || rc_text.contains(&s), "error k-mers leaked into contigs");
+            assert!(
+                text.contains(&s) || rc_text.contains(&s),
+                "error k-mers leaked into contigs"
+            );
         }
         assert!(!contigs.is_empty());
     }
@@ -172,9 +197,18 @@ mod tests {
         genome.extend_from_slice(&repeat);
         genome.extend_from_slice(&b[2000..]);
         let reads = tiled_reads(&genome, 100, 10);
-        let params = AssemblyParams { k: 25, min_abundance: 1, min_contig_len: 100, tip_len: 0 };
+        let params = AssemblyParams {
+            k: 25,
+            min_abundance: 1,
+            min_contig_len: 100,
+            tip_len: 0,
+        };
         let contigs = assemble(&reads, &params);
-        assert!(contigs.len() >= 3, "repeat must fragment assembly, got {} contigs", contigs.len());
+        assert!(
+            contigs.len() >= 3,
+            "repeat must fragment assembly, got {} contigs",
+            contigs.len()
+        );
     }
 
     #[test]

@@ -5,7 +5,9 @@ use jem_seq::Kmer;
 
 /// Spell the base sequence of a path of oriented k-mer codes.
 pub fn spell_path(path: &UnitigPath, k: usize) -> Vec<u8> {
-    let mut seq = Kmer::from_code(path.nodes[0], k).expect("valid code").to_bytes();
+    let mut seq = Kmer::from_code(path.nodes[0], k)
+        .expect("valid code")
+        .to_bytes();
     seq.reserve(path.nodes.len() - 1);
     for &code in &path.nodes[1..] {
         let last_base = (code & 3) as u8;
@@ -16,7 +18,11 @@ pub fn spell_path(path: &UnitigPath, k: usize) -> Vec<u8> {
 
 /// Extract all unitig sequences of the graph.
 pub fn extract_unitigs(graph: &DeBruijnGraph) -> Vec<Vec<u8>> {
-    graph.unitig_paths().iter().map(|p| spell_path(p, graph.k())).collect()
+    graph
+        .unitig_paths()
+        .iter()
+        .map(|p| spell_path(p, graph.k()))
+        .collect()
 }
 
 #[cfg(test)]

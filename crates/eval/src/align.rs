@@ -64,7 +64,11 @@ pub fn align_global(a: &[u8], b: &[u8]) -> AlignmentResult {
     }
     for i in 1..=n {
         for j in 1..=m {
-            let sub = if a[i - 1] == b[j - 1] { MATCH } else { MISMATCH };
+            let sub = if a[i - 1] == b[j - 1] {
+                MATCH
+            } else {
+                MISMATCH
+            };
             let diag = score[idx(i - 1, j - 1)] + sub;
             let up = score[idx(i - 1, j)] + GAP;
             let left = score[idx(i, j - 1)] + GAP;
@@ -96,7 +100,11 @@ pub fn align_fitting(query: &[u8], subject: &[u8]) -> AlignmentResult {
     // Row 0 stays 0 (free leading subject gap), trace Stop.
     for i in 1..=n {
         for j in 1..=m {
-            let sub = if query[i - 1] == subject[j - 1] { MATCH } else { MISMATCH };
+            let sub = if query[i - 1] == subject[j - 1] {
+                MATCH
+            } else {
+                MISMATCH
+            };
             let diag = score[idx(i - 1, j - 1)] + sub;
             let up = score[idx(i - 1, j)] + GAP;
             let left = score[idx(i, j - 1)] + GAP;
@@ -132,7 +140,11 @@ pub fn align_local(a: &[u8], b: &[u8]) -> AlignmentResult {
     let mut best = (0i32, 0usize, 0usize);
     for i in 1..=n {
         for j in 1..=m {
-            let sub = if a[i - 1] == b[j - 1] { MATCH } else { MISMATCH };
+            let sub = if a[i - 1] == b[j - 1] {
+                MATCH
+            } else {
+                MISMATCH
+            };
             let diag = score[idx(i - 1, j - 1)] + sub;
             let up = score[idx(i - 1, j)] + GAP;
             let left = score[idx(i, j - 1)] + GAP;
@@ -179,7 +191,11 @@ pub fn align_local(a: &[u8], b: &[u8]) -> AlignmentResult {
             Step::Stop => break,
         }
     }
-    AlignmentResult { score: best_score, matches, columns }
+    AlignmentResult {
+        score: best_score,
+        matches,
+        columns,
+    }
 }
 
 /// Banded global alignment: cells with `|i − j| > band` are not explored.
@@ -205,7 +221,11 @@ pub fn banded_global(a: &[u8], b: &[u8], band: usize) -> AlignmentResult {
         let lo = i.saturating_sub(band).max(1);
         let hi = (i + band).min(m);
         for j in lo..=hi {
-            let sub = if a[i - 1] == b[j - 1] { MATCH } else { MISMATCH };
+            let sub = if a[i - 1] == b[j - 1] {
+                MATCH
+            } else {
+                MISMATCH
+            };
             let diag = score[idx(i - 1, j - 1)].saturating_add(sub);
             let up = score[idx(i - 1, j)].saturating_add(GAP);
             let left = score[idx(i, j - 1)].saturating_add(GAP);
@@ -257,7 +277,11 @@ fn traceback(
             Step::Stop => break, // fitting alignment's free leading gap
         }
     }
-    AlignmentResult { score: score[idx(n, end_j)], matches, columns }
+    AlignmentResult {
+        score: score[idx(n, end_j)],
+        matches,
+        columns,
+    }
 }
 
 #[cfg(test)]
@@ -335,7 +359,11 @@ mod tests {
         }
         query.extend_from_slice(b"ACGGTCATTCAGGATACCAGTT");
         let r = align_local(&query, subject);
-        assert_eq!(r.identity(), 100.0, "local identity is over the aligned region only");
+        assert_eq!(
+            r.identity(),
+            100.0,
+            "local identity is over the aligned region only"
+        );
         assert!(r.columns >= 20);
         // Fitting alignment pays for the 200 unrelated bases.
         let f = align_fitting(&query, subject);

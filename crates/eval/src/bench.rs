@@ -44,11 +44,17 @@ impl Benchmark {
     ) -> Self {
         assert!(k >= 1, "intersection threshold must be >= 1");
         // Sort subjects by start for binary-search range pruning.
-        let mut sorted: Vec<(u64, u64, &str)> =
-            subjects.iter().map(|(id, (s, e))| (*s, *e, id.as_str())).collect();
+        let mut sorted: Vec<(u64, u64, &str)> = subjects
+            .iter()
+            .map(|(id, (s, e))| (*s, *e, id.as_str()))
+            .collect();
         sorted.sort_unstable();
         let starts: Vec<u64> = sorted.iter().map(|(s, _, _)| *s).collect();
-        let max_len = sorted.iter().map(|(s, e, _)| e.saturating_sub(*s)).max().unwrap_or(0);
+        let max_len = sorted
+            .iter()
+            .map(|(s, e, _)| e.saturating_sub(*s))
+            .max()
+            .unwrap_or(0);
 
         let mut truth: HashMap<String, HashSet<String>> = HashMap::new();
         let mut n_pairs = 0usize;
@@ -125,10 +131,10 @@ mod tests {
         // Case C: overlap < k (or none) → not a pair.
         let subjects = vec![q("c1", 0, 5_000), q("c2", 6_000, 12_000)];
         let queries = vec![
-            q("e1", 1_000, 2_000),  // A: inside c1
-            q("e2", 4_500, 6_500),  // B: 500 with c1, 500 with c2
-            q("e3", 5_001, 5_900),  // C: in the gap
-            q("e4", 5_990, 6_009),  // C: 9-base overlap with c2 < k=16
+            q("e1", 1_000, 2_000), // A: inside c1
+            q("e2", 4_500, 6_500), // B: 500 with c1, 500 with c2
+            q("e3", 5_001, 5_900), // C: in the gap
+            q("e4", 5_990, 6_009), // C: 9-base overlap with c2 < k=16
         ];
         let bench = Benchmark::from_coordinates(&queries, &subjects, 16);
         assert!(bench.contains("e1", "c1"));
@@ -146,14 +152,19 @@ mod tests {
         let subjects = vec![q("c", 100, 200)];
         let queries = vec![q("exact", 184, 300), q("short", 185, 300)];
         let bench = Benchmark::from_coordinates(&queries, &subjects, 16);
-        assert!(bench.contains("exact", "c"), "16-base overlap must qualify at k=16");
+        assert!(
+            bench.contains("exact", "c"),
+            "16-base overlap must qualify at k=16"
+        );
         assert!(!bench.contains("short", "c"), "15-base overlap must not");
     }
 
     #[test]
     fn many_subjects_prune_correctly() {
         // Contigs tiled every 100 bases; query overlapping exactly two.
-        let subjects: Vec<_> = (0..100u64).map(|i| q(&format!("c{i}"), i * 100, i * 100 + 90)).collect();
+        let subjects: Vec<_> = (0..100u64)
+            .map(|i| q(&format!("c{i}"), i * 100, i * 100 + 90))
+            .collect();
         let queries = vec![q("e", 250, 410)];
         let bench = Benchmark::from_coordinates(&queries, &subjects, 16);
         assert!(bench.contains("e", "c2")); // 250..290 = 40 bases
@@ -162,8 +173,9 @@ mod tests {
 
     #[test]
     fn c4_overlap_below_threshold() {
-        let subjects: Vec<_> =
-            (0..100u64).map(|i| q(&format!("c{i}"), i * 100, i * 100 + 90)).collect();
+        let subjects: Vec<_> = (0..100u64)
+            .map(|i| q(&format!("c{i}"), i * 100, i * 100 + 90))
+            .collect();
         let queries = vec![q("e", 250, 410)];
         let bench = Benchmark::from_coordinates(&queries, &subjects, 16);
         assert!(!bench.contains("e", "c4"), "10-base overlap < k");

@@ -39,9 +39,16 @@ impl IdentityHistogram {
     /// Histogram with bins `[edges[0], edges[1]), …, [edges.last(), 100]`.
     pub fn new(bin_edges: Vec<f64>) -> Self {
         assert!(!bin_edges.is_empty(), "need at least one bin edge");
-        assert!(bin_edges.windows(2).all(|w| w[0] < w[1]), "edges must increase");
+        assert!(
+            bin_edges.windows(2).all(|w| w[0] < w[1]),
+            "edges must increase"
+        );
         let n = bin_edges.len();
-        IdentityHistogram { bin_edges, counts: vec![0; n], below: 0 }
+        IdentityHistogram {
+            bin_edges,
+            counts: vec![0; n],
+            below: 0,
+        }
     }
 
     /// The paper's Fig. 9 binning: 5-point bins from 80 to 100.

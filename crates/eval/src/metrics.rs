@@ -45,10 +45,7 @@ impl MappingMetrics {
             }
         }
         // Mappable queries the tool never answered.
-        fn_ += bench
-            .queries()
-            .filter(|q| !answered.contains(*q))
-            .count();
+        fn_ += bench.queries().filter(|q| !answered.contains(*q)).count();
         MappingMetrics { tp, fp, fn_ }
     }
 
@@ -70,7 +67,10 @@ impl MappingMetrics {
                 fp += 1;
             }
         }
-        let fn_ = bench.pairs().filter(|(q, s)| !test_set.contains(&(*q, *s))).count();
+        let fn_ = bench
+            .pairs()
+            .filter(|(q, s)| !test_set.contains(&(*q, *s)))
+            .count();
         MappingMetrics { tp, fp, fn_ }
     }
 
@@ -130,7 +130,12 @@ mod tests {
     #[test]
     fn perfect_output() {
         let b = bench();
-        let test = vec![pair("e1", "c1"), pair("e2", "c1"), pair("e2", "c2"), pair("e3", "c3")];
+        let test = vec![
+            pair("e1", "c1"),
+            pair("e2", "c1"),
+            pair("e2", "c2"),
+            pair("e3", "c3"),
+        ];
         let m = MappingMetrics::classify(&test, &b);
         assert_eq!((m.tp, m.fp, m.fn_), (4, 0, 0));
         assert_eq!(m.precision(), 1.0);

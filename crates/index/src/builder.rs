@@ -6,9 +6,7 @@
 //! shared-memory and distributed drivers produce identical tables.
 
 use crate::table::{SketchTable, SubjectId};
-use jem_sketch::{
-    sketch_by_jem, sketch_by_scheme, HashFamily, JemParams, JemSketch, SketchScheme,
-};
+use jem_sketch::{sketch_by_jem, sketch_by_scheme, HashFamily, JemParams, JemSketch, SketchScheme};
 use rayon::prelude::*;
 
 /// Build a sketch table with an arbitrary per-subject sketcher.
@@ -45,7 +43,9 @@ pub fn build_table_parallel(
     params: JemParams,
     family: &HashFamily,
 ) -> SketchTable {
-    build_table_with(subjects, family.len(), |seq| sketch_by_jem(seq, params, family))
+    build_table_with(subjects, family.len(), |seq| {
+        sketch_by_jem(seq, params, family)
+    })
 }
 
 /// Build the sketch table under an alternative position scheme
@@ -82,7 +82,9 @@ mod tests {
     fn rng_seq(n: usize, seed: u64) -> Vec<u8> {
         (0..n)
             .scan(seed, |s, _| {
-                *s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                *s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 Some(b"ACGT"[((*s >> 33) % 4) as usize])
             })
             .collect()

@@ -110,7 +110,10 @@ pub struct NaiveHitCounter {
 impl NaiveHitCounter {
     /// Counter over `n` subjects.
     pub fn new(n_subjects: usize) -> Self {
-        NaiveHitCounter { counts: vec![0; n_subjects], current_query: NO_QUERY }
+        NaiveHitCounter {
+            counts: vec![0; n_subjects],
+            current_query: NO_QUERY,
+        }
     }
 }
 
@@ -174,8 +177,10 @@ mod tests {
 
     #[test]
     fn tie_breaks_to_smaller_subject() {
-        for counter in [&mut LazyHitCounter::new(8) as &mut dyn HitCounter,
-                        &mut NaiveHitCounter::new(8) as &mut dyn HitCounter] {
+        for counter in [
+            &mut LazyHitCounter::new(8) as &mut dyn HitCounter,
+            &mut NaiveHitCounter::new(8) as &mut dyn HitCounter,
+        ] {
             counter.record(5, 6);
             counter.record(5, 2);
             counter.record(5, 6);

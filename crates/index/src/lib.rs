@@ -25,5 +25,5 @@ pub mod u64map;
 
 pub use builder::{build_table_parallel, build_table_parallel_scheme, build_table_with};
 pub use hits::{HitCounter, LazyHitCounter, NaiveHitCounter};
-pub use table::{SketchTable, SubjectId};
+pub use table::{checksum_words, DecodeError, SketchTable, SubjectId};
 pub use u64map::U64Map;

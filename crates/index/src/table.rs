@@ -7,10 +7,95 @@
 
 use crate::u64map::U64Map;
 use jem_sketch::JemSketch;
+use std::fmt;
 
 /// Identifier of a subject (contig). `u32` caps subjects at ~4.3 billion,
 /// far above the paper's largest contig set (98K).
 pub type SubjectId = u32;
+
+/// Typed failure of decoding an encoded sketch-table stream.
+///
+/// Every way a malformed stream can violate the
+/// [`SketchTable::encode`]/[`SketchTable::encode_framed`] layout maps to a
+/// variant here — decoding never panics, no matter the input bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The stream ended before the structure its headers promised.
+    Truncated {
+        /// Words the layout required at the point of failure.
+        needed: usize,
+        /// Words actually present.
+        len: usize,
+    },
+    /// Words remained after the last bank was fully decoded.
+    TrailingGarbage {
+        /// Number of unconsumed trailing words.
+        extra: usize,
+    },
+    /// A subject id does not fit in [`SubjectId`].
+    SubjectIdOverflow {
+        /// The offending raw value.
+        value: u64,
+    },
+    /// A framed stream declares a different trial count than the target
+    /// table.
+    TrialMismatch {
+        /// Trials declared by the stream.
+        stream: usize,
+        /// Trials of the decoding table.
+        table: usize,
+    },
+    /// A framed stream's checksum does not match its payload.
+    ChecksumMismatch {
+        /// Checksum the frame header declared.
+        declared: u64,
+        /// Checksum computed over the received payload.
+        computed: u64,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { needed, len } => {
+                write!(f, "truncated stream: needed {needed} words, have {len}")
+            }
+            DecodeError::TrailingGarbage { extra } => {
+                write!(f, "trailing garbage: {extra} words after the last bank")
+            }
+            DecodeError::SubjectIdOverflow { value } => {
+                write!(f, "subject id {value} overflows u32")
+            }
+            DecodeError::TrialMismatch { stream, table } => {
+                write!(
+                    f,
+                    "stream encodes {stream} trials but the table has {table}"
+                )
+            }
+            DecodeError::ChecksumMismatch { declared, computed } => {
+                write!(
+                    f,
+                    "checksum mismatch: frame declares {declared:#018x}, payload hashes to {computed:#018x}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// FNV-1a over a word stream (little-endian bytes of each `u64`) — the
+/// integrity check of the framed transport encoding.
+pub fn checksum_words(words: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
 
 /// The sketch table: one bank per trial.
 #[derive(Clone, Debug, Default)]
@@ -21,7 +106,9 @@ pub struct SketchTable {
 impl SketchTable {
     /// Empty table with `t` banks.
     pub fn new(t: usize) -> Self {
-        SketchTable { banks: (0..t).map(|_| U64Map::new()).collect() }
+        SketchTable {
+            banks: (0..t).map(|_| U64Map::new()).collect(),
+        }
     }
 
     /// Number of trials `T`.
@@ -43,7 +130,11 @@ impl SketchTable {
 
     /// Insert every `(t, code)` entry of a subject's JEM sketch.
     pub fn insert_sketch(&mut self, sketch: &JemSketch, subject: SubjectId) {
-        assert_eq!(sketch.trials(), self.trials(), "sketch T must match table T");
+        assert_eq!(
+            sketch.trials(),
+            self.trials(),
+            "sketch T must match table T"
+        );
         for (t, codes) in sketch.per_trial.iter().enumerate() {
             for &code in codes {
                 self.insert(t, code, subject);
@@ -63,7 +154,11 @@ impl SketchTable {
 
     /// Total `(trial, code, subject)` association count.
     pub fn entry_count(&self) -> usize {
-        self.banks.iter().flat_map(|b| b.iter()).map(|(_, v)| v.len()).sum()
+        self.banks
+            .iter()
+            .flat_map(|b| b.iter())
+            .map(|(_, v)| v.len())
+            .sum()
     }
 
     /// Merge another table into this one (bank-wise union).
@@ -97,24 +192,64 @@ impl SketchTable {
     }
 
     /// Rebuild a table from [`SketchTable::encode`] output.
-    ///
-    /// # Panics
-    /// Panics on a malformed stream (truncation, subject overflow); encoded
-    /// streams only ever travel between this process's simulated ranks.
-    pub fn decode(stream: &[u64], trials: usize) -> SketchTable {
+    pub fn decode(stream: &[u64], trials: usize) -> Result<SketchTable, DecodeError> {
         let mut table = SketchTable::new(trials);
-        table.decode_into(stream);
-        table
+        table.decode_into(stream)?;
+        Ok(table)
+    }
+
+    /// Structural walk of an encoded stream without touching the table:
+    /// verifies framing, bounds and subject-id ranges so the merge pass can
+    /// run infallibly afterwards (making [`SketchTable::decode_into`]
+    /// atomic — an erroring call leaves the table untouched).
+    fn validate_stream(stream: &[u64], trials: usize) -> Result<(), DecodeError> {
+        let len = stream.len();
+        let mut i = 0usize;
+        for _ in 0..trials {
+            let n_keys = *stream
+                .get(i)
+                .ok_or(DecodeError::Truncated { needed: i + 1, len })?;
+            i += 1;
+            for _ in 0..n_keys {
+                // `code` at i, `n_subjects` at i + 1, then the subject list.
+                let n_subj = *stream
+                    .get(i + 1)
+                    .ok_or(DecodeError::Truncated { needed: i + 2, len })?;
+                i += 2;
+                let n_subj = usize::try_from(n_subj).map_err(|_| DecodeError::Truncated {
+                    needed: usize::MAX,
+                    len,
+                })?;
+                let end = i.checked_add(n_subj).ok_or(DecodeError::Truncated {
+                    needed: usize::MAX,
+                    len,
+                })?;
+                if end > len {
+                    return Err(DecodeError::Truncated { needed: end, len });
+                }
+                for &w in &stream[i..end] {
+                    if w > u64::from(SubjectId::MAX) {
+                        return Err(DecodeError::SubjectIdOverflow { value: w });
+                    }
+                }
+                i = end;
+            }
+        }
+        if i != len {
+            return Err(DecodeError::TrailingGarbage { extra: len - i });
+        }
+        Ok(())
     }
 
     /// Merge an encoded stream directly into this table — the hot path of
     /// the distributed driver's global-table build (S3): decoding `p`
     /// streams into one table avoids materializing `p` intermediates.
     ///
-    /// # Panics
-    /// Panics on a malformed stream.
-    pub fn decode_into(&mut self, stream: &[u64]) {
+    /// Atomic: on a malformed stream the table is left exactly as it was
+    /// (the stream is validated in a read-only pass before any insertion).
+    pub fn decode_into(&mut self, stream: &[u64]) -> Result<(), DecodeError> {
         let trials = self.trials();
+        Self::validate_stream(stream, trials)?;
         let mut i = 0;
         for t in 0..trials {
             let n_keys = stream[i] as usize;
@@ -125,7 +260,7 @@ impl SketchTable {
                 i += 2;
                 let list = self.banks[t].get_or_insert_with(code, Vec::new);
                 for _ in 0..n_subj {
-                    let s = SubjectId::try_from(stream[i]).expect("subject id overflow");
+                    let s = stream[i] as SubjectId;
                     i += 1;
                     // Streams are per-rank sorted; appends are the common
                     // case, collisions across ranks fall back to insertion.
@@ -141,7 +276,72 @@ impl SketchTable {
                 }
             }
         }
-        assert_eq!(i, stream.len(), "trailing garbage in encoded table");
+        Ok(())
+    }
+
+    /// Flatten to a framed, integrity-checked `u64` stream for transport
+    /// over an unreliable channel. Layout:
+    ///
+    /// ```text
+    /// [trials, payload_len, fnv1a64(payload), payload…]
+    /// ```
+    ///
+    /// where `payload` is [`SketchTable::encode`] output. Any single-word
+    /// change, truncation, or extension of the frame is detected by
+    /// [`SketchTable::decode_framed_into`].
+    pub fn encode_framed(&self) -> Vec<u64> {
+        let payload = self.encode();
+        let mut out = Vec::with_capacity(payload.len() + 3);
+        out.push(self.trials() as u64);
+        out.push(payload.len() as u64);
+        out.push(checksum_words(&payload));
+        out.extend(payload);
+        out
+    }
+
+    /// Verify and merge a framed stream ([`SketchTable::encode_framed`]).
+    ///
+    /// Atomic like [`SketchTable::decode_into`]: any error leaves the
+    /// table untouched.
+    pub fn decode_framed_into(&mut self, frame: &[u64]) -> Result<(), DecodeError> {
+        if frame.len() < 3 {
+            return Err(DecodeError::Truncated {
+                needed: 3,
+                len: frame.len(),
+            });
+        }
+        let trials = frame[0] as usize;
+        if trials != self.trials() {
+            return Err(DecodeError::TrialMismatch {
+                stream: trials,
+                table: self.trials(),
+            });
+        }
+        let payload_len = usize::try_from(frame[1]).map_err(|_| DecodeError::Truncated {
+            needed: usize::MAX,
+            len: frame.len(),
+        })?;
+        let body = frame.len() - 3;
+        if body < payload_len {
+            return Err(DecodeError::Truncated {
+                needed: payload_len + 3,
+                len: frame.len(),
+            });
+        }
+        if body > payload_len {
+            return Err(DecodeError::TrailingGarbage {
+                extra: body - payload_len,
+            });
+        }
+        let payload = &frame[3..];
+        let computed = checksum_words(payload);
+        if computed != frame[2] {
+            return Err(DecodeError::ChecksumMismatch {
+                declared: frame[2],
+                computed,
+            });
+        }
+        self.decode_into(payload)
     }
 
     /// Approximate in-memory size in bytes (paper §III-C space analysis:
@@ -159,7 +359,9 @@ mod tests {
     fn rng_seq(n: usize, seed: u64) -> Vec<u8> {
         (0..n)
             .scan(seed, |s, _| {
-                *s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                *s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 Some(b"ACGT"[((*s >> 33) % 4) as usize])
             })
             .collect()
@@ -212,7 +414,7 @@ mod tests {
             let seq = rng_seq(400, u64::from(subject) + 100);
             table.insert_sketch(&sketch_by_jem(&seq, params, &family), subject);
         }
-        let decoded = SketchTable::decode(&table.encode(), 5);
+        let decoded = SketchTable::decode(&table.encode(), 5).unwrap();
         assert_eq!(decoded.key_count(), table.key_count());
         assert_eq!(decoded.entry_count(), table.entry_count());
         // Spot-check every bank agrees.
@@ -255,15 +457,149 @@ mod tests {
         let t = SketchTable::new(4);
         let enc = t.encode();
         assert_eq!(enc, vec![0, 0, 0, 0]);
-        let back = SketchTable::decode(&enc, 4);
+        let back = SketchTable::decode(&enc, 4).unwrap();
         assert_eq!(back.entry_count(), 0);
     }
 
+    /// A populated table whose encoded stream exercises multi-subject lists.
+    fn sample_table() -> SketchTable {
+        let family = HashFamily::generate(3, 11);
+        let params = JemParams::new(6, 5, 80).unwrap();
+        let mut table = SketchTable::new(3);
+        for subject in 0..10u32 {
+            let seq = rng_seq(300, u64::from(subject) + 50);
+            table.insert_sketch(&sketch_by_jem(&seq, params, &family), subject);
+        }
+        table
+    }
+
     #[test]
-    #[should_panic(expected = "trailing garbage")]
     fn decode_rejects_trailing_garbage() {
         let mut enc = SketchTable::new(2).encode();
         enc.push(99);
-        SketchTable::decode(&enc, 2);
+        assert_eq!(
+            SketchTable::decode(&enc, 2).unwrap_err(),
+            DecodeError::TrailingGarbage { extra: 1 }
+        );
+    }
+
+    #[test]
+    fn decode_rejects_truncation_at_every_length() {
+        let enc = sample_table().encode();
+        for cut in 0..enc.len() {
+            let err = SketchTable::decode(&enc[..cut], 3).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    DecodeError::Truncated { .. } | DecodeError::TrailingGarbage { .. }
+                ),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_subject_overflow() {
+        // One bank, one key, one subject that exceeds u32.
+        let enc = vec![1, 42, 1, u64::from(u32::MAX) + 7];
+        assert_eq!(
+            SketchTable::decode(&enc, 1).unwrap_err(),
+            DecodeError::SubjectIdOverflow {
+                value: u64::from(u32::MAX) + 7
+            }
+        );
+    }
+
+    #[test]
+    fn failed_decode_leaves_table_untouched() {
+        let intact = sample_table();
+        let mut enc = intact.encode();
+        enc.push(7); // trailing garbage
+        let mut target = SketchTable::new(3);
+        target.insert(0, 1234, 9);
+        let before_keys = target.key_count();
+        let before_entries = target.entry_count();
+        assert!(target.decode_into(&enc).is_err());
+        assert_eq!(target.key_count(), before_keys, "decode must be atomic");
+        assert_eq!(target.entry_count(), before_entries);
+    }
+
+    #[test]
+    fn framed_roundtrip() {
+        let table = sample_table();
+        let frame = table.encode_framed();
+        let mut back = SketchTable::new(3);
+        back.decode_framed_into(&frame).unwrap();
+        assert_eq!(back.key_count(), table.key_count());
+        assert_eq!(back.entry_count(), table.entry_count());
+    }
+
+    #[test]
+    fn framed_decode_detects_any_single_word_damage() {
+        let table = sample_table();
+        let frame = table.encode_framed();
+        assert!(frame.len() > 10, "need a non-trivial frame");
+        for i in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[i] ^= 0x8000_0001;
+            let mut target = SketchTable::new(3);
+            assert!(
+                target.decode_framed_into(&bad).is_err(),
+                "flip of word {i} went undetected"
+            );
+            assert_eq!(
+                target.entry_count(),
+                0,
+                "flip of word {i} mutated the table"
+            );
+        }
+        // Truncation and extension are detected too.
+        let mut target = SketchTable::new(3);
+        assert!(target
+            .decode_framed_into(&frame[..frame.len() - 1])
+            .is_err());
+        let mut longer = frame.clone();
+        longer.push(1);
+        assert_eq!(
+            target.decode_framed_into(&longer).unwrap_err(),
+            DecodeError::TrailingGarbage { extra: 1 }
+        );
+    }
+
+    #[test]
+    fn framed_decode_rejects_trial_mismatch() {
+        let frame = SketchTable::new(4).encode_framed();
+        let mut target = SketchTable::new(6);
+        assert_eq!(
+            target.decode_framed_into(&frame).unwrap_err(),
+            DecodeError::TrialMismatch {
+                stream: 4,
+                table: 6
+            }
+        );
+    }
+
+    #[test]
+    fn decode_errors_display() {
+        let e = DecodeError::Truncated { needed: 10, len: 4 };
+        assert!(e.to_string().contains("truncated"));
+        assert!(DecodeError::TrailingGarbage { extra: 2 }
+            .to_string()
+            .contains("trailing"));
+        assert!(DecodeError::SubjectIdOverflow { value: 1 }
+            .to_string()
+            .contains("overflow"));
+        assert!(DecodeError::TrialMismatch {
+            stream: 1,
+            table: 2
+        }
+        .to_string()
+        .contains("trials"));
+        assert!(DecodeError::ChecksumMismatch {
+            declared: 1,
+            computed: 2
+        }
+        .to_string()
+        .contains("checksum"));
     }
 }

@@ -36,7 +36,11 @@ impl<V> U64Map<V> {
         let cap = (n.max(8) * 2).next_power_of_two();
         let mut slots = Vec::with_capacity(cap);
         slots.resize_with(cap, || None);
-        U64Map { slots, len: 0, mask: cap - 1 }
+        U64Map {
+            slots,
+            len: 0,
+            mask: cap - 1,
+        }
     }
 
     /// Number of entries.
@@ -100,7 +104,10 @@ impl<V> U64Map<V> {
                 }
             }
         }
-        self.slots[i].as_mut().map(|(_, v)| v).expect("slot just filled")
+        self.slots[i]
+            .as_mut()
+            .map(|(_, v)| v)
+            .expect("slot just filled")
     }
 
     /// Insert, returning the previous value if the key was present.
@@ -129,7 +136,9 @@ impl<V> U64Map<V> {
 
     /// Iterate over `(key, &value)` in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
-        self.slots.iter().filter_map(|s| s.as_ref().map(|(k, v)| (*k, v)))
+        self.slots
+            .iter()
+            .filter_map(|s| s.as_ref().map(|(k, v)| (*k, v)))
     }
 
     /// Consume into `(key, value)` pairs in unspecified order.

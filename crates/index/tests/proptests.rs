@@ -55,7 +55,7 @@ proptest! {
         for (t, code, subject) in &entries {
             table.insert(*t, *code, *subject);
         }
-        let decoded = SketchTable::decode(&table.encode(), 4);
+        let decoded = SketchTable::decode(&table.encode(), 4).unwrap();
         prop_assert_eq!(decoded.key_count(), table.key_count());
         prop_assert_eq!(decoded.entry_count(), table.entry_count());
         for (t, code, _) in &entries {
@@ -134,11 +134,11 @@ proptest! {
             .collect();
         let mut fast = SketchTable::new(2);
         for t in &tables {
-            fast.decode_into(&t.encode());
+            fast.decode_into(&t.encode()).unwrap();
         }
         let mut slow = SketchTable::new(2);
         for t in &tables {
-            slow.merge_from(&SketchTable::decode(&t.encode(), 2));
+            slow.merge_from(&SketchTable::decode(&t.encode(), 2).unwrap());
         }
         prop_assert_eq!(fast.entry_count(), slow.entry_count());
         for entries in &parts {

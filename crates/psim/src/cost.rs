@@ -18,17 +18,26 @@ impl CostModel {
     /// 10 Gbps Ethernet-class network — the paper's testbed interconnect.
     /// `τ = 50 µs`, effective bandwidth 1.25 GB/s.
     pub fn ethernet_10g() -> Self {
-        CostModel { latency_s: 50e-6, sec_per_byte: 1.0 / 1.25e9 }
+        CostModel {
+            latency_s: 50e-6,
+            sec_per_byte: 1.0 / 1.25e9,
+        }
     }
 
     /// HPC-interconnect-class network (InfiniBand-like): `τ = 2 µs`, 12 GB/s.
     pub fn infiniband() -> Self {
-        CostModel { latency_s: 2e-6, sec_per_byte: 1.0 / 12e9 }
+        CostModel {
+            latency_s: 2e-6,
+            sec_per_byte: 1.0 / 12e9,
+        }
     }
 
     /// A free network: collectives cost nothing (useful to isolate compute).
     pub fn zero() -> Self {
-        CostModel { latency_s: 0.0, sec_per_byte: 0.0 }
+        CostModel {
+            latency_s: 0.0,
+            sec_per_byte: 0.0,
+        }
     }
 
     /// Cost of a collective moving `bytes` total payload among `p` ranks.
@@ -74,7 +83,10 @@ mod tests {
 
     #[test]
     fn latency_term_is_logarithmic() {
-        let m = CostModel { latency_s: 1.0, sec_per_byte: 0.0 };
+        let m = CostModel {
+            latency_s: 1.0,
+            sec_per_byte: 0.0,
+        };
         assert_eq!(m.collective_cost(2, 0), 1.0);
         assert_eq!(m.collective_cost(4, 0), 2.0);
         assert_eq!(m.collective_cost(64, 0), 6.0);
@@ -84,7 +96,10 @@ mod tests {
 
     #[test]
     fn bandwidth_term_matches_definition() {
-        let m = CostModel { latency_s: 0.0, sec_per_byte: 2e-9 };
+        let m = CostModel {
+            latency_s: 0.0,
+            sec_per_byte: 2e-9,
+        };
         let c = m.collective_cost(2, 500_000_000);
         assert!((c - 1.0).abs() < 1e-9);
     }

@@ -1,0 +1,441 @@
+//! Deterministic fault injection for the BSP world.
+//!
+//! A [`FaultPlan`] schedules faults at `(superstep name, rank)` coordinates.
+//! Three fault kinds model the failure modes a real MPI mapper meets:
+//!
+//! * **Crash** — the rank dies at the step and stays dead for the rest of
+//!   the run (fail-stop model).
+//! * **Corrupt** — the rank finishes its work, but the payload it delivers
+//!   is garbled in transit (bit flips, truncation, trailing junk).
+//! * **Straggle** — the rank finishes, but `factor`× slower than measured;
+//!   the inflated time is charged to the run report, degrading the
+//!   simulated makespan.
+//!
+//! Faults never panic the host: a faulty superstep reports per-rank
+//! [`RankOutcome`] values and the driver decides how to recover.
+//!
+//! Plans are plain data — cloneable, comparable, buildable by hand
+//! ([`FaultPlan::with_crash`] etc.), parseable from a CLI spec string
+//! ([`FaultPlan::parse`]), or drawn deterministically from a seed
+//! ([`FaultPlan::random`]) for property tests.
+
+use std::fmt;
+
+/// What a fault does to the afflicted rank at its trigger step.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultKind {
+    /// Fail-stop: the rank produces nothing and never runs again.
+    Crash,
+    /// The rank's payload for this step is delivered corrupted.
+    Corrupt,
+    /// The rank's measured compute time is multiplied by `factor` (> 1 for
+    /// a slowdown; values ≤ 1 are accepted but pointless).
+    Straggle {
+        /// Slowdown multiplier applied to the measured compute seconds.
+        factor: f64,
+    },
+}
+
+/// One scheduled fault: `kind` strikes `rank` at the superstep named `step`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Fault {
+    /// Name of the superstep at which the fault triggers.
+    pub step: String,
+    /// Rank the fault strikes.
+    pub rank: usize,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of faults for one run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+    corruption_seed: u64,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, every run is identical to the plain
+    /// drivers.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Schedule a crash of `rank` at superstep `step`.
+    pub fn with_crash(mut self, step: &str, rank: usize) -> Self {
+        self.faults.push(Fault {
+            step: step.to_string(),
+            rank,
+            kind: FaultKind::Crash,
+        });
+        self
+    }
+
+    /// Schedule a corrupted payload from `rank` at superstep `step`.
+    pub fn with_corrupt(mut self, step: &str, rank: usize) -> Self {
+        self.faults.push(Fault {
+            step: step.to_string(),
+            rank,
+            kind: FaultKind::Corrupt,
+        });
+        self
+    }
+
+    /// Schedule `rank` to run `factor`× slower at superstep `step`.
+    pub fn with_straggle(mut self, step: &str, rank: usize, factor: f64) -> Self {
+        self.faults.push(Fault {
+            step: step.to_string(),
+            rank,
+            kind: FaultKind::Straggle { factor },
+        });
+        self
+    }
+
+    /// Set the seed that parameterizes payload corruption (which word is
+    /// garbled, and how). Distinct seeds corrupt distinct positions, so
+    /// tests can sweep corruption patterns deterministically.
+    pub fn with_corruption_seed(mut self, seed: u64) -> Self {
+        self.corruption_seed = seed;
+        self
+    }
+
+    /// The corruption seed (see [`FaultPlan::with_corruption_seed`]).
+    pub fn corruption_seed(&self) -> u64 {
+        self.corruption_seed
+    }
+
+    /// All scheduled faults, in insertion order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Is the plan fault-free?
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The fault scheduled for `(step, rank)`, if any (first match wins).
+    pub fn fault_for(&self, step: &str, rank: usize) -> Option<FaultKind> {
+        self.faults
+            .iter()
+            .find(|f| f.rank == rank && f.step == step)
+            .map(|f| f.kind)
+    }
+
+    /// Number of distinct ranks the plan ever crashes.
+    pub fn crashed_ranks(&self) -> usize {
+        let mut ranks: Vec<usize> = self
+            .faults
+            .iter()
+            .filter(|f| f.kind == FaultKind::Crash)
+            .map(|f| f.rank)
+            .collect();
+        ranks.sort_unstable();
+        ranks.dedup();
+        ranks.len()
+    }
+
+    /// Draw a deterministic random plan from `seed`: `n_crashes` distinct
+    /// ranks crash and `n_corrupt` payloads are garbled, each at a step
+    /// drawn uniformly from `steps`. `n_crashes` is clamped to `p - 1` so
+    /// at least one rank always survives (the recovery precondition).
+    ///
+    /// # Panics
+    /// Panics if `p == 0` or `steps` is empty while faults are requested.
+    pub fn random(seed: u64, p: usize, steps: &[&str], n_crashes: usize, n_corrupt: usize) -> Self {
+        assert!(p >= 1, "need at least one rank");
+        assert!(
+            !steps.is_empty() || (n_crashes == 0 && n_corrupt == 0),
+            "need at least one step to place faults at"
+        );
+        let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+        let mut next = move || {
+            // splitmix64 — deterministic, dependency-free.
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut plan = FaultPlan::none().with_corruption_seed(seed);
+        // Crash distinct ranks, keeping one survivor.
+        let n_crashes = n_crashes.min(p.saturating_sub(1));
+        let mut victims: Vec<usize> = (0..p).collect();
+        for _ in 0..n_crashes {
+            let i = (next() % victims.len() as u64) as usize;
+            let rank = victims.swap_remove(i);
+            let step = steps[(next() % steps.len() as u64) as usize];
+            plan = plan.with_crash(step, rank);
+        }
+        for _ in 0..n_corrupt {
+            let rank = (next() % p as u64) as usize;
+            let step = steps[(next() % steps.len() as u64) as usize];
+            plan = plan.with_corrupt(step, rank);
+        }
+        plan
+    }
+
+    /// Parse a comma-separated CLI spec. Entry grammar:
+    ///
+    /// ```text
+    /// crash@RANK:STEP
+    /// corrupt@RANK:STEP
+    /// straggle@RANK:STEP*FACTOR
+    /// ```
+    ///
+    /// e.g. `crash@1:subject sketch,straggle@3:query map*4`.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::none();
+        for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+            let (kind, rest) = entry
+                .split_once('@')
+                .ok_or_else(|| format!("fault entry {entry:?}: expected KIND@RANK:STEP"))?;
+            let (rank, step) = rest
+                .split_once(':')
+                .ok_or_else(|| format!("fault entry {entry:?}: expected KIND@RANK:STEP"))?;
+            let rank: usize = rank
+                .trim()
+                .parse()
+                .map_err(|_| format!("fault entry {entry:?}: bad rank {rank:?}"))?;
+            match kind.trim() {
+                "crash" => plan = plan.with_crash(step.trim(), rank),
+                "corrupt" => plan = plan.with_corrupt(step.trim(), rank),
+                "straggle" => {
+                    let (step, factor) = step
+                        .rsplit_once('*')
+                        .ok_or_else(|| format!("fault entry {entry:?}: straggle needs *FACTOR"))?;
+                    let factor: f64 = factor
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("fault entry {entry:?}: bad factor {factor:?}"))?;
+                    if !(factor.is_finite() && factor > 0.0) {
+                        return Err(format!("fault entry {entry:?}: factor must be positive"));
+                    }
+                    plan = plan.with_straggle(step.trim(), rank, factor);
+                }
+                other => {
+                    return Err(format!(
+                        "fault entry {entry:?}: unknown kind {other:?} (crash|corrupt|straggle)"
+                    ))
+                }
+            }
+        }
+        Ok(plan)
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.faults.is_empty() {
+            return write!(f, "(no faults)");
+        }
+        for (i, fault) in self.faults.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            match fault.kind {
+                FaultKind::Crash => write!(f, "crash@{}:{}", fault.rank, fault.step)?,
+                FaultKind::Corrupt => write!(f, "corrupt@{}:{}", fault.rank, fault.step)?,
+                FaultKind::Straggle { factor } => {
+                    write!(f, "straggle@{}:{}*{}", fault.rank, fault.step, factor)?
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-rank result of a faulty superstep (see `World::superstep_faulty`).
+#[derive(Clone, Debug, PartialEq)]
+pub enum RankOutcome<T> {
+    /// The rank completed and its payload arrived intact.
+    Ok(T),
+    /// The rank completed, but its payload must be treated as garbled in
+    /// transit — the value carried here is the *pristine* output; the
+    /// driver garbles it at the delivery boundary (see [`corrupt_u64s`])
+    /// so detection logic is exercised on realistic wire damage.
+    Corrupt(T),
+    /// The rank crashed (now or at an earlier step) and produced nothing.
+    Failed,
+}
+
+impl<T> RankOutcome<T> {
+    /// The payload of an `Ok` outcome.
+    pub fn ok(self) -> Option<T> {
+        match self {
+            RankOutcome::Ok(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Did the rank complete the step (intact or corrupted payload)?
+    pub fn completed(&self) -> bool {
+        !matches!(self, RankOutcome::Failed)
+    }
+}
+
+/// Deterministically garble a `u64` stream in place, parameterized by
+/// `seed`. One of three damage modes is applied — flip bits of one word,
+/// truncate the tail, or append junk — and the stream is guaranteed to
+/// differ from the original afterwards (an empty stream grows a junk word).
+pub fn corrupt_u64s(stream: &mut Vec<u64>, seed: u64) {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    if stream.is_empty() {
+        stream.push(z | 1);
+        return;
+    }
+    match z % 3 {
+        0 => {
+            // Bit damage: XOR with a never-zero mask.
+            let i = (z >> 2) as usize % stream.len();
+            stream[i] ^= (z >> 16) | 1;
+        }
+        1 => {
+            // Truncation: drop at least one trailing word.
+            let keep = (z >> 2) as usize % stream.len();
+            stream.truncate(keep);
+        }
+        _ => {
+            // Trailing junk.
+            stream.push(z | 1);
+        }
+    }
+}
+
+/// Fault and recovery counters of one run, carried on the run report.
+///
+/// The first three are incremented by the world as faults fire; the last
+/// three are filled in by a recovering driver as it works around them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Ranks that crashed during the run.
+    pub crashes: usize,
+    /// Payloads delivered corrupted.
+    pub corrupt_payloads: usize,
+    /// Superstep executions slowed by a straggle fault.
+    pub straggles: usize,
+    /// Retry supersteps the driver ran to replay lost work.
+    pub retries: usize,
+    /// Work blocks reassigned from a failed rank to a survivor.
+    pub reassigned_blocks: usize,
+    /// Corrupt payloads detected and re-requested from their owner.
+    pub re_requests: usize,
+}
+
+impl FaultStats {
+    /// Did anything at all go wrong (or get recovered) during the run?
+    pub fn any(&self) -> bool {
+        *self != FaultStats::default()
+    }
+}
+
+impl fmt::Display for FaultStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "crashes={} corrupt={} straggles={} retries={} reassigned={} re_requests={}",
+            self.crashes,
+            self.corrupt_payloads,
+            self.straggles,
+            self.retries,
+            self.reassigned_blocks,
+            self.re_requests
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_lookup() {
+        let plan = FaultPlan::none()
+            .with_crash("sketch", 1)
+            .with_corrupt("sketch", 2)
+            .with_straggle("map", 0, 4.0);
+        assert_eq!(plan.fault_for("sketch", 1), Some(FaultKind::Crash));
+        assert_eq!(plan.fault_for("sketch", 2), Some(FaultKind::Corrupt));
+        assert_eq!(
+            plan.fault_for("map", 0),
+            Some(FaultKind::Straggle { factor: 4.0 })
+        );
+        assert_eq!(plan.fault_for("sketch", 0), None);
+        assert_eq!(plan.fault_for("load", 1), None);
+        assert_eq!(plan.crashed_ranks(), 1);
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let spec = "crash@1:subject sketch,corrupt@0:subject sketch,straggle@3:query map*2.5";
+        let plan = FaultPlan::parse(spec).unwrap();
+        assert_eq!(plan.fault_for("subject sketch", 1), Some(FaultKind::Crash));
+        assert_eq!(
+            plan.fault_for("subject sketch", 0),
+            Some(FaultKind::Corrupt)
+        );
+        assert_eq!(
+            plan.fault_for("query map", 3),
+            Some(FaultKind::Straggle { factor: 2.5 })
+        );
+        // Display emits the same spec grammar.
+        assert_eq!(FaultPlan::parse(&plan.to_string()).unwrap(), plan);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(FaultPlan::parse("crash@x:step").is_err());
+        assert!(FaultPlan::parse("crash:1@step").is_err());
+        assert!(FaultPlan::parse("explode@1:step").is_err());
+        assert!(FaultPlan::parse("straggle@1:step").is_err());
+        assert!(FaultPlan::parse("straggle@1:step*-2").is_err());
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(FaultPlan::parse(" , ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn random_plan_is_deterministic_and_bounded() {
+        let steps = ["a", "b", "c"];
+        let p1 = FaultPlan::random(7, 8, &steps, 3, 2);
+        let p2 = FaultPlan::random(7, 8, &steps, 3, 2);
+        assert_eq!(p1, p2, "same seed must give the same plan");
+        assert_eq!(p1.crashed_ranks(), 3);
+        let greedy = FaultPlan::random(7, 4, &steps, 100, 0);
+        assert_eq!(greedy.crashed_ranks(), 3, "at least one rank must survive");
+        assert_ne!(
+            FaultPlan::random(8, 8, &steps, 3, 2),
+            p1,
+            "seed must matter"
+        );
+    }
+
+    #[test]
+    fn corruption_always_changes_the_stream() {
+        for seed in 0..200u64 {
+            let original: Vec<u64> = (0..(seed % 17)).collect();
+            let mut damaged = original.clone();
+            corrupt_u64s(&mut damaged, seed);
+            assert_ne!(damaged, original, "seed {seed}");
+            // Deterministic damage.
+            let mut again = original.clone();
+            corrupt_u64s(&mut again, seed);
+            assert_eq!(again, damaged);
+        }
+    }
+
+    #[test]
+    fn fault_stats_any() {
+        assert!(!FaultStats::default().any());
+        let s = FaultStats {
+            retries: 1,
+            ..Default::default()
+        };
+        assert!(s.any());
+        assert!(s.to_string().contains("retries=1"));
+    }
+}

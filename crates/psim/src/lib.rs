@@ -24,13 +24,26 @@
 //! every instruction a rank executes is really moved/executed; only the
 //! notion of them happening concurrently is modeled.
 
+//!
+//! ## Fault injection
+//!
+//! A [`FaultPlan`] schedules deterministic faults — fail-stop crashes,
+//! corrupted payloads, stragglers — at `(superstep, rank)` coordinates.
+//! [`World::superstep_faulty`] surfaces them as [`RankOutcome`] values
+//! (never host panics) and charges straggler delays to the report, so a
+//! recovering driver can be tested against degraded machines while the
+//! [`RunReport`] shows the degraded makespan and the
+//! [`FaultStats`] recovery counters.
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cost;
+pub mod fault;
 pub mod report;
 pub mod world;
 
 pub use cost::CostModel;
+pub use fault::{corrupt_u64s, Fault, FaultKind, FaultPlan, FaultStats, RankOutcome};
 pub use report::{RunReport, StepKind, StepReport};
-pub use world::{ExecMode, World};
+pub use world::{block_range, ExecMode, World};

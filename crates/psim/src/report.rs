@@ -1,5 +1,7 @@
 //! Per-step timing reports and the simulated-makespan computation.
 
+use crate::fault::FaultStats;
+
 /// Whether a step was rank-local compute or a collective.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StepKind {
@@ -47,6 +49,11 @@ pub struct RunReport {
     pub steps: Vec<StepReport>,
     /// Number of ranks the run used.
     pub ranks: usize,
+    /// Fault and recovery counters (all zero for a fault-free run). The
+    /// world fills the fault side (crashes/corruption/straggles); a
+    /// recovering driver fills the recovery side (retries/reassignments/
+    /// re-requests).
+    pub fault_stats: FaultStats,
 }
 
 impl RunReport {
@@ -67,7 +74,11 @@ impl RunReport {
 
     /// Total modeled communication seconds.
     pub fn comm_secs(&self) -> f64 {
-        self.steps.iter().filter(|s| s.kind == StepKind::Communication).map(|s| s.comm_secs).sum()
+        self.steps
+            .iter()
+            .filter(|s| s.kind == StepKind::Communication)
+            .map(|s| s.comm_secs)
+            .sum()
     }
 
     /// Fraction of the makespan spent communicating, in `[0, 1]`.
@@ -86,9 +97,14 @@ impl RunReport {
     }
 
     /// Critical seconds of the step with the given name (0 if absent;
-    /// summed over repeated names).
+    /// summed over repeated names). Folds from +0.0 rather than `Sum`'s
+    /// -0.0 identity so an absent step never prints as "-0.000000".
     pub fn step_secs(&self, name: &str) -> f64 {
-        self.steps.iter().filter(|s| s.name == name).map(StepReport::critical_secs).sum()
+        self.steps
+            .iter()
+            .filter(|s| s.name == name)
+            .map(StepReport::critical_secs)
+            .fold(0.0, |a, b| a + b)
     }
 }
 
@@ -119,8 +135,13 @@ mod tests {
     #[test]
     fn makespan_is_critical_path() {
         let r = RunReport {
-            steps: vec![compute("a", &[1.0, 3.0, 2.0]), comm("x", 0.5, 100), compute("b", &[2.0, 1.0, 1.0])],
+            steps: vec![
+                compute("a", &[1.0, 3.0, 2.0]),
+                comm("x", 0.5, 100),
+                compute("b", &[2.0, 1.0, 1.0]),
+            ],
             ranks: 3,
+            ..Default::default()
         };
         assert!((r.makespan_secs() - 5.5).abs() < 1e-12);
         assert!((r.compute_secs() - 5.0).abs() < 1e-12);
@@ -132,8 +153,13 @@ mod tests {
     #[test]
     fn step_lookup_sums_repeats() {
         let r = RunReport {
-            steps: vec![compute("map", &[1.0]), compute("map", &[2.0]), comm("gather", 0.25, 8)],
+            steps: vec![
+                compute("map", &[1.0]),
+                compute("map", &[2.0]),
+                comm("gather", 0.25, 8),
+            ],
             ranks: 1,
+            ..Default::default()
         };
         assert!((r.step_secs("map") - 3.0).abs() < 1e-12);
         assert!((r.step_secs("gather") - 0.25).abs() < 1e-12);

@@ -1,9 +1,25 @@
 //! The BSP world: supersteps, collectives, and timing capture.
 
 use crate::cost::CostModel;
+use crate::fault::{FaultKind, FaultPlan, FaultStats, RankOutcome};
 use crate::report::{RunReport, StepKind, StepReport};
 use parking_lot::Mutex;
 use std::time::Instant;
+
+/// Partition `n` items into `p` contiguous blocks; returns the half-open
+/// item range of block `rank` (the block distribution of step S1). Blocks
+/// cover `0..n` exactly and differ in size by at most one item.
+///
+/// This is the one definition of the block formula — [`World::block_range`]
+/// and the distributed drivers all delegate here.
+pub fn block_range(p: usize, n: usize, rank: usize) -> std::ops::Range<usize> {
+    debug_assert!(p >= 1 && rank < p);
+    let base = n / p;
+    let extra = n % p;
+    let start = rank * base + rank.min(extra);
+    let len = base + usize::from(rank < extra);
+    start..(start + len).min(n)
+}
 
 /// How supersteps execute on the host.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -43,6 +59,9 @@ pub struct World {
     cost: CostModel,
     mode: ExecMode,
     steps: Vec<StepReport>,
+    faults: FaultPlan,
+    alive: Vec<bool>,
+    stats: FaultStats,
 }
 
 impl World {
@@ -52,7 +71,15 @@ impl World {
     /// Panics if `p == 0`.
     pub fn new(p: usize, cost: CostModel) -> Self {
         assert!(p >= 1, "world needs at least one rank");
-        World { p, cost, mode: ExecMode::Sequential, steps: Vec::new() }
+        World {
+            p,
+            cost,
+            mode: ExecMode::Sequential,
+            steps: Vec::new(),
+            faults: FaultPlan::none(),
+            alive: vec![true; p],
+            stats: FaultStats::default(),
+        }
     }
 
     /// Select the execution mode (see [`ExecMode`]).
@@ -61,9 +88,38 @@ impl World {
         self
     }
 
+    /// Install a fault plan. Faults fire only in [`World::superstep_faulty`]
+    /// steps; the plain collectives and [`World::superstep`] are the
+    /// fault-oblivious legacy path and ignore the plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// The installed fault plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
     /// Number of ranks `p`.
     pub fn ranks(&self) -> usize {
         self.p
+    }
+
+    /// Is `rank` still alive (i.e. has it not crashed)?
+    pub fn is_alive(&self, rank: usize) -> bool {
+        self.alive[rank]
+    }
+
+    /// Ranks still alive, ascending.
+    pub fn alive_ranks(&self) -> Vec<usize> {
+        (0..self.p).filter(|&r| self.alive[r]).collect()
+    }
+
+    /// Fault counters accumulated so far (also carried on the final
+    /// [`RunReport`]).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.stats
     }
 
     /// The communication cost model in effect.
@@ -73,22 +129,14 @@ impl World {
 
     /// Partition `n` items across ranks in contiguous blocks; returns the
     /// half-open item range of `rank` (block distribution of step S1).
+    /// Delegates to the free [`block_range`] function.
     pub fn block_range(&self, n: usize, rank: usize) -> std::ops::Range<usize> {
-        debug_assert!(rank < self.p);
-        let base = n / self.p;
-        let extra = n % self.p;
-        let start = rank * base + rank.min(extra);
-        let len = base + usize::from(rank < extra);
-        start..(start + len).min(n)
+        block_range(self.p, n, rank)
     }
 
     /// Run one superstep: rank `r` evaluates `f(r)`; per-rank compute time
     /// is recorded. Returns the rank-ordered outputs.
-    pub fn superstep<T: Send>(
-        &mut self,
-        name: &str,
-        f: impl Fn(usize) -> T + Sync,
-    ) -> Vec<T> {
+    pub fn superstep<T: Send>(&mut self, name: &str, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
         let (outputs, per_rank) = match self.mode {
             ExecMode::Sequential => {
                 let mut outs = Vec::with_capacity(self.p);
@@ -133,6 +181,134 @@ impl World {
             bytes: 0,
         });
         outputs
+    }
+
+    /// Run one superstep under the installed fault plan: rank `r` evaluates
+    /// `f(r)` unless it is dead or crashes, and faults surface as values —
+    /// never as host panics.
+    ///
+    /// Semantics per rank:
+    ///
+    /// * already dead (crashed earlier) → [`RankOutcome::Failed`], no time
+    ///   charged;
+    /// * `Crash` scheduled here → the rank dies *at step start* (fail-stop):
+    ///   `f` is not run, no time is charged, the rank stays dead for the
+    ///   rest of the run, outcome `Failed`;
+    /// * `Straggle { factor }` → `f` runs, its measured time × `factor` is
+    ///   charged (the degraded makespan shows up in the report), outcome
+    ///   `Ok`;
+    /// * `Corrupt` → `f` runs and is charged normally, outcome
+    ///   [`RankOutcome::Corrupt`] carrying the pristine value — the caller
+    ///   garbles it at the delivery boundary (see
+    ///   [`crate::fault::corrupt_u64s`]);
+    /// * no fault → outcome `Ok`.
+    pub fn superstep_faulty<T: Send>(
+        &mut self,
+        name: &str,
+        f: impl Fn(usize) -> T + Sync,
+    ) -> Vec<RankOutcome<T>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Fate {
+            Dead,
+            Crash,
+            Run { corrupt: bool, factor: f64 },
+        }
+        let fates: Vec<Fate> = (0..self.p)
+            .map(|rank| {
+                if !self.alive[rank] {
+                    Fate::Dead
+                } else {
+                    match self.faults.fault_for(name, rank) {
+                        Some(FaultKind::Crash) => Fate::Crash,
+                        Some(FaultKind::Corrupt) => Fate::Run {
+                            corrupt: true,
+                            factor: 1.0,
+                        },
+                        Some(FaultKind::Straggle { factor }) => Fate::Run {
+                            corrupt: false,
+                            factor,
+                        },
+                        None => Fate::Run {
+                            corrupt: false,
+                            factor: 1.0,
+                        },
+                    }
+                }
+            })
+            .collect();
+        for (rank, fate) in fates.iter().enumerate() {
+            if *fate == Fate::Crash {
+                self.alive[rank] = false;
+                self.stats.crashes += 1;
+            }
+        }
+
+        // Run `f` for every rank that survives the step; `None` elsewhere.
+        let raw: Vec<Option<(T, f64)>> = match self.mode {
+            ExecMode::Sequential => fates
+                .iter()
+                .enumerate()
+                .map(|(rank, fate)| match fate {
+                    Fate::Run { .. } => {
+                        let t0 = Instant::now();
+                        let out = f(rank);
+                        Some((out, t0.elapsed().as_secs_f64()))
+                    }
+                    _ => None,
+                })
+                .collect(),
+            ExecMode::Threaded => {
+                let results: Mutex<Vec<Option<(T, f64)>>> =
+                    Mutex::new((0..self.p).map(|_| None).collect());
+                std::thread::scope(|scope| {
+                    for (rank, fate) in fates.iter().enumerate() {
+                        if !matches!(fate, Fate::Run { .. }) {
+                            continue;
+                        }
+                        let f = &f;
+                        let results = &results;
+                        scope.spawn(move || {
+                            let t0 = Instant::now();
+                            let out = f(rank);
+                            let dt = t0.elapsed().as_secs_f64();
+                            results.lock()[rank] = Some((out, dt));
+                        });
+                    }
+                });
+                results.into_inner()
+            }
+        };
+
+        let mut outcomes = Vec::with_capacity(self.p);
+        let mut per_rank = Vec::with_capacity(self.p);
+        for (fate, slot) in fates.into_iter().zip(raw) {
+            match (fate, slot) {
+                (Fate::Run { corrupt, factor }, Some((out, dt))) => {
+                    if factor != 1.0 {
+                        self.stats.straggles += 1;
+                    }
+                    per_rank.push(dt * factor);
+                    if corrupt {
+                        self.stats.corrupt_payloads += 1;
+                        outcomes.push(RankOutcome::Corrupt(out));
+                    } else {
+                        outcomes.push(RankOutcome::Ok(out));
+                    }
+                }
+                _ => {
+                    per_rank.push(0.0);
+                    outcomes.push(RankOutcome::Failed);
+                }
+            }
+        }
+        self.steps.push(StepReport {
+            name: name.to_string(),
+            kind: StepKind::Compute,
+            per_rank_secs: per_rank,
+            comm_secs: 0.0,
+            bytes: 0,
+        });
+        outcomes
     }
 
     /// Run a computation that every rank would perform *identically* (e.g.
@@ -204,7 +380,11 @@ impl World {
 
     /// Finish the run and return its timing report.
     pub fn into_report(self) -> RunReport {
-        RunReport { steps: self.steps, ranks: self.p }
+        RunReport {
+            steps: self.steps,
+            ranks: self.p,
+            fault_stats: self.stats,
+        }
     }
 }
 
@@ -306,9 +486,93 @@ mod tests {
     }
 
     #[test]
+    fn faulty_superstep_without_plan_equals_plain() {
+        let mut w = World::new(4, CostModel::zero());
+        let out = w.superstep_faulty("id", |r| r * 10);
+        assert_eq!(
+            out,
+            vec![
+                RankOutcome::Ok(0),
+                RankOutcome::Ok(10),
+                RankOutcome::Ok(20),
+                RankOutcome::Ok(30)
+            ]
+        );
+        assert_eq!(w.alive_ranks(), vec![0, 1, 2, 3]);
+        assert!(!w.fault_stats().any());
+    }
+
+    #[test]
+    fn crashed_rank_stays_dead() {
+        let plan = FaultPlan::none().with_crash("a", 1);
+        let mut w = World::new(3, CostModel::zero()).with_faults(plan);
+        let a = w.superstep_faulty("a", |r| r);
+        assert_eq!(
+            a,
+            vec![RankOutcome::Ok(0), RankOutcome::Failed, RankOutcome::Ok(2)]
+        );
+        assert!(!w.is_alive(1));
+        // Dead at every later step, even ones the plan never names.
+        let b = w.superstep_faulty("b", |r| r);
+        assert_eq!(b[1], RankOutcome::Failed);
+        assert_eq!(w.alive_ranks(), vec![0, 2]);
+        let report = w.into_report();
+        assert_eq!(report.fault_stats.crashes, 1);
+        // The dead rank is charged no time.
+        assert_eq!(report.steps[1].per_rank_secs[1], 0.0);
+    }
+
+    #[test]
+    fn corrupt_outcome_carries_value() {
+        let plan = FaultPlan::none().with_corrupt("enc", 0);
+        let mut w = World::new(2, CostModel::zero()).with_faults(plan);
+        let out = w.superstep_faulty("enc", |r| vec![r as u64]);
+        assert_eq!(out[0], RankOutcome::Corrupt(vec![0]));
+        assert_eq!(out[1], RankOutcome::Ok(vec![1]));
+        assert_eq!(w.fault_stats().corrupt_payloads, 1);
+    }
+
+    #[test]
+    fn straggler_time_is_inflated() {
+        let plan = FaultPlan::none().with_straggle("work", 1, 1000.0);
+        let mut w = World::new(2, CostModel::zero()).with_faults(plan);
+        w.superstep_faulty("work", |_| {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        });
+        let r = w.into_report();
+        assert_eq!(r.fault_stats.straggles, 1);
+        let times = &r.steps[0].per_rank_secs;
+        assert!(
+            times[1] > times[0] * 50.0,
+            "straggler must dominate: {times:?}"
+        );
+    }
+
+    #[test]
+    fn threaded_faulty_superstep_matches_sequential() {
+        let plan = FaultPlan::none().with_crash("sq", 2).with_corrupt("sq", 0);
+        let mut seq = World::new(4, CostModel::zero()).with_faults(plan.clone());
+        let a = seq.superstep_faulty("sq", |r| r * r);
+        let mut thr = World::new(4, CostModel::zero())
+            .with_mode(ExecMode::Threaded)
+            .with_faults(plan);
+        let b = thr.superstep_faulty("sq", |r| r * r);
+        assert_eq!(a, b);
+        assert_eq!(seq.alive_ranks(), thr.alive_ranks());
+    }
+
+    #[test]
     fn makespan_accumulates_steps() {
-        let mut w = World::new(2, CostModel { latency_s: 1.0, sec_per_byte: 0.0 });
-        w.superstep("work", |_| std::thread::sleep(std::time::Duration::from_millis(2)));
+        let mut w = World::new(
+            2,
+            CostModel {
+                latency_s: 1.0,
+                sec_per_byte: 0.0,
+            },
+        );
+        w.superstep("work", |_| {
+            std::thread::sleep(std::time::Duration::from_millis(2))
+        });
         w.charge_comm("sync", 0);
         let r = w.into_report();
         // One collective at p=2 costs τ·log2(2) = 1s; compute adds ≥2 ms.

@@ -1,6 +1,6 @@
 //! Property-based tests for the BSP process simulator.
 
-use jem_psim::{CostModel, ExecMode, World};
+use jem_psim::{block_range, corrupt_u64s, CostModel, ExecMode, FaultPlan, RankOutcome, World};
 use proptest::prelude::*;
 
 proptest! {
@@ -11,6 +11,9 @@ proptest! {
         let mut total = 0;
         for r in 0..p {
             let range = w.block_range(n, r);
+            // The method is a thin veneer over the one free-function
+            // definition of the block formula.
+            prop_assert_eq!(range.clone(), block_range(p, n, r));
             prop_assert_eq!(range.start, prev_end);
             prop_assert!(range.len() <= n / p + 1, "block too large");
             prop_assert!(n < p || range.len() >= n / p, "block too small");
@@ -19,6 +22,46 @@ proptest! {
         }
         prop_assert_eq!(total, n);
         prop_assert_eq!(prev_end, n);
+    }
+
+    #[test]
+    fn random_fault_plans_crash_exactly_the_planned_ranks(
+        seed in any::<u64>(),
+        p in 1usize..16,
+        n_crashes in 0usize..16,
+    ) {
+        let steps = ["s0", "s1", "s2"];
+        let plan = FaultPlan::random(seed, p, &steps, n_crashes, 1);
+        // At least one survivor, always.
+        prop_assert!(plan.crashed_ranks() < p);
+        prop_assert_eq!(plan.crashed_ranks(), n_crashes.min(p - 1));
+        let mut w = World::new(p, CostModel::zero()).with_faults(plan.clone());
+        for step in steps {
+            let outcomes = w.superstep_faulty(step, |r| r);
+            for (r, o) in outcomes.iter().enumerate() {
+                // A rank fails iff it is (now) dead; everyone else delivers
+                // its value, possibly flagged corrupt.
+                prop_assert_eq!(o.completed(), w.is_alive(r));
+                if let RankOutcome::Ok(v) | RankOutcome::Corrupt(v) = o {
+                    prop_assert_eq!(*v, r);
+                }
+            }
+        }
+        prop_assert_eq!(w.alive_ranks().len(), p - plan.crashed_ranks());
+        prop_assert_eq!(w.fault_stats().crashes, plan.crashed_ranks());
+    }
+
+    #[test]
+    fn corruption_is_deterministic_and_always_damages(
+        stream in prop::collection::vec(any::<u64>(), 0..64),
+        seed in any::<u64>(),
+    ) {
+        let mut a = stream.clone();
+        let mut b = stream.clone();
+        corrupt_u64s(&mut a, seed);
+        corrupt_u64s(&mut b, seed);
+        prop_assert_eq!(&a, &b, "same seed, same damage");
+        prop_assert_ne!(a, stream, "damage must change the stream");
     }
 
     #[test]

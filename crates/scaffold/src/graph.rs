@@ -89,8 +89,7 @@ impl ScaffoldGraph {
                 }
                 visited[c as usize] = true;
                 path.push(c);
-                let next =
-                    self.adj[c as usize].iter().copied().find(|&n| n != prev);
+                let next = self.adj[c as usize].iter().copied().find(|&n| n != prev);
                 prev = c;
                 cur = next;
             }
@@ -108,7 +107,12 @@ mod tests {
     use super::*;
 
     fn link(a: u32, b: u32, support: u32) -> ContigLink {
-        ContigLink { a: a.min(b), b: a.max(b), support, total_hits: support * 10 }
+        ContigLink {
+            a: a.min(b),
+            b: a.max(b),
+            support,
+            total_hits: support * 10,
+        }
     }
 
     #[test]
@@ -123,11 +127,7 @@ mod tests {
 
     #[test]
     fn cycle_refused() {
-        let g = ScaffoldGraph::from_links(
-            &[link(0, 1, 5), link(1, 2, 4), link(0, 2, 3)],
-            3,
-            1,
-        );
+        let g = ScaffoldGraph::from_links(&[link(0, 1, 5), link(1, 2, 4), link(0, 2, 3)], 3, 1);
         assert_eq!(g.n_links(), 2, "the closing edge must be refused");
         let paths = g.greedy_paths();
         assert_eq!(paths.len(), 1);
@@ -137,11 +137,7 @@ mod tests {
     #[test]
     fn degree_cap_prefers_stronger_links() {
         // Node 1 has three candidate neighbours; only the two strongest fit.
-        let g = ScaffoldGraph::from_links(
-            &[link(1, 0, 9), link(1, 2, 8), link(1, 3, 7)],
-            4,
-            1,
-        );
+        let g = ScaffoldGraph::from_links(&[link(1, 0, 9), link(1, 2, 8), link(1, 3, 7)], 4, 1);
         assert_eq!(g.n_links(), 2);
         let paths = g.greedy_paths();
         // Path 0-1-2 plus singleton 3.

@@ -45,7 +45,10 @@ pub struct ScaffoldParams {
 
 impl Default for ScaffoldParams {
     fn default() -> Self {
-        ScaffoldParams { min_support: 2, gap_n: 100 }
+        ScaffoldParams {
+            min_support: 2,
+            gap_n: 100,
+        }
     }
 }
 
@@ -70,7 +73,12 @@ mod tests {
     use jem_core::ReadEnd;
 
     fn mapping(read: u32, end: ReadEnd, subject: u32) -> Mapping {
-        Mapping { read_idx: read, end, subject, hits: 10 }
+        Mapping {
+            read_idx: read,
+            end,
+            subject,
+            hits: 10,
+        }
     }
 
     fn contig(id: usize, len: usize) -> SeqRecord {
@@ -89,7 +97,10 @@ mod tests {
         ];
         let scaffolds = scaffold(&mappings, &contigs, &ScaffoldParams::default());
         assert_eq!(scaffolds.len(), 2, "c0+c1 joined, c2 alone");
-        let joined = scaffolds.iter().find(|s| s.seq.len() > 1000).expect("joined scaffold");
+        let joined = scaffolds
+            .iter()
+            .find(|s| s.seq.len() > 1000)
+            .expect("joined scaffold");
         assert_eq!(joined.seq.len(), 1000 + 100 + 800);
         assert!(joined.seq.contains(&b'N'), "gap bases present");
     }
@@ -98,14 +109,19 @@ mod tests {
     fn weak_links_ignored() {
         let contigs = vec![contig(0, 1000), contig(1, 800)];
         // Only one supporting read < min_support 2.
-        let mappings =
-            vec![mapping(0, ReadEnd::Prefix, 0), mapping(0, ReadEnd::Suffix, 1)];
+        let mappings = vec![
+            mapping(0, ReadEnd::Prefix, 0),
+            mapping(0, ReadEnd::Suffix, 1),
+        ];
         let scaffolds = scaffold(&mappings, &contigs, &ScaffoldParams::default());
         assert_eq!(scaffolds.len(), 2, "weak link must not join");
         let scaffolds = scaffold(
             &mappings,
             &contigs,
-            &ScaffoldParams { min_support: 1, ..Default::default() },
+            &ScaffoldParams {
+                min_support: 1,
+                ..Default::default()
+            },
         );
         assert_eq!(scaffolds.len(), 1, "min_support 1 joins");
     }

@@ -47,10 +47,18 @@ pub fn collect_links(mappings: &[Mapping]) -> Vec<ContigLink> {
     }
     let mut links: Vec<ContigLink> = agg
         .into_iter()
-        .map(|((a, b), (support, total_hits))| ContigLink { a, b, support, total_hits })
+        .map(|((a, b), (support, total_hits))| ContigLink {
+            a,
+            b,
+            support,
+            total_hits,
+        })
         .collect();
     links.sort_unstable_by(|x, y| {
-        y.support.cmp(&x.support).then(x.a.cmp(&y.a)).then(x.b.cmp(&y.b))
+        y.support
+            .cmp(&x.support)
+            .then(x.a.cmp(&y.a))
+            .then(x.b.cmp(&y.b))
     });
     links
 }
@@ -60,24 +68,31 @@ mod tests {
     use super::*;
 
     fn m(read: u32, end: ReadEnd, subject: u32, hits: u32) -> Mapping {
-        Mapping { read_idx: read, end, subject, hits }
+        Mapping {
+            read_idx: read,
+            end,
+            subject,
+            hits,
+        }
     }
 
     #[test]
     fn bridging_read_creates_link() {
-        let links = collect_links(&[
-            m(0, ReadEnd::Prefix, 3, 10),
-            m(0, ReadEnd::Suffix, 1, 20),
-        ]);
-        assert_eq!(links, vec![ContigLink { a: 1, b: 3, support: 1, total_hits: 30 }]);
+        let links = collect_links(&[m(0, ReadEnd::Prefix, 3, 10), m(0, ReadEnd::Suffix, 1, 20)]);
+        assert_eq!(
+            links,
+            vec![ContigLink {
+                a: 1,
+                b: 3,
+                support: 1,
+                total_hits: 30
+            }]
+        );
     }
 
     #[test]
     fn same_contig_both_ends_is_no_link() {
-        let links = collect_links(&[
-            m(0, ReadEnd::Prefix, 2, 10),
-            m(0, ReadEnd::Suffix, 2, 10),
-        ]);
+        let links = collect_links(&[m(0, ReadEnd::Prefix, 2, 10), m(0, ReadEnd::Suffix, 2, 10)]);
         assert!(links.is_empty());
     }
 
@@ -97,8 +112,24 @@ mod tests {
             m(2, ReadEnd::Suffix, 2, 6),
         ]);
         assert_eq!(links.len(), 2);
-        assert_eq!(links[0], ContigLink { a: 0, b: 1, support: 2, total_hits: 20 });
-        assert_eq!(links[1], ContigLink { a: 0, b: 2, support: 1, total_hits: 10 });
+        assert_eq!(
+            links[0],
+            ContigLink {
+                a: 0,
+                b: 1,
+                support: 2,
+                total_hits: 20
+            }
+        );
+        assert_eq!(
+            links[1],
+            ContigLink {
+                a: 0,
+                b: 2,
+                support: 1,
+                total_hits: 10
+            }
+        );
     }
 
     #[test]

@@ -25,8 +25,11 @@ pub fn scaffold_records(
             }
             seq.extend_from_slice(&contigs[cid as usize].seq);
         }
-        let members: Vec<&str> =
-            path.contigs.iter().map(|&c| contigs[c as usize].id.as_str()).collect();
+        let members: Vec<&str> = path
+            .contigs
+            .iter()
+            .map(|&c| contigs[c as usize].id.as_str())
+            .collect();
         out.push(SeqRecord {
             id: format!("scaffold_{i}"),
             desc: Some(format!("members={}", members.join(","))),
@@ -47,7 +50,9 @@ mod tests {
     #[test]
     fn joins_with_gaps() {
         let contigs = vec![contig(0, b'A', 10), contig(1, b'C', 5)];
-        let paths = vec![ScaffoldPath { contigs: vec![0, 1] }];
+        let paths = vec![ScaffoldPath {
+            contigs: vec![0, 1],
+        }];
         let recs = scaffold_records(&paths, &contigs, 3);
         assert_eq!(recs.len(), 1);
         assert_eq!(recs[0].seq.len(), 10 + 3 + 5);
@@ -66,7 +71,9 @@ mod tests {
     #[test]
     fn zero_gap_concatenates() {
         let contigs = vec![contig(0, b'A', 2), contig(1, b'T', 2)];
-        let paths = vec![ScaffoldPath { contigs: vec![1, 0] }];
+        let paths = vec![ScaffoldPath {
+            contigs: vec![1, 0],
+        }];
         let recs = scaffold_records(&paths, &contigs, 0);
         assert_eq!(recs[0].seq, b"TTAA".to_vec());
     }

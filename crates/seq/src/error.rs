@@ -34,7 +34,11 @@ impl fmt::Display for SeqError {
             SeqError::Io(e) => write!(f, "I/O error: {e}"),
             SeqError::Format { line, msg } => write!(f, "format error at line {line}: {msg}"),
             SeqError::InvalidBase { byte, pos } => {
-                write!(f, "invalid base {:?} (0x{byte:02x}) at position {pos}", *byte as char)
+                write!(
+                    f,
+                    "invalid base {:?} (0x{byte:02x}) at position {pos}",
+                    *byte as char
+                )
             }
             SeqError::InvalidK(k) => write!(f, "invalid k-mer size {k}: must be in 1..=32"),
             SeqError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
@@ -68,7 +72,10 @@ mod tests {
         assert!(e.to_string().contains("position 7"));
         let e = SeqError::InvalidK(33);
         assert!(e.to_string().contains("33"));
-        let e = SeqError::Format { line: 12, msg: "bad header".into() };
+        let e = SeqError::Format {
+            line: 12,
+            msg: "bad header".into(),
+        };
         assert!(e.to_string().contains("line 12"));
     }
 

@@ -31,7 +31,13 @@ impl FastaReader<BufReader<File>> {
 impl<R: BufRead> FastaReader<R> {
     /// Wrap a buffered reader.
     pub fn new(inner: R) -> Self {
-        FastaReader { inner, line_no: 0, pending_header: None, buf: String::new(), done: false }
+        FastaReader {
+            inner,
+            line_no: 0,
+            pending_header: None,
+            buf: String::new(),
+            done: false,
+        }
     }
 
     /// Read all remaining records into a vector.
@@ -123,7 +129,10 @@ impl FastaWriter<BufWriter<File>> {
 impl<W: Write> FastaWriter<W> {
     /// Wrap a writer; defaults to 80-column wrapping.
     pub fn new(inner: W) -> Self {
-        FastaWriter { inner, line_width: 80 }
+        FastaWriter {
+            inner,
+            line_width: 80,
+        }
     }
 
     /// Write one record.
@@ -234,7 +243,11 @@ mod tests {
     #[test]
     fn writer_reader_roundtrip_with_wrapping() {
         let recs = vec![
-            SeqRecord { id: "a".into(), desc: Some("d e s c".into()), seq: vec![b'A'; 205] },
+            SeqRecord {
+                id: "a".into(),
+                desc: Some("d e s c".into()),
+                seq: vec![b'A'; 205],
+            },
             SeqRecord::new("b", b"ACGT".to_vec()),
             SeqRecord::new("c", Vec::new()),
         ];

@@ -28,7 +28,11 @@ impl FastqReader<BufReader<File>> {
 impl<R: BufRead> FastqReader<R> {
     /// Wrap a buffered reader.
     pub fn new(inner: R) -> Self {
-        FastqReader { inner, line_no: 0, buf: String::new() }
+        FastqReader {
+            inner,
+            line_no: 0,
+            buf: String::new(),
+        }
     }
 
     /// Read all remaining records into a vector.
@@ -53,7 +57,10 @@ impl<R: BufRead> FastqReader<R> {
     }
 
     fn format_err(&self, msg: impl Into<String>) -> SeqError {
-        SeqError::Format { line: self.line_no, msg: msg.into() }
+        SeqError::Format {
+            line: self.line_no,
+            msg: msg.into(),
+        }
     }
 
     fn next_record(&mut self) -> Result<Option<FastqRecord>, SeqError> {
@@ -88,7 +95,12 @@ impl<R: BufRead> FastqReader<R> {
             )));
         }
         let (id, desc) = split_header(&header);
-        Ok(Some(FastqRecord { id, desc, seq: seq.into_bytes(), qual: qual.into_bytes() }))
+        Ok(Some(FastqRecord {
+            id,
+            desc,
+            seq: seq.into_bytes(),
+            qual: qual.into_bytes(),
+        }))
     }
 }
 

@@ -65,7 +65,10 @@ impl Kmer {
     /// Reverse complement.
     #[inline]
     pub fn revcomp(&self) -> Kmer {
-        Kmer { code: revcomp_code(self.code, self.k as usize), k: self.k }
+        Kmer {
+            code: revcomp_code(self.code, self.k as usize),
+            k: self.k,
+        }
     }
 
     /// Canonical form: the lexicographically smaller of the k-mer and its
@@ -119,7 +122,7 @@ impl std::fmt::Display for Kmer {
 pub fn revcomp_code(code: u64, k: usize) -> u64 {
     debug_assert!((1..=MAX_K).contains(&k));
     let mut x = !code; // complement every 2-bit group (upper garbage masked later)
-    // Reverse 2-bit groups within the u64.
+                       // Reverse 2-bit groups within the u64.
     x = (x >> 2 & 0x3333_3333_3333_3333) | (x & 0x3333_3333_3333_3333) << 2;
     x = (x >> 4 & 0x0F0F_0F0F_0F0F_0F0F) | (x & 0x0F0F_0F0F_0F0F_0F0F) << 4;
     x = x.swap_bytes();
@@ -160,7 +163,14 @@ impl<'a> KmerIter<'a> {
         if k == 0 || k > MAX_K {
             return Err(SeqError::InvalidK(k));
         }
-        Ok(KmerIter { seq, k, mask: kmer_mask(k), next: 0, code: 0, filled: 0 })
+        Ok(KmerIter {
+            seq,
+            k,
+            mask: kmer_mask(k),
+            next: 0,
+            code: 0,
+            filled: 0,
+        })
     }
 }
 
@@ -177,7 +187,13 @@ impl Iterator for KmerIter<'_> {
                     self.filled += 1;
                     if self.filled >= self.k {
                         let pos = self.next - self.k;
-                        return Some((pos, Kmer { code: self.code, k: self.k as u8 }));
+                        return Some((
+                            pos,
+                            Kmer {
+                                code: self.code,
+                                k: self.k as u8,
+                            },
+                        ));
                     }
                 }
                 None => {
@@ -217,7 +233,15 @@ impl<'a> CanonicalKmerIter<'a> {
         if k == 0 || k > MAX_K {
             return Err(SeqError::InvalidK(k));
         }
-        Ok(CanonicalKmerIter { seq, k, mask: kmer_mask(k), next: 0, fwd: 0, rev: 0, filled: 0 })
+        Ok(CanonicalKmerIter {
+            seq,
+            k,
+            mask: kmer_mask(k),
+            next: 0,
+            fwd: 0,
+            rev: 0,
+            filled: 0,
+        })
     }
 }
 
@@ -237,7 +261,13 @@ impl Iterator for CanonicalKmerIter<'_> {
                     if self.filled >= self.k {
                         let pos = self.next - self.k;
                         let code = self.fwd.min(self.rev);
-                        return Some((pos, Kmer { code, k: self.k as u8 }));
+                        return Some((
+                            pos,
+                            Kmer {
+                                code,
+                                k: self.k as u8,
+                            },
+                        ));
                     }
                 }
                 None => {
@@ -257,7 +287,13 @@ mod tests {
 
     #[test]
     fn pack_unpack_roundtrip() {
-        for s in [&b"A"[..], b"ACGT", b"TTTT", b"GATTACA", b"ACGTACGTACGTACGTACGTACGTACGTACGT"] {
+        for s in [
+            &b"A"[..],
+            b"ACGT",
+            b"TTTT",
+            b"GATTACA",
+            b"ACGTACGTACGTACGTACGTACGTACGTACGT",
+        ] {
             let k = Kmer::from_bytes(s).unwrap();
             assert_eq!(k.to_bytes(), s.to_vec());
             assert_eq!(k.k(), s.len());
@@ -272,7 +308,11 @@ mod tests {
             "TG", "TT",
         ];
         for (rank, s) in order.iter().enumerate() {
-            assert_eq!(Kmer::from_bytes(s.as_bytes()).unwrap().code(), rank as u64, "{s}");
+            assert_eq!(
+                Kmer::from_bytes(s.as_bytes()).unwrap().code(),
+                rank as u64,
+                "{s}"
+            );
         }
     }
 
@@ -287,7 +327,13 @@ mod tests {
 
     #[test]
     fn revcomp_matches_string_revcomp() {
-        for s in [&b"A"[..], b"AC", b"GATTACA", b"TTTTGGGG", b"ACGTACGTACGTACGTACGTACGTACGTACGT"] {
+        for s in [
+            &b"A"[..],
+            b"AC",
+            b"GATTACA",
+            b"TTTTGGGG",
+            b"ACGTACGTACGTACGTACGTACGTACGTACGT",
+        ] {
             let k = Kmer::from_bytes(s).unwrap();
             let rc = crate::alphabet::revcomp_bytes(s);
             assert_eq!(k.revcomp().to_bytes(), rc, "{}", String::from_utf8_lossy(s));
@@ -352,10 +398,14 @@ mod tests {
         let seq = b"ACGGTTACGATTTACCAGTGGATCGA".to_vec();
         let rc = crate::alphabet::revcomp_bytes(&seq);
         let k = 7;
-        let mut a: Vec<u64> =
-            CanonicalKmerIter::new(&seq, k).unwrap().map(|(_, km)| km.code()).collect();
-        let mut b: Vec<u64> =
-            CanonicalKmerIter::new(&rc, k).unwrap().map(|(_, km)| km.code()).collect();
+        let mut a: Vec<u64> = CanonicalKmerIter::new(&seq, k)
+            .unwrap()
+            .map(|(_, km)| km.code())
+            .collect();
+        let mut b: Vec<u64> = CanonicalKmerIter::new(&rc, k)
+            .unwrap()
+            .map(|(_, km)| km.code())
+            .collect();
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b, "canonical k-mer multiset must be strand-invariant");

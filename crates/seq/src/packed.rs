@@ -26,7 +26,10 @@ impl PackedSeq {
 
     /// Pre-allocate for `n` bases.
     pub fn with_capacity(n: usize) -> Self {
-        PackedSeq { data: Vec::with_capacity(n.div_ceil(4)), len: 0 }
+        PackedSeq {
+            data: Vec::with_capacity(n.div_ceil(4)),
+            len: 0,
+        }
     }
 
     /// Pack an ASCII sequence. Fails on the first ambiguous base.
@@ -67,7 +70,10 @@ impl PackedSeq {
 
     /// Append one ASCII base.
     pub fn push_base(&mut self, b: u8) -> Result<(), SeqError> {
-        let c = encode_base(b).ok_or(SeqError::InvalidBase { byte: b, pos: self.len })?;
+        let c = encode_base(b).ok_or(SeqError::InvalidBase {
+            byte: b,
+            pos: self.len,
+        })?;
         self.push_code(c);
         Ok(())
     }
@@ -90,7 +96,11 @@ impl PackedSeq {
     /// Panics if `i >= len()`.
     #[inline]
     pub fn code_at(&self, i: usize) -> u8 {
-        assert!(i < self.len, "base index {i} out of range (len {})", self.len);
+        assert!(
+            i < self.len,
+            "base index {i} out of range (len {})",
+            self.len
+        );
         (self.data[i / 4] >> (2 * (i % 4))) & 3
     }
 
@@ -110,7 +120,11 @@ impl PackedSeq {
     /// # Panics
     /// Panics if the range is out of bounds or inverted.
     pub fn slice_bytes(&self, start: usize, end: usize) -> Vec<u8> {
-        assert!(start <= end && end <= self.len, "bad slice {start}..{end} (len {})", self.len);
+        assert!(
+            start <= end && end <= self.len,
+            "bad slice {start}..{end} (len {})",
+            self.len
+        );
         (start..end).map(|i| self.base_at(i)).collect()
     }
 
@@ -122,7 +136,11 @@ impl PackedSeq {
         if k == 0 || k > MAX_K {
             return Err(SeqError::InvalidK(k));
         }
-        assert!(start + k <= self.len, "k-mer {start}+{k} out of range (len {})", self.len);
+        assert!(
+            start + k <= self.len,
+            "k-mer {start}+{k} out of range (len {})",
+            self.len
+        );
         let mut code = 0u64;
         for i in start..start + k {
             code = (code << 2) | u64::from(self.code_at(i));
@@ -149,7 +167,11 @@ impl PackedSeq {
 impl std::fmt::Debug for PackedSeq {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         if self.len <= 60 {
-            write!(f, "PackedSeq({})", String::from_utf8_lossy(&self.to_bytes()))
+            write!(
+                f,
+                "PackedSeq({})",
+                String::from_utf8_lossy(&self.to_bytes())
+            )
         } else {
             write!(
                 f,
@@ -229,7 +251,10 @@ mod tests {
     #[test]
     fn revcomp_matches_byte_revcomp() {
         let p = PackedSeq::from_bytes(b"AACCGGTTAG").unwrap();
-        assert_eq!(p.revcomp().to_bytes(), crate::alphabet::revcomp_bytes(b"AACCGGTTAG"));
+        assert_eq!(
+            p.revcomp().to_bytes(),
+            crate::alphabet::revcomp_bytes(b"AACCGGTTAG")
+        );
     }
 
     #[test]

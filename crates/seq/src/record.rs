@@ -14,7 +14,11 @@ pub struct SeqRecord {
 impl SeqRecord {
     /// Convenience constructor without a description.
     pub fn new(id: impl Into<String>, seq: impl Into<Vec<u8>>) -> Self {
-        SeqRecord { id: id.into(), desc: None, seq: seq.into() }
+        SeqRecord {
+            id: id.into(),
+            desc: None,
+            seq: seq.into(),
+        }
     }
 
     /// Sequence length in bases.
@@ -45,7 +49,12 @@ impl FastqRecord {
     /// Convenience constructor with a uniform quality value.
     pub fn with_uniform_quality(id: impl Into<String>, seq: Vec<u8>, phred33: u8) -> Self {
         let qual = vec![phred33; seq.len()];
-        FastqRecord { id: id.into(), desc: None, seq, qual }
+        FastqRecord {
+            id: id.into(),
+            desc: None,
+            seq,
+            qual,
+        }
     }
 
     /// Sequence length in bases.
@@ -60,7 +69,11 @@ impl FastqRecord {
 
     /// Drop the qualities, keeping a FASTA-style record.
     pub fn into_seq_record(self) -> SeqRecord {
-        SeqRecord { id: self.id, desc: self.desc, seq: self.seq }
+        SeqRecord {
+            id: self.id,
+            desc: self.desc,
+            seq: self.seq,
+        }
     }
 }
 
@@ -69,7 +82,14 @@ pub(crate) fn split_header(header: &str) -> (String, Option<String>) {
     match header.split_once(char::is_whitespace) {
         Some((id, rest)) => {
             let rest = rest.trim();
-            (id.to_string(), if rest.is_empty() { None } else { Some(rest.to_string()) })
+            (
+                id.to_string(),
+                if rest.is_empty() {
+                    None
+                } else {
+                    Some(rest.to_string())
+                },
+            )
         }
         None => (header.to_string(), None),
     }
@@ -82,8 +102,14 @@ mod tests {
     #[test]
     fn split_header_variants() {
         assert_eq!(split_header("read1"), ("read1".into(), None));
-        assert_eq!(split_header("read1 len=100"), ("read1".into(), Some("len=100".into())));
-        assert_eq!(split_header("read1\tdescription"), ("read1".into(), Some("description".into())));
+        assert_eq!(
+            split_header("read1 len=100"),
+            ("read1".into(), Some("len=100".into()))
+        );
+        assert_eq!(
+            split_header("read1\tdescription"),
+            ("read1".into(), Some("description".into()))
+        );
         assert_eq!(split_header("read1   "), ("read1".into(), None));
     }
 

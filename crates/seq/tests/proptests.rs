@@ -1,8 +1,8 @@
 //! Property-based tests for the sequence substrate.
 
 use jem_seq::{
-    alphabet::revcomp_bytes, CanonicalKmerIter, FastaReader, FastaWriter, FastqReader,
-    FastqWriter, FastqRecord, Kmer, KmerIter, PackedSeq, SeqRecord,
+    alphabet::revcomp_bytes, CanonicalKmerIter, FastaReader, FastaWriter, FastqReader, FastqRecord,
+    FastqWriter, Kmer, KmerIter, PackedSeq, SeqRecord,
 };
 use proptest::prelude::*;
 

@@ -33,17 +33,35 @@ pub struct ContigProfile {
 impl ContigProfile {
     /// Bacterial analogue (Table I E. coli: 12.4 kbp ± 14 kbp, ~97% covered).
     pub fn bacterial() -> Self {
-        ContigProfile { mean_len: 12_400, std_len: 14_000, min_len: 500, gap_fraction: 0.03, error_rate: 0.0005 }
+        ContigProfile {
+            mean_len: 12_400,
+            std_len: 14_000,
+            min_len: 500,
+            gap_fraction: 0.03,
+            error_rate: 0.0005,
+        }
     }
 
     /// Eukaryote analogue (Table I C. elegans-like: 2.8 kbp ± 4.7 kbp, ~85%).
     pub fn eukaryotic() -> Self {
-        ContigProfile { mean_len: 2_800, std_len: 4_700, min_len: 500, gap_fraction: 0.15, error_rate: 0.0005 }
+        ContigProfile {
+            mean_len: 2_800,
+            std_len: 4_700,
+            min_len: 500,
+            gap_fraction: 0.15,
+            error_rate: 0.0005,
+        }
     }
 
     /// A compact profile for doc examples and small tests.
     pub fn small_genome() -> Self {
-        ContigProfile { mean_len: 3_000, std_len: 1_500, min_len: 500, gap_fraction: 0.1, error_rate: 0.0 }
+        ContigProfile {
+            mean_len: 3_000,
+            std_len: 1_500,
+            min_len: 500,
+            gap_fraction: 0.1,
+            error_rate: 0.0,
+        }
     }
 }
 
@@ -79,8 +97,14 @@ impl Contig {
 /// non-redundant (disjoint genome intervals) — the assumption the paper
 /// makes of Minia output.
 pub fn fragment_contigs(genome: &Genome, profile: &ContigProfile, seed: u64) -> Vec<Contig> {
-    assert!(profile.mean_len >= profile.min_len, "mean_len must be >= min_len");
-    assert!((0.0..1.0).contains(&profile.gap_fraction), "gap_fraction must be in [0,1)");
+    assert!(
+        profile.mean_len >= profile.min_len,
+        "mean_len must be >= min_len"
+    );
+    assert!(
+        (0.0..1.0).contains(&profile.gap_fraction),
+        "gap_fraction must be in [0,1)"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut contigs = Vec::new();
     let n = genome.len();
@@ -96,8 +120,13 @@ pub fn fragment_contigs(genome: &Genome, profile: &ContigProfile, seed: u64) -> 
     let mut pos = 0usize;
     let mut i = 0usize;
     while pos < n {
-        let len = sample_clamped(&mut rng, profile.mean_len as f64, profile.std_len as f64, profile.min_len)
-            .min(n - pos);
+        let len = sample_clamped(
+            &mut rng,
+            profile.mean_len as f64,
+            profile.std_len as f64,
+            profile.min_len,
+        )
+        .min(n - pos);
         if len >= profile.min_len {
             let mut seq = genome.seq[pos..pos + len].to_vec();
             if profile.error_rate > 0.0 {
@@ -127,7 +156,10 @@ pub fn fragment_contigs(genome: &Genome, profile: &ContigProfile, seed: u64) -> 
 
 /// Convert contigs to plain [`SeqRecord`]s (dropping truth).
 pub fn contig_records(contigs: &[Contig]) -> Vec<SeqRecord> {
-    contigs.iter().map(|c| SeqRecord::new(c.id.clone(), c.seq.clone())).collect()
+    contigs
+        .iter()
+        .map(|c| SeqRecord::new(c.id.clone(), c.seq.clone()))
+        .collect()
 }
 
 fn sample_clamped(rng: &mut StdRng, mean: f64, std: f64, min: usize) -> usize {
@@ -158,7 +190,10 @@ mod tests {
     #[test]
     fn coordinates_match_sequence_when_error_free() {
         let g = genome();
-        let profile = ContigProfile { error_rate: 0.0, ..ContigProfile::eukaryotic() };
+        let profile = ContigProfile {
+            error_rate: 0.0,
+            ..ContigProfile::eukaryotic()
+        };
         for c in fragment_contigs(&g, &profile, 5) {
             assert_eq!(c.seq, g.seq[c.ref_start..c.ref_end].to_vec());
             assert_eq!(c.len(), c.ref_end - c.ref_start);
@@ -168,11 +203,17 @@ mod tests {
     #[test]
     fn gap_fraction_respected() {
         let g = Genome::random(2_000_000, 0.5, 21);
-        let profile = ContigProfile { gap_fraction: 0.2, ..ContigProfile::eukaryotic() };
+        let profile = ContigProfile {
+            gap_fraction: 0.2,
+            ..ContigProfile::eukaryotic()
+        };
         let contigs = fragment_contigs(&g, &profile, 7);
         let covered: usize = contigs.iter().map(Contig::len).sum();
         let cov = covered as f64 / g.len() as f64;
-        assert!((cov - 0.8).abs() < 0.08, "covered fraction {cov}, target 0.8");
+        assert!(
+            (cov - 0.8).abs() < 0.08,
+            "covered fraction {cov}, target 0.8"
+        );
     }
 
     #[test]
@@ -189,7 +230,10 @@ mod tests {
         let contigs = fragment_contigs(&g, &profile, 11);
         let mean = contigs.iter().map(Contig::len).sum::<usize>() as f64 / contigs.len() as f64;
         // Clamping at min_len biases the mean upward; just demand the band.
-        assert!(mean > 2_000.0 && mean < 6_500.0, "mean contig length {mean}");
+        assert!(
+            mean > 2_000.0 && mean < 6_500.0,
+            "mean contig length {mean}"
+        );
     }
 
     #[test]

@@ -70,7 +70,12 @@ impl DatasetSpec {
         let genome = Genome::from_profile(self.id.name(), &self.genome, seed);
         let contigs = fragment_contigs(&genome, &self.contig, seed.wrapping_add(1));
         let reads = simulate_hifi(&genome, &self.hifi, seed.wrapping_add(2));
-        SimulatedDataset { spec: self.clone(), genome, contigs, reads }
+        SimulatedDataset {
+            spec: self.clone(),
+            genome,
+            contigs,
+            reads,
+        }
     }
 }
 
@@ -92,11 +97,19 @@ impl SimulatedDataset {
     pub fn stats(&self) -> DatasetStats {
         let n_contigs = self.contigs.len();
         let subject_bp: usize = self.contigs.iter().map(Contig::len).sum();
-        let contig_mean = if n_contigs == 0 { 0.0 } else { subject_bp as f64 / n_contigs as f64 };
+        let contig_mean = if n_contigs == 0 {
+            0.0
+        } else {
+            subject_bp as f64 / n_contigs as f64
+        };
         let contig_std = std_dev(self.contigs.iter().map(Contig::len), contig_mean);
         let n_reads = self.reads.len();
         let query_bp: usize = self.reads.iter().map(SimulatedRead::len).sum();
-        let read_mean = if n_reads == 0 { 0.0 } else { query_bp as f64 / n_reads as f64 };
+        let read_mean = if n_reads == 0 {
+            0.0
+        } else {
+            query_bp as f64 / n_reads as f64
+        };
         let read_std = std_dev(self.reads.iter().map(SimulatedRead::len), read_mean);
         DatasetStats {
             name: self.spec.id.name(),
@@ -273,7 +286,10 @@ mod tests {
     #[test]
     fn real_analogue_reads_longer() {
         let specs = paper_analogues(1.0);
-        let osativa = specs.iter().find(|s| s.id == DatasetId::OSativaChr8).unwrap();
+        let osativa = specs
+            .iter()
+            .find(|s| s.id == DatasetId::OSativaChr8)
+            .unwrap();
         assert!(osativa.hifi.mean_len > 15_000);
     }
 

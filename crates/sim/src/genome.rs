@@ -96,9 +96,12 @@ impl Genome {
         if profile.repeat_fraction > 0.0 && profile.repeat_families > 0 {
             let families: Vec<Vec<u8>> = (0..profile.repeat_families)
                 .map(|_| {
-                    let len = rng.gen_range(profile.repeat_len.0..=profile.repeat_len.1)
+                    let len = rng
+                        .gen_range(profile.repeat_len.0..=profile.repeat_len.1)
                         .min(profile.length);
-                    (0..len).map(|_| random_base(&mut rng, profile.gc_content)).collect()
+                    (0..len)
+                        .map(|_| random_base(&mut rng, profile.gc_content))
+                        .collect()
                 })
                 .collect();
             let target = (profile.length as f64 * profile.repeat_fraction) as usize;
@@ -123,7 +126,11 @@ impl Genome {
             }
         }
 
-        Genome { name: name.to_string(), seq, repeat_regions }
+        Genome {
+            name: name.to_string(),
+            seq,
+            repeat_regions,
+        }
     }
 
     /// Genome length in bases.
@@ -169,7 +176,7 @@ fn random_base(rng: &mut StdRng, gc: f64) -> u8 {
 pub(crate) fn mutate_base(rng: &mut StdRng, b: u8) -> u8 {
     const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
     loop {
-        let nb = BASES[rng.gen_range(0..4)];
+        let nb = BASES[rng.gen_range(0..4usize)];
         if nb != b {
             return nb;
         }
@@ -200,9 +207,12 @@ mod tests {
     fn gc_content_approximate() {
         for gc in [0.3, 0.5, 0.7] {
             let g = Genome::random(200_000, gc, 3);
-            let observed = g.seq.iter().filter(|&&b| b == b'G' || b == b'C').count() as f64
-                / g.len() as f64;
-            assert!((observed - gc).abs() < 0.02, "target {gc}, observed {observed}");
+            let observed =
+                g.seq.iter().filter(|&&b| b == b'G' || b == b'C').count() as f64 / g.len() as f64;
+            assert!(
+                (observed - gc).abs() < 0.02,
+                "target {gc}, observed {observed}"
+            );
         }
     }
 
@@ -211,7 +221,11 @@ mod tests {
         let p = GenomeProfile::eukaryotic(300_000);
         let g = Genome::from_profile("euk", &p, 11);
         let cov = g.repeat_coverage();
-        assert!(cov > 0.15, "repeat coverage {cov} too low for target {}", p.repeat_fraction);
+        assert!(
+            cov > 0.15,
+            "repeat coverage {cov} too low for target {}",
+            p.repeat_fraction
+        );
         assert!(!g.repeat_regions.is_empty());
     }
 

@@ -48,7 +48,13 @@ pub struct HifiProfile {
 
 impl Default for HifiProfile {
     fn default() -> Self {
-        HifiProfile { coverage: 10.0, mean_len: 10_200, std_len: 3_400, min_len: 1_000, error_rate: 0.001 }
+        HifiProfile {
+            coverage: 10.0,
+            mean_len: 10_200,
+            std_len: 3_400,
+            min_len: 1_000,
+            error_rate: 0.001,
+        }
     }
 }
 
@@ -59,7 +65,13 @@ impl HifiProfile {
     /// defining trait — a query set dwarfing the subject set — while
     /// staying laptop-runnable.
     pub fn real_data_analogue() -> Self {
-        HifiProfile { coverage: 60.0, mean_len: 19_600, std_len: 4_200, min_len: 2_000, error_rate: 0.001 }
+        HifiProfile {
+            coverage: 60.0,
+            mean_len: 19_600,
+            std_len: 4_200,
+            min_len: 2_000,
+            error_rate: 0.001,
+        }
     }
 }
 
@@ -121,15 +133,26 @@ impl SimulatedRead {
 /// Simulate HiFi reads over `genome` at the profile's coverage.
 pub fn simulate_hifi(genome: &Genome, profile: &HifiProfile, seed: u64) -> Vec<SimulatedRead> {
     assert!(profile.coverage > 0.0, "coverage must be positive");
-    assert!(profile.mean_len > 0 && profile.min_len > 0, "lengths must be positive");
+    assert!(
+        profile.mean_len > 0 && profile.min_len > 0,
+        "lengths must be positive"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let n_reads =
         ((genome.len() as f64 * profile.coverage) / profile.mean_len as f64).ceil() as usize;
     let mut reads = Vec::with_capacity(n_reads);
     for i in 0..n_reads {
         let len = sample_len(&mut rng, profile).min(genome.len());
-        let start = if genome.len() == len { 0 } else { rng.gen_range(0..genome.len() - len) };
-        let strand = if rng.gen_bool(0.5) { Strand::Forward } else { Strand::Reverse };
+        let start = if genome.len() == len {
+            0
+        } else {
+            rng.gen_range(0..genome.len() - len)
+        };
+        let strand = if rng.gen_bool(0.5) {
+            Strand::Forward
+        } else {
+            Strand::Reverse
+        };
         let mut seq = genome.seq[start..start + len].to_vec();
         if strand == Strand::Reverse {
             seq = revcomp_bytes(&seq);
@@ -148,7 +171,10 @@ pub fn simulate_hifi(genome: &Genome, profile: &HifiProfile, seed: u64) -> Vec<S
 
 /// Convert reads to plain [`SeqRecord`]s (dropping truth).
 pub fn read_records(reads: &[SimulatedRead]) -> Vec<SeqRecord> {
-    reads.iter().map(|r| SeqRecord::new(r.id.clone(), r.seq.clone())).collect()
+    reads
+        .iter()
+        .map(|r| SeqRecord::new(r.id.clone(), r.seq.clone()))
+        .collect()
 }
 
 fn sample_len(rng: &mut StdRng, p: &HifiProfile) -> usize {
@@ -174,7 +200,8 @@ fn apply_errors(rng: &mut StdRng, seq: &mut Vec<u8>, rate: f64) {
                 out.push(mutate_base(rng, base)); // substitution
             } else if roll < 0.8 {
                 out.push(base);
-                out.push(*b"ACGT".get(rng.gen_range(0..4)).expect("in range")); // insertion
+                out.push(*b"ACGT".get(rng.gen_range(0..4usize)).expect("in range"));
+                // insertion
             } // else: deletion (skip base)
         } else {
             out.push(base);
@@ -194,7 +221,10 @@ mod tests {
     #[test]
     fn coverage_determines_read_count() {
         let g = genome();
-        let p = HifiProfile { coverage: 5.0, ..Default::default() };
+        let p = HifiProfile {
+            coverage: 5.0,
+            ..Default::default()
+        };
         let reads = simulate_hifi(&g, &p, 1);
         let total: usize = reads.iter().map(SimulatedRead::len).sum();
         let cov = total as f64 / g.len() as f64;
@@ -208,34 +238,58 @@ mod tests {
         let a = simulate_hifi(&g, &p, 9);
         let b = simulate_hifi(&g, &p, 9);
         assert_eq!(a.len(), b.len());
-        assert!(a.iter().zip(&b).all(|(x, y)| x.seq == y.seq && x.ref_start == y.ref_start));
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| x.seq == y.seq && x.ref_start == y.ref_start));
     }
 
     #[test]
     fn length_distribution_clamped_and_centered() {
         let g = Genome::random(1_000_000, 0.5, 3);
-        let p = HifiProfile { coverage: 3.0, ..Default::default() };
+        let p = HifiProfile {
+            coverage: 3.0,
+            ..Default::default()
+        };
         let reads = simulate_hifi(&g, &p, 5);
-        assert!(reads.iter().all(|r| r.len() >= (p.min_len as f64 * 0.99) as usize));
+        assert!(reads
+            .iter()
+            .all(|r| r.len() >= (p.min_len as f64 * 0.99) as usize));
         let mean = reads.iter().map(SimulatedRead::len).sum::<usize>() as f64 / reads.len() as f64;
-        assert!((mean - p.mean_len as f64).abs() < 1_000.0, "mean length {mean}");
+        assert!(
+            (mean - p.mean_len as f64).abs() < 1_000.0,
+            "mean length {mean}"
+        );
     }
 
     #[test]
     fn forward_read_matches_genome_modulo_errors() {
         let g = genome();
-        let p = HifiProfile { error_rate: 0.0, ..Default::default() };
+        let p = HifiProfile {
+            error_rate: 0.0,
+            ..Default::default()
+        };
         let reads = simulate_hifi(&g, &p, 2);
-        let fwd = reads.iter().find(|r| r.strand == Strand::Forward).expect("some forward read");
+        let fwd = reads
+            .iter()
+            .find(|r| r.strand == Strand::Forward)
+            .expect("some forward read");
         assert_eq!(fwd.seq, g.seq[fwd.ref_start..fwd.ref_end].to_vec());
-        let rev = reads.iter().find(|r| r.strand == Strand::Reverse).expect("some reverse read");
+        let rev = reads
+            .iter()
+            .find(|r| r.strand == Strand::Reverse)
+            .expect("some reverse read");
         assert_eq!(rev.seq, revcomp_bytes(&g.seq[rev.ref_start..rev.ref_end]));
     }
 
     #[test]
     fn error_rate_measured() {
         let g = Genome::random(500_000, 0.5, 8);
-        let p = HifiProfile { coverage: 2.0, error_rate: 0.01, ..Default::default() };
+        let p = HifiProfile {
+            coverage: 2.0,
+            error_rate: 0.01,
+            ..Default::default()
+        };
         let reads = simulate_hifi(&g, &p, 3);
         // Positional comparison breaks after the first indel (frameshift),
         // so use the per-read mismatch count over a short prefix and take
@@ -246,13 +300,18 @@ mod tests {
             .filter(|r| r.strand == Strand::Forward)
             .map(|r| {
                 let n = 100.min(r.len()).min(r.ref_end - r.ref_start);
-                (0..n).filter(|&i| r.seq[i] != g.seq[r.ref_start + i]).count()
+                (0..n)
+                    .filter(|&i| r.seq[i] != g.seq[r.ref_start + i])
+                    .count()
             })
             .collect();
         per_read.sort_unstable();
         let median = per_read[per_read.len() / 2];
         let total_errs: usize = per_read.iter().sum();
-        assert!(median <= 3, "median prefix mismatches {median} too high for 1% error");
+        assert!(
+            median <= 3,
+            "median prefix mismatches {median} too high for 1% error"
+        );
         assert!(total_errs > 0, "errors must actually be injected");
     }
 
@@ -270,7 +329,10 @@ mod tests {
         assert_eq!(r.segment_ref_range(SegmentEnd::Prefix, 10), (100, 110));
         assert_eq!(r.segment_ref_range(SegmentEnd::Suffix, 10), (140, 150));
 
-        let rev = SimulatedRead { strand: Strand::Reverse, ..r };
+        let rev = SimulatedRead {
+            strand: Strand::Reverse,
+            ..r
+        };
         assert_eq!(rev.segment_ref_range(SegmentEnd::Prefix, 10), (140, 150));
         assert_eq!(rev.segment_ref_range(SegmentEnd::Suffix, 10), (100, 110));
     }
@@ -291,7 +353,11 @@ mod tests {
     #[test]
     fn zero_error_rate_produces_exact_reads() {
         let g = genome();
-        let p = HifiProfile { error_rate: 0.0, coverage: 1.0, ..Default::default() };
+        let p = HifiProfile {
+            error_rate: 0.0,
+            coverage: 1.0,
+            ..Default::default()
+        };
         for r in simulate_hifi(&g, &p, 7) {
             let region = &g.seq[r.ref_start..r.ref_end];
             match r.strand {

@@ -22,7 +22,11 @@ pub struct IlluminaProfile {
 
 impl Default for IlluminaProfile {
     fn default() -> Self {
-        IlluminaProfile { coverage: 30.0, read_len: 100, error_rate: 0.005 }
+        IlluminaProfile {
+            coverage: 30.0,
+            read_len: 100,
+            error_rate: 0.005,
+        }
     }
 }
 
@@ -40,7 +44,10 @@ pub struct ShortRead {
 /// Simulate short reads over `genome` at the profile's coverage.
 pub fn simulate_illumina(genome: &Genome, profile: &IlluminaProfile, seed: u64) -> Vec<ShortRead> {
     assert!(profile.read_len > 0, "read length must be positive");
-    assert!(genome.len() >= profile.read_len, "genome shorter than a read");
+    assert!(
+        genome.len() >= profile.read_len,
+        "genome shorter than a read"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let n_reads =
         ((genome.len() as f64 * profile.coverage) / profile.read_len as f64).ceil() as usize;
@@ -58,7 +65,11 @@ pub fn simulate_illumina(genome: &Genome, profile: &IlluminaProfile, seed: u64) 
                 *b = mutate_base(&mut rng, *b);
             }
         }
-        reads.push(ShortRead { seq, ref_start: start, reverse });
+        reads.push(ShortRead {
+            seq,
+            ref_start: start,
+            reverse,
+        });
     }
     reads
 }
@@ -70,7 +81,10 @@ mod tests {
     #[test]
     fn read_count_and_length() {
         let g = Genome::random(50_000, 0.5, 1);
-        let p = IlluminaProfile { coverage: 10.0, ..Default::default() };
+        let p = IlluminaProfile {
+            coverage: 10.0,
+            ..Default::default()
+        };
         let reads = simulate_illumina(&g, &p, 2);
         assert_eq!(reads.len(), (50_000.0 * 10.0 / 100.0) as usize);
         assert!(reads.iter().all(|r| r.seq.len() == 100));
@@ -86,7 +100,11 @@ mod tests {
     #[test]
     fn substitution_rate_close_to_target() {
         let g = Genome::random(100_000, 0.5, 3);
-        let p = IlluminaProfile { coverage: 5.0, error_rate: 0.02, ..Default::default() };
+        let p = IlluminaProfile {
+            coverage: 5.0,
+            error_rate: 0.02,
+            ..Default::default()
+        };
         let reads = simulate_illumina(&g, &p, 9);
         let mut errs = 0usize;
         let mut total = 0usize;

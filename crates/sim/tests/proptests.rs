@@ -2,8 +2,8 @@
 
 use jem_seq::alphabet::revcomp_bytes;
 use jem_sim::{
-    fragment_contigs, simulate_hifi, simulate_illumina, Contig, ContigProfile, Genome,
-    HifiProfile, IlluminaProfile, SegmentEnd, Strand,
+    fragment_contigs, simulate_hifi, simulate_illumina, Contig, ContigProfile, Genome, HifiProfile,
+    IlluminaProfile, SegmentEnd, Strand,
 };
 use proptest::prelude::*;
 

@@ -108,8 +108,15 @@ impl HashFamily {
 
     /// Restrict to the first `t` trials (for trial-sweep experiments).
     pub fn truncated(&self, t: usize) -> HashFamily {
-        assert!(t <= self.fns.len(), "cannot truncate {} trials to {t}", self.fns.len());
-        HashFamily { fns: self.fns[..t].to_vec(), seed: self.seed }
+        assert!(
+            t <= self.fns.len(),
+            "cannot truncate {} trials to {t}",
+            self.fns.len()
+        );
+        HashFamily {
+            fns: self.fns[..t].to_vec(),
+            seed: self.seed,
+        }
     }
 }
 

@@ -53,7 +53,9 @@ mod tests {
     fn rng_seq(n: usize, seed: u64) -> Vec<u8> {
         (0..n)
             .scan(seed, |s, _| {
-                *s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                *s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 Some(b"ACGT"[((*s >> 33) % 4) as usize])
             })
             .collect()
@@ -80,7 +82,11 @@ mod tests {
     fn kmer_jaccard_strand_invariant() {
         let s = rng_seq(500, 4);
         let rc = jem_seq::alphabet::revcomp_bytes(&s);
-        assert_eq!(kmer_jaccard(&s, &rc, 9), 1.0, "canonical k-mers are strand-free");
+        assert_eq!(
+            kmer_jaccard(&s, &rc, 9),
+            1.0,
+            "canonical k-mers are strand-free"
+        );
     }
 
     #[test]

@@ -34,19 +34,28 @@ impl JemParams {
     pub fn new(k: usize, w: usize, ell: usize) -> Result<Self, SeqError> {
         MinimizerParams::new(k, w)?;
         if ell == 0 {
-            return Err(SeqError::InvalidParameter("interval length ell must be >= 1".into()));
+            return Err(SeqError::InvalidParameter(
+                "interval length ell must be >= 1".into(),
+            ));
         }
         Ok(JemParams { k, w, ell })
     }
 
     /// Paper defaults: `k = 16`, `w = 100`, `ℓ = 1000`.
     pub fn paper_default() -> Self {
-        JemParams { k: 16, w: 100, ell: 1000 }
+        JemParams {
+            k: 16,
+            w: 100,
+            ell: 1000,
+        }
     }
 
     /// The embedded minimizer parameters.
     pub fn minimizer_params(&self) -> MinimizerParams {
-        MinimizerParams { k: self.k, w: self.w }
+        MinimizerParams {
+            k: self.k,
+            w: self.w,
+        }
     }
 }
 
@@ -160,8 +169,10 @@ pub fn sketch_by_jem_naive(seq: &[u8], params: JemParams, family: &HashFamily) -
     for (i, mi) in mins.iter().enumerate() {
         // M_i = {⟨k_j, p_j⟩ : p_i ≤ p_j ≤ p_i + ℓ}
         let hi = u64::from(mi.pos) + params.ell as u64;
-        let interval: Vec<&Minimizer> =
-            mins[i..].iter().take_while(|m| u64::from(m.pos) <= hi).collect();
+        let interval: Vec<&Minimizer> = mins[i..]
+            .iter()
+            .take_while(|m| u64::from(m.pos) <= hi)
+            .collect();
         for (t, h) in family.iter() {
             let best = interval
                 .iter()
@@ -185,7 +196,9 @@ mod tests {
     fn rng_seq(n: usize, seed: u64) -> Vec<u8> {
         (0..n)
             .scan(seed, |s, _| {
-                *s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                *s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 Some(b"ACGT"[((*s >> 33) % 4) as usize])
             })
             .collect()
@@ -254,12 +267,17 @@ mod tests {
         let seq = rng_seq(2000, 77);
         let p = JemParams::new(9, 12, 150).unwrap();
         let f = HashFamily::generate(8, 6);
-        let codes: std::collections::HashSet<u64> =
-            minimizers(&seq, p.minimizer_params()).iter().map(|m| m.code).collect();
+        let codes: std::collections::HashSet<u64> = minimizers(&seq, p.minimizer_params())
+            .iter()
+            .map(|m| m.code)
+            .collect();
         let s = sketch_by_jem(&seq, p, &f);
         for list in &s.per_trial {
             for c in list {
-                assert!(codes.contains(c), "sketch code not a minimizer of the input");
+                assert!(
+                    codes.contains(c),
+                    "sketch code not a minimizer of the input"
+                );
             }
         }
     }
@@ -267,7 +285,11 @@ mod tests {
     #[test]
     fn trial_lists_sorted_unique() {
         let seq = rng_seq(3000, 5);
-        let s = sketch_by_jem(&seq, JemParams::new(8, 10, 200).unwrap(), &HashFamily::generate(4, 2));
+        let s = sketch_by_jem(
+            &seq,
+            JemParams::new(8, 10, 200).unwrap(),
+            &HashFamily::generate(4, 2),
+        );
         for list in &s.per_trial {
             for w in list.windows(2) {
                 assert!(w[0] < w[1]);
@@ -308,6 +330,9 @@ mod tests {
                 collisions += 1;
             }
         }
-        assert!(collisions >= 12, "only {collisions}/16 trials collided for a verbatim window");
+        assert!(
+            collisions >= 12,
+            "only {collisions}/16 trials collided for a verbatim window"
+        );
     }
 }

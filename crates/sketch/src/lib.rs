@@ -26,14 +26,14 @@ pub mod hash;
 pub mod jaccard;
 pub mod jem;
 pub mod minhash;
-pub mod scheme;
 pub mod minimizer;
+pub mod scheme;
 pub mod syncmer;
 
 pub use hash::{HashFamily, LcgHash};
 pub use jaccard::{exact_jaccard, kmer_set, minimizer_jaccard, sketch_jaccard_estimate};
 pub use jem::{sketch_by_jem, JemParams, JemSketch};
-pub use scheme::{sketch_by_scheme, SketchScheme};
-pub use syncmer::{closed_syncmers, is_closed_syncmer, SyncmerParams};
 pub use minhash::{classic_minhash_seq, classic_minhash_set, ClassicSketch};
 pub use minimizer::{minimizers, minimizers_naive, Minimizer, MinimizerParams};
+pub use scheme::{sketch_by_scheme, SketchScheme};
+pub use syncmer::{closed_syncmers, is_closed_syncmer, SyncmerParams};

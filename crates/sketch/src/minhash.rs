@@ -75,7 +75,9 @@ pub fn classic_minhash_seq(seq: &[u8], k: usize, family: &HashFamily) -> Classic
             }
         }
     }
-    ClassicSketch { values: best.into_iter().map(|b| b.map(|(_, x)| x)).collect() }
+    ClassicSketch {
+        values: best.into_iter().map(|b| b.map(|(_, x)| x)).collect(),
+    }
 }
 
 #[cfg(test)]
@@ -106,7 +108,11 @@ mod tests {
         let b: Vec<u64> = (1000..1050).collect();
         let sa = classic_minhash_set(&a, &f);
         let sb = classic_minhash_set(&b, &f);
-        assert_eq!(sa.collision_rate(&sb), 0.0, "disjoint sets cannot share a minimum");
+        assert_eq!(
+            sa.collision_rate(&sb),
+            0.0,
+            "disjoint sets cannot share a minimum"
+        );
     }
 
     #[test]
@@ -116,7 +122,10 @@ mod tests {
         let b: Vec<u64> = (50..150).collect();
         let f = HashFamily::generate(600, 23);
         let est = classic_minhash_set(&a, &f).collision_rate(&classic_minhash_set(&b, &f));
-        assert!((est - 1.0 / 3.0).abs() < 0.08, "estimate {est} too far from 1/3");
+        assert!(
+            (est - 1.0 / 3.0).abs() < 0.08,
+            "estimate {est} too far from 1/3"
+        );
     }
 
     #[test]

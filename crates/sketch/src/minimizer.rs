@@ -31,7 +31,9 @@ impl MinimizerParams {
             return Err(SeqError::InvalidK(k));
         }
         if w == 0 {
-            return Err(SeqError::InvalidParameter("window size w must be >= 1".into()));
+            return Err(SeqError::InvalidParameter(
+                "window size w must be >= 1".into(),
+            ));
         }
         Ok(MinimizerParams { k, w })
     }
@@ -131,7 +133,10 @@ pub fn minimizers(seq: &[u8], params: MinimizerParams) -> Vec<Minimizer> {
             let &(_, mpos, mcode) = deque.front().expect("window is non-empty");
             // Winnowing dedup: emit only on change (pos identifies occurrence).
             if last_emitted != Some((mpos, mcode)) {
-                out.push(Minimizer { code: mcode, pos: mpos });
+                out.push(Minimizer {
+                    code: mcode,
+                    pos: mpos,
+                });
                 last_emitted = Some((mpos, mcode));
             }
         }
@@ -168,17 +173,28 @@ pub fn minimizers_naive(seq: &[u8], params: MinimizerParams) -> Vec<Minimizer> {
         }
         if run.len() < w {
             // Short run: single window over everything.
-            let (pos, km) =
-                run.iter().min_by_key(|(p, km)| (km.code(), *p)).expect("non-empty run");
-            out.push(Minimizer { code: km.code(), pos: *pos as u32 });
+            let (pos, km) = run
+                .iter()
+                .min_by_key(|(p, km)| (km.code(), *p))
+                .expect("non-empty run");
+            out.push(Minimizer {
+                code: km.code(),
+                pos: *pos as u32,
+            });
             continue;
         }
         let mut last: Option<(u32, u64)> = None;
         for win in run.windows(w) {
-            let (pos, km) = win.iter().min_by_key(|(p, km)| (km.code(), *p)).expect("window");
+            let (pos, km) = win
+                .iter()
+                .min_by_key(|(p, km)| (km.code(), *p))
+                .expect("window");
             let entry = (*pos as u32, km.code());
             if last != Some(entry) {
-                out.push(Minimizer { code: entry.1, pos: entry.0 });
+                out.push(Minimizer {
+                    code: entry.1,
+                    pos: entry.0,
+                });
                 last = Some(entry);
             }
         }
@@ -200,7 +216,10 @@ mod tests {
         assert!(MinimizerParams::new(0, 5).is_err());
         assert!(MinimizerParams::new(33, 5).is_err());
         assert!(MinimizerParams::new(16, 0).is_err());
-        assert_eq!(MinimizerParams::paper_default(), MinimizerParams { k: 16, w: 100 });
+        assert_eq!(
+            MinimizerParams::paper_default(),
+            MinimizerParams { k: 16, w: 100 }
+        );
     }
 
     #[test]
@@ -255,7 +274,11 @@ mod tests {
     fn matches_naive_with_ambiguous_breaks() {
         let seq = b"ACGTGCATNNACGTTTGCATGGANCCGTA";
         for (k, w) in [(3, 2), (3, 4), (4, 6)] {
-            assert_eq!(minimizers(seq, p(k, w)), minimizers_naive(seq, p(k, w)), "k={k} w={w}");
+            assert_eq!(
+                minimizers(seq, p(k, w)),
+                minimizers_naive(seq, p(k, w)),
+                "k={k} w={w}"
+            );
         }
     }
 
@@ -279,7 +302,9 @@ mod tests {
         // Expected winnowing density is ~2/(w+1); allow a generous band.
         let seq: Vec<u8> = (0..20_000)
             .scan(12345u64, |s, _| {
-                *s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                *s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 Some(b"ACGT"[((*s >> 33) % 4) as usize])
             })
             .collect();
@@ -288,7 +313,10 @@ mod tests {
         let n_kmers = (seq.len() - k + 1) as f64;
         let density = m.len() as f64 / n_kmers;
         let expect = 2.0 / (w as f64 + 1.0);
-        assert!(density > expect * 0.5 && density < expect * 2.0, "density {density} vs {expect}");
+        assert!(
+            density > expect * 0.5 && density < expect * 2.0,
+            "density {density} vs {expect}"
+        );
     }
 
     #[test]

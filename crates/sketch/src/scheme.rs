@@ -81,7 +81,9 @@ mod tests {
     fn rng_seq(n: usize, seed: u64) -> Vec<u8> {
         (0..n)
             .scan(seed, |s, _| {
-                *s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                *s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 Some(b"ACGT"[((*s >> 33) % 4) as usize])
             })
             .collect()
@@ -102,8 +104,13 @@ mod tests {
     fn syncmer_scheme_produces_nonempty_sketch() {
         let seq = rng_seq(5_000, 3);
         let family = HashFamily::generate(8, 4);
-        let sketch =
-            sketch_by_scheme(&seq, 16, SketchScheme::ClosedSyncmer { s: 11 }, 300, &family);
+        let sketch = sketch_by_scheme(
+            &seq,
+            16,
+            SketchScheme::ClosedSyncmer { s: 11 },
+            300,
+            &family,
+        );
         assert!(!sketch.is_empty());
         assert_eq!(sketch.trials(), 8);
     }
@@ -120,8 +127,7 @@ mod tests {
     fn densities() {
         assert!((SketchScheme::Minimizer { w: 99 }.expected_density(16) - 0.02).abs() < 1e-12);
         assert!(
-            (SketchScheme::ClosedSyncmer { s: 11 }.expected_density(16) - 2.0 / 6.0).abs()
-                < 1e-12
+            (SketchScheme::ClosedSyncmer { s: 11 }.expected_density(16) - 2.0 / 6.0).abs() < 1e-12
         );
     }
 

@@ -94,7 +94,10 @@ pub fn closed_syncmers(seq: &[u8], params: SyncmerParams) -> Vec<Minimizer> {
     };
     for (pos, kmer) in iter {
         if is_closed_syncmer(kmer.code(), params.k, params.s) {
-            out.push(Minimizer { code: kmer.code(), pos: pos as u32 });
+            out.push(Minimizer {
+                code: kmer.code(),
+                pos: pos as u32,
+            });
         }
     }
     out
@@ -108,7 +111,9 @@ mod tests {
     fn rng_seq(n: usize, seed: u64) -> Vec<u8> {
         (0..n)
             .scan(seed, |s, _| {
-                *s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                *s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 Some(b"ACGT"[((*s >> 33) % 4) as usize])
             })
             .collect()
@@ -155,7 +160,10 @@ mod tests {
         let n_kmers = (seq.len() - p.k + 1) as f64;
         let density = selected.len() as f64 / n_kmers;
         let expect = p.expected_density();
-        assert!((density - expect).abs() < expect * 0.2, "density {density} vs {expect}");
+        assert!(
+            (density - expect).abs() < expect * 0.2,
+            "density {density} vs {expect}"
+        );
     }
 
     #[test]
@@ -190,7 +198,11 @@ mod tests {
         let core = b"ACGGTCATT";
         let code = Kmer::from_bytes(core).unwrap().canonical().code();
         let expect = is_closed_syncmer(code, 9, 5);
-        for (left, right) in [(&b"AAAA"[..], &b"TTTT"[..]), (b"GGGG", b"CCCC"), (b"TACG", b"GATC")] {
+        for (left, right) in [
+            (&b"AAAA"[..], &b"TTTT"[..]),
+            (b"GGGG", b"CCCC"),
+            (b"TACG", b"GATC"),
+        ] {
             let mut seq = left.to_vec();
             seq.extend_from_slice(core);
             seq.extend_from_slice(right);
@@ -225,20 +237,25 @@ mod tests {
         let survival = |orig: &[Minimizer], mutd: &[Minimizer]| {
             let set: std::collections::HashSet<(u64, u32)> =
                 mutd.iter().map(|m| (m.code, m.pos)).collect();
-            let kept = orig.iter().filter(|m| set.contains(&(m.code, m.pos))).count();
+            let kept = orig
+                .iter()
+                .filter(|m| set.contains(&(m.code, m.pos)))
+                .count();
             kept as f64 / orig.len().max(1) as f64
         };
         // Density-matched: syncmer s=11 → 2/6; minimizer w=5 → 2/6.
         let sp = SyncmerParams::new(k, 11).unwrap();
         let mp = MinimizerParams::new(k, 5).unwrap();
-        let sync_survival =
-            survival(&closed_syncmers(&seq, sp), &closed_syncmers(&mutated, sp));
+        let sync_survival = survival(&closed_syncmers(&seq, sp), &closed_syncmers(&mutated, sp));
         let mini_survival = survival(&minimizers(&seq, mp), &minimizers(&mutated, mp));
         assert!(
             sync_survival >= mini_survival - 0.02,
             "syncmer survival {sync_survival:.3} should not trail minimizers {mini_survival:.3}"
         );
-        assert!(sync_survival > 0.5, "2% mutations should keep most syncmers");
+        assert!(
+            sync_survival > 0.5,
+            "2% mutations should keep most syncmers"
+        );
     }
 
     #[test]

@@ -16,11 +16,20 @@ fn main() {
 
     // 2. Short reads (100 bp, 30x, 0.5% substitution error).
     let short_reads = simulate_illumina(&genome, &IlluminaProfile::default(), 22);
-    println!("short reads: {} x {} bp", short_reads.len(), short_reads[0].seq.len());
+    println!(
+        "short reads: {} x {} bp",
+        short_reads.len(),
+        short_reads[0].seq.len()
+    );
 
     // 3. Assemble with the de Bruijn substrate.
     let read_seqs: Vec<Vec<u8>> = short_reads.into_iter().map(|r| r.seq).collect();
-    let params = AssemblyParams { k: 31, min_abundance: 3, min_contig_len: 500, tip_len: 93 };
+    let params = AssemblyParams {
+        k: 31,
+        min_abundance: 3,
+        min_contig_len: 500,
+        tip_len: 93,
+    };
     let contigs = assemble(&read_seqs, &params);
     let total: usize = contigs.iter().map(|c| c.seq.len()).sum();
     println!(
@@ -32,18 +41,33 @@ fn main() {
     );
 
     // 4. HiFi long reads and JEM mapping against the *assembled* contigs.
-    let reads = simulate_hifi(&genome, &HifiProfile { coverage: 5.0, ..Default::default() }, 23);
+    let reads = simulate_hifi(
+        &genome,
+        &HifiProfile {
+            coverage: 5.0,
+            ..Default::default()
+        },
+        23,
+    );
     let config = MapperConfig::default();
     let mapper = JemMapper::build(contigs, &config);
     let mappings = mapper.map_reads(&read_records(&reads));
-    let n_segments: usize =
-        reads.iter().map(|r| if r.len() > config.ell { 2 } else { 1 }).sum();
+    let n_segments: usize = reads
+        .iter()
+        .map(|r| if r.len() > config.ell { 2 } else { 1 })
+        .sum();
     println!(
         "mapped {}/{} end segments ({:.1}%)",
         mappings.len(),
         n_segments,
         100.0 * mappings.len() as f64 / n_segments as f64
     );
-    let strong = mappings.iter().filter(|m| m.hits as usize >= config.trials / 2).count();
-    println!("{strong} mappings supported by a majority of the {} trials", config.trials);
+    let strong = mappings
+        .iter()
+        .filter(|m| m.hits as usize >= config.trials / 2)
+        .count();
+    println!(
+        "{strong} mappings supported by a majority of the {} trials",
+        config.trials
+    );
 }

@@ -25,9 +25,19 @@ fn main() {
         error_rate: 0.0,
     };
     let contigs = fragment_contigs(&genome, &profile, 62);
-    let hifi = HifiProfile { coverage: 2.0, mean_len: 12_000, std_len: 2_000, min_len: 6_000, error_rate: 0.001 };
+    let hifi = HifiProfile {
+        coverage: 2.0,
+        mean_len: 12_000,
+        std_len: 2_000,
+        min_len: 6_000,
+        error_rate: 0.001,
+    };
     let reads = jem_sim::simulate_hifi(&genome, &hifi, 63);
-    println!("{} contigs (mean ~1.5 kb), {} reads (mean ~12 kb)", contigs.len(), reads.len());
+    println!(
+        "{} contigs (mean ~1.5 kb), {} reads (mean ~12 kb)",
+        contigs.len(),
+        reads.len()
+    );
 
     let config = MapperConfig::default();
     let mapper = JemMapper::build(contig_records(&contigs), &config);
@@ -71,7 +81,16 @@ fn main() {
     }
 
     println!("\ninterior-only contig incidences: {interior_total}");
-    println!("  found by end segments:  {end_found} ({:.1}%)", 100.0 * end_found as f64 / interior_total.max(1) as f64);
-    println!("  found by tiling:        {tiled_found} ({:.1}%)", 100.0 * tiled_found as f64 / interior_total.max(1) as f64);
-    assert!(tiled_found > end_found, "tiling must beat end-only mapping here");
+    println!(
+        "  found by end segments:  {end_found} ({:.1}%)",
+        100.0 * end_found as f64 / interior_total.max(1) as f64
+    );
+    println!(
+        "  found by tiling:        {tiled_found} ({:.1}%)",
+        100.0 * tiled_found as f64 / interior_total.max(1) as f64
+    );
+    assert!(
+        tiled_found > end_found,
+        "tiling must beat end-only mapping here"
+    );
 }

@@ -11,18 +11,36 @@ use jem_psim::{CostModel, ExecMode};
 fn main() {
     let genome = Genome::random(300_000, 0.5, 41);
     let contigs = fragment_contigs(&genome, &ContigProfile::eukaryotic(), 42);
-    let reads = simulate_hifi(&genome, &HifiProfile { coverage: 6.0, ..Default::default() }, 43);
+    let reads = simulate_hifi(
+        &genome,
+        &HifiProfile {
+            coverage: 6.0,
+            ..Default::default()
+        },
+        43,
+    );
     let subjects = contig_records(&contigs);
     let query_reads = read_records(&reads);
     let config = MapperConfig::default();
     let cost = CostModel::ethernet_10g();
-    println!("{} contigs, {} reads, 10GbE cost model\n", contigs.len(), reads.len());
+    println!(
+        "{} contigs, {} reads, 10GbE cost model\n",
+        contigs.len(),
+        reads.len()
+    );
 
     println!("| p | makespan (s) | input | sketch | gather+table | query map | comm % |");
     println!("|---|---|---|---|---|---|---|");
     let mut first_mappings = None;
     for p in [1usize, 4, 16, 64] {
-        let o = run_distributed(&subjects, &query_reads, &config, p, cost, ExecMode::Sequential);
+        let o = run_distributed(
+            &subjects,
+            &query_reads,
+            &config,
+            p,
+            cost,
+            ExecMode::Sequential,
+        );
         let b = o.breakdown();
         println!(
             "| {p} | {:.4} | {:.4} | {:.4} | {:.4} | {:.4} | {:.1}% |",

@@ -28,7 +28,14 @@ fn main() {
     // Simulate a genome with a fragmented assembly and decent HiFi coverage.
     let genome = Genome::random(400_000, 0.45, 11);
     let contigs = fragment_contigs(&genome, &ContigProfile::eukaryotic(), 12);
-    let reads = simulate_hifi(&genome, &HifiProfile { coverage: 8.0, ..Default::default() }, 13);
+    let reads = simulate_hifi(
+        &genome,
+        &HifiProfile {
+            coverage: 8.0,
+            ..Default::default()
+        },
+        13,
+    );
     println!("contigs: {}  reads: {}", contigs.len(), reads.len());
 
     // Map end segments.
@@ -55,9 +62,16 @@ fn main() {
         }
     }
     // Keep links with ≥2 supporting reads (standard scaffolding hygiene).
-    let strong: Vec<((u32, u32), u32)> =
-        links.iter().filter(|(_, &c)| c >= 2).map(|(&k, &c)| (k, c)).collect();
-    println!("contig links: {} total, {} with >=2 read support", links.len(), strong.len());
+    let strong: Vec<((u32, u32), u32)> = links
+        .iter()
+        .filter(|(_, &c)| c >= 2)
+        .map(|(&k, &c)| (k, c))
+        .collect();
+    println!(
+        "contig links: {} total, {} with >=2 read support",
+        links.len(),
+        strong.len()
+    );
 
     // Greedy chaining: sort links by support, join contigs whose endpoints
     // are still free (each contig joins at most two scaffolds ends).
@@ -96,8 +110,20 @@ fn main() {
     let contig_n50 = n50(contigs.iter().map(|c| c.len()).collect());
     let scaffold_n50 = n50(scaffold_len.values().copied().collect());
     println!("joins made: {joins}");
-    println!("contig   N50: {contig_n50} bp  ({} sequences)", contigs.len());
-    println!("scaffold N50: {scaffold_n50} bp  ({} scaffolds)", scaffold_len.len());
-    assert!(scaffold_n50 >= contig_n50, "scaffolding should not reduce N50");
-    println!("N50 improvement: {:.2}x", scaffold_n50 as f64 / contig_n50 as f64);
+    println!(
+        "contig   N50: {contig_n50} bp  ({} sequences)",
+        contigs.len()
+    );
+    println!(
+        "scaffold N50: {scaffold_n50} bp  ({} scaffolds)",
+        scaffold_len.len()
+    );
+    assert!(
+        scaffold_n50 >= contig_n50,
+        "scaffolding should not reduce N50"
+    );
+    println!(
+        "N50 improvement: {:.2}x",
+        scaffold_n50 as f64 / contig_n50 as f64
+    );
 }

@@ -42,7 +42,14 @@ fn evaluate(
 fn main() {
     let genome = Genome::random(250_000, 0.45, 31);
     let contigs = fragment_contigs(&genome, &ContigProfile::eukaryotic(), 32);
-    let reads = simulate_hifi(&genome, &HifiProfile { coverage: 4.0, ..Default::default() }, 33);
+    let reads = simulate_hifi(
+        &genome,
+        &HifiProfile {
+            coverage: 4.0,
+            ..Default::default()
+        },
+        33,
+    );
     let subjects = contig_records(&contigs);
     let query_reads = read_records(&reads);
     println!("{} contigs, {} reads\n", contigs.len(), reads.len());
@@ -50,17 +57,26 @@ fn main() {
     println!("| param | precision | recall | table entries |");
     println!("|---|---|---|---|");
     for t in [5usize, 15, 30, 60] {
-        let cfg = MapperConfig { trials: t, ..Default::default() };
+        let cfg = MapperConfig {
+            trials: t,
+            ..Default::default()
+        };
         let (p, r, e) = evaluate(&contigs, &reads, &subjects, &query_reads, &cfg);
         println!("| T={t} | {:.2}% | {:.2}% | {e} |", p * 100.0, r * 100.0);
     }
     for w in [20usize, 50, 100, 200] {
-        let cfg = MapperConfig { w, ..Default::default() };
+        let cfg = MapperConfig {
+            w,
+            ..Default::default()
+        };
         let (p, r, e) = evaluate(&contigs, &reads, &subjects, &query_reads, &cfg);
         println!("| w={w} | {:.2}% | {:.2}% | {e} |", p * 100.0, r * 100.0);
     }
     for k in [12usize, 16, 20, 24] {
-        let cfg = MapperConfig { k, ..Default::default() };
+        let cfg = MapperConfig {
+            k,
+            ..Default::default()
+        };
         let (p, r, e) = evaluate(&contigs, &reads, &subjects, &query_reads, &cfg);
         println!("| k={k} | {:.2}% | {:.2}% | {e} |", p * 100.0, r * 100.0);
     }

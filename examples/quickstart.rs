@@ -12,8 +12,20 @@ fn main() {
     // 1. Simulate a 200 kb genome, a fragmented contig set, and HiFi reads.
     let genome = Genome::random(200_000, 0.5, 7);
     let contigs = fragment_contigs(&genome, &ContigProfile::eukaryotic(), 8);
-    let reads = simulate_hifi(&genome, &HifiProfile { coverage: 5.0, ..Default::default() }, 9);
-    println!("genome: {} bp, contigs: {}, reads: {}", genome.len(), contigs.len(), reads.len());
+    let reads = simulate_hifi(
+        &genome,
+        &HifiProfile {
+            coverage: 5.0,
+            ..Default::default()
+        },
+        9,
+    );
+    println!(
+        "genome: {} bp, contigs: {}, reads: {}",
+        genome.len(),
+        contigs.len(),
+        reads.len()
+    );
 
     // 2. Build the JEM-mapper index over the contigs (paper defaults:
     //    k=16, w=100, T=30, ell=1000).
@@ -28,8 +40,13 @@ fn main() {
 
     // 4. Print the first few mappings as TSV.
     let mut tsv = Vec::new();
-    write_mappings_tsv(&mut tsv, &mappings[..mappings.len().min(5)], &query_reads, &mapper)
-        .expect("in-memory write");
+    write_mappings_tsv(
+        &mut tsv,
+        &mappings[..mappings.len().min(5)],
+        &query_reads,
+        &mapper,
+    )
+    .expect("in-memory write");
     print!("{}", String::from_utf8_lossy(&tsv));
 
     // 5. Score against the simulated truth (Fig. 4 benchmark).

@@ -16,7 +16,12 @@ fn assembled_world() -> (Genome, Vec<SeqRecord>) {
     let read_seqs: Vec<Vec<u8>> = short.into_iter().map(|r| r.seq).collect();
     let contigs = assemble(
         &read_seqs,
-        &AssemblyParams { k: 31, min_abundance: 3, min_contig_len: 500, tip_len: 93 },
+        &AssemblyParams {
+            k: 31,
+            min_abundance: 3,
+            min_contig_len: 500,
+            tip_len: 93,
+        },
     );
     (genome, contigs)
 }
@@ -66,7 +71,10 @@ fn hifi_ends_map_to_assembled_contigs() {
     let (genome, contigs) = assembled_world();
     let reads = simulate_hifi(
         &genome,
-        &HifiProfile { coverage: 3.0, ..Default::default() },
+        &HifiProfile {
+            coverage: 3.0,
+            ..Default::default()
+        },
         779,
     );
     let query_reads = read_records(&reads);
@@ -74,8 +82,10 @@ fn hifi_ends_map_to_assembled_contigs() {
     let n_contigs = contigs.len();
     let mapper = JemMapper::build(contigs, &config);
     let mappings = mapper.map_reads(&query_reads);
-    let n_segments: usize =
-        query_reads.iter().map(|r| if r.seq.len() > config.ell { 2 } else { 1 }).sum();
+    let n_segments: usize = query_reads
+        .iter()
+        .map(|r| if r.seq.len() > config.ell { 2 } else { 1 })
+        .sum();
     assert!(
         mappings.len() * 10 >= n_segments * 8,
         "only {}/{} segments mapped against {n_contigs} assembled contigs",
@@ -84,6 +94,13 @@ fn hifi_ends_map_to_assembled_contigs() {
     );
     // Strong support: HiFi segments over error-filtered contigs should
     // collide on most trials.
-    let strong = mappings.iter().filter(|m| m.hits as usize >= config.trials / 2).count();
-    assert!(strong * 10 >= mappings.len() * 9, "{strong}/{} strong", mappings.len());
+    let strong = mappings
+        .iter()
+        .filter(|m| m.hits as usize >= config.trials / 2)
+        .count();
+    assert!(
+        strong * 10 >= mappings.len() * 9,
+        "{strong}/{} strong",
+        mappings.len()
+    );
 }

@@ -1,10 +1,9 @@
 //! Cross-tool integration: JEM-mapper vs the baselines on shared data.
 
 use jem_baseline::{
-    mashmap::mapping_key, ClassicMinHashConfig, ClassicMinHashMapper, MashmapConfig,
-    MashmapMapper,
+    mashmap::mapping_key, ClassicMinHashConfig, ClassicMinHashMapper, MashmapConfig, MashmapMapper,
 };
-use jem_core::{mapping_pairs, JemMapper, Mapping, MapperConfig};
+use jem_core::{mapping_pairs, JemMapper, MapperConfig, Mapping};
 use jem_eval::{Benchmark, MappingMetrics};
 use jem_seq::SeqRecord;
 use jem_sim::{
@@ -12,11 +11,22 @@ use jem_sim::{
     HifiProfile, SegmentEnd, SimulatedRead,
 };
 
-fn world() -> (Vec<Contig>, Vec<SimulatedRead>, Vec<SeqRecord>, Vec<SeqRecord>) {
+fn world() -> (
+    Vec<Contig>,
+    Vec<SimulatedRead>,
+    Vec<SeqRecord>,
+    Vec<SeqRecord>,
+) {
     let genome = Genome::random(200_000, 0.5, 900);
     let contigs = fragment_contigs(&genome, &ContigProfile::eukaryotic(), 901);
-    let reads =
-        simulate_hifi(&genome, &HifiProfile { coverage: 4.0, ..Default::default() }, 902);
+    let reads = simulate_hifi(
+        &genome,
+        &HifiProfile {
+            coverage: 4.0,
+            ..Default::default()
+        },
+        902,
+    );
     let subjects = contig_records(&contigs);
     let query_reads = read_records(&reads);
     (contigs, reads, subjects, query_reads)
@@ -39,8 +49,15 @@ fn truth(contigs: &[Contig], reads: &[SimulatedRead], ell: usize, k: u64) -> Ben
     Benchmark::from_coordinates(&queries, &coords, k)
 }
 
-fn pairs_of(mappings: &[Mapping], reads: &[SeqRecord], name: impl Fn(u32) -> String) -> Vec<(String, String)> {
-    mappings.iter().map(|m| (mapping_key(m, reads), name(m.subject))).collect()
+fn pairs_of(
+    mappings: &[Mapping],
+    reads: &[SeqRecord],
+    name: impl Fn(u32) -> String,
+) -> Vec<(String, String)> {
+    mappings
+        .iter()
+        .map(|m| (mapping_key(m, reads), name(m.subject)))
+        .collect()
 }
 
 #[test]
@@ -53,19 +70,34 @@ fn jem_and_mashmap_both_high_quality() {
     let jem_pairs = mapping_pairs(&jem.map_reads(&query_reads), &query_reads, &jem);
     let jem_m = MappingMetrics::classify(&jem_pairs, &bench);
 
-    let mash_cfg = MashmapConfig { k: 16, w: 10, ell: 1000, min_shared: 4 };
+    let mash_cfg = MashmapConfig {
+        k: 16,
+        w: 10,
+        ell: 1000,
+        min_shared: 4,
+    };
     let mash = MashmapMapper::build(subjects.clone(), &mash_cfg);
-    let mash_pairs = pairs_of(
-        &mash.map_reads(&query_reads),
-        &query_reads,
-        |id| mash.subject_name(id).to_string(),
-    );
+    let mash_pairs = pairs_of(&mash.map_reads(&query_reads), &query_reads, |id| {
+        mash.subject_name(id).to_string()
+    });
     let mash_m = MappingMetrics::classify(&mash_pairs, &bench);
 
-    assert!(jem_m.precision() > 0.95, "JEM precision {:.3}", jem_m.precision());
-    assert!(mash_m.precision() > 0.95, "Mashmap precision {:.3}", mash_m.precision());
+    assert!(
+        jem_m.precision() > 0.95,
+        "JEM precision {:.3}",
+        jem_m.precision()
+    );
+    assert!(
+        mash_m.precision() > 0.95,
+        "Mashmap precision {:.3}",
+        mash_m.precision()
+    );
     assert!(jem_m.recall() > 0.90, "JEM recall {:.3}", jem_m.recall());
-    assert!(mash_m.recall() > 0.90, "Mashmap recall {:.3}", mash_m.recall());
+    assert!(
+        mash_m.recall() > 0.90,
+        "Mashmap recall {:.3}",
+        mash_m.recall()
+    );
 }
 
 #[test]
@@ -76,14 +108,22 @@ fn jem_beats_classical_minhash_at_low_trials() {
     let bench = truth(&contigs, &reads, 1000, 16);
     let t = 10;
 
-    let jem_cfg = MapperConfig { trials: t, ..Default::default() };
+    let jem_cfg = MapperConfig {
+        trials: t,
+        ..Default::default()
+    };
     let jem = JemMapper::build(subjects.clone(), &jem_cfg);
     let jem_m = MappingMetrics::classify(
         &mapping_pairs(&jem.map_reads(&query_reads), &query_reads, &jem),
         &bench,
     );
 
-    let classic_cfg = ClassicMinHashConfig { k: 16, trials: t, ell: 1000, seed: jem_cfg.seed };
+    let classic_cfg = ClassicMinHashConfig {
+        k: 16,
+        trials: t,
+        ell: 1000,
+        seed: jem_cfg.seed,
+    };
     let classic = ClassicMinHashMapper::build(&subjects, &classic_cfg);
     let classic_m = MappingMetrics::classify(
         &pairs_of(&classic.map_reads(&query_reads), &query_reads, |id| {
@@ -105,7 +145,12 @@ fn classical_minhash_converges_with_many_trials() {
     let (contigs, reads, subjects, query_reads) = world();
     let bench = truth(&contigs, &reads, 1000, 16);
     let recall_at = |t: usize| {
-        let cfg = ClassicMinHashConfig { k: 16, trials: t, ell: 1000, seed: 1 };
+        let cfg = ClassicMinHashConfig {
+            k: 16,
+            trials: t,
+            ell: 1000,
+            seed: 1,
+        };
         let mapper = ClassicMinHashMapper::build(&subjects, &cfg);
         MappingMetrics::classify(
             &pairs_of(&mapper.map_reads(&query_reads), &query_reads, |id| {
@@ -117,6 +162,12 @@ fn classical_minhash_converges_with_many_trials() {
     };
     let low = recall_at(5);
     let high = recall_at(80);
-    assert!(high > low, "more trials must improve classical MinHash ({low:.3} -> {high:.3})");
-    assert!(high > 0.8, "classical MinHash should eventually converge, got {high:.3}");
+    assert!(
+        high > low,
+        "more trials must improve classical MinHash ({low:.3} -> {high:.3})"
+    );
+    assert!(
+        high > 0.8,
+        "classical MinHash should eventually converge, got {high:.3}"
+    );
 }

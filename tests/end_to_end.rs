@@ -21,12 +21,20 @@ fn world(seed: u64) -> World {
     let contigs = fragment_contigs(&genome, &ContigProfile::eukaryotic(), seed + 1);
     let reads = simulate_hifi(
         &genome,
-        &HifiProfile { coverage: 4.0, ..Default::default() },
+        &HifiProfile {
+            coverage: 4.0,
+            ..Default::default()
+        },
         seed + 2,
     );
     let subjects = contig_records(&contigs);
     let query_reads = read_records(&reads);
-    World { contigs, reads, subjects, query_reads }
+    World {
+        contigs,
+        reads,
+        subjects,
+        query_reads,
+    }
 }
 
 fn truth(w: &World, config: &MapperConfig) -> Benchmark {
@@ -55,8 +63,16 @@ fn jem_quality_on_simulated_data() {
     let mappings = mapper.map_reads(&w.query_reads);
     let bench = truth(&w, &config);
     let m = MappingMetrics::classify(&mapping_pairs(&mappings, &w.query_reads, &mapper), &bench);
-    assert!(m.precision() > 0.95, "precision {:.3} below the paper's band", m.precision());
-    assert!(m.recall() > 0.90, "recall {:.3} below the paper's band", m.recall());
+    assert!(
+        m.precision() > 0.95,
+        "precision {:.3} below the paper's band",
+        m.precision()
+    );
+    assert!(
+        m.recall() > 0.90,
+        "recall {:.3} below the paper's band",
+        m.recall()
+    );
     assert!(
         m.recall() <= m.precision() + 1e-9,
         "recall must be upper-bounded by precision (paper §IV-B)"
@@ -66,7 +82,10 @@ fn jem_quality_on_simulated_data() {
 #[test]
 fn all_three_drivers_agree() {
     let w = world(200);
-    let config = MapperConfig { trials: 10, ..Default::default() };
+    let config = MapperConfig {
+        trials: 10,
+        ..Default::default()
+    };
     let mapper = JemMapper::build(w.subjects.clone(), &config);
     let mut sequential = mapper.map_reads(&w.query_reads);
     sequential.sort_unstable_by_key(|m| (m.read_idx, m.end));
@@ -81,7 +100,10 @@ fn all_three_drivers_agree() {
             CostModel::ethernet_10g(),
             ExecMode::Sequential,
         );
-        assert_eq!(distributed.mappings, sequential, "distributed p={p} must equal sequential");
+        assert_eq!(
+            distributed.mappings, sequential,
+            "distributed p={p} must equal sequential"
+        );
     }
 }
 
@@ -93,13 +115,26 @@ fn scaling_report_is_sane() {
     let contigs = fragment_contigs(&genome, &ContigProfile::eukaryotic(), 302);
     let reads = read_records(&simulate_hifi(
         &genome,
-        &HifiProfile { coverage: 8.0, ..Default::default() },
+        &HifiProfile {
+            coverage: 8.0,
+            ..Default::default()
+        },
         303,
     ));
     let subjects = contig_records(&contigs);
-    let config = MapperConfig { trials: 10, ..Default::default() };
+    let config = MapperConfig {
+        trials: 10,
+        ..Default::default()
+    };
     let run = |p| {
-        run_distributed(&subjects, &reads, &config, p, CostModel::ethernet_10g(), ExecMode::Sequential)
+        run_distributed(
+            &subjects,
+            &reads,
+            &config,
+            p,
+            CostModel::ethernet_10g(),
+            ExecMode::Sequential,
+        )
     };
     let _ = run(2); // warm-up (page cache / allocator)
     let o2 = run(2);
@@ -139,5 +174,9 @@ fn segments_map_to_overlapping_contigs() {
     let bench = truth(&w, &config);
     let pairs = mapping_pairs(&mappings, &w.query_reads, &mapper);
     let correct = pairs.iter().filter(|(q, s)| bench.contains(q, s)).count();
-    assert!(correct * 100 >= pairs.len() * 95, "{correct}/{} correct", pairs.len());
+    assert!(
+        correct * 100 >= pairs.len() * 95,
+        "{correct}/{} correct",
+        pairs.len()
+    );
 }

@@ -2,8 +2,10 @@
 //! rather than in-memory records (the shape a real user runs).
 
 use jem_core::{JemMapper, MapperConfig};
-use jem_seq::{FastaReader, FastaWriter, FastqReader, FastqWriter, FastqRecord, SeqRecord};
-use jem_sim::{contig_records, fragment_contigs, simulate_hifi, ContigProfile, Genome, HifiProfile};
+use jem_seq::{FastaReader, FastaWriter, FastqReader, FastqRecord, FastqWriter, SeqRecord};
+use jem_sim::{
+    contig_records, fragment_contigs, simulate_hifi, ContigProfile, Genome, HifiProfile,
+};
 
 #[test]
 fn mapping_through_fasta_files_matches_in_memory() {
@@ -14,7 +16,10 @@ fn mapping_through_fasta_files_matches_in_memory() {
     let contigs = fragment_contigs(&genome, &ContigProfile::small_genome(), 1235);
     let reads = simulate_hifi(
         &genome,
-        &HifiProfile { coverage: 2.0, ..Default::default() },
+        &HifiProfile {
+            coverage: 2.0,
+            ..Default::default()
+        },
         1236,
     );
     let subjects = contig_records(&contigs);
@@ -30,15 +35,21 @@ fn mapping_through_fasta_files_matches_in_memory() {
     {
         let mut w = FastqWriter::create(&reads_path).unwrap();
         for r in &reads {
-            w.write_record(&FastqRecord::with_uniform_quality(r.id.clone(), r.seq.clone(), b'K'))
-                .unwrap();
+            w.write_record(&FastqRecord::with_uniform_quality(
+                r.id.clone(),
+                r.seq.clone(),
+                b'K',
+            ))
+            .unwrap();
         }
         w.flush().unwrap();
     }
 
     // Read back.
-    let subjects_back: Vec<SeqRecord> =
-        FastaReader::from_path(&contig_path).unwrap().read_all().unwrap();
+    let subjects_back: Vec<SeqRecord> = FastaReader::from_path(&contig_path)
+        .unwrap()
+        .read_all()
+        .unwrap();
     let reads_back: Vec<SeqRecord> = FastqReader::from_path(&reads_path)
         .unwrap()
         .read_all()
@@ -50,9 +61,14 @@ fn mapping_through_fasta_files_matches_in_memory() {
     assert_eq!(reads_back.len(), reads.len());
 
     // Map both ways; results must be identical.
-    let config = MapperConfig { trials: 8, ..Default::default() };
-    let mem_reads: Vec<SeqRecord> =
-        reads.iter().map(|r| SeqRecord::new(r.id.clone(), r.seq.clone())).collect();
+    let config = MapperConfig {
+        trials: 8,
+        ..Default::default()
+    };
+    let mem_reads: Vec<SeqRecord> = reads
+        .iter()
+        .map(|r| SeqRecord::new(r.id.clone(), r.seq.clone()))
+        .collect();
     let from_memory = JemMapper::build(subjects, &config).map_reads(&mem_reads);
     let from_disk = JemMapper::build(subjects_back, &config).map_reads(&reads_back);
     assert_eq!(from_memory, from_disk);
