@@ -4,7 +4,7 @@ use crate::args::Args;
 use crate::error::CliError;
 use crate::io::{read_sequences, write_fasta};
 use jem_core::{
-    load_index, map_reads_parallel, run_distributed_resilient, save_index, write_mappings_tsv,
+    load_index, map_reads_parallel_with, run_distributed_resilient, save_index, write_mappings_tsv,
     JemMapper, MapperConfig, Mapping, ReadEnd, ResilienceOptions,
 };
 use jem_eval::{Benchmark, MappingMetrics};
@@ -19,6 +19,55 @@ use jem_sketch::SketchScheme;
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
+
+/// Arm the process-global metrics recorder when `--metrics PATH` is given.
+/// Must run before any pipeline work so every stage reports into it.
+/// Returns the output path plus the typed handle to snapshot at the end.
+fn metrics_recorder(
+    args: &Args,
+) -> Result<Option<(String, &'static jem_obs::MetricsRecorder)>, CliError> {
+    match args.get("metrics") {
+        None => Ok(None),
+        Some(path) => {
+            let rec = jem_obs::install_default().ok_or_else(|| {
+                CliError::Usage("--metrics: a metrics recorder is already installed".into())
+            })?;
+            Ok(Some((path.to_string(), rec)))
+        }
+    }
+}
+
+/// Dump the recorder's snapshot as JSON (schema in DESIGN.md §9) to `path`.
+fn write_metrics(path: &str, rec: &jem_obs::MetricsRecorder) -> Result<(), CliError> {
+    std::fs::write(path, rec.snapshot().to_json()).map_err(CliError::io(path))?;
+    eprintln!("metrics snapshot written to {path}");
+    Ok(())
+}
+
+/// Parse `--threads N` (None when absent). Also exports `RAYON_NUM_THREADS`
+/// so the lazily-initialized global rayon pool is sized to match; the value
+/// is additionally passed to [`map_reads_parallel_with`], which bounds the
+/// chunk count even if the pool was already built.
+fn thread_count(args: &Args) -> Result<Option<usize>, CliError> {
+    if args.has("threads") {
+        return Err(CliError::Usage(
+            "--threads needs a value (e.g. --threads 4)".into(),
+        ));
+    }
+    match args.get("threads") {
+        None => Ok(None),
+        Some(v) => {
+            let n: usize = v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("cannot parse --threads value {v:?}")))?;
+            if n == 0 {
+                return Err(CliError::Usage("--threads must be at least 1".into()));
+            }
+            std::env::set_var("RAYON_NUM_THREADS", n.to_string());
+            Ok(Some(n))
+        }
+    }
+}
 
 fn mapper_config(args: &Args) -> Result<(MapperConfig, SketchScheme), CliError> {
     let d = MapperConfig::default();
@@ -47,8 +96,10 @@ fn mapper_config(args: &Args) -> Result<(MapperConfig, SketchScheme), CliError> 
     Ok((config, scheme))
 }
 
-/// `jem index --subjects contigs.fa --out index.jem [--k --w --trials --ell --seed]`
+/// `jem index --subjects contigs.fa --out index.jem [--k --w --trials --ell
+///  --seed] [--metrics FILE]`
 pub fn cmd_index(args: &Args) -> Result<(), CliError> {
+    let metrics = metrics_recorder(args)?;
     let subjects = read_sequences(args.req("subjects")?)?;
     let out_path = args.req("out")?;
     let (config, scheme) = mapper_config(args)?;
@@ -68,6 +119,9 @@ pub fn cmd_index(args: &Args) -> Result<(), CliError> {
         mapper.table().entry_count(),
         config.trials
     );
+    if let Some((path, rec)) = metrics {
+        write_metrics(&path, rec)?;
+    }
     Ok(())
 }
 
@@ -91,8 +145,11 @@ fn load_or_build_mapper(args: &Args) -> Result<JemMapper, CliError> {
 }
 
 /// `jem map (--index index.jem | --subjects contigs.fa) --queries reads.fq
-///  [--out out.tsv] [--parallel] [config flags]`
+///  [--out out.tsv] [--parallel] [--threads N] [--metrics FILE]
+///  [config flags]`
 pub fn cmd_map(args: &Args) -> Result<(), CliError> {
+    let metrics = metrics_recorder(args)?;
+    let threads = thread_count(args)?;
     let mapper = load_or_build_mapper(args)?;
     let reads = read_sequences(args.req("queries")?)?;
     eprintln!(
@@ -100,8 +157,9 @@ pub fn cmd_map(args: &Args) -> Result<(), CliError> {
         reads.len(),
         mapper.n_subjects()
     );
-    let mappings = if args.has("parallel") {
-        map_reads_parallel(&mapper, &reads)
+    // `--threads N` implies the parallel driver (with its width bounded).
+    let mappings = if args.has("parallel") || threads.is_some() {
+        map_reads_parallel_with(&mapper, &reads, threads)
     } else {
         mapper.map_reads(&reads)
     };
@@ -120,15 +178,19 @@ pub fn cmd_map(args: &Args) -> Result<(), CliError> {
                 .map_err(CliError::format("<stdout>"))?;
         }
     }
+    if let Some((path, rec)) = metrics {
+        write_metrics(&path, rec)?;
+    }
     Ok(())
 }
 
 /// `jem distributed --subjects contigs.fa --queries reads.fq [--ranks 8]
 ///  [--fault-plan SPEC] [--retries 3] [--checkpoint FILE] [--threads]
-///  [--out out.tsv] [config flags]` — run the S1–S4 pipeline on simulated
-///  ranks, optionally under an injected fault plan, and report the
-///  simulated makespan plus recovery counters.
+///  [--out out.tsv] [--metrics FILE] [config flags]` — run the S1–S4
+///  pipeline on simulated ranks, optionally under an injected fault plan,
+///  and report the simulated makespan plus recovery counters.
 pub fn cmd_distributed(args: &Args) -> Result<(), CliError> {
+    let metrics = metrics_recorder(args)?;
     let subjects = read_sequences(args.req("subjects")?)?;
     let reads = read_sequences(args.req("queries")?)?;
     let (config, scheme) = mapper_config(args)?;
@@ -153,7 +215,9 @@ pub fn cmd_distributed(args: &Args) -> Result<(), CliError> {
         max_retries: args.get_or("retries", 3)?,
         checkpoint: args.get("checkpoint").map(std::path::PathBuf::from),
     };
-    let mode = if args.has("threads") {
+    // `--threads` is a mode switch here (ranks are simulated; a value, if
+    // given, is tolerated but only selects the threaded executor).
+    let mode = if args.has("threads") || args.get("threads").is_some() {
         ExecMode::Threaded
     } else {
         ExecMode::Sequential
@@ -211,6 +275,9 @@ pub fn cmd_distributed(args: &Args) -> Result<(), CliError> {
         };
         write(&mut out).map_err(CliError::io(path))?;
         out.flush().map_err(CliError::io(path))?;
+    }
+    if let Some((path, rec)) = metrics {
+        write_metrics(&path, rec)?;
     }
     Ok(())
 }

@@ -27,17 +27,18 @@ USAGE: jem <command> [--flag value ...]
 COMMANDS:
   index       build a JEM sketch index over a contig set
                 --subjects FILE --out FILE [--k 16] [--w 100] [--trials 30]
-                [--ell 1000] [--seed N] [--syncmer S  use closed syncmers
-                instead of minimizers]
+                [--ell 1000] [--seed N] [--metrics FILE] [--syncmer S  use
+                closed syncmers instead of minimizers]
   map         map long-read end segments to contigs (TSV to --out or stdout)
                 (--index FILE | --subjects FILE) --queries FILE [--out FILE]
-                [--parallel] [config flags as for index]
+                [--parallel] [--threads N] [--metrics FILE]
+                [config flags as for index]
   distributed run the S1–S4 pipeline on simulated MPI ranks, with optional
               fault injection and recovery (makespan + fault report)
                 --subjects FILE --queries FILE [--ranks 8] [--threads]
                 [--fault-plan 'crash@R:STEP,corrupt@R:STEP,straggle@R:STEP*F']
                 [--corruption-seed N] [--retries 3] [--checkpoint FILE]
-                [--out FILE] [config flags]
+                [--metrics FILE] [--out FILE] [config flags]
   simulate    generate a synthetic genome, contig set, HiFi reads and truth
                 --out DIR [--genome-len 500000] [--coverage 10]
                 [--profile eukaryotic|bacterial] [--seed 42] [--ell 1000]

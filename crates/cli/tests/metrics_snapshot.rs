@@ -1,0 +1,163 @@
+//! `--metrics` end to end: the snapshot a `jem` run writes must parse under
+//! the documented schema, carry nonzero stage spans and counters, and the
+//! instrumented run must not change the mapping output.
+
+use jem_obs::Snapshot;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn jem() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_jem"))
+}
+
+fn run(cmd: &mut Command) {
+    let out = cmd.output().expect("spawn jem");
+    assert!(
+        out.status.success(),
+        "command failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+fn workdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("jem_metrics_test_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn load_snapshot(path: &std::path::Path) -> Snapshot {
+    let json = std::fs::read_to_string(path).expect("metrics file written");
+    Snapshot::from_json(&json).expect("metrics JSON parses under schema v1")
+}
+
+#[test]
+fn map_metrics_snapshot_has_pipeline_breakdown() {
+    let dir = workdir("map");
+    let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
+
+    run(jem()
+        .args(["simulate", "--out", dir.to_str().unwrap()])
+        .args(["--genome-len", "80000", "--coverage", "3", "--seed", "17"]));
+
+    // Uninstrumented reference run, then the same mapping with a live
+    // recorder and a bounded thread count.
+    run(jem().args(["map", "--subjects", &p("contigs.fa")]).args([
+        "--queries",
+        &p("reads.fq"),
+        "--out",
+        &p("plain.tsv"),
+    ]));
+    run(jem()
+        .args(["map", "--subjects", &p("contigs.fa")])
+        .args(["--queries", &p("reads.fq"), "--out", &p("metered.tsv")])
+        .args(["--threads", "2", "--metrics", &p("metrics.json")]));
+
+    let plain = std::fs::read_to_string(p("plain.tsv")).unwrap();
+    let metered = std::fs::read_to_string(p("metered.tsv")).unwrap();
+    assert_eq!(metered, plain, "--metrics/--threads changed the mappings");
+
+    let snap = load_snapshot(&dir.join("metrics.json"));
+    for counter in [
+        "sketch.sequences",
+        "sketch.windows_scanned",
+        "sketch.minimizers_kept",
+        "index.entries",
+        "map.segments",
+        "map.mapped",
+    ] {
+        assert!(snap.counter(counter) > 0, "counter {counter} stayed zero");
+    }
+    for span in ["sketch/minimizers", "index/build", "map/parallel"] {
+        assert!(snap.span_ns(span) > 0, "span {span} recorded no time");
+    }
+    assert!(
+        snap.histograms.contains_key("map.chunk_ns"),
+        "parallel driver must record chunk timings"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn distributed_metrics_snapshot_has_simulated_breakdown() {
+    let dir = workdir("dist");
+    let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
+
+    run(jem()
+        .args(["simulate", "--out", dir.to_str().unwrap()])
+        .args(["--genome-len", "60000", "--coverage", "2", "--seed", "23"]));
+    run(jem()
+        .args(["distributed", "--subjects", &p("contigs.fa")])
+        .args(["--queries", &p("reads.fq"), "--ranks", "4"])
+        .args(["--fault-plan", "crash@1:subject sketch"])
+        .args(["--metrics", &p("metrics.json")]));
+
+    let snap = load_snapshot(&dir.join("metrics.json"));
+    assert!(snap.counter("psim.supersteps") > 0);
+    assert!(snap.counter("psim.collectives") > 0);
+    assert!(snap.counter("psim.comm_bytes") > 0);
+    // The injected crash surfaces in both the fault and recovery counters.
+    assert_eq!(snap.counter("psim.crashes"), 1);
+    assert!(snap.counter("psim.retries") >= 1);
+    assert!(snap.counter("psim.reassigned_blocks") >= 1);
+    // The Fig.-7-style per-step breakdown comes out of the same recorder.
+    for span in [
+        "psim/input load",
+        "psim/subject sketch",
+        "psim/sketch gather",
+        "psim/global table build",
+        "psim/query map",
+        "psim/result gather",
+    ] {
+        assert!(
+            snap.spans.contains_key(span),
+            "step span {span} missing from snapshot"
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn index_metrics_snapshot_covers_build() {
+    let dir = workdir("index");
+    let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
+
+    run(jem()
+        .args(["simulate", "--out", dir.to_str().unwrap()])
+        .args(["--genome-len", "50000", "--coverage", "2", "--seed", "29"]));
+    run(jem()
+        .args([
+            "index",
+            "--subjects",
+            &p("contigs.fa"),
+            "--out",
+            &p("index.jem"),
+        ])
+        .args(["--metrics", &p("metrics.json")]));
+
+    let snap = load_snapshot(&dir.join("metrics.json"));
+    assert!(snap.counter("index.subjects") > 0);
+    assert!(snap.counter("index.keys") > 0);
+    assert!(snap.span_ns("index/build") > 0);
+    assert!(snap.histograms["index.bucket_occupancy"].count > 0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_threads_values_are_usage_errors() {
+    for threads in ["0", "none"] {
+        let out = jem()
+            .args(["map", "--subjects", "x.fa", "--queries", "y.fq"])
+            .args(["--threads", threads])
+            .output()
+            .unwrap();
+        assert!(!out.status.success());
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("--threads"),
+            "expected a --threads usage error for {threads:?}"
+        );
+    }
+}

@@ -7,7 +7,15 @@ use jem_seq::SeqRecord;
 use jem_sketch::{sketch_by_scheme, HashFamily, JemParams, JemSketch, SketchScheme};
 
 /// One reported best-hit mapping of a read end segment to a contig.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// The derived `Ord` is the lexicographic order of the fields as declared —
+/// `(read_idx, end, subject, hits)`. Drivers normalize their output with
+/// this *total* order rather than the `(read_idx, end)` prefix alone: each
+/// driver emits at most one mapping per `(read_idx, end)`, but that
+/// uniqueness is an invariant of the mapping loop, not of the type, so
+/// sorting by every field keeps the output deterministic even if a future
+/// driver merges overlapping partial results.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Mapping {
     /// Index of the source read in the query input.
     pub read_idx: u32,
@@ -186,6 +194,7 @@ impl JemMapper {
             for &code in codes {
                 trial_subjects.extend_from_slice(self.table.lookup(t, code));
             }
+            counter.stats.probed += trial_subjects.len() as u64;
             trial_subjects.sort_unstable();
             trial_subjects.dedup();
             for &s in &trial_subjects {
@@ -224,7 +233,13 @@ impl JemMapper {
     }
 
     /// Map prepared segments one by one (the per-rank inner loop of S4).
+    ///
+    /// Counter tallies ([`jem_index::hits::HitStats`]) accumulate locally in
+    /// the batch's private counter and flush to the global recorder once at
+    /// the end, so instrumentation adds no per-hit synchronization.
     pub fn map_segments(&self, segments: &[QuerySegment]) -> Vec<Mapping> {
+        let rec = jem_obs::recorder();
+        let _span = jem_obs::Span::enter(rec, "map/segments");
         let mut counter = self.new_counter();
         let mut out = Vec::new();
         for (qid, seg) in segments.iter().enumerate() {
@@ -237,11 +252,21 @@ impl JemMapper {
                 });
             }
         }
+        if rec.enabled() {
+            let stats = counter.stats.take();
+            rec.add("map.segments", segments.len() as u64);
+            rec.add("map.mapped", out.len() as u64);
+            rec.add("map.collisions_probed", stats.probed);
+            rec.add("map.lazy_resets", stats.lazy_resets);
+            rec.add("map.resets_skipped", stats.resets_skipped);
+            rec.add("map.ties", stats.ties);
+        }
         out
     }
 
     /// Full sequential query driver: segment every read, map every segment.
     pub fn map_reads(&self, reads: &[SeqRecord]) -> Vec<Mapping> {
+        let _span = jem_obs::span("map");
         self.map_segments(&make_segments(reads, self.config.ell))
     }
 }

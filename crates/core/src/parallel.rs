@@ -9,20 +9,64 @@ use crate::mapper::{JemMapper, Mapping};
 use crate::segment::make_segments;
 use jem_seq::SeqRecord;
 use rayon::prelude::*;
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// Map all reads in parallel. Produces exactly the sequential driver's
-/// result set (order-normalized).
+/// result set (order-normalized). Parallel width follows the rayon pool.
 pub fn map_reads_parallel(mapper: &JemMapper, reads: &[SeqRecord]) -> Vec<Mapping> {
+    map_reads_parallel_with(mapper, reads, None)
+}
+
+/// [`map_reads_parallel`] with an explicit bound on parallel width.
+///
+/// `threads = Some(n)` splits the segment list into exactly `n` chunks, so
+/// at most `n` rayon tasks run concurrently regardless of pool size (the
+/// CLI's `--threads` flag additionally sizes the pool itself via
+/// `RAYON_NUM_THREADS`; bounding the chunk count here keeps the limit
+/// honest even when the pool was already initialized larger). `None` uses
+/// one chunk per pool worker.
+pub fn map_reads_parallel_with(
+    mapper: &JemMapper,
+    reads: &[SeqRecord],
+    threads: Option<usize>,
+) -> Vec<Mapping> {
+    let rec = jem_obs::recorder();
+    let _span = jem_obs::Span::enter(rec, "map/parallel");
     let segments = make_segments(reads, mapper.config().ell);
-    let chunk = segments
-        .len()
-        .div_ceil(rayon::current_num_threads().max(1))
-        .max(1);
+    let lanes = threads.unwrap_or_else(rayon::current_num_threads).max(1);
+    let chunk = segments.len().div_ceil(lanes).max(1);
+    // Per-chunk wall-clock, collected only when a recorder is live. The
+    // spread of these is the load-imbalance signal for the shared-memory
+    // driver (the distributed analogue is the per-rank step breakdown).
+    let chunk_ns: Option<Mutex<Vec<u64>>> = rec.enabled().then(|| Mutex::new(Vec::new()));
     let mut mappings: Vec<Mapping> = segments
         .par_chunks(chunk)
-        .flat_map_iter(|chunk| mapper.map_segments(chunk))
+        .flat_map_iter(|chunk_segs| {
+            let start = chunk_ns.is_some().then(Instant::now);
+            let out = mapper.map_segments(chunk_segs);
+            if let (Some(times), Some(start)) = (&chunk_ns, start) {
+                let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                rec.observe("map.chunk_ns", ns);
+                rec.observe("map.chunk_segments", chunk_segs.len() as u64);
+                times.lock().expect("chunk timing lock poisoned").push(ns);
+            }
+            out
+        })
         .collect();
-    mappings.sort_unstable_by_key(|m| (m.read_idx, m.end));
+    if let Some(times) = chunk_ns {
+        let times = times.into_inner().expect("chunk timing lock poisoned");
+        if !times.is_empty() {
+            let max = *times.iter().max().expect("non-empty");
+            let mean = times.iter().sum::<u64>() / times.len() as u64;
+            // max/mean as permille: 1000 = perfectly balanced chunks.
+            let permille = (max * 1000).checked_div(mean).unwrap_or(1000);
+            rec.observe("map.imbalance_permille", permille);
+        }
+    }
+    // Total order (see `Mapping`'s Ord doc): deterministic output without
+    // relying on per-driver (read_idx, end) uniqueness.
+    mappings.sort_unstable();
     mappings
 }
 
@@ -57,9 +101,39 @@ mod tests {
         let reads = read_records(&simulate_hifi(&genome, &profile, 6));
 
         let mut sequential = mapper.map_reads(&reads);
-        sequential.sort_unstable_by_key(|m| (m.read_idx, m.end));
+        sequential.sort_unstable();
         let parallel = map_reads_parallel(&mapper, &reads);
         assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn thread_bound_does_not_change_results() {
+        let genome = Genome::random(40_000, 0.5, 11);
+        let contigs = fragment_contigs(&genome, &ContigProfile::small_genome(), 12);
+        let config = MapperConfig {
+            k: 12,
+            w: 10,
+            trials: 8,
+            ell: 400,
+            seed: 5,
+        };
+        let mapper = JemMapper::build(contig_records(&contigs), &config);
+        let profile = HifiProfile {
+            coverage: 2.0,
+            mean_len: 3_000,
+            std_len: 600,
+            min_len: 1_000,
+            error_rate: 0.001,
+        };
+        let reads = read_records(&simulate_hifi(&genome, &profile, 13));
+        let unbounded = map_reads_parallel(&mapper, &reads);
+        for threads in [1usize, 2, 7, 64] {
+            assert_eq!(
+                map_reads_parallel_with(&mapper, &reads, Some(threads)),
+                unbounded,
+                "threads = {threads} must not change mappings"
+            );
+        }
     }
 
     #[test]

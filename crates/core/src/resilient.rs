@@ -9,7 +9,7 @@
 //!   driver reassigns the pending blocks round-robin over the surviving
 //!   ranks and replays them in a `"<step> retry n"` superstep. Retries are
 //!   bounded by [`ResilienceOptions::max_retries`] and counted in the
-//!   report's [`FaultStats`].
+//!   report's [`FaultStats`](jem_psim::FaultStats).
 //! * **Corruption** — subject sketches travel as framed, checksummed
 //!   streams ([`SketchTable::encode_framed`]); a garbled frame fails the
 //!   fallible decode, leaves the global table untouched, and is
@@ -427,12 +427,20 @@ pub fn run_distributed_resilient(
 
     let n_segments = per_block.iter().map(|(_, n)| n).sum();
     let mut mappings: Vec<Mapping> = per_block.into_iter().flat_map(|(m, _)| m).collect();
-    mappings.sort_unstable_by_key(|m| (m.read_idx, m.end));
+    mappings.sort_unstable(); // total order; see Mapping's Ord doc
 
     let mut report = world.into_report();
     report.fault_stats.retries += rec.retries;
     report.fault_stats.reassigned_blocks += rec.reassigned;
     report.fault_stats.re_requests += rec.re_requests;
+    // Mirror the recovery tallies into the metrics recorder; the fault side
+    // (crashes/corruption/straggles) is already reported live by the world.
+    let obs = jem_obs::recorder();
+    if obs.enabled() {
+        obs.add("psim.retries", rec.retries as u64);
+        obs.add("psim.reassigned_blocks", rec.reassigned as u64);
+        obs.add("psim.re_requests", rec.re_requests as u64);
+    }
     Ok(DistributedOutcome {
         mappings,
         report,

@@ -65,7 +65,7 @@ proptest! {
         let config = MapperConfig { k: 11, w: 8, trials: 6, ell: 400, seed: 3 };
         let mapper = JemMapper::build(subject_recs.clone(), &config);
         let mut sequential = mapper.map_reads(&read_recs);
-        sequential.sort_unstable_by_key(|m| (m.read_idx, m.end));
+        sequential.sort_unstable();
         let parallel = map_reads_parallel(&mapper, &read_recs);
         prop_assert_eq!(&parallel, &sequential);
         let distributed = run_distributed(

@@ -1,6 +1,6 @@
 //! # jem-eval — evaluation methodology (paper §IV-B)
 //!
-//! * [`bench`] — benchmark construction per Fig. 4: a read end segment
+//! * [`mod@bench`] — benchmark construction per Fig. 4: a read end segment
 //!   truly maps to a contig iff their reference-genome coordinate intervals
 //!   intersect in at least `k` positions.
 //! * [`metrics`] — TP/FP/FN/TN classification of an output mapping set

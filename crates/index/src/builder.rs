@@ -18,7 +18,9 @@ pub fn build_table_with(
     trials: usize,
     sketcher: impl Fn(&[u8]) -> JemSketch + Sync,
 ) -> SketchTable {
-    subjects
+    let rec = jem_obs::recorder();
+    let _span = jem_obs::Span::enter(rec, "index/build");
+    let table = subjects
         .par_iter()
         .enumerate()
         .fold(
@@ -34,7 +36,14 @@ pub fn build_table_with(
                 a.merge_from(&b);
                 a
             },
-        )
+        );
+    if rec.enabled() {
+        rec.add("index.subjects", subjects.len() as u64);
+        rec.add("index.keys", table.key_count() as u64);
+        rec.add("index.entries", table.entry_count() as u64);
+        table.observe_occupancy(rec);
+    }
+    table
 }
 
 /// Build the sketch table with the paper's minimizer-based JEM sketch.

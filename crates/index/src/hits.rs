@@ -21,6 +21,36 @@ pub trait HitCounter {
     fn best(&self, query: u64) -> Option<(SubjectId, u32)>;
 }
 
+/// Local instrumentation tallies of a [`LazyHitCounter`].
+///
+/// Plain (non-atomic) integers: the counter is single-threaded per worker,
+/// so stats accumulate locally and the mapper flushes them to the global
+/// recorder at batch boundaries — per-hit global counter traffic would
+/// dominate the O(1) record path the lazy strategy exists to protect.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HitStats {
+    /// Subject-list entries pulled from the sketch table before per-trial
+    /// dedup — "collisions probed". Updated by the mapping loop (the lookup
+    /// happens outside this module), carried here so all per-batch tallies
+    /// travel in one place.
+    pub probed: u64,
+    /// Hits recorded on a slot already owned by the current query — the
+    /// cases where the lazy strategy skipped a reset and just incremented.
+    pub resets_skipped: u64,
+    /// Hits that lazily re-initialized a stale slot (count restarted at 1).
+    pub lazy_resets: u64,
+    /// Hits whose new count tied the running best of a *different* subject
+    /// — how often the best-subject decision was momentarily ambiguous.
+    pub ties: u64,
+}
+
+impl HitStats {
+    /// Take the accumulated stats, leaving zeros behind.
+    pub fn take(&mut self) -> HitStats {
+        std::mem::take(self)
+    }
+}
+
 /// The paper's lazy-update counter: `O(1)` per hit, no per-query reset.
 #[derive(Clone, Debug)]
 pub struct LazyHitCounter {
@@ -31,6 +61,8 @@ pub struct LazyHitCounter {
     /// is equivalent and cheaper).
     current_query: u64,
     current_best: Option<(SubjectId, u32)>,
+    /// Instrumentation tallies; see [`HitStats`].
+    pub stats: HitStats,
 }
 
 /// Sentinel meaning "no query has touched this slot yet" (paper: v = −1).
@@ -43,6 +75,7 @@ impl LazyHitCounter {
             slots: vec![(0, NO_QUERY); n_subjects],
             current_query: NO_QUERY,
             current_best: None,
+            stats: HitStats::default(),
         }
     }
 
@@ -67,11 +100,16 @@ impl HitCounter for LazyHitCounter {
         let slot = &mut self.slots[subject as usize];
         if slot.1 == query {
             slot.0 += 1;
+            self.stats.resets_skipped += 1;
         } else {
             // Lazy reset: overwrite the stale query id, restart the count.
             *slot = (1, query);
+            self.stats.lazy_resets += 1;
         }
         let count = slot.0;
+        if matches!(self.current_best, Some((bs, bc)) if bc == count && bs != subject) {
+            self.stats.ties += 1;
+        }
         match self.current_best {
             // Strictly-greater keeps the first subject to reach a count,
             // which combined with ascending lookup order yields the

@@ -24,6 +24,6 @@ pub mod table;
 pub mod u64map;
 
 pub use builder::{build_table_parallel, build_table_parallel_scheme, build_table_with};
-pub use hits::{HitCounter, LazyHitCounter, NaiveHitCounter};
+pub use hits::{HitCounter, HitStats, LazyHitCounter, NaiveHitCounter};
 pub use table::{checksum_words, DecodeError, SketchTable, SubjectId};
 pub use u64map::U64Map;

@@ -349,6 +349,18 @@ impl SketchTable {
     pub fn approx_bytes(&self) -> usize {
         self.key_count() * 16 + self.entry_count() * 4
     }
+
+    /// Report one `index.bucket_occupancy` observation per `(trial, code)`
+    /// key — the subject-list length — into `rec`. The distribution shows
+    /// how selective sketch collisions are (long lists mean a code is
+    /// shared by many subjects and contributes little discrimination).
+    pub fn observe_occupancy(&self, rec: &dyn jem_obs::Recorder) {
+        for bank in &self.banks {
+            for (_, subjects) in bank.iter() {
+                rec.observe("index.bucket_occupancy", subjects.len() as u64);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

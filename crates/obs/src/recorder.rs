@@ -1,0 +1,327 @@
+//! The [`Recorder`] trait, its no-op and collecting implementations, and
+//! the RAII [`Span`] timer guard.
+
+use crate::snapshot::{HistogramSnapshot, Snapshot, SpanSnapshot};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+use std::time::Instant;
+
+/// Number of power-of-two histogram buckets: bucket `i` holds values whose
+/// bit length is `i` (bucket 0 holds the value 0, bucket 1 holds 1, bucket
+/// 2 holds 2–3, …, bucket 64 holds values ≥ 2^63).
+pub(crate) const N_BUCKETS: usize = 65;
+
+/// Sink for pipeline metrics. All methods take `&self` and must be
+/// thread-safe: instrumentation reports from rayon workers and simulated
+/// ranks concurrently.
+///
+/// Metric names are `&'static str` by design — instrumentation sites name
+/// their metrics statically (documented in DESIGN.md §9), so recorders
+/// never allocate for a name.
+pub trait Recorder: Send + Sync {
+    /// Add `delta` to the monotonically increasing counter `name`.
+    fn add(&self, name: &'static str, delta: u64);
+    /// Record one observation of `value` into histogram `name`.
+    fn observe(&self, name: &'static str, value: u64);
+    /// Accumulate `nanos` of wall-clock under span `path` (called by
+    /// [`Span`] on drop; `path` components are `/`-separated).
+    fn span_ns(&self, path: &'static str, nanos: u64);
+    /// Whether this recorder actually collects anything. Instrumentation
+    /// uses this to skip clock reads and stat assembly entirely — the
+    /// contract is: when `enabled()` is `false`, every other method is a
+    /// no-op and may simply not be called.
+    fn enabled(&self) -> bool;
+}
+
+/// The always-disabled recorder: every method is an empty body, so the
+/// instrumented pipeline with no recorder installed does no metric work at
+/// all (and, via [`Recorder::enabled`], not even clock reads).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    #[inline]
+    fn add(&self, _name: &'static str, _delta: u64) {}
+    #[inline]
+    fn observe(&self, _name: &'static str, _value: u64) {}
+    #[inline]
+    fn span_ns(&self, _path: &'static str, _nanos: u64) {}
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// One collected histogram: fixed power-of-two buckets plus summary stats.
+#[derive(Debug)]
+struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; N_BUCKETS],
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; N_BUCKETS],
+        }
+    }
+
+    fn observe(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[bucket_index(value)] += 1;
+    }
+}
+
+/// Bucket index of `value`: its bit length (0 for 0).
+pub(crate) fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// The collecting recorder: atomic counters behind a name registry, locked
+/// fixed-bucket histograms and span accumulators. Counter hot paths take a
+/// read lock plus one `fetch_add`; a write lock is taken only the first
+/// time a name is seen.
+#[derive(Debug, Default)]
+pub struct MetricsRecorder {
+    counters: RwLock<BTreeMap<&'static str, AtomicU64>>,
+    histograms: Mutex<BTreeMap<&'static str, Histogram>>,
+    spans: Mutex<BTreeMap<&'static str, (u64, u64)>>, // (count, total_ns)
+}
+
+impl MetricsRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Point-in-time copy of everything recorded so far. Stable: maps are
+    /// ordered by name, so equal states serialize identically.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .read()
+            .expect("counter lock poisoned")
+            .iter()
+            .map(|(&name, v)| (name.to_string(), v.load(Ordering::Relaxed)))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("histogram lock poisoned")
+            .iter()
+            .map(|(&name, h)| {
+                let buckets = h
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c > 0)
+                    .map(|(i, &c)| (i as u32, c))
+                    .collect();
+                (
+                    name.to_string(),
+                    HistogramSnapshot {
+                        count: h.count,
+                        sum: h.sum,
+                        min: if h.count == 0 { 0 } else { h.min },
+                        max: h.max,
+                        buckets,
+                    },
+                )
+            })
+            .collect();
+        let spans = self
+            .spans
+            .lock()
+            .expect("span lock poisoned")
+            .iter()
+            .map(|(&name, &(count, total_ns))| (name.to_string(), SpanSnapshot { count, total_ns }))
+            .collect();
+        Snapshot {
+            counters,
+            histograms,
+            spans,
+        }
+    }
+}
+
+impl Recorder for MetricsRecorder {
+    fn add(&self, name: &'static str, delta: u64) {
+        {
+            let map = self.counters.read().expect("counter lock poisoned");
+            if let Some(c) = map.get(name) {
+                c.fetch_add(delta, Ordering::Relaxed);
+                return;
+            }
+        }
+        let mut map = self.counters.write().expect("counter lock poisoned");
+        map.entry(name)
+            .or_insert_with(|| AtomicU64::new(0))
+            .fetch_add(delta, Ordering::Relaxed);
+    }
+
+    fn observe(&self, name: &'static str, value: u64) {
+        self.histograms
+            .lock()
+            .expect("histogram lock poisoned")
+            .entry(name)
+            .or_insert_with(Histogram::new)
+            .observe(value);
+    }
+
+    fn span_ns(&self, path: &'static str, nanos: u64) {
+        let mut spans = self.spans.lock().expect("span lock poisoned");
+        let entry = spans.entry(path).or_insert((0, 0));
+        entry.0 += 1;
+        entry.1 = entry.1.saturating_add(nanos);
+    }
+
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// RAII span timer: measures wall-clock from [`Span::enter`] to drop and
+/// reports it via [`Recorder::span_ns`]. Hierarchy is expressed in the path
+/// (`"map"`, `"map/segments"`): nested guards under nested paths yield
+/// parent totals that include child totals.
+///
+/// On a disabled recorder the guard holds no start time — construction and
+/// drop are both free of clock reads.
+#[must_use = "a span measures until it is dropped"]
+pub struct Span<'a> {
+    rec: &'a dyn Recorder,
+    path: &'static str,
+    start: Option<Instant>,
+}
+
+impl<'a> Span<'a> {
+    /// Start timing `path` against `rec`.
+    #[inline]
+    pub fn enter(rec: &'a dyn Recorder, path: &'static str) -> Self {
+        let start = rec.enabled().then(Instant::now);
+        Span { rec, path, start }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.rec.span_ns(self.path, nanos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let r = MetricsRecorder::new();
+        r.add("a", 1);
+        r.add("b", 10);
+        r.add("a", 2);
+        let s = r.snapshot();
+        assert_eq!(s.counter("a"), 3);
+        assert_eq!(s.counter("b"), 10);
+        assert_eq!(s.counter("absent"), 0);
+    }
+
+    #[test]
+    fn bucket_index_is_bit_length() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let r = MetricsRecorder::new();
+        for v in [0u64, 1, 5, 5, 1000] {
+            r.observe("h", v);
+        }
+        let s = r.snapshot();
+        let h = &s.histograms["h"];
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 1011);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1000);
+        // Buckets: 0 → bit 0; 1 → bit 1; 5,5 → bit 3; 1000 → bit 10.
+        assert_eq!(h.buckets, vec![(0, 1), (1, 1), (3, 2), (10, 1)]);
+    }
+
+    #[test]
+    fn spans_accumulate_count_and_time() {
+        let r = MetricsRecorder::new();
+        for _ in 0..3 {
+            let _s = Span::enter(&r, "work");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let s = r.snapshot();
+        let sp = &s.spans["work"];
+        assert_eq!(sp.count, 3);
+        assert!(
+            sp.total_ns >= 3_000_000,
+            "3 × 1ms slept, got {}",
+            sp.total_ns
+        );
+    }
+
+    #[test]
+    fn noop_records_nothing_and_span_skips_clock() {
+        let noop = NoopRecorder;
+        assert!(!noop.enabled());
+        let s = Span::enter(&noop, "x");
+        assert!(
+            s.start.is_none(),
+            "disabled recorder must skip Instant::now"
+        );
+        drop(s);
+    }
+
+    #[test]
+    fn concurrent_adds_are_lossless() {
+        let r = std::sync::Arc::new(MetricsRecorder::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let r = r.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    r.add("n", 1);
+                    r.observe("h", 7);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = r.snapshot();
+        assert_eq!(s.counter("n"), 8000);
+        assert_eq!(s.histograms["h"].count, 8000);
+    }
+
+    #[test]
+    fn empty_histogram_min_is_zero_in_snapshot() {
+        let r = MetricsRecorder::new();
+        r.observe("h", 3);
+        let s = r.snapshot();
+        assert_eq!(s.histograms["h"].min, 3);
+    }
+}

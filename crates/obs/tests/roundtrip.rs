@@ -1,0 +1,75 @@
+//! The JSON snapshot schema round-trips: `Snapshot::to_json` output parses
+//! back via `Snapshot::from_json` into an identical value, and
+//! re-serializing is byte-identical (acceptance criterion of the
+//! observability layer — CI trend scripts and plotters rely on this file
+//! format being stable and self-describing).
+
+use jem_obs::{MetricsRecorder, Recorder, Snapshot, Span};
+
+#[test]
+fn populated_snapshot_round_trips() {
+    let rec = MetricsRecorder::new();
+    rec.add("sketch.windows_scanned", 4096);
+    rec.add("map.segments", 17);
+    for v in [0u64, 1, 2, 3, 100, 1_000_000, u64::MAX] {
+        rec.observe("index.bucket_occupancy", v);
+    }
+    {
+        let _outer = Span::enter(&rec, "map");
+        let _inner = Span::enter(&rec, "map/segments");
+    }
+
+    let snap = rec.snapshot();
+    let json = snap.to_json();
+    let decoded = Snapshot::from_json(&json).expect("snapshot JSON must parse");
+    assert_eq!(decoded, snap, "schema must round-trip");
+
+    // Round-tripping again through to_json is byte-identical.
+    assert_eq!(decoded.to_json(), json);
+}
+
+#[test]
+fn empty_snapshot_round_trips() {
+    let snap = MetricsRecorder::new().snapshot();
+    let decoded = Snapshot::from_json(&snap.to_json()).unwrap();
+    assert_eq!(decoded, snap);
+}
+
+#[test]
+fn awkward_names_survive_the_trip() {
+    let mut snap = Snapshot::default();
+    snap.counters.insert("quote\"back\\slash".into(), 7);
+    snap.counters.insert("newline\nname".into(), 9);
+    snap.counters.insert("unicode π name".into(), 3);
+    let decoded = Snapshot::from_json(&snap.to_json()).unwrap();
+    assert_eq!(decoded, snap);
+}
+
+#[test]
+fn whitespace_layout_is_irrelevant() {
+    // A reformatted (minified) document with the same content decodes to
+    // the same snapshot — the format is JSON, not "our exact pretty-print".
+    let dense = "{\"schema_version\":1,\"counters\":{\"a\":1},\
+                 \"histograms\":{\"h\":{\"count\":1,\"sum\":5,\"min\":5,\"max\":5,\
+                 \"buckets\":[[3,1]]}},\"spans\":{\"s\":{\"count\":2,\"total_ns\":9}}}";
+    let snap = Snapshot::from_json(dense).unwrap();
+    assert_eq!(snap.counter("a"), 1);
+    assert_eq!(snap.histograms["h"].buckets, vec![(3, 1)]);
+    assert_eq!(snap.spans["s"].count, 2);
+    // And the canonical serialization of the decoded value round-trips.
+    assert_eq!(Snapshot::from_json(&snap.to_json()).unwrap(), snap);
+}
+
+#[test]
+fn malformed_documents_are_rejected() {
+    for bad in [
+        "",
+        "{",
+        "{}",                                                 // missing schema_version
+        "{\"schema_version\": 2, \"counters\": {}}",          // future version
+        "{\"schema_version\": 1, \"counters\": {\"a\": -1}}", // negative
+        "{\"schema_version\": 1} trailing",
+    ] {
+        assert!(Snapshot::from_json(bad).is_err(), "accepted: {bad:?}");
+    }
+}

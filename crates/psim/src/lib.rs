@@ -11,7 +11,7 @@
 //!   are not distorted by oversubscription; a threaded executor is available
 //!   for hosts with enough cores).
 //! * **Collectives** ([`World::allgatherv`], [`World::gather`],
-//!   [`World::broadcast`], [`World::scatter`]) move values between ranks and
+//!   [`World::broadcast`]) move values between ranks and
 //!   charge *virtual* communication time from a [`CostModel`] — the
 //!   `τ·log p + μ·bytes` LogP-style model the paper itself uses for its
 //!   complexity analysis (§III-C-1).
@@ -45,5 +45,5 @@ pub mod world;
 
 pub use cost::CostModel;
 pub use fault::{corrupt_u64s, Fault, FaultKind, FaultPlan, FaultStats, RankOutcome};
-pub use report::{RunReport, StepKind, StepReport};
+pub use report::{step_span_path, RunReport, StepKind, StepReport};
 pub use world::{block_range, ExecMode, World};

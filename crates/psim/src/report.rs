@@ -1,6 +1,56 @@
 //! Per-step timing reports and the simulated-makespan computation.
 
 use crate::fault::FaultStats;
+use jem_obs::Recorder;
+
+/// Span path a pipeline step reports under (metric names are static; see
+/// DESIGN.md §9). Known step names map to their own `psim/<step>` path;
+/// retry and re-request steps carry a round suffix (`"subject sketch
+/// retry 1"`) and fold into their base step by prefix, so a Fig.-7-style
+/// breakdown aggregates replayed work with the step it replays. Names the
+/// table does not know land in `"psim/other"`.
+pub fn step_span_path(name: &str) -> &'static str {
+    const PATHS: &[(&str, &str)] = &[
+        ("input load", "psim/input load"),
+        ("subject sketch", "psim/subject sketch"),
+        ("sketch re-request", "psim/sketch re-request"),
+        ("sketch gather", "psim/sketch gather"),
+        ("global table build", "psim/global table build"),
+        ("query map", "psim/query map"),
+        ("result gather", "psim/result gather"),
+    ];
+    for (prefix, path) in PATHS {
+        if name.starts_with(prefix) {
+            return path;
+        }
+    }
+    "psim/other"
+}
+
+/// Simulated seconds → recorder nanoseconds (saturating; times are finite
+/// and non-negative by construction).
+pub(crate) fn secs_to_ns(secs: f64) -> u64 {
+    (secs * 1e9) as u64
+}
+
+/// Report one step into `rec`: the step-kind counter, per-rank compute
+/// observations, comm bytes, and the critical-path span. Shared by the
+/// world's live path and [`RunReport::record_to`].
+pub(crate) fn record_step(step: &StepReport, rec: &dyn Recorder) {
+    match step.kind {
+        StepKind::Compute => {
+            rec.add("psim.supersteps", 1);
+            for &secs in &step.per_rank_secs {
+                rec.observe("psim.rank_compute_ns", secs_to_ns(secs));
+            }
+        }
+        StepKind::Communication => {
+            rec.add("psim.collectives", 1);
+            rec.add("psim.comm_bytes", step.bytes as u64);
+        }
+    }
+    rec.span_ns(step_span_path(&step.name), secs_to_ns(step.critical_secs()));
+}
 
 /// Whether a step was rank-local compute or a collective.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -96,6 +146,29 @@ impl RunReport {
         self.steps.iter().map(|s| s.bytes).sum()
     }
 
+    /// Replay the whole report into `rec`: every step (spans, superstep/
+    /// collective counters, comm bytes, per-rank compute histogram) plus
+    /// the fault and recovery counters. This is the bridge from the
+    /// simulated Fig.-7-style breakdown to a metrics snapshot.
+    ///
+    /// A run executed while a recorder was installed has already reported
+    /// all of this live (see [`crate::World`]); `record_to` exists to
+    /// replay a stored or hand-built report into a *fresh* recorder —
+    /// replaying into the same recorder the run reported to would double
+    /// every value.
+    pub fn record_to(&self, rec: &dyn Recorder) {
+        for step in &self.steps {
+            record_step(step, rec);
+        }
+        let f = &self.fault_stats;
+        rec.add("psim.crashes", f.crashes as u64);
+        rec.add("psim.corrupt_payloads", f.corrupt_payloads as u64);
+        rec.add("psim.straggles", f.straggles as u64);
+        rec.add("psim.retries", f.retries as u64);
+        rec.add("psim.reassigned_blocks", f.reassigned_blocks as u64);
+        rec.add("psim.re_requests", f.re_requests as u64);
+    }
+
     /// Critical seconds of the step with the given name (0 if absent;
     /// summed over repeated names). Folds from +0.0 rather than `Sum`'s
     /// -0.0 identity so an absent step never prints as "-0.000000".
@@ -178,5 +251,54 @@ mod tests {
         let s = compute("a", &[1.0, 2.0, 3.0]);
         assert!((s.work_secs() - 6.0).abs() < 1e-12);
         assert!((s.critical_secs() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_span_paths_fold_retries_into_base_steps() {
+        assert_eq!(step_span_path("query map"), "psim/query map");
+        assert_eq!(
+            step_span_path("subject sketch retry 2"),
+            "psim/subject sketch"
+        );
+        assert_eq!(
+            step_span_path("sketch re-request 1"),
+            "psim/sketch re-request"
+        );
+        assert_eq!(
+            step_span_path("sketch re-request comm"),
+            "psim/sketch re-request"
+        );
+        assert_eq!(step_span_path("sketch gather"), "psim/sketch gather");
+        assert_eq!(step_span_path("warmup"), "psim/other");
+    }
+
+    #[test]
+    fn record_to_replays_breakdown_and_fault_counters() {
+        let mut r = RunReport {
+            steps: vec![
+                compute("query map", &[1.0, 3.0]),
+                comm("result gather", 0.5, 256),
+                compute("query map", &[0.0, 1.0]),
+            ],
+            ranks: 2,
+            ..Default::default()
+        };
+        r.fault_stats.crashes = 1;
+        r.fault_stats.re_requests = 4;
+        let rec = jem_obs::MetricsRecorder::new();
+        r.record_to(&rec);
+        let s = rec.snapshot();
+        assert_eq!(s.counter("psim.supersteps"), 2);
+        assert_eq!(s.counter("psim.collectives"), 1);
+        assert_eq!(s.counter("psim.comm_bytes"), 256);
+        assert_eq!(s.counter("psim.crashes"), 1);
+        assert_eq!(s.counter("psim.re_requests"), 4);
+        assert_eq!(s.counter("psim.retries"), 0);
+        // Repeated step names accumulate into one span (3s + 1s critical).
+        let span = &s.spans["psim/query map"];
+        assert_eq!(span.count, 2);
+        assert_eq!(span.total_ns, 4_000_000_000);
+        assert_eq!(s.spans["psim/result gather"].total_ns, 500_000_000);
+        assert_eq!(s.histograms["psim.rank_compute_ns"].count, 4);
     }
 }

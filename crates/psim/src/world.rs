@@ -134,6 +134,18 @@ impl World {
         block_range(self.p, n, rank)
     }
 
+    /// Report the step just pushed onto `self.steps` to the process-global
+    /// metrics recorder (free when none is installed). A world running
+    /// under `--metrics` thus surfaces its simulated per-step breakdown
+    /// live, in the same snapshot as the shared-memory pipeline's spans.
+    fn observe_last_step(&self) {
+        let rec = jem_obs::recorder();
+        if rec.enabled() {
+            let step = self.steps.last().expect("called right after a push");
+            crate::report::record_step(step, rec);
+        }
+    }
+
     /// Run one superstep: rank `r` evaluates `f(r)`; per-rank compute time
     /// is recorded. Returns the rank-ordered outputs.
     pub fn superstep<T: Send>(&mut self, name: &str, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
@@ -180,6 +192,7 @@ impl World {
             comm_secs: 0.0,
             bytes: 0,
         });
+        self.observe_last_step();
         outputs
     }
 
@@ -240,6 +253,7 @@ impl World {
             if *fate == Fate::Crash {
                 self.alive[rank] = false;
                 self.stats.crashes += 1;
+                jem_obs::add("psim.crashes", 1);
             }
         }
 
@@ -286,10 +300,12 @@ impl World {
                 (Fate::Run { corrupt, factor }, Some((out, dt))) => {
                     if factor != 1.0 {
                         self.stats.straggles += 1;
+                        jem_obs::add("psim.straggles", 1);
                     }
                     per_rank.push(dt * factor);
                     if corrupt {
                         self.stats.corrupt_payloads += 1;
+                        jem_obs::add("psim.corrupt_payloads", 1);
                         outcomes.push(RankOutcome::Corrupt(out));
                     } else {
                         outcomes.push(RankOutcome::Ok(out));
@@ -308,6 +324,7 @@ impl World {
             comm_secs: 0.0,
             bytes: 0,
         });
+        self.observe_last_step();
         outcomes
     }
 
@@ -326,6 +343,7 @@ impl World {
             comm_secs: 0.0,
             bytes: 0,
         });
+        self.observe_last_step();
         out
     }
 
@@ -338,6 +356,7 @@ impl World {
             comm_secs,
             bytes,
         });
+        self.observe_last_step();
     }
 
     /// `MPI_Allgatherv`: every rank contributes a variable-length vector;
@@ -417,6 +436,41 @@ mod tests {
                 assert_eq!(prev_end, n);
             }
         }
+    }
+
+    #[test]
+    fn block_range_more_ranks_than_items() {
+        // p > n: the first n ranks get one item each, the rest get empty
+        // ranges — never a panic, never an out-of-bounds start.
+        let p = 10;
+        for n in [0usize, 1, 3, 9] {
+            for r in 0..p {
+                let range = block_range(p, n, r);
+                assert!(range.start <= range.end, "p={p} n={n} r={r}");
+                assert!(range.end <= n, "p={p} n={n} r={r}");
+                assert_eq!(range.len(), usize::from(r < n), "p={p} n={n} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_range_zero_items_all_empty() {
+        for p in [1usize, 2, 7] {
+            for r in 0..p {
+                assert!(block_range(p, 0, r).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn block_range_last_rank_takes_short_remainder() {
+        // n = 10 over p = 4: sizes 3,3,2,2 — the extra items go to the
+        // lowest ranks and the last rank ends exactly at n.
+        let sizes: Vec<usize> = (0..4).map(|r| block_range(4, 10, r).len()).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+        assert_eq!(block_range(4, 10, 3).end, 10);
+        // Single rank owns everything.
+        assert_eq!(block_range(1, 10, 0), 0..10);
     }
 
     #[test]

@@ -107,6 +107,8 @@ pub fn sketch_by_jem(seq: &[u8], params: JemParams, family: &HashFamily) -> JemS
 /// needs both the sketch and the list itself (e.g. the Mashmap baseline and
 /// ablations share minimizer extraction).
 pub fn sketch_minimizer_list(mins: &[Minimizer], ell: usize, family: &HashFamily) -> JemSketch {
+    let rec = jem_obs::recorder();
+    let _span = jem_obs::Span::enter(rec, "sketch/select");
     let t_count = family.len();
     let mut per_trial: Vec<Vec<u64>> = vec![Vec::new(); t_count];
     if mins.is_empty() || t_count == 0 {
@@ -158,6 +160,12 @@ pub fn sketch_minimizer_list(mins: &[Minimizer], ell: usize, family: &HashFamily
     for list in per_trial.iter_mut() {
         list.sort_unstable();
         list.dedup();
+    }
+    if rec.enabled() {
+        rec.add(
+            "sketch.sketches_emitted",
+            per_trial.iter().map(|l| l.len() as u64).sum(),
+        );
     }
     JemSketch { per_trial }
 }

@@ -4,7 +4,7 @@
 //! a window of `w` consecutive k-mers is the lexicographically smallest
 //! *canonical* k-mer in that window (paper §III-B-2; the paper uses the
 //! lexicographically smallest k-mer as its "uniformly random" hash, citing
-//! [23], [24]). The minimizer list `Mo(s, w)` contains `(kmer, position)`
+//! its refs. 23 and 24). The minimizer list `Mo(s, w)` contains `(kmer, position)`
 //! tuples sorted by position, with a tuple appended "only if the minimizer
 //! changes or the current one goes out of bounds" — i.e. classic winnowing
 //! deduplication.
@@ -73,6 +73,9 @@ pub struct Minimizer {
 /// ```
 pub fn minimizers(seq: &[u8], params: MinimizerParams) -> Vec<Minimizer> {
     let MinimizerParams { k, w } = params;
+    let rec = jem_obs::recorder();
+    let _span = jem_obs::Span::enter(rec, "sketch/minimizers");
+    let mut windows_scanned = 0u64;
     let mut out = Vec::new();
     let iter = match CanonicalKmerIter::new(seq, k) {
         Ok(it) => it,
@@ -97,6 +100,7 @@ pub fn minimizers(seq: &[u8], params: MinimizerParams) -> Vec<Minimizer> {
         };
 
     for (pos, kmer) in iter {
+        windows_scanned += 1;
         // Detect run breaks (KmerIter skips over ambiguous bases, so
         // consecutive yielded positions jump by more than 1 at a break).
         let is_new_run = matches!(prev_pos, Some(pp) if pos != pp + 1);
@@ -143,6 +147,11 @@ pub fn minimizers(seq: &[u8], params: MinimizerParams) -> Vec<Minimizer> {
     }
     // Tail: if the final run never filled a window, emit its overall min.
     flush_short_run(&deque, idx_in_run, &mut out);
+    if rec.enabled() {
+        rec.add("sketch.sequences", 1);
+        rec.add("sketch.windows_scanned", windows_scanned);
+        rec.add("sketch.minimizers_kept", out.len() as u64);
+    }
     out
 }
 
