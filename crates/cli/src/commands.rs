@@ -4,8 +4,9 @@ use crate::args::Args;
 use crate::error::CliError;
 use crate::io::{read_sequences, write_fasta};
 use jem_core::{
-    load_index, map_reads_parallel_with, run_distributed_resilient, save_index, write_mappings_tsv,
-    JemMapper, MapperConfig, Mapping, ReadEnd, ResilienceOptions,
+    load_index, make_segments, map_reads_parallel_with, run_distributed_resilient, save_index,
+    write_mappings_tsv, write_mappings_tsv_named, JemMapper, MapperConfig, Mapping, ReadEnd,
+    ResilienceOptions,
 };
 use jem_eval::{Benchmark, MappingMetrics};
 use jem_psim::{CostModel, ExecMode, FaultPlan};
@@ -67,6 +68,18 @@ fn thread_count(args: &Args) -> Result<Option<usize>, CliError> {
             Ok(Some(n))
         }
     }
+}
+
+/// Parse `--key N` with a default, rejecting zero — the shared validation
+/// for every count-like knob (`--shards`, `--workers`, `--queue`,
+/// `--batch`, `--chunk`): a zero would panic or deadlock deep inside the
+/// service, so it is refused at the CLI boundary as a usage error.
+fn positive_count(args: &Args, key: &str, default: usize) -> Result<usize, CliError> {
+    let n: usize = args.get_or(key, default)?;
+    if n == 0 {
+        return Err(CliError::Usage(format!("--{key} must be at least 1")));
+    }
+    Ok(n)
 }
 
 fn mapper_config(args: &Args) -> Result<(MapperConfig, SketchScheme), CliError> {
@@ -215,9 +228,19 @@ pub fn cmd_distributed(args: &Args) -> Result<(), CliError> {
         max_retries: args.get_or("retries", 3)?,
         checkpoint: args.get("checkpoint").map(std::path::PathBuf::from),
     };
-    // `--threads` is a mode switch here (ranks are simulated; a value, if
-    // given, is tolerated but only selects the threaded executor).
+    // `--threads` is a mode switch here (ranks are simulated): bare it
+    // selects the threaded executor; with a value it additionally sizes
+    // the pool, so the value is validated like everywhere else.
     let mode = if args.has("threads") || args.get("threads").is_some() {
+        if let Some(v) = args.get("threads") {
+            let n: usize = v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("cannot parse --threads value {v:?}")))?;
+            if n == 0 {
+                return Err(CliError::Usage("--threads must be at least 1".into()));
+            }
+            std::env::set_var("RAYON_NUM_THREADS", n.to_string());
+        }
         ExecMode::Threaded
     } else {
         ExecMode::Sequential
@@ -594,4 +617,122 @@ pub fn cmd_scaffold(args: &Args) -> Result<(), CliError> {
     eprintln!("contigs:   {before}");
     eprintln!("scaffolds: {after}");
     write_fasta(args.req("out")?, &scaffolds)
+}
+
+/// Map a serving-layer failure onto the CLI error taxonomy.
+fn serve_err(e: jem_serve::ServeError) -> CliError {
+    CliError::Data(format!("serve: {e}"))
+}
+
+/// `jem serve --index index.jem [--addr 127.0.0.1:7878] [--shards 4]
+///  [--workers 4] [--queue 64] [--batch 16] [--metrics FILE]` — load a
+///  persisted index into a shard-partitioned resident table and serve
+///  mapping requests until a remote `jem query --shutdown`. The shutdown
+///  drains every admitted request, then the final metrics snapshot is
+///  written to `--metrics`.
+pub fn cmd_serve(args: &Args) -> Result<(), CliError> {
+    let index_path = args.req("index")?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7878");
+    let shards = positive_count(args, "shards", 4)?;
+    let config = jem_serve::ServerConfig {
+        workers: positive_count(args, "workers", 4)?,
+        queue_cap: positive_count(args, "queue", 64)?,
+        batch: positive_count(args, "batch", 16)?,
+        straggle_ms: args.get_or("straggle-ms", 0u64)?,
+        ..Default::default()
+    };
+    let mut input = BufReader::new(File::open(index_path).map_err(CliError::io(index_path))?);
+    let mapper = load_index(&mut input).map_err(CliError::format(index_path))?;
+    eprintln!(
+        "loaded {index_path}: {} subjects, {} sketch entries → {shards} shards",
+        mapper.n_subjects(),
+        mapper.table().entry_count()
+    );
+    let sharded = jem_serve::ShardedIndex::new(mapper, shards);
+    let handle = jem_serve::start(sharded, addr, &config).map_err(serve_err)?;
+    eprintln!(
+        "serving on {} ({} workers, queue {}, batch {})",
+        handle.addr(),
+        config.workers,
+        config.queue_cap,
+        config.batch
+    );
+    eprintln!("stop with: jem query --addr {} --shutdown", handle.addr());
+    let snapshot = handle.join();
+    if let Some(path) = args.get("metrics") {
+        std::fs::write(path, snapshot.to_json()).map_err(CliError::io(path))?;
+        eprintln!("metrics snapshot written to {path}");
+    }
+    eprintln!("server drained and stopped");
+    Ok(())
+}
+
+/// `jem query --addr HOST:PORT (--queries reads.fq | --queries - | --ping |
+///  --shutdown) [--chunk 64] [--out FILE]` — map reads through a running
+///  `jem serve`. The index parameters (segment length, subject names,
+///  trial count) come from the server's `Info` response, so the rendered
+///  TSV is byte-identical to an offline `jem map` against the same index.
+pub fn cmd_query(args: &Args) -> Result<(), CliError> {
+    let addr = args.req("addr")?;
+    let client = jem_serve::Client::new(addr);
+    if args.has("ping") {
+        client.ping().map_err(serve_err)?;
+        eprintln!("pong from {addr}");
+        return Ok(());
+    }
+    if args.has("shutdown") {
+        client.shutdown_server().map_err(serve_err)?;
+        eprintln!("server at {addr} is shutting down");
+        return Ok(());
+    }
+    let chunk = positive_count(args, "chunk", 64)?;
+    let reads = read_sequences(args.req("queries")?)?;
+    let info = client.info().map_err(serve_err)?;
+    let segments = make_segments(&reads, info.config.ell);
+    eprintln!(
+        "querying {addr}: {} reads → {} end segments (ell={}, {} subjects served)",
+        reads.len(),
+        segments.len(),
+        info.config.ell,
+        info.subject_names.len()
+    );
+    let mut mappings: Vec<Mapping> = Vec::new();
+    for part in segments.chunks(chunk) {
+        mappings.extend(
+            client
+                .map_segments_retry(part, 10, std::time::Duration::from_millis(50))
+                .map_err(serve_err)?,
+        );
+    }
+    // Chunks arrive individually sorted; restore the documented global
+    // total order so the TSV matches the offline driver byte for byte.
+    mappings.sort_unstable();
+    eprintln!("{} end segments mapped", mappings.len());
+    match args.get("out") {
+        Some(path) => {
+            let mut out = BufWriter::new(File::create(path).map_err(CliError::io(path))?);
+            write_mappings_tsv_named(
+                &mut out,
+                &mappings,
+                &reads,
+                &info.subject_names,
+                info.config.trials,
+            )
+            .map_err(CliError::format(path))?;
+            out.flush().map_err(CliError::io(path))?;
+        }
+        None => {
+            let stdout = std::io::stdout();
+            let mut lock = stdout.lock();
+            write_mappings_tsv_named(
+                &mut lock,
+                &mappings,
+                &reads,
+                &info.subject_names,
+                info.config.trials,
+            )
+            .map_err(CliError::format("<stdout>"))?;
+        }
+    }
+    Ok(())
 }

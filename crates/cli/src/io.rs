@@ -3,30 +3,47 @@
 use crate::error::CliError;
 use jem_seq::{FastaReader, FastqReader, FastqRecord, SeqRecord};
 use std::fs::File;
-use std::io::{BufRead, BufReader};
+use std::io::{BufRead, BufReader, Read};
 use std::path::Path;
 
 /// Read sequences from FASTA or FASTQ, sniffing the format from the first
 /// non-whitespace byte (`>` vs `@`). Malformed input — including a file
 /// truncated mid-record — is a [`CliError::Format`], never a panic.
+///
+/// The path `-` reads standard input instead, so queries can be streamed
+/// into `jem map` / `jem query` from a pipe.
 pub fn read_sequences(path: &str) -> Result<Vec<SeqRecord>, CliError> {
-    let mut reader = BufReader::new(File::open(path).map_err(CliError::io(path))?);
+    if path == "-" {
+        let mut buf = Vec::new();
+        std::io::stdin()
+            .lock()
+            .read_to_end(&mut buf)
+            .map_err(CliError::io("<stdin>"))?;
+        return sniff_sequences(buf.as_slice(), "<stdin>");
+    }
+    let reader = BufReader::new(File::open(path).map_err(CliError::io(path))?);
+    sniff_sequences(reader, path)
+}
+
+/// Format-sniffing core of [`read_sequences`], shared by the file and
+/// stdin paths (`label` names the source in errors).
+fn sniff_sequences<R: BufRead>(mut reader: R, label: &str) -> Result<Vec<SeqRecord>, CliError> {
     let first = {
-        let buf = reader.fill_buf().map_err(CliError::io(path))?;
+        let buf = reader.fill_buf().map_err(CliError::io(label))?;
         buf.iter().copied().find(|b| !b.is_ascii_whitespace())
     };
     match first {
         Some(b'>') => FastaReader::new(reader)
             .read_all()
-            .map_err(CliError::format(path)),
+            .map_err(CliError::format(label)),
         Some(b'@') => Ok(FastqReader::new(reader)
             .read_all()
-            .map_err(CliError::format(path))?
+            .map_err(CliError::format(label))?
             .into_iter()
             .map(FastqRecord::into_seq_record)
             .collect()),
         Some(other) => Err(CliError::Data(format!(
-            "{path}: unrecognized format (starts with {:?}, expected '>' or '@')",
+            "{label}: unrecognized format (starts with {:?}, expected '>' or '@')",
             other as char
         ))),
         None => Ok(Vec::new()),
@@ -100,6 +117,20 @@ mod tests {
         let p = tmp("trunc3.fq", b"@x\nACGT\n+\nII\n");
         assert!(read_sequences(&p).is_err());
         std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn stdin_style_buffer_sniffs_both_formats() {
+        // The `-` path funnels stdin bytes through the same sniffing core.
+        let recs = sniff_sequences(&b">x\nACGT\n"[..], "<stdin>").unwrap();
+        assert_eq!(recs[0].seq, b"ACGT".to_vec());
+        let recs = sniff_sequences(&b"@x\nACGT\n+\nIIII\n"[..], "<stdin>").unwrap();
+        assert_eq!(recs[0].seq, b"ACGT".to_vec());
+        let err = sniff_sequences(&b"garbage"[..], "<stdin>").unwrap_err();
+        assert!(
+            err.to_string().contains("<stdin>"),
+            "errors name the source"
+        );
     }
 
     #[test]

@@ -4,6 +4,8 @@
 //! jem simulate    --out data/ --genome-len 500000 --coverage 10
 //! jem index       --subjects data/contigs.fa --out data/index.jem
 //! jem map         --index data/index.jem --queries data/reads.fq --out data/map.tsv
+//! jem serve       --index data/index.jem --addr 127.0.0.1:7878 --shards 4
+//! jem query       --addr 127.0.0.1:7878 --queries data/reads.fq --out data/map.tsv
 //! jem distributed --subjects data/contigs.fa --queries data/reads.fq --ranks 8 \
 //!                 --fault-plan 'crash@1:subject sketch'
 //! jem eval        --mappings data/map.tsv --truth data/truth.tsv
@@ -30,9 +32,16 @@ COMMANDS:
                 [--ell 1000] [--seed N] [--metrics FILE] [--syncmer S  use
                 closed syncmers instead of minimizers]
   map         map long-read end segments to contigs (TSV to --out or stdout)
-                (--index FILE | --subjects FILE) --queries FILE [--out FILE]
+                (--index FILE | --subjects FILE) --queries FILE|- [--out FILE]
                 [--parallel] [--threads N] [--metrics FILE]
-                [config flags as for index]
+                [config flags as for index]  (--queries - reads stdin)
+  serve       keep a persisted index resident and serve mapping requests
+              over TCP until `jem query --shutdown` (DESIGN.md §10)
+                --index FILE [--addr 127.0.0.1:7878] [--shards 4]
+                [--workers 4] [--queue 64] [--batch 16] [--metrics FILE]
+  query       map reads through a running `jem serve` (TSV as for map)
+                --addr HOST:PORT (--queries FILE|- | --ping | --shutdown)
+                [--chunk 64] [--out FILE]
   distributed run the S1–S4 pipeline on simulated MPI ranks, with optional
               fault injection and recovery (makespan + fault report)
                 --subjects FILE --queries FILE [--ranks 8] [--threads]
@@ -70,6 +79,8 @@ fn main() {
     let result = Args::parse(argv).and_then(|args| match command.as_str() {
         "index" => commands::cmd_index(&args),
         "map" => commands::cmd_map(&args),
+        "serve" => commands::cmd_serve(&args),
+        "query" => commands::cmd_query(&args),
         "distributed" => commands::cmd_distributed(&args),
         "contained" => commands::cmd_contained(&args),
         "simulate" => commands::cmd_simulate(&args),

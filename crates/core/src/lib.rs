@@ -43,6 +43,6 @@ pub use distributed::{run_distributed, DistributedOutcome, StepBreakdown};
 pub use mapper::{JemMapper, Mapping};
 pub use parallel::{map_reads_parallel, map_reads_parallel_with};
 pub use persist::{load_index, save_index};
-pub use report::{mapping_pairs, write_mappings_tsv};
+pub use report::{mapping_pairs, write_mappings_tsv, write_mappings_tsv_named};
 pub use resilient::{run_distributed_resilient, ResilienceError, ResilienceOptions};
 pub use segment::{make_segments, QuerySegment, ReadEnd};

@@ -160,6 +160,11 @@ impl JemMapper {
         &self.subject_names[id as usize]
     }
 
+    /// All subject names, indexed by [`SubjectId`].
+    pub fn subject_names(&self) -> &[String] {
+        &self.subject_names
+    }
+
     /// The active configuration.
     pub fn config(&self) -> &MapperConfig {
         &self.config
@@ -173,6 +178,15 @@ impl JemMapper {
     /// A hit counter sized for this index (one per mapping thread).
     pub fn new_counter(&self) -> LazyHitCounter {
         LazyHitCounter::new(self.n_subjects())
+    }
+
+    /// Sketch a query sequence exactly as this index's subjects were
+    /// sketched (same scheme, parameters and hash family). Out-of-crate
+    /// drivers that re-partition the lookup structure — `jem-serve`'s
+    /// sharded table — go through this so their collision sets are
+    /// bit-identical to [`JemMapper::map_segment`]'s.
+    pub fn sketch_segment(&self, seq: &[u8]) -> JemSketch {
+        self.sketch(seq)
     }
 
     /// Map one end segment (Algorithm 2, lines 4–8).

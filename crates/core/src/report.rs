@@ -14,15 +14,36 @@ pub fn write_mappings_tsv<W: Write>(
     reads: &[SeqRecord],
     mapper: &JemMapper,
 ) -> Result<(), SeqError> {
+    write_mappings_tsv_named(
+        out,
+        mappings,
+        reads,
+        mapper.subject_names(),
+        mapper.config().trials,
+    )
+}
+
+/// [`write_mappings_tsv`] without a local [`JemMapper`]: subject names and
+/// the trial count arrive as plain data. This is the writer used by remote
+/// consumers (`jem query` learns both from the server's Info response), and
+/// the byte-level agreement of the two paths is what the server/offline
+/// equivalence suite pins down.
+pub fn write_mappings_tsv_named<W: Write>(
+    out: &mut W,
+    mappings: &[Mapping],
+    reads: &[SeqRecord],
+    subject_names: &[String],
+    trials: usize,
+) -> Result<(), SeqError> {
     writeln!(out, "#query\tsubject\thits\ttrials")?;
     for m in mappings {
         writeln!(
             out,
             "{}\t{}\t{}\t{}",
             m.query_key(reads),
-            mapper.subject_name(m.subject),
+            subject_names[m.subject as usize],
             m.hits,
-            mapper.config().trials
+            trials
         )?;
     }
     Ok(())

@@ -147,6 +147,15 @@ impl SketchTable {
         self.banks[trial].get(code).map_or(&[], Vec::as_slice)
     }
 
+    /// Iterate bank `trial`'s `(code, subjects)` entries in unspecified
+    /// order. Out-of-crate re-partitioners (e.g. `jem-serve`'s shard split)
+    /// walk the table through this without a round-trip via `encode`.
+    pub fn iter_bank(&self, trial: usize) -> impl Iterator<Item = (u64, &[SubjectId])> {
+        self.banks[trial]
+            .iter()
+            .map(|(code, v)| (code, v.as_slice()))
+    }
+
     /// Total `(trial, code)` key count across banks.
     pub fn key_count(&self) -> usize {
         self.banks.iter().map(U64Map::len).sum()
@@ -391,6 +400,26 @@ mod tests {
         assert_eq!(t.lookup(2, 100), &[9]);
         assert_eq!(t.entry_count(), 3);
         assert_eq!(t.key_count(), 2);
+    }
+
+    #[test]
+    fn iter_bank_visits_every_entry() {
+        let mut t = SketchTable::new(2);
+        t.insert(0, 100, 5);
+        t.insert(0, 100, 2);
+        t.insert(0, 7, 1);
+        t.insert(1, 100, 9);
+        let mut bank0: Vec<(u64, Vec<SubjectId>)> = t
+            .iter_bank(0)
+            .map(|(code, subjects)| (code, subjects.to_vec()))
+            .collect();
+        bank0.sort_unstable();
+        assert_eq!(bank0, vec![(7, vec![1]), (100, vec![2, 5])]);
+        let visited: usize = (0..t.trials())
+            .flat_map(|b| t.iter_bank(b))
+            .map(|(_, s)| s.len())
+            .sum();
+        assert_eq!(visited, t.entry_count());
     }
 
     #[test]

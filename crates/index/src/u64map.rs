@@ -260,4 +260,124 @@ mod tests {
             assert_eq!(m.get(k), Some(&i));
         }
     }
+
+    /// First `n` keys whose initial bucket in `m` is `bucket` — a
+    /// hand-built maximal collision chain for the current table geometry.
+    fn colliding_keys(m: &U64Map<u64>, bucket: usize, n: usize) -> Vec<u64> {
+        (0u64..)
+            .filter(|&k| m.bucket(k) == bucket)
+            .take(n)
+            .collect()
+    }
+
+    #[test]
+    fn collision_chain_probes_terminate_for_absent_keys() {
+        // 10 keys in one probe chain — the 16-slot table grows only at the
+        // 13th insert, so every lookup here walks the chain linearly.
+        let mut m: U64Map<u64> = U64Map::with_capacity(8);
+        let keys = colliding_keys(&m, 3, 10);
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(m.insert(k, i as u64), None);
+        }
+        assert_eq!(m.len(), 10, "no resize yet");
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(m.get(k), Some(&(i as u64)), "chain member {i}");
+        }
+        // Absent keys that hash *into* the chain must walk it and stop at
+        // the first empty slot — never loop, never false-positive.
+        let absent = colliding_keys(&m, 3, 12)[10..].to_vec();
+        for k in absent {
+            assert_eq!(m.get(k), None);
+            assert!(!m.contains_key(k));
+        }
+        // An absent key hashing right past the chain's end terminates too.
+        let clear = colliding_keys(&m, 14, 1)[0];
+        assert_eq!(m.get(clear), None);
+    }
+
+    #[test]
+    fn get_mut_walks_collision_chains() {
+        let mut m: U64Map<u64> = U64Map::with_capacity(8);
+        let keys = colliding_keys(&m, 0, 8);
+        for &k in &keys {
+            m.insert(k, 0);
+        }
+        // Mutate only the chain's last member; its neighbors must be
+        // untouched (a probe that stops early would hit the wrong slot).
+        *m.get_mut(keys[7]).unwrap() = 99;
+        for &k in &keys[..7] {
+            assert_eq!(m.get(k), Some(&0));
+        }
+        assert_eq!(m.get(keys[7]), Some(&99));
+        assert_eq!(
+            m.get_mut(keys[7] + 1).is_some(),
+            m.contains_key(keys[7] + 1)
+        );
+    }
+
+    #[test]
+    fn resize_under_load_preserves_chains_and_values() {
+        // Seed one dense collision chain, then hammer the map with enough
+        // mixed inserts to force several rehashes, re-checking the chain
+        // after every insert — growth must never lose or reorder a chain.
+        let mut m: U64Map<u64> = U64Map::with_capacity(8);
+        let chain = colliding_keys(&m, 5, 10);
+        for (i, &k) in chain.iter().enumerate() {
+            m.insert(k, 1000 + i as u64);
+        }
+        let mut state = 0x0123_4567_89AB_CDEFu64;
+        let mut inserted: Vec<u64> = Vec::new();
+        for _ in 0..3000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            // Disjoint from the chain keys (which are all small).
+            let key = state | (1 << 63);
+            if m.insert(key, state).is_none() {
+                inserted.push(key);
+            }
+            for (i, &k) in chain.iter().enumerate() {
+                assert_eq!(m.get(k), Some(&(1000 + i as u64)), "chain broke mid-growth");
+            }
+        }
+        assert_eq!(m.len(), chain.len() + inserted.len());
+        for &k in &inserted {
+            assert!(m.contains_key(k));
+        }
+    }
+
+    #[test]
+    fn lookup_after_resize_honors_the_new_geometry() {
+        // Keys that collided in the small table scatter after growth; all
+        // invariants must hold in the new geometry: every key findable,
+        // each exactly once in iteration, absent probes still terminate.
+        let mut m: U64Map<u64> = U64Map::with_capacity(8);
+        let old_chain = colliding_keys(&m, 7, 10);
+        for (i, &k) in old_chain.iter().enumerate() {
+            m.insert(k, i as u64);
+        }
+        let before_slots = m.slots.len();
+        for k in 0..200u64 {
+            m.insert((k + 1) << 32, k);
+        }
+        assert!(m.slots.len() > before_slots, "growth must have happened");
+        for (i, &k) in old_chain.iter().enumerate() {
+            assert_eq!(m.get(k), Some(&(i as u64)), "pre-resize chain member {i}");
+        }
+        let mut seen: Vec<u64> = m.iter().map(|(k, _)| k).collect();
+        seen.sort_unstable();
+        let dups = seen.windows(2).filter(|w| w[0] == w[1]).count();
+        assert_eq!(dups, 0, "rehashing must not duplicate keys");
+        assert_eq!(seen.len(), m.len());
+        // Probe termination in the grown table: of the keys now hashing to
+        // bucket 7, exactly the inserted ones (the old chain's small keys)
+        // are found — probes for the rest stop at an empty slot.
+        for k in colliding_keys(&m, 7, 40) {
+            assert_eq!(m.contains_key(k), old_chain.contains(&k));
+        }
+        // get_or_insert_with on a present key after resize must not insert.
+        let len = m.len();
+        assert_eq!(*m.get_or_insert_with(old_chain[3], || 777), 3);
+        assert_eq!(m.len(), len);
+    }
 }

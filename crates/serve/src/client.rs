@@ -1,0 +1,125 @@
+//! Blocking client for the `jem-serve` protocol.
+//!
+//! One connection per request: the protocol is strictly
+//! request/response, so a fresh `TcpStream` per call keeps the client
+//! trivially correct under concurrency (no framing state to desynchronize)
+//! at the cost of one TCP handshake per request — negligible next to an
+//! index pass. `jem query` and the equivalence suite are built on this.
+
+use crate::protocol::{read_frame, write_frame, Request, Response, ServerInfo};
+use crate::ServeError;
+use jem_core::{Mapping, QuerySegment};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A blocking `jem-serve` client bound to one server address.
+#[derive(Clone, Debug)]
+pub struct Client {
+    addr: String,
+    timeout: Duration,
+}
+
+impl Client {
+    /// Client for the server at `addr` (e.g. `"127.0.0.1:7878"`), with a
+    /// default 30-second I/O timeout.
+    pub fn new(addr: impl Into<String>) -> Self {
+        Client {
+            addr: addr.into(),
+            timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Same client with a different connect/read/write timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The server address this client targets.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// One request/response exchange on a fresh connection.
+    fn exchange(&self, req: &Request) -> Result<Response, ServeError> {
+        let addr = self.addr.to_socket_addrs()?.next().ok_or_else(|| {
+            ServeError::protocol(format!("address {:?} resolves to nothing", self.addr))
+        })?;
+        let mut conn = TcpStream::connect_timeout(&addr, self.timeout)?;
+        conn.set_read_timeout(Some(self.timeout))?;
+        conn.set_write_timeout(Some(self.timeout))?;
+        write_frame(&mut conn, &req.encode())?;
+        let body = read_frame(&mut conn)?;
+        Response::decode(&body)
+    }
+
+    /// Liveness probe.
+    pub fn ping(&self) -> Result<(), ServeError> {
+        match self.exchange(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// The served index's parameters, scheme, and subject names.
+    pub fn info(&self) -> Result<ServerInfo, ServeError> {
+        match self.exchange(&Request::Info)? {
+            Response::Info(info) => Ok(info),
+            other => Err(unexpected("Info", &other)),
+        }
+    }
+
+    /// Map a batch of segments. A full server queue surfaces as
+    /// [`ServeError::Busy`] — callers decide their own retry policy (or
+    /// use [`Client::map_segments_retry`]).
+    pub fn map_segments(&self, segments: &[QuerySegment]) -> Result<Vec<Mapping>, ServeError> {
+        let req = Request::Map {
+            segments: segments.to_vec(),
+        };
+        match self.exchange(&req)? {
+            Response::Mappings(mappings) => Ok(mappings),
+            other => Err(unexpected("Mappings", &other)),
+        }
+    }
+
+    /// [`Client::map_segments`] with bounded linear-backoff retries on
+    /// [`ServeError::Busy`]: attempt `i` sleeps `i × backoff` first. Any
+    /// other error is returned immediately.
+    pub fn map_segments_retry(
+        &self,
+        segments: &[QuerySegment],
+        attempts: usize,
+        backoff: Duration,
+    ) -> Result<Vec<Mapping>, ServeError> {
+        let attempts = attempts.max(1);
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(backoff * attempt as u32);
+            }
+            match self.map_segments(segments) {
+                Err(ServeError::Busy) if attempt + 1 < attempts => continue,
+                other => return other,
+            }
+        }
+        Err(ServeError::Busy)
+    }
+
+    /// Ask the server to shut down gracefully (drain queued work, flush
+    /// metrics, exit). Returns once the server acknowledges.
+    pub fn shutdown_server(&self) -> Result<(), ServeError> {
+        match self.exchange(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected("ShuttingDown", &other)),
+        }
+    }
+}
+
+/// Map an unexpected response onto the matching error.
+fn unexpected(wanted: &str, got: &Response) -> ServeError {
+    match got {
+        Response::Busy => ServeError::Busy,
+        Response::ShuttingDown => ServeError::ShuttingDown,
+        Response::Error(msg) => ServeError::Remote(msg.clone()),
+        other => ServeError::protocol(format!("expected {wanted}, got {other:?}")),
+    }
+}

@@ -1,0 +1,523 @@
+//! The `jem-serve` wire protocol: length-prefixed, checksummed binary
+//! frames carrying typed request/response messages.
+//!
+//! Frame layout (all integers little-endian; see DESIGN.md §10):
+//!
+//! ```text
+//! magic  b"JEMSRV1\0"     8 bytes
+//! body_len (bytes)        u64   (capped at MAX_BODY)
+//! fnv1a64(body)           u64
+//! body:
+//!   tag                   u64
+//!   payload               tag-specific
+//! ```
+//!
+//! The frame checksum follows the persist-v3 convention of
+//! `jem_core::persist`: FNV-1a over the whole body, so any byte-level
+//! damage in transit is a decode error, never a panic or a garbled
+//! mapping. Both sides of the connection speak the same frame; only the
+//! tag namespaces differ (requests vs responses).
+
+use crate::ServeError;
+use jem_core::{MapperConfig, Mapping, QuerySegment, ReadEnd};
+use jem_sketch::SketchScheme;
+use std::io::{Read, Write};
+
+/// Frame magic: protocol name + version, one bump per incompatible change.
+pub const MAGIC: &[u8; 8] = b"JEMSRV1\0";
+
+/// Upper bound on a frame body. Frames are decoded into memory, so the
+/// bound is what stops a hostile or corrupt length word from driving an
+/// unbounded allocation (1 GiB comfortably holds any real segment batch).
+pub const MAX_BODY: u64 = 1 << 30;
+
+/// FNV-1a over raw bytes — same checksum the index persist frame uses.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A client-to-server message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe; the server answers [`Response::Pong`] inline.
+    Ping,
+    /// Ask for the served index's parameters and subject names.
+    Info,
+    /// Map a batch of query end segments.
+    Map {
+        /// The segments to map (client-side `read_idx`/`end` are echoed
+        /// back in the mappings).
+        segments: Vec<QuerySegment>,
+    },
+    /// Begin a graceful shutdown: the server stops accepting, drains
+    /// queued work, flushes metrics, and exits.
+    Shutdown,
+}
+
+/// A server-to-client message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Answer to [`Request::Info`].
+    Info(ServerInfo),
+    /// Answer to [`Request::Map`]: the batch's mappings, in the total
+    /// order documented on [`Mapping`].
+    Mappings(Vec<Mapping>),
+    /// The bounded request queue is full — try again later (backpressure;
+    /// the server never buffers unboundedly).
+    Busy,
+    /// The request was malformed or failed; human-readable reason.
+    Error(String),
+    /// Acknowledges [`Request::Shutdown`].
+    ShuttingDown,
+}
+
+/// What a server tells clients about the index it serves.
+///
+/// Carries everything `jem query` needs to segment reads identically to
+/// the offline driver (`ell`) and to render the same TSV (names, trials).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServerInfo {
+    /// The mapper configuration of the loaded index.
+    pub config: MapperConfig,
+    /// The sketch-position scheme of the loaded index.
+    pub scheme: SketchScheme,
+    /// Subject (contig) names, indexed by subject id.
+    pub subject_names: Vec<String>,
+    /// Number of shards the sketch table is partitioned into.
+    pub shards: usize,
+    /// Max segments a worker folds into one index pass.
+    pub batch: usize,
+}
+
+// --- tag values ---------------------------------------------------------
+
+const REQ_PING: u64 = 0;
+const REQ_INFO: u64 = 1;
+const REQ_MAP: u64 = 2;
+const REQ_SHUTDOWN: u64 = 3;
+
+const RESP_PONG: u64 = 0;
+const RESP_INFO: u64 = 1;
+const RESP_MAPPINGS: u64 = 2;
+const RESP_BUSY: u64 = 3;
+const RESP_ERROR: u64 = 4;
+const RESP_SHUTTING_DOWN: u64 = 5;
+
+// --- body primitives ----------------------------------------------------
+
+fn put_u64(body: &mut Vec<u8>, v: u64) {
+    body.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(body: &mut Vec<u8>, bytes: &[u8]) {
+    put_u64(body, bytes.len() as u64);
+    body.extend_from_slice(bytes);
+}
+
+/// Cursor over a received body; every read is bounds-checked so a
+/// malformed body is an error, never a panic.
+struct Cursor<'a> {
+    body: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(body: &'a [u8]) -> Self {
+        Cursor { body, at: 0 }
+    }
+
+    fn u64(&mut self) -> Result<u64, ServeError> {
+        let end = self.at + 8;
+        let bytes = self
+            .body
+            .get(self.at..end)
+            .ok_or_else(|| ServeError::protocol("body truncated reading u64"))?;
+        self.at = end;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8-byte slice")))
+    }
+
+    fn usize(&mut self) -> Result<usize, ServeError> {
+        usize::try_from(self.u64()?).map_err(|_| ServeError::protocol("length overflows usize"))
+    }
+
+    fn bytes(&mut self) -> Result<&'a [u8], ServeError> {
+        let len = self.usize()?;
+        let end = self
+            .at
+            .checked_add(len)
+            .ok_or_else(|| ServeError::protocol("length overflows body"))?;
+        let bytes = self
+            .body
+            .get(self.at..end)
+            .ok_or_else(|| ServeError::protocol("body truncated reading bytes"))?;
+        self.at = end;
+        Ok(bytes)
+    }
+
+    fn string(&mut self) -> Result<String, ServeError> {
+        String::from_utf8(self.bytes()?.to_vec())
+            .map_err(|_| ServeError::protocol("string is not UTF-8"))
+    }
+
+    fn finish(self) -> Result<(), ServeError> {
+        if self.at == self.body.len() {
+            Ok(())
+        } else {
+            Err(ServeError::protocol("trailing garbage after message body"))
+        }
+    }
+}
+
+fn end_code(end: ReadEnd) -> u64 {
+    match end {
+        ReadEnd::Prefix => 0,
+        ReadEnd::Suffix => 1,
+    }
+}
+
+fn decode_end(code: u64) -> Result<ReadEnd, ServeError> {
+    match code {
+        0 => Ok(ReadEnd::Prefix),
+        1 => Ok(ReadEnd::Suffix),
+        other => Err(ServeError::protocol(format!("unknown read end {other}"))),
+    }
+}
+
+// --- message encoding ---------------------------------------------------
+
+impl Request {
+    /// Serialize to a frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        match self {
+            Request::Ping => put_u64(&mut body, REQ_PING),
+            Request::Info => put_u64(&mut body, REQ_INFO),
+            Request::Shutdown => put_u64(&mut body, REQ_SHUTDOWN),
+            Request::Map { segments } => {
+                put_u64(&mut body, REQ_MAP);
+                put_u64(&mut body, segments.len() as u64);
+                for seg in segments {
+                    put_u64(&mut body, u64::from(seg.read_idx));
+                    put_u64(&mut body, end_code(seg.end));
+                    put_bytes(&mut body, &seg.seq);
+                }
+            }
+        }
+        body
+    }
+
+    /// Deserialize a frame body.
+    pub fn decode(body: &[u8]) -> Result<Request, ServeError> {
+        let mut c = Cursor::new(body);
+        let req = match c.u64()? {
+            REQ_PING => Request::Ping,
+            REQ_INFO => Request::Info,
+            REQ_SHUTDOWN => Request::Shutdown,
+            REQ_MAP => {
+                let n = c.usize()?;
+                // Sized by what the body can actually hold, not the header.
+                let mut segments = Vec::with_capacity(n.min(body.len() / 24 + 1));
+                for _ in 0..n {
+                    let read_idx = u32::try_from(c.u64()?)
+                        .map_err(|_| ServeError::protocol("read_idx overflows u32"))?;
+                    let end = decode_end(c.u64()?)?;
+                    let seq = c.bytes()?.to_vec();
+                    segments.push(QuerySegment { read_idx, end, seq });
+                }
+                Request::Map { segments }
+            }
+            other => return Err(ServeError::protocol(format!("unknown request tag {other}"))),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serialize to a frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        match self {
+            Response::Pong => put_u64(&mut body, RESP_PONG),
+            Response::Busy => put_u64(&mut body, RESP_BUSY),
+            Response::ShuttingDown => put_u64(&mut body, RESP_SHUTTING_DOWN),
+            Response::Error(msg) => {
+                put_u64(&mut body, RESP_ERROR);
+                put_bytes(&mut body, msg.as_bytes());
+            }
+            Response::Mappings(mappings) => {
+                put_u64(&mut body, RESP_MAPPINGS);
+                put_u64(&mut body, mappings.len() as u64);
+                for m in mappings {
+                    put_u64(&mut body, u64::from(m.read_idx));
+                    put_u64(&mut body, end_code(m.end));
+                    put_u64(&mut body, u64::from(m.subject));
+                    put_u64(&mut body, u64::from(m.hits));
+                }
+            }
+            Response::Info(info) => {
+                put_u64(&mut body, RESP_INFO);
+                let c = &info.config;
+                for v in [
+                    c.k as u64,
+                    c.w as u64,
+                    c.trials as u64,
+                    c.ell as u64,
+                    c.seed,
+                ] {
+                    put_u64(&mut body, v);
+                }
+                let (tag, param): (u64, u64) = match info.scheme {
+                    SketchScheme::Minimizer { w } => (0, w as u64),
+                    SketchScheme::ClosedSyncmer { s } => (1, s as u64),
+                };
+                put_u64(&mut body, tag);
+                put_u64(&mut body, param);
+                put_u64(&mut body, info.shards as u64);
+                put_u64(&mut body, info.batch as u64);
+                put_u64(&mut body, info.subject_names.len() as u64);
+                for name in &info.subject_names {
+                    put_bytes(&mut body, name.as_bytes());
+                }
+            }
+        }
+        body
+    }
+
+    /// Deserialize a frame body.
+    pub fn decode(body: &[u8]) -> Result<Response, ServeError> {
+        let mut c = Cursor::new(body);
+        let resp = match c.u64()? {
+            RESP_PONG => Response::Pong,
+            RESP_BUSY => Response::Busy,
+            RESP_SHUTTING_DOWN => Response::ShuttingDown,
+            RESP_ERROR => Response::Error(c.string()?),
+            RESP_MAPPINGS => {
+                let n = c.usize()?;
+                let mut mappings = Vec::with_capacity(n.min(body.len() / 32 + 1));
+                for _ in 0..n {
+                    let read_idx = u32::try_from(c.u64()?)
+                        .map_err(|_| ServeError::protocol("read_idx overflows u32"))?;
+                    let end = decode_end(c.u64()?)?;
+                    let subject = u32::try_from(c.u64()?)
+                        .map_err(|_| ServeError::protocol("subject overflows u32"))?;
+                    let hits = u32::try_from(c.u64()?)
+                        .map_err(|_| ServeError::protocol("hits overflows u32"))?;
+                    mappings.push(Mapping {
+                        read_idx,
+                        end,
+                        subject,
+                        hits,
+                    });
+                }
+                Response::Mappings(mappings)
+            }
+            RESP_INFO => {
+                let config = MapperConfig {
+                    k: c.usize()?,
+                    w: c.usize()?,
+                    trials: c.usize()?,
+                    ell: c.usize()?,
+                    seed: c.u64()?,
+                };
+                let (tag, param) = (c.u64()?, c.usize()?);
+                let scheme = match tag {
+                    0 => SketchScheme::Minimizer { w: param },
+                    1 => SketchScheme::ClosedSyncmer { s: param },
+                    other => {
+                        return Err(ServeError::protocol(format!("unknown scheme tag {other}")))
+                    }
+                };
+                let shards = c.usize()?;
+                let batch = c.usize()?;
+                let n = c.usize()?;
+                let mut subject_names = Vec::with_capacity(n.min(body.len() / 8 + 1));
+                for _ in 0..n {
+                    subject_names.push(c.string()?);
+                }
+                Response::Info(ServerInfo {
+                    config,
+                    scheme,
+                    subject_names,
+                    shards,
+                    batch,
+                })
+            }
+            other => {
+                return Err(ServeError::protocol(format!(
+                    "unknown response tag {other}"
+                )))
+            }
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+}
+
+// --- frame transport ----------------------------------------------------
+
+/// Write one frame (`MAGIC`, length, checksum, body) to `out`.
+pub fn write_frame<W: Write>(out: &mut W, body: &[u8]) -> std::io::Result<()> {
+    out.write_all(MAGIC)?;
+    out.write_all(&(body.len() as u64).to_le_bytes())?;
+    out.write_all(&fnv1a64(body).to_le_bytes())?;
+    out.write_all(body)?;
+    out.flush()
+}
+
+/// Read one frame from `input`, verifying magic, length bound and
+/// checksum. Never panics on malformed input; never allocates more than
+/// the peer actually sent (the declared length only bounds the read).
+pub fn read_frame<R: Read>(input: &mut R) -> Result<Vec<u8>, ServeError> {
+    let mut header = [0u8; 24];
+    input.read_exact(&mut header)?;
+    if &header[..8] != MAGIC {
+        return Err(ServeError::protocol("bad frame magic"));
+    }
+    let body_len = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+    let declared = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
+    if body_len > MAX_BODY {
+        return Err(ServeError::protocol(format!(
+            "frame body of {body_len} bytes exceeds the {MAX_BODY}-byte bound"
+        )));
+    }
+    let mut body = Vec::new();
+    input.take(body_len).read_to_end(&mut body)?;
+    if body.len() as u64 != body_len {
+        return Err(ServeError::protocol(format!(
+            "frame truncated: header declares {body_len} body bytes, got {}",
+            body.len()
+        )));
+    }
+    let computed = fnv1a64(&body);
+    if computed != declared {
+        return Err(ServeError::protocol(format!(
+            "frame checksum mismatch: declared {declared:#018x}, computed {computed:#018x}"
+        )));
+    }
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &req.encode()).unwrap();
+        let body = read_frame(&mut wire.as_slice()).unwrap();
+        assert_eq!(Request::decode(&body).unwrap(), req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &resp.encode()).unwrap();
+        let body = read_frame(&mut wire.as_slice()).unwrap();
+        assert_eq!(Response::decode(&body).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::Ping);
+        roundtrip_request(Request::Info);
+        roundtrip_request(Request::Shutdown);
+        roundtrip_request(Request::Map {
+            segments: vec![
+                QuerySegment {
+                    read_idx: 0,
+                    end: ReadEnd::Prefix,
+                    seq: b"ACGTACGT".to_vec(),
+                },
+                QuerySegment {
+                    read_idx: 7,
+                    end: ReadEnd::Suffix,
+                    seq: Vec::new(),
+                },
+            ],
+        });
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_response(Response::Pong);
+        roundtrip_response(Response::Busy);
+        roundtrip_response(Response::ShuttingDown);
+        roundtrip_response(Response::Error("queue exploded".into()));
+        roundtrip_response(Response::Mappings(vec![Mapping {
+            read_idx: 3,
+            end: ReadEnd::Suffix,
+            subject: 12,
+            hits: 9,
+        }]));
+        roundtrip_response(Response::Info(ServerInfo {
+            config: MapperConfig::default(),
+            scheme: SketchScheme::ClosedSyncmer { s: 11 },
+            subject_names: vec!["contig_0".into(), "contig_1".into()],
+            shards: 8,
+            batch: 16,
+        }));
+    }
+
+    #[test]
+    fn every_frame_byte_flip_detected() {
+        let req = Request::Map {
+            segments: vec![QuerySegment {
+                read_idx: 1,
+                end: ReadEnd::Prefix,
+                seq: b"ACGT".to_vec(),
+            }],
+        };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &req.encode()).unwrap();
+        for i in 0..wire.len() {
+            let mut bad = wire.clone();
+            bad[i] ^= 0x01;
+            // Either the frame read fails (magic/length/checksum) or — when
+            // a length-word flip pushes the declared length past the bytes
+            // present — it is a truncation error. Decode is never reached
+            // with a corrupt body.
+            assert!(
+                read_frame(&mut bad.as_slice()).is_err(),
+                "flip of byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn garbage_bytes_rejected() {
+        assert!(read_frame(&mut &b"GET / HTTP/1.1\r\n\r\n this is not jem"[..]).is_err());
+        assert!(read_frame(&mut &b""[..]).is_err());
+        assert!(read_frame(&mut &b"JEMSRV1\0"[..]).is_err());
+    }
+
+    #[test]
+    fn oversized_length_word_rejected_without_allocating() {
+        let mut wire = MAGIC.to_vec();
+        wire.extend_from_slice(&u64::MAX.to_le_bytes());
+        wire.extend_from_slice(&0u64.to_le_bytes());
+        let err = read_frame(&mut wire.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("bound"), "got: {err}");
+    }
+
+    #[test]
+    fn unknown_tags_rejected() {
+        let mut body = Vec::new();
+        put_u64(&mut body, 999);
+        assert!(Request::decode(&body).is_err());
+        assert!(Response::decode(&body).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut body = Request::Ping.encode();
+        body.push(0);
+        assert!(Request::decode(&body).is_err());
+    }
+}

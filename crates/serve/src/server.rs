@@ -1,0 +1,315 @@
+//! The mapping server: accept loop, bounded queue, batching worker pool,
+//! graceful shutdown.
+//!
+//! Threading model (DESIGN.md §10):
+//!
+//! * **accept thread** — owns the listener. Reads one request frame per
+//!   connection, answers `Ping`/`Info` inline, enqueues `Map` jobs on the
+//!   bounded queue (replying [`Response::Busy`] when it is full — the
+//!   server never buffers unboundedly), and on `Shutdown` stops accepting
+//!   and closes the queue.
+//! * **worker threads** (fixed pool) — each owns one reused
+//!   [`LazyHitCounter`] and a running query-id; workers pop up to `batch`
+//!   queued requests per index pass, map every segment of the pass with
+//!   the one counter (no per-request counter allocation or reset — the
+//!   paper's lazy strategy is what makes the reuse free), and write each
+//!   response back on its own connection.
+//! * **shutdown** — [`ServerHandle::shutdown`] (or a remote
+//!   [`crate::Request::Shutdown`]) flips the flag, wakes the accept loop,
+//!   closes the queue; workers drain everything already queued, so every
+//!   admitted request is answered, then exit. The final metrics snapshot
+//!   is taken after the join, so it reflects the complete run.
+//!
+//! All instrumentation flows through one [`MetricsRecorder`] owned by the
+//! server (not the process-global recorder): a resident service snapshots
+//! its own lifetime without racing other pipelines in the process, and
+//! tests can run many servers concurrently.
+
+use crate::protocol::{read_frame, write_frame, Request, Response, ServerInfo};
+use crate::queue::{BoundedQueue, PushError};
+use crate::shard::ShardedIndex;
+use crate::ServeError;
+use jem_core::QuerySegment;
+use jem_obs::{MetricsRecorder, Recorder, Snapshot, Span};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of a [`start`]ed server.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads mapping queued requests (≥ 1).
+    pub workers: usize,
+    /// Bounded request-queue capacity; a full queue answers `Busy` (≥ 1).
+    pub queue_cap: usize,
+    /// Max queued requests a worker folds into one index pass (≥ 1).
+    pub batch: usize,
+    /// Per-connection socket read/write timeout.
+    pub io_timeout: Duration,
+    /// Chaos knob (same spirit as `jem-psim`'s straggle fault): every
+    /// worker sleeps this long before each index pass. `0` = off. Used by
+    /// the saturation and drain tests to hold the queue full
+    /// deterministically.
+    pub straggle_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_cap: 64,
+            batch: 16,
+            io_timeout: Duration::from_secs(10),
+            straggle_ms: 0,
+        }
+    }
+}
+
+impl ServerConfig {
+    fn validate(&self) -> Result<(), ServeError> {
+        for (name, v) in [
+            ("workers", self.workers),
+            ("queue_cap", self.queue_cap),
+            ("batch", self.batch),
+        ] {
+            if v == 0 {
+                return Err(ServeError::Config(format!("{name} must be at least 1")));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One admitted `Map` request: the segments plus the connection to answer.
+struct Job {
+    conn: TcpStream,
+    segments: Vec<QuerySegment>,
+    enqueued: Instant,
+}
+
+/// Handle to a running server: its address, its metrics, and the two ways
+/// a run ends ([`ServerHandle::shutdown`] locally, [`ServerHandle::join`]
+/// after a remote shutdown request).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    recorder: Arc<MetricsRecorder>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's metrics recorder (live; snapshot any time).
+    pub fn recorder(&self) -> &MetricsRecorder {
+        &self.recorder
+    }
+
+    /// Trigger a graceful shutdown and wait for it to finish: stop
+    /// accepting, drain every queued request, join all threads. Returns
+    /// the final metrics snapshot.
+    pub fn shutdown(mut self) -> Snapshot {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept loop out of its blocking accept.
+        let _ = TcpStream::connect(self.addr);
+        self.join_inner()
+    }
+
+    /// Wait for the server to end on its own (a remote
+    /// [`Request::Shutdown`](crate::Request::Shutdown)), then return the
+    /// final metrics snapshot.
+    pub fn join(mut self) -> Snapshot {
+        self.join_inner()
+    }
+
+    fn join_inner(&mut self) -> Snapshot {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.recorder.snapshot()
+    }
+}
+
+/// Bind `addr` and start serving `index`. Returns once the listener is
+/// live; mapping happens on background threads until shutdown.
+pub fn start(
+    index: ShardedIndex,
+    addr: &str,
+    config: &ServerConfig,
+) -> Result<ServerHandle, ServeError> {
+    config.validate()?;
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let index = Arc::new(index);
+    let recorder = Arc::new(MetricsRecorder::new());
+    let queue: Arc<BoundedQueue<Job>> = Arc::new(BoundedQueue::new(config.queue_cap));
+    let shutdown = Arc::new(AtomicBool::new(false));
+
+    // Startup gauges: shard balance of the resident table.
+    for count in index.shard_entry_counts() {
+        recorder.observe("serve.shard_entries", count as u64);
+    }
+    recorder.add("serve.started", 1);
+
+    let info = ServerInfo {
+        config: *index.mapper().config(),
+        scheme: index.mapper().scheme(),
+        subject_names: index.mapper().subject_names().to_vec(),
+        shards: index.n_shards(),
+        batch: config.batch,
+    };
+
+    let mut threads = Vec::with_capacity(config.workers);
+    for _ in 0..config.workers {
+        let index = Arc::clone(&index);
+        let queue = Arc::clone(&queue);
+        let recorder = Arc::clone(&recorder);
+        let batch = config.batch;
+        let straggle_ms = config.straggle_ms;
+        threads.push(std::thread::spawn(move || {
+            worker_loop(&index, &queue, &recorder, batch, straggle_ms)
+        }));
+    }
+
+    let accept = {
+        let queue = Arc::clone(&queue);
+        let recorder = Arc::clone(&recorder);
+        let shutdown = Arc::clone(&shutdown);
+        let io_timeout = config.io_timeout;
+        std::thread::spawn(move || {
+            accept_loop(&listener, &info, &queue, &recorder, &shutdown, io_timeout);
+            // Whatever ended the loop (local flag or remote request):
+            // refuse new work, let workers drain and exit.
+            shutdown.store(true, Ordering::SeqCst);
+            queue.close();
+        })
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        accept: Some(accept),
+        workers: threads,
+        recorder,
+    })
+}
+
+/// Reply on `conn`, tolerating a peer that already hung up.
+fn respond(conn: &mut TcpStream, recorder: &MetricsRecorder, resp: &Response) {
+    if write_frame(conn, &resp.encode()).is_err() {
+        recorder.add("serve.write_errors", 1);
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    info: &ServerInfo,
+    queue: &BoundedQueue<Job>,
+    recorder: &MetricsRecorder,
+    shutdown: &AtomicBool,
+    io_timeout: Duration,
+) {
+    loop {
+        let mut conn = match listener.accept() {
+            Ok((conn, _)) => conn,
+            Err(_) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        recorder.add("serve.connections", 1);
+        if conn.set_read_timeout(Some(io_timeout)).is_err()
+            || conn.set_write_timeout(Some(io_timeout)).is_err()
+        {
+            continue;
+        }
+        match read_frame(&mut conn).and_then(|body| Request::decode(&body)) {
+            Err(e) => {
+                recorder.add("serve.protocol_errors", 1);
+                respond(&mut conn, recorder, &Response::Error(e.to_string()));
+            }
+            Ok(Request::Ping) => respond(&mut conn, recorder, &Response::Pong),
+            Ok(Request::Info) => respond(&mut conn, recorder, &Response::Info(info.clone())),
+            Ok(Request::Shutdown) => {
+                recorder.add("serve.shutdown_requests", 1);
+                respond(&mut conn, recorder, &Response::ShuttingDown);
+                return;
+            }
+            Ok(Request::Map { segments }) => {
+                let job = Job {
+                    conn,
+                    segments,
+                    enqueued: Instant::now(),
+                };
+                match queue.try_push(job) {
+                    Ok(depth) => recorder.observe("serve.queue_depth", depth as u64),
+                    Err((mut job, PushError::Full)) => {
+                        recorder.add("serve.busy", 1);
+                        respond(&mut job.conn, recorder, &Response::Busy);
+                    }
+                    Err((mut job, PushError::Closed)) => {
+                        respond(&mut job.conn, recorder, &Response::ShuttingDown);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn worker_loop(
+    index: &ShardedIndex,
+    queue: &BoundedQueue<Job>,
+    recorder: &MetricsRecorder,
+    batch: usize,
+    straggle_ms: u64,
+) {
+    // One counter for the whole worker lifetime: the lazy strategy makes
+    // cross-batch reuse free as long as query ids keep increasing.
+    let mut counter = index.new_counter();
+    let mut qid_base = 0u64;
+    loop {
+        let jobs = queue.pop_batch(batch);
+        if jobs.is_empty() {
+            return; // queue closed and drained
+        }
+        if straggle_ms > 0 {
+            std::thread::sleep(Duration::from_millis(straggle_ms));
+        }
+        let _pass = Span::enter(recorder as &dyn Recorder, "serve/batch");
+        let n_segments: usize = jobs.iter().map(|j| j.segments.len()).sum();
+        recorder.observe("serve.batch_jobs", jobs.len() as u64);
+        recorder.observe("serve.batch_segments", n_segments as u64);
+        for mut job in jobs {
+            let mut mappings = index.map_batch(&job.segments, qid_base, &mut counter);
+            qid_base += job.segments.len() as u64;
+            // The documented total order on `Mapping` — same normalization
+            // as the offline parallel driver.
+            mappings.sort_unstable();
+            recorder.add("serve.requests", 1);
+            recorder.add("serve.segments", job.segments.len() as u64);
+            recorder.add("serve.mapped", mappings.len() as u64);
+            respond(&mut job.conn, recorder, &Response::Mappings(mappings));
+            let latency = u64::try_from(job.enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            recorder.span_ns("serve/request", latency);
+        }
+        let stats = counter.stats.take();
+        recorder.add("serve.collisions_probed", stats.probed);
+        recorder.add("serve.lazy_resets", stats.lazy_resets);
+        recorder.add("serve.resets_skipped", stats.resets_skipped);
+        recorder.add("serve.ties", stats.ties);
+    }
+}

@@ -1,0 +1,235 @@
+//! Shard partitioning of the sketch table for the resident service.
+//!
+//! The service loads one index and answers queries from many worker
+//! threads, so the lookup structure must be shared read-only. Rather than
+//! one monolithic table, [`ShardedIndex`] splits every bank's entries into
+//! `n_shards` disjoint sub-tables keyed by a hash of the sketch code —
+//! the same table-splitting idea minimap2's multi-part `.mmi` index uses,
+//! applied to the in-memory resident artifact. Shards keep each
+//! open-addressing probe array smaller (better cache residency per probe)
+//! and give operators a dial between one huge allocation and many small
+//! ones; because each `(trial, code)` entry lands in exactly one shard and
+//! per-trial collision sets are deduplicated downstream, shard count can
+//! never change mapping output (pinned by the equivalence suite).
+
+use jem_core::{JemMapper, Mapping, QuerySegment};
+use jem_index::{HitCounter, LazyHitCounter, SketchTable, SubjectId};
+
+/// Fibonacci multiplier (`floor(2^64/φ)`) — mixes sketch codes into shard
+/// ids independently of the in-shard bucket hash (which uses the high bits
+/// of the same multiply; taking bits 32..48 here keeps the two choices
+/// decorrelated enough for balanced shards).
+const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A read-only [`JemMapper`] whose sketch table is partitioned into
+/// disjoint shards by sketch-code hash.
+#[derive(Clone, Debug)]
+pub struct ShardedIndex {
+    mapper: JemMapper,
+    shards: Vec<SketchTable>,
+}
+
+impl ShardedIndex {
+    /// Partition `mapper`'s table into `n_shards` disjoint sub-tables.
+    ///
+    /// # Panics
+    /// Panics if `n_shards` is zero (the CLI rejects `--shards 0` first).
+    pub fn new(mapper: JemMapper, n_shards: usize) -> Self {
+        assert!(n_shards >= 1, "shard count must be at least 1");
+        let trials = mapper.config().trials;
+        let mut shards: Vec<SketchTable> =
+            (0..n_shards).map(|_| SketchTable::new(trials)).collect();
+        for t in 0..trials {
+            for (code, subjects) in mapper.table().iter_bank(t) {
+                let shard = &mut shards[shard_of(code, n_shards)];
+                for &s in subjects {
+                    shard.insert(t, code, s);
+                }
+            }
+        }
+        ShardedIndex { mapper, shards }
+    }
+
+    /// The wrapped mapper (config, scheme, subject names).
+    pub fn mapper(&self) -> &JemMapper {
+        &self.mapper
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// `(trial, code, subject)` association count per shard — the shard
+    /// balance signal (`serve.shard_entries` histogram at startup).
+    pub fn shard_entry_counts(&self) -> Vec<usize> {
+        self.shards.iter().map(SketchTable::entry_count).collect()
+    }
+
+    /// Subjects registered under `(trial, code)`, resolved through the
+    /// owning shard.
+    #[inline]
+    fn lookup(&self, trial: usize, code: u64) -> &[SubjectId] {
+        self.shards[shard_of(code, self.shards.len())].lookup(trial, code)
+    }
+
+    /// A counter sized for this index (one per worker, reused across
+    /// batches — the lazy strategy makes reuse free).
+    pub fn new_counter(&self) -> LazyHitCounter {
+        self.mapper.new_counter()
+    }
+
+    /// Map one end segment through the sharded table.
+    ///
+    /// Mirrors `JemMapper::map_segment` exactly — sketch, per-trial
+    /// collision set (deduplicated), lazy-counter argmax — with only the
+    /// table lookup routed through the owning shard, so the result is
+    /// identical to the offline driver's for any shard count.
+    pub fn map_segment(
+        &self,
+        seg: &[u8],
+        qid: u64,
+        counter: &mut LazyHitCounter,
+    ) -> Option<(SubjectId, u32)> {
+        let sketch = self.mapper.sketch_segment(seg);
+        let mut trial_subjects: Vec<SubjectId> = Vec::new();
+        for (t, codes) in sketch.per_trial.iter().enumerate() {
+            trial_subjects.clear();
+            for &code in codes {
+                trial_subjects.extend_from_slice(self.lookup(t, code));
+            }
+            counter.stats.probed += trial_subjects.len() as u64;
+            trial_subjects.sort_unstable();
+            trial_subjects.dedup();
+            for &s in &trial_subjects {
+                counter.record(qid, s);
+            }
+        }
+        counter.best(qid)
+    }
+
+    /// Map a batch of segments with a reused counter.
+    ///
+    /// `qid_base` must make every `(qid_base + i)` unique across all
+    /// batches the counter has seen — workers pass a running segment
+    /// count, which is exactly the lazy counter's reuse contract.
+    pub fn map_batch(
+        &self,
+        segments: &[QuerySegment],
+        qid_base: u64,
+        counter: &mut LazyHitCounter,
+    ) -> Vec<Mapping> {
+        let mut out = Vec::new();
+        for (i, seg) in segments.iter().enumerate() {
+            if let Some((subject, hits)) = self.map_segment(&seg.seq, qid_base + i as u64, counter)
+            {
+                out.push(Mapping {
+                    read_idx: seg.read_idx,
+                    end: seg.end,
+                    subject,
+                    hits,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Owning shard of a sketch code.
+#[inline]
+fn shard_of(code: u64, n_shards: usize) -> usize {
+    ((code.wrapping_mul(FIB) >> 32) as usize) % n_shards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jem_core::{make_segments, MapperConfig};
+    use jem_seq::SeqRecord;
+
+    fn world() -> (JemMapper, Vec<SeqRecord>) {
+        let mk = |seed: u64, n: usize| -> Vec<u8> {
+            (0..n)
+                .scan(seed, |s, _| {
+                    *s = s
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    Some(b"ACGT"[((*s >> 33) % 4) as usize])
+                })
+                .collect()
+        };
+        let subjects: Vec<SeqRecord> = (0..6)
+            .map(|i| SeqRecord::new(format!("c{i}"), mk(i as u64 + 1, 4000)))
+            .collect();
+        let config = MapperConfig {
+            k: 12,
+            w: 8,
+            trials: 8,
+            ell: 300,
+            seed: 5,
+        };
+        let reads: Vec<SeqRecord> = (0..6)
+            .map(|i| SeqRecord::new(format!("r{i}"), subjects[i].seq[500..1400].to_vec()))
+            .collect();
+        (JemMapper::build(subjects, &config), reads)
+    }
+
+    #[test]
+    fn sharding_preserves_every_entry() {
+        let (mapper, _) = world();
+        let total = mapper.table().entry_count();
+        for n_shards in [1usize, 2, 3, 8] {
+            let sharded = ShardedIndex::new(mapper.clone(), n_shards);
+            assert_eq!(sharded.n_shards(), n_shards);
+            let counts = sharded.shard_entry_counts();
+            assert_eq!(counts.len(), n_shards);
+            assert_eq!(
+                counts.iter().sum::<usize>(),
+                total,
+                "{n_shards} shards must repartition, not drop or duplicate"
+            );
+        }
+    }
+
+    #[test]
+    fn any_shard_count_matches_the_offline_mapper() {
+        let (mapper, reads) = world();
+        let segments = make_segments(&reads, mapper.config().ell);
+        let mut offline_counter = mapper.new_counter();
+        for n_shards in [1usize, 2, 5, 16] {
+            let sharded = ShardedIndex::new(mapper.clone(), n_shards);
+            let mut counter = sharded.new_counter();
+            for (qid, seg) in segments.iter().enumerate() {
+                assert_eq!(
+                    sharded.map_segment(&seg.seq, qid as u64, &mut counter),
+                    mapper.map_segment(&seg.seq, qid as u64, &mut offline_counter),
+                    "shard count {n_shards}, segment {qid}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_with_reused_counter_matches_map_segments() {
+        let (mapper, reads) = world();
+        let segments = make_segments(&reads, mapper.config().ell);
+        let expected = mapper.map_segments(&segments);
+        let sharded = ShardedIndex::new(mapper, 4);
+        let mut counter = sharded.new_counter();
+        // Split into small batches with a running qid base, as workers do.
+        let mut got = Vec::new();
+        let mut qid_base = 0u64;
+        for chunk in segments.chunks(3) {
+            got.extend(sharded.map_batch(chunk, qid_base, &mut counter));
+            qid_base += chunk.len() as u64;
+        }
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_shards_rejected() {
+        let (mapper, _) = world();
+        let _ = ShardedIndex::new(mapper, 0);
+    }
+}

@@ -28,6 +28,7 @@ pub use jem_eval as eval;
 pub use jem_index as index;
 pub use jem_psim as psim;
 pub use jem_seq as seq;
+pub use jem_serve as serve;
 pub use jem_sim as sim;
 pub use jem_sketch as sketch;
 
