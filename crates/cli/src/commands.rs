@@ -2,7 +2,7 @@
 
 use crate::args::Args;
 use crate::error::CliError;
-use crate::io::{read_sequences, write_fasta};
+use crate::io::{read_sequences, write_fasta, write_file_atomic, AtomicFile};
 use jem_core::{
     load_index, make_segments, map_reads_parallel_with, run_distributed_resilient, save_index,
     write_mappings_tsv, write_mappings_tsv_named, JemMapper, MapperConfig, Mapping, ReadEnd,
@@ -18,7 +18,7 @@ use jem_sim::{
 };
 use jem_sketch::SketchScheme;
 use std::fs::File;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, Write};
 use std::path::Path;
 
 /// Arm the process-global metrics recorder when `--metrics PATH` is given.
@@ -40,7 +40,7 @@ fn metrics_recorder(
 
 /// Dump the recorder's snapshot as JSON (schema in DESIGN.md §9) to `path`.
 fn write_metrics(path: &str, rec: &jem_obs::MetricsRecorder) -> Result<(), CliError> {
-    std::fs::write(path, rec.snapshot().to_json()).map_err(CliError::io(path))?;
+    write_file_atomic(path, rec.snapshot().to_json().as_bytes())?;
     eprintln!("metrics snapshot written to {path}");
     Ok(())
 }
@@ -124,9 +124,12 @@ pub fn cmd_index(args: &Args) -> Result<(), CliError> {
         config.ell
     );
     let mapper = JemMapper::build_with_scheme(subjects, &config, scheme);
-    let mut out = BufWriter::new(File::create(out_path).map_err(CliError::io(out_path))?);
+    // Atomic persist: the index appears at `--out` only after a complete,
+    // fsynced write, so a crash here can never leave a truncated artifact
+    // that later fails checksum decode in `jem serve`/`jem map`.
+    let mut out = AtomicFile::create(out_path).map_err(CliError::io(out_path))?;
     save_index(&mut out, &mapper).map_err(CliError::format(out_path))?;
-    out.flush().map_err(CliError::io(out_path))?;
+    out.commit().map_err(CliError::io(out_path))?;
     eprintln!(
         "wrote {out_path}: {} sketch entries over {} trials",
         mapper.table().entry_count(),
@@ -179,10 +182,10 @@ pub fn cmd_map(args: &Args) -> Result<(), CliError> {
     eprintln!("{} end segments mapped", mappings.len());
     match args.get("out") {
         Some(path) => {
-            let mut out = BufWriter::new(File::create(path).map_err(CliError::io(path))?);
+            let mut out = AtomicFile::create(path).map_err(CliError::io(path))?;
             write_mappings_tsv(&mut out, &mappings, &reads, &mapper)
                 .map_err(CliError::format(path))?;
-            out.flush().map_err(CliError::io(path))?;
+            out.commit().map_err(CliError::io(path))?;
         }
         None => {
             let stdout = std::io::stdout();
@@ -281,7 +284,7 @@ pub fn cmd_distributed(args: &Args) -> Result<(), CliError> {
     );
 
     if let Some(path) = args.get("out") {
-        let mut out = BufWriter::new(File::create(path).map_err(CliError::io(path))?);
+        let mut out = AtomicFile::create(path).map_err(CliError::io(path))?;
         let write = |out: &mut dyn Write| -> std::io::Result<()> {
             writeln!(out, "#query\tsubject\thits\ttrials")?;
             for m in &outcome.mappings {
@@ -297,7 +300,7 @@ pub fn cmd_distributed(args: &Args) -> Result<(), CliError> {
             Ok(())
         };
         write(&mut out).map_err(CliError::io(path))?;
-        out.flush().map_err(CliError::io(path))?;
+        out.commit().map_err(CliError::io(path))?;
     }
     if let Some((path, rec)) = metrics {
         write_metrics(&path, rec)?;
@@ -350,20 +353,24 @@ pub fn cmd_simulate(args: &Args) -> Result<(), CliError> {
     write_fasta(&join("contigs.fa"), &contig_records(&contigs))?;
     {
         let path = join("reads.fq");
-        let mut w = FastqWriter::create(Path::new(&path)).map_err(CliError::format(&path))?;
-        for r in &reads {
-            w.write_record(&FastqRecord::with_uniform_quality(
-                r.id.clone(),
-                r.seq.clone(),
-                b'K',
-            ))
-            .map_err(CliError::format(&path))?;
+        let mut out = AtomicFile::create(&path).map_err(CliError::io(&path))?;
+        {
+            let mut w = FastqWriter::new(&mut out);
+            for r in &reads {
+                w.write_record(&FastqRecord::with_uniform_quality(
+                    r.id.clone(),
+                    r.seq.clone(),
+                    b'K',
+                ))
+                .map_err(CliError::format(&path))?;
+            }
+            w.flush().map_err(CliError::format(&path))?;
         }
-        w.flush().map_err(CliError::format(&path))?;
+        out.commit().map_err(CliError::io(&path))?;
     }
     {
         let path = join("truth.tsv");
-        let mut w = BufWriter::new(File::create(&path).map_err(CliError::io(&path))?);
+        let mut out = AtomicFile::create(&path).map_err(CliError::io(&path))?;
         let write = |w: &mut dyn Write| -> std::io::Result<()> {
             writeln!(w, "#kind\tkey\tstart\tend")?;
             for c in &contigs {
@@ -379,8 +386,8 @@ pub fn cmd_simulate(args: &Args) -> Result<(), CliError> {
             }
             Ok(())
         };
-        write(&mut w).map_err(CliError::io(&path))?;
-        w.flush().map_err(CliError::io(&path))?;
+        write(&mut out).map_err(CliError::io(&path))?;
+        out.commit().map_err(CliError::io(&path))?;
     }
     eprintln!(
         "wrote {dir}/: genome ({} bp), {} contigs, {} reads, truth.tsv",
@@ -469,7 +476,7 @@ pub fn cmd_contained(args: &Args) -> Result<(), CliError> {
     let header = "#read\tsubject\tfirst_offset\tlast_offset\twindows\tbest_hits";
     match args.get("out") {
         Some(path) => {
-            let mut out = BufWriter::new(File::create(path).map_err(CliError::io(path))?);
+            let mut out = AtomicFile::create(path).map_err(CliError::io(path))?;
             let write = |out: &mut dyn Write| -> std::io::Result<()> {
                 writeln!(out, "{header}")?;
                 for r in &rows {
@@ -478,7 +485,7 @@ pub fn cmd_contained(args: &Args) -> Result<(), CliError> {
                 Ok(())
             };
             write(&mut out).map_err(CliError::io(path))?;
-            out.flush().map_err(CliError::io(path))?;
+            out.commit().map_err(CliError::io(path))?;
         }
         None => {
             println!("{header}");
@@ -625,11 +632,15 @@ fn serve_err(e: jem_serve::ServeError) -> CliError {
 }
 
 /// `jem serve --index index.jem [--addr 127.0.0.1:7878] [--shards 4]
-///  [--workers 4] [--queue 64] [--batch 16] [--metrics FILE]` — load a
-///  persisted index into a shard-partitioned resident table and serve
-///  mapping requests until a remote `jem query --shutdown`. The shutdown
-///  drains every admitted request, then the final metrics snapshot is
-///  written to `--metrics`.
+///  [--workers 4] [--queue 64] [--batch 16] [--metrics FILE]
+///  [--straggle-ms 0] [--panic-every 0]` — load a persisted index into a
+///  shard-partitioned resident table and serve mapping requests until a
+///  remote `jem query --shutdown`. The shutdown drains every admitted
+///  request, then the final metrics snapshot is written to `--metrics`.
+///
+/// The index is loaded and checksum-validated *before* the listen socket
+/// binds: a bad `--index` fails fast with a nonzero exit instead of
+/// accepting connections it could never answer.
 pub fn cmd_serve(args: &Args) -> Result<(), CliError> {
     let index_path = args.req("index")?;
     let addr = args.get("addr").unwrap_or("127.0.0.1:7878");
@@ -639,6 +650,7 @@ pub fn cmd_serve(args: &Args) -> Result<(), CliError> {
         queue_cap: positive_count(args, "queue", 64)?,
         batch: positive_count(args, "batch", 16)?,
         straggle_ms: args.get_or("straggle-ms", 0u64)?,
+        panic_every: args.get_or("panic-every", 0u64)?,
         ..Default::default()
     };
     let mut input = BufReader::new(File::open(index_path).map_err(CliError::io(index_path))?);
@@ -660,7 +672,7 @@ pub fn cmd_serve(args: &Args) -> Result<(), CliError> {
     eprintln!("stop with: jem query --addr {} --shutdown", handle.addr());
     let snapshot = handle.join();
     if let Some(path) = args.get("metrics") {
-        std::fs::write(path, snapshot.to_json()).map_err(CliError::io(path))?;
+        write_file_atomic(path, snapshot.to_json().as_bytes())?;
         eprintln!("metrics snapshot written to {path}");
     }
     eprintln!("server drained and stopped");
@@ -668,13 +680,17 @@ pub fn cmd_serve(args: &Args) -> Result<(), CliError> {
 }
 
 /// `jem query --addr HOST:PORT (--queries reads.fq | --queries - | --ping |
-///  --shutdown) [--chunk 64] [--out FILE]` — map reads through a running
-///  `jem serve`. The index parameters (segment length, subject names,
-///  trial count) come from the server's `Info` response, so the rendered
-///  TSV is byte-identical to an offline `jem map` against the same index.
+///  --shutdown | --reload FILE) [--chunk 64] [--deadline MS] [--out FILE]`
+///  — map reads through a running `jem serve`. The index parameters
+///  (segment length, subject names, trial count) come from the server's
+///  `Info` response, so the rendered TSV is byte-identical to an offline
+///  `jem map` against the same index. `--reload FILE` asks the server to
+///  hot-swap its resident index (the path is resolved on the *server's*
+///  filesystem); `--deadline MS` attaches a queue deadline to each mapping
+///  request so an overloaded server sheds it instead of serving it late.
 pub fn cmd_query(args: &Args) -> Result<(), CliError> {
     let addr = args.req("addr")?;
-    let client = jem_serve::Client::new(addr);
+    let mut client = jem_serve::Client::new(addr);
     if args.has("ping") {
         client.ping().map_err(serve_err)?;
         eprintln!("pong from {addr}");
@@ -684,6 +700,17 @@ pub fn cmd_query(args: &Args) -> Result<(), CliError> {
         client.shutdown_server().map_err(serve_err)?;
         eprintln!("server at {addr} is shutting down");
         return Ok(());
+    }
+    if let Some(path) = args.get("reload") {
+        let summary = client.reload(path).map_err(serve_err)?;
+        eprintln!("server at {addr} reloaded: {summary}");
+        return Ok(());
+    }
+    if let Some(ms) = args.get("deadline") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--deadline must be milliseconds, got {ms:?}")))?;
+        client = client.with_deadline(std::time::Duration::from_millis(ms));
     }
     let chunk = positive_count(args, "chunk", 64)?;
     let reads = read_sequences(args.req("queries")?)?;
@@ -710,7 +737,7 @@ pub fn cmd_query(args: &Args) -> Result<(), CliError> {
     eprintln!("{} end segments mapped", mappings.len());
     match args.get("out") {
         Some(path) => {
-            let mut out = BufWriter::new(File::create(path).map_err(CliError::io(path))?);
+            let mut out = AtomicFile::create(path).map_err(CliError::io(path))?;
             write_mappings_tsv_named(
                 &mut out,
                 &mappings,
@@ -719,7 +746,7 @@ pub fn cmd_query(args: &Args) -> Result<(), CliError> {
                 info.config.trials,
             )
             .map_err(CliError::format(path))?;
-            out.flush().map_err(CliError::io(path))?;
+            out.commit().map_err(CliError::io(path))?;
         }
         None => {
             let stdout = std::io::stdout();

@@ -3,8 +3,8 @@
 use crate::error::CliError;
 use jem_seq::{FastaReader, FastqReader, FastqRecord, SeqRecord};
 use std::fs::File;
-use std::io::{BufRead, BufReader, Read};
-use std::path::Path;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
 
 /// Read sequences from FASTA or FASTQ, sniffing the format from the first
 /// non-whitespace byte (`>` vs `@`). Malformed input — including a file
@@ -50,12 +50,83 @@ fn sniff_sequences<R: BufRead>(mut reader: R, label: &str) -> Result<Vec<SeqReco
     }
 }
 
-/// Write sequences as FASTA.
+/// A file that only appears at its destination on a clean, complete
+/// write. Bytes are buffered into `<path>.tmp`; [`AtomicFile::commit`]
+/// flushes, fsyncs, and atomically renames the temporary over the
+/// destination. If the `AtomicFile` is dropped uncommitted — an error
+/// midway, a panic, a killed process before the rename — the destination
+/// is untouched and the temporary is removed, so a crash mid-write can
+/// never leave a truncated index that later fails checksum decode, or a
+/// half-written TSV that looks complete.
+pub struct AtomicFile {
+    tmp: PathBuf,
+    dest: PathBuf,
+    writer: Option<BufWriter<File>>,
+}
+
+impl AtomicFile {
+    /// Open `<path>.tmp` for buffered writing.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<AtomicFile> {
+        let dest = path.as_ref().to_path_buf();
+        let tmp = PathBuf::from(format!("{}.tmp", dest.display()));
+        let writer = Some(BufWriter::new(File::create(&tmp)?));
+        Ok(AtomicFile { tmp, dest, writer })
+    }
+
+    /// Flush, fsync, and rename the temporary onto the destination. On
+    /// any failure the temporary is removed and the destination keeps its
+    /// previous content (or absence).
+    pub fn commit(mut self) -> std::io::Result<()> {
+        let writer = self.writer.take().expect("commit consumes the writer");
+        let result = (|| {
+            let file = writer.into_inner().map_err(|e| e.into_error())?;
+            file.sync_all()?;
+            std::fs::rename(&self.tmp, &self.dest)
+        })();
+        if result.is_err() {
+            let _ = std::fs::remove_file(&self.tmp);
+        }
+        result
+    }
+}
+
+impl Write for AtomicFile {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.writer.as_mut().expect("not committed").write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.writer.as_mut().expect("not committed").flush()
+    }
+}
+
+impl Drop for AtomicFile {
+    fn drop(&mut self) {
+        if self.writer.take().is_some() {
+            // Uncommitted: abandon the partial bytes, keep the old file.
+            let _ = std::fs::remove_file(&self.tmp);
+        }
+    }
+}
+
+/// Atomically replace `path` with `bytes` (metrics snapshots and other
+/// one-shot dumps).
+pub fn write_file_atomic(path: &str, bytes: &[u8]) -> Result<(), CliError> {
+    let mut out = AtomicFile::create(path).map_err(CliError::io(path))?;
+    out.write_all(bytes).map_err(CliError::io(path))?;
+    out.commit().map_err(CliError::io(path))
+}
+
+/// Write sequences as FASTA, atomically.
 pub fn write_fasta(path: &str, records: &[SeqRecord]) -> Result<(), CliError> {
-    let mut w = jem_seq::FastaWriter::create(Path::new(path)).map_err(CliError::format(path))?;
-    w.write_all_records(records)
-        .map_err(CliError::format(path))?;
-    w.flush().map_err(CliError::format(path))
+    let mut out = AtomicFile::create(path).map_err(CliError::io(path))?;
+    {
+        let mut w = jem_seq::FastaWriter::new(&mut out);
+        w.write_all_records(records)
+            .map_err(CliError::format(path))?;
+        w.flush().map_err(CliError::format(path))?;
+    }
+    out.commit().map_err(CliError::io(path))
 }
 
 #[cfg(test)]
@@ -146,6 +217,51 @@ mod tests {
         let recs = vec![SeqRecord::new("s1", b"ACGTACGT".to_vec())];
         write_fasta(&p, &recs).unwrap();
         assert_eq!(read_sequences(&p).unwrap(), recs);
+        assert!(
+            !Path::new(&format!("{p}.tmp")).exists(),
+            "commit must clean up the temporary"
+        );
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn atomic_commit_replaces_and_cleans_up() {
+        let p = tmp("atomic.out", b"old content");
+        let mut out = AtomicFile::create(&p).unwrap();
+        out.write_all(b"new content").unwrap();
+        // Until commit, the destination still holds the old bytes.
+        assert_eq!(std::fs::read(&p).unwrap(), b"old content");
+        out.commit().unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"new content");
+        assert!(!Path::new(&format!("{p}.tmp")).exists());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn uncommitted_atomic_file_leaves_no_trace() {
+        let p = tmp("atomic.abort", b"precious");
+        {
+            let mut out = AtomicFile::create(&p).unwrap();
+            out.write_all(b"half a wri").unwrap();
+            // Dropped without commit: the error path.
+        }
+        assert_eq!(
+            std::fs::read(&p).unwrap(),
+            b"precious",
+            "an aborted write must not clobber the destination"
+        );
+        assert!(
+            !Path::new(&format!("{p}.tmp")).exists(),
+            "the temporary must be removed on abort"
+        );
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn write_file_atomic_creates_fresh_files() {
+        let p = format!("{}-fresh", tmp("atomic.fresh", b""));
+        write_file_atomic(&p, b"{\"ok\":true}").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"{\"ok\":true}");
         std::fs::remove_file(&p).ok();
     }
 }

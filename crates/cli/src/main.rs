@@ -36,12 +36,16 @@ COMMANDS:
                 [--parallel] [--threads N] [--metrics FILE]
                 [config flags as for index]  (--queries - reads stdin)
   serve       keep a persisted index resident and serve mapping requests
-              over TCP until `jem query --shutdown` (DESIGN.md §10)
+              over TCP until `jem query --shutdown` (DESIGN.md §10–§11)
                 --index FILE [--addr 127.0.0.1:7878] [--shards 4]
                 [--workers 4] [--queue 64] [--batch 16] [--metrics FILE]
+                [--straggle-ms 0  slow every batch, for deadline testing]
+                [--panic-every 0  panic every Nth index pass, chaos only]
   query       map reads through a running `jem serve` (TSV as for map)
-                --addr HOST:PORT (--queries FILE|- | --ping | --shutdown)
-                [--chunk 64] [--out FILE]
+                --addr HOST:PORT (--queries FILE|- | --ping | --shutdown
+                | --reload FILE  hot-swap the server's index)
+                [--chunk 64] [--deadline MS  shed instead of serving late]
+                [--out FILE]
   distributed run the S1–S4 pipeline on simulated MPI ranks, with optional
               fault injection and recovery (makespan + fault report)
                 --subjects FILE --queries FILE [--ranks 8] [--threads]

@@ -1,0 +1,492 @@
+//! Fault-injecting TCP proxy for chaos-testing the serve layer.
+//!
+//! [`ChaosProxy`] sits between a [`Client`](crate::Client) and a running
+//! server and damages traffic according to a [`ChaosPlan`] — the TCP twin
+//! of `jem-psim`'s seeded fault plans, moved from the simulated MPI world
+//! to the real wire. Five faults model what a flaky network or a dying
+//! peer does to a connection:
+//!
+//! * **Delay** — hold the request before relaying (slow network, GC
+//!   pause); exercises client timeouts and server admission timing.
+//! * **Drop** — accept the connection and close it without forwarding
+//!   anything (peer died pre-request); the client sees EOF.
+//! * **Truncate** — forward only a prefix of the request frame, then
+//!   close (peer died mid-write); the server must answer its next reader
+//!   with a protocol error, never hang or panic.
+//! * **Corrupt** — flip one bit of the request frame's header (magic or
+//!   checksum bytes, so damage is always detectable); the server must
+//!   reply with a typed `Error`, which the proxy relays back.
+//! * **Slam** — forward the request intact, then close the client side
+//!   before the response returns (peer died post-request); the server
+//!   does the work, the client sees EOF.
+//!
+//! Plans are plain data in the `jem-psim::fault` idiom: cloneable,
+//! buildable by hand ([`ChaosPlan::then`]), parseable from a spec string
+//! ([`ChaosPlan::parse`], round-tripping through `Display`), or drawn
+//! deterministically from a seed ([`ChaosPlan::random`]). The chaos suite
+//! (`tests/chaos.rs`) asserts the serve-layer invariant under every plan:
+//! each client call terminates with a typed [`ServeError`](crate::ServeError)
+//! or a correct result — never a hang, a panic, or a wrong mapping.
+
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::protocol::MAX_BODY;
+
+/// Frame header size: magic (8) + body length (8) + checksum (8).
+const HEADER: usize = 24;
+
+/// What the proxy does to one proxied connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Relay untouched (the control case every plan needs some of).
+    Pass,
+    /// Hold the request for `ms` milliseconds before relaying.
+    Delay {
+        /// Injected latency in milliseconds.
+        ms: u64,
+    },
+    /// Close the connection without forwarding anything.
+    Drop,
+    /// Forward only the first `bytes` bytes of the request, then close.
+    Truncate {
+        /// Prefix length forwarded before the cut.
+        bytes: usize,
+    },
+    /// Flip one bit of the request header. `bit` selects (byte, bit)
+    /// within the magic and checksum fields only — never the length field,
+    /// so the damage is always *detectable* (bad magic or checksum
+    /// mismatch) rather than a length that parses but starves the read.
+    Corrupt {
+        /// Bit selector; reduced modulo the corruptible positions.
+        bit: usize,
+    },
+    /// Relay the request intact, then close the client side before the
+    /// response comes back.
+    Slam,
+}
+
+impl ChaosAction {
+    /// Does this action damage traffic (anything but [`ChaosAction::Pass`])?
+    pub fn is_fault(&self) -> bool {
+        !matches!(self, ChaosAction::Pass)
+    }
+}
+
+impl fmt::Display for ChaosAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaosAction::Pass => write!(f, "pass"),
+            ChaosAction::Delay { ms } => write!(f, "delay*{ms}"),
+            ChaosAction::Drop => write!(f, "drop"),
+            ChaosAction::Truncate { bytes } => write!(f, "truncate*{bytes}"),
+            ChaosAction::Corrupt { bit } => write!(f, "corrupt*{bit}"),
+            ChaosAction::Slam => write!(f, "slam"),
+        }
+    }
+}
+
+/// A deterministic schedule of per-connection faults. Connection `i`
+/// (0-based, in proxy accept order) gets action `i mod len` — plans cycle,
+/// so a short plan drives an arbitrarily long test. The empty plan passes
+/// everything through.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChaosPlan {
+    actions: Vec<ChaosAction>,
+}
+
+impl ChaosPlan {
+    /// The transparent plan: every connection relays untouched.
+    pub fn none() -> Self {
+        ChaosPlan::default()
+    }
+
+    /// Append `action` for the next connection slot.
+    pub fn then(mut self, action: ChaosAction) -> Self {
+        self.actions.push(action);
+        self
+    }
+
+    /// All scheduled actions, in connection order.
+    pub fn actions(&self) -> &[ChaosAction] {
+        &self.actions
+    }
+
+    /// Is the plan fault-free (empty or all-pass)?
+    pub fn is_transparent(&self) -> bool {
+        self.actions.iter().all(|a| !a.is_fault())
+    }
+
+    /// The action for the `conn`-th accepted connection (plans cycle).
+    pub fn action_for(&self, conn: u64) -> ChaosAction {
+        if self.actions.is_empty() {
+            return ChaosAction::Pass;
+        }
+        self.actions[(conn % self.actions.len() as u64) as usize]
+    }
+
+    /// Draw a deterministic plan of `n` actions from `seed` (splitmix64,
+    /// same generator as `jem-psim`'s plans). Every fault kind is in the
+    /// draw, interleaved with passes so correct traffic is exercised under
+    /// the same run; same seed, same plan.
+    pub fn random(seed: u64, n: usize) -> Self {
+        let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut plan = ChaosPlan::none();
+        for _ in 0..n {
+            let action = match next() % 6 {
+                0 => ChaosAction::Pass,
+                1 => ChaosAction::Delay {
+                    ms: 1 + next() % 20,
+                },
+                2 => ChaosAction::Drop,
+                3 => ChaosAction::Truncate {
+                    bytes: (next() % (HEADER as u64 + 8)) as usize,
+                },
+                4 => ChaosAction::Corrupt {
+                    bit: (next() % 128) as usize,
+                },
+                _ => ChaosAction::Slam,
+            };
+            plan = plan.then(action);
+        }
+        plan
+    }
+
+    /// Parse a comma-separated spec: `pass`, `delay*MS`, `drop`,
+    /// `truncate*BYTES`, `corrupt*BIT`, `slam` — e.g.
+    /// `pass,corrupt*7,slam`. `Display` emits the same grammar.
+    pub fn parse(spec: &str) -> Result<ChaosPlan, String> {
+        let mut plan = ChaosPlan::none();
+        for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+            let (kind, param) = match entry.split_once('*') {
+                Some((k, p)) => (k.trim(), Some(p.trim())),
+                None => (entry, None),
+            };
+            let number = || -> Result<u64, String> {
+                param
+                    .ok_or_else(|| format!("chaos entry {entry:?}: {kind} needs *N"))?
+                    .parse()
+                    .map_err(|_| format!("chaos entry {entry:?}: bad number"))
+            };
+            let action = match kind {
+                "pass" => ChaosAction::Pass,
+                "drop" => ChaosAction::Drop,
+                "slam" => ChaosAction::Slam,
+                "delay" => ChaosAction::Delay { ms: number()? },
+                "truncate" => ChaosAction::Truncate {
+                    bytes: number()? as usize,
+                },
+                "corrupt" => ChaosAction::Corrupt {
+                    bit: number()? as usize,
+                },
+                other => {
+                    return Err(format!(
+                        "chaos entry {entry:?}: unknown kind {other:?} \
+                         (pass|delay|drop|truncate|corrupt|slam)"
+                    ))
+                }
+            };
+            plan = plan.then(action);
+        }
+        Ok(plan)
+    }
+}
+
+impl fmt::Display for ChaosPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.actions.is_empty() {
+            return write!(f, "(transparent)");
+        }
+        for (i, action) in self.actions.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{action}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A running fault-injecting proxy in front of one upstream server.
+///
+/// Each accepted connection is handled on its own thread (faults like
+/// `Delay` must not stall unrelated connections), reads exactly one
+/// request frame, applies the plan's action for its accept ordinal, and —
+/// for surviving connections — relays the upstream response until EOF.
+/// Every proxied socket carries read/write timeouts, so no action can
+/// wedge the proxy itself.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accepted: Arc<AtomicU64>,
+    injected: Arc<AtomicU64>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Start a proxy on an ephemeral local port, forwarding to `upstream`
+    /// under `plan`.
+    pub fn start(upstream: SocketAddr, plan: ChaosPlan) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accepted = Arc::new(AtomicU64::new(0));
+        let injected = Arc::new(AtomicU64::new(0));
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let accepted = Arc::clone(&accepted);
+            let injected = Arc::clone(&injected);
+            std::thread::spawn(move || loop {
+                let client = match listener.accept() {
+                    Ok((client, _)) => client,
+                    Err(_) => continue,
+                };
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let ordinal = accepted.fetch_add(1, Ordering::SeqCst);
+                let action = plan.action_for(ordinal);
+                if action.is_fault() {
+                    injected.fetch_add(1, Ordering::SeqCst);
+                }
+                std::thread::spawn(move || {
+                    // A connection thread may fail for any reason a real
+                    // network peer can: that is the point of the harness.
+                    let _ = proxy_one(client, upstream, action);
+                });
+            })
+        };
+        Ok(ChaosProxy {
+            addr,
+            shutdown,
+            accepted,
+            injected,
+            accept: Some(accept),
+        })
+    }
+
+    /// The proxy's listen address — point the [`Client`](crate::Client)
+    /// here instead of at the server.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections accepted so far.
+    pub fn connections(&self) -> u64 {
+        self.accepted.load(Ordering::SeqCst)
+    }
+
+    /// Faulty (non-pass) actions applied so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.injected.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting and join the accept thread. Connections already in
+    /// flight finish on their own (their sockets carry timeouts).
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr); // wake the accept loop
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.stop_inner();
+        }
+    }
+}
+
+/// Socket timeout for every proxied stream: generous enough for a real
+/// index pass, small enough that an abandoned connection thread dies on
+/// its own.
+const PROXY_IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Handle one proxied connection under `action`.
+fn proxy_one(
+    mut client: TcpStream,
+    upstream: SocketAddr,
+    action: ChaosAction,
+) -> std::io::Result<()> {
+    client.set_read_timeout(Some(PROXY_IO_TIMEOUT))?;
+    client.set_write_timeout(Some(PROXY_IO_TIMEOUT))?;
+    if action == ChaosAction::Drop {
+        return client.shutdown(Shutdown::Both);
+    }
+    let mut frame = read_request_frame(&mut client)?;
+    match action {
+        ChaosAction::Drop => unreachable!("handled before the frame read"),
+        ChaosAction::Delay { ms } => {
+            std::thread::sleep(Duration::from_millis(ms));
+            relay(&frame, &mut client, upstream, true)
+        }
+        ChaosAction::Pass => relay(&frame, &mut client, upstream, true),
+        ChaosAction::Slam => {
+            // Deliver the request, then die before the answer returns.
+            relay(&frame, &mut client, upstream, false)?;
+            client.shutdown(Shutdown::Both)
+        }
+        ChaosAction::Truncate { bytes } => {
+            frame.truncate(bytes.min(frame.len()));
+            // Forward the stump and hang up both sides: the server's
+            // read fails cleanly, the client sees EOF.
+            let mut server = connect_upstream(upstream)?;
+            server.write_all(&frame)?;
+            server.shutdown(Shutdown::Both)?;
+            client.shutdown(Shutdown::Both)
+        }
+        ChaosAction::Corrupt { bit } => {
+            corrupt_header(&mut frame, bit);
+            relay(&frame, &mut client, upstream, true)
+        }
+    }
+}
+
+/// Read one full request frame (header + body) from the client. A body
+/// length beyond the protocol maximum means the client itself is broken;
+/// forwarding just the header is enough for the server to reject it.
+fn read_request_frame(client: &mut TcpStream) -> std::io::Result<Vec<u8>> {
+    let mut header = [0u8; HEADER];
+    client.read_exact(&mut header)?;
+    let body_len = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+    let mut frame = header.to_vec();
+    if body_len <= MAX_BODY {
+        let mut body = vec![0u8; body_len as usize];
+        client.read_exact(&mut body)?;
+        frame.extend_from_slice(&body);
+    }
+    Ok(frame)
+}
+
+/// Flip one header bit selected by `bit`, restricted to the magic
+/// (offsets 0..8) and checksum (offsets 16..24) fields — 128 corruptible
+/// positions, every one of them detectable by the server.
+fn corrupt_header(frame: &mut [u8], bit: usize) {
+    let position = bit % 128;
+    let byte_sel = position / 8;
+    let offset = if byte_sel < 8 { byte_sel } else { byte_sel + 8 };
+    if offset < frame.len() {
+        frame[offset] ^= 1 << (position % 8);
+    }
+}
+
+fn connect_upstream(upstream: SocketAddr) -> std::io::Result<TcpStream> {
+    let server = TcpStream::connect_timeout(&upstream, PROXY_IO_TIMEOUT)?;
+    server.set_read_timeout(Some(PROXY_IO_TIMEOUT))?;
+    server.set_write_timeout(Some(PROXY_IO_TIMEOUT))?;
+    Ok(server)
+}
+
+/// Forward `frame` upstream; when `want_response`, stream the server's
+/// reply back to the client until the server closes its end.
+fn relay(
+    frame: &[u8],
+    client: &mut TcpStream,
+    upstream: SocketAddr,
+    want_response: bool,
+) -> std::io::Result<()> {
+    let mut server = connect_upstream(upstream)?;
+    server.write_all(frame)?;
+    if want_response {
+        std::io::copy(&mut server, client)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_builder_cycles_and_counts() {
+        let plan = ChaosPlan::none()
+            .then(ChaosAction::Pass)
+            .then(ChaosAction::Drop)
+            .then(ChaosAction::Delay { ms: 5 });
+        assert_eq!(plan.action_for(0), ChaosAction::Pass);
+        assert_eq!(plan.action_for(1), ChaosAction::Drop);
+        assert_eq!(plan.action_for(2), ChaosAction::Delay { ms: 5 });
+        assert_eq!(plan.action_for(3), ChaosAction::Pass, "plans cycle");
+        assert_eq!(plan.action_for(4), ChaosAction::Drop);
+        assert!(!plan.is_transparent());
+        assert!(ChaosPlan::none().is_transparent());
+        assert_eq!(ChaosPlan::none().action_for(7), ChaosAction::Pass);
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_and_seed_sensitive() {
+        let a = ChaosPlan::random(42, 24);
+        let b = ChaosPlan::random(42, 24);
+        assert_eq!(a, b, "same seed, same plan");
+        assert_eq!(a.actions().len(), 24);
+        assert_ne!(ChaosPlan::random(43, 24), a, "seed must matter");
+        assert!(
+            a.actions().iter().any(|x| x.is_fault()),
+            "a 24-draw plan should contain faults"
+        );
+    }
+
+    #[test]
+    fn parse_display_roundtrip() {
+        let plan = ChaosPlan::none()
+            .then(ChaosAction::Pass)
+            .then(ChaosAction::Delay { ms: 12 })
+            .then(ChaosAction::Drop)
+            .then(ChaosAction::Truncate { bytes: 10 })
+            .then(ChaosAction::Corrupt { bit: 77 })
+            .then(ChaosAction::Slam);
+        assert_eq!(ChaosPlan::parse(&plan.to_string()).unwrap(), plan);
+        let random = ChaosPlan::random(7, 16);
+        assert_eq!(ChaosPlan::parse(&random.to_string()).unwrap(), random);
+        assert_eq!(ChaosPlan::none().to_string(), "(transparent)");
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(ChaosPlan::parse("explode").is_err());
+        assert!(ChaosPlan::parse("delay").is_err());
+        assert!(ChaosPlan::parse("delay*x").is_err());
+        assert!(ChaosPlan::parse("truncate*").is_err());
+        assert!(ChaosPlan::parse("").unwrap().actions().is_empty());
+        assert!(ChaosPlan::parse(" , ").unwrap().actions().is_empty());
+    }
+
+    #[test]
+    fn corruption_targets_only_detectable_header_bytes() {
+        for bit in 0..300 {
+            let mut frame = vec![0u8; HEADER + 16];
+            corrupt_header(&mut frame, bit);
+            let damaged: Vec<usize> = frame
+                .iter()
+                .enumerate()
+                .filter(|(_, &b)| b != 0)
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(damaged.len(), 1, "exactly one bit flips (bit {bit})");
+            let at = damaged[0];
+            assert!(
+                at < 8 || (16..24).contains(&at),
+                "bit {bit} damaged offset {at}: length field must stay intact"
+            );
+        }
+    }
+}

@@ -5,8 +5,14 @@
 //! trivially correct under concurrency (no framing state to desynchronize)
 //! at the cost of one TCP handshake per request — negligible next to an
 //! index pass. `jem query` and the equivalence suite are built on this.
+//!
+//! The client speaks the oldest protocol revision each request fits in
+//! ([`Request::wire_version`]): a deadline-free client is byte-identical
+//! on the wire to a pre-`JEMSRV2` build, so it can talk to old servers.
 
-use crate::protocol::{read_frame, write_frame, Request, Response, ServerInfo};
+use crate::protocol::{
+    fnv1a64, read_frame_versioned, write_frame_versioned, Request, Response, ServerInfo,
+};
 use crate::ServeError;
 use jem_core::{Mapping, QuerySegment};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -17,15 +23,17 @@ use std::time::Duration;
 pub struct Client {
     addr: String,
     timeout: Duration,
+    deadline: Option<Duration>,
 }
 
 impl Client {
     /// Client for the server at `addr` (e.g. `"127.0.0.1:7878"`), with a
-    /// default 30-second I/O timeout.
+    /// default 30-second I/O timeout and no request deadline.
     pub fn new(addr: impl Into<String>) -> Self {
         Client {
             addr: addr.into(),
             timeout: Duration::from_secs(30),
+            deadline: None,
         }
     }
 
@@ -35,12 +43,33 @@ impl Client {
         self
     }
 
+    /// Same client with a per-request deadline budget, measured by the
+    /// server from admission: a `Map` request still queued when the budget
+    /// runs out is shed with [`ServeError::Expired`] instead of burning a
+    /// worker pass on an answer nobody is waiting for. Sending a deadline
+    /// upgrades the request frame to `JEMSRV2`; deadline-free requests
+    /// stay on `JEMSRV1` for old servers. Millisecond resolution;
+    /// sub-millisecond budgets round up to 1 ms (0 would mean "no
+    /// deadline" is the only sane reading, so it is rejected as such).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Same client with no request deadline (undoes
+    /// [`Client::with_deadline`]).
+    pub fn without_deadline(mut self) -> Self {
+        self.deadline = None;
+        self
+    }
+
     /// The server address this client targets.
     pub fn addr(&self) -> &str {
         &self.addr
     }
 
-    /// One request/response exchange on a fresh connection.
+    /// One request/response exchange on a fresh connection, framed in the
+    /// oldest revision the request fits in.
     fn exchange(&self, req: &Request) -> Result<Response, ServeError> {
         let addr = self.addr.to_socket_addrs()?.next().ok_or_else(|| {
             ServeError::protocol(format!("address {:?} resolves to nothing", self.addr))
@@ -48,8 +77,8 @@ impl Client {
         let mut conn = TcpStream::connect_timeout(&addr, self.timeout)?;
         conn.set_read_timeout(Some(self.timeout))?;
         conn.set_write_timeout(Some(self.timeout))?;
-        write_frame(&mut conn, &req.encode())?;
-        let body = read_frame(&mut conn)?;
+        write_frame_versioned(&mut conn, &req.encode(), req.wire_version())?;
+        let (_, body) = read_frame_versioned(&mut conn)?;
         Response::decode(&body)
     }
 
@@ -61,7 +90,8 @@ impl Client {
         }
     }
 
-    /// The served index's parameters, scheme, and subject names.
+    /// The served index's parameters, scheme, and subject names (as of the
+    /// server's current reload epoch).
     pub fn info(&self) -> Result<ServerInfo, ServeError> {
         match self.exchange(&Request::Info)? {
             Response::Info(info) => Ok(info),
@@ -69,12 +99,22 @@ impl Client {
         }
     }
 
+    /// The deadline budget in wire milliseconds, if one is set.
+    fn deadline_ms(&self) -> Option<u64> {
+        self.deadline.map(|d| {
+            let ms = u64::try_from(d.as_millis()).unwrap_or(u64::MAX - 1);
+            ms.max(1)
+        })
+    }
+
     /// Map a batch of segments. A full server queue surfaces as
-    /// [`ServeError::Busy`] — callers decide their own retry policy (or
+    /// [`ServeError::Busy`], an expired deadline as
+    /// [`ServeError::Expired`] — callers decide their own retry policy (or
     /// use [`Client::map_segments_retry`]).
     pub fn map_segments(&self, segments: &[QuerySegment]) -> Result<Vec<Mapping>, ServeError> {
         let req = Request::Map {
             segments: segments.to_vec(),
+            deadline_ms: self.deadline_ms(),
         };
         match self.exchange(&req)? {
             Response::Mappings(mappings) => Ok(mappings),
@@ -82,19 +122,27 @@ impl Client {
         }
     }
 
-    /// [`Client::map_segments`] with bounded linear-backoff retries on
-    /// [`ServeError::Busy`]: attempt `i` sleeps `i × backoff` first. Any
-    /// other error is returned immediately.
-    pub fn map_segments_retry(
+    /// [`Client::map_segments`] with retries on [`ServeError::Busy`] under
+    /// an explicit [`RetryPolicy`]. Any other error returns immediately —
+    /// in particular [`ServeError::Expired`] is not retried: resending the
+    /// same deadline would just be shed again.
+    pub fn map_segments_with_policy(
         &self,
         segments: &[QuerySegment],
-        attempts: usize,
-        backoff: Duration,
+        policy: &RetryPolicy,
     ) -> Result<Vec<Mapping>, ServeError> {
-        let attempts = attempts.max(1);
+        let attempts = policy.attempts.max(1);
+        let mut slept = Duration::ZERO;
         for attempt in 0..attempts {
             if attempt > 0 {
-                std::thread::sleep(backoff * attempt as u32);
+                let pause = policy.pause_before(attempt);
+                if slept + pause > policy.budget {
+                    // Budget exhausted: stop retrying rather than sleep
+                    // past what the caller was willing to wait.
+                    return Err(ServeError::Busy);
+                }
+                slept += pause;
+                std::thread::sleep(pause);
             }
             match self.map_segments(segments) {
                 Err(ServeError::Busy) if attempt + 1 < attempts => continue,
@@ -102,6 +150,38 @@ impl Client {
             }
         }
         Err(ServeError::Busy)
+    }
+
+    /// [`Client::map_segments`] with bounded retries on
+    /// [`ServeError::Busy`]. `attempts` and `backoff` parameterize a
+    /// [`RetryPolicy`] (capped exponential backoff with deterministic
+    /// jitter and a total sleep budget); the signature is unchanged from
+    /// the original linear-backoff version.
+    pub fn map_segments_retry(
+        &self,
+        segments: &[QuerySegment],
+        attempts: usize,
+        backoff: Duration,
+    ) -> Result<Vec<Mapping>, ServeError> {
+        let policy = RetryPolicy::new(attempts, backoff)
+            // Seed the jitter from the target address: deterministic for a
+            // given server (reproducible runs, no `SystemTime`), different
+            // across servers so co-hosted clients don't sync up.
+            .with_jitter_seed(fnv1a64(self.addr.as_bytes()));
+        self.map_segments_with_policy(segments, &policy)
+    }
+
+    /// Ask the server to hot-reload its index from `path` (a `jem index`
+    /// artifact readable by the *server*). Loading and validation happen
+    /// off the worker path; on success the server atomically swaps epochs
+    /// and answers with a human-readable summary of the new index. On
+    /// failure the old index keeps serving and the error is returned as
+    /// [`ServeError::Remote`].
+    pub fn reload(&self, path: impl Into<String>) -> Result<String, ServeError> {
+        match self.exchange(&Request::Reload { path: path.into() })? {
+            Response::Reloaded(summary) => Ok(summary),
+            other => Err(unexpected("Reloaded", &other)),
+        }
     }
 
     /// Ask the server to shut down gracefully (drain queued work, flush
@@ -114,12 +194,155 @@ impl Client {
     }
 }
 
+/// Retry behaviour for [`Client::map_segments_with_policy`]: capped
+/// exponential backoff with deterministic jitter and a total sleep budget.
+///
+/// Attempt `i` (1-based, the first retry) sleeps
+/// `min(base × 2^(i−1), cap)` plus a jitter drawn deterministically from
+/// `jitter_seed` and `i` (splitmix64 — no `SystemTime`, so runs are
+/// reproducible), uniform over half the capped backoff. Once cumulative
+/// sleep would exceed `budget`, retrying stops and the call fails with
+/// [`ServeError::Busy`].
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (≥ 1 is enforced at call time).
+    pub attempts: usize,
+    /// Backoff before the first retry; doubles per retry up to `cap`.
+    pub base: Duration,
+    /// Upper bound on any single backoff pause.
+    pub cap: Duration,
+    /// Upper bound on *total* sleep across all retries.
+    pub budget: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::new(5, Duration::from_millis(50))
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with `attempts` attempts and backoff base `base`; the cap
+    /// defaults to `16 × base` and the total budget to `64 × base` (the
+    /// old linear schedule's worst case for its default parameters).
+    pub fn new(attempts: usize, base: Duration) -> Self {
+        RetryPolicy {
+            attempts,
+            base,
+            cap: base.saturating_mul(16),
+            budget: base.saturating_mul(64),
+            jitter_seed: 0x6a65_6d2d_7372_7631, // "jem-srv1"
+        }
+    }
+
+    /// Same policy with a different jitter seed.
+    pub fn with_jitter_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// Same policy with a different single-pause cap.
+    pub fn with_cap(mut self, cap: Duration) -> Self {
+        self.cap = cap;
+        self
+    }
+
+    /// Same policy with a different total sleep budget.
+    pub fn with_budget(mut self, budget: Duration) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The pause before retry `attempt` (1-based): capped exponential plus
+    /// deterministic jitter in `[0, capped/2]`.
+    fn pause_before(&self, attempt: usize) -> Duration {
+        let doublings = u32::try_from(attempt.saturating_sub(1)).unwrap_or(u32::MAX);
+        let exp = match 2u32.checked_pow(doublings.min(16)) {
+            Some(mult) => self.base.saturating_mul(mult),
+            None => self.cap,
+        };
+        let capped = exp.min(self.cap);
+        let half_ns = capped.as_nanos() as u64 / 2;
+        if half_ns == 0 {
+            return capped;
+        }
+        let jitter_ns = splitmix64(self.jitter_seed ^ attempt as u64) % (half_ns + 1);
+        capped + Duration::from_nanos(jitter_ns)
+    }
+}
+
+/// SplitMix64: the same tiny deterministic generator `jem-psim`'s fault
+/// plans use — one multiply-xor-shift chain, full 64-bit period.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 /// Map an unexpected response onto the matching error.
 fn unexpected(wanted: &str, got: &Response) -> ServeError {
     match got {
         Response::Busy => ServeError::Busy,
+        Response::Expired => ServeError::Expired,
         Response::ShuttingDown => ServeError::ShuttingDown,
         Response::Error(msg) => ServeError::Remote(msg.clone()),
         other => ServeError::protocol(format!("expected {wanted}, got {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_capped_exponential_with_bounded_jitter() {
+        let base = Duration::from_millis(10);
+        let policy = RetryPolicy::new(10, base).with_cap(Duration::from_millis(40));
+        for attempt in 1..=9 {
+            let pause = policy.pause_before(attempt);
+            let capped_floor = (base * 2u32.pow(attempt as u32 - 1)).min(policy.cap);
+            assert!(pause >= capped_floor, "attempt {attempt}: below floor");
+            assert!(
+                pause <= capped_floor + capped_floor / 2,
+                "attempt {attempt}: jitter exceeds half the capped backoff"
+            );
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let policy = RetryPolicy::new(5, Duration::from_millis(10)).with_jitter_seed(7);
+        let again = RetryPolicy::new(5, Duration::from_millis(10)).with_jitter_seed(7);
+        let other = RetryPolicy::new(5, Duration::from_millis(10)).with_jitter_seed(8);
+        for attempt in 1..5 {
+            assert_eq!(policy.pause_before(attempt), again.pause_before(attempt));
+        }
+        assert!(
+            (1..5).any(|a| policy.pause_before(a) != other.pause_before(a)),
+            "different seeds should jitter differently somewhere"
+        );
+    }
+
+    #[test]
+    fn huge_attempt_counts_do_not_overflow() {
+        let policy = RetryPolicy::new(usize::MAX, Duration::from_millis(10));
+        let pause = policy.pause_before(usize::MAX);
+        assert!(pause <= policy.cap + policy.cap / 2);
+    }
+
+    #[test]
+    fn deadline_ms_rounds_up_and_saturates() {
+        let c = Client::new("127.0.0.1:1");
+        assert_eq!(c.deadline_ms(), None);
+        let c = c.with_deadline(Duration::from_micros(10));
+        assert_eq!(c.deadline_ms(), Some(1), "sub-ms budgets round up to 1");
+        let c = c.with_deadline(Duration::from_millis(250));
+        assert_eq!(c.deadline_ms(), Some(250));
+        let c = c.with_deadline(Duration::MAX);
+        assert_eq!(c.deadline_ms(), Some(u64::MAX - 1), "never the sentinel");
+        assert_eq!(c.without_deadline().deadline_ms(), None);
     }
 }

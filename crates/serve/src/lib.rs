@@ -24,14 +24,19 @@
 //! the total order documented on [`jem_core::Mapping`], so a served batch
 //! renders byte-identically to the offline `jem map` TSV.
 
+pub mod chaos;
 pub mod client;
 pub mod protocol;
 pub mod queue;
 pub mod server;
 pub mod shard;
 
-pub use client::Client;
-pub use protocol::{read_frame, write_frame, Request, Response, ServerInfo, MAGIC, MAX_BODY};
+pub use chaos::{ChaosAction, ChaosPlan, ChaosProxy};
+pub use client::{Client, RetryPolicy};
+pub use protocol::{
+    read_frame, read_frame_versioned, write_frame, write_frame_versioned, ProtocolVersion, Request,
+    Response, ServerInfo, MAGIC, MAGIC_V2, MAX_BODY,
+};
 pub use queue::{BoundedQueue, PushError};
 pub use server::{start, ServerConfig, ServerHandle};
 pub use shard::ShardedIndex;
@@ -52,6 +57,10 @@ pub enum ServeError {
     Protocol(String),
     /// The server's bounded queue was full — retry after a backoff.
     Busy,
+    /// The request's deadline elapsed while it was queued; the server shed
+    /// it without mapping. Retrying is pointless unless the caller extends
+    /// (or drops) the deadline.
+    Expired,
     /// The server is shutting down and no longer admits work.
     ShuttingDown,
     /// The server answered with an error message.
@@ -73,6 +82,10 @@ impl fmt::Display for ServeError {
             ServeError::Io(e) => write!(f, "i/o error: {e}"),
             ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             ServeError::Busy => write!(f, "server busy: request queue full, retry later"),
+            ServeError::Expired => write!(
+                f,
+                "request deadline expired while queued; the server shed it"
+            ),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::Remote(msg) => write!(f, "server error: {msg}"),
             ServeError::Config(msg) => write!(f, "invalid configuration: {msg}"),
@@ -102,6 +115,7 @@ mod tests {
     #[test]
     fn error_display_names_the_failure() {
         assert!(ServeError::Busy.to_string().contains("retry"));
+        assert!(ServeError::Expired.to_string().contains("deadline"));
         assert!(ServeError::protocol("bad magic")
             .to_string()
             .contains("bad magic"));

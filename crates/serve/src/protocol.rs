@@ -4,13 +4,25 @@
 //! Frame layout (all integers little-endian; see DESIGN.md §10):
 //!
 //! ```text
-//! magic  b"JEMSRV1\0"     8 bytes
+//! magic  b"JEMSRV1\0" | b"JEMSRV2\0"     8 bytes
 //! body_len (bytes)        u64   (capped at MAX_BODY)
 //! fnv1a64(body)           u64
 //! body:
 //!   tag                   u64
 //!   payload               tag-specific
 //! ```
+//!
+//! Two protocol revisions share this frame shape:
+//!
+//! * **`JEMSRV1`** — the original request/response set (`Ping`, `Info`,
+//!   `Map`, `Shutdown`). Still decoded unchanged, so pre-deadline clients
+//!   keep working against an upgraded server.
+//! * **`JEMSRV2`** — adds an optional per-request deadline to `Map`
+//!   (encoded as a millisecond budget word; `u64::MAX` means "none"), the
+//!   [`Request::Reload`] admin message, and the [`Response::Expired`] /
+//!   [`Response::Reloaded`] replies. A client only emits a `JEMSRV2` frame
+//!   when it actually uses a v2 feature ([`Request::wire_version`]), so a
+//!   deadline-free exchange is byte-identical to v1.
 //!
 //! The frame checksum follows the persist-v3 convention of
 //! `jem_core::persist`: FNV-1a over the whole body, so any byte-level
@@ -23,13 +35,39 @@ use jem_core::{MapperConfig, Mapping, QuerySegment, ReadEnd};
 use jem_sketch::SketchScheme;
 use std::io::{Read, Write};
 
-/// Frame magic: protocol name + version, one bump per incompatible change.
+/// Frame magic of protocol revision 1 (kept as `MAGIC` for compatibility).
 pub const MAGIC: &[u8; 8] = b"JEMSRV1\0";
+
+/// Frame magic of protocol revision 2 (deadlines, reload).
+pub const MAGIC_V2: &[u8; 8] = b"JEMSRV2\0";
+
+/// Deadline word meaning "no deadline" in a v2 `Map` body.
+const NO_DEADLINE: u64 = u64::MAX;
 
 /// Upper bound on a frame body. Frames are decoded into memory, so the
 /// bound is what stops a hostile or corrupt length word from driving an
 /// unbounded allocation (1 GiB comfortably holds any real segment batch).
 pub const MAX_BODY: u64 = 1 << 30;
+
+/// Which revision of the frame protocol a peer spoke, taken from the
+/// frame magic. The body layout of `Map` depends on it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtocolVersion {
+    /// `JEMSRV1`: no deadlines, no reload.
+    V1,
+    /// `JEMSRV2`: optional `Map` deadline, `Reload`, `Expired`, `Reloaded`.
+    V2,
+}
+
+impl ProtocolVersion {
+    /// The frame magic of this revision.
+    pub fn magic(self) -> &'static [u8; 8] {
+        match self {
+            ProtocolVersion::V1 => MAGIC,
+            ProtocolVersion::V2 => MAGIC_V2,
+        }
+    }
+}
 
 /// FNV-1a over raw bytes — same checksum the index persist frame uses.
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
@@ -53,10 +91,23 @@ pub enum Request {
         /// The segments to map (client-side `read_idx`/`end` are echoed
         /// back in the mappings).
         segments: Vec<QuerySegment>,
+        /// Optional time budget in milliseconds, measured by the server
+        /// from admission: a request still queued when its budget has
+        /// elapsed is shed with [`Response::Expired`] instead of burning a
+        /// worker on an answer nobody is waiting for. `None` (and every v1
+        /// frame) never expires.
+        deadline_ms: Option<u64>,
     },
     /// Begin a graceful shutdown: the server stops accepting, drains
     /// queued work, flushes metrics, and exits.
     Shutdown,
+    /// Ask the server to load, validate, and atomically swap in the index
+    /// persisted at `path` (a server-local path). In-flight batches finish
+    /// on the old index; a failed load leaves the old index serving.
+    Reload {
+        /// Server-local filesystem path of the persisted index.
+        path: String,
+    },
 }
 
 /// A server-to-client message.
@@ -76,6 +127,12 @@ pub enum Response {
     Error(String),
     /// Acknowledges [`Request::Shutdown`].
     ShuttingDown,
+    /// The request's deadline elapsed while it was queued; it was shed
+    /// without mapping (v2 only — v1 clients cannot set deadlines).
+    Expired,
+    /// Acknowledges a successful [`Request::Reload`]; carries a
+    /// human-readable summary of the new index (v2 only).
+    Reloaded(String),
 }
 
 /// What a server tells clients about the index it serves.
@@ -102,6 +159,7 @@ const REQ_PING: u64 = 0;
 const REQ_INFO: u64 = 1;
 const REQ_MAP: u64 = 2;
 const REQ_SHUTDOWN: u64 = 3;
+const REQ_RELOAD: u64 = 4;
 
 const RESP_PONG: u64 = 0;
 const RESP_INFO: u64 = 1;
@@ -109,6 +167,8 @@ const RESP_MAPPINGS: u64 = 2;
 const RESP_BUSY: u64 = 3;
 const RESP_ERROR: u64 = 4;
 const RESP_SHUTTING_DOWN: u64 = 5;
+const RESP_EXPIRED: u64 = 6;
+const RESP_RELOADED: u64 = 7;
 
 // --- body primitives ----------------------------------------------------
 
@@ -193,15 +253,42 @@ fn decode_end(code: u64) -> Result<ReadEnd, ServeError> {
 // --- message encoding ---------------------------------------------------
 
 impl Request {
-    /// Serialize to a frame body.
+    /// The lowest protocol revision that can carry this request: v1 for
+    /// everything a v1 peer could say, v2 as soon as a v2-only feature
+    /// (deadline, reload) is used. [`Request::encode`] emits this
+    /// revision's body layout, so encoders and the wire magic agree.
+    pub fn wire_version(&self) -> ProtocolVersion {
+        match self {
+            Request::Reload { .. } => ProtocolVersion::V2,
+            Request::Map {
+                deadline_ms: Some(_),
+                ..
+            } => ProtocolVersion::V2,
+            _ => ProtocolVersion::V1,
+        }
+    }
+
+    /// Serialize to a frame body in the layout of [`Request::wire_version`].
     pub fn encode(&self) -> Vec<u8> {
         let mut body = Vec::new();
         match self {
             Request::Ping => put_u64(&mut body, REQ_PING),
             Request::Info => put_u64(&mut body, REQ_INFO),
             Request::Shutdown => put_u64(&mut body, REQ_SHUTDOWN),
-            Request::Map { segments } => {
+            Request::Reload { path } => {
+                put_u64(&mut body, REQ_RELOAD);
+                put_bytes(&mut body, path.as_bytes());
+            }
+            Request::Map {
+                segments,
+                deadline_ms,
+            } => {
                 put_u64(&mut body, REQ_MAP);
+                // The deadline word exists only in the v2 body layout; a
+                // deadline-free Map encodes as v1 for compatibility.
+                if let Some(ms) = deadline_ms {
+                    put_u64(&mut body, (*ms).min(NO_DEADLINE - 1));
+                }
                 put_u64(&mut body, segments.len() as u64);
                 for seg in segments {
                     put_u64(&mut body, u64::from(seg.read_idx));
@@ -213,14 +300,34 @@ impl Request {
         body
     }
 
-    /// Deserialize a frame body.
+    /// Deserialize a v1 frame body (compatibility alias for
+    /// [`Request::decode_versioned`] with [`ProtocolVersion::V1`]).
     pub fn decode(body: &[u8]) -> Result<Request, ServeError> {
+        Request::decode_versioned(body, ProtocolVersion::V1)
+    }
+
+    /// Deserialize a frame body whose frame carried `version`'s magic.
+    /// v1 bodies decode exactly as they always have.
+    pub fn decode_versioned(body: &[u8], version: ProtocolVersion) -> Result<Request, ServeError> {
         let mut c = Cursor::new(body);
         let req = match c.u64()? {
             REQ_PING => Request::Ping,
             REQ_INFO => Request::Info,
             REQ_SHUTDOWN => Request::Shutdown,
+            REQ_RELOAD => {
+                if version == ProtocolVersion::V1 {
+                    return Err(ServeError::protocol("unknown request tag 4"));
+                }
+                Request::Reload { path: c.string()? }
+            }
             REQ_MAP => {
+                let deadline_ms = match version {
+                    ProtocolVersion::V1 => None,
+                    ProtocolVersion::V2 => match c.u64()? {
+                        NO_DEADLINE => None,
+                        ms => Some(ms),
+                    },
+                };
                 let n = c.usize()?;
                 // Sized by what the body can actually hold, not the header.
                 let mut segments = Vec::with_capacity(n.min(body.len() / 24 + 1));
@@ -231,7 +338,10 @@ impl Request {
                     let seq = c.bytes()?.to_vec();
                     segments.push(QuerySegment { read_idx, end, seq });
                 }
-                Request::Map { segments }
+                Request::Map {
+                    segments,
+                    deadline_ms,
+                }
             }
             other => return Err(ServeError::protocol(format!("unknown request tag {other}"))),
         };
@@ -241,6 +351,16 @@ impl Request {
 }
 
 impl Response {
+    /// The lowest protocol revision that can carry this response. Replies
+    /// that only v2 requests can provoke (`Expired`, `Reloaded`) are v2;
+    /// everything else stays v1 so old clients decode it unchanged.
+    pub fn wire_version(&self) -> ProtocolVersion {
+        match self {
+            Response::Expired | Response::Reloaded(_) => ProtocolVersion::V2,
+            _ => ProtocolVersion::V1,
+        }
+    }
+
     /// Serialize to a frame body.
     pub fn encode(&self) -> Vec<u8> {
         let mut body = Vec::new();
@@ -248,8 +368,13 @@ impl Response {
             Response::Pong => put_u64(&mut body, RESP_PONG),
             Response::Busy => put_u64(&mut body, RESP_BUSY),
             Response::ShuttingDown => put_u64(&mut body, RESP_SHUTTING_DOWN),
+            Response::Expired => put_u64(&mut body, RESP_EXPIRED),
             Response::Error(msg) => {
                 put_u64(&mut body, RESP_ERROR);
+                put_bytes(&mut body, msg.as_bytes());
+            }
+            Response::Reloaded(msg) => {
+                put_u64(&mut body, RESP_RELOADED);
                 put_bytes(&mut body, msg.as_bytes());
             }
             Response::Mappings(mappings) => {
@@ -291,14 +416,18 @@ impl Response {
         body
     }
 
-    /// Deserialize a frame body.
+    /// Deserialize a frame body. Response bodies are laid out identically
+    /// in both revisions (only the tag set grew), so no version parameter
+    /// is needed; v2-only tags simply never reach a v1-only peer.
     pub fn decode(body: &[u8]) -> Result<Response, ServeError> {
         let mut c = Cursor::new(body);
         let resp = match c.u64()? {
             RESP_PONG => Response::Pong,
             RESP_BUSY => Response::Busy,
             RESP_SHUTTING_DOWN => Response::ShuttingDown,
+            RESP_EXPIRED => Response::Expired,
             RESP_ERROR => Response::Error(c.string()?),
+            RESP_RELOADED => Response::Reloaded(c.string()?),
             RESP_MAPPINGS => {
                 let n = c.usize()?;
                 let mut mappings = Vec::with_capacity(n.min(body.len() / 32 + 1));
@@ -363,24 +492,47 @@ impl Response {
 
 // --- frame transport ----------------------------------------------------
 
-/// Write one frame (`MAGIC`, length, checksum, body) to `out`.
+/// Write one v1 frame (`MAGIC`, length, checksum, body) to `out`.
 pub fn write_frame<W: Write>(out: &mut W, body: &[u8]) -> std::io::Result<()> {
-    out.write_all(MAGIC)?;
+    write_frame_versioned(out, body, ProtocolVersion::V1)
+}
+
+/// Write one frame carrying `version`'s magic to `out`.
+pub fn write_frame_versioned<W: Write>(
+    out: &mut W,
+    body: &[u8],
+    version: ProtocolVersion,
+) -> std::io::Result<()> {
+    out.write_all(version.magic())?;
     out.write_all(&(body.len() as u64).to_le_bytes())?;
     out.write_all(&fnv1a64(body).to_le_bytes())?;
     out.write_all(body)?;
     out.flush()
 }
 
-/// Read one frame from `input`, verifying magic, length bound and
-/// checksum. Never panics on malformed input; never allocates more than
-/// the peer actually sent (the declared length only bounds the read).
+/// Read one frame from `input`, accepting either revision's magic and
+/// discarding which one it was. See [`read_frame_versioned`].
 pub fn read_frame<R: Read>(input: &mut R) -> Result<Vec<u8>, ServeError> {
+    read_frame_versioned(input).map(|(_, body)| body)
+}
+
+/// Read one frame from `input`, verifying magic, length bound and
+/// checksum, and reporting which protocol revision the magic named (the
+/// body layout of `Map` depends on it). Never panics on malformed input;
+/// never allocates more than the peer actually sent (the declared length
+/// only bounds the read).
+pub fn read_frame_versioned<R: Read>(
+    input: &mut R,
+) -> Result<(ProtocolVersion, Vec<u8>), ServeError> {
     let mut header = [0u8; 24];
     input.read_exact(&mut header)?;
-    if &header[..8] != MAGIC {
+    let version = if &header[..8] == MAGIC {
+        ProtocolVersion::V1
+    } else if &header[..8] == MAGIC_V2 {
+        ProtocolVersion::V2
+    } else {
         return Err(ServeError::protocol("bad frame magic"));
-    }
+    };
     let body_len = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
     let declared = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
     if body_len > MAX_BODY {
@@ -402,7 +554,7 @@ pub fn read_frame<R: Read>(input: &mut R) -> Result<Vec<u8>, ServeError> {
             "frame checksum mismatch: declared {declared:#018x}, computed {computed:#018x}"
         )));
     }
-    Ok(body)
+    Ok((version, body))
 }
 
 #[cfg(test)]
@@ -411,14 +563,15 @@ mod tests {
 
     fn roundtrip_request(req: Request) {
         let mut wire = Vec::new();
-        write_frame(&mut wire, &req.encode()).unwrap();
-        let body = read_frame(&mut wire.as_slice()).unwrap();
-        assert_eq!(Request::decode(&body).unwrap(), req);
+        write_frame_versioned(&mut wire, &req.encode(), req.wire_version()).unwrap();
+        let (version, body) = read_frame_versioned(&mut wire.as_slice()).unwrap();
+        assert_eq!(version, req.wire_version());
+        assert_eq!(Request::decode_versioned(&body, version).unwrap(), req);
     }
 
     fn roundtrip_response(resp: Response) {
         let mut wire = Vec::new();
-        write_frame(&mut wire, &resp.encode()).unwrap();
+        write_frame_versioned(&mut wire, &resp.encode(), resp.wire_version()).unwrap();
         let body = read_frame(&mut wire.as_slice()).unwrap();
         assert_eq!(Response::decode(&body).unwrap(), resp);
     }
@@ -428,20 +581,26 @@ mod tests {
         roundtrip_request(Request::Ping);
         roundtrip_request(Request::Info);
         roundtrip_request(Request::Shutdown);
-        roundtrip_request(Request::Map {
-            segments: vec![
-                QuerySegment {
-                    read_idx: 0,
-                    end: ReadEnd::Prefix,
-                    seq: b"ACGTACGT".to_vec(),
-                },
-                QuerySegment {
-                    read_idx: 7,
-                    end: ReadEnd::Suffix,
-                    seq: Vec::new(),
-                },
-            ],
+        roundtrip_request(Request::Reload {
+            path: "/tmp/new-index.jem".into(),
         });
+        for deadline_ms in [None, Some(0), Some(1500)] {
+            roundtrip_request(Request::Map {
+                segments: vec![
+                    QuerySegment {
+                        read_idx: 0,
+                        end: ReadEnd::Prefix,
+                        seq: b"ACGTACGT".to_vec(),
+                    },
+                    QuerySegment {
+                        read_idx: 7,
+                        end: ReadEnd::Suffix,
+                        seq: Vec::new(),
+                    },
+                ],
+                deadline_ms,
+            });
+        }
     }
 
     #[test]
@@ -449,7 +608,9 @@ mod tests {
         roundtrip_response(Response::Pong);
         roundtrip_response(Response::Busy);
         roundtrip_response(Response::ShuttingDown);
+        roundtrip_response(Response::Expired);
         roundtrip_response(Response::Error("queue exploded".into()));
+        roundtrip_response(Response::Reloaded("7 subjects, 812 entries".into()));
         roundtrip_response(Response::Mappings(vec![Mapping {
             read_idx: 3,
             end: ReadEnd::Suffix,
@@ -466,27 +627,56 @@ mod tests {
     }
 
     #[test]
-    fn every_frame_byte_flip_detected() {
+    fn deadline_free_map_is_wire_identical_to_v1() {
+        // The compatibility contract: a Map without a deadline encodes the
+        // same bytes the v1 protocol always used, under the v1 magic.
         let req = Request::Map {
             segments: vec![QuerySegment {
                 read_idx: 1,
                 end: ReadEnd::Prefix,
                 seq: b"ACGT".to_vec(),
             }],
+            deadline_ms: None,
         };
-        let mut wire = Vec::new();
-        write_frame(&mut wire, &req.encode()).unwrap();
-        for i in 0..wire.len() {
-            let mut bad = wire.clone();
-            bad[i] ^= 0x01;
-            // Either the frame read fails (magic/length/checksum) or — when
-            // a length-word flip pushes the declared length past the bytes
-            // present — it is a truncation error. Decode is never reached
-            // with a corrupt body.
-            assert!(
-                read_frame(&mut bad.as_slice()).is_err(),
-                "flip of byte {i} went undetected"
-            );
+        assert_eq!(req.wire_version(), ProtocolVersion::V1);
+        assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+    }
+
+    #[test]
+    fn v2_only_messages_refuse_v1_decode() {
+        let reload = Request::Reload { path: "x".into() };
+        assert_eq!(reload.wire_version(), ProtocolVersion::V2);
+        assert!(Request::decode(&reload.encode()).is_err());
+    }
+
+    #[test]
+    fn every_frame_byte_flip_detected() {
+        for deadline_ms in [None, Some(25u64)] {
+            let req = Request::Map {
+                segments: vec![QuerySegment {
+                    read_idx: 1,
+                    end: ReadEnd::Prefix,
+                    seq: b"ACGT".to_vec(),
+                }],
+                deadline_ms,
+            };
+            let mut wire = Vec::new();
+            write_frame_versioned(&mut wire, &req.encode(), req.wire_version()).unwrap();
+            for i in 0..wire.len() {
+                let mut bad = wire.clone();
+                bad[i] ^= 0x01;
+                // Either the frame read fails (magic/length/checksum) or —
+                // when a length-word flip pushes the declared length past
+                // the bytes present — it is a truncation error. Decode is
+                // never reached with a corrupt body. The single exception
+                // would be a magic flip turning "JEMSRV1" into "JEMSRV2"
+                // (or back), but '1' ^ 0x01 is '0', not '2', so a one-bit
+                // flip cannot alias the two revisions.
+                assert!(
+                    read_frame_versioned(&mut bad.as_slice()).is_err(),
+                    "flip of byte {i} went undetected"
+                );
+            }
         }
     }
 
@@ -495,15 +685,19 @@ mod tests {
         assert!(read_frame(&mut &b"GET / HTTP/1.1\r\n\r\n this is not jem"[..]).is_err());
         assert!(read_frame(&mut &b""[..]).is_err());
         assert!(read_frame(&mut &b"JEMSRV1\0"[..]).is_err());
+        assert!(read_frame(&mut &b"JEMSRV2\0"[..]).is_err());
+        assert!(read_frame(&mut &b"JEMSRV3\0aaaaaaaaaaaaaaaa"[..]).is_err());
     }
 
     #[test]
     fn oversized_length_word_rejected_without_allocating() {
-        let mut wire = MAGIC.to_vec();
-        wire.extend_from_slice(&u64::MAX.to_le_bytes());
-        wire.extend_from_slice(&0u64.to_le_bytes());
-        let err = read_frame(&mut wire.as_slice()).unwrap_err();
-        assert!(err.to_string().contains("bound"), "got: {err}");
+        for magic in [MAGIC, MAGIC_V2] {
+            let mut wire = magic.to_vec();
+            wire.extend_from_slice(&u64::MAX.to_le_bytes());
+            wire.extend_from_slice(&0u64.to_le_bytes());
+            let err = read_frame(&mut wire.as_slice()).unwrap_err();
+            assert!(err.to_string().contains("bound"), "got: {err}");
+        }
     }
 
     #[test]
@@ -511,6 +705,7 @@ mod tests {
         let mut body = Vec::new();
         put_u64(&mut body, 999);
         assert!(Request::decode(&body).is_err());
+        assert!(Request::decode_versioned(&body, ProtocolVersion::V2).is_err());
         assert!(Response::decode(&body).is_err());
     }
 

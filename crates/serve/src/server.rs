@@ -1,19 +1,36 @@
-//! The mapping server: accept loop, bounded queue, batching worker pool,
-//! graceful shutdown.
+//! The mapping server: accept loop, bounded queue, supervised batching
+//! worker pool, deadline shedding, hot index reload, graceful shutdown.
 //!
-//! Threading model (DESIGN.md §10):
+//! Threading model (DESIGN.md §10–§11):
 //!
 //! * **accept thread** — owns the listener. Reads one request frame per
-//!   connection, answers `Ping`/`Info` inline, enqueues `Map` jobs on the
-//!   bounded queue (replying [`Response::Busy`] when it is full — the
-//!   server never buffers unboundedly), and on `Shutdown` stops accepting
-//!   and closes the queue.
-//! * **worker threads** (fixed pool) — each owns one reused
-//!   [`LazyHitCounter`] and a running query-id; workers pop up to `batch`
-//!   queued requests per index pass, map every segment of the pass with
-//!   the one counter (no per-request counter allocation or reset — the
-//!   paper's lazy strategy is what makes the reuse free), and write each
-//!   response back on its own connection.
+//!   connection (either protocol revision), answers `Ping`/`Info` inline,
+//!   enqueues `Map` jobs on the bounded queue (replying [`Response::Busy`]
+//!   when it is full — the server never buffers unboundedly), hands
+//!   `Reload` to a one-off loader thread so a slow index load never blocks
+//!   admission, and on `Shutdown` stops accepting and closes the queue.
+//! * **worker threads** (supervised pool) — each owns one reused
+//!   [`LazyHitCounter`](jem_index::LazyHitCounter) and a running query-id;
+//!   workers pop up to `batch` queued requests per index pass, shed the
+//!   ones whose deadline has already expired ([`Response::Expired`],
+//!   `serve.shed`), map the rest with the one counter (no per-request
+//!   counter allocation or reset — the paper's lazy strategy is what makes
+//!   that reuse free), and write each response back on its own connection.
+//! * **supervisor thread** — owns the worker pool. Each worker's request
+//!   loop runs under `catch_unwind`; a panicking worker fails its
+//!   in-flight batch with an `Error` reply (a guard holds cloned
+//!   connection handles, so the clients are answered, never hung), the
+//!   panic is counted (`serve.worker_panic`), and the supervisor respawns
+//!   a replacement (`serve.worker_respawns`) so pool capacity never
+//!   decays — even mid-drain. Clean exits are counted in
+//!   `serve.worker_clean_exits`, which equals `serve.workers_configured`
+//!   at the end of any run whose pool recovered fully.
+//! * **index epochs** — the served [`ShardedIndex`] lives behind an
+//!   `RwLock`ed, `Arc`-swapped epoch. Workers pin the current epoch per
+//!   batch (one `Arc` clone), so a [`Request::Reload`](crate::Request)
+//!   swap lands atomically between batches: in-flight batches finish on
+//!   the old index, no request is dropped, and a failed load leaves the
+//!   old epoch serving.
 //! * **shutdown** — [`ServerHandle::shutdown`] (or a remote
 //!   [`crate::Request::Shutdown`]) flips the flag, wakes the accept loop,
 //!   closes the queue; workers drain everything already queued, so every
@@ -25,15 +42,16 @@
 //! its own lifetime without racing other pipelines in the process, and
 //! tests can run many servers concurrently.
 
-use crate::protocol::{read_frame, write_frame, Request, Response, ServerInfo};
+use crate::protocol::{read_frame_versioned, write_frame_versioned, Request, Response, ServerInfo};
 use crate::queue::{BoundedQueue, PushError};
 use crate::shard::ShardedIndex;
 use crate::ServeError;
 use jem_core::QuerySegment;
 use jem_obs::{MetricsRecorder, Recorder, Snapshot, Span};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -53,6 +71,11 @@ pub struct ServerConfig {
     /// the saturation and drain tests to hold the queue full
     /// deterministically.
     pub straggle_ms: u64,
+    /// Chaos knob (the serve-side twin of `jem-psim`'s crash fault): the
+    /// pool panics on every Nth index pass, counted across all workers.
+    /// `0` = off. The chaos suite uses this to prove the supervisor
+    /// restores pool capacity and no client is left hanging.
+    pub panic_every: u64,
 }
 
 impl Default for ServerConfig {
@@ -63,6 +86,7 @@ impl Default for ServerConfig {
             batch: 16,
             io_timeout: Duration::from_secs(10),
             straggle_ms: 0,
+            panic_every: 0,
         }
     }
 }
@@ -87,6 +111,51 @@ struct Job {
     conn: TcpStream,
     segments: Vec<QuerySegment>,
     enqueued: Instant,
+    /// When the client's deadline budget runs out (None = never expires).
+    expires: Option<Instant>,
+}
+
+/// One generation of the served index. Bumped atomically by a successful
+/// reload; workers pin the epoch per batch, so a swap never tears a batch.
+struct Epoch {
+    id: u64,
+    index: Arc<ShardedIndex>,
+}
+
+/// State shared by the accept loop, the worker pool, the supervisor, and
+/// reload threads.
+struct Shared {
+    epoch: RwLock<Epoch>,
+    queue: BoundedQueue<Job>,
+    recorder: Arc<MetricsRecorder>,
+    shutdown: AtomicBool,
+    /// Global index-pass ordinal (1-based), driving the `panic_every` knob.
+    batch_ordinal: AtomicU64,
+    batch: usize,
+    straggle_ms: u64,
+    panic_every: u64,
+    /// Shard count reloads repartition into (fixed for the server's life).
+    shards: usize,
+}
+
+impl Shared {
+    /// Pin the current epoch: one `Arc` clone under a read lock.
+    fn pin_epoch(&self) -> (u64, Arc<ShardedIndex>) {
+        let e = self.epoch.read().expect("epoch lock poisoned");
+        (e.id, Arc::clone(&e.index))
+    }
+
+    /// The served index's parameters as of the current epoch.
+    fn current_info(&self) -> ServerInfo {
+        let (_, index) = self.pin_epoch();
+        ServerInfo {
+            config: *index.mapper().config(),
+            scheme: index.mapper().scheme(),
+            subject_names: index.mapper().subject_names().to_vec(),
+            shards: index.n_shards(),
+            batch: self.batch,
+        }
+    }
 }
 
 /// Handle to a running server: its address, its metrics, and the two ways
@@ -94,10 +163,9 @@ struct Job {
 /// after a remote shutdown request).
 pub struct ServerHandle {
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
+    shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
-    recorder: Arc<MetricsRecorder>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -108,14 +176,14 @@ impl ServerHandle {
 
     /// The server's metrics recorder (live; snapshot any time).
     pub fn recorder(&self) -> &MetricsRecorder {
-        &self.recorder
+        &self.shared.recorder
     }
 
     /// Trigger a graceful shutdown and wait for it to finish: stop
     /// accepting, drain every queued request, join all threads. Returns
     /// the final metrics snapshot.
     pub fn shutdown(mut self) -> Snapshot {
-        self.shutdown.store(true, Ordering::SeqCst);
+        self.shared.shutdown.store(true, Ordering::SeqCst);
         // Wake the accept loop out of its blocking accept.
         let _ = TcpStream::connect(self.addr);
         self.join_inner()
@@ -132,10 +200,10 @@ impl ServerHandle {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
         }
-        self.recorder.snapshot()
+        self.shared.recorder.snapshot()
     }
 }
 
@@ -149,86 +217,78 @@ pub fn start(
     config.validate()?;
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
-    let index = Arc::new(index);
     let recorder = Arc::new(MetricsRecorder::new());
-    let queue: Arc<BoundedQueue<Job>> = Arc::new(BoundedQueue::new(config.queue_cap));
-    let shutdown = Arc::new(AtomicBool::new(false));
 
-    // Startup gauges: shard balance of the resident table.
+    // Startup gauges: shard balance of the resident table, pool size.
     for count in index.shard_entry_counts() {
         recorder.observe("serve.shard_entries", count as u64);
     }
     recorder.add("serve.started", 1);
+    recorder.add("serve.workers_configured", config.workers as u64);
 
-    let info = ServerInfo {
-        config: *index.mapper().config(),
-        scheme: index.mapper().scheme(),
-        subject_names: index.mapper().subject_names().to_vec(),
-        shards: index.n_shards(),
+    let shards = index.n_shards();
+    let shared = Arc::new(Shared {
+        epoch: RwLock::new(Epoch {
+            id: 0,
+            index: Arc::new(index),
+        }),
+        queue: BoundedQueue::new(config.queue_cap),
+        recorder,
+        shutdown: AtomicBool::new(false),
+        batch_ordinal: AtomicU64::new(0),
         batch: config.batch,
+        straggle_ms: config.straggle_ms,
+        panic_every: config.panic_every,
+        shards,
+    });
+
+    let supervisor = {
+        let shared = Arc::clone(&shared);
+        let workers = config.workers;
+        std::thread::spawn(move || supervise(&shared, workers))
     };
 
-    let mut threads = Vec::with_capacity(config.workers);
-    for _ in 0..config.workers {
-        let index = Arc::clone(&index);
-        let queue = Arc::clone(&queue);
-        let recorder = Arc::clone(&recorder);
-        let batch = config.batch;
-        let straggle_ms = config.straggle_ms;
-        threads.push(std::thread::spawn(move || {
-            worker_loop(&index, &queue, &recorder, batch, straggle_ms)
-        }));
-    }
-
     let accept = {
-        let queue = Arc::clone(&queue);
-        let recorder = Arc::clone(&recorder);
-        let shutdown = Arc::clone(&shutdown);
+        let shared = Arc::clone(&shared);
         let io_timeout = config.io_timeout;
         std::thread::spawn(move || {
-            accept_loop(&listener, &info, &queue, &recorder, &shutdown, io_timeout);
+            accept_loop(&listener, &shared, io_timeout);
             // Whatever ended the loop (local flag or remote request):
             // refuse new work, let workers drain and exit.
-            shutdown.store(true, Ordering::SeqCst);
-            queue.close();
+            shared.shutdown.store(true, Ordering::SeqCst);
+            shared.queue.close();
         })
     };
 
     Ok(ServerHandle {
         addr,
-        shutdown,
+        shared,
         accept: Some(accept),
-        workers: threads,
-        recorder,
+        supervisor: Some(supervisor),
     })
 }
 
-/// Reply on `conn`, tolerating a peer that already hung up.
+/// Reply on `conn` with the revision the response needs, tolerating a peer
+/// that already hung up.
 fn respond(conn: &mut TcpStream, recorder: &MetricsRecorder, resp: &Response) {
-    if write_frame(conn, &resp.encode()).is_err() {
+    if write_frame_versioned(conn, &resp.encode(), resp.wire_version()).is_err() {
         recorder.add("serve.write_errors", 1);
     }
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    info: &ServerInfo,
-    queue: &BoundedQueue<Job>,
-    recorder: &MetricsRecorder,
-    shutdown: &AtomicBool,
-    io_timeout: Duration,
-) {
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, io_timeout: Duration) {
+    let recorder = &shared.recorder;
     loop {
         let mut conn = match listener.accept() {
             Ok((conn, _)) => conn,
             Err(_) => {
-                if shutdown.load(Ordering::SeqCst) {
+                if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
                 continue;
             }
         };
-        if shutdown.load(Ordering::SeqCst) {
+        if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
         recorder.add("serve.connections", 1);
@@ -237,25 +297,43 @@ fn accept_loop(
         {
             continue;
         }
-        match read_frame(&mut conn).and_then(|body| Request::decode(&body)) {
+        let received = Instant::now();
+        match read_frame_versioned(&mut conn)
+            .and_then(|(version, body)| Request::decode_versioned(&body, version))
+        {
             Err(e) => {
                 recorder.add("serve.protocol_errors", 1);
                 respond(&mut conn, recorder, &Response::Error(e.to_string()));
             }
             Ok(Request::Ping) => respond(&mut conn, recorder, &Response::Pong),
-            Ok(Request::Info) => respond(&mut conn, recorder, &Response::Info(info.clone())),
+            Ok(Request::Info) => {
+                respond(&mut conn, recorder, &Response::Info(shared.current_info()))
+            }
             Ok(Request::Shutdown) => {
                 recorder.add("serve.shutdown_requests", 1);
                 respond(&mut conn, recorder, &Response::ShuttingDown);
                 return;
             }
-            Ok(Request::Map { segments }) => {
+            Ok(Request::Reload { path }) => {
+                recorder.add("serve.reload_requests", 1);
+                // Load off the accept path: a multi-second index load must
+                // not stall admission of mapping requests.
+                spawn_reload(Arc::clone(shared), conn, path);
+            }
+            Ok(Request::Map {
+                segments,
+                deadline_ms,
+            }) => {
+                if deadline_ms.is_some() {
+                    recorder.add("serve.deadline_requests", 1);
+                }
                 let job = Job {
                     conn,
                     segments,
-                    enqueued: Instant::now(),
+                    enqueued: received,
+                    expires: deadline_ms.map(|ms| received + Duration::from_millis(ms)),
                 };
-                match queue.try_push(job) {
+                match shared.queue.try_push(job) {
                     Ok(depth) => recorder.observe("serve.queue_depth", depth as u64),
                     Err((mut job, PushError::Full)) => {
                         recorder.add("serve.busy", 1);
@@ -270,31 +348,188 @@ fn accept_loop(
     }
 }
 
-fn worker_loop(
-    index: &ShardedIndex,
-    queue: &BoundedQueue<Job>,
-    recorder: &MetricsRecorder,
-    batch: usize,
-    straggle_ms: u64,
-) {
-    // One counter for the whole worker lifetime: the lazy strategy makes
-    // cross-batch reuse free as long as query ids keep increasing.
-    let mut counter = index.new_counter();
+/// Load, shard, and validate a persisted index for a hot reload. Checksum
+/// validation happens inside `load_index` (persist v3), so a truncated or
+/// corrupt artifact is a typed error here — never a panic, never a swap.
+fn load_sharded(path: &str, shards: usize) -> Result<ShardedIndex, String> {
+    let file = std::fs::File::open(path).map_err(|e| e.to_string())?;
+    let mut input = std::io::BufReader::new(file);
+    let mapper = jem_core::load_index(&mut input).map_err(|e| e.to_string())?;
+    Ok(ShardedIndex::new(mapper, shards))
+}
+
+/// Run one reload on its own thread: load + validate the new index, then
+/// atomically bump the epoch. In-flight batches keep their pinned old
+/// epoch; a failed load answers `Error` and leaves the old index serving.
+fn spawn_reload(shared: Arc<Shared>, mut conn: TcpStream, path: String) {
+    std::thread::spawn(move || {
+        let resp = match load_sharded(&path, shared.shards) {
+            Ok(index) => {
+                let subjects = index.mapper().n_subjects();
+                let entries: usize = index.shard_entry_counts().iter().sum();
+                let new_id = {
+                    let mut e = shared.epoch.write().expect("epoch lock poisoned");
+                    e.id += 1;
+                    e.index = Arc::new(index);
+                    e.id
+                };
+                shared.recorder.add("serve.reloads", 1);
+                Response::Reloaded(format!(
+                    "epoch {new_id}: {subjects} subjects, {entries} sketch entries from {path}"
+                ))
+            }
+            Err(msg) => {
+                shared.recorder.add("serve.reload_errors", 1);
+                Response::Error(format!("reload {path}: {msg}"))
+            }
+        };
+        respond(&mut conn, &shared.recorder, &resp);
+    });
+}
+
+/// How a worker thread ended: cleanly (queue closed and drained) or by
+/// panicking out of its request loop.
+struct WorkerExit {
+    id: usize,
+    panicked: bool,
+}
+
+fn spawn_worker(
+    id: usize,
+    shared: &Arc<Shared>,
+    exits: mpsc::Sender<WorkerExit>,
+) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    std::thread::spawn(move || {
+        let panicked = catch_unwind(AssertUnwindSafe(|| worker_loop(&shared))).is_err();
+        let _ = exits.send(WorkerExit { id, panicked });
+    })
+}
+
+/// The supervisor: spawn the pool, then babysit it. A worker that exits
+/// cleanly is done (shutdown drain); a worker that panicked already failed
+/// its in-flight batch via [`BatchGuard`], so the supervisor only has to
+/// count the panic and respawn a replacement — pool capacity never decays,
+/// and a panic during the shutdown drain still leaves enough workers to
+/// answer everything admitted.
+fn supervise(shared: &Arc<Shared>, workers: usize) {
+    let (tx, rx) = mpsc::channel::<WorkerExit>();
+    let mut handles: Vec<Option<JoinHandle<()>>> = (0..workers)
+        .map(|id| Some(spawn_worker(id, shared, tx.clone())))
+        .collect();
+    let mut alive = workers;
+    while alive > 0 {
+        // The supervisor keeps a sender, so recv can only fail if
+        // something impossible happened; treat it as a full stop.
+        let Ok(exit) = rx.recv() else { break };
+        if let Some(handle) = handles[exit.id].take() {
+            let _ = handle.join();
+        }
+        if exit.panicked {
+            shared.recorder.add("serve.worker_panic", 1);
+            shared.recorder.add("serve.worker_respawns", 1);
+            handles[exit.id] = Some(spawn_worker(exit.id, shared, tx.clone()));
+        } else {
+            shared.recorder.add("serve.worker_clean_exits", 1);
+            alive -= 1;
+        }
+    }
+}
+
+/// Panic insurance for one index pass: holds cloned connection handles for
+/// every job in the batch. If the pass unwinds, the guard's drop (running
+/// during the unwind) answers each client with a typed `Error` frame — a
+/// worker panic costs the batch an error reply, never a hung client.
+struct BatchGuard<'a> {
+    conns: Vec<TcpStream>,
+    recorder: &'a MetricsRecorder,
+    armed: bool,
+}
+
+impl<'a> BatchGuard<'a> {
+    fn arm(jobs: &[Job], recorder: &'a MetricsRecorder) -> Self {
+        BatchGuard {
+            conns: jobs
+                .iter()
+                .filter_map(|j| j.conn.try_clone().ok())
+                .collect(),
+            recorder,
+            armed: true,
+        }
+    }
+
+    /// The pass completed; replies were written normally.
+    fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for BatchGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed || !std::thread::panicking() {
+            return;
+        }
+        let resp = Response::Error("internal error: worker panicked on this batch".into());
+        let body = resp.encode();
+        for conn in &mut self.conns {
+            let _ = write_frame_versioned(conn, &body, resp.wire_version());
+        }
+        self.recorder
+            .add("serve.panic_failed_requests", self.conns.len() as u64);
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let recorder = &*shared.recorder;
+    // One counter per epoch for the whole worker lifetime: the lazy
+    // strategy makes cross-batch reuse free as long as query ids keep
+    // increasing. A reload means a new subject universe, so the counter
+    // (sized by subject count) is rebuilt when the pinned epoch changes.
+    let mut epoch_id = u64::MAX;
+    let mut counter = None;
     let mut qid_base = 0u64;
     loop {
-        let jobs = queue.pop_batch(batch);
+        let jobs = shared.queue.pop_batch(shared.batch);
         if jobs.is_empty() {
             return; // queue closed and drained
         }
-        if straggle_ms > 0 {
-            std::thread::sleep(Duration::from_millis(straggle_ms));
+        let (eid, index) = shared.pin_epoch();
+        if eid != epoch_id || counter.is_none() {
+            counter = Some(index.new_counter());
+            epoch_id = eid;
+            qid_base = 0;
         }
-        let _pass = Span::enter(recorder as &dyn Recorder, "serve/batch");
-        let n_segments: usize = jobs.iter().map(|j| j.segments.len()).sum();
-        recorder.observe("serve.batch_jobs", jobs.len() as u64);
-        recorder.observe("serve.batch_segments", n_segments as u64);
+        let counter = counter.as_mut().expect("counter initialized above");
+        if shared.straggle_ms > 0 {
+            std::thread::sleep(Duration::from_millis(shared.straggle_ms));
+        }
+        // Deadline shedding: a request whose budget ran out while queued
+        // gets `Expired` immediately — no index pass is spent on an answer
+        // nobody is waiting for anymore.
+        let now = Instant::now();
+        let mut live = Vec::with_capacity(jobs.len());
         for mut job in jobs {
-            let mut mappings = index.map_batch(&job.segments, qid_base, &mut counter);
+            if job.expires.is_some_and(|t| t <= now) {
+                recorder.add("serve.shed", 1);
+                respond(&mut job.conn, recorder, &Response::Expired);
+            } else {
+                live.push(job);
+            }
+        }
+        if live.is_empty() {
+            continue;
+        }
+        let ordinal = shared.batch_ordinal.fetch_add(1, Ordering::Relaxed) + 1;
+        let _pass = Span::enter(recorder as &dyn Recorder, "serve/batch");
+        let n_segments: usize = live.iter().map(|j| j.segments.len()).sum();
+        recorder.observe("serve.batch_jobs", live.len() as u64);
+        recorder.observe("serve.batch_segments", n_segments as u64);
+        let guard = BatchGuard::arm(&live, recorder);
+        if shared.panic_every > 0 && ordinal % shared.panic_every == 0 {
+            panic!("injected chaos panic (index pass {ordinal})");
+        }
+        for mut job in live {
+            let mut mappings = index.map_batch(&job.segments, qid_base, counter);
             qid_base += job.segments.len() as u64;
             // The documented total order on `Mapping` — same normalization
             // as the offline parallel driver.
@@ -306,6 +541,7 @@ fn worker_loop(
             let latency = u64::try_from(job.enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX);
             recorder.span_ns("serve/request", latency);
         }
+        guard.disarm();
         let stats = counter.stats.take();
         recorder.add("serve.collisions_probed", stats.probed);
         recorder.add("serve.lazy_resets", stats.lazy_resets);

@@ -1,0 +1,165 @@
+//! Frame-decoder fuzzing: random mutations of valid `JEMSRV1`/`JEMSRV2`
+//! frames must never panic the decoder and must never decode to a
+//! *different* request than the one originally framed — a damaged frame
+//! either errors or (for damage outside the framed bytes, e.g. trailing
+//! junk) decodes identically. Raw byte soup must never panic either.
+//!
+//! Single-bit flips are the damage model for the aliasing property: the
+//! two revision magics differ in two bits (`'1' = 0x31`, `'2' = 0x32`),
+//! so no single flip can silently re-version a frame, and every in-frame
+//! flip is caught by the magic check, the length check, or the FNV-1a
+//! body checksum.
+
+use jem_core::{QuerySegment, ReadEnd};
+use jem_serve::{read_frame_versioned, write_frame_versioned, ProtocolVersion, Request, Response};
+use proptest::prelude::*;
+
+/// Build one of the request shapes from fuzz parameters.
+fn build_request(
+    kind: u8,
+    deadline: u64,
+    segs: Vec<(u32, bool, Vec<u8>)>,
+    path: String,
+) -> Request {
+    match kind % 5 {
+        0 => Request::Ping,
+        1 => Request::Info,
+        2 => Request::Shutdown,
+        3 => Request::Reload { path },
+        _ => Request::Map {
+            segments: segs
+                .into_iter()
+                .map(|(read_idx, suffix, seq)| QuerySegment {
+                    read_idx,
+                    end: if suffix {
+                        ReadEnd::Suffix
+                    } else {
+                        ReadEnd::Prefix
+                    },
+                    seq,
+                })
+                .collect(),
+            deadline_ms: if deadline == 0 {
+                None
+            } else {
+                Some(deadline.min(u64::MAX - 1))
+            },
+        },
+    }
+}
+
+/// Frame `req` exactly as the client does.
+fn frame(req: &Request) -> Vec<u8> {
+    let mut wire = Vec::new();
+    write_frame_versioned(&mut wire, &req.encode(), req.wire_version()).unwrap();
+    wire
+}
+
+/// Decode a wire buffer end to end: transport frame, then request body.
+fn decode(wire: &[u8]) -> Result<Request, jem_serve::ServeError> {
+    let mut cursor = wire;
+    let (version, body) = read_frame_versioned(&mut cursor)?;
+    Request::decode_versioned(&body, version)
+}
+
+proptest! {
+    #[test]
+    fn bit_flips_never_panic_and_never_alias(
+        kind in 0u8..5,
+        deadline in 0u64..10_000,
+        segs in prop::collection::vec(
+            (0u32..1000, any::<bool>(), prop::collection::vec(0u8..=255, 0..40)),
+            0..4,
+        ),
+        path in "[a-z/.]{0,24}",
+        bit in 0usize..4096,
+    ) {
+        let req = build_request(kind, deadline, segs, path);
+        let wire = frame(&req);
+        let mut damaged = wire.clone();
+        let bit = bit % (damaged.len() * 8);
+        damaged[bit / 8] ^= 1 << (bit % 8);
+        // Must not panic; if it decodes at all, it must be the original.
+        if let Ok(got) = decode(&damaged) {
+            prop_assert_eq!(got, req, "a bit flip decoded to a different request");
+        }
+        // The pristine frame still round-trips (the damage copy is separate).
+        prop_assert_eq!(decode(&wire).unwrap(), req);
+    }
+
+    #[test]
+    fn truncation_never_panics_and_never_aliases(
+        kind in 0u8..5,
+        deadline in 0u64..10_000,
+        segs in prop::collection::vec(
+            (0u32..1000, any::<bool>(), prop::collection::vec(0u8..=255, 0..40)),
+            0..4,
+        ),
+        path in "[a-z/.]{0,24}",
+        cut in 0usize..4096,
+    ) {
+        let req = build_request(kind, deadline, segs, path);
+        let mut wire = frame(&req);
+        let cut = cut % wire.len(); // strictly shorter than the frame
+        wire.truncate(cut);
+        prop_assert!(
+            decode(&wire).is_err(),
+            "a truncated frame must never decode (cut at {})", cut
+        );
+    }
+
+    #[test]
+    fn trailing_junk_is_invisible_to_the_frame_reader(
+        kind in 0u8..5,
+        deadline in 0u64..10_000,
+        segs in prop::collection::vec(
+            (0u32..1000, any::<bool>(), prop::collection::vec(0u8..=255, 0..40)),
+            0..4,
+        ),
+        path in "[a-z/.]{0,24}",
+        junk in prop::collection::vec(0u8..=255, 1..64),
+    ) {
+        // The transport is length-prefixed: bytes after the frame belong
+        // to no one and must not change what the frame decodes to.
+        let req = build_request(kind, deadline, segs, path);
+        let mut wire = frame(&req);
+        wire.extend_from_slice(&junk);
+        prop_assert_eq!(decode(&wire).unwrap(), req);
+    }
+
+    #[test]
+    fn byte_soup_never_panics(
+        soup in prop::collection::vec(0u8..=255, 0..256),
+    ) {
+        // Transport layer on raw bytes.
+        let mut cursor = soup.as_slice();
+        let _ = read_frame_versioned(&mut cursor);
+        // Body decoders on raw bytes, all revisions.
+        let _ = Request::decode_versioned(&soup, ProtocolVersion::V1);
+        let _ = Request::decode_versioned(&soup, ProtocolVersion::V2);
+        let _ = Response::decode(&soup);
+    }
+
+    #[test]
+    fn cross_version_body_decode_never_panics(
+        kind in 0u8..5,
+        deadline in 0u64..10_000,
+        segs in prop::collection::vec(
+            (0u32..1000, any::<bool>(), prop::collection::vec(0u8..=255, 0..40)),
+            0..4,
+        ),
+        path in "[a-z/.]{0,24}",
+    ) {
+        // Feeding a body to the *wrong* revision's decoder models a peer
+        // with a mismatched magic table: it may error, it may decode (the
+        // revisions share deadline-free layouts by design), but it must
+        // never panic — and a V2-only request must never sneak past V1.
+        let req = build_request(kind, deadline, segs, path);
+        let body = req.encode();
+        let _ = Request::decode_versioned(&body, ProtocolVersion::V1);
+        let _ = Request::decode_versioned(&body, ProtocolVersion::V2);
+        if matches!(req, Request::Reload { .. }) {
+            prop_assert!(Request::decode_versioned(&body, ProtocolVersion::V1).is_err());
+        }
+    }
+}

@@ -221,6 +221,123 @@ fn malformed_frames_get_an_error_reply_and_the_server_lives() {
 }
 
 #[test]
+fn panicking_worker_is_respawned_and_pool_serves_on() {
+    let (mapper, segments) = world();
+    let expected = {
+        let mut m = mapper.map_segments(&segments[..1]);
+        m.sort_unstable();
+        m
+    };
+    // One worker, one job per pass, and a panic injected on every second
+    // index pass: request 2 must fail with a typed error (not a hang), and
+    // request 3 proves the supervisor respawned the worker.
+    let handle = start(
+        mapper,
+        &ServerConfig {
+            workers: 1,
+            batch: 1,
+            panic_every: 2,
+            ..Default::default()
+        },
+    );
+    let client = Client::new(handle.addr().to_string());
+    assert_eq!(client.map_segments(&segments[..1]).unwrap(), expected);
+    match client.map_segments(&segments[..1]) {
+        Err(ServeError::Remote(msg)) => {
+            assert!(msg.contains("panicked"), "got: {msg}")
+        }
+        other => panic!("expected a typed panic reply, got {other:?}"),
+    }
+    assert_eq!(
+        client.map_segments(&segments[..1]).unwrap(),
+        expected,
+        "the respawned worker must serve the next batch"
+    );
+    let snapshot = handle.shutdown();
+    assert_eq!(snapshot.counter("serve.worker_panic"), 1);
+    assert_eq!(snapshot.counter("serve.worker_respawns"), 1);
+    assert_eq!(snapshot.counter("serve.panic_failed_requests"), 1);
+    // Pool capacity was restored: every configured worker slot drained the
+    // shutdown cleanly, including the replacement.
+    assert_eq!(
+        snapshot.counter("serve.worker_clean_exits"),
+        snapshot.counter("serve.workers_configured"),
+    );
+}
+
+#[test]
+fn expired_deadline_is_shed_while_a_generous_one_is_served() {
+    let (mapper, segments) = world();
+    // One slow worker: a request that arrives while the worker is mid-pass
+    // sits in the queue long enough for a 1 ms deadline to lapse.
+    let handle = start(
+        mapper,
+        &ServerConfig {
+            workers: 1,
+            queue_cap: 8,
+            batch: 1,
+            straggle_ms: 150,
+            ..Default::default()
+        },
+    );
+    let addr = handle.addr().to_string();
+    let occupier = {
+        let addr = addr.clone();
+        let seg = segments[..1].to_vec();
+        std::thread::spawn(move || Client::new(addr).map_segments(&seg))
+    };
+    // Give the occupier time to reach the worker, then race the deadline.
+    std::thread::sleep(Duration::from_millis(40));
+    let doomed = Client::new(addr.clone())
+        .with_deadline(Duration::from_millis(1))
+        .map_segments(&segments[..1]);
+    assert!(
+        matches!(doomed, Err(ServeError::Expired)),
+        "a deadline that lapses in the queue must surface as Expired, got {doomed:?}"
+    );
+    occupier.join().unwrap().unwrap();
+    // A deadline the server can actually meet changes nothing.
+    let relaxed = Client::new(addr)
+        .with_deadline(Duration::from_secs(30))
+        .map_segments(&segments[..1])
+        .unwrap();
+    assert!(!relaxed.is_empty());
+    let snapshot = handle.shutdown();
+    assert_eq!(snapshot.counter("serve.shed"), 1);
+    assert_eq!(snapshot.counter("serve.deadline_requests"), 2);
+    assert_eq!(snapshot.counter("serve.requests"), 2, "shed ≠ served");
+}
+
+#[test]
+fn v1_frames_still_get_served_and_answered_in_v1() {
+    let (mapper, segments) = world();
+    let expected = {
+        let mut m = mapper.map_segments(&segments[..1]);
+        m.sort_unstable();
+        m
+    };
+    let handle = start(mapper, &ServerConfig::default());
+    // Hand-rolled JEMSRV1 exchange, exactly what a pre-deadline client
+    // emits: the revision bump must not strand old binaries.
+    let mut conn = std::net::TcpStream::connect(handle.addr()).unwrap();
+    let req = Request::Map {
+        segments: segments[..1].to_vec(),
+        deadline_ms: None,
+    };
+    write_frame(&mut conn, &req.encode()).unwrap();
+    let mut reply = Vec::new();
+    conn.read_to_end(&mut reply).unwrap();
+    assert_eq!(&reply[..8], MAGIC, "a V1 request gets a V1-framed answer");
+    let mut cursor = &reply[..];
+    let body = jem_serve::read_frame(&mut cursor).unwrap();
+    match Response::decode(&body).unwrap() {
+        Response::Mappings(got) => assert_eq!(got, expected),
+        other => panic!("expected Mappings, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
 fn zero_valued_config_is_rejected_not_deadlocked() {
     let (mapper, _) = world();
     for config in [
