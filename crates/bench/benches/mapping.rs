@@ -48,7 +48,7 @@ fn bench_index_build(c: &mut Criterion) {
     let mut g = c.benchmark_group("index_build");
     g.sample_size(10);
     g.bench_function("jem", |b| {
-        b.iter(|| JemMapper::build(d.subjects.clone(), &MapperConfig::default()))
+        b.iter(|| JemMapper::build(&d.subjects, &MapperConfig::default()))
     });
     g.bench_function("mashmap_w10", |b| {
         b.iter(|| {
@@ -68,7 +68,7 @@ fn bench_index_build(c: &mut Criterion) {
 
 fn bench_query_mapping(c: &mut Criterion) {
     let d = data();
-    let jem = JemMapper::build(d.subjects.clone(), &MapperConfig::default());
+    let jem = JemMapper::build(&d.subjects, &MapperConfig::default());
     let mash = MashmapMapper::build(
         d.subjects.clone(),
         &MashmapConfig {

@@ -128,7 +128,7 @@ fn quality(
 /// Run JEM-mapper on a dataset and score it against the benchmark.
 pub fn eval_jem(prep: &PreparedDataset, config: &MapperConfig, bench: &Benchmark) -> QualityResult {
     let t0 = Instant::now();
-    let mapper = JemMapper::build(prep.subjects.clone(), config);
+    let mapper = JemMapper::build(&prep.subjects, config);
     let build = t0.elapsed().as_secs_f64();
     let t1 = Instant::now();
     let mappings = mapper.map_reads(&prep.reads);
@@ -146,7 +146,7 @@ pub fn eval_jem_scheme(
     label: &str,
 ) -> QualityResult {
     let t0 = Instant::now();
-    let mapper = JemMapper::build_with_scheme(prep.subjects.clone(), config, scheme);
+    let mapper = JemMapper::build_with_scheme(&prep.subjects, config, scheme);
     let build = t0.elapsed().as_secs_f64();
     let t1 = Instant::now();
     let mappings = mapper.map_reads(&prep.reads);

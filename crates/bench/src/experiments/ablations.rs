@@ -27,7 +27,7 @@ pub fn run() {
     for w in [10usize, 25, 50, 100, 200, 400] {
         let config = MapperConfig { w, ..base };
         let q = eval_jem(&prep, &config, &bench);
-        let entries = JemMapper::build(prep.subjects.clone(), &config)
+        let entries = JemMapper::build(&prep.subjects, &config)
             .table()
             .entry_count();
         rows.push(vec![
@@ -182,7 +182,7 @@ pub fn run() {
     // mappings below a minimum trial-hit count are suppressed. The paper
     // reports every best hit (threshold 1); this quantifies how much
     // precision a support cutoff buys and what recall it costs.
-    let mapper = JemMapper::build(prep.subjects.clone(), &base);
+    let mapper = JemMapper::build(&prep.subjects, &base);
     let mappings = mapper.map_reads(&prep.reads);
     let mut rows = Vec::new();
     let mut series = Vec::new();

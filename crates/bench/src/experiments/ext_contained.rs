@@ -18,7 +18,7 @@ use std::collections::HashSet;
 pub fn run() {
     let config = super::jem_config();
     let prep = PreparedDataset::generate(&super::spec(DatasetId::CElegans), env_seed());
-    let mapper = JemMapper::build(prep.subjects.clone(), &config);
+    let mapper = JemMapper::build(&prep.subjects, &config);
 
     let mut interior_total = 0usize;
     let mut interior_recovered = 0usize;

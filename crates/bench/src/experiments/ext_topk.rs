@@ -19,7 +19,7 @@ pub fn run() {
     let config = super::jem_config();
     let prep = PreparedDataset::generate(&super::spec(DatasetId::BSplendens), env_seed());
     let bench = prep.truth(config.ell, config.k as u64);
-    let mapper = JemMapper::build(prep.subjects.clone(), &config);
+    let mapper = JemMapper::build(&prep.subjects, &config);
     let segments = make_segments(&prep.reads, config.ell);
 
     let max_x = *TOP_X.last().expect("non-empty");

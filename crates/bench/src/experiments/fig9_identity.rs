@@ -16,7 +16,7 @@ pub const MAX_PAIRS: usize = 300;
 pub fn run() {
     let config = super::jem_config();
     let prep = PreparedDataset::generate(&super::spec(DatasetId::OSativaChr8), env_seed());
-    let mapper = JemMapper::build(prep.subjects.clone(), &config);
+    let mapper = JemMapper::build(&prep.subjects, &config);
     let mappings = mapper.map_reads(&prep.reads);
     println!("{} mappings produced", mappings.len());
 

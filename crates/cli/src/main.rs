@@ -65,6 +65,11 @@ COMMANDS:
                 [--stride ELL/2] [--out FILE]
   eval        score a mapping TSV against truth coordinates (Fig. 4 benchmark)
                 --mappings FILE --truth FILE [--k 16]
+  bench       std-only micro-benchmarks on a seeded simulated dataset
+              (stage: sketch). Writes a JSON perf trajectory file.
+                jem bench sketch [--out BENCH_sketch.json]
+                [--genome-len 2000000] [--coverage 2] [--iters 3]
+                [config flags as for index]
   scaffold    chain contigs linked by long reads into scaffolds
                 --subjects FILE --mappings FILE --out FILE
                 [--min-support 2] [--gap 100]
@@ -80,7 +85,19 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // `jem bench <stage>` carries one positional stage name; peel it off
+    // before flag parsing (the parser rejects bare positionals by design).
+    let mut argv = argv.peekable();
+    let bench_stage = if command == "bench" {
+        match argv.peek() {
+            Some(tok) if !tok.starts_with("--") => argv.next(),
+            _ => None,
+        }
+    } else {
+        None
+    };
     let result = Args::parse(argv).and_then(|args| match command.as_str() {
+        "bench" => commands::cmd_bench(bench_stage.as_deref(), &args),
         "index" => commands::cmd_index(&args),
         "map" => commands::cmd_map(&args),
         "serve" => commands::cmd_serve(&args),

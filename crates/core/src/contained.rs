@@ -127,7 +127,7 @@ mod tests {
             SeqRecord::new("contained", genome.seq[4000..5000].to_vec()),
             SeqRecord::new("right", genome.seq[7200..8800].to_vec()),
         ];
-        (JemMapper::build(subjects, &config), read, config)
+        (JemMapper::build(&subjects, &config), read, config)
     }
 
     #[test]

@@ -20,7 +20,7 @@ use crate::segment::make_segments;
 use jem_index::{SketchTable, SubjectId};
 use jem_psim::{block_range, CostModel, ExecMode, RunReport, World};
 use jem_seq::SeqRecord;
-use jem_sketch::sketch_by_jem;
+use jem_sketch::{sketch_by_jem_into, JemSketch, SketchScratch};
 
 /// Result of a distributed run: mappings plus full timing.
 #[derive(Clone, Debug)]
@@ -112,10 +112,13 @@ pub fn run_distributed(
     let encoded: Vec<Vec<u64>> = world.superstep("subject sketch", |rank| {
         let s_range = block_range(p, subjects.len(), rank);
         let mut local = SketchTable::new(config.trials);
+        let mut scratch = SketchScratch::new();
+        let mut sketch = JemSketch::default();
         let (local_subjects, _) = &blocks[rank];
         for (offset, rec) in local_subjects.iter().enumerate() {
             let id = (s_range.start + offset) as SubjectId;
-            local.insert_sketch(&sketch_by_jem(&rec.seq, params, &family), id);
+            sketch_by_jem_into(&rec.seq, params, &family, &mut scratch, &mut sketch);
+            local.insert_trial_lists(&sketch.per_trial, id);
         }
         local.encode()
     });
@@ -201,7 +204,7 @@ mod tests {
     #[test]
     fn distributed_matches_sequential_for_any_p() {
         let (subjects, reads) = world_data();
-        let mapper = JemMapper::build(subjects.clone(), &config());
+        let mapper = JemMapper::build(&subjects, &config());
         let mut expected = mapper.map_reads(&reads);
         expected.sort_unstable();
         for p in [1usize, 2, 3, 8] {
@@ -321,7 +324,7 @@ mod tests {
             ExecMode::Sequential,
         );
         // Idle ranks are fine; results still correct.
-        let mapper = JemMapper::build(subjects.clone(), &config());
+        let mapper = JemMapper::build(&subjects, &config());
         let mut expected = mapper.map_reads(few_reads);
         expected.sort_unstable();
         assert_eq!(outcome.mappings, expected);

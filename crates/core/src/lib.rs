@@ -40,7 +40,7 @@ pub mod segment;
 pub use config::MapperConfig;
 pub use contained::{ContainedHit, TiledMapping};
 pub use distributed::{run_distributed, DistributedOutcome, StepBreakdown};
-pub use mapper::{JemMapper, Mapping};
+pub use mapper::{JemMapper, MapScratch, Mapping};
 pub use parallel::{map_reads_parallel, map_reads_parallel_with};
 pub use persist::{load_index, save_index};
 pub use report::{mapping_pairs, write_mappings_tsv, write_mappings_tsv_named};

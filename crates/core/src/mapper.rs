@@ -4,7 +4,10 @@ use crate::config::MapperConfig;
 use crate::segment::{make_segments, QuerySegment, ReadEnd};
 use jem_index::{build_table_parallel_scheme, HitCounter, LazyHitCounter, SketchTable, SubjectId};
 use jem_seq::SeqRecord;
-use jem_sketch::{sketch_by_scheme, HashFamily, JemParams, JemSketch, SketchScheme};
+use jem_sketch::{
+    sketch_by_scheme, sketch_by_scheme_into, HashFamily, JemParams, JemSketch, SketchScheme,
+    SketchScratch,
+};
 
 /// One reported best-hit mapping of a read end segment to a contig.
 ///
@@ -34,6 +37,32 @@ impl Mapping {
     }
 }
 
+/// Reusable per-thread scratch for the query path: the sketch buffer, the
+/// sketching scratch behind it, and the per-trial collision list. One of
+/// these lives beside each [`LazyHitCounter`] (one per mapping thread or
+/// serve worker) so segment mapping performs no steady-state allocation.
+#[derive(Clone, Debug, Default)]
+pub struct MapScratch {
+    sketch: JemSketch,
+    scratch: SketchScratch,
+    trial_subjects: Vec<SubjectId>,
+}
+
+impl MapScratch {
+    /// Fresh, empty scratch (buffers grow on first use and are then reused).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The sketch written by the last
+    /// [`JemMapper::sketch_segment_into`], alongside the reusable
+    /// collision list — split borrows for lookup loops that walk the
+    /// sketch while filling the list (e.g. `jem-serve`'s sharded lookup).
+    pub fn parts(&mut self) -> (&JemSketch, &mut Vec<SubjectId>) {
+        (&self.sketch, &mut self.trial_subjects)
+    }
+}
+
 /// An immutable JEM-mapper index over a contig set, plus query drivers.
 ///
 /// ```
@@ -42,7 +71,7 @@ impl Mapping {
 ///
 /// let contig: Vec<u8> = (0..3000).map(|i| b"ACGT"[(i * 7 + i / 5) % 4]).collect();
 /// let config = MapperConfig { k: 11, w: 8, trials: 8, ell: 400, seed: 1 };
-/// let mapper = JemMapper::build(vec![SeqRecord::new("c0", contig.clone())], &config);
+/// let mapper = JemMapper::build(&[SeqRecord::new("c0", contig.clone())], &config);
 ///
 /// // A verbatim window of the contig maps back to it on most trials.
 /// let mut counter = mapper.new_counter();
@@ -53,7 +82,6 @@ impl Mapping {
 #[derive(Clone, Debug)]
 pub struct JemMapper {
     config: MapperConfig,
-    #[allow(dead_code)] // retained for introspection; scheme drives sketching
     params: JemParams,
     scheme: SketchScheme,
     family: HashFamily,
@@ -70,30 +98,32 @@ impl JemMapper {
     ///
     /// # Panics
     /// Panics on an invalid configuration (zero `k`/`w`/ℓ/`T`).
-    pub fn build(subjects: Vec<SeqRecord>, config: &MapperConfig) -> Self {
+    pub fn build(subjects: &[SeqRecord], config: &MapperConfig) -> Self {
         Self::build_with_scheme(subjects, config, SketchScheme::Minimizer { w: config.w })
     }
 
     /// Build under an alternative sketch-position scheme (e.g. closed
     /// syncmers — the paper's future-work item i). `config.w` is ignored
     /// when the scheme carries its own parameters.
+    ///
+    /// Subjects are borrowed: sketching reads the sequence bytes in place
+    /// and only the record ids are copied (into the name table).
     pub fn build_with_scheme(
-        subjects: Vec<SeqRecord>,
+        subjects: &[SeqRecord],
         config: &MapperConfig,
         scheme: SketchScheme,
     ) -> Self {
         let params = config.jem_params().expect("invalid mapper configuration");
         scheme.validate(config.k).expect("invalid sketch scheme");
         let family = config.hash_family();
-        let seqs: Vec<Vec<u8>> = subjects.iter().map(|s| s.seq.clone()).collect();
-        let table = build_table_parallel_scheme(&seqs, config.k, config.ell, scheme, &family);
+        let table = build_table_parallel_scheme(subjects, config.k, config.ell, scheme, &family);
         JemMapper {
             config: *config,
             params,
             scheme,
             family,
             table,
-            subject_names: subjects.into_iter().map(|s| s.id).collect(),
+            subject_names: subjects.iter().map(|s| s.id.clone()).collect(),
         }
     }
 
@@ -137,6 +167,11 @@ impl JemMapper {
     /// The sketch-position scheme in effect.
     pub fn scheme(&self) -> SketchScheme {
         self.scheme
+    }
+
+    /// The validated JEM parameters `(k, w, ℓ)` of this index.
+    pub fn params(&self) -> JemParams {
+        self.params
     }
 
     /// Sketch a sequence exactly as the index was built.
@@ -189,6 +224,20 @@ impl JemMapper {
         self.sketch(seq)
     }
 
+    /// Allocation-free variant of [`JemMapper::sketch_segment`]: the sketch
+    /// lands in `scratch` (retrieve it via [`MapScratch::parts`]).
+    pub fn sketch_segment_into(&self, seq: &[u8], scratch: &mut MapScratch) {
+        sketch_by_scheme_into(
+            seq,
+            self.config.k,
+            self.scheme,
+            self.config.ell,
+            &self.family,
+            &mut scratch.scratch,
+            &mut scratch.sketch,
+        );
+    }
+
     /// Map one end segment (Algorithm 2, lines 4–8).
     ///
     /// Returns the best `(subject, hits)` or `None` if no trial collided.
@@ -199,8 +248,23 @@ impl JemMapper {
         qid: u64,
         counter: &mut LazyHitCounter,
     ) -> Option<(SubjectId, u32)> {
-        let sketch = self.sketch(seg);
-        let mut trial_subjects: Vec<SubjectId> = Vec::new();
+        let mut scratch = MapScratch::new();
+        self.map_segment_with(seg, qid, counter, &mut scratch)
+    }
+
+    /// [`JemMapper::map_segment`] with caller-provided scratch — the hot
+    /// loop used by [`JemMapper::map_segments`] and the serve workers.
+    /// Byte-identical results; no per-segment allocation once the scratch
+    /// is warm.
+    pub fn map_segment_with(
+        &self,
+        seg: &[u8],
+        qid: u64,
+        counter: &mut LazyHitCounter,
+        scratch: &mut MapScratch,
+    ) -> Option<(SubjectId, u32)> {
+        self.sketch_segment_into(seg, scratch);
+        let (sketch, trial_subjects) = scratch.parts();
         for (t, codes) in sketch.per_trial.iter().enumerate() {
             // Hits_r[t] is a *set*: a subject colliding on several sketch
             // codes within the same trial still counts once for that trial.
@@ -211,7 +275,7 @@ impl JemMapper {
             counter.stats.probed += trial_subjects.len() as u64;
             trial_subjects.sort_unstable();
             trial_subjects.dedup();
-            for &s in &trial_subjects {
+            for &s in trial_subjects.iter() {
                 counter.record(qid, s);
             }
         }
@@ -255,9 +319,12 @@ impl JemMapper {
         let rec = jem_obs::recorder();
         let _span = jem_obs::Span::enter(rec, "map/segments");
         let mut counter = self.new_counter();
+        let mut scratch = MapScratch::new();
         let mut out = Vec::new();
         for (qid, seg) in segments.iter().enumerate() {
-            if let Some((subject, hits)) = self.map_segment(&seg.seq, qid as u64, &mut counter) {
+            if let Some((subject, hits)) =
+                self.map_segment_with(&seg.seq, qid as u64, &mut counter, &mut scratch)
+            {
                 out.push(Mapping {
                     read_idx: seg.read_idx,
                     end: seg.end,
@@ -319,7 +386,7 @@ mod tests {
     fn build_and_inspect() {
         let (_, subjects) = test_world();
         let n = subjects.len();
-        let mapper = JemMapper::build(subjects, &small_config());
+        let mapper = JemMapper::build(&subjects, &small_config());
         assert_eq!(mapper.n_subjects(), n);
         assert!(mapper.table().entry_count() > 0);
         assert_eq!(mapper.subject_name(0), "contig_0");
@@ -328,7 +395,7 @@ mod tests {
     #[test]
     fn verbatim_window_maps_to_its_contig() {
         let (genome, subjects) = test_world();
-        let mapper = JemMapper::build(subjects.clone(), &small_config());
+        let mapper = JemMapper::build(&subjects, &small_config());
         // Take a query straight out of contig 3's interior.
         let contig = &subjects[3];
         let query = contig.seq[..300.min(contig.seq.len())].to_vec();
@@ -347,7 +414,7 @@ mod tests {
     #[test]
     fn unrelated_sequence_rarely_maps() {
         let (_, subjects) = test_world();
-        let mapper = JemMapper::build(subjects, &small_config());
+        let mapper = JemMapper::build(&subjects, &small_config());
         let alien = Genome::random(300, 0.5, 777).seq;
         let mut counter = mapper.new_counter();
         match mapper.map_segment(&alien, 0, &mut counter) {
@@ -359,7 +426,7 @@ mod tests {
     #[test]
     fn map_reads_end_to_end() {
         let (genome, subjects) = test_world();
-        let mapper = JemMapper::build(subjects, &small_config());
+        let mapper = JemMapper::build(&subjects, &small_config());
         let profile = jem_sim::HifiProfile {
             coverage: 2.0,
             mean_len: 5_000,
@@ -390,7 +457,7 @@ mod tests {
     #[test]
     fn topk_contains_best_hit_first() {
         let (_, subjects) = test_world();
-        let mapper = JemMapper::build(subjects.clone(), &small_config());
+        let mapper = JemMapper::build(&subjects, &small_config());
         let query = subjects[2].seq[..300.min(subjects[2].seq.len())].to_vec();
         let mut counter = mapper.new_counter();
         let best = mapper.map_segment(&query, 0, &mut counter).expect("maps");
@@ -407,7 +474,7 @@ mod tests {
     fn from_table_round_trip() {
         let (_, subjects) = test_world();
         let config = small_config();
-        let built = JemMapper::build(subjects.clone(), &config);
+        let built = JemMapper::build(&subjects, &config);
         let names: Vec<String> = subjects.iter().map(|s| s.id.clone()).collect();
         let rebuilt = JemMapper::from_table(built.table().clone(), names, &config);
         let query = subjects[1].seq[..250].to_vec();
@@ -426,11 +493,8 @@ mod tests {
             k: 16,
             ..small_config()
         };
-        let mapper = JemMapper::build_with_scheme(
-            subjects.clone(),
-            &config,
-            SketchScheme::ClosedSyncmer { s: 11 },
-        );
+        let mapper =
+            JemMapper::build_with_scheme(&subjects, &config, SketchScheme::ClosedSyncmer { s: 11 });
         assert_eq!(mapper.scheme(), SketchScheme::ClosedSyncmer { s: 11 });
         let query = subjects[3].seq[..300.min(subjects[3].seq.len())].to_vec();
         let mut counter = mapper.new_counter();
@@ -447,16 +511,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid sketch scheme")]
     fn invalid_scheme_rejected_at_build() {
-        JemMapper::build_with_scheme(
-            Vec::new(),
-            &small_config(),
-            SketchScheme::ClosedSyncmer { s: 99 },
-        );
+        JemMapper::build_with_scheme(&[], &small_config(), SketchScheme::ClosedSyncmer { s: 99 });
     }
 
     #[test]
     fn empty_inputs() {
-        let mapper = JemMapper::build(Vec::new(), &small_config());
+        let mapper = JemMapper::build(&[], &small_config());
         assert_eq!(mapper.n_subjects(), 0);
         let mappings = mapper.map_reads(&[]);
         assert!(mappings.is_empty());

@@ -90,7 +90,7 @@ mod tests {
             ell: 400,
             seed: 2,
         };
-        let mapper = JemMapper::build(contig_records(&contigs), &config);
+        let mapper = JemMapper::build(&contig_records(&contigs), &config);
         let profile = HifiProfile {
             coverage: 3.0,
             mean_len: 4_000,
@@ -117,7 +117,7 @@ mod tests {
             ell: 400,
             seed: 5,
         };
-        let mapper = JemMapper::build(contig_records(&contigs), &config);
+        let mapper = JemMapper::build(&contig_records(&contigs), &config);
         let profile = HifiProfile {
             coverage: 2.0,
             mean_len: 3_000,
@@ -145,7 +145,7 @@ mod tests {
             ell: 100,
             seed: 1,
         };
-        let mapper = JemMapper::build(Vec::new(), &config);
+        let mapper = JemMapper::build(&[], &config);
         assert!(map_reads_parallel(&mapper, &[]).is_empty());
     }
 }

@@ -191,7 +191,7 @@ mod tests {
             ell: 300,
             seed: 9,
         };
-        (JemMapper::build(subjects.clone(), &config), subjects)
+        (JemMapper::build(&subjects, &config), subjects)
     }
 
     /// A deliberately tiny index, so exhaustive corruption sweeps stay fast.
@@ -206,7 +206,7 @@ mod tests {
             ell: 300,
             seed: 9,
         };
-        JemMapper::build(subjects, &config)
+        JemMapper::build(&subjects, &config)
     }
 
     #[test]
@@ -312,7 +312,7 @@ mod tests {
             seed: 9,
         };
         let scheme = SketchScheme::ClosedSyncmer { s: 11 };
-        let mapper = JemMapper::build_with_scheme(subjects.clone(), &config, scheme);
+        let mapper = JemMapper::build_with_scheme(&subjects, &config, scheme);
         let mut buf = Vec::new();
         save_index(&mut buf, &mapper).unwrap();
         let loaded = load_index(&mut buf.as_slice()).unwrap();
@@ -335,7 +335,7 @@ mod tests {
             ell: 300,
             seed: 1,
         };
-        let mapper = JemMapper::build(Vec::new(), &config);
+        let mapper = JemMapper::build(&[], &config);
         let mut buf = Vec::new();
         save_index(&mut buf, &mapper).unwrap();
         let loaded = load_index(&mut buf.as_slice()).unwrap();

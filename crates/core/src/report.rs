@@ -82,7 +82,7 @@ mod tests {
             ell: 200,
             seed: 1,
         };
-        let mapper = JemMapper::build(subjects, &config);
+        let mapper = JemMapper::build(&subjects, &config);
         let reads = vec![SeqRecord::new("r0", subj[..1000].to_vec())];
         let mappings = vec![Mapping {
             read_idx: 0,

@@ -35,7 +35,7 @@ use crate::segment::make_segments;
 use jem_index::{SketchTable, SubjectId};
 use jem_psim::{block_range, corrupt_u64s, CostModel, ExecMode, FaultPlan, RankOutcome, World};
 use jem_seq::{SeqError, SeqRecord};
-use jem_sketch::sketch_by_jem;
+use jem_sketch::{sketch_by_jem_into, JemSketch, SketchScratch};
 use std::fmt;
 use std::path::PathBuf;
 
@@ -255,9 +255,12 @@ pub fn run_distributed_resilient(
         let sketch_frame = |b: usize| {
             let s_range = block_range(p, subjects.len(), b);
             let mut local = SketchTable::new(config.trials);
+            let mut scratch = SketchScratch::new();
+            let mut sketch = JemSketch::default();
             for (offset, rec) in blocks[b].0.iter().enumerate() {
                 let id = (s_range.start + offset) as SubjectId;
-                local.insert_sketch(&sketch_by_jem(&rec.seq, params, &family), id);
+                sketch_by_jem_into(&rec.seq, params, &family, &mut scratch, &mut sketch);
+                local.insert_trial_lists(&sketch.per_trial, id);
             }
             local.encode_framed()
         };

@@ -34,13 +34,13 @@ fn recorder_does_not_change_mappings() {
         !jem_obs::recorder().enabled(),
         "test binary must start uninstrumented"
     );
-    let mapper = JemMapper::build(contig_records(&contigs), &config);
+    let mapper = JemMapper::build(&contig_records(&contigs), &config);
     let baseline_seq = mapper.map_reads(&reads);
     let baseline_par = map_reads_parallel(&mapper, &reads);
 
     // Pass 2: identical pipeline with a live recorder collecting everything.
     let rec = jem_obs::install_default().expect("first install");
-    let mapper = JemMapper::build(contig_records(&contigs), &config);
+    let mapper = JemMapper::build(&contig_records(&contigs), &config);
     let instrumented_seq = mapper.map_reads(&reads);
     let instrumented_par = map_reads_parallel(&mapper, &reads);
 

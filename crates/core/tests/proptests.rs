@@ -63,7 +63,7 @@ proptest! {
             .map(|(i, s)| SeqRecord::new(format!("r{i}"), s))
             .collect();
         let config = MapperConfig { k: 11, w: 8, trials: 6, ell: 400, seed: 3 };
-        let mapper = JemMapper::build(subject_recs.clone(), &config);
+        let mapper = JemMapper::build(&subject_recs, &config);
         let mut sequential = mapper.map_reads(&read_recs);
         sequential.sort_unstable();
         let parallel = map_reads_parallel(&mapper, &read_recs);
@@ -148,7 +148,7 @@ proptest! {
             .map(|(i, s)| SeqRecord::new(format!("r{i}"), s))
             .collect();
         let config = MapperConfig { k: 9, w: 6, trials: 5, ell: 300, seed: 8 };
-        let mapper = JemMapper::build(subject_recs, &config);
+        let mapper = JemMapper::build(&subject_recs, &config);
         for m in mapper.map_reads(&read_recs) {
             prop_assert!((m.read_idx as usize) < read_recs.len());
             prop_assert!((m.subject as usize) < mapper.n_subjects());
@@ -167,7 +167,7 @@ proptest! {
         let offset = (subject.len() as f64 * offset_frac) as usize;
         let end = (offset + 500).min(subject.len());
         let query = subject[offset..end].to_vec();
-        let mapper = JemMapper::build(vec![SeqRecord::new("c0", subject)], &config);
+        let mapper = JemMapper::build(&[SeqRecord::new("c0", subject)], &config);
         let mut counter = mapper.new_counter();
         let result = mapper.map_segment(&query, 0, &mut counter);
         prop_assert!(result.is_some(), "verbatim window must map");

@@ -1,0 +1,108 @@
+//! The scratch-reuse contract, end to end: every driver that threads a
+//! reused [`MapScratch`] through its mapping loop must produce Mapping sets
+//! byte-identical to the fresh-allocation path, at every thread count.
+
+use jem_core::{
+    make_segments, map_reads_parallel_with, JemMapper, MapScratch, MapperConfig, Mapping,
+};
+use jem_seq::SeqRecord;
+use jem_sim::{
+    contig_records, fragment_contigs, read_records, simulate_hifi, ContigProfile, Genome,
+    HifiProfile,
+};
+
+fn world(seed: u64) -> (JemMapper, Vec<SeqRecord>, MapperConfig) {
+    let genome = Genome::random(50_000, 0.5, seed);
+    let contigs = fragment_contigs(
+        &genome,
+        &ContigProfile {
+            error_rate: 0.0,
+            ..ContigProfile::small_genome()
+        },
+        seed + 1,
+    );
+    let config = MapperConfig {
+        k: 12,
+        w: 9,
+        trials: 10,
+        ell: 350,
+        seed: 3,
+    };
+    let profile = HifiProfile {
+        coverage: 2.0,
+        mean_len: 3_000,
+        std_len: 700,
+        min_len: 800,
+        error_rate: 0.002,
+    };
+    let reads = read_records(&simulate_hifi(&genome, &profile, seed + 2));
+    (
+        JemMapper::build(&contig_records(&contigs), &config),
+        reads,
+        config,
+    )
+}
+
+#[test]
+fn reused_scratch_matches_fresh_per_segment() {
+    let (mapper, reads, config) = world(17);
+    let segments = make_segments(&reads, config.ell);
+    assert!(segments.len() > 10, "world too small to be meaningful");
+
+    // One scratch carried across all segments vs a fresh scratch per call.
+    let mut reused = MapScratch::new();
+    let mut counter_a = mapper.new_counter();
+    let mut counter_b = mapper.new_counter();
+    for (qid, seg) in segments.iter().enumerate() {
+        let with_reuse = mapper.map_segment_with(&seg.seq, qid as u64, &mut counter_a, &mut reused);
+        let fresh = mapper.map_segment(&seg.seq, qid as u64, &mut counter_b);
+        assert_eq!(with_reuse, fresh, "segment {qid}");
+    }
+}
+
+#[test]
+fn parallel_driver_matches_sequential_at_every_thread_count() {
+    let (mapper, reads, _) = world(29);
+    let mut sequential: Vec<Mapping> = mapper.map_reads(&reads);
+    sequential.sort_unstable();
+    assert!(!sequential.is_empty());
+    // Each rayon chunk owns its own scratch; no thread count may perturb
+    // the output.
+    for threads in [1usize, 2, 5, 13, 64] {
+        assert_eq!(
+            map_reads_parallel_with(&mapper, &reads, Some(threads)),
+            sequential,
+            "threads = {threads}"
+        );
+    }
+}
+
+#[test]
+fn batched_scratch_reuse_matches_map_segments() {
+    let (mapper, reads, config) = world(41);
+    let segments = make_segments(&reads, config.ell);
+    let expected = mapper.map_segments(&segments);
+
+    // Re-run the same loop shape the serve workers use: one counter, one
+    // scratch, batches of varying size with a running qid base.
+    let mut counter = mapper.new_counter();
+    let mut scratch = MapScratch::new();
+    let mut got = Vec::new();
+    let mut qid_base = 0u64;
+    for chunk in segments.chunks(7) {
+        for (i, seg) in chunk.iter().enumerate() {
+            if let Some((subject, hits)) =
+                mapper.map_segment_with(&seg.seq, qid_base + i as u64, &mut counter, &mut scratch)
+            {
+                got.push(Mapping {
+                    read_idx: seg.read_idx,
+                    end: seg.end,
+                    subject,
+                    hits,
+                });
+            }
+        }
+        qid_base += chunk.len() as u64;
+    }
+    assert_eq!(got, expected);
+}

@@ -6,17 +6,28 @@
 //! shared-memory and distributed drivers produce identical tables.
 
 use crate::table::{SketchTable, SubjectId};
-use jem_sketch::{sketch_by_jem, sketch_by_scheme, HashFamily, JemParams, JemSketch, SketchScheme};
+use jem_sketch::{
+    sketch_by_jem_into, sketch_by_scheme_into, HashFamily, JemParams, JemSketch, SketchScheme,
+    SketchScratch,
+};
 use rayon::prelude::*;
 
 /// Build a sketch table with an arbitrary per-subject sketcher.
 ///
+/// The sketcher writes into a caller-provided [`JemSketch`] using a
+/// [`SketchScratch`]; both live in the rayon fold state, so each worker
+/// reuses one scratch and one sketch across all subjects it processes —
+/// the steady-state build allocates only table storage.
+///
+/// Subjects are anything that lends bases (`AsRef<[u8]>`): borrowed
+/// records, owned vectors, slices.
+///
 /// Deterministic: the resulting table is independent of worker count and
 /// scheduling because subject-id lists are kept sorted.
-pub fn build_table_with(
-    subjects: &[Vec<u8>],
+pub fn build_table_with<S: AsRef<[u8]> + Sync>(
+    subjects: &[S],
     trials: usize,
-    sketcher: impl Fn(&[u8]) -> JemSketch + Sync,
+    sketcher: impl Fn(&[u8], &mut SketchScratch, &mut JemSketch) + Sync,
 ) -> SketchTable {
     let rec = jem_obs::recorder();
     let _span = jem_obs::Span::enter(rec, "index/build");
@@ -24,19 +35,33 @@ pub fn build_table_with(
         .par_iter()
         .enumerate()
         .fold(
-            || SketchTable::new(trials),
-            |mut table, (id, seq)| {
-                table.insert_sketch(&sketcher(seq), id as SubjectId);
-                table
+            || {
+                (
+                    SketchTable::new(trials),
+                    SketchScratch::new(),
+                    JemSketch::default(),
+                )
+            },
+            |(mut table, mut scratch, mut sketch), (id, seq)| {
+                sketcher(seq.as_ref(), &mut scratch, &mut sketch);
+                table.insert_trial_lists(&sketch.per_trial, id as SubjectId);
+                (table, scratch, sketch)
             },
         )
         .reduce(
-            || SketchTable::new(trials),
-            |mut a, b| {
-                a.merge_from(&b);
-                a
+            || {
+                (
+                    SketchTable::new(trials),
+                    SketchScratch::new(),
+                    JemSketch::default(),
+                )
             },
-        );
+            |(mut a, scratch, sketch), (b, _, _)| {
+                a.merge_from(&b);
+                (a, scratch, sketch)
+            },
+        )
+        .0;
     if rec.enabled() {
         rec.add("index.subjects", subjects.len() as u64);
         rec.add("index.keys", table.key_count() as u64);
@@ -47,39 +72,42 @@ pub fn build_table_with(
 }
 
 /// Build the sketch table with the paper's minimizer-based JEM sketch.
-pub fn build_table_parallel(
-    subjects: &[Vec<u8>],
+pub fn build_table_parallel<S: AsRef<[u8]> + Sync>(
+    subjects: &[S],
     params: JemParams,
     family: &HashFamily,
 ) -> SketchTable {
-    build_table_with(subjects, family.len(), |seq| {
-        sketch_by_jem(seq, params, family)
+    build_table_with(subjects, family.len(), |seq, scratch, sketch| {
+        sketch_by_jem_into(seq, params, family, scratch, sketch)
     })
 }
 
 /// Build the sketch table under an alternative position scheme
 /// (e.g. closed syncmers).
-pub fn build_table_parallel_scheme(
-    subjects: &[Vec<u8>],
+pub fn build_table_parallel_scheme<S: AsRef<[u8]> + Sync>(
+    subjects: &[S],
     k: usize,
     ell: usize,
     scheme: SketchScheme,
     family: &HashFamily,
 ) -> SketchTable {
-    build_table_with(subjects, family.len(), |seq| {
-        sketch_by_scheme(seq, k, scheme, ell, family)
+    build_table_with(subjects, family.len(), |seq, scratch, sketch| {
+        sketch_by_scheme_into(seq, k, scheme, ell, family, scratch, sketch)
     })
 }
 
 /// Sequential reference build (tests compare the parallel build against it).
-pub fn build_table_sequential(
-    subjects: &[Vec<u8>],
+pub fn build_table_sequential<S: AsRef<[u8]>>(
+    subjects: &[S],
     params: JemParams,
     family: &HashFamily,
 ) -> SketchTable {
     let mut table = SketchTable::new(family.len());
     for (id, seq) in subjects.iter().enumerate() {
-        table.insert_sketch(&sketch_by_jem(seq, params, family), id as SubjectId);
+        table.insert_sketch(
+            &jem_sketch::sketch_by_jem(seq.as_ref(), params, family),
+            id as SubjectId,
+        );
     }
     table
 }
@@ -87,6 +115,7 @@ pub fn build_table_sequential(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use jem_sketch::sketch_by_jem;
 
     fn rng_seq(n: usize, seed: u64) -> Vec<u8> {
         (0..n)
@@ -123,7 +152,7 @@ mod tests {
     fn empty_subject_list() {
         let params = JemParams::new(8, 6, 100).unwrap();
         let family = HashFamily::generate(3, 1);
-        let t = build_table_parallel(&[], params, &family);
+        let t = build_table_parallel::<Vec<u8>>(&[], params, &family);
         assert_eq!(t.entry_count(), 0);
         assert_eq!(t.trials(), 3);
     }

@@ -130,12 +130,19 @@ impl SketchTable {
 
     /// Insert every `(t, code)` entry of a subject's JEM sketch.
     pub fn insert_sketch(&mut self, sketch: &JemSketch, subject: SubjectId) {
+        self.insert_trial_lists(&sketch.per_trial, subject);
+    }
+
+    /// Insert per-trial code lists directly — the allocation-free build
+    /// path: a reused [`JemSketch`] lends its `per_trial` slices without
+    /// the table taking ownership of anything.
+    pub fn insert_trial_lists(&mut self, per_trial: &[Vec<u64>], subject: SubjectId) {
         assert_eq!(
-            sketch.trials(),
+            per_trial.len(),
             self.trials(),
             "sketch T must match table T"
         );
-        for (t, codes) in sketch.per_trial.iter().enumerate() {
+        for (t, codes) in per_trial.iter().enumerate() {
             for &code in codes {
                 self.insert(t, code, subject);
             }

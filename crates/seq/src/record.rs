@@ -32,6 +32,14 @@ impl SeqRecord {
     }
 }
 
+impl AsRef<[u8]> for SeqRecord {
+    /// Lend the raw sequence bytes — lets sketch/index builders consume
+    /// records without cloning their sequences.
+    fn as_ref(&self) -> &[u8] {
+        &self.seq
+    }
+}
+
 /// A named DNA sequence with per-base qualities (FASTQ-style record).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FastqRecord {

@@ -46,7 +46,7 @@ use crate::protocol::{read_frame_versioned, write_frame_versioned, Request, Resp
 use crate::queue::{BoundedQueue, PushError};
 use crate::shard::ShardedIndex;
 use crate::ServeError;
-use jem_core::QuerySegment;
+use jem_core::{MapScratch, QuerySegment};
 use jem_obs::{MetricsRecorder, Recorder, Snapshot, Span};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -190,7 +190,7 @@ impl ServerHandle {
     }
 
     /// Wait for the server to end on its own (a remote
-    /// [`Request::Shutdown`](crate::Request::Shutdown)), then return the
+    /// [`Request::Shutdown`](crate::Request)), then return the
     /// final metrics snapshot.
     pub fn join(mut self) -> Snapshot {
         self.join_inner()
@@ -488,6 +488,10 @@ fn worker_loop(shared: &Shared) {
     let mut epoch_id = u64::MAX;
     let mut counter = None;
     let mut qid_base = 0u64;
+    // One sketching/lookup scratch for the worker lifetime — unlike the
+    // counter it is index-agnostic (buffers are sized by sequence content),
+    // so it survives epoch changes.
+    let mut scratch = MapScratch::new();
     loop {
         let jobs = shared.queue.pop_batch(shared.batch);
         if jobs.is_empty() {
@@ -529,7 +533,7 @@ fn worker_loop(shared: &Shared) {
             panic!("injected chaos panic (index pass {ordinal})");
         }
         for mut job in live {
-            let mut mappings = index.map_batch(&job.segments, qid_base, counter);
+            let mut mappings = index.map_batch_with(&job.segments, qid_base, counter, &mut scratch);
             qid_base += job.segments.len() as u64;
             // The documented total order on `Mapping` — same normalization
             // as the offline parallel driver.

@@ -12,7 +12,7 @@
 //! per-trial collision sets are deduplicated downstream, shard count can
 //! never change mapping output (pinned by the equivalence suite).
 
-use jem_core::{JemMapper, Mapping, QuerySegment};
+use jem_core::{JemMapper, MapScratch, Mapping, QuerySegment};
 use jem_index::{HitCounter, LazyHitCounter, SketchTable, SubjectId};
 
 /// Fibonacci multiplier (`floor(2^64/φ)`) — mixes sketch codes into shard
@@ -91,8 +91,22 @@ impl ShardedIndex {
         qid: u64,
         counter: &mut LazyHitCounter,
     ) -> Option<(SubjectId, u32)> {
-        let sketch = self.mapper.sketch_segment(seg);
-        let mut trial_subjects: Vec<SubjectId> = Vec::new();
+        let mut scratch = MapScratch::new();
+        self.map_segment_with(seg, qid, counter, &mut scratch)
+    }
+
+    /// [`ShardedIndex::map_segment`] with caller-provided scratch — the
+    /// worker hot loop. Byte-identical results; no per-segment allocation
+    /// once the scratch is warm.
+    pub fn map_segment_with(
+        &self,
+        seg: &[u8],
+        qid: u64,
+        counter: &mut LazyHitCounter,
+        scratch: &mut MapScratch,
+    ) -> Option<(SubjectId, u32)> {
+        self.mapper.sketch_segment_into(seg, scratch);
+        let (sketch, trial_subjects) = scratch.parts();
         for (t, codes) in sketch.per_trial.iter().enumerate() {
             trial_subjects.clear();
             for &code in codes {
@@ -101,7 +115,7 @@ impl ShardedIndex {
             counter.stats.probed += trial_subjects.len() as u64;
             trial_subjects.sort_unstable();
             trial_subjects.dedup();
-            for &s in &trial_subjects {
+            for &s in trial_subjects.iter() {
                 counter.record(qid, s);
             }
         }
@@ -119,9 +133,23 @@ impl ShardedIndex {
         qid_base: u64,
         counter: &mut LazyHitCounter,
     ) -> Vec<Mapping> {
+        let mut scratch = MapScratch::new();
+        self.map_batch_with(segments, qid_base, counter, &mut scratch)
+    }
+
+    /// [`ShardedIndex::map_batch`] with caller-provided scratch, reused
+    /// across the whole batch (and, via the worker loop, across batches).
+    pub fn map_batch_with(
+        &self,
+        segments: &[QuerySegment],
+        qid_base: u64,
+        counter: &mut LazyHitCounter,
+        scratch: &mut MapScratch,
+    ) -> Vec<Mapping> {
         let mut out = Vec::new();
         for (i, seg) in segments.iter().enumerate() {
-            if let Some((subject, hits)) = self.map_segment(&seg.seq, qid_base + i as u64, counter)
+            if let Some((subject, hits)) =
+                self.map_segment_with(&seg.seq, qid_base + i as u64, counter, scratch)
             {
                 out.push(Mapping {
                     read_idx: seg.read_idx,
@@ -171,7 +199,7 @@ mod tests {
         let reads: Vec<SeqRecord> = (0..6)
             .map(|i| SeqRecord::new(format!("r{i}"), subjects[i].seq[500..1400].to_vec()))
             .collect();
-        (JemMapper::build(subjects, &config), reads)
+        (JemMapper::build(&subjects, &config), reads)
     }
 
     #[test]

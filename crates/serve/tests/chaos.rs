@@ -37,7 +37,7 @@ fn world() -> (JemMapper, Vec<QuerySegment>) {
         trials: 8,
         ..MapperConfig::default()
     };
-    let mapper = JemMapper::build(contig_records(&contigs), &config);
+    let mapper = JemMapper::build(&contig_records(&contigs), &config);
     let read_recs: Vec<SeqRecord> = reads
         .iter()
         .map(|r| SeqRecord::new(r.id.clone(), r.seq.clone()))

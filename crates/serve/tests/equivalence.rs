@@ -36,7 +36,7 @@ fn world() -> (JemMapper, Vec<SeqRecord>) {
         trials: 12,
         ..MapperConfig::default()
     };
-    let mapper = JemMapper::build(contig_records(&contigs), &config);
+    let mapper = JemMapper::build(&contig_records(&contigs), &config);
     (mapper, read_records(&reads))
 }
 

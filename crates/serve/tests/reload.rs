@@ -25,7 +25,7 @@ fn worlds() -> (JemMapper, JemMapper, Vec<QuerySegment>) {
     let build = |genome_seed: u64| -> JemMapper {
         let genome = Genome::random(25_000, 0.5, genome_seed);
         let contigs = fragment_contigs(&genome, &ContigProfile::small_genome(), genome_seed + 1);
-        JemMapper::build(contig_records(&contigs), &config)
+        JemMapper::build(&contig_records(&contigs), &config)
     };
     let old = build(21);
     let new = build(91);

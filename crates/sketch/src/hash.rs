@@ -4,12 +4,38 @@
 //! functions as linear congruential transforms of the canonical k-mer rank
 //! `x`, with constants `A_t`, `B_t`, `P_t` "randomly generated a priori".
 //! We fix `P_t` to the Mersenne prime `2^61 − 1` (large enough for any
-//! `k ≤ 30` rank universe, and `mod` reduces to cheap shift/add) and draw
-//! `A_t ∈ [1, P)`, `B_t ∈ [0, P)` from a seeded xorshift generator so the
-//! family is fully reproducible.
+//! `k ≤ 30` rank universe, and `mod` reduces to cheap shift/add — see
+//! [`reduce_p61`]) and draw `A_t ∈ [1, P)`, `B_t ∈ [0, P)` from a seeded
+//! xorshift generator so the family is fully reproducible.
+//!
+//! The family stores its coefficients in two flat arrays (`A` and `B` side
+//! by side) so the hot path — evaluating *all* `T` trials on one k-mer code
+//! — is a single linear pass over contiguous memory with no division:
+//! [`HashFamily::hash_all_into`].
 
 /// The Mersenne prime `2^61 − 1` used as the default modulus.
 pub const MERSENNE_P61: u64 = (1u64 << 61) - 1;
+
+/// Reduce `v` modulo the Mersenne prime `P = 2^61 − 1` with shifts and adds.
+///
+/// Because `2^61 ≡ 1 (mod P)`, any `v = hi·2^61 + lo` satisfies
+/// `v ≡ hi + lo (mod P)`; folding twice brings the value under `2^61 + 16`,
+/// and one conditional subtract lands it in `[0, P)`. Exact for every
+/// `v < 2^125`, which covers the largest product the family can form
+/// (`(P−1)·u64::MAX + (P−1) < 2^125`).
+#[inline]
+pub fn reduce_p61(v: u128) -> u64 {
+    const P: u64 = MERSENNE_P61;
+    // First fold: (v & P) < 2^61 and (v >> 61) < 2^64, so the sum < 2^65.
+    let folded = (v & u128::from(P)) + (v >> 61);
+    // Second fold: now (folded >> 61) < 16, so the sum fits u64 easily.
+    let folded = (folded as u64 & P) + (folded >> 61) as u64;
+    if folded >= P {
+        folded - P
+    } else {
+        folded
+    }
+}
 
 /// One linear-congruential hash function over `Z_P`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -32,17 +58,28 @@ impl LcgHash {
     }
 
     /// Evaluate `h(x) = (A·x + B) mod P` with 128-bit intermediates.
+    ///
+    /// The Mersenne modulus takes the shift/add fast path ([`reduce_p61`]);
+    /// any other prime falls back to the generic 128-bit `%`. Both produce
+    /// the mathematically identical residue.
     #[inline]
     pub fn hash(&self, x: u64) -> u64 {
         let v = (self.a as u128) * (x as u128) + (self.b as u128);
-        (v % (self.p as u128)) as u64
+        if self.p == MERSENNE_P61 {
+            reduce_p61(v)
+        } else {
+            (v % (self.p as u128)) as u64
+        }
     }
 }
 
-/// A family of `T` independent LCG hash functions (one per MinHash trial).
+/// A family of `T` independent LCG hash functions (one per MinHash trial),
+/// all over the Mersenne modulus `2^61 − 1`, with coefficients stored in
+/// flat struct-of-arrays form for the batched evaluation path.
 #[derive(Clone, Debug)]
 pub struct HashFamily {
-    fns: Vec<LcgHash>,
+    a: Vec<u64>,
+    b: Vec<u64>,
     seed: u64,
 }
 
@@ -62,26 +99,25 @@ impl HashFamily {
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
             z ^ (z >> 31)
         };
-        let fns = (0..t)
-            .map(|_| {
-                let a = 1 + next() % (MERSENNE_P61 - 1);
-                let b = next() % MERSENNE_P61;
-                LcgHash::new(a, b, MERSENNE_P61)
-            })
-            .collect();
-        HashFamily { fns, seed }
+        let mut a = Vec::with_capacity(t);
+        let mut b = Vec::with_capacity(t);
+        for _ in 0..t {
+            a.push(1 + next() % (MERSENNE_P61 - 1));
+            b.push(next() % MERSENNE_P61);
+        }
+        HashFamily { a, b, seed }
     }
 
     /// Number of trials `T`.
     #[inline]
     pub fn len(&self) -> usize {
-        self.fns.len()
+        self.a.len()
     }
 
     /// True if the family holds no hash functions.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.fns.is_empty()
+        self.a.is_empty()
     }
 
     /// The seed this family was generated from.
@@ -91,30 +127,51 @@ impl HashFamily {
 
     /// The `t`-th hash function.
     #[inline]
-    pub fn get(&self, t: usize) -> &LcgHash {
-        &self.fns[t]
+    pub fn get(&self, t: usize) -> LcgHash {
+        LcgHash {
+            a: self.a[t],
+            b: self.b[t],
+            p: MERSENNE_P61,
+        }
     }
 
     /// Iterate over all hash functions with their trial index.
-    pub fn iter(&self) -> impl Iterator<Item = (usize, &LcgHash)> {
-        self.fns.iter().enumerate()
+    pub fn iter(&self) -> impl Iterator<Item = (usize, LcgHash)> + '_ {
+        (0..self.len()).map(|t| (t, self.get(t)))
     }
 
     /// Evaluate trial `t` on `x`.
     #[inline]
     pub fn hash(&self, t: usize, x: u64) -> u64 {
-        self.fns[t].hash(x)
+        reduce_p61((self.a[t] as u128) * (x as u128) + (self.b[t] as u128))
+    }
+
+    /// Evaluate *all* `T` trials on `x` in one batched pass.
+    ///
+    /// `out` is resized to `T`; `out[t]` receives `h_t(x)`. This is the
+    /// sketching kernel's inner loop: one contiguous sweep over the `A`/`B`
+    /// arrays, one multiply-add-fold per trial, no division anywhere.
+    #[inline]
+    pub fn hash_all_into(&self, x: u64, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend(
+            self.a
+                .iter()
+                .zip(&self.b)
+                .map(|(&a, &b)| reduce_p61((a as u128) * (x as u128) + (b as u128))),
+        );
     }
 
     /// Restrict to the first `t` trials (for trial-sweep experiments).
     pub fn truncated(&self, t: usize) -> HashFamily {
         assert!(
-            t <= self.fns.len(),
+            t <= self.len(),
             "cannot truncate {} trials to {t}",
-            self.fns.len()
+            self.len()
         );
         HashFamily {
-            fns: self.fns[..t].to_vec(),
+            a: self.a[..t].to_vec(),
+            b: self.b[..t].to_vec(),
             seed: self.seed,
         }
     }
@@ -155,6 +212,55 @@ mod tests {
         for t in 0..5 {
             for x in [0u64, 1, 17, u32::MAX as u64, (1 << 32) - 1] {
                 assert!(f.hash(t, x) < MERSENNE_P61);
+            }
+        }
+    }
+
+    #[test]
+    fn fast_reduction_matches_generic_modulo() {
+        // reduce_p61 must equal the 128-bit `%` on every reachable product,
+        // including the adversarial corners of both x and the coefficients.
+        let p = MERSENNE_P61;
+        let xs = [0u64, 1, p - 1, p, p + 1, u64::MAX];
+        let coeffs = [1u64, 2, p / 2, p - 1];
+        for &a in &coeffs {
+            for &b in &[0u64, 1, p - 1] {
+                for &x in &xs {
+                    let v = (a as u128) * (x as u128) + (b as u128);
+                    assert_eq!(reduce_p61(v), (v % (p as u128)) as u64, "a={a} b={b} x={x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_path_matches_generic_lcg() {
+        // LcgHash::hash takes the shift/add path iff p is the Mersenne
+        // prime; both paths must agree there.
+        let h = LcgHash::new(123_456_789, 987_654_321, MERSENNE_P61);
+        for x in [0u64, 1, 7, u32::MAX as u64, u64::MAX] {
+            let v = (h.a as u128) * (x as u128) + (h.b as u128);
+            assert_eq!(h.hash(x), (v % (h.p as u128)) as u64);
+        }
+    }
+
+    #[test]
+    fn non_mersenne_modulus_still_supported() {
+        let h = LcgHash::new(5, 3, 97);
+        assert_eq!(h.hash(10), 5 * 10 + 3);
+        assert!(h.hash(u64::MAX) < 97);
+    }
+
+    #[test]
+    fn batched_evaluation_matches_per_trial() {
+        let f = HashFamily::generate(30, 11);
+        let mut out = Vec::new();
+        for x in [0u64, 1, 42, MERSENNE_P61, u64::MAX] {
+            f.hash_all_into(x, &mut out);
+            assert_eq!(out.len(), 30);
+            for (t, &got) in out.iter().enumerate() {
+                assert_eq!(got, f.hash(t, x), "trial {t} x={x}");
+                assert_eq!(got, f.get(t).hash(x), "scalar path trial {t} x={x}");
             }
         }
     }

@@ -9,14 +9,17 @@
 //! segment length* on both subjects and queries, which is the paper's key
 //! departure from Mashmap (no positional post-filtering needed).
 //!
-//! [`sketch_by_jem`] runs in `O(|Mo|·T)` using one monotone deque per trial
-//! (the intervals advance monotonically); [`sketch_by_jem_naive`] is the
-//! direct transliteration of Algorithm 1 used by tests.
+//! [`sketch_by_jem`] runs in `O(|Mo|·T)`: the interval geometry is computed
+//! once by a two-pointer prepass, then the `T` trials run trial-major over
+//! one reusable monotone stack ([`SketchScratch`] holds both); the
+//! `_into` variants reuse that scratch across calls so the steady-state hot
+//! path performs no heap allocation. [`sketch_by_jem_naive`] is the direct
+//! transliteration of Algorithm 1 used by tests. The kernel layout is
+//! documented in DESIGN.md §12.
 
 use crate::hash::HashFamily;
-use crate::minimizer::{minimizers, Minimizer, MinimizerParams};
+use crate::minimizer::{minimizers_into, Minimizer, MinimizerParams, WinnowScratch};
 use jem_seq::SeqError;
-use std::collections::VecDeque;
 
 /// Parameters of the JEM sketch.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -82,6 +85,116 @@ impl JemSketch {
     pub fn is_empty(&self) -> bool {
         self.per_trial.iter().all(Vec::is_empty)
     }
+
+    /// Reset to `t` empty trial lists, keeping each list's allocation.
+    fn reset(&mut self, t: usize) {
+        self.per_trial.truncate(t);
+        for list in self.per_trial.iter_mut() {
+            list.clear();
+        }
+        while self.per_trial.len() < t {
+            self.per_trial.push(Vec::new());
+        }
+    }
+}
+
+/// The monotone stack of the selection kernel. One stack serves all `T`
+/// trials in turn (trial-major order), so the working set per trial is a
+/// single L1-resident buffer instead of `T` interleaved deques.
+///
+/// Each slot packs a candidate's `(h_t(code), code)` ranking pair into one
+/// `u128` key (hash in the high half), so the pop comparison is a single
+/// branch, and records the candidate's minimizer index.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct MonotoneStack {
+    key: Vec<u128>,
+    idx: Vec<u32>,
+}
+
+impl MonotoneStack {
+    /// Prepare a stack of capacity ≥ `min_cap`, reusing existing storage
+    /// whenever it is large enough.
+    fn reset(&mut self, min_cap: usize) {
+        if self.key.len() < min_cap {
+            self.key.resize(min_cap, 0);
+            self.idx.resize(min_cap, 0);
+        }
+    }
+
+    /// Emit the interval winners of one trial over the whole minimizer list.
+    ///
+    /// Rather than sliding a deque and reading its front once per interval,
+    /// this runs the next-smaller-element scan: minimizer `x` wins *some*
+    /// interval iff an interval exists that contains `x` but neither
+    /// `L(x)` — the nearest earlier minimizer ranking `≤ x` — nor `R(x)`,
+    /// the nearest later one ranking `< x`. Intervals start in
+    /// `max(L(x)+1, starts[x])` … `x` (those containing `x` and excluding
+    /// `L(x)`), and because `ends` is non-decreasing the earliest of them
+    /// has the smallest right edge, so the test is one comparison:
+    /// `ends[max(L(x)+1, starts[x])] ≤ R(x)`.
+    ///
+    /// One forward pass maintains the stack of indices with non-decreasing
+    /// keys: pushing `j` pops every strictly-greater entry `x` (so
+    /// `R(x) = j`, and the slot under `x` is `L(x)`), testing each popped
+    /// entry; entries still on the stack at the end have no later smaller
+    /// rival (`R = ∞`) and always win their earliest candidate interval.
+    /// Ties keep the earlier entry, matching the reference deque — and an
+    /// equal key is the same k-mer code, so tie direction cannot change the
+    /// emitted *set*, which is all the sketch keeps.
+    fn run_trial(
+        &mut self,
+        a: u64,
+        b: u64,
+        mins: &[Minimizer],
+        ends: &[u32],
+        starts: &[u32],
+        out: &mut Vec<u64>,
+    ) {
+        let n = mins.len();
+        let key = &mut self.key[..n];
+        let idx = &mut self.idx[..n];
+        let mut sp = 0usize;
+        for (j, m) in mins.iter().enumerate() {
+            let code = m.code;
+            let hv = crate::hash::reduce_p61(u128::from(a) * u128::from(code) + u128::from(b));
+            let new_key = (u128::from(hv) << 64) | u128::from(code);
+            while sp > 0 && key[sp - 1] > new_key {
+                let x = idx[sp - 1] as usize;
+                let lo = if sp >= 2 { idx[sp - 2] + 1 } else { 0 };
+                let i0 = lo.max(starts[x]) as usize;
+                if ends[i0] <= j as u32 {
+                    out.push(key[sp - 1] as u64);
+                }
+                sp -= 1;
+            }
+            key[sp] = new_key;
+            idx[sp] = j as u32;
+            sp += 1;
+        }
+        // No later rival beats what remains: every survivor is a winner.
+        out.extend(key[..sp].iter().map(|&k| k as u64));
+    }
+}
+
+/// Reusable scratch state for the whole sketching pipeline: the minimizer
+/// buffer, the winnowing deque, the interval-geometry buffers and the
+/// monotone stack. One of these threads through a mapping loop (or a
+/// rayon chunk, or a serve worker) so steady-state sketching allocates
+/// nothing.
+#[derive(Clone, Debug, Default)]
+pub struct SketchScratch {
+    pub(crate) mins: Vec<Minimizer>,
+    pub(crate) winnow: WinnowScratch,
+    pub(crate) ends: Vec<u32>,
+    pub(crate) starts: Vec<u32>,
+    pub(crate) stack: MonotoneStack,
+}
+
+impl SketchScratch {
+    /// Fresh, empty scratch (buffers grow on first use and are then reused).
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// Compute the JEM sketch of `seq` — efficient version of Algorithm 1.
@@ -97,8 +210,31 @@ impl JemSketch {
 /// assert!(!sketch.is_empty());
 /// ```
 pub fn sketch_by_jem(seq: &[u8], params: JemParams, family: &HashFamily) -> JemSketch {
-    let mins = minimizers(seq, params.minimizer_params());
-    sketch_minimizer_list(&mins, params.ell, family)
+    let mut scratch = SketchScratch::new();
+    let mut out = JemSketch::default();
+    sketch_by_jem_into(seq, params, family, &mut scratch, &mut out);
+    out
+}
+
+/// Allocation-free variant of [`sketch_by_jem`]: reuses `scratch` and
+/// overwrites `out` (clearing, not deallocating, its trial lists). Produces
+/// byte-identical sketches to [`sketch_by_jem`] for every input.
+pub fn sketch_by_jem_into(
+    seq: &[u8],
+    params: JemParams,
+    family: &HashFamily,
+    scratch: &mut SketchScratch,
+    out: &mut JemSketch,
+) {
+    let SketchScratch {
+        mins,
+        winnow,
+        ends,
+        starts,
+        stack,
+    } = scratch;
+    minimizers_into(seq, params.minimizer_params(), winnow, mins);
+    select_into(mins, params.ell, family, ends, starts, stack, out);
 }
 
 /// Compute the JEM sketch from a precomputed minimizer list.
@@ -107,72 +243,106 @@ pub fn sketch_by_jem(seq: &[u8], params: JemParams, family: &HashFamily) -> JemS
 /// needs both the sketch and the list itself (e.g. the Mashmap baseline and
 /// ablations share minimizer extraction).
 pub fn sketch_minimizer_list(mins: &[Minimizer], ell: usize, family: &HashFamily) -> JemSketch {
+    let mut scratch = SketchScratch::new();
+    let mut out = JemSketch::default();
+    sketch_minimizer_list_into(mins, ell, family, &mut scratch, &mut out);
+    out
+}
+
+/// Allocation-free variant of [`sketch_minimizer_list`], reusing
+/// `scratch`'s geometry buffers and stack (its minimizer buffer is
+/// untouched — the list comes from the caller).
+pub fn sketch_minimizer_list_into(
+    mins: &[Minimizer],
+    ell: usize,
+    family: &HashFamily,
+    scratch: &mut SketchScratch,
+    out: &mut JemSketch,
+) {
+    select_into(
+        mins,
+        ell,
+        family,
+        &mut scratch.ends,
+        &mut scratch.starts,
+        &mut scratch.stack,
+        out,
+    );
+}
+
+/// The T-trial selection kernel (Algorithm 1's interval loop).
+///
+/// Produces, for each trial, exactly the set a sliding monotone deque would
+/// emit, in `O(|mins| · T)`. The interval geometry is trial-independent, so
+/// a two-pointer prepass computes it once: `ends[i]` is interval `i`'s
+/// exclusive right edge and `starts[j]` the first interval containing
+/// minimizer `j`. The trials then run **trial-major**, each sweeping the
+/// one L1-resident monotone [`MonotoneStack`] with its own `(A_t, B_t)`
+/// coefficients held in registers — a next-smaller-element scan that emits
+/// only actual winners, with no per-interval retire/emit loops at all.
+pub(crate) fn select_into(
+    mins: &[Minimizer],
+    ell: usize,
+    family: &HashFamily,
+    ends: &mut Vec<u32>,
+    starts: &mut Vec<u32>,
+    stack: &mut MonotoneStack,
+    out: &mut JemSketch,
+) {
     let rec = jem_obs::recorder();
     let _span = jem_obs::Span::enter(rec, "sketch/select");
     let t_count = family.len();
-    let mut per_trial: Vec<Vec<u64>> = vec![Vec::new(); t_count];
+    out.reset(t_count);
     if mins.is_empty() || t_count == 0 {
-        return JemSketch { per_trial };
+        return;
     }
 
-    // One monotone deque per trial over (index, hash, code); fronts hold the
-    // current interval minimum. Entries are pushed once as the right edge
-    // advances, so total work is O(|mins| * T).
-    let mut deques: Vec<VecDeque<(usize, u64, u64)>> = vec![VecDeque::new(); t_count];
+    // Two-pointer prepasses. `ends` is non-decreasing and every interval
+    // contains its own left minimizer (ends[i] > i), so both scans are
+    // linear and starts[j] <= j.
+    ends.clear();
+    ends.reserve(mins.len());
     let mut end = 0usize;
-
-    for i in 0..mins.len() {
-        let hi = u64::from(mins[i].pos) + ell as u64;
-        // Advance the right edge: include every minimizer with p_j <= p_i + ell.
+    for m in mins.iter() {
+        let hi = u64::from(m.pos) + ell as u64;
         while end < mins.len() && u64::from(mins[end].pos) <= hi {
-            let code = mins[end].code;
-            for (t, h) in family.iter() {
-                let hv = h.hash(code);
-                let dq = &mut deques[t];
-                while let Some(&(_, bh, bc)) = dq.back() {
-                    // Keep earlier entries on ties: pop only strictly worse.
-                    if (bh, bc) > (hv, code) {
-                        dq.pop_back();
-                    } else {
-                        break;
-                    }
-                }
-                dq.push_back((end, hv, code));
-            }
             end += 1;
         }
-        // Retire entries left of the interval start and take the minimum.
-        for dq in deques.iter_mut() {
-            while let Some(&(idx, _, _)) = dq.front() {
-                if idx < i {
-                    dq.pop_front();
-                } else {
-                    break;
-                }
-            }
+        ends.push(end as u32);
+    }
+    starts.clear();
+    starts.reserve(mins.len());
+    let mut i = 0u32;
+    for j in 0..mins.len() as u32 {
+        while ends[i as usize] <= j {
+            i += 1;
         }
-        for (t, dq) in deques.iter().enumerate() {
-            let &(_, _, code) = dq.front().expect("interval contains minimizer i itself");
-            per_trial[t].push(code);
-        }
+        starts.push(i);
+    }
+    stack.reset(mins.len());
+    // Raw emission is at most one code per (minimizer, trial): pre-size the
+    // trial lists so the emit loop never regrows them.
+    for list in out.per_trial.iter_mut() {
+        list.reserve(mins.len());
     }
 
-    for list in per_trial.iter_mut() {
+    for (t, list) in out.per_trial.iter_mut().enumerate() {
+        let h = family.get(t);
+        stack.run_trial(h.a, h.b, mins, ends, starts, list);
         list.sort_unstable();
         list.dedup();
     }
     if rec.enabled() {
         rec.add(
             "sketch.sketches_emitted",
-            per_trial.iter().map(|l| l.len() as u64).sum(),
+            out.per_trial.iter().map(|l| l.len() as u64).sum(),
         );
     }
-    JemSketch { per_trial }
 }
 
 /// Direct transliteration of Algorithm 1 (quadratic; for tests).
 pub fn sketch_by_jem_naive(seq: &[u8], params: JemParams, family: &HashFamily) -> JemSketch {
-    let mins = minimizers(seq, params.minimizer_params());
+    let mins = crate::minimizer::minimizers(seq, params.minimizer_params());
     let mut per_trial: Vec<Vec<u64>> = vec![Vec::new(); family.len()];
     for (i, mi) in mins.iter().enumerate() {
         // M_i = {⟨k_j, p_j⟩ : p_i ≤ p_j ≤ p_i + ℓ}
@@ -200,6 +370,7 @@ pub fn sketch_by_jem_naive(seq: &[u8], params: JemParams, family: &HashFamily) -
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::minimizer::minimizers;
 
     fn rng_seq(n: usize, seed: u64) -> Vec<u8> {
         (0..n)
@@ -252,6 +423,45 @@ mod tests {
         let f = HashFamily::generate(6, 5);
         let p = JemParams::new(5, 6, 80).unwrap();
         assert_eq!(sketch_by_jem(&seq, p, &f), sketch_by_jem_naive(&seq, p, &f));
+    }
+
+    #[test]
+    fn scratch_reuse_is_byte_identical() {
+        // One scratch + one output sketch carried across many disparate
+        // inputs must reproduce the fresh-allocation path exactly — the
+        // reuse contract every mapping loop depends on.
+        let f = HashFamily::generate(9, 21);
+        let mut scratch = SketchScratch::new();
+        let mut out = JemSketch::default();
+        for (n, k, w, ell) in [
+            (700, 6, 5, 90),
+            (40, 4, 8, 30), // short run, shrinking buffers
+            (1500, 12, 9, 200),
+            (0, 5, 4, 50), // empty input mid-stream
+            (900, 16, 20, 400),
+        ] {
+            let seq = rng_seq(n, n as u64 + 3);
+            let p = JemParams::new(k, w, ell).unwrap();
+            sketch_by_jem_into(&seq, p, &f, &mut scratch, &mut out);
+            assert_eq!(
+                out,
+                sketch_by_jem(&seq, p, &f),
+                "n={n} k={k} w={w} ell={ell}"
+            );
+        }
+    }
+
+    #[test]
+    fn list_into_matches_list_wrapper() {
+        let f = HashFamily::generate(7, 2);
+        let seq = rng_seq(2_000, 5);
+        let mins = minimizers(&seq, MinimizerParams::new(9, 7).unwrap());
+        let mut scratch = SketchScratch::new();
+        let mut out = JemSketch::default();
+        for ell in [40usize, 150, 1_000] {
+            sketch_minimizer_list_into(&mins, ell, &f, &mut scratch, &mut out);
+            assert_eq!(out, sketch_minimizer_list(&mins, ell, &f), "ell={ell}");
+        }
     }
 
     #[test]

@@ -30,10 +30,15 @@ pub mod minimizer;
 pub mod scheme;
 pub mod syncmer;
 
-pub use hash::{HashFamily, LcgHash};
+pub use hash::{reduce_p61, HashFamily, LcgHash};
 pub use jaccard::{exact_jaccard, kmer_set, minimizer_jaccard, sketch_jaccard_estimate};
-pub use jem::{sketch_by_jem, JemParams, JemSketch};
+pub use jem::{
+    sketch_by_jem, sketch_by_jem_into, sketch_minimizer_list, sketch_minimizer_list_into,
+    JemParams, JemSketch, SketchScratch,
+};
 pub use minhash::{classic_minhash_seq, classic_minhash_set, ClassicSketch};
-pub use minimizer::{minimizers, minimizers_naive, Minimizer, MinimizerParams};
-pub use scheme::{sketch_by_scheme, SketchScheme};
-pub use syncmer::{closed_syncmers, is_closed_syncmer, SyncmerParams};
+pub use minimizer::{
+    minimizers, minimizers_into, minimizers_naive, Minimizer, MinimizerParams, WinnowScratch,
+};
+pub use scheme::{sketch_by_scheme, sketch_by_scheme_into, SketchScheme};
+pub use syncmer::{closed_syncmers, closed_syncmers_into, is_closed_syncmer, SyncmerParams};

@@ -54,6 +54,15 @@ pub struct Minimizer {
     pub pos: u32,
 }
 
+/// Reusable winnowing state: the monotone deque backing
+/// [`minimizers_into`]. One per sketching scratch; reusing it across calls
+/// keeps the hot path free of per-sequence heap allocation (the `VecDeque`
+/// is a contiguous ring buffer, so reuse also keeps it cache-resident).
+#[derive(Clone, Debug, Default)]
+pub struct WinnowScratch {
+    deque: VecDeque<(usize, u32, u64)>,
+}
+
 /// Extract the minimizer list `Mo(s, w)` in O(n) with a monotone deque.
 ///
 /// Runs of valid bases separated by ambiguity codes are winnowed
@@ -72,18 +81,37 @@ pub struct Minimizer {
 /// assert!(mins.windows(2).all(|w| w[0].pos <= w[1].pos));
 /// ```
 pub fn minimizers(seq: &[u8], params: MinimizerParams) -> Vec<Minimizer> {
+    let mut scratch = WinnowScratch::default();
+    let mut out = Vec::new();
+    minimizers_into(seq, params, &mut scratch, &mut out);
+    out
+}
+
+/// Allocation-free variant of [`minimizers`]: writes the minimizer list
+/// into `out` (cleared first), reusing `scratch`'s deque storage. Produces
+/// exactly the same list as [`minimizers`] for every input.
+pub fn minimizers_into(
+    seq: &[u8],
+    params: MinimizerParams,
+    scratch: &mut WinnowScratch,
+    out: &mut Vec<Minimizer>,
+) {
     let MinimizerParams { k, w } = params;
     let rec = jem_obs::recorder();
     let _span = jem_obs::Span::enter(rec, "sketch/minimizers");
     let mut windows_scanned = 0u64;
-    let mut out = Vec::new();
+    out.clear();
+    // Expected winnowing density is 2/(w+1): pre-size the output so growth
+    // never interrupts the scan (⌈2n/(w+1)⌉ is a slight over-estimate).
+    out.reserve((2 * seq.len()).div_ceil(w + 1));
     let iter = match CanonicalKmerIter::new(seq, k) {
         Ok(it) => it,
-        Err(_) => return out,
+        Err(_) => return,
     };
 
     // Monotone deque of (index-in-run, pos, code); front is the window min.
-    let mut deque: VecDeque<(usize, u32, u64)> = VecDeque::new();
+    let deque = &mut scratch.deque;
+    deque.clear();
     let mut prev_pos: Option<usize> = None; // position of previous yielded k-mer
     let mut idx_in_run = 0usize;
     let mut last_emitted: Option<(u32, u64)> = None;
@@ -105,7 +133,7 @@ pub fn minimizers(seq: &[u8], params: MinimizerParams) -> Vec<Minimizer> {
         // consecutive yielded positions jump by more than 1 at a break).
         let is_new_run = matches!(prev_pos, Some(pp) if pos != pp + 1);
         if is_new_run {
-            flush_short_run(&deque, idx_in_run, &mut out);
+            flush_short_run(deque, idx_in_run, out);
             deque.clear();
             idx_in_run = 0;
             last_emitted = None;
@@ -146,13 +174,12 @@ pub fn minimizers(seq: &[u8], params: MinimizerParams) -> Vec<Minimizer> {
         }
     }
     // Tail: if the final run never filled a window, emit its overall min.
-    flush_short_run(&deque, idx_in_run, &mut out);
+    flush_short_run(deque, idx_in_run, out);
     if rec.enabled() {
         rec.add("sketch.sequences", 1);
         rec.add("sketch.windows_scanned", windows_scanned);
         rec.add("sketch.minimizers_kept", out.len() as u64);
     }
-    out
 }
 
 /// Quadratic reference implementation of [`minimizers`] used by tests.

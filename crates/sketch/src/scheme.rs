@@ -6,9 +6,9 @@
 //! minimizers, or closed syncmers (the quality-oriented alternative
 //! implementing the paper's future-work item i).
 
-use crate::jem::{sketch_minimizer_list, JemSketch};
-use crate::minimizer::{minimizers, Minimizer, MinimizerParams};
-use crate::syncmer::{closed_syncmers, SyncmerParams};
+use crate::jem::{select_into, sketch_minimizer_list, JemSketch, SketchScratch};
+use crate::minimizer::{minimizers, minimizers_into, Minimizer, MinimizerParams, WinnowScratch};
+use crate::syncmer::{closed_syncmers, closed_syncmers_into, SyncmerParams};
 use crate::HashFamily;
 use jem_seq::SeqError;
 
@@ -52,6 +52,28 @@ impl SketchScheme {
         }
     }
 
+    /// Allocation-reusing variant of [`extract`](Self::extract): clears and
+    /// refills `out` (invalid parameters leave it empty, matching the
+    /// owning variant's `Vec::new()`).
+    pub fn extract_into(
+        &self,
+        seq: &[u8],
+        k: usize,
+        winnow: &mut WinnowScratch,
+        out: &mut Vec<Minimizer>,
+    ) {
+        match *self {
+            SketchScheme::Minimizer { w } => match MinimizerParams::new(k, w) {
+                Ok(p) => minimizers_into(seq, p, winnow, out),
+                Err(_) => out.clear(),
+            },
+            SketchScheme::ClosedSyncmer { s } => match SyncmerParams::new(k, s) {
+                Ok(p) => closed_syncmers_into(seq, p, out),
+                Err(_) => out.clear(),
+            },
+        }
+    }
+
     /// Expected selection density (fraction of k-mers chosen).
     pub fn expected_density(&self, k: usize) -> f64 {
         match *self {
@@ -71,6 +93,28 @@ pub fn sketch_by_scheme(
     family: &HashFamily,
 ) -> JemSketch {
     sketch_minimizer_list(&scheme.extract(seq, k), ell, family)
+}
+
+/// Allocation-free variant of [`sketch_by_scheme`]: reuses `scratch` and
+/// overwrites `out`. Byte-identical to [`sketch_by_scheme`] on every input.
+pub fn sketch_by_scheme_into(
+    seq: &[u8],
+    k: usize,
+    scheme: SketchScheme,
+    ell: usize,
+    family: &HashFamily,
+    scratch: &mut SketchScratch,
+    out: &mut JemSketch,
+) {
+    let SketchScratch {
+        mins,
+        winnow,
+        ends,
+        starts,
+        stack,
+    } = scratch;
+    scheme.extract_into(seq, k, winnow, mins);
+    select_into(mins, ell, family, ends, starts, stack, out);
 }
 
 #[cfg(test)]

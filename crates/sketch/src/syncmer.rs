@@ -88,10 +88,20 @@ pub fn is_closed_syncmer(code: u64, k: usize, s: usize) -> bool {
 /// tuples sorted by position — drop-in replacement for the minimizer list.
 pub fn closed_syncmers(seq: &[u8], params: SyncmerParams) -> Vec<Minimizer> {
     let mut out = Vec::new();
+    closed_syncmers_into(seq, params, &mut out);
+    out
+}
+
+/// Allocation-reusing variant of [`closed_syncmers`]: clears `out` and
+/// refills it, keeping its capacity across calls. Pre-sizes to the expected
+/// density `2/(k−s+1)` so a cold buffer grows at most once.
+pub fn closed_syncmers_into(seq: &[u8], params: SyncmerParams, out: &mut Vec<Minimizer>) {
+    out.clear();
     let iter = match CanonicalKmerIter::new(seq, params.k) {
         Ok(it) => it,
-        Err(_) => return out,
+        Err(_) => return,
     };
+    out.reserve((2 * seq.len()).div_ceil(params.k - params.s + 1));
     for (pos, kmer) in iter {
         if is_closed_syncmer(kmer.code(), params.k, params.s) {
             out.push(Minimizer {
@@ -100,7 +110,6 @@ pub fn closed_syncmers(seq: &[u8], params: SyncmerParams) -> Vec<Minimizer> {
             });
         }
     }
-    out
 }
 
 #[cfg(test)]

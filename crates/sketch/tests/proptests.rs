@@ -2,10 +2,18 @@
 
 use jem_sketch::{
     exact_jaccard, hash::HashFamily, jem::sketch_by_jem_naive, kmer_set, minimizers,
-    minimizers_naive, sketch_by_jem, sketch_jaccard_estimate, JemParams, MinimizerParams,
+    minimizers_naive, reduce_p61, sketch_by_jem, sketch_by_jem_into, sketch_jaccard_estimate,
+    JemParams, JemSketch, MinimizerParams, SketchScratch,
 };
 use proptest::prelude::*;
 use std::collections::HashSet;
+
+const P61: u64 = (1u64 << 61) - 1;
+
+/// Reference reduction: the plain `%` the fast path replaced.
+fn reduce_generic(v: u128) -> u64 {
+    (v % u128::from(P61)) as u64
+}
 
 fn dna(max: usize) -> impl Strategy<Value = Vec<u8>> {
     prop::collection::vec(prop::sample::select(vec![b'A', b'C', b'G', b'T']), 0..max)
@@ -98,4 +106,51 @@ proptest! {
             prop_assert_eq!(full.hash(i, 12345), cut.hash(i, 12345));
         }
     }
+
+    #[test]
+    fn mersenne_reduction_matches_modulo_random(a in any::<u64>(), x in any::<u64>(), b in any::<u64>()) {
+        // Any LCG evaluation the family can produce: a·x + b over u128.
+        let v = u128::from(a) * u128::from(x) + u128::from(b);
+        prop_assert_eq!(reduce_p61(v), reduce_generic(v));
+    }
+
+    #[test]
+    fn mersenne_reduction_matches_modulo_adversarial(ai in 0usize..2, xi in 0usize..6, b in any::<u64>()) {
+        // Corner coefficients and inputs around the prime's boundaries,
+        // crossed with a random additive term.
+        let a = [1u64, P61 - 1][ai];
+        let x = [0u64, 1, P61 - 1, P61, P61 + 1, u64::MAX][xi];
+        let v = u128::from(a) * u128::from(x) + u128::from(b);
+        prop_assert_eq!(reduce_p61(v), reduce_generic(v));
+    }
+
+    #[test]
+    fn scratch_reuse_stream_matches_fresh(seqs in prop::collection::vec(dna_with_n(250), 1..6)) {
+        // One scratch threaded over an arbitrary stream of inputs must
+        // reproduce the fresh-allocation sketches exactly.
+        let params = JemParams::new(6, 5, 80).unwrap();
+        let family = HashFamily::generate(5, 19);
+        let mut scratch = SketchScratch::new();
+        let mut out = JemSketch::default();
+        for seq in &seqs {
+            sketch_by_jem_into(seq, params, &family, &mut scratch, &mut out);
+            prop_assert_eq!(&out, &sketch_by_jem(seq, params, &family));
+        }
+    }
+}
+
+#[test]
+fn mersenne_reduction_exhaustive_corners() {
+    // Every (a, x) corner pair the proptest samples from, deterministically.
+    for a in [1u64, P61 - 1] {
+        for x in [0u64, 1, P61 - 1, P61, P61 + 1, u64::MAX] {
+            for b in [0u64, 1, P61 - 1, P61, u64::MAX] {
+                let v = u128::from(a) * u128::from(x) + u128::from(b);
+                assert_eq!(reduce_p61(v), reduce_generic(v), "a={a} x={x} b={b}");
+            }
+        }
+    }
+    // The largest value the LCG can ever feed the reduction.
+    let max = u128::from(u64::MAX) * u128::from(u64::MAX) + u128::from(u64::MAX);
+    assert_eq!(reduce_p61(max), reduce_generic(max));
 }

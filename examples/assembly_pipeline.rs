@@ -50,7 +50,7 @@ fn main() {
         23,
     );
     let config = MapperConfig::default();
-    let mapper = JemMapper::build(contigs, &config);
+    let mapper = JemMapper::build(&contigs, &config);
     let mappings = mapper.map_reads(&read_records(&reads));
     let n_segments: usize = reads
         .iter()

@@ -40,7 +40,7 @@ fn main() {
     );
 
     let config = MapperConfig::default();
-    let mapper = JemMapper::build(contig_records(&contigs), &config);
+    let mapper = JemMapper::build(&contig_records(&contigs), &config);
 
     // Ground truth per read: interior contigs (fully inside, >ℓ from both
     // read ends) vs end-visible contigs.

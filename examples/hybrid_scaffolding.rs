@@ -40,7 +40,7 @@ fn main() {
 
     // Map end segments.
     let config = MapperConfig::default();
-    let mapper = JemMapper::build(contig_records(&contigs), &config);
+    let mapper = JemMapper::build(&contig_records(&contigs), &config);
     let mappings = mapper.map_reads(&read_records(&reads));
 
     // Collect links: a read whose two ends map to *different* contigs

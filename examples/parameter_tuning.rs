@@ -19,7 +19,7 @@ fn evaluate(
     query_reads: &[SeqRecord],
     config: &MapperConfig,
 ) -> (f64, f64, usize) {
-    let mapper = JemMapper::build(subjects.to_vec(), config);
+    let mapper = JemMapper::build(subjects, config);
     let mappings = mapper.map_reads(query_reads);
     let mut queries = Vec::new();
     for r in reads {

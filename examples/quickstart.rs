@@ -32,7 +32,7 @@ fn main() {
     let config = MapperConfig::default();
     let subjects = contig_records(&contigs);
     let query_reads = read_records(&reads);
-    let mapper = JemMapper::build(subjects, &config);
+    let mapper = JemMapper::build(&subjects, &config);
 
     // 3. Map every read's end segments.
     let mappings = mapper.map_reads(&query_reads);

@@ -16,7 +16,7 @@
 //!
 //! // Map long-read end segments to contigs with the JEM sketch.
 //! let config = MapperConfig { ell: 500, ..MapperConfig::default() };
-//! let mapper = JemMapper::build(contig_records(&contigs), &config);
+//! let mapper = JemMapper::build(&contig_records(&contigs), &config);
 //! let mappings = mapper.map_reads(&read_records(&reads));
 //! assert!(!mappings.is_empty());
 //! ```

@@ -80,7 +80,7 @@ fn hifi_ends_map_to_assembled_contigs() {
     let query_reads = read_records(&reads);
     let config = MapperConfig::default();
     let n_contigs = contigs.len();
-    let mapper = JemMapper::build(contigs, &config);
+    let mapper = JemMapper::build(&contigs, &config);
     let mappings = mapper.map_reads(&query_reads);
     let n_segments: usize = query_reads
         .iter()

@@ -66,7 +66,7 @@ fn jem_and_mashmap_both_high_quality() {
     let bench = truth(&contigs, &reads, 1000, 16);
 
     let jem_cfg = MapperConfig::default();
-    let jem = JemMapper::build(subjects.clone(), &jem_cfg);
+    let jem = JemMapper::build(&subjects, &jem_cfg);
     let jem_pairs = mapping_pairs(&jem.map_reads(&query_reads), &query_reads, &jem);
     let jem_m = MappingMetrics::classify(&jem_pairs, &bench);
 
@@ -112,7 +112,7 @@ fn jem_beats_classical_minhash_at_low_trials() {
         trials: t,
         ..Default::default()
     };
-    let jem = JemMapper::build(subjects.clone(), &jem_cfg);
+    let jem = JemMapper::build(&subjects, &jem_cfg);
     let jem_m = MappingMetrics::classify(
         &mapping_pairs(&jem.map_reads(&query_reads), &query_reads, &jem),
         &bench,

@@ -59,7 +59,7 @@ fn truth(w: &World, config: &MapperConfig) -> Benchmark {
 fn jem_quality_on_simulated_data() {
     let w = world(100);
     let config = MapperConfig::default();
-    let mapper = JemMapper::build(w.subjects.clone(), &config);
+    let mapper = JemMapper::build(&w.subjects, &config);
     let mappings = mapper.map_reads(&w.query_reads);
     let bench = truth(&w, &config);
     let m = MappingMetrics::classify(&mapping_pairs(&mappings, &w.query_reads, &mapper), &bench);
@@ -86,7 +86,7 @@ fn all_three_drivers_agree() {
         trials: 10,
         ..Default::default()
     };
-    let mapper = JemMapper::build(w.subjects.clone(), &config);
+    let mapper = JemMapper::build(&w.subjects, &config);
     let mut sequential = mapper.map_reads(&w.query_reads);
     sequential.sort_unstable_by_key(|m| (m.read_idx, m.end));
     let parallel = map_reads_parallel(&mapper, &w.query_reads);
@@ -157,8 +157,8 @@ fn scaling_report_is_sane() {
 fn deterministic_across_runs() {
     let w = world(400);
     let config = MapperConfig::default();
-    let a = JemMapper::build(w.subjects.clone(), &config).map_reads(&w.query_reads);
-    let b = JemMapper::build(w.subjects.clone(), &config).map_reads(&w.query_reads);
+    let a = JemMapper::build(&w.subjects, &config).map_reads(&w.query_reads);
+    let b = JemMapper::build(&w.subjects, &config).map_reads(&w.query_reads);
     assert_eq!(a, b);
 }
 
@@ -168,7 +168,7 @@ fn segments_map_to_overlapping_contigs() {
     // genome region (spot check of the whole pipeline's coordinate logic).
     let w = world(500);
     let config = MapperConfig::default();
-    let mapper = JemMapper::build(w.subjects.clone(), &config);
+    let mapper = JemMapper::build(&w.subjects, &config);
     let mappings = mapper.map_reads(&w.query_reads);
     assert!(!mappings.is_empty());
     let bench = truth(&w, &config);

@@ -69,8 +69,8 @@ fn mapping_through_fasta_files_matches_in_memory() {
         .iter()
         .map(|r| SeqRecord::new(r.id.clone(), r.seq.clone()))
         .collect();
-    let from_memory = JemMapper::build(subjects, &config).map_reads(&mem_reads);
-    let from_disk = JemMapper::build(subjects_back, &config).map_reads(&reads_back);
+    let from_memory = JemMapper::build(&subjects, &config).map_reads(&mem_reads);
+    let from_disk = JemMapper::build(&subjects_back, &config).map_reads(&reads_back);
     assert_eq!(from_memory, from_disk);
 
     std::fs::remove_dir_all(&dir).ok();
