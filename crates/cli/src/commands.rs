@@ -810,12 +810,34 @@ fn serve_err(e: jem_serve::ServeError) -> CliError {
     CliError::Data(format!("serve: {e}"))
 }
 
+/// Parse a `LO-HI` half-open slot range (for `jem serve --slots`).
+fn parse_slot_range(spec: &str, n_slots: usize) -> Result<std::ops::Range<usize>, CliError> {
+    let bad = || {
+        CliError::Usage(format!(
+            "--slots must be LO-HI with 0 <= LO < HI <= --shards ({n_slots}), got {spec:?}"
+        ))
+    };
+    let (lo, hi) = spec.split_once('-').ok_or_else(bad)?;
+    let lo: usize = lo.trim().parse().map_err(|_| bad())?;
+    let hi: usize = hi.trim().parse().map_err(|_| bad())?;
+    if lo >= hi || hi > n_slots {
+        return Err(bad());
+    }
+    Ok(lo..hi)
+}
+
 /// `jem serve --index index.jem [--addr 127.0.0.1:7878] [--shards 4]
-///  [--workers 4] [--queue 64] [--batch 16] [--metrics FILE]
-///  [--straggle-ms 0] [--panic-every 0]` — load a persisted index into a
-///  shard-partitioned resident table and serve mapping requests until a
-///  remote `jem query --shutdown`. The shutdown drains every admitted
-///  request, then the final metrics snapshot is written to `--metrics`.
+///  [--slots LO-HI] [--workers 4] [--queue 64] [--batch 16]
+///  [--metrics FILE] [--straggle-ms 0] [--panic-every 0]` — load a
+///  persisted index into a shard-partitioned resident table and serve
+///  mapping requests until a remote `jem query --shutdown`. The shutdown
+///  drains every admitted request, then the final metrics snapshot is
+///  written to `--metrics`.
+///
+/// `--slots LO-HI` makes this process one shard of a router topology: it
+/// keeps only the sketch entries hashing into that slice of the
+/// `--shards`-slot space and answers the router's `MapPartial` requests
+/// from it (every shard of a topology must agree on `--shards`).
 ///
 /// The index is loaded and checksum-validated *before* the listen socket
 /// binds: a bad `--index` fails fast with a nonzero exit instead of
@@ -824,6 +846,10 @@ pub fn cmd_serve(args: &Args) -> Result<(), CliError> {
     let index_path = args.req("index")?;
     let addr = args.get("addr").unwrap_or("127.0.0.1:7878");
     let shards = positive_count(args, "shards", 4)?;
+    let owned = match args.get("slots") {
+        None => 0..shards,
+        Some(spec) => parse_slot_range(spec, shards)?,
+    };
     let config = jem_serve::ServerConfig {
         workers: positive_count(args, "workers", 4)?,
         queue_cap: positive_count(args, "queue", 64)?,
@@ -835,11 +861,13 @@ pub fn cmd_serve(args: &Args) -> Result<(), CliError> {
     let mut input = BufReader::new(File::open(index_path).map_err(CliError::io(index_path))?);
     let mapper = load_index(&mut input).map_err(CliError::format(index_path))?;
     eprintln!(
-        "loaded {index_path}: {} subjects, {} sketch entries → {shards} shards",
+        "loaded {index_path}: {} subjects, {} sketch entries → slots {}-{} of {shards}",
         mapper.n_subjects(),
-        mapper.table().entry_count()
+        mapper.table().entry_count(),
+        owned.start,
+        owned.end
     );
-    let sharded = jem_serve::ShardedIndex::new(mapper, shards);
+    let sharded = jem_serve::ShardedIndex::with_slots(mapper, shards, owned);
     let handle = jem_serve::start(sharded, addr, &config).map_err(serve_err)?;
     eprintln!(
         "serving on {} ({} workers, queue {}, batch {})",
@@ -858,8 +886,71 @@ pub fn cmd_serve(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `jem route --topology "LO-HI@ADDR[,REPLICA];..." [--addr 127.0.0.1:7979]
+///  [--epoch 0] [--hedge-ms 50] [--breaker-failures 3]
+///  [--breaker-cooldown-ms 250] [--deadline MS] [--io-timeout-ms 10000]
+///  [--metrics FILE] [--snapshot FILE]` — front a set of `jem serve
+///  --slots` shard processes with a scatter-gather router: full answers
+///  are byte-identical to a single-process `jem serve`; when shards are
+///  down the router answers typed errors (strict queries) or degraded
+///  answers naming the missing shard ids (`jem query --allow-degraded`).
+///
+/// `--hedge-ms 0` disables hedged retries; `--deadline MS` caps every
+/// query's budget router-side (the remaining budget is forwarded to the
+/// shards). Runs until `jem query --addr <router> --shutdown`; the final
+/// metrics go to `--metrics` and a topology + breaker-state report to
+/// `--snapshot` (both written atomically).
+pub fn cmd_route(args: &Args) -> Result<(), CliError> {
+    let topology = args.req("topology")?;
+    let registry = jem_serve::ShardRegistry::parse(topology)
+        .map_err(serve_err)?
+        .with_epoch(args.get_or("epoch", 0u64)?);
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7979");
+    let hedge_ms: u64 = args.get_or("hedge-ms", 50u64)?;
+    let breaker_failures = positive_count(args, "breaker-failures", 3)? as u32;
+    let cooldown_ms = positive_count(args, "breaker-cooldown-ms", 250)? as u64;
+    let deadline_ms: u64 = args.get_or("deadline", 0u64)?;
+    let config = jem_serve::RouterConfig {
+        io_timeout: std::time::Duration::from_millis(
+            positive_count(args, "io-timeout-ms", 10_000)? as u64,
+        ),
+        hedge_after: (hedge_ms > 0).then(|| std::time::Duration::from_millis(hedge_ms)),
+        breaker_failures,
+        breaker_cooldown: jem_serve::RetryPolicy::new(
+            8,
+            std::time::Duration::from_millis(cooldown_ms),
+        ),
+        deadline: (deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms)),
+    };
+    let (n_shards, n_slots) = (registry.len(), registry.n_slots());
+    let handle = jem_serve::start_router(registry, addr, &config).map_err(serve_err)?;
+    eprintln!(
+        "routing on {} across {n_shards} shards ({n_slots} slots); \
+         hedge {}, breaker opens after {breaker_failures} failures",
+        handle.addr(),
+        if hedge_ms > 0 {
+            format!("after {hedge_ms} ms")
+        } else {
+            "off".into()
+        }
+    );
+    eprintln!("stop with: jem query --addr {} --shutdown", handle.addr());
+    let report = handle.join();
+    if let Some(path) = args.get("metrics") {
+        write_file_atomic(path, report.metrics.to_json().as_bytes())?;
+        eprintln!("metrics snapshot written to {path}");
+    }
+    if let Some(path) = args.get("snapshot") {
+        write_file_atomic(path, report.status.as_bytes())?;
+        eprintln!("status snapshot written to {path}");
+    }
+    eprintln!("router stopped");
+    Ok(())
+}
+
 /// `jem query --addr HOST:PORT (--queries reads.fq | --queries - | --ping |
-///  --shutdown | --reload FILE) [--chunk 64] [--deadline MS] [--out FILE]`
+///  --shutdown | --reload FILE) [--chunk 64] [--deadline MS] [--out FILE]
+///  [--via-router [--allow-degraded]]`
 ///  — map reads through a running `jem serve`. The index parameters
 ///  (segment length, subject names, trial count) come from the server's
 ///  `Info` response, so the rendered TSV is byte-identical to an offline
@@ -867,8 +958,23 @@ pub fn cmd_serve(args: &Args) -> Result<(), CliError> {
 ///  hot-swap its resident index (the path is resolved on the *server's*
 ///  filesystem); `--deadline MS` attaches a queue deadline to each mapping
 ///  request so an overloaded server sheds it instead of serving it late.
+///
+/// `--via-router` declares that `--addr` points at a `jem route` front-end;
+/// with `--allow-degraded` on top, queries accept partial answers when
+/// shards are down — any missing shard ids are reported on stderr and the
+/// exit stays 0 (an answer with named gaps beats no answer). Without
+/// `--allow-degraded`, a router with missing shards fails the query with a
+/// typed error naming them.
 pub fn cmd_query(args: &Args) -> Result<(), CliError> {
     let addr = args.req("addr")?;
+    let via_router = args.has("via-router");
+    let allow_degraded = args.has("allow-degraded");
+    if allow_degraded && !via_router {
+        return Err(CliError::Usage(
+            "--allow-degraded needs --via-router: degraded answers come from the router tier"
+                .into(),
+        ));
+    }
     let mut client = jem_serve::Client::new(addr);
     if args.has("ping") {
         client.ping().map_err(serve_err)?;
@@ -903,17 +1009,33 @@ pub fn cmd_query(args: &Args) -> Result<(), CliError> {
         info.subject_names.len()
     );
     let mut mappings: Vec<Mapping> = Vec::new();
+    let mut missing: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
     for part in segments.chunks(chunk) {
-        mappings.extend(
-            client
-                .map_segments_retry(part, 10, std::time::Duration::from_millis(50))
-                .map_err(serve_err)?,
-        );
+        if allow_degraded {
+            let (chunk_mappings, gaps) = client
+                .map_segments_degraded_retry(part, 10, std::time::Duration::from_millis(50))
+                .map_err(serve_err)?;
+            mappings.extend(chunk_mappings);
+            missing.extend(gaps);
+        } else {
+            mappings.extend(
+                client
+                    .map_segments_retry(part, 10, std::time::Duration::from_millis(50))
+                    .map_err(serve_err)?,
+            );
+        }
     }
     // Chunks arrive individually sorted; restore the documented global
     // total order so the TSV matches the offline driver byte for byte.
     mappings.sort_unstable();
     eprintln!("{} end segments mapped", mappings.len());
+    if !missing.is_empty() {
+        eprintln!(
+            "WARNING: degraded answer — shards {:?} were missing from the merge; \
+             segments whose collisions live in those slot ranges may be absent or weaker",
+            missing.iter().collect::<Vec<_>>()
+        );
+    }
     match args.get("out") {
         Some(path) => {
             let mut out = AtomicFile::create(path).map_err(CliError::io(path))?;

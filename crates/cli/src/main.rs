@@ -38,14 +38,26 @@ COMMANDS:
   serve       keep a persisted index resident and serve mapping requests
               over TCP until `jem query --shutdown` (DESIGN.md §10–§11)
                 --index FILE [--addr 127.0.0.1:7878] [--shards 4]
+                [--slots LO-HI  own only this slice of the slot space,
+                as one shard of a `jem route` topology]
                 [--workers 4] [--queue 64] [--batch 16] [--metrics FILE]
                 [--straggle-ms 0  slow every batch, for deadline testing]
                 [--panic-every 0  panic every Nth index pass, chaos only]
-  query       map reads through a running `jem serve` (TSV as for map)
+  route       scatter-gather front-end over `jem serve --slots` shards:
+              hedged retries, per-shard circuit breakers, degraded
+              answers naming missing shards (DESIGN.md §13)
+                --topology 'LO-HI@ADDR[,REPLICA];...' [--addr
+                127.0.0.1:7979] [--epoch 0] [--hedge-ms 50  0 = off]
+                [--breaker-failures 3] [--breaker-cooldown-ms 250]
+                [--deadline MS] [--io-timeout-ms 10000] [--metrics FILE]
+                [--snapshot FILE  topology + breaker-state report]
+  query       map reads through a running `jem serve` or `jem route`
+              (TSV as for map)
                 --addr HOST:PORT (--queries FILE|- | --ping | --shutdown
                 | --reload FILE  hot-swap the server's index)
                 [--chunk 64] [--deadline MS  shed instead of serving late]
-                [--out FILE]
+                [--out FILE] [--via-router [--allow-degraded  accept
+                partial answers, report missing shards on stderr]]
   distributed run the S1–S4 pipeline on simulated MPI ranks, with optional
               fault injection and recovery (makespan + fault report)
                 --subjects FILE --queries FILE [--ranks 8] [--threads]
@@ -101,6 +113,7 @@ fn main() {
         "index" => commands::cmd_index(&args),
         "map" => commands::cmd_map(&args),
         "serve" => commands::cmd_serve(&args),
+        "route" => commands::cmd_route(&args),
         "query" => commands::cmd_query(&args),
         "distributed" => commands::cmd_distributed(&args),
         "contained" => commands::cmd_contained(&args),

@@ -95,6 +95,12 @@ pub(crate) fn bucket_index(value: u64) -> usize {
 #[derive(Debug, Default)]
 pub struct MetricsRecorder {
     counters: RwLock<BTreeMap<&'static str, AtomicU64>>,
+    /// Counters whose names are built at runtime (per-shard fan-out
+    /// metrics like `router.shard.3.failures`). Kept out of the
+    /// [`Recorder`] trait on purpose: the static-name contract stays, and
+    /// only sites that genuinely need a dynamic name pay the lock + the
+    /// allocation.
+    dyn_counters: Mutex<BTreeMap<String, u64>>,
     histograms: Mutex<BTreeMap<&'static str, Histogram>>,
     spans: Mutex<BTreeMap<&'static str, (u64, u64)>>, // (count, total_ns)
 }
@@ -105,16 +111,34 @@ impl MetricsRecorder {
         Self::default()
     }
 
+    /// Add `delta` to a counter whose name is built at runtime. Dynamic
+    /// names share the namespace of the static counters in
+    /// [`MetricsRecorder::snapshot`] (a collision sums into one counter),
+    /// so dotted per-instance names (`router.shard.0.failures`) are the
+    /// convention.
+    pub fn add_dyn(&self, name: impl Into<String>, delta: u64) {
+        let mut map = self.dyn_counters.lock().expect("dyn counter lock poisoned");
+        *map.entry(name.into()).or_insert(0) += delta;
+    }
+
     /// Point-in-time copy of everything recorded so far. Stable: maps are
     /// ordered by name, so equal states serialize identically.
     pub fn snapshot(&self) -> Snapshot {
-        let counters = self
+        let mut counters: BTreeMap<String, u64> = self
             .counters
             .read()
             .expect("counter lock poisoned")
             .iter()
             .map(|(&name, v)| (name.to_string(), v.load(Ordering::Relaxed)))
             .collect();
+        for (name, &v) in self
+            .dyn_counters
+            .lock()
+            .expect("dyn counter lock poisoned")
+            .iter()
+        {
+            *counters.entry(name.clone()).or_insert(0) += v;
+        }
         let histograms = self
             .histograms
             .lock()
@@ -237,6 +261,21 @@ mod tests {
         assert_eq!(s.counter("a"), 3);
         assert_eq!(s.counter("b"), 10);
         assert_eq!(s.counter("absent"), 0);
+    }
+
+    #[test]
+    fn dynamic_names_accumulate_and_merge_into_the_snapshot() {
+        let r = MetricsRecorder::new();
+        r.add_dyn("router.shard.0.failures", 1);
+        r.add_dyn(String::from("router.shard.0.failures"), 2);
+        r.add_dyn("router.shard.1.ok", 5);
+        // A dynamic name colliding with a static one sums into one counter.
+        r.add("collide", 10);
+        r.add_dyn("collide", 3);
+        let s = r.snapshot();
+        assert_eq!(s.counter("router.shard.0.failures"), 3);
+        assert_eq!(s.counter("router.shard.1.ok"), 5);
+        assert_eq!(s.counter("collide"), 13);
     }
 
     #[test]

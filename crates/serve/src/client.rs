@@ -11,7 +11,8 @@
 //! on the wire to a pre-`JEMSRV2` build, so it can talk to old servers.
 
 use crate::protocol::{
-    fnv1a64, read_frame_versioned, write_frame_versioned, Request, Response, ServerInfo,
+    fnv1a64, read_frame_versioned, write_frame_versioned, Request, Response, SegmentPartials,
+    ServerInfo,
 };
 use crate::ServeError;
 use jem_core::{Mapping, QuerySegment};
@@ -68,9 +69,25 @@ impl Client {
         &self.addr
     }
 
+    /// One request/response exchange, transparently absorbing a single
+    /// mid-request connection loss for idempotent requests: a server
+    /// worker that died (or an LB that culled the connection) between our
+    /// write and its reply surfaces as `ConnectionReset`/`BrokenPipe`/
+    /// `UnexpectedEof`, and re-asking an idempotent question on a fresh
+    /// connection is always safe. Non-idempotent requests (`Shutdown`,
+    /// `Reload`) surface the error — re-sending those could act twice.
+    fn exchange(&self, req: &Request) -> Result<Response, ServeError> {
+        match self.exchange_once(req) {
+            Err(ServeError::Io(ref e)) if is_idempotent(req) && is_connection_loss(e) => {
+                self.exchange_once(req)
+            }
+            other => other,
+        }
+    }
+
     /// One request/response exchange on a fresh connection, framed in the
     /// oldest revision the request fits in.
-    fn exchange(&self, req: &Request) -> Result<Response, ServeError> {
+    fn exchange_once(&self, req: &Request) -> Result<Response, ServeError> {
         let addr = self.addr.to_socket_addrs()?.next().ok_or_else(|| {
             ServeError::protocol(format!("address {:?} resolves to nothing", self.addr))
         })?;
@@ -131,6 +148,16 @@ impl Client {
         segments: &[QuerySegment],
         policy: &RetryPolicy,
     ) -> Result<Vec<Mapping>, ServeError> {
+        self.with_busy_retry(policy, || self.map_segments(segments))
+    }
+
+    /// Run `call` with retries on [`ServeError::Busy`] under `policy`. Any
+    /// other outcome (success or a different error) returns immediately.
+    fn with_busy_retry<T>(
+        &self,
+        policy: &RetryPolicy,
+        call: impl Fn() -> Result<T, ServeError>,
+    ) -> Result<T, ServeError> {
         let attempts = policy.attempts.max(1);
         let mut slept = Duration::ZERO;
         for attempt in 0..attempts {
@@ -144,7 +171,7 @@ impl Client {
                 slept += pause;
                 std::thread::sleep(pause);
             }
-            match self.map_segments(segments) {
+            match call() {
                 Err(ServeError::Busy) if attempt + 1 < attempts => continue,
                 other => return other,
             }
@@ -169,6 +196,58 @@ impl Client {
             // across servers so co-hosted clients don't sync up.
             .with_jitter_seed(fnv1a64(self.addr.as_bytes()));
         self.map_segments_with_policy(segments, &policy)
+    }
+
+    /// Ask a shard server for the per-trial collision *sets* of each
+    /// segment against its owned slot range ([`Request::MapPartial`]) —
+    /// the gather half of the router's scatter-gather. Partials from
+    /// disjoint shard processes union into exactly the single-process
+    /// answer (see [`SegmentPartials`]).
+    pub fn map_segments_partial(
+        &self,
+        segments: &[QuerySegment],
+    ) -> Result<Vec<SegmentPartials>, ServeError> {
+        let req = Request::MapPartial {
+            segments: segments.to_vec(),
+            deadline_ms: self.deadline_ms(),
+        };
+        match self.exchange(&req)? {
+            Response::Partials(partials) => Ok(partials),
+            other => Err(unexpected("Partials", &other)),
+        }
+    }
+
+    /// Map a batch through a router front-end, accepting a degraded
+    /// answer: returns the mappings plus the registry ids of any shards
+    /// missing from the merge (empty = the full, byte-exact answer). A
+    /// router with every shard unreachable answers a typed error instead
+    /// — a degraded answer always rests on at least one live shard.
+    pub fn map_segments_degraded(
+        &self,
+        segments: &[QuerySegment],
+    ) -> Result<(Vec<Mapping>, Vec<u32>), ServeError> {
+        let req = Request::MapDegraded {
+            segments: segments.to_vec(),
+            deadline_ms: self.deadline_ms(),
+        };
+        match self.exchange(&req)? {
+            Response::Mappings(mappings) => Ok((mappings, Vec::new())),
+            Response::Degraded { mappings, missing } => Ok((mappings, missing)),
+            other => Err(unexpected("Mappings or Degraded", &other)),
+        }
+    }
+
+    /// [`Client::map_segments_degraded`] with bounded retries on
+    /// [`ServeError::Busy`], mirroring [`Client::map_segments_retry`].
+    pub fn map_segments_degraded_retry(
+        &self,
+        segments: &[QuerySegment],
+        attempts: usize,
+        backoff: Duration,
+    ) -> Result<(Vec<Mapping>, Vec<u32>), ServeError> {
+        let policy =
+            RetryPolicy::new(attempts, backoff).with_jitter_seed(fnv1a64(self.addr.as_bytes()));
+        self.with_busy_retry(&policy, || self.map_segments_degraded(segments))
     }
 
     /// Ask the server to hot-reload its index from `path` (a `jem index`
@@ -256,8 +335,11 @@ impl RetryPolicy {
     }
 
     /// The pause before retry `attempt` (1-based): capped exponential plus
-    /// deterministic jitter in `[0, capped/2]`.
-    fn pause_before(&self, attempt: usize) -> Duration {
+    /// deterministic jitter in `[0, capped/2]`. Public because the router's
+    /// circuit breaker reuses this exact schedule for its reopen cooldown
+    /// (attempt = consecutive opens), keeping one backoff vocabulary — and
+    /// one jitter discipline — across the serve tier.
+    pub fn pause_before(&self, attempt: usize) -> Duration {
         let doublings = u32::try_from(attempt.saturating_sub(1)).unwrap_or(u32::MAX);
         let exp = match 2u32.checked_pow(doublings.min(16)) {
             Some(mult) => self.base.saturating_mul(mult),
@@ -280,6 +362,26 @@ fn splitmix64(seed: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
+}
+
+/// Whether re-sending `req` can never make the server act twice. Queries
+/// and probes are pure; `Shutdown` and `Reload` mutate server state.
+fn is_idempotent(req: &Request) -> bool {
+    !matches!(req, Request::Shutdown | Request::Reload { .. })
+}
+
+/// Whether `e` is a mid-request connection loss a fresh connection can
+/// transparently absorb. `ConnectionRefused` is deliberately *not* here:
+/// it means nobody is listening, and an instant identical retry would
+/// just fail again (callers have `RetryPolicy` / the router's breaker for
+/// that).
+fn is_connection_loss(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::UnexpectedEof
+    )
 }
 
 /// Map an unexpected response onto the matching error.
@@ -331,6 +433,90 @@ mod tests {
         let policy = RetryPolicy::new(usize::MAX, Duration::from_millis(10));
         let pause = policy.pause_before(usize::MAX);
         assert!(pause <= policy.cap + policy.cap / 2);
+    }
+
+    /// A stub server whose first connection is half-closed after reading
+    /// the request (no reply — the client sees `UnexpectedEof`), and whose
+    /// later connections are answered with `reply`.
+    fn half_close_then(reply: Response) -> (String, std::thread::JoinHandle<()>) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || {
+            // First connection: swallow the request, close without a reply.
+            if let Ok((mut conn, _)) = listener.accept() {
+                let _ = conn.set_read_timeout(Some(Duration::from_secs(2)));
+                let _ = read_frame_versioned(&mut conn);
+            }
+            // Any later connection gets a real reply (at most two matter).
+            for _ in 0..2 {
+                let Ok((mut conn, _)) = listener.accept() else {
+                    return;
+                };
+                let _ = conn.set_read_timeout(Some(Duration::from_secs(2)));
+                if read_frame_versioned(&mut conn).is_ok() {
+                    let _ = write_frame_versioned(&mut conn, &reply.encode(), reply.wire_version());
+                }
+            }
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn idempotent_request_reconnects_once_after_half_close() {
+        let (addr, server) = half_close_then(Response::Pong);
+        let client = Client::new(addr.clone()).with_timeout(Duration::from_secs(5));
+        client
+            .ping()
+            .expect("one half-close must be absorbed by a transparent reconnect");
+        // Unblock the stub's remaining accept so it can exit.
+        let _ = std::net::TcpStream::connect(&addr);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_is_never_retried_after_half_close() {
+        // If the client (incorrectly) re-sent the Shutdown, the stub's
+        // second accept would answer ShuttingDown and the call would
+        // succeed; the contract is that the io error surfaces instead.
+        let (addr, server) = half_close_then(Response::ShuttingDown);
+        let client = Client::new(addr.clone()).with_timeout(Duration::from_secs(5));
+        let err = client
+            .shutdown_server()
+            .expect_err("a half-closed Shutdown must surface, not be re-sent");
+        assert!(
+            matches!(err, ServeError::Io(_)),
+            "expected the raw io error, got: {err}"
+        );
+        // Unblock the stub's remaining accepts so it can exit.
+        let _ = std::net::TcpStream::connect(&addr);
+        let _ = std::net::TcpStream::connect(&addr);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn connection_loss_kinds_are_exactly_the_reconnectable_set() {
+        use std::io::{Error, ErrorKind};
+        for kind in [
+            ErrorKind::ConnectionReset,
+            ErrorKind::BrokenPipe,
+            ErrorKind::UnexpectedEof,
+        ] {
+            assert!(is_connection_loss(&Error::new(kind, "x")), "{kind:?}");
+        }
+        for kind in [ErrorKind::ConnectionRefused, ErrorKind::TimedOut] {
+            assert!(!is_connection_loss(&Error::new(kind, "x")), "{kind:?}");
+        }
+        assert!(is_idempotent(&Request::Ping));
+        assert!(is_idempotent(&Request::Map {
+            segments: Vec::new(),
+            deadline_ms: None
+        }));
+        assert!(is_idempotent(&Request::MapPartial {
+            segments: Vec::new(),
+            deadline_ms: None
+        }));
+        assert!(!is_idempotent(&Request::Shutdown));
+        assert!(!is_idempotent(&Request::Reload { path: "x".into() }));
     }
 
     #[test]

@@ -23,11 +23,24 @@
 //! equivalence suite are built on. Server-side mappings are sorted into
 //! the total order documented on [`jem_core::Mapping`], so a served batch
 //! renders byte-identically to the offline `jem map` TSV.
+//!
+//! For deployments too big (or too failure-prone) for one process, the
+//! router tier ([`router`]) scatter-gathers each query across independent
+//! shard servers, each owning a slice of the slot space
+//! ([`ShardedIndex::with_slots`], [`registry::ShardRegistry`]): per-trial
+//! collision sets from disjoint slices union back into exactly the
+//! single-process answer ([`router::merge_partials`]). The router gates
+//! unhealthy shards behind per-shard circuit breakers, hedges stragglers
+//! to replicas, propagates deadline budgets, and — when shards are missing
+//! — answers [`Response::Degraded`] naming exactly which ids its answer
+//! lacks, so a partial answer is never mistaken for a full one.
 
 pub mod chaos;
 pub mod client;
 pub mod protocol;
 pub mod queue;
+pub mod registry;
+pub mod router;
 pub mod server;
 pub mod shard;
 
@@ -35,9 +48,13 @@ pub use chaos::{ChaosAction, ChaosPlan, ChaosProxy};
 pub use client::{Client, RetryPolicy};
 pub use protocol::{
     read_frame, read_frame_versioned, write_frame, write_frame_versioned, ProtocolVersion, Request,
-    Response, ServerInfo, MAGIC, MAGIC_V2, MAX_BODY,
+    Response, SegmentPartials, ServerInfo, MAGIC, MAGIC_V2, MAX_BODY,
 };
 pub use queue::{BoundedQueue, PushError};
+pub use registry::{ShardRegistry, ShardSpec};
+pub use router::{
+    merge_partials, start_router, validate_partials, RouterConfig, RouterHandle, RouterReport,
+};
 pub use server::{start, ServerConfig, ServerHandle};
 pub use shard::ShardedIndex;
 

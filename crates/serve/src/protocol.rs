@@ -19,10 +19,14 @@
 //!   keep working against an upgraded server.
 //! * **`JEMSRV2`** — adds an optional per-request deadline to `Map`
 //!   (encoded as a millisecond budget word; `u64::MAX` means "none"), the
-//!   [`Request::Reload`] admin message, and the [`Response::Expired`] /
-//!   [`Response::Reloaded`] replies. A client only emits a `JEMSRV2` frame
-//!   when it actually uses a v2 feature ([`Request::wire_version`]), so a
-//!   deadline-free exchange is byte-identical to v1.
+//!   [`Request::Reload`] admin message, the [`Response::Expired`] /
+//!   [`Response::Reloaded`] replies, and the scatter-gather router
+//!   messages: [`Request::MapPartial`] / [`Response::Partials`] (shard
+//!   halves of a gather) and [`Request::MapDegraded`] /
+//!   [`Response::Degraded`] (router front-end, partial answers allowed).
+//!   A client only emits a `JEMSRV2` frame when it actually uses a v2
+//!   feature ([`Request::wire_version`]), so a deadline-free exchange is
+//!   byte-identical to v1.
 //!
 //! The frame checksum follows the persist-v3 convention of
 //! `jem_core::persist`: FNV-1a over the whole body, so any byte-level
@@ -32,6 +36,7 @@
 
 use crate::ServeError;
 use jem_core::{MapperConfig, Mapping, QuerySegment, ReadEnd};
+use jem_index::SubjectId;
 use jem_sketch::SketchScheme;
 use std::io::{Read, Write};
 
@@ -108,6 +113,27 @@ pub enum Request {
         /// Server-local filesystem path of the persisted index.
         path: String,
     },
+    /// Map a batch of segments but return the per-trial collision *sets*
+    /// instead of the argmax — the shard half of a router scatter-gather
+    /// (v2 only). Per-trial sets from disjoint slot ranges union
+    /// associatively, which is what makes the router's merge byte-exact.
+    MapPartial {
+        /// The segments to sketch and probe.
+        segments: Vec<QuerySegment>,
+        /// Same semantics as [`Request::Map::deadline_ms`]; the router
+        /// forwards its remaining budget here.
+        deadline_ms: Option<u64>,
+    },
+    /// Map a batch through a router front-end, accepting a
+    /// [`Response::Degraded`] answer when shards are unavailable (v2
+    /// only). A plain [`Request::Map`] to a router is strict: any missing
+    /// shard fails the whole query with a typed error naming the gaps.
+    MapDegraded {
+        /// The segments to map.
+        segments: Vec<QuerySegment>,
+        /// Same semantics as [`Request::Map::deadline_ms`].
+        deadline_ms: Option<u64>,
+    },
 }
 
 /// A server-to-client message.
@@ -133,6 +159,45 @@ pub enum Response {
     /// Acknowledges a successful [`Request::Reload`]; carries a
     /// human-readable summary of the new index (v2 only).
     Reloaded(String),
+    /// Answer to [`Request::MapPartial`]: one [`SegmentPartials`] per
+    /// requested segment, in request order, echoing each segment's
+    /// identity (v2 only).
+    Partials(Vec<SegmentPartials>),
+    /// Answer to [`Request::MapDegraded`] when some shards were
+    /// unavailable: the best mappings derivable from the shards that did
+    /// answer, plus the exact ids of the shards that are missing from the
+    /// merge (v2 only). A fully healthy gather answers
+    /// [`Response::Mappings`] instead.
+    Degraded {
+        /// Mappings merged from the surviving shards, in the total order
+        /// documented on [`Mapping`].
+        mappings: Vec<Mapping>,
+        /// Registry ids of the shards missing from the merge (sorted,
+        /// deduplicated, never empty).
+        missing: Vec<u32>,
+    },
+}
+
+/// One segment's share of a shard's sketch-table probe: for every trial,
+/// the *deduplicated* set of subject ids whose sketch collided with the
+/// segment in that shard's slot range.
+///
+/// This is the largest unit that still merges exactly: per-trial sets from
+/// disjoint slot ranges union associatively and commutatively, and the
+/// lazy-counter argmax (max trial count, ties to the smaller subject id)
+/// is a pure function of the union — so a router can gather these from
+/// independent shard processes in any order and reproduce the
+/// single-process answer byte for byte. Summed per-shard *counts* would
+/// not merge (one subject can collide with different codes of the same
+/// trial on different shards).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SegmentPartials {
+    /// Echo of the requested segment's read index.
+    pub read_idx: u32,
+    /// Echo of the requested segment's end.
+    pub end: ReadEnd,
+    /// Per-trial deduplicated (sorted) subject-id collision sets.
+    pub trials: Vec<Vec<SubjectId>>,
 }
 
 /// What a server tells clients about the index it serves.
@@ -160,6 +225,8 @@ const REQ_INFO: u64 = 1;
 const REQ_MAP: u64 = 2;
 const REQ_SHUTDOWN: u64 = 3;
 const REQ_RELOAD: u64 = 4;
+const REQ_MAP_PARTIAL: u64 = 5;
+const REQ_MAP_DEGRADED: u64 = 6;
 
 const RESP_PONG: u64 = 0;
 const RESP_INFO: u64 = 1;
@@ -169,6 +236,8 @@ const RESP_ERROR: u64 = 4;
 const RESP_SHUTTING_DOWN: u64 = 5;
 const RESP_EXPIRED: u64 = 6;
 const RESP_RELOADED: u64 = 7;
+const RESP_PARTIALS: u64 = 8;
+const RESP_DEGRADED: u64 = 9;
 
 // --- body primitives ----------------------------------------------------
 
@@ -235,6 +304,65 @@ impl<'a> Cursor<'a> {
     }
 }
 
+/// Encode a mapping batch: count, then four words per mapping.
+fn put_mappings(body: &mut Vec<u8>, mappings: &[Mapping]) {
+    put_u64(body, mappings.len() as u64);
+    for m in mappings {
+        put_u64(body, u64::from(m.read_idx));
+        put_u64(body, end_code(m.end));
+        put_u64(body, u64::from(m.subject));
+        put_u64(body, u64::from(m.hits));
+    }
+}
+
+/// Decode a mapping batch written by [`put_mappings`].
+fn read_mappings(c: &mut Cursor<'_>, body_len: usize) -> Result<Vec<Mapping>, ServeError> {
+    let n = c.usize()?;
+    let mut mappings = Vec::with_capacity(n.min(body_len / 32 + 1));
+    for _ in 0..n {
+        let read_idx =
+            u32::try_from(c.u64()?).map_err(|_| ServeError::protocol("read_idx overflows u32"))?;
+        let end = decode_end(c.u64()?)?;
+        let subject =
+            u32::try_from(c.u64()?).map_err(|_| ServeError::protocol("subject overflows u32"))?;
+        let hits =
+            u32::try_from(c.u64()?).map_err(|_| ServeError::protocol("hits overflows u32"))?;
+        mappings.push(Mapping {
+            read_idx,
+            end,
+            subject,
+            hits,
+        });
+    }
+    Ok(mappings)
+}
+
+/// Encode a segment batch: count, then `(read_idx, end, seq)` triples.
+fn put_segments(body: &mut Vec<u8>, segments: &[QuerySegment]) {
+    put_u64(body, segments.len() as u64);
+    for seg in segments {
+        put_u64(body, u64::from(seg.read_idx));
+        put_u64(body, end_code(seg.end));
+        put_bytes(body, &seg.seq);
+    }
+}
+
+/// Decode a segment batch written by [`put_segments`]. `body_len` bounds
+/// the defensive pre-allocation (a lying count word must not drive it).
+fn read_segments(c: &mut Cursor<'_>, body_len: usize) -> Result<Vec<QuerySegment>, ServeError> {
+    let n = c.usize()?;
+    // Sized by what the body can actually hold, not the header.
+    let mut segments = Vec::with_capacity(n.min(body_len / 24 + 1));
+    for _ in 0..n {
+        let read_idx =
+            u32::try_from(c.u64()?).map_err(|_| ServeError::protocol("read_idx overflows u32"))?;
+        let end = decode_end(c.u64()?)?;
+        let seq = c.bytes()?.to_vec();
+        segments.push(QuerySegment { read_idx, end, seq });
+    }
+    Ok(segments)
+}
+
 fn end_code(end: ReadEnd) -> u64 {
     match end {
         ReadEnd::Prefix => 0,
@@ -260,6 +388,7 @@ impl Request {
     pub fn wire_version(&self) -> ProtocolVersion {
         match self {
             Request::Reload { .. } => ProtocolVersion::V2,
+            Request::MapPartial { .. } | Request::MapDegraded { .. } => ProtocolVersion::V2,
             Request::Map {
                 deadline_ms: Some(_),
                 ..
@@ -289,12 +418,30 @@ impl Request {
                 if let Some(ms) = deadline_ms {
                     put_u64(&mut body, (*ms).min(NO_DEADLINE - 1));
                 }
-                put_u64(&mut body, segments.len() as u64);
-                for seg in segments {
-                    put_u64(&mut body, u64::from(seg.read_idx));
-                    put_u64(&mut body, end_code(seg.end));
-                    put_bytes(&mut body, &seg.seq);
-                }
+                put_segments(&mut body, segments);
+            }
+            Request::MapPartial {
+                segments,
+                deadline_ms,
+            }
+            | Request::MapDegraded {
+                segments,
+                deadline_ms,
+            } => {
+                let tag = if matches!(self, Request::MapPartial { .. }) {
+                    REQ_MAP_PARTIAL
+                } else {
+                    REQ_MAP_DEGRADED
+                };
+                put_u64(&mut body, tag);
+                // v2-only messages always carry the deadline word; the
+                // sentinel encodes "none" (no v1 layout to stay aligned
+                // with).
+                put_u64(
+                    &mut body,
+                    deadline_ms.map_or(NO_DEADLINE, |ms| ms.min(NO_DEADLINE - 1)),
+                );
+                put_segments(&mut body, segments);
             }
         }
         body
@@ -328,19 +475,31 @@ impl Request {
                         ms => Some(ms),
                     },
                 };
-                let n = c.usize()?;
-                // Sized by what the body can actually hold, not the header.
-                let mut segments = Vec::with_capacity(n.min(body.len() / 24 + 1));
-                for _ in 0..n {
-                    let read_idx = u32::try_from(c.u64()?)
-                        .map_err(|_| ServeError::protocol("read_idx overflows u32"))?;
-                    let end = decode_end(c.u64()?)?;
-                    let seq = c.bytes()?.to_vec();
-                    segments.push(QuerySegment { read_idx, end, seq });
-                }
+                let segments = read_segments(&mut c, body.len())?;
                 Request::Map {
                     segments,
                     deadline_ms,
+                }
+            }
+            tag @ (REQ_MAP_PARTIAL | REQ_MAP_DEGRADED) => {
+                if version == ProtocolVersion::V1 {
+                    return Err(ServeError::protocol(format!("unknown request tag {tag}")));
+                }
+                let deadline_ms = match c.u64()? {
+                    NO_DEADLINE => None,
+                    ms => Some(ms),
+                };
+                let segments = read_segments(&mut c, body.len())?;
+                if tag == REQ_MAP_PARTIAL {
+                    Request::MapPartial {
+                        segments,
+                        deadline_ms,
+                    }
+                } else {
+                    Request::MapDegraded {
+                        segments,
+                        deadline_ms,
+                    }
                 }
             }
             other => return Err(ServeError::protocol(format!("unknown request tag {other}"))),
@@ -356,7 +515,10 @@ impl Response {
     /// everything else stays v1 so old clients decode it unchanged.
     pub fn wire_version(&self) -> ProtocolVersion {
         match self {
-            Response::Expired | Response::Reloaded(_) => ProtocolVersion::V2,
+            Response::Expired
+            | Response::Reloaded(_)
+            | Response::Partials(_)
+            | Response::Degraded { .. } => ProtocolVersion::V2,
             _ => ProtocolVersion::V1,
         }
     }
@@ -379,12 +541,29 @@ impl Response {
             }
             Response::Mappings(mappings) => {
                 put_u64(&mut body, RESP_MAPPINGS);
-                put_u64(&mut body, mappings.len() as u64);
-                for m in mappings {
-                    put_u64(&mut body, u64::from(m.read_idx));
-                    put_u64(&mut body, end_code(m.end));
-                    put_u64(&mut body, u64::from(m.subject));
-                    put_u64(&mut body, u64::from(m.hits));
+                put_mappings(&mut body, mappings);
+            }
+            Response::Partials(partials) => {
+                put_u64(&mut body, RESP_PARTIALS);
+                put_u64(&mut body, partials.len() as u64);
+                for p in partials {
+                    put_u64(&mut body, u64::from(p.read_idx));
+                    put_u64(&mut body, end_code(p.end));
+                    put_u64(&mut body, p.trials.len() as u64);
+                    for set in &p.trials {
+                        put_u64(&mut body, set.len() as u64);
+                        for &s in set {
+                            put_u64(&mut body, u64::from(s));
+                        }
+                    }
+                }
+            }
+            Response::Degraded { mappings, missing } => {
+                put_u64(&mut body, RESP_DEGRADED);
+                put_mappings(&mut body, mappings);
+                put_u64(&mut body, missing.len() as u64);
+                for &id in missing {
+                    put_u64(&mut body, u64::from(id));
                 }
             }
             Response::Info(info) => {
@@ -428,25 +607,47 @@ impl Response {
             RESP_EXPIRED => Response::Expired,
             RESP_ERROR => Response::Error(c.string()?),
             RESP_RELOADED => Response::Reloaded(c.string()?),
-            RESP_MAPPINGS => {
+            RESP_MAPPINGS => Response::Mappings(read_mappings(&mut c, body.len())?),
+            RESP_PARTIALS => {
                 let n = c.usize()?;
-                let mut mappings = Vec::with_capacity(n.min(body.len() / 32 + 1));
+                // Every partial costs at least three body words.
+                let mut partials = Vec::with_capacity(n.min(body.len() / 24 + 1));
                 for _ in 0..n {
                     let read_idx = u32::try_from(c.u64()?)
                         .map_err(|_| ServeError::protocol("read_idx overflows u32"))?;
                     let end = decode_end(c.u64()?)?;
-                    let subject = u32::try_from(c.u64()?)
-                        .map_err(|_| ServeError::protocol("subject overflows u32"))?;
-                    let hits = u32::try_from(c.u64()?)
-                        .map_err(|_| ServeError::protocol("hits overflows u32"))?;
-                    mappings.push(Mapping {
+                    let n_trials = c.usize()?;
+                    let mut trials = Vec::with_capacity(n_trials.min(body.len() / 8 + 1));
+                    for _ in 0..n_trials {
+                        let n_subjects = c.usize()?;
+                        let mut set = Vec::with_capacity(n_subjects.min(body.len() / 8 + 1));
+                        for _ in 0..n_subjects {
+                            set.push(
+                                u32::try_from(c.u64()?)
+                                    .map_err(|_| ServeError::protocol("subject overflows u32"))?,
+                            );
+                        }
+                        trials.push(set);
+                    }
+                    partials.push(SegmentPartials {
                         read_idx,
                         end,
-                        subject,
-                        hits,
+                        trials,
                     });
                 }
-                Response::Mappings(mappings)
+                Response::Partials(partials)
+            }
+            RESP_DEGRADED => {
+                let mappings = read_mappings(&mut c, body.len())?;
+                let n = c.usize()?;
+                let mut missing = Vec::with_capacity(n.min(body.len() / 8 + 1));
+                for _ in 0..n {
+                    missing.push(
+                        u32::try_from(c.u64()?)
+                            .map_err(|_| ServeError::protocol("shard id overflows u32"))?,
+                    );
+                }
+                Response::Degraded { mappings, missing }
             }
             RESP_INFO => {
                 let config = MapperConfig {
@@ -600,6 +801,18 @@ mod tests {
                 ],
                 deadline_ms,
             });
+            roundtrip_request(Request::MapPartial {
+                segments: vec![QuerySegment {
+                    read_idx: 3,
+                    end: ReadEnd::Suffix,
+                    seq: b"ACGT".to_vec(),
+                }],
+                deadline_ms,
+            });
+            roundtrip_request(Request::MapDegraded {
+                segments: Vec::new(),
+                deadline_ms,
+            });
         }
     }
 
@@ -624,6 +837,31 @@ mod tests {
             shards: 8,
             batch: 16,
         }));
+        roundtrip_response(Response::Partials(vec![
+            SegmentPartials {
+                read_idx: 2,
+                end: ReadEnd::Prefix,
+                trials: vec![vec![0, 3, 9], Vec::new(), vec![7]],
+            },
+            SegmentPartials {
+                read_idx: 2,
+                end: ReadEnd::Suffix,
+                trials: Vec::new(),
+            },
+        ]));
+        roundtrip_response(Response::Degraded {
+            mappings: vec![Mapping {
+                read_idx: 1,
+                end: ReadEnd::Prefix,
+                subject: 4,
+                hits: 6,
+            }],
+            missing: vec![1, 3],
+        });
+        roundtrip_response(Response::Degraded {
+            mappings: Vec::new(),
+            missing: vec![0],
+        });
     }
 
     #[test]
@@ -647,6 +885,26 @@ mod tests {
         let reload = Request::Reload { path: "x".into() };
         assert_eq!(reload.wire_version(), ProtocolVersion::V2);
         assert!(Request::decode(&reload.encode()).is_err());
+        for req in [
+            Request::MapPartial {
+                segments: Vec::new(),
+                deadline_ms: None,
+            },
+            Request::MapDegraded {
+                segments: Vec::new(),
+                deadline_ms: Some(5),
+            },
+        ] {
+            assert_eq!(req.wire_version(), ProtocolVersion::V2);
+            assert!(
+                Request::decode(&req.encode()).is_err(),
+                "router tags must be rejected by a v1 decode: {req:?}"
+            );
+            assert_eq!(
+                Request::decode_versioned(&req.encode(), ProtocolVersion::V2).unwrap(),
+                req
+            );
+        }
     }
 
     #[test]

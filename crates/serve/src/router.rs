@@ -1,0 +1,884 @@
+//! The scatter-gather router: a front-end that fans each query batch out
+//! to independent `jem serve` shard processes and merges their per-trial
+//! collision sets back into the single-process answer.
+//!
+//! Architecture (DESIGN.md §13):
+//!
+//! * **registry** — a validated [`ShardRegistry`]: slot range + primary
+//!   address (+ optional hedge replica) per shard, exact disjoint cover of
+//!   the slot space. Shard ids are registry indices; they are the ids a
+//!   [`Response::Degraded`] answer names.
+//! * **scatter** — one thread per shard per query (`std::thread::scope`),
+//!   each asking its shard for [`SegmentPartials`]
+//!   ([`Request::MapPartial`]) with the router's *remaining* deadline
+//!   budget forwarded, so a shard never works past the instant the client
+//!   stopped waiting.
+//! * **hedging** — a shard that has not answered within the straggler
+//!   threshold gets a second, racing request on its replica (or the
+//!   primary again); first answer wins, the loser is discarded. Hedges
+//!   fire on silence, not on fast failures — fast failures are the
+//!   breaker's department.
+//! * **health gating** — a consecutive-failure circuit breaker per shard.
+//!   An open breaker skips the shard without burning a connection; after a
+//!   cooldown drawn from the shared [`RetryPolicy`] schedule (capped
+//!   exponential in the number of opens, deterministic seeded jitter) one
+//!   probe is let through — success closes the breaker, failure reopens it
+//!   with a longer cooldown.
+//! * **merge** — per-trial subject sets from disjoint slot ranges union
+//!   associatively and commutatively ([`merge_partials`]); the argmax over
+//!   the union reproduces the lazy counter's answer bit for bit, so a
+//!   fully-gathered query renders byte-identically to the single-process
+//!   TSV.
+//! * **degraded answers** — under [`Request::MapDegraded`], missing shards
+//!   shrink the union instead of failing the query: the reply is
+//!   [`Response::Degraded`] carrying the merge of the survivors plus the
+//!   exact ids of the shards that are missing. A strict [`Request::Map`]
+//!   instead fails with a typed error naming the same ids. The chaos
+//!   invariant: every query gets a typed error, a degraded answer naming
+//!   its gaps, or the correct full answer — never silence, never a wrong
+//!   answer dressed as a full one.
+
+use crate::client::{Client, RetryPolicy};
+use crate::protocol::{
+    read_frame_versioned, write_frame_versioned, Request, Response, SegmentPartials, ServerInfo,
+};
+use crate::registry::ShardRegistry;
+use crate::ServeError;
+use jem_core::{Mapping, QuerySegment};
+use jem_index::SubjectId;
+use jem_obs::{MetricsRecorder, Recorder, Snapshot, Span};
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of a [`start_router`]ed front-end.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Socket connect/read/write timeout per shard attempt.
+    pub io_timeout: Duration,
+    /// Straggler threshold: how long to wait for a shard before hedging a
+    /// second request to its replica (or re-dispatching to the primary).
+    /// `None` disables hedging.
+    pub hedge_after: Option<Duration>,
+    /// Consecutive failures that open a shard's circuit breaker (≥ 1).
+    pub breaker_failures: u32,
+    /// Cooldown schedule for reopening: an open breaker admits a probe
+    /// after `pause_before(opens)` — capped exponential with deterministic
+    /// seeded jitter, the same vocabulary client retries use.
+    pub breaker_cooldown: RetryPolicy,
+    /// Router-side budget per query. Combined (min) with the client's own
+    /// deadline; the *remaining* budget is forwarded to every shard.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            io_timeout: Duration::from_secs(10),
+            hedge_after: Some(Duration::from_millis(50)),
+            breaker_failures: 3,
+            breaker_cooldown: RetryPolicy::new(8, Duration::from_millis(250)),
+            deadline: None,
+        }
+    }
+}
+
+impl RouterConfig {
+    fn validate(&self) -> Result<(), ServeError> {
+        if self.breaker_failures == 0 {
+            return Err(ServeError::Config(
+                "breaker_failures must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Per-shard circuit-breaker state.
+#[derive(Debug, Default)]
+struct Breaker {
+    /// Failures since the last success.
+    consecutive_failures: u32,
+    /// Times this breaker has opened since the last success — the
+    /// exponent of the cooldown schedule.
+    opens: u32,
+    /// While `Some`, the breaker is open until the instant (then
+    /// half-open: one probe is admitted and its outcome decides).
+    open_until: Option<Instant>,
+}
+
+/// State shared by the accept loop and per-query gather threads.
+struct RouterShared {
+    registry: ShardRegistry,
+    config: RouterConfig,
+    states: Vec<Mutex<Breaker>>,
+    recorder: Arc<MetricsRecorder>,
+    shutdown: AtomicBool,
+    /// Lazily fetched shard `Info`, rewritten to the router's slot count.
+    info: RwLock<Option<ServerInfo>>,
+}
+
+impl RouterShared {
+    /// Whether the breaker admits a request to `shard_id` right now
+    /// (closed, or open past its cooldown — the half-open probe).
+    fn admit(&self, shard_id: usize) -> bool {
+        let st = self.states[shard_id].lock().expect("breaker lock poisoned");
+        match st.open_until {
+            Some(until) => Instant::now() >= until,
+            None => true,
+        }
+    }
+
+    /// Record a request outcome for `shard_id` and move the breaker.
+    fn report(&self, shard_id: usize, ok: bool) {
+        let mut st = self.states[shard_id].lock().expect("breaker lock poisoned");
+        if ok {
+            if st.open_until.is_some() {
+                self.recorder.add("router.breaker_close", 1);
+            }
+            *st = Breaker::default();
+            return;
+        }
+        st.consecutive_failures += 1;
+        // A failure while open (the probe) reopens immediately; a closed
+        // breaker opens once the consecutive-failure threshold is hit.
+        if st.open_until.is_some() || st.consecutive_failures >= self.config.breaker_failures {
+            st.opens = st.opens.saturating_add(1);
+            let cooldown = self.config.breaker_cooldown.pause_before(st.opens as usize);
+            st.open_until = Some(Instant::now() + cooldown);
+            self.recorder.add("router.breaker_open", 1);
+        }
+    }
+}
+
+/// What a finished router run reports: the metrics snapshot plus a
+/// human-readable status text (topology + final breaker states) for the
+/// `--snapshot` file.
+pub struct RouterReport {
+    /// Final metrics snapshot.
+    pub metrics: Snapshot,
+    /// Rendered registry + breaker status.
+    pub status: String,
+}
+
+/// Handle to a running router: its address, live metrics, and the two
+/// ways a run ends (local [`RouterHandle::shutdown`], or
+/// [`RouterHandle::join`] after a remote [`Request::Shutdown`]).
+pub struct RouterHandle {
+    addr: SocketAddr,
+    shared: Arc<RouterShared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl RouterHandle {
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The router's metrics recorder (live; snapshot any time).
+    pub fn recorder(&self) -> &MetricsRecorder {
+        &self.shared.recorder
+    }
+
+    /// Rendered topology + live breaker states.
+    pub fn status(&self) -> String {
+        status_text(&self.shared)
+    }
+
+    /// Stop accepting, then report. Queries already dispatched finish on
+    /// their own threads (each bounded by socket timeouts).
+    pub fn shutdown(mut self) -> RouterReport {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept loop out of its blocking accept.
+        let _ = TcpStream::connect(self.addr);
+        self.join_inner()
+    }
+
+    /// Wait for a remote [`Request::Shutdown`] to end the run, then
+    /// report.
+    pub fn join(mut self) -> RouterReport {
+        self.join_inner()
+    }
+
+    fn join_inner(&mut self) -> RouterReport {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        RouterReport {
+            metrics: self.shared.recorder.snapshot(),
+            status: status_text(&self.shared),
+        }
+    }
+}
+
+/// Bind `addr` and start routing queries across `registry`'s shards.
+/// Returns once the listener is live.
+pub fn start_router(
+    registry: ShardRegistry,
+    addr: &str,
+    config: &RouterConfig,
+) -> Result<RouterHandle, ServeError> {
+    config.validate()?;
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let recorder = Arc::new(MetricsRecorder::new());
+    recorder.add("router.started", 1);
+    recorder.add("router.shards_configured", registry.len() as u64);
+    let states = (0..registry.len())
+        .map(|_| Mutex::new(Breaker::default()))
+        .collect();
+    let shared = Arc::new(RouterShared {
+        registry,
+        config: config.clone(),
+        states,
+        recorder,
+        shutdown: AtomicBool::new(false),
+        info: RwLock::new(None),
+    });
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || accept_loop(&listener, &shared))
+    };
+    Ok(RouterHandle {
+        addr,
+        shared,
+        accept: Some(accept),
+    })
+}
+
+/// Reply on `conn`, tolerating a peer that already hung up.
+fn respond(conn: &mut TcpStream, recorder: &MetricsRecorder, resp: &Response) {
+    if write_frame_versioned(conn, &resp.encode(), resp.wire_version()).is_err() {
+        recorder.add("router.write_errors", 1);
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<RouterShared>) {
+    let recorder = &*shared.recorder;
+    loop {
+        let mut conn = match listener.accept() {
+            Ok((conn, _)) => conn,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        recorder.add("router.connections", 1);
+        if conn
+            .set_read_timeout(Some(shared.config.io_timeout))
+            .is_err()
+            || conn
+                .set_write_timeout(Some(shared.config.io_timeout))
+                .is_err()
+        {
+            continue;
+        }
+        let received = Instant::now();
+        match read_frame_versioned(&mut conn)
+            .and_then(|(version, body)| Request::decode_versioned(&body, version))
+        {
+            Err(e) => {
+                recorder.add("router.protocol_errors", 1);
+                respond(&mut conn, recorder, &Response::Error(e.to_string()));
+            }
+            Ok(Request::Ping) => respond(&mut conn, recorder, &Response::Pong),
+            Ok(Request::Info) => {
+                let resp = router_info(shared);
+                respond(&mut conn, recorder, &resp);
+            }
+            Ok(Request::Shutdown) => {
+                recorder.add("router.shutdown_requests", 1);
+                respond(&mut conn, recorder, &Response::ShuttingDown);
+                return;
+            }
+            Ok(Request::Reload { .. }) => respond(
+                &mut conn,
+                recorder,
+                &Response::Error(
+                    "the router holds no index; reload the shard servers directly".into(),
+                ),
+            ),
+            Ok(Request::MapPartial { .. }) => respond(
+                &mut conn,
+                recorder,
+                &Response::Error(
+                    "the router serves merged answers; MapPartial is a shard-tier request".into(),
+                ),
+            ),
+            Ok(Request::Map {
+                segments,
+                deadline_ms,
+            }) => dispatch(shared, conn, segments, deadline_ms, received, false),
+            Ok(Request::MapDegraded {
+                segments,
+                deadline_ms,
+            }) => dispatch(shared, conn, segments, deadline_ms, received, true),
+        }
+    }
+}
+
+/// Answer one mapping query on its own thread: the gather can spend a
+/// hedge threshold + shard latency, and the accept loop must keep
+/// admitting other clients meanwhile. Backpressure lives at the shard
+/// tier (bounded queues answering `Busy`); the router itself is a thin
+/// fan-out.
+fn dispatch(
+    shared: &Arc<RouterShared>,
+    mut conn: TcpStream,
+    segments: Vec<QuerySegment>,
+    deadline_ms: Option<u64>,
+    received: Instant,
+    allow_degraded: bool,
+) {
+    let shared = Arc::clone(shared);
+    std::thread::spawn(move || {
+        let resp = answer(&shared, &segments, deadline_ms, received, allow_degraded);
+        respond(&mut conn, &shared.recorder, &resp);
+        let latency = u64::try_from(received.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        shared.recorder.span_ns("router/request", latency);
+    });
+}
+
+/// The router's `Info`: any healthy shard's info with the shard count
+/// rewritten to the global slot count (all shards serve the same index
+/// parameters — only slot ownership differs). Cached after first success.
+fn router_info(shared: &Arc<RouterShared>) -> Response {
+    if let Some(info) = shared.info.read().expect("info lock poisoned").clone() {
+        return Response::Info(info);
+    }
+    for spec in shared.registry.shards() {
+        let client = Client::new(spec.addr.clone()).with_timeout(shared.config.io_timeout);
+        if let Ok(mut info) = client.info() {
+            info.shards = shared.registry.n_slots();
+            *shared.info.write().expect("info lock poisoned") = Some(info.clone());
+            return Response::Info(info);
+        }
+    }
+    Response::Error("no shard reachable to answer Info".into())
+}
+
+/// How one shard's share of a gather ended.
+enum ShardOutcome {
+    /// Validated partials, ready to merge.
+    Partials(Vec<SegmentPartials>),
+    /// The shard is missing from the merge (unreachable, invalid answer,
+    /// busy, or breaker-skipped).
+    Missing,
+    /// The deadline budget ran out for this shard (it is not unhealthy —
+    /// nobody is waiting anymore).
+    Expired,
+}
+
+/// A completed scatter-gather: per-shard partials plus the gap list.
+struct Gather {
+    present: Vec<(usize, Vec<SegmentPartials>)>,
+    /// Shard ids missing from the merge, ascending (registry indices).
+    missing: Vec<u32>,
+    any_expired: bool,
+}
+
+/// The min of the router's own budget and the client's request deadline.
+fn effective_budget(router: Option<Duration>, client_ms: Option<u64>) -> Option<Duration> {
+    let client = client_ms.map(Duration::from_millis);
+    match (router, client) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    }
+}
+
+fn gather(
+    shared: &Arc<RouterShared>,
+    segments: &[QuerySegment],
+    deadline_ms: Option<u64>,
+    received: Instant,
+) -> Gather {
+    let recorder = &*shared.recorder;
+    recorder.add("router.queries", 1);
+    recorder.observe("router.fanout", shared.registry.len() as u64);
+    let _pass = Span::enter(recorder as &dyn Recorder, "router/gather");
+    let budget = effective_budget(shared.config.deadline, deadline_ms);
+    let n = shared.registry.len();
+    let outcomes: Vec<ShardOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .map(|shard_id| {
+                scope.spawn(move || shard_outcome(shared, shard_id, segments, budget, received))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or(ShardOutcome::Missing))
+            .collect()
+    });
+    let mut g = Gather {
+        present: Vec::new(),
+        missing: Vec::new(),
+        any_expired: false,
+    };
+    for (shard_id, outcome) in outcomes.into_iter().enumerate() {
+        match outcome {
+            ShardOutcome::Partials(p) => g.present.push((shard_id, p)),
+            ShardOutcome::Missing => g.missing.push(shard_id as u32),
+            ShardOutcome::Expired => {
+                g.any_expired = true;
+                g.missing.push(shard_id as u32);
+            }
+        }
+    }
+    g
+}
+
+/// One shard's share of a gather: breaker gate, fetch (with hedging),
+/// validation, breaker report.
+fn shard_outcome(
+    shared: &Arc<RouterShared>,
+    shard_id: usize,
+    segments: &[QuerySegment],
+    budget: Option<Duration>,
+    received: Instant,
+) -> ShardOutcome {
+    let recorder = &*shared.recorder;
+    // Remaining budget from here: the router's elapsed time is the
+    // client's elapsed time, so shards only ever get what is left.
+    let remaining = match budget {
+        Some(b) => match b.checked_sub(received.elapsed()) {
+            Some(r) if r > Duration::ZERO => Some(r),
+            _ => return ShardOutcome::Expired,
+        },
+        None => None,
+    };
+    if !shared.admit(shard_id) {
+        recorder.add("router.breaker_skips", 1);
+        return ShardOutcome::Missing;
+    }
+    match fetch_partials(shared, shard_id, segments, remaining) {
+        Ok(partials) => {
+            if validate_partials(segments, &partials).is_err() {
+                // A shard answering mismatched echoes is unhealthy, and
+                // its data must never alias into the merge.
+                recorder.add("router.invalid_partials", 1);
+                recorder.add_dyn(format!("router.shard.{shard_id}.failures"), 1);
+                shared.report(shard_id, false);
+                ShardOutcome::Missing
+            } else {
+                recorder.add_dyn(format!("router.shard.{shard_id}.ok"), 1);
+                shared.report(shard_id, true);
+                ShardOutcome::Partials(partials)
+            }
+        }
+        // A shard shedding on deadline is healthy — the budget died, not
+        // the shard. Same for backpressure: `Busy` is load, not illness.
+        Err(ServeError::Expired) => ShardOutcome::Expired,
+        Err(ServeError::Busy) => {
+            recorder.add("router.shard_busy", 1);
+            ShardOutcome::Missing
+        }
+        Err(_) => {
+            recorder.add_dyn(format!("router.shard.{shard_id}.failures"), 1);
+            shared.report(shard_id, false);
+            ShardOutcome::Missing
+        }
+    }
+}
+
+/// Fetch one shard's partials, hedging to the replica (or re-dispatching
+/// to the primary) if the first attempt goes silent past the straggler
+/// threshold. First answer wins; a losing attempt's result is discarded.
+fn fetch_partials(
+    shared: &Arc<RouterShared>,
+    shard_id: usize,
+    segments: &[QuerySegment],
+    budget: Option<Duration>,
+) -> Result<Vec<SegmentPartials>, ServeError> {
+    let spec = &shared.registry.shards()[shard_id];
+    let (tx, rx) = mpsc::channel::<(bool, Result<Vec<SegmentPartials>, ServeError>)>();
+    let io_timeout = shared.config.io_timeout;
+    let spawn_attempt = |addr: String, hedged: bool| {
+        let tx = tx.clone();
+        let segments = segments.to_vec();
+        std::thread::spawn(move || {
+            let mut client = Client::new(addr).with_timeout(io_timeout);
+            if let Some(d) = budget {
+                client = client.with_deadline(d);
+            }
+            let _ = tx.send((hedged, client.map_segments_partial(&segments)));
+        });
+    };
+    spawn_attempt(spec.addr.clone(), false);
+    // Hard stop for the whole fetch: the budget if there is one, else a
+    // generous multiple of the socket timeout (each attempt thread is
+    // itself bounded by connect/read/write timeouts).
+    let hard = budget.unwrap_or_else(|| io_timeout.saturating_mul(3));
+    let started = Instant::now();
+    // Wait for the primary up to the straggler threshold, then hedge.
+    let mut first = None;
+    match shared.config.hedge_after {
+        Some(hedge_after) if hedge_after < hard => match rx.recv_timeout(hedge_after) {
+            Ok(outcome) => first = Some(outcome),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                shared.recorder.add("router.hedges", 1);
+                let target = spec.replica.clone().unwrap_or_else(|| spec.addr.clone());
+                spawn_attempt(target, true);
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {}
+        },
+        _ => {}
+    }
+    // From here only the attempt threads hold senders: the loop ends on
+    // the first success, when every attempt has failed (disconnect), or
+    // at the hard stop.
+    drop(tx);
+    let mut last_err = None;
+    loop {
+        let outcome = match first.take() {
+            Some(outcome) => outcome,
+            None => {
+                let Some(left) = hard.checked_sub(started.elapsed()) else {
+                    break;
+                };
+                match rx.recv_timeout(left) {
+                    Ok(outcome) => outcome,
+                    Err(_) => break,
+                }
+            }
+        };
+        match outcome {
+            (hedged, Ok(partials)) => {
+                if hedged {
+                    shared.recorder.add("router.hedge_wins", 1);
+                }
+                return Ok(partials);
+            }
+            (_, Err(e)) => last_err = Some(e),
+        }
+    }
+    Err(last_err.unwrap_or_else(|| {
+        ServeError::Io(std::io::Error::new(
+            std::io::ErrorKind::TimedOut,
+            format!("shard {shard_id} did not answer within the gather bound"),
+        ))
+    }))
+}
+
+/// Build the response for one query batch from a completed gather.
+fn answer(
+    shared: &Arc<RouterShared>,
+    segments: &[QuerySegment],
+    deadline_ms: Option<u64>,
+    received: Instant,
+    allow_degraded: bool,
+) -> Response {
+    let recorder = &*shared.recorder;
+    let g = gather(shared, segments, deadline_ms, received);
+    let merged = |present: &[(usize, Vec<SegmentPartials>)]| {
+        let lists: Vec<&Vec<SegmentPartials>> = present.iter().map(|(_, p)| p).collect();
+        merge_partials(segments, &lists)
+    };
+    if g.missing.is_empty() {
+        return match merged(&g.present) {
+            Ok(mappings) => {
+                recorder.add("router.full_answers", 1);
+                Response::Mappings(mappings)
+            }
+            Err(e) => Response::Error(e.to_string()),
+        };
+    }
+    if !allow_degraded {
+        return if g.any_expired {
+            recorder.add("router.expired", 1);
+            Response::Expired
+        } else {
+            Response::Error(format!(
+                "shards {:?} unavailable; a strict Map fails whole — retry, or ask for a \
+                 degraded answer (MapDegraded / jem query --allow-degraded)",
+                g.missing
+            ))
+        };
+    }
+    if g.present.is_empty() {
+        return if g.any_expired {
+            recorder.add("router.expired", 1);
+            Response::Expired
+        } else {
+            Response::Error(format!("all shards unavailable ({:?})", g.missing))
+        };
+    }
+    match merged(&g.present) {
+        Ok(mappings) => {
+            recorder.add("router.degraded", 1);
+            Response::Degraded {
+                mappings,
+                missing: g.missing,
+            }
+        }
+        Err(e) => Response::Error(e.to_string()),
+    }
+}
+
+/// Check that `partials` is a plausible shard answer for `segments`: one
+/// entry per segment, in order, echoing each segment's identity. A gather
+/// merges answers from independent processes — this is what stops a
+/// shard's (or a fault injector's) mismatched answer from aliasing into
+/// another query's merge.
+pub fn validate_partials(
+    segments: &[QuerySegment],
+    partials: &[SegmentPartials],
+) -> Result<(), ServeError> {
+    if partials.len() != segments.len() {
+        return Err(ServeError::protocol(format!(
+            "shard answered {} partials for {} segments",
+            partials.len(),
+            segments.len()
+        )));
+    }
+    for (seg, p) in segments.iter().zip(partials) {
+        if p.read_idx != seg.read_idx || p.end != seg.end {
+            return Err(ServeError::protocol(format!(
+                "shard partial echoes read {} {:?} for requested read {} {:?}",
+                p.read_idx, p.end, seg.read_idx, seg.end
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Merge per-shard [`SegmentPartials`] into final mappings, reproducing
+/// the lazy hit counter's argmax exactly.
+///
+/// For each segment and trial, the shards' deduplicated subject sets are
+/// unioned (set union is associative, commutative, and idempotent — shard
+/// order and shard count cannot change the result); a subject's hit count
+/// is the number of trials whose union contains it; the winner is the
+/// highest count, ties to the smallest subject id — precisely the rule
+/// `LazyHitCounter::record` applies, so a full gather is byte-identical
+/// to the single-process answer. Output is sorted in [`Mapping`]'s total
+/// order. Every shard's list must pass [`validate_partials`].
+pub fn merge_partials<L: AsRef<[SegmentPartials]>>(
+    segments: &[QuerySegment],
+    per_shard: &[L],
+) -> Result<Vec<Mapping>, ServeError> {
+    for shard in per_shard {
+        validate_partials(segments, shard.as_ref())?;
+    }
+    let mut mappings = Vec::new();
+    let mut union: Vec<SubjectId> = Vec::new();
+    let mut counts: BTreeMap<SubjectId, u32> = BTreeMap::new();
+    for (i, seg) in segments.iter().enumerate() {
+        counts.clear();
+        let trials = per_shard
+            .iter()
+            .map(|s| s.as_ref()[i].trials.len())
+            .max()
+            .unwrap_or(0);
+        for t in 0..trials {
+            union.clear();
+            for shard in per_shard {
+                if let Some(set) = shard.as_ref()[i].trials.get(t) {
+                    union.extend_from_slice(set);
+                }
+            }
+            union.sort_unstable();
+            union.dedup();
+            for &s in &union {
+                *counts.entry(s).or_insert(0) += 1;
+            }
+        }
+        // The lazy counter's argmax: a strictly higher count wins; an
+        // equal count keeps the earlier (smaller) subject id. Ascending
+        // iteration makes "keep on ties" exactly that rule.
+        let mut best: Option<(SubjectId, u32)> = None;
+        for (&subject, &count) in counts.iter() {
+            match best {
+                Some((_, best_count)) if count <= best_count => {}
+                _ => best = Some((subject, count)),
+            }
+        }
+        if let Some((subject, hits)) = best {
+            mappings.push(Mapping {
+                read_idx: seg.read_idx,
+                end: seg.end,
+                subject,
+                hits,
+            });
+        }
+    }
+    mappings.sort_unstable();
+    Ok(mappings)
+}
+
+/// Render the topology and live breaker states (the `--snapshot` text).
+fn status_text(shared: &RouterShared) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "# jem-router status");
+    let _ = writeln!(out, "epoch\t{}", shared.registry.epoch());
+    let _ = writeln!(out, "slots\t{}", shared.registry.n_slots());
+    let _ = writeln!(out, "topology\t{}", shared.registry);
+    let now = Instant::now();
+    for (i, spec) in shared.registry.shards().iter().enumerate() {
+        let st = shared.states[i].lock().expect("breaker lock poisoned");
+        let phase = match st.open_until {
+            Some(until) if now < until => "open",
+            Some(_) => "half-open",
+            None => "closed",
+        };
+        let _ = writeln!(
+            out,
+            "shard\t{i}\t{}-{}\t{}\treplica={}\tbreaker={phase}\tfailures={}\topens={}",
+            spec.slots.start,
+            spec.slots.end,
+            spec.addr,
+            spec.replica.as_deref().unwrap_or("-"),
+            st.consecutive_failures,
+            st.opens
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jem_core::ReadEnd;
+
+    fn seg(read_idx: u32, end: ReadEnd) -> QuerySegment {
+        QuerySegment {
+            read_idx,
+            end,
+            seq: Vec::new(),
+        }
+    }
+
+    fn partial(read_idx: u32, end: ReadEnd, trials: Vec<Vec<SubjectId>>) -> SegmentPartials {
+        SegmentPartials {
+            read_idx,
+            end,
+            trials,
+        }
+    }
+
+    #[test]
+    fn merge_reproduces_the_lazy_counter_tiebreak() {
+        let segments = vec![seg(0, ReadEnd::Prefix)];
+        // Subject 9 collides in trials {0,1}; subject 2 in trials {1,2}.
+        // Equal counts — the smaller id must win, exactly like the lazy
+        // counter's "equal count keeps the smaller subject" rule.
+        let shards = vec![vec![partial(
+            0,
+            ReadEnd::Prefix,
+            vec![vec![9], vec![2, 9], vec![2]],
+        )]];
+        let merged = merge_partials(&segments, &shards).unwrap();
+        assert_eq!(
+            merged,
+            vec![Mapping {
+                read_idx: 0,
+                end: ReadEnd::Prefix,
+                subject: 2,
+                hits: 2
+            }]
+        );
+        // A strictly higher count beats a smaller id.
+        let shards = vec![vec![partial(
+            0,
+            ReadEnd::Prefix,
+            vec![vec![0, 7], vec![7], vec![7]],
+        )]];
+        let merged = merge_partials(&segments, &shards).unwrap();
+        assert_eq!(merged[0].subject, 7);
+        assert_eq!(merged[0].hits, 3);
+    }
+
+    #[test]
+    fn merge_unions_across_shards_without_double_counting() {
+        let segments = vec![seg(3, ReadEnd::Suffix)];
+        // Subject 5 collides with *different codes of the same trial* on
+        // two different shards: the union must count that trial once.
+        let a = vec![partial(3, ReadEnd::Suffix, vec![vec![5], vec![]])];
+        let b = vec![partial(3, ReadEnd::Suffix, vec![vec![5], vec![5]])];
+        let merged = merge_partials(&segments, &[a.clone(), b.clone()]).unwrap();
+        assert_eq!(merged[0].hits, 2, "trial 0 must count once, not twice");
+        // Order independence: any shard permutation merges identically.
+        let swapped = merge_partials(&segments, &[b, a]).unwrap();
+        assert_eq!(merged, swapped);
+    }
+
+    #[test]
+    fn merge_with_no_collisions_maps_nothing() {
+        let segments = vec![seg(0, ReadEnd::Prefix), seg(0, ReadEnd::Suffix)];
+        let shards = vec![vec![
+            partial(0, ReadEnd::Prefix, vec![Vec::new(); 4]),
+            partial(0, ReadEnd::Suffix, vec![Vec::new(); 4]),
+        ]];
+        assert!(merge_partials(&segments, &shards).unwrap().is_empty());
+        let none: Vec<Vec<SegmentPartials>> = Vec::new();
+        assert!(merge_partials(&segments, &none).unwrap().is_empty());
+    }
+
+    #[test]
+    fn mismatched_echoes_refuse_to_merge() {
+        let segments = vec![seg(1, ReadEnd::Prefix)];
+        // Wrong read index.
+        let wrong_read = vec![partial(2, ReadEnd::Prefix, vec![vec![1]])];
+        assert!(merge_partials(&segments, &[wrong_read]).is_err());
+        // Wrong end.
+        let wrong_end = vec![partial(1, ReadEnd::Suffix, vec![vec![1]])];
+        assert!(merge_partials(&segments, &[wrong_end]).is_err());
+        // Wrong count.
+        let wrong_len: Vec<SegmentPartials> = Vec::new();
+        assert!(merge_partials(&segments, &[wrong_len]).is_err());
+    }
+
+    #[test]
+    fn effective_budget_takes_the_min() {
+        let s = Duration::from_secs(1);
+        assert_eq!(effective_budget(None, None), None);
+        assert_eq!(effective_budget(Some(s), None), Some(s));
+        assert_eq!(effective_budget(None, Some(500)), Some(s / 2));
+        assert_eq!(effective_budget(Some(s), Some(500)), Some(s / 2));
+        assert_eq!(effective_budget(Some(s / 4), Some(500)), Some(s / 4));
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_probe_decides() {
+        let registry = ShardRegistry::parse("0-1@127.0.0.1:1").unwrap();
+        let config = RouterConfig {
+            breaker_failures: 2,
+            breaker_cooldown: RetryPolicy::new(4, Duration::from_millis(1))
+                .with_cap(Duration::from_millis(2)),
+            ..RouterConfig::default()
+        };
+        let shared = RouterShared {
+            states: vec![Mutex::new(Breaker::default())],
+            registry,
+            config,
+            recorder: Arc::new(MetricsRecorder::new()),
+            shutdown: AtomicBool::new(false),
+            info: RwLock::new(None),
+        };
+        assert!(shared.admit(0));
+        shared.report(0, false);
+        assert!(shared.admit(0), "one failure is below the threshold");
+        shared.report(0, false);
+        assert!(!shared.admit(0), "second failure must open the breaker");
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(shared.admit(0), "cooldown elapsed: half-open probe");
+        shared.report(0, false);
+        assert!(!shared.admit(0), "failed probe must reopen immediately");
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(shared.admit(0));
+        shared.report(0, true);
+        assert!(shared.admit(0), "success closes the breaker");
+        let snap = shared.recorder.snapshot();
+        assert_eq!(snap.counter("router.breaker_open"), 2);
+        assert_eq!(snap.counter("router.breaker_close"), 1);
+    }
+}

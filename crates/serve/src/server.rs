@@ -5,7 +5,8 @@
 //!
 //! * **accept thread** — owns the listener. Reads one request frame per
 //!   connection (either protocol revision), answers `Ping`/`Info` inline,
-//!   enqueues `Map` jobs on the bounded queue (replying [`Response::Busy`]
+//!   enqueues `Map`/`MapPartial` jobs on the bounded queue (replying
+//!   [`Response::Busy`]
 //!   when it is full — the server never buffers unboundedly), hands
 //!   `Reload` to a one-off loader thread so a slow index load never blocks
 //!   admission, and on `Shutdown` stops accepting and closes the queue.
@@ -42,13 +43,16 @@
 //! its own lifetime without racing other pipelines in the process, and
 //! tests can run many servers concurrently.
 
-use crate::protocol::{read_frame_versioned, write_frame_versioned, Request, Response, ServerInfo};
+use crate::protocol::{
+    read_frame_versioned, write_frame_versioned, Request, Response, SegmentPartials, ServerInfo,
+};
 use crate::queue::{BoundedQueue, PushError};
 use crate::shard::ShardedIndex;
 use crate::ServeError;
 use jem_core::{MapScratch, QuerySegment};
 use jem_obs::{MetricsRecorder, Recorder, Snapshot, Span};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, RwLock};
@@ -106,10 +110,20 @@ impl ServerConfig {
     }
 }
 
-/// One admitted `Map` request: the segments plus the connection to answer.
+/// What a queued job answers with: final mappings (`Map`) or per-trial
+/// collision sets against this server's owned slot range (`MapPartial`,
+/// the gather half of the router's scatter-gather).
+enum JobKind {
+    Map,
+    Partial,
+}
+
+/// One admitted mapping request: the segments plus the connection to
+/// answer.
 struct Job {
     conn: TcpStream,
     segments: Vec<QuerySegment>,
+    kind: JobKind,
     enqueued: Instant,
     /// When the client's deadline budget runs out (None = never expires).
     expires: Option<Instant>,
@@ -134,8 +148,13 @@ struct Shared {
     batch: usize,
     straggle_ms: u64,
     panic_every: u64,
-    /// Shard count reloads repartition into (fixed for the server's life).
-    shards: usize,
+    /// Global slot-space size reloads repartition into (fixed for the
+    /// server's life — every shard of a router topology must agree on it).
+    n_slots: usize,
+    /// The slot range this server owns. A standalone server owns
+    /// everything (`0..n_slots`); a router-tier shard owns its registry
+    /// slice and answers `MapPartial` from just that slice.
+    owned: Range<usize>,
 }
 
 impl Shared {
@@ -226,7 +245,8 @@ pub fn start(
     recorder.add("serve.started", 1);
     recorder.add("serve.workers_configured", config.workers as u64);
 
-    let shards = index.n_shards();
+    let n_slots = index.n_shards();
+    let owned = index.owned_slots();
     let shared = Arc::new(Shared {
         epoch: RwLock::new(Epoch {
             id: 0,
@@ -239,7 +259,8 @@ pub fn start(
         batch: config.batch,
         straggle_ms: config.straggle_ms,
         panic_every: config.panic_every,
-        shards,
+        n_slots,
+        owned,
     });
 
     let supervisor = {
@@ -323,27 +344,61 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, io_timeout: Duratio
             Ok(Request::Map {
                 segments,
                 deadline_ms,
+            }) => enqueue(shared, conn, segments, JobKind::Map, deadline_ms, received),
+            Ok(Request::MapPartial {
+                segments,
+                deadline_ms,
             }) => {
-                if deadline_ms.is_some() {
-                    recorder.add("serve.deadline_requests", 1);
-                }
-                let job = Job {
+                recorder.add("serve.partial_requests", 1);
+                enqueue(
+                    shared,
                     conn,
                     segments,
-                    enqueued: received,
-                    expires: deadline_ms.map(|ms| received + Duration::from_millis(ms)),
-                };
-                match shared.queue.try_push(job) {
-                    Ok(depth) => recorder.observe("serve.queue_depth", depth as u64),
-                    Err((mut job, PushError::Full)) => {
-                        recorder.add("serve.busy", 1);
-                        respond(&mut job.conn, recorder, &Response::Busy);
-                    }
-                    Err((mut job, PushError::Closed)) => {
-                        respond(&mut job.conn, recorder, &Response::ShuttingDown);
-                    }
-                }
+                    JobKind::Partial,
+                    deadline_ms,
+                    received,
+                );
             }
+            Ok(Request::MapDegraded { .. }) => respond(
+                &mut conn,
+                recorder,
+                &Response::Error(
+                    "degraded answers come from the router tier; this is a shard server".into(),
+                ),
+            ),
+        }
+    }
+}
+
+/// Admit one mapping job onto the bounded queue, answering `Busy` when it
+/// is full and `ShuttingDown` when it is closed.
+fn enqueue(
+    shared: &Arc<Shared>,
+    conn: TcpStream,
+    segments: Vec<QuerySegment>,
+    kind: JobKind,
+    deadline_ms: Option<u64>,
+    received: Instant,
+) {
+    let recorder = &shared.recorder;
+    if deadline_ms.is_some() {
+        recorder.add("serve.deadline_requests", 1);
+    }
+    let job = Job {
+        conn,
+        segments,
+        kind,
+        enqueued: received,
+        expires: deadline_ms.map(|ms| received + Duration::from_millis(ms)),
+    };
+    match shared.queue.try_push(job) {
+        Ok(depth) => recorder.observe("serve.queue_depth", depth as u64),
+        Err((mut job, PushError::Full)) => {
+            recorder.add("serve.busy", 1);
+            respond(&mut job.conn, recorder, &Response::Busy);
+        }
+        Err((mut job, PushError::Closed)) => {
+            respond(&mut job.conn, recorder, &Response::ShuttingDown);
         }
     }
 }
@@ -351,11 +406,11 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, io_timeout: Duratio
 /// Load, shard, and validate a persisted index for a hot reload. Checksum
 /// validation happens inside `load_index` (persist v3), so a truncated or
 /// corrupt artifact is a typed error here — never a panic, never a swap.
-fn load_sharded(path: &str, shards: usize) -> Result<ShardedIndex, String> {
+fn load_sharded(path: &str, n_slots: usize, owned: Range<usize>) -> Result<ShardedIndex, String> {
     let file = std::fs::File::open(path).map_err(|e| e.to_string())?;
     let mut input = std::io::BufReader::new(file);
     let mapper = jem_core::load_index(&mut input).map_err(|e| e.to_string())?;
-    Ok(ShardedIndex::new(mapper, shards))
+    Ok(ShardedIndex::with_slots(mapper, n_slots, owned))
 }
 
 /// Run one reload on its own thread: load + validate the new index, then
@@ -363,7 +418,7 @@ fn load_sharded(path: &str, shards: usize) -> Result<ShardedIndex, String> {
 /// epoch; a failed load answers `Error` and leaves the old index serving.
 fn spawn_reload(shared: Arc<Shared>, mut conn: TcpStream, path: String) {
     std::thread::spawn(move || {
-        let resp = match load_sharded(&path, shared.shards) {
+        let resp = match load_sharded(&path, shared.n_slots, shared.owned.clone()) {
             Ok(index) => {
                 let subjects = index.mapper().n_subjects();
                 let entries: usize = index.shard_entry_counts().iter().sum();
@@ -533,15 +588,34 @@ fn worker_loop(shared: &Shared) {
             panic!("injected chaos panic (index pass {ordinal})");
         }
         for mut job in live {
-            let mut mappings = index.map_batch_with(&job.segments, qid_base, counter, &mut scratch);
-            qid_base += job.segments.len() as u64;
-            // The documented total order on `Mapping` — same normalization
-            // as the offline parallel driver.
-            mappings.sort_unstable();
+            let resp = match job.kind {
+                JobKind::Map => {
+                    let mut mappings =
+                        index.map_batch_with(&job.segments, qid_base, counter, &mut scratch);
+                    qid_base += job.segments.len() as u64;
+                    // The documented total order on `Mapping` — same
+                    // normalization as the offline parallel driver.
+                    mappings.sort_unstable();
+                    recorder.add("serve.mapped", mappings.len() as u64);
+                    Response::Mappings(mappings)
+                }
+                // Partials echo each segment's identity and need no hit
+                // counter (the router's merge is the counter), so they
+                // consume no query ids.
+                JobKind::Partial => Response::Partials(
+                    job.segments
+                        .iter()
+                        .map(|seg| SegmentPartials {
+                            read_idx: seg.read_idx,
+                            end: seg.end,
+                            trials: index.segment_partials_with(&seg.seq, &mut scratch),
+                        })
+                        .collect(),
+                ),
+            };
             recorder.add("serve.requests", 1);
             recorder.add("serve.segments", job.segments.len() as u64);
-            recorder.add("serve.mapped", mappings.len() as u64);
-            respond(&mut job.conn, recorder, &Response::Mappings(mappings));
+            respond(&mut job.conn, recorder, &resp);
             let latency = u64::try_from(job.enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX);
             recorder.span_ns("serve/request", latency);
         }

@@ -14,6 +14,7 @@
 
 use jem_core::{JemMapper, MapScratch, Mapping, QuerySegment};
 use jem_index::{HitCounter, LazyHitCounter, SketchTable, SubjectId};
+use std::ops::Range;
 
 /// Fibonacci multiplier (`floor(2^64/φ)`) — mixes sketch codes into shard
 /// ids independently of the in-shard bucket hash (which uses the high bits
@@ -23,31 +24,72 @@ const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// A read-only [`JemMapper`] whose sketch table is partitioned into
 /// disjoint shards by sketch-code hash.
+///
+/// A full index owns every slot of the partition (`new`); a router-tier
+/// shard process owns only a sub-range of the global slot space
+/// (`with_slots`) and keeps tables for just those slots — codes hashing
+/// outside the owned range simply look up empty, which is exactly the
+/// per-trial partial set the router's merge unions back together.
 #[derive(Clone, Debug)]
 pub struct ShardedIndex {
     mapper: JemMapper,
+    /// Local tables, one per *owned* slot (index `g - owned.start`).
     shards: Vec<SketchTable>,
+    /// Size of the global slot space codes are hashed into.
+    n_slots: usize,
+    /// The slot sub-range this index owns (the full range for `new`).
+    owned: Range<usize>,
 }
 
 impl ShardedIndex {
-    /// Partition `mapper`'s table into `n_shards` disjoint sub-tables.
+    /// Partition `mapper`'s table into `n_shards` disjoint sub-tables,
+    /// owning all of them (the single-process service).
     ///
     /// # Panics
     /// Panics if `n_shards` is zero (the CLI rejects `--shards 0` first).
     pub fn new(mapper: JemMapper, n_shards: usize) -> Self {
-        assert!(n_shards >= 1, "shard count must be at least 1");
+        ShardedIndex::with_slots(mapper, n_shards, 0..n_shards)
+    }
+
+    /// Partition `mapper`'s table into a global space of `n_slots` slots
+    /// but keep only the tables for the `owned` sub-range — one shard
+    /// process of a router topology. Entries hashing outside `owned` are
+    /// dropped at build time, so a shard holds (and pays memory for)
+    /// exactly its share of the table.
+    ///
+    /// # Panics
+    /// Panics if `owned` is empty or reaches past `n_slots`.
+    pub fn with_slots(mapper: JemMapper, n_slots: usize, owned: Range<usize>) -> Self {
+        assert!(n_slots >= 1, "shard count must be at least 1");
+        assert!(
+            owned.start < owned.end,
+            "owned slot range must be non-empty"
+        );
+        assert!(
+            owned.end <= n_slots,
+            "owned slot range {owned:?} reaches past the {n_slots}-slot space"
+        );
         let trials = mapper.config().trials;
         let mut shards: Vec<SketchTable> =
-            (0..n_shards).map(|_| SketchTable::new(trials)).collect();
+            owned.clone().map(|_| SketchTable::new(trials)).collect();
         for t in 0..trials {
             for (code, subjects) in mapper.table().iter_bank(t) {
-                let shard = &mut shards[shard_of(code, n_shards)];
+                let g = shard_of(code, n_slots);
+                if !owned.contains(&g) {
+                    continue;
+                }
+                let shard = &mut shards[g - owned.start];
                 for &s in subjects {
                     shard.insert(t, code, s);
                 }
             }
         }
-        ShardedIndex { mapper, shards }
+        ShardedIndex {
+            mapper,
+            shards,
+            n_slots,
+            owned,
+        }
     }
 
     /// The wrapped mapper (config, scheme, subject names).
@@ -55,9 +97,15 @@ impl ShardedIndex {
         &self.mapper
     }
 
-    /// Number of shards.
+    /// Number of slots in the global partition (equals the local table
+    /// count for a fully-owned index).
     pub fn n_shards(&self) -> usize {
-        self.shards.len()
+        self.n_slots
+    }
+
+    /// The slot sub-range this index owns.
+    pub fn owned_slots(&self) -> Range<usize> {
+        self.owned.clone()
     }
 
     /// `(trial, code, subject)` association count per shard — the shard
@@ -67,10 +115,15 @@ impl ShardedIndex {
     }
 
     /// Subjects registered under `(trial, code)`, resolved through the
-    /// owning shard.
+    /// owning slot; empty when the slot belongs to another shard process.
     #[inline]
     fn lookup(&self, trial: usize, code: u64) -> &[SubjectId] {
-        self.shards[shard_of(code, self.shards.len())].lookup(trial, code)
+        let g = shard_of(code, self.n_slots);
+        if self.owned.contains(&g) {
+            self.shards[g - self.owned.start].lookup(trial, code)
+        } else {
+            &[]
+        }
     }
 
     /// A counter sized for this index (one per worker, reused across
@@ -120,6 +173,37 @@ impl ShardedIndex {
             }
         }
         counter.best(qid)
+    }
+
+    /// The per-trial deduplicated collision sets of one segment against
+    /// this index's owned slots — the shard half of a router
+    /// scatter-gather.
+    ///
+    /// Each returned inner vector is the sorted, deduplicated set of
+    /// subjects colliding with the segment in that trial, restricted to
+    /// codes whose slot this index owns. Because every `(trial, code)`
+    /// entry lives in exactly one slot, the per-trial sets of disjoint
+    /// slot ranges union (then re-deduplicate) into exactly the set the
+    /// full index would have produced — the argmax over the union is the
+    /// single-process answer.
+    pub fn segment_partials_with(
+        &self,
+        seg: &[u8],
+        scratch: &mut MapScratch,
+    ) -> Vec<Vec<SubjectId>> {
+        self.mapper.sketch_segment_into(seg, scratch);
+        let (sketch, trial_subjects) = scratch.parts();
+        let mut out = Vec::with_capacity(sketch.per_trial.len());
+        for (t, codes) in sketch.per_trial.iter().enumerate() {
+            trial_subjects.clear();
+            for &code in codes {
+                trial_subjects.extend_from_slice(self.lookup(t, code));
+            }
+            trial_subjects.sort_unstable();
+            trial_subjects.dedup();
+            out.push(trial_subjects.clone());
+        }
+        out
     }
 
     /// Map a batch of segments with a reused counter.
@@ -259,5 +343,103 @@ mod tests {
     fn zero_shards_rejected() {
         let (mapper, _) = world();
         let _ = ShardedIndex::new(mapper, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_owned_range_rejected() {
+        let (mapper, _) = world();
+        let _ = ShardedIndex::with_slots(mapper, 4, 2..2);
+    }
+
+    #[test]
+    #[should_panic(expected = "reaches past")]
+    fn out_of_space_owned_range_rejected() {
+        let (mapper, _) = world();
+        let _ = ShardedIndex::with_slots(mapper, 4, 2..5);
+    }
+
+    /// Splitting the slot space across `with_slots` pieces must lose
+    /// nothing and duplicate nothing — including the degenerate shapes:
+    /// one slot, more slots than distinct codes (some slots empty), and a
+    /// piece whose owned range holds zero entries.
+    #[test]
+    fn slot_pieces_partition_the_table_exactly() {
+        let (mapper, _) = world();
+        let total = mapper.table().entry_count();
+        for (n_slots, cuts) in [
+            (1usize, vec![0usize, 1]),
+            (4, vec![0, 1, 4]),
+            (256, vec![0, 3, 64, 256]), // far more slots than codes
+        ] {
+            let mut sum = 0usize;
+            for pair in cuts.windows(2) {
+                let piece = ShardedIndex::with_slots(mapper.clone(), n_slots, pair[0]..pair[1]);
+                assert_eq!(piece.n_shards(), n_slots);
+                assert_eq!(piece.owned_slots(), pair[0]..pair[1]);
+                assert_eq!(piece.shard_entry_counts().len(), pair[1] - pair[0]);
+                sum += piece.shard_entry_counts().iter().sum::<usize>();
+            }
+            assert_eq!(sum, total, "{n_slots} slots split at {cuts:?}");
+        }
+    }
+
+    /// A fully-owned `with_slots` index maps identically to `new` (and to
+    /// the offline mapper), for one slot and for many more slots than the
+    /// table has distinct codes.
+    #[test]
+    fn fully_owned_slot_index_is_output_neutral() {
+        let (mapper, reads) = world();
+        let segments = make_segments(&reads, mapper.config().ell);
+        let mut offline_counter = mapper.new_counter();
+        for n_slots in [1usize, 7, 256] {
+            let sharded = ShardedIndex::with_slots(mapper.clone(), n_slots, 0..n_slots);
+            let mut counter = sharded.new_counter();
+            for (qid, seg) in segments.iter().enumerate() {
+                assert_eq!(
+                    sharded.map_segment(&seg.seq, qid as u64, &mut counter),
+                    mapper.map_segment(&seg.seq, qid as u64, &mut offline_counter),
+                    "{n_slots} slots, segment {qid}"
+                );
+            }
+        }
+    }
+
+    /// Per-trial partial sets from disjoint pieces union into exactly the
+    /// full index's sets — the algebraic fact the router's merge rests on.
+    /// An empty piece contributes empty sets and changes nothing.
+    #[test]
+    fn partials_from_pieces_union_to_the_full_sets() {
+        let (mapper, reads) = world();
+        let segments = make_segments(&reads, mapper.config().ell);
+        let n_slots = 8usize;
+        let full = ShardedIndex::new(mapper.clone(), n_slots);
+        let pieces: Vec<ShardedIndex> = [0..2, 2..3, 3..8]
+            .into_iter()
+            .map(|r| ShardedIndex::with_slots(mapper.clone(), n_slots, r))
+            .collect();
+        let mut scratch = MapScratch::new();
+        let mut nonempty_partial_seen = false;
+        for seg in &segments {
+            let expected = full.segment_partials_with(&seg.seq, &mut scratch);
+            let mut union: Vec<Vec<SubjectId>> = vec![Vec::new(); expected.len()];
+            for piece in &pieces {
+                let part = piece.segment_partials_with(&seg.seq, &mut scratch);
+                assert_eq!(part.len(), expected.len());
+                nonempty_partial_seen |= part.iter().any(|set| !set.is_empty());
+                for (t, set) in part.into_iter().enumerate() {
+                    union[t].extend(set);
+                }
+            }
+            for set in &mut union {
+                set.sort_unstable();
+                set.dedup();
+            }
+            assert_eq!(union, expected, "read {}", seg.read_idx);
+        }
+        assert!(
+            nonempty_partial_seen,
+            "world too small: no piece ever produced a collision"
+        );
     }
 }

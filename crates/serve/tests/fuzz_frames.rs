@@ -11,8 +11,29 @@
 //! body checksum.
 
 use jem_core::{QuerySegment, ReadEnd};
-use jem_serve::{read_frame_versioned, write_frame_versioned, ProtocolVersion, Request, Response};
+use jem_serve::{
+    merge_partials, read_frame_versioned, validate_partials, write_frame_versioned,
+    ProtocolVersion, Request, Response, SegmentPartials,
+};
 use proptest::prelude::*;
+
+fn end_of(suffix: bool) -> ReadEnd {
+    if suffix {
+        ReadEnd::Suffix
+    } else {
+        ReadEnd::Prefix
+    }
+}
+
+fn mk_segments(segs: Vec<(u32, bool, Vec<u8>)>) -> Vec<QuerySegment> {
+    segs.into_iter()
+        .map(|(read_idx, suffix, seq)| QuerySegment {
+            read_idx,
+            end: end_of(suffix),
+            seq,
+        })
+        .collect()
+}
 
 /// Build one of the request shapes from fuzz parameters.
 fn build_request(
@@ -21,29 +42,27 @@ fn build_request(
     segs: Vec<(u32, bool, Vec<u8>)>,
     path: String,
 ) -> Request {
-    match kind % 5 {
+    let deadline_ms = if deadline == 0 {
+        None
+    } else {
+        Some(deadline.min(u64::MAX - 1))
+    };
+    match kind % 7 {
         0 => Request::Ping,
         1 => Request::Info,
         2 => Request::Shutdown,
         3 => Request::Reload { path },
-        _ => Request::Map {
-            segments: segs
-                .into_iter()
-                .map(|(read_idx, suffix, seq)| QuerySegment {
-                    read_idx,
-                    end: if suffix {
-                        ReadEnd::Suffix
-                    } else {
-                        ReadEnd::Prefix
-                    },
-                    seq,
-                })
-                .collect(),
-            deadline_ms: if deadline == 0 {
-                None
-            } else {
-                Some(deadline.min(u64::MAX - 1))
-            },
+        4 => Request::Map {
+            segments: mk_segments(segs),
+            deadline_ms,
+        },
+        5 => Request::MapPartial {
+            segments: mk_segments(segs),
+            deadline_ms,
+        },
+        _ => Request::MapDegraded {
+            segments: mk_segments(segs),
+            deadline_ms,
         },
     }
 }
@@ -65,7 +84,7 @@ fn decode(wire: &[u8]) -> Result<Request, jem_serve::ServeError> {
 proptest! {
     #[test]
     fn bit_flips_never_panic_and_never_alias(
-        kind in 0u8..5,
+        kind in 0u8..7,
         deadline in 0u64..10_000,
         segs in prop::collection::vec(
             (0u32..1000, any::<bool>(), prop::collection::vec(0u8..=255, 0..40)),
@@ -89,7 +108,7 @@ proptest! {
 
     #[test]
     fn truncation_never_panics_and_never_aliases(
-        kind in 0u8..5,
+        kind in 0u8..7,
         deadline in 0u64..10_000,
         segs in prop::collection::vec(
             (0u32..1000, any::<bool>(), prop::collection::vec(0u8..=255, 0..40)),
@@ -110,7 +129,7 @@ proptest! {
 
     #[test]
     fn trailing_junk_is_invisible_to_the_frame_reader(
-        kind in 0u8..5,
+        kind in 0u8..7,
         deadline in 0u64..10_000,
         segs in prop::collection::vec(
             (0u32..1000, any::<bool>(), prop::collection::vec(0u8..=255, 0..40)),
@@ -142,7 +161,7 @@ proptest! {
 
     #[test]
     fn cross_version_body_decode_never_panics(
-        kind in 0u8..5,
+        kind in 0u8..7,
         deadline in 0u64..10_000,
         segs in prop::collection::vec(
             (0u32..1000, any::<bool>(), prop::collection::vec(0u8..=255, 0..40)),
@@ -158,8 +177,163 @@ proptest! {
         let body = req.encode();
         let _ = Request::decode_versioned(&body, ProtocolVersion::V1);
         let _ = Request::decode_versioned(&body, ProtocolVersion::V2);
-        if matches!(req, Request::Reload { .. }) {
+        if matches!(
+            req,
+            Request::Reload { .. } | Request::MapPartial { .. } | Request::MapDegraded { .. }
+        ) {
             prop_assert!(Request::decode_versioned(&body, ProtocolVersion::V1).is_err());
         }
+    }
+
+    #[test]
+    fn damaged_partials_responses_never_panic_and_never_alias(
+        segs in prop::collection::vec(
+            (
+                0u32..1000,
+                any::<bool>(),
+                prop::collection::vec(prop::collection::vec(0u32..50, 0..5), 0..4),
+            ),
+            0..4,
+        ),
+        bit in 0usize..4096,
+        cut in 0usize..4096,
+    ) {
+        // The router's gather decodes `Partials` responses from shard
+        // processes it does not control: a damaged response must error or
+        // decode to exactly the original — never to different collision
+        // sets that would alias into a merge.
+        let partials: Vec<SegmentPartials> = segs
+            .into_iter()
+            .map(|(read_idx, suffix, trials)| SegmentPartials {
+                read_idx,
+                end: end_of(suffix),
+                trials: trials
+                    .into_iter()
+                    .map(|mut t| {
+                        t.sort_unstable();
+                        t.dedup();
+                        t
+                    })
+                    .collect(),
+            })
+            .collect();
+        let resp = Response::Partials(partials);
+        let mut wire = Vec::new();
+        write_frame_versioned(&mut wire, &resp.encode(), resp.wire_version()).unwrap();
+
+        let mut damaged = wire.clone();
+        let bit = bit % (damaged.len() * 8);
+        damaged[bit / 8] ^= 1 << (bit % 8);
+        let mut cursor = damaged.as_slice();
+        if let Ok((_, body)) = read_frame_versioned(&mut cursor) {
+            if let Ok(got) = Response::decode(&body) {
+                prop_assert_eq!(got, resp.clone(), "a bit flip decoded to a different response");
+            }
+        }
+
+        let mut truncated = wire.clone();
+        truncated.truncate(cut % wire.len());
+        let mut cursor = truncated.as_slice();
+        prop_assert!(
+            read_frame_versioned(&mut cursor).is_err(),
+            "a truncated shard response must never decode"
+        );
+    }
+
+    #[test]
+    fn merge_is_shard_order_and_duplication_independent(
+        idents in prop::collection::vec((0u32..1000, any::<bool>()), 1..4),
+        shard_trials in prop::collection::vec(
+            prop::collection::vec(prop::collection::vec(0u32..30, 0..6), 0..5),
+            1..4,
+        ),
+        rot in 0usize..4,
+    ) {
+        // Set union is associative, commutative, and idempotent, so the
+        // merged mappings cannot depend on shard order — and repeating a
+        // shard's answer must change nothing.
+        let segments: Vec<QuerySegment> = idents
+            .iter()
+            .map(|&(read_idx, suffix)| QuerySegment {
+                read_idx,
+                end: end_of(suffix),
+                seq: Vec::new(),
+            })
+            .collect();
+        let shards: Vec<Vec<SegmentPartials>> = shard_trials
+            .iter()
+            .map(|per_seg| {
+                idents
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &(read_idx, suffix))| SegmentPartials {
+                        read_idx,
+                        end: end_of(suffix),
+                        trials: per_seg
+                            .get(j)
+                            .cloned()
+                            .unwrap_or_default()
+                            .into_iter()
+                            .map(|s| vec![s])
+                            .collect(),
+                    })
+                    .collect()
+            })
+            .collect();
+        let merged = merge_partials(&segments, &shards).unwrap();
+
+        let mut rotated = shards.clone();
+        rotated.rotate_left(rot % shards.len());
+        prop_assert_eq!(merge_partials(&segments, &rotated).unwrap(), merged.clone());
+
+        let mut reversed = shards.clone();
+        reversed.reverse();
+        prop_assert_eq!(merge_partials(&segments, &reversed).unwrap(), merged.clone());
+
+        let mut duplicated = shards.clone();
+        duplicated.push(shards[0].clone());
+        prop_assert_eq!(merge_partials(&segments, &duplicated).unwrap(), merged);
+    }
+
+    #[test]
+    fn mismatched_echoes_error_instead_of_aliasing(
+        idents in prop::collection::vec((0u32..1000, any::<bool>()), 1..4),
+        which in 0usize..4,
+        bump in 1u32..5,
+    ) {
+        // A shard (or a fault injector) echoing the wrong segment identity
+        // must be refused by validation, never silently merged.
+        let segments: Vec<QuerySegment> = idents
+            .iter()
+            .map(|&(read_idx, suffix)| QuerySegment {
+                read_idx,
+                end: end_of(suffix),
+                seq: Vec::new(),
+            })
+            .collect();
+        let shard: Vec<SegmentPartials> = idents
+            .iter()
+            .map(|&(read_idx, suffix)| SegmentPartials {
+                read_idx,
+                end: end_of(suffix),
+                trials: vec![vec![read_idx % 7]],
+            })
+            .collect();
+        prop_assert!(validate_partials(&segments, &shard).is_ok());
+        prop_assert!(merge_partials(&segments, std::slice::from_ref(&shard)).is_ok());
+
+        let j = which % shard.len();
+        let mut wrong_read = shard.clone();
+        wrong_read[j].read_idx = wrong_read[j].read_idx.wrapping_add(bump);
+        prop_assert!(validate_partials(&segments, &wrong_read).is_err());
+        prop_assert!(merge_partials(&segments, &[wrong_read]).is_err());
+
+        let mut wrong_end = shard.clone();
+        wrong_end[j].end = end_of(!idents[j].1);
+        prop_assert!(merge_partials(&segments, &[wrong_end]).is_err());
+
+        let mut wrong_len = shard;
+        wrong_len.pop();
+        prop_assert!(merge_partials(&segments, &[wrong_len]).is_err());
     }
 }
