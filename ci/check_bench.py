@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Gate sketch-kernel throughput against the committed baseline.
+
+Compares the ``select`` and ``map`` stage throughput (bases/sec) of a fresh
+``jem bench sketch`` run against ``results/BENCH_sketch.baseline.json`` and
+fails when any gated stage regresses by more than the allowed fraction
+(default 15%). Improvements never fail the gate, but a large one prints a
+reminder to refresh the baseline so the gate keeps teeth.
+
+The baseline tracks the CI runner class. To refresh it (new runner
+hardware, or an accepted kernel change), run on CI-class hardware:
+
+    cargo build --release -p jem-cli
+    ./target/release/jem bench sketch --genome-len 200000 --coverage 2 \
+        --iters 2 --out results/BENCH_sketch.baseline.json
+
+and commit the result together with the change that moved the numbers.
+
+Usage: check_bench.py CURRENT.json BASELINE.json [--max-regression 0.15]
+"""
+
+import argparse
+import json
+import sys
+
+GATED_STAGES = ("select", "map")
+
+
+def throughput(report, stage):
+    try:
+        return int(report["stages"][stage]["bases_per_sec"])
+    except (KeyError, TypeError, ValueError) as exc:
+        sys.exit(f"error: malformed bench report, no stages.{stage}.bases_per_sec: {exc}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("current", help="BENCH_sketch.json from this run")
+    ap.add_argument("baseline", help="committed baseline report")
+    ap.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.15,
+        help="allowed fractional slowdown per stage (default 0.15)",
+    )
+    args = ap.parse_args()
+
+    with open(args.current) as f:
+        current = json.load(f)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    for report, name in ((current, args.current), (baseline, args.baseline)):
+        if report.get("schema_version") != 1:
+            sys.exit(f"error: {name}: unsupported schema_version {report.get('schema_version')!r}")
+
+    failures = []
+    print(f"{'stage':<10} {'baseline':>14} {'current':>14} {'delta':>8}")
+    for stage in GATED_STAGES:
+        base = throughput(baseline, stage)
+        cur = throughput(current, stage)
+        if base <= 0:
+            sys.exit(f"error: baseline throughput for {stage} is {base}, refresh the baseline")
+        delta = cur / base - 1.0
+        print(f"{stage:<10} {base:>14,} {cur:>14,} {delta:>+7.1%}")
+        if delta < -args.max_regression:
+            failures.append(
+                f"{stage}: {cur:,} bases/s is {-delta:.1%} below the baseline "
+                f"{base:,} (allowed: {args.max_regression:.0%})"
+            )
+        elif delta > args.max_regression:
+            print(
+                f"note: {stage} improved {delta:.1%}; consider refreshing the baseline "
+                f"(see ci/check_bench.py header) so the gate keeps teeth"
+            )
+
+    if failures:
+        for f in failures:
+            print(f"REGRESSION {f}", file=sys.stderr)
+        sys.exit(1)
+    print("bench gate ok: no stage regressed more than "
+          f"{args.max_regression:.0%} vs {args.baseline}")
+
+
+if __name__ == "__main__":
+    main()

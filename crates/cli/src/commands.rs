@@ -4,9 +4,9 @@ use crate::args::Args;
 use crate::error::CliError;
 use crate::io::{read_sequences, write_fasta, write_file_atomic, AtomicFile};
 use jem_core::{
-    load_index, make_segments, map_reads_parallel_with, run_distributed_resilient, save_index,
-    write_mappings_tsv, write_mappings_tsv_named, JemMapper, MapperConfig, Mapping, ReadEnd,
-    ResilienceOptions,
+    load_index_path, make_segments, map_reads_parallel_with, run_distributed_resilient, save_index,
+    save_index_v3, write_mappings_tsv, write_mappings_tsv_named, JemMapper, MapperConfig, Mapping,
+    ReadEnd, ResilienceOptions,
 };
 use jem_eval::{Benchmark, MappingMetrics};
 use jem_psim::{CostModel, ExecMode, FaultPlan};
@@ -110,31 +110,62 @@ fn mapper_config(args: &Args) -> Result<(MapperConfig, SketchScheme), CliError> 
     Ok((config, scheme))
 }
 
-/// `jem index --subjects contigs.fa --out index.jem [--k --w --trials --ell
-///  --seed] [--metrics FILE]`
+/// `jem index (--subjects contigs.fa | --upgrade old.jem) --out index.jem
+///  [--format v4|v3] [--k --w --trials --ell --seed] [--metrics FILE]`
+///
+/// `--upgrade` rewrites an existing artifact (v3 or v4) in the requested
+/// format — the migration path from legacy JEMIDX3 files to the
+/// mmap-ready v4 layout. Mapping output is byte-identical either way.
 pub fn cmd_index(args: &Args) -> Result<(), CliError> {
     let metrics = metrics_recorder(args)?;
-    let subjects = read_sequences(args.req("subjects")?)?;
     let out_path = args.req("out")?;
-    let (config, scheme) = mapper_config(args)?;
-    eprintln!(
-        "indexing {} subjects (k={}, T={}, ell={}, scheme={scheme:?})",
-        subjects.len(),
-        config.k,
-        config.trials,
-        config.ell
-    );
-    let mapper = JemMapper::build_with_scheme(&subjects, &config, scheme);
+    let format = args.get("format").unwrap_or("v4");
+    if !matches!(format, "v3" | "v4") {
+        return Err(CliError::Usage(format!(
+            "--format must be v3 or v4, got {format:?}"
+        )));
+    }
+    let mapper = match (args.get("upgrade"), args.get("subjects")) {
+        (Some(_), Some(_)) => {
+            return Err(CliError::Usage(
+                "--upgrade and --subjects are mutually exclusive".into(),
+            ))
+        }
+        (Some(old), None) => {
+            let mapper = load_index_path(Path::new(old)).map_err(CliError::format(old))?;
+            eprintln!(
+                "upgrading {old}: {} subjects, {} sketch entries → {format}",
+                mapper.n_subjects(),
+                mapper.table().entry_count()
+            );
+            mapper
+        }
+        (None, _) => {
+            let subjects = read_sequences(args.req("subjects")?)?;
+            let (config, scheme) = mapper_config(args)?;
+            eprintln!(
+                "indexing {} subjects (k={}, T={}, ell={}, scheme={scheme:?})",
+                subjects.len(),
+                config.k,
+                config.trials,
+                config.ell
+            );
+            JemMapper::build_with_scheme(&subjects, &config, scheme)
+        }
+    };
     // Atomic persist: the index appears at `--out` only after a complete,
     // fsynced write, so a crash here can never leave a truncated artifact
     // that later fails checksum decode in `jem serve`/`jem map`.
     let mut out = AtomicFile::create(out_path).map_err(CliError::io(out_path))?;
-    save_index(&mut out, &mapper).map_err(CliError::format(out_path))?;
+    match format {
+        "v3" => save_index_v3(&mut out, &mapper).map_err(CliError::format(out_path))?,
+        _ => save_index(&mut out, &mapper).map_err(CliError::format(out_path))?,
+    }
     out.commit().map_err(CliError::io(out_path))?;
     eprintln!(
-        "wrote {out_path}: {} sketch entries over {} trials",
+        "wrote {out_path} ({format}): {} sketch entries over {} trials",
         mapper.table().entry_count(),
-        config.trials
+        mapper.config().trials
     );
     if let Some((path, rec)) = metrics {
         write_metrics(&path, rec)?;
@@ -142,13 +173,11 @@ pub fn cmd_index(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
-/// Load a mapper from `--index` or build one from `--subjects`.
+/// Load a mapper from `--index` (memory-mapped when the artifact is
+/// JEMIDX v4) or build one from `--subjects`.
 fn load_or_build_mapper(args: &Args) -> Result<JemMapper, CliError> {
     match (args.get("index"), args.get("subjects")) {
-        (Some(path), _) => {
-            let mut input = BufReader::new(File::open(path).map_err(CliError::io(path))?);
-            load_index(&mut input).map_err(CliError::format(path))
-        }
+        (Some(path), _) => load_index_path(Path::new(path)).map_err(CliError::format(path)),
         (None, Some(path)) => {
             let (config, scheme) = mapper_config(args)?;
             Ok(JemMapper::build_with_scheme(
@@ -858,8 +887,7 @@ pub fn cmd_serve(args: &Args) -> Result<(), CliError> {
         panic_every: args.get_or("panic-every", 0u64)?,
         ..Default::default()
     };
-    let mut input = BufReader::new(File::open(index_path).map_err(CliError::io(index_path))?);
-    let mapper = load_index(&mut input).map_err(CliError::format(index_path))?;
+    let mapper = load_index_path(Path::new(index_path)).map_err(CliError::format(index_path))?;
     eprintln!(
         "loaded {index_path}: {} subjects, {} sketch entries → slots {}-{} of {shards}",
         mapper.n_subjects(),

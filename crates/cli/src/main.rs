@@ -28,9 +28,11 @@ USAGE: jem <command> [--flag value ...]
 
 COMMANDS:
   index       build a JEM sketch index over a contig set
-                --subjects FILE --out FILE [--k 16] [--w 100] [--trials 30]
-                [--ell 1000] [--seed N] [--metrics FILE] [--syncmer S  use
-                closed syncmers instead of minimizers]
+                (--subjects FILE | --upgrade OLD.jem  rewrite an existing
+                v3/v4 artifact) --out FILE [--format v4|v3, default v4]
+                [--k 16] [--w 100] [--trials 30] [--ell 1000] [--seed N]
+                [--metrics FILE] [--syncmer S  use closed syncmers
+                instead of minimizers]
   map         map long-read end segments to contigs (TSV to --out or stdout)
                 (--index FILE | --subjects FILE) --queries FILE|- [--out FILE]
                 [--parallel] [--threads N] [--metrics FILE]

@@ -2,7 +2,9 @@
 
 use crate::config::MapperConfig;
 use crate::segment::{make_segments, QuerySegment, ReadEnd};
-use jem_index::{build_table_parallel_scheme, HitCounter, LazyHitCounter, SketchTable, SubjectId};
+use jem_index::{
+    build_table_parallel_scheme, HitCounter, LazyHitCounter, SketchTable, SubjectId, TableBackend,
+};
 use jem_seq::SeqRecord;
 use jem_sketch::{
     sketch_by_scheme, sketch_by_scheme_into, HashFamily, JemParams, JemSketch, SketchScheme,
@@ -85,7 +87,7 @@ pub struct JemMapper {
     params: JemParams,
     scheme: SketchScheme,
     family: HashFamily,
-    table: SketchTable,
+    table: TableBackend,
     subject_names: Vec<String>,
 }
 
@@ -122,7 +124,7 @@ impl JemMapper {
             params,
             scheme,
             family,
-            table,
+            table: table.into(),
             subject_names: subjects.iter().map(|s| s.id.clone()).collect(),
         }
     }
@@ -147,6 +149,18 @@ impl JemMapper {
     /// the scheme the table was built with).
     pub fn from_table_with_scheme(
         table: SketchTable,
+        subject_names: Vec<String>,
+        config: &MapperConfig,
+        scheme: SketchScheme,
+    ) -> Self {
+        Self::from_backend_with_scheme(table.into(), subject_names, config, scheme)
+    }
+
+    /// [`JemMapper::from_table_with_scheme`] over any [`TableBackend`] —
+    /// the entry point of the flat (JEMIDX v4) load path, which wraps a
+    /// zero-copy [`jem_index::FlatTable`] instead of a hash table.
+    pub fn from_backend_with_scheme(
+        table: TableBackend,
         subject_names: Vec<String>,
         config: &MapperConfig,
         scheme: SketchScheme,
@@ -205,8 +219,9 @@ impl JemMapper {
         &self.config
     }
 
-    /// Borrow the underlying sketch table (inspection/ablation).
-    pub fn table(&self) -> &SketchTable {
+    /// Borrow the underlying table backend (inspection/ablation, shard
+    /// partitioning, serialization).
+    pub fn table(&self) -> &TableBackend {
         &self.table
     }
 
@@ -270,7 +285,7 @@ impl JemMapper {
             // codes within the same trial still counts once for that trial.
             trial_subjects.clear();
             for &code in codes {
-                trial_subjects.extend_from_slice(self.table.lookup(t, code));
+                self.table.lookup_into(t, code, trial_subjects);
             }
             counter.stats.probed += trial_subjects.len() as u64;
             trial_subjects.sort_unstable();
@@ -296,7 +311,7 @@ impl JemMapper {
         for (t, codes) in sketch.per_trial.iter().enumerate() {
             trial_subjects.clear();
             for &code in codes {
-                trial_subjects.extend_from_slice(self.table.lookup(t, code));
+                self.table.lookup_into(t, code, &mut trial_subjects);
             }
             trial_subjects.sort_unstable();
             trial_subjects.dedup();
@@ -476,7 +491,7 @@ mod tests {
         let config = small_config();
         let built = JemMapper::build(&subjects, &config);
         let names: Vec<String> = subjects.iter().map(|s| s.id.clone()).collect();
-        let rebuilt = JemMapper::from_table(built.table().clone(), names, &config);
+        let rebuilt = JemMapper::from_table(built.table().to_sketch_table(), names, &config);
         let query = subjects[1].seq[..250].to_vec();
         let mut c1 = built.new_counter();
         let mut c2 = rebuilt.new_counter();

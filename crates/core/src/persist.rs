@@ -1,37 +1,90 @@
 //! Index persistence: save/load a built [`JemMapper`] so the subject
 //! sketching cost is paid once per contig set.
 //!
-//! Binary layout (all integers little-endian):
+//! # JEMIDX v4 — the current format
+//!
+//! The whole file is a sequence of little-endian `u64` words; the table
+//! section *is* the in-memory [`jem_index::FlatTable`] layout (bucket
+//! array + contiguous posting arena per trial), so loading is validation
+//! plus a wrap — no decode, no rebuild, and over `mmap` no copy at all.
 //!
 //! ```text
-//! magic  b"JEMIDX3\0"                       8 bytes
-//! body_len (bytes)                          u64
-//! fnv1a64(body)                             u64
-//! body:
-//!   config k, w, trials, ell, seed          5 × u64
-//!   scheme tag (0 = minimizer, 1 = closed syncmer), param   2 × u64
-//!   n_subjects                              u64
-//!   per subject: name_len u64, name bytes
-//!   stream_len (u64 count)                  u64
-//!   table stream                            stream_len × u64
+//! word  0      magic  b"JEMIDX4\0"
+//! word  1      file_words — total length of the file in words
+//! word  2      fnv1a64 over the little-endian bytes of words[3..]
+//! word  3      config_hash: fnv1a64 over the bytes of words[4..11]
+//! words 4..9   config: k, w, trials, ell, seed
+//! words 9..11  scheme tag (0 = minimizer, 1 = closed syncmer), param
+//! word  11     n_subjects
+//! words 12,13  names_off, names_words
+//! words 14,15  table_off, table_words
+//! names        per subject: byte length, then the name zero-padded to
+//!              whole words
+//! table        the flat-table blob (see `jem_index::flat`)
 //! ```
 //!
-//! The whole-body checksum makes *any* byte-level damage to a saved index a
-//! load-time error: flips that would still parse (e.g. a changed seed or a
-//! swapped subject id) are caught by the frame, and flips that garble the
-//! structure are caught by the fallible [`SketchTable::decode`] — no code
-//! path panics on a malformed file.
+//! Sections are contiguous and in order (`names_off == 16`,
+//! `names_off + names_words == table_off`,
+//! `table_off + table_words == file_words`), 8-byte aligned by
+//! construction, and the writer is *canonical* — bank entries are laid
+//! out in ascending code order — so the bytes are a pure function of the
+//! logical index: save → load → save round-trips byte-identically, from
+//! either table backend.
+//!
+//! Loading is fallible end to end: bad magic, a length that disagrees
+//! with the header, checksum or config-hash mismatches, malformed names,
+//! and every structural violation of the table blob surface as typed
+//! errors — no code path panics on a malformed file. [`load_index_path`]
+//! additionally validates the declared length against the file's actual
+//! size *before* reading or mapping anything bulky, so pointing the CLI
+//! at the wrong multi-gigabyte file fails fast instead of allocating.
+//!
+//! [`Integrity`] picks how much of the file the loader verifies:
+//! [`Integrity::Full`] (the default everywhere) checks the whole-file
+//! checksum and subject-id ranges — one sequential pass, still no decode
+//! or rebuild; [`Integrity::HeaderOnly`] validates header and structure
+//! only, for fleet restarts of already-trusted artifacts where paging in
+//! a multi-GB arena at open time is the cost being avoided.
+//!
+//! # JEMIDX v3 — legacy
+//!
+//! The previous format ([`save_index_v3`] writes it; [`load_index`] and
+//! [`load_index_path`] still read it) serialized the hash table as a
+//! `[n_keys, (code, n_subjects, subjects…)*]` stream that had to be
+//! re-inserted into fresh hash maps on every load. `jem index --upgrade`
+//! migrates v3 artifacts to v4.
 
 use crate::config::MapperConfig;
 use crate::mapper::JemMapper;
-use jem_index::SketchTable;
+use jem_index::{checksum_words, FlatTable, SketchTable, TableBackend, WordSource};
+use jem_mmap::MmapWords;
 use jem_seq::SeqError;
 use jem_sketch::SketchScheme;
-use std::io::{Read, Write};
+use std::fs::File;
+use std::io::{BufReader, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::Arc;
 
-const MAGIC: &[u8; 8] = b"JEMIDX3\0";
+const MAGIC_V3: &[u8; 8] = b"JEMIDX3\0";
+const MAGIC_V4: &[u8; 8] = b"JEMIDX4\0";
+const MAGIC_V4_WORD: u64 = u64::from_le_bytes(*MAGIC_V4);
+/// Fixed v4 header length in words.
+const HEADER_WORDS: usize = 16;
 
-/// FNV-1a over raw bytes — the integrity check of the index frame.
+/// How much of a v4 file [`load_index_path_with`] verifies.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Integrity {
+    /// Verify the whole-file checksum and subject-id ranges (one
+    /// sequential read of the artifact) on top of all structural checks.
+    #[default]
+    Full,
+    /// Verify the header, section geometry and table structure only —
+    /// corruption inside posting data goes undetected until queried.
+    /// For re-opening artifacts that were fully verified when produced.
+    HeaderOnly,
+}
+
+/// FNV-1a over raw bytes — the integrity check of the v3 index frame.
 fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
@@ -41,8 +94,90 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Serialize a built mapper index.
+fn format_err(msg: impl Into<String>) -> SeqError {
+    SeqError::InvalidParameter(msg.into())
+}
+
+fn scheme_words(scheme: SketchScheme) -> (u64, u64) {
+    match scheme {
+        SketchScheme::Minimizer { w } => (0, w as u64),
+        SketchScheme::ClosedSyncmer { s } => (1, s as u64),
+    }
+}
+
+fn scheme_from_words(tag: u64, param: u64) -> Result<SketchScheme, SeqError> {
+    let param = usize::try_from(param)
+        .map_err(|_| format_err(format!("sketch scheme parameter {param} overflows usize")))?;
+    match tag {
+        0 => Ok(SketchScheme::Minimizer { w: param }),
+        1 => Ok(SketchScheme::ClosedSyncmer { s: param }),
+        other => Err(format_err(format!("unknown sketch scheme tag {other}"))),
+    }
+}
+
+/// Serialize a built mapper index in the current (v4) format.
+///
+/// The output is canonical: for a given logical index the bytes are
+/// identical no matter which backend the mapper holds or how it was
+/// obtained — `save → load → save` round-trips exactly.
 pub fn save_index<W: Write>(out: &mut W, mapper: &JemMapper) -> Result<(), SeqError> {
+    let words = index_words_v4(mapper);
+    let mut buf = Vec::with_capacity(64 * 1024);
+    for w in &words {
+        buf.extend_from_slice(&w.to_le_bytes());
+        if buf.len() == buf.capacity() {
+            out.write_all(&buf)?;
+            buf.clear();
+        }
+    }
+    out.write_all(&buf)?;
+    Ok(())
+}
+
+/// Assemble the full v4 word image of `mapper`.
+fn index_words_v4(mapper: &JemMapper) -> Vec<u64> {
+    let mut words = vec![0u64; HEADER_WORDS];
+    let names_off = words.len();
+    for id in 0..mapper.n_subjects() {
+        let name = mapper.subject_name(id as u32).as_bytes();
+        words.push(name.len() as u64);
+        for chunk in name.chunks(8) {
+            let mut b = [0u8; 8];
+            b[..chunk.len()].copy_from_slice(chunk);
+            words.push(u64::from_le_bytes(b));
+        }
+    }
+    let table_off = words.len();
+    let blob = match mapper.table() {
+        TableBackend::Hash(t) => FlatTable::freeze_blob(t),
+        TableBackend::Flat(f) => f.to_blob(),
+    };
+    words.extend_from_slice(&blob);
+
+    let c = mapper.config();
+    let (tag, param) = scheme_words(mapper.scheme());
+    words[0] = MAGIC_V4_WORD;
+    words[1] = words.len() as u64;
+    words[4] = c.k as u64;
+    words[5] = c.w as u64;
+    words[6] = c.trials as u64;
+    words[7] = c.ell as u64;
+    words[8] = c.seed;
+    words[9] = tag;
+    words[10] = param;
+    words[11] = mapper.n_subjects() as u64;
+    words[12] = names_off as u64;
+    words[13] = (table_off - names_off) as u64;
+    words[14] = table_off as u64;
+    words[15] = blob.len() as u64;
+    words[3] = checksum_words(&words[4..11]);
+    words[2] = checksum_words(&words[3..]);
+    words
+}
+
+/// Serialize in the legacy v3 format (hash-table stream). Kept for
+/// migration tests and fixtures; new artifacts should use [`save_index`].
+pub fn save_index_v3<W: Write>(out: &mut W, mapper: &JemMapper) -> Result<(), SeqError> {
     let c = mapper.config();
     let mut body = Vec::new();
     for v in [
@@ -54,10 +189,7 @@ pub fn save_index<W: Write>(out: &mut W, mapper: &JemMapper) -> Result<(), SeqEr
     ] {
         body.extend_from_slice(&v.to_le_bytes());
     }
-    let (tag, param): (u64, u64) = match mapper.scheme() {
-        SketchScheme::Minimizer { w } => (0, w as u64),
-        SketchScheme::ClosedSyncmer { s } => (1, s as u64),
-    };
+    let (tag, param) = scheme_words(mapper.scheme());
     body.extend_from_slice(&tag.to_le_bytes());
     body.extend_from_slice(&param.to_le_bytes());
     body.extend_from_slice(&(mapper.n_subjects() as u64).to_le_bytes());
@@ -66,12 +198,12 @@ pub fn save_index<W: Write>(out: &mut W, mapper: &JemMapper) -> Result<(), SeqEr
         body.extend_from_slice(&(name.len() as u64).to_le_bytes());
         body.extend_from_slice(name);
     }
-    let stream = mapper.table().encode();
+    let stream = mapper.table().to_sketch_table().encode();
     body.extend_from_slice(&(stream.len() as u64).to_le_bytes());
     for v in &stream {
         body.extend_from_slice(&v.to_le_bytes());
     }
-    out.write_all(MAGIC)?;
+    out.write_all(MAGIC_V3)?;
     out.write_all(&(body.len() as u64).to_le_bytes())?;
     out.write_all(&fnv1a64(&body).to_le_bytes())?;
     out.write_all(&body)?;
@@ -84,33 +216,326 @@ fn read_u64<R: Read>(input: &mut R) -> Result<u64, SeqError> {
     Ok(u64::from_le_bytes(buf))
 }
 
-/// Deserialize an index written by [`save_index`].
+/// Deserialize an index written by [`save_index`] (v4) or the legacy
+/// [`save_index_v3`], sniffing the version from the magic.
 ///
 /// Returns `Err` — never panics — on any malformed input: bad magic, a
 /// truncated or extended frame, a checksum mismatch (any flipped byte), or
-/// a body whose table stream fails the fallible decode.
+/// a body that fails structural validation.
 pub fn load_index<R: Read>(input: &mut R) -> Result<JemMapper, SeqError> {
     let mut magic = [0u8; 8];
     input.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(SeqError::InvalidParameter(
-            "not a JEM index file (bad magic)".into(),
+    if &magic == MAGIC_V3 {
+        let body_len = read_u64(input)?;
+        let declared = read_u64(input)?;
+        load_v3_body(input, body_len, declared)
+    } else if &magic == MAGIC_V4 {
+        load_v4_stream(input)
+    } else {
+        Err(format_err("not a JEM index file (bad magic)"))
+    }
+}
+
+/// Read a v4 file from a stream (magic already consumed): the portable
+/// owned-buffer path. The header is read and sanity-checked before the
+/// body so a bogus stream fails before bulk allocation.
+fn load_v4_stream<R: Read>(input: &mut R) -> Result<JemMapper, SeqError> {
+    let mut header = [0u64; HEADER_WORDS];
+    header[0] = MAGIC_V4_WORD;
+    for w in header.iter_mut().skip(1) {
+        *w = read_u64(input)?;
+    }
+    let file_words = usize::try_from(header[1])
+        .map_err(|_| format_err("index header declares an impossible length"))?;
+    if file_words < HEADER_WORDS {
+        return Err(format_err(format!(
+            "index header declares {file_words} words, below the {HEADER_WORDS}-word minimum"
+        )));
+    }
+    // Bounded growth: the capacity hint is capped so a corrupt length
+    // cannot trigger a huge up-front allocation; reading stops at EOF.
+    let mut words = Vec::with_capacity(file_words.min(1 << 24));
+    words.extend_from_slice(&header);
+    let mut buf = vec![0u8; 64 * 1024];
+    let mut remaining = file_words - HEADER_WORDS;
+    while remaining > 0 {
+        let take = remaining.min(buf.len() / 8);
+        input.read_exact(&mut buf[..take * 8]).map_err(|_| {
+            format_err(format!(
+                "index truncated: header declares {file_words} words, stream ended at {}",
+                words.len()
+            ))
+        })?;
+        for chunk in buf[..take * 8].chunks_exact(8) {
+            words.push(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        remaining -= take;
+    }
+    let mut extra = [0u8; 1];
+    if input.read(&mut extra)? != 0 {
+        return Err(format_err(
+            "index frame has trailing bytes after the declared length",
         ));
     }
-    let body_len = read_u64(input)?;
-    let declared = read_u64(input)?;
+    parse_v4(Arc::new(words), Integrity::Full)
+}
+
+/// A memory-mapped word source (newtype so the `WordSource` impl lives
+/// beside the trait's consumers while `jem-mmap` stays dependency-free).
+#[derive(Debug)]
+struct MappedWords(MmapWords);
+
+impl WordSource for MappedWords {
+    fn words(&self) -> &[u64] {
+        self.0.words()
+    }
+}
+
+/// Load an index file by path with [`Integrity::Full`] verification.
+///
+/// For v4 files this is the zero-copy path: the file is memory-mapped
+/// (falling back to an owned read where `mmap` is unavailable) and the
+/// posting arenas are served straight from the mapping. For v3 files it
+/// falls back to the legacy decode-and-rebuild, after failing fast if the
+/// declared body length disagrees with the file's actual size.
+pub fn load_index_path(path: impl AsRef<Path>) -> Result<JemMapper, SeqError> {
+    load_index_path_with(path, Integrity::Full)
+}
+
+/// [`load_index_path`] with an explicit [`Integrity`] level (v4 only —
+/// v3 files are always fully verified by their frame checksum).
+///
+/// Emits load-path metrics to the global [`jem_obs`] recorder:
+/// `persist.load_v3` / `persist.load_v4` (which format), `persist.load_mmap`
+/// / `persist.load_owned` (which v4 backing), and
+/// `persist.arena_copy_bytes` — the bytes *copied* to make the index
+/// resident, `0` on the mmap path — under a `persist/load` span.
+pub fn load_index_path_with(
+    path: impl AsRef<Path>,
+    integrity: Integrity,
+) -> Result<JemMapper, SeqError> {
+    let rec = jem_obs::recorder();
+    let _span = jem_obs::Span::enter(rec, "persist/load");
+    let mut file = File::open(path.as_ref())?;
+    let file_len = file.metadata()?.len();
+    let mut magic = [0u8; 8];
+    file.read_exact(&mut magic)?;
+    if &magic == MAGIC_V3 {
+        let mut input = BufReader::new(file);
+        let body_len = read_u64(&mut input)?;
+        let declared = read_u64(&mut input)?;
+        // Fail fast: the header's declared body length must match the file
+        // size exactly — a wrong-file argument dies here, before the body
+        // is read or the table rebuilt.
+        if body_len != file_len.saturating_sub(24) {
+            return Err(format_err(format!(
+                "index header declares {body_len} body bytes but the file holds {}",
+                file_len.saturating_sub(24)
+            )));
+        }
+        rec.add("persist.load_v3", 1);
+        rec.add("persist.arena_copy_bytes", body_len);
+        load_v3_body(&mut input, body_len, declared)
+    } else if &magic == MAGIC_V4 {
+        rec.add("persist.load_v4", 1);
+        if file_len % 8 != 0 {
+            return Err(format_err(format!(
+                "v4 index length {file_len} is not a multiple of 8 bytes"
+            )));
+        }
+        // Fail fast: read just the header and cross-check the declared word
+        // count against the actual file size before mapping or reading.
+        let mut rest = [0u8; 8 * (HEADER_WORDS - 1)];
+        file.read_exact(&mut rest)?;
+        let file_words = u64::from_le_bytes(rest[..8].try_into().expect("8-byte slice"));
+        if file_words.checked_mul(8) != Some(file_len) {
+            return Err(format_err(format!(
+                "index header declares {file_words} words but the file holds {} bytes",
+                file_len
+            )));
+        }
+        match MmapWords::map(&file) {
+            Ok(map) => {
+                rec.add("persist.load_mmap", 1);
+                rec.add("persist.arena_copy_bytes", 0);
+                parse_v4(Arc::new(MappedWords(map)), integrity)
+            }
+            Err(_) => {
+                // Portable fallback: one owned read of the whole file.
+                file.seek(SeekFrom::Start(0))?;
+                let mut words = Vec::with_capacity((file_len / 8) as usize);
+                let mut input = BufReader::new(file);
+                let mut buf = vec![0u8; 64 * 1024];
+                loop {
+                    let n = input.read(&mut buf)?;
+                    if n == 0 {
+                        break;
+                    }
+                    for chunk in buf[..n].chunks_exact(8) {
+                        words.push(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+                    }
+                    if n % 8 != 0 {
+                        return Err(format_err("index file changed size during load"));
+                    }
+                }
+                rec.add("persist.load_owned", 1);
+                rec.add("persist.arena_copy_bytes", file_len);
+                parse_v4(Arc::new(words), integrity)
+            }
+        }
+    } else {
+        Err(format_err("not a JEM index file (bad magic)"))
+    }
+}
+
+/// Validate a complete v4 word image and wrap it into a mapper.
+fn parse_v4(source: Arc<dyn WordSource>, integrity: Integrity) -> Result<JemMapper, SeqError> {
+    let words = source.words();
+    if words.len() < HEADER_WORDS {
+        return Err(format_err(format!(
+            "v4 index needs at least {HEADER_WORDS} words, have {}",
+            words.len()
+        )));
+    }
+    if words[0] != MAGIC_V4_WORD {
+        return Err(format_err("not a JEM v4 index (bad magic)"));
+    }
+    if words[1] != words.len() as u64 {
+        return Err(format_err(format!(
+            "index header declares {} words but {} are present",
+            words[1],
+            words.len()
+        )));
+    }
+    if integrity == Integrity::Full {
+        let computed = checksum_words(&words[3..]);
+        if computed != words[2] {
+            return Err(format_err(format!(
+                "index checksum mismatch: header declares {:#018x}, file hashes to {computed:#018x}",
+                words[2]
+            )));
+        }
+    }
+    let config_hash = checksum_words(&words[4..11]);
+    if config_hash != words[3] {
+        return Err(format_err(format!(
+            "index config-hash mismatch: header declares {:#018x}, config hashes to {config_hash:#018x}",
+            words[3]
+        )));
+    }
+
+    let as_usize = |w: u64, what: &str| {
+        usize::try_from(w).map_err(|_| format_err(format!("index {what} {w} overflows usize")))
+    };
+    let config = MapperConfig {
+        k: as_usize(words[4], "k")?,
+        w: as_usize(words[5], "w")?,
+        trials: as_usize(words[6], "trials")?,
+        ell: as_usize(words[7], "ell")?,
+        seed: words[8],
+    };
+    config
+        .jem_params()
+        .map_err(|e| format_err(format!("index holds an invalid configuration: {e}")))?;
+    let scheme = scheme_from_words(words[9], words[10])?;
+    scheme
+        .validate(config.k)
+        .map_err(|e| format_err(format!("index holds an invalid scheme: {e}")))?;
+
+    let n_subjects = as_usize(words[11], "subject count")?;
+    let names_off = as_usize(words[12], "names offset")?;
+    let names_words = as_usize(words[13], "names length")?;
+    let table_off = as_usize(words[14], "table offset")?;
+    let table_words = as_usize(words[15], "table length")?;
+    // The canonical layout is fixed: names directly after the header,
+    // table directly after the names, nothing after the table.
+    if names_off != HEADER_WORDS
+        || names_off.checked_add(names_words) != Some(table_off)
+        || table_off.checked_add(table_words) != Some(words.len())
+    {
+        return Err(format_err(
+            "index section offsets do not tile the file (names, then table)",
+        ));
+    }
+    let names = parse_names(&words[names_off..table_off], n_subjects)?;
+
+    let flat = FlatTable::from_source(Arc::clone(&source), table_off, config.trials)
+        .map_err(|e| format_err(format!("index table is corrupt: {e}")))?;
+    if integrity == Integrity::Full {
+        if let Some(max) = flat.max_subject() {
+            if max as usize >= n_subjects {
+                return Err(format_err(format!(
+                    "index table references subject {max} but only {n_subjects} subjects are named"
+                )));
+            }
+        }
+    }
+    Ok(JemMapper::from_backend_with_scheme(
+        flat.into(),
+        names,
+        &config,
+        scheme,
+    ))
+}
+
+/// Parse the names section: per subject, a byte length followed by the
+/// name zero-padded to whole words. Rejects truncation, oversized names,
+/// non-zero padding (the writer is canonical), trailing words and
+/// non-UTF-8.
+fn parse_names(words: &[u64], n_subjects: usize) -> Result<Vec<String>, SeqError> {
+    let mut names = Vec::with_capacity(n_subjects.min(1 << 16));
+    let mut i = 0usize;
+    for _ in 0..n_subjects {
+        let len = *words
+            .get(i)
+            .ok_or_else(|| format_err("index names section truncated"))?;
+        if len > 1 << 20 {
+            return Err(format_err("unreasonable subject name length"));
+        }
+        let len = len as usize;
+        i += 1;
+        let n_words = len.div_ceil(8);
+        if i + n_words > words.len() {
+            return Err(format_err("index names section truncated"));
+        }
+        let mut bytes = Vec::with_capacity(n_words * 8);
+        for w in &words[i..i + n_words] {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        if bytes[len..].iter().any(|&b| b != 0) {
+            return Err(format_err("index name padding is not zeroed"));
+        }
+        bytes.truncate(len);
+        names.push(String::from_utf8(bytes).map_err(|_| format_err("subject name is not UTF-8"))?);
+        i += n_words;
+    }
+    if i != words.len() {
+        return Err(format_err(
+            "index names section has trailing words after the last name",
+        ));
+    }
+    Ok(names)
+}
+
+/// Read and validate a v3 body (stream positioned after the 24-byte
+/// header, whose `body_len`/`declared` fields are passed in).
+fn load_v3_body<R: Read>(
+    input: &mut R,
+    body_len: u64,
+    declared: u64,
+) -> Result<JemMapper, SeqError> {
     let mut body = Vec::new();
     // `take` bounds the read without trusting `body_len` for an allocation.
     input.take(body_len).read_to_end(&mut body)?;
     if body.len() as u64 != body_len {
-        return Err(SeqError::InvalidParameter(format!(
+        return Err(format_err(format!(
             "index frame truncated: header declares {body_len} body bytes, found {}",
             body.len()
         )));
     }
     let computed = fnv1a64(&body);
     if computed != declared {
-        return Err(SeqError::InvalidParameter(format!(
+        return Err(format_err(format!(
             "index checksum mismatch: frame declares {declared:#018x}, body hashes to {computed:#018x}"
         )));
     }
@@ -128,39 +553,26 @@ pub fn load_index<R: Read>(input: &mut R) -> Result<JemMapper, SeqError> {
         ell,
         seed,
     };
-    config.jem_params().map_err(|e| {
-        SeqError::InvalidParameter(format!("index holds an invalid configuration: {e}"))
-    })?;
+    config
+        .jem_params()
+        .map_err(|e| format_err(format!("index holds an invalid configuration: {e}")))?;
     let tag = read_u64(input)?;
-    let param = read_u64(input)? as usize;
-    let scheme = match tag {
-        0 => SketchScheme::Minimizer { w: param },
-        1 => SketchScheme::ClosedSyncmer { s: param },
-        other => {
-            return Err(SeqError::InvalidParameter(format!(
-                "unknown sketch scheme tag {other}"
-            )))
-        }
-    };
+    let param = read_u64(input)?;
+    let scheme = scheme_from_words(tag, param)?;
     scheme
         .validate(k)
-        .map_err(|e| SeqError::InvalidParameter(format!("index holds an invalid scheme: {e}")))?;
+        .map_err(|e| format_err(format!("index holds an invalid scheme: {e}")))?;
 
     let n_subjects = read_u64(input)? as usize;
     let mut names = Vec::with_capacity(n_subjects.min(1 << 16));
     for _ in 0..n_subjects {
         let len = read_u64(input)? as usize;
         if len > 1 << 20 {
-            return Err(SeqError::InvalidParameter(
-                "unreasonable subject name length".into(),
-            ));
+            return Err(format_err("unreasonable subject name length"));
         }
         let mut buf = vec![0u8; len];
         input.read_exact(&mut buf)?;
-        names.push(
-            String::from_utf8(buf)
-                .map_err(|_| SeqError::InvalidParameter("subject name is not UTF-8".into()))?,
-        );
+        names.push(String::from_utf8(buf).map_err(|_| format_err("subject name is not UTF-8"))?);
     }
     let stream_len = read_u64(input)? as usize;
     let mut stream = Vec::with_capacity(stream_len.min(1 << 20));
@@ -168,7 +580,7 @@ pub fn load_index<R: Read>(input: &mut R) -> Result<JemMapper, SeqError> {
         stream.push(read_u64(input)?);
     }
     let table = SketchTable::decode(&stream, trials)
-        .map_err(|e| SeqError::InvalidParameter(format!("index table stream is corrupt: {e}")))?;
+        .map_err(|e| format_err(format!("index table stream is corrupt: {e}")))?;
     Ok(JemMapper::from_table_with_scheme(
         table, names, &config, scheme,
     ))
@@ -209,6 +621,10 @@ mod tests {
         JemMapper::build(&subjects, &config)
     }
 
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("jem-persist-test-{tag}-{}", std::process::id()))
+    }
+
     #[test]
     fn roundtrip_preserves_everything() {
         let (mapper, subjects) = build();
@@ -221,6 +637,7 @@ mod tests {
             assert_eq!(loaded.subject_name(i as u32), mapper.subject_name(i as u32));
         }
         assert_eq!(loaded.table().entry_count(), mapper.table().entry_count());
+        assert_eq!(loaded.table().backing(), "flat");
         // Mapping behaviour identical.
         let query = subjects[1].seq[..250.min(subjects[1].seq.len())].to_vec();
         let mut c1 = mapper.new_counter();
@@ -229,6 +646,106 @@ mod tests {
             mapper.map_segment(&query, 0, &mut c1),
             loaded.map_segment(&query, 0, &mut c2)
         );
+    }
+
+    #[test]
+    fn save_load_save_is_byte_identical() {
+        let (mapper, _) = build();
+        let mut first = Vec::new();
+        save_index(&mut first, &mapper).unwrap();
+        let loaded = load_index(&mut first.as_slice()).unwrap();
+        let mut second = Vec::new();
+        save_index(&mut second, &loaded).unwrap();
+        assert_eq!(first, second, "v4 round-trip must reproduce exact bytes");
+    }
+
+    #[test]
+    fn v3_upgrade_produces_identical_v4_bytes() {
+        let (mapper, _) = build();
+        // Direct v4 save of the built mapper…
+        let mut direct = Vec::new();
+        save_index(&mut direct, &mapper).unwrap();
+        // …must equal save-as-v3 → load-v3 → save-v4 (the upgrade path).
+        let mut v3 = Vec::new();
+        save_index_v3(&mut v3, &mapper).unwrap();
+        let migrated = load_index(&mut v3.as_slice()).unwrap();
+        assert_eq!(migrated.table().backing(), "hash");
+        let mut upgraded = Vec::new();
+        save_index(&mut upgraded, &migrated).unwrap();
+        assert_eq!(direct, upgraded);
+    }
+
+    #[test]
+    fn path_load_uses_mmap_and_maps_identically() {
+        let (mapper, subjects) = build();
+        let path = temp_path("mmap");
+        let mut f = File::create(&path).unwrap();
+        save_index(&mut f, &mapper).unwrap();
+        drop(f);
+        let loaded = load_index_path(&path).unwrap();
+        assert_eq!(loaded.table().backing(), "flat");
+        let query = subjects[2].seq[..250.min(subjects[2].seq.len())].to_vec();
+        let mut c1 = mapper.new_counter();
+        let mut c2 = loaded.new_counter();
+        assert_eq!(
+            mapper.map_segment(&query, 0, &mut c1),
+            loaded.map_segment(&query, 0, &mut c2)
+        );
+        // Saving the mmap-backed mapper reproduces the exact file bytes.
+        let mut again = Vec::new();
+        save_index(&mut again, &loaded).unwrap();
+        assert_eq!(again, std::fs::read(&path).unwrap());
+        drop(loaded);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn path_load_header_only_succeeds_on_pristine_file() {
+        let (mapper, _) = build();
+        let path = temp_path("header-only");
+        let mut f = File::create(&path).unwrap();
+        save_index(&mut f, &mapper).unwrap();
+        drop(f);
+        let loaded = load_index_path_with(&path, Integrity::HeaderOnly).unwrap();
+        assert_eq!(loaded.table().entry_count(), mapper.table().entry_count());
+        drop(loaded);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn path_load_rejects_wrong_file_before_reading_body() {
+        let path = temp_path("wrongfile");
+        // A v4 header that declares far more words than the file holds.
+        let mut words = vec![0u64; HEADER_WORDS];
+        words[0] = MAGIC_V4_WORD;
+        words[1] = 1 << 40;
+        let mut f = File::create(&path).unwrap();
+        for w in &words {
+            f.write_all(&w.to_le_bytes()).unwrap();
+        }
+        drop(f);
+        let err = load_index_path(&path).unwrap_err();
+        assert!(
+            err.to_string().contains("declares"),
+            "unexpected error: {err}"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn path_load_rejects_v3_length_mismatch_fast() {
+        let (mapper, _) = build();
+        let path = temp_path("v3-short");
+        let mut buf = Vec::new();
+        save_index_v3(&mut buf, &mapper).unwrap();
+        buf.truncate(buf.len() - 10);
+        std::fs::write(&path, &buf).unwrap();
+        let err = load_index_path(&path).unwrap_err();
+        assert!(
+            err.to_string().contains("body bytes"),
+            "unexpected error: {err}"
+        );
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
@@ -244,6 +761,15 @@ mod tests {
         let mut buf = Vec::new();
         save_index(&mut buf, &mapper).unwrap();
         buf.truncate(buf.len() / 2);
+        assert!(load_index(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn extended_file_rejected() {
+        let (mapper, _) = build();
+        let mut buf = Vec::new();
+        save_index(&mut buf, &mapper).unwrap();
+        buf.push(0);
         assert!(load_index(&mut buf.as_slice()).is_err());
     }
 
@@ -267,8 +793,27 @@ mod tests {
     }
 
     #[test]
+    fn every_single_byte_flip_rejected_v3() {
+        let mapper = build_tiny();
+        let mut buf = Vec::new();
+        save_index_v3(&mut buf, &mapper).unwrap();
+        assert!(
+            load_index(&mut buf.as_slice()).is_ok(),
+            "pristine v3 file must load"
+        );
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                load_index(&mut bad.as_slice()).is_err(),
+                "flip of byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
     fn corrupt_but_well_framed_stream_rejected_by_decode() {
-        // Hand-build a file whose frame (length + checksum) is intact but
+        // Hand-build a v3 file whose frame (length + checksum) is intact but
         // whose table stream is structural garbage: the error must come from
         // the fallible decode, not a panic.
         let mut body = Vec::new();
@@ -281,7 +826,7 @@ mod tests {
         body.extend_from_slice(&0u64.to_le_bytes()); // no subjects
         body.extend_from_slice(&1u64.to_le_bytes()); // stream_len = 1
         body.extend_from_slice(&999u64.to_le_bytes()); // garbage stream word
-        let mut file = MAGIC.to_vec();
+        let mut file = MAGIC_V3.to_vec();
         file.extend_from_slice(&(body.len() as u64).to_le_bytes());
         file.extend_from_slice(&fnv1a64(&body).to_le_bytes());
         file.extend_from_slice(&body);
@@ -297,6 +842,24 @@ mod tests {
         let mut data = b"JEMIDX2\0".to_vec();
         data.extend_from_slice(&[0u8; 128]);
         assert!(load_index(&mut data.as_slice()).is_err());
+    }
+
+    #[test]
+    fn v3_roundtrips_through_legacy_writer() {
+        let (mapper, subjects) = build();
+        let mut buf = Vec::new();
+        save_index_v3(&mut buf, &mapper).unwrap();
+        let loaded = load_index(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.config(), mapper.config());
+        assert_eq!(loaded.n_subjects(), mapper.n_subjects());
+        assert_eq!(loaded.table().entry_count(), mapper.table().entry_count());
+        let query = subjects[1].seq[..250.min(subjects[1].seq.len())].to_vec();
+        let mut c1 = mapper.new_counter();
+        let mut c2 = loaded.new_counter();
+        assert_eq!(
+            mapper.map_segment(&query, 0, &mut c1),
+            loaded.map_segment(&query, 0, &mut c2)
+        );
     }
 
     #[test]
@@ -341,5 +904,32 @@ mod tests {
         let loaded = load_index(&mut buf.as_slice()).unwrap();
         assert_eq!(loaded.n_subjects(), 0);
         assert_eq!(loaded.table().entry_count(), 0);
+    }
+
+    #[test]
+    fn out_of_range_subject_id_rejected() {
+        // A well-checksummed v4 file whose arena references a subject id
+        // beyond the name table must fail under Full integrity.
+        let mapper = build_tiny();
+        let mut buf = Vec::new();
+        save_index(&mut buf, &mapper).unwrap();
+        let mut words: Vec<u64> = buf
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        // Stamp a bogus id into the first arena word of trial 0.
+        let table_off = words[14] as usize;
+        let arena_rel = words[table_off + 1 + 2] as usize; // trial 0 arena_off
+        let arena_len = words[table_off + 1 + 3];
+        assert!(arena_len > 0, "tiny index must have postings");
+        words[table_off + arena_rel] = u64::from(u32::MAX);
+        // Re-seal the checksum so only the range check can object.
+        let tail = checksum_words(&words[3..]);
+        words[2] = tail;
+        let err = parse_v4(Arc::new(words), Integrity::Full).unwrap_err();
+        assert!(
+            err.to_string().contains("subjects are named"),
+            "unexpected error: {err}"
+        );
     }
 }

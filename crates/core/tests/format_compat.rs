@@ -1,0 +1,206 @@
+//! JEMIDX v4 ⇄ v3 format-compatibility suite.
+//!
+//! Pins the tentpole guarantees of the flat v4 layout:
+//!
+//! * a v3 artifact and its v4 upgrade produce **byte-identical** mapping
+//!   TSV output (and both match the in-memory mapper);
+//! * save → load (mmap path) → save is **byte-identical** — the canonical
+//!   writer makes the artifact a fixed point of the round trip;
+//! * corrupt or truncated artifacts fail with typed errors, never panics
+//!   — fuzzed here with proptest over random bit flips and truncations,
+//!   mirroring the `fuzz_frames` discipline of the serve protocol.
+
+use jem_core::{
+    load_index, load_index_path, save_index, save_index_v3, write_mappings_tsv, JemMapper,
+    MapperConfig,
+};
+use jem_seq::SeqRecord;
+use jem_sim::{
+    contig_records, fragment_contigs, read_records, simulate_hifi, ContigProfile, Genome,
+    HifiProfile,
+};
+use proptest::prelude::*;
+use std::io::Cursor;
+use std::path::PathBuf;
+
+/// A deterministic small world: contigs to index, reads to map.
+fn world() -> (JemMapper, Vec<SeqRecord>) {
+    let genome = Genome::random(60_000, 0.5, 71);
+    let contigs = fragment_contigs(&genome, &ContigProfile::small_genome(), 72);
+    let config = MapperConfig {
+        k: 14,
+        w: 20,
+        trials: 10,
+        ell: 500,
+        seed: 73,
+    };
+    let reads = read_records(&simulate_hifi(
+        &genome,
+        &HifiProfile {
+            coverage: 2.0,
+            ..Default::default()
+        },
+        74,
+    ));
+    (JemMapper::build(&contig_records(&contigs), &config), reads)
+}
+
+fn tsv(mapper: &JemMapper, reads: &[SeqRecord]) -> Vec<u8> {
+    let mappings = mapper.map_reads(reads);
+    let mut out = Vec::new();
+    write_mappings_tsv(&mut out, &mappings, reads, mapper).unwrap();
+    out
+}
+
+fn tmp(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name)
+}
+
+fn save_to(path: &PathBuf, bytes: &[u8]) {
+    std::fs::write(path, bytes).unwrap();
+}
+
+fn v4_bytes(mapper: &JemMapper) -> Vec<u8> {
+    let mut out = Vec::new();
+    save_index(&mut out, mapper).unwrap();
+    out
+}
+
+fn v3_bytes(mapper: &JemMapper) -> Vec<u8> {
+    let mut out = Vec::new();
+    save_index_v3(&mut out, mapper).unwrap();
+    out
+}
+
+#[test]
+fn v3_and_its_v4_upgrade_map_byte_identically() {
+    let (mapper, reads) = world();
+    let expected = tsv(&mapper, &reads);
+
+    // Persist both formats, load each through the path loader (v4 takes
+    // the mmap route where supported), and map the same reads.
+    let v3_path = tmp("compat-v3.jem");
+    save_to(&v3_path, &v3_bytes(&mapper));
+    let from_v3 = load_index_path(&v3_path).unwrap();
+    assert_eq!(tsv(&from_v3, &reads), expected, "v3 output drifted");
+
+    // The upgrade path: what `jem index --upgrade` does.
+    let v4_path = tmp("compat-v4.jem");
+    save_to(&v4_path, &v4_bytes(&from_v3));
+    let from_v4 = load_index_path(&v4_path).unwrap();
+    assert_eq!(from_v4.table().backing(), "flat");
+    assert_eq!(
+        tsv(&from_v4, &reads),
+        expected,
+        "v4 upgrade changed mapping output"
+    );
+}
+
+#[test]
+fn save_mmap_load_save_is_a_byte_fixed_point() {
+    let (mapper, _) = world();
+    let first = v4_bytes(&mapper);
+    let path = tmp("compat-fixed-point.jem");
+    save_to(&path, &first);
+    let reloaded = load_index_path(&path).unwrap();
+    assert_eq!(
+        v4_bytes(&reloaded),
+        first,
+        "canonical writer must make save→load→save the identity"
+    );
+    // And the upgrade of an upgrade is still the same file.
+    let twice = load_index_path(&path).unwrap();
+    assert_eq!(v4_bytes(&twice), first);
+}
+
+#[test]
+fn upgrading_v3_twice_is_deterministic() {
+    let (mapper, _) = world();
+    let v3 = v3_bytes(&mapper);
+    let a = v4_bytes(&load_index(&mut Cursor::new(&v3)).unwrap());
+    let b = v4_bytes(&load_index(&mut Cursor::new(&v3)).unwrap());
+    assert_eq!(a, b, "upgrade must be deterministic");
+    assert_eq!(a, v4_bytes(&mapper), "upgrade must equal a direct v4 save");
+}
+
+/// A small-but-real v4 artifact for the fuzz cases below (cheaper than
+/// `world()` per proptest case; built once).
+fn small_v4() -> Vec<u8> {
+    let subjects = vec![
+        SeqRecord::new(
+            "c0",
+            b"ACGTACGTACGGTTACGGATCCGTAGGCTAACGTACCGTAGGCATCAGT".to_vec(),
+        ),
+        SeqRecord::new(
+            "c1",
+            b"TTGACCATGGACCGTATTGCACCGGATGCAACGGTATCAGGCCATGATC".to_vec(),
+        ),
+    ];
+    let config = MapperConfig {
+        k: 9,
+        w: 6,
+        trials: 4,
+        ell: 40,
+        seed: 5,
+    };
+    v4_bytes(&JemMapper::build(&subjects, &config))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any single bit flip anywhere in a v4 artifact is rejected with a
+    /// typed error: the whole-file checksum covers the body, and the
+    /// three uncovered header words (magic, length, checksum itself) are
+    /// each validated directly.
+    #[test]
+    fn any_single_bit_flip_is_rejected(pos_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let mut bytes = small_v4();
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] ^= 1 << bit;
+        prop_assert!(
+            load_index(&mut Cursor::new(&bytes)).is_err(),
+            "flip at byte {pos} bit {bit} must be rejected"
+        );
+    }
+
+    /// Any truncation is rejected — no prefix of a valid artifact is a
+    /// valid artifact. The loader must return, not panic.
+    #[test]
+    fn any_truncation_is_rejected(len_frac in 0.0f64..1.0) {
+        let bytes = small_v4();
+        let len = (bytes.len() as f64 * len_frac) as usize;
+        prop_assert!(len < bytes.len());
+        prop_assert!(load_index(&mut Cursor::new(&bytes[..len])).is_err());
+    }
+
+    /// Arbitrary multi-byte corruption never panics the loader — the
+    /// validator bounds every section and every posting range before any
+    /// of it is dereferenced. (A result is allowed; a panic is not.)
+    #[test]
+    fn random_corruption_never_panics(
+        edits in prop::collection::vec((0.0f64..1.0, 1u8..=255), 1..16),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let mut bytes = small_v4();
+        for (frac, mask) in edits {
+            let pos = ((bytes.len() - 1) as f64 * frac) as usize;
+            bytes[pos] ^= mask;
+        }
+        let keep = ((bytes.len() as f64) * cut_frac) as usize;
+        bytes.truncate(keep.max(1));
+        let _ = load_index(&mut Cursor::new(&bytes));
+    }
+
+    /// The same discipline holds on the path loader (mmap route): random
+    /// corruption of the file on disk yields an error, never a panic.
+    #[test]
+    fn corrupt_files_fail_typed_on_the_mmap_path(pos_frac in 0.0f64..1.0, mask in 1u8..=255) {
+        let mut bytes = small_v4();
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] ^= mask;
+        let path = tmp("compat-fuzz-mmap.jem");
+        std::fs::write(&path, &bytes).unwrap();
+        prop_assert!(load_index_path(&path).is_err());
+    }
+}

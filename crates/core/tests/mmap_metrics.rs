@@ -1,0 +1,70 @@
+//! Pins the zero-copy property of the v4 mmap load path through the
+//! metrics it emits: loading a JEMIDX v4 artifact from disk must copy
+//! **zero** posting-arena bytes (`persist.arena_copy_bytes` stays 0 and
+//! `persist.load_mmap` fires), while the legacy v3 stream load reports
+//! its full body copy. One test function owns the whole binary because
+//! the recorder install is process-global and first-install-wins.
+
+#![cfg(unix)]
+
+use jem_core::{load_index_path, save_index, save_index_v3, JemMapper, MapperConfig};
+use jem_seq::SeqRecord;
+use std::path::PathBuf;
+
+#[test]
+fn v4_mmap_load_copies_no_arena_bytes() {
+    let rec = jem_obs::install_default().expect("this binary owns the recorder");
+
+    let subjects = vec![
+        SeqRecord::new(
+            "c0",
+            b"ACGTACGTACGGTTACGGATCCGTAGGCTAACGTACCGTAGGCATCAGT".to_vec(),
+        ),
+        SeqRecord::new(
+            "c1",
+            b"TTGACCATGGACCGTATTGCACCGGATGCAACGGTATCAGGCCATGATC".to_vec(),
+        ),
+    ];
+    let config = MapperConfig {
+        k: 9,
+        w: 6,
+        trials: 4,
+        ell: 40,
+        seed: 5,
+    };
+    let mapper = JemMapper::build(&subjects, &config);
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+
+    // v4: mmap route, zero bytes copied out of the artifact.
+    let v4 = dir.join("metrics-v4.jem");
+    let mut out = std::fs::File::create(&v4).unwrap();
+    save_index(&mut out, &mapper).unwrap();
+    drop(out);
+    load_index_path(&v4).unwrap();
+    let snap = rec.snapshot();
+    assert_eq!(snap.counter("persist.load_v4"), 1);
+    assert_eq!(
+        snap.counter("persist.load_mmap"),
+        1,
+        "v4 must take the mmap route"
+    );
+    assert_eq!(snap.counter("persist.load_owned"), 0);
+    assert_eq!(
+        snap.counter("persist.arena_copy_bytes"),
+        0,
+        "a v4 mmap load must not copy the posting arena"
+    );
+
+    // v3 for contrast: the stream load has to copy its whole body.
+    let v3 = dir.join("metrics-v3.jem");
+    let mut out = std::fs::File::create(&v3).unwrap();
+    save_index_v3(&mut out, &mapper).unwrap();
+    drop(out);
+    load_index_path(&v3).unwrap();
+    let snap = rec.snapshot();
+    assert_eq!(snap.counter("persist.load_v3"), 1);
+    assert!(
+        snap.counter("persist.arena_copy_bytes") > 0,
+        "the v3 load copies its body and must say so"
+    );
+}

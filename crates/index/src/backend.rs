@@ -1,0 +1,182 @@
+//! The table backend: one lookup API over both sketch-table storages.
+//!
+//! A [`TableBackend`] is either the hash-backed [`SketchTable`] (what
+//! builds and merges produce) or the arena-backed [`FlatTable`] view (what
+//! a JEMIDX v4 load produces, possibly over a memory-mapped file). Mapping
+//! drivers query through [`TableBackend::lookup_into`] and are byte-
+//! identical across backends — the equivalence suites pin this.
+
+use crate::flat::FlatTable;
+use crate::table::{SketchTable, SubjectId};
+
+/// Storage behind a mapper's sketch table.
+#[derive(Clone, Debug)]
+pub enum TableBackend {
+    /// Hash-map banks — the build/merge representation.
+    Hash(SketchTable),
+    /// Flat bucket-table + posting-arena view — the load representation.
+    Flat(FlatTable),
+}
+
+impl From<SketchTable> for TableBackend {
+    fn from(table: SketchTable) -> Self {
+        TableBackend::Hash(table)
+    }
+}
+
+impl From<FlatTable> for TableBackend {
+    fn from(table: FlatTable) -> Self {
+        TableBackend::Flat(table)
+    }
+}
+
+impl TableBackend {
+    /// Number of trials `T`.
+    pub fn trials(&self) -> usize {
+        match self {
+            TableBackend::Hash(t) => t.trials(),
+            TableBackend::Flat(t) => t.trials(),
+        }
+    }
+
+    /// Total `(trial, code)` key count across banks.
+    pub fn key_count(&self) -> usize {
+        match self {
+            TableBackend::Hash(t) => t.key_count(),
+            TableBackend::Flat(t) => t.key_count(),
+        }
+    }
+
+    /// Total `(trial, code, subject)` association count.
+    pub fn entry_count(&self) -> usize {
+        match self {
+            TableBackend::Hash(t) => t.entry_count(),
+            TableBackend::Flat(t) => t.entry_count(),
+        }
+    }
+
+    /// Append the subjects registered under `(trial, code)` — sorted
+    /// ascending — to `out`; appends nothing on a miss. The one lookup
+    /// primitive every mapping hot loop uses.
+    #[inline]
+    pub fn lookup_into(&self, trial: usize, code: u64, out: &mut Vec<SubjectId>) {
+        match self {
+            TableBackend::Hash(t) => out.extend_from_slice(t.lookup(trial, code)),
+            TableBackend::Flat(t) => t.lookup_into(trial, code, out),
+        }
+    }
+
+    /// Visit every `(code, posting-count)` key of bank `trial` in
+    /// unspecified order (shard occupancy accounting).
+    pub fn for_each_key(&self, trial: usize, mut f: impl FnMut(u64, usize)) {
+        match self {
+            TableBackend::Hash(t) => {
+                for (code, subjects) in t.iter_bank(trial) {
+                    f(code, subjects.len());
+                }
+            }
+            TableBackend::Flat(t) => t.for_each_key(trial, f),
+        }
+    }
+
+    /// Bank `trial` as owned `(code, subjects)` entries sorted ascending by
+    /// code — the canonical serialization order.
+    pub fn bank_entries(&self, trial: usize) -> Vec<(u64, Vec<SubjectId>)> {
+        match self {
+            TableBackend::Hash(t) => {
+                let mut bank: Vec<(u64, Vec<SubjectId>)> = t
+                    .iter_bank(trial)
+                    .map(|(code, subjects)| (code, subjects.to_vec()))
+                    .collect();
+                bank.sort_unstable_by_key(|&(code, _)| code);
+                bank
+            }
+            TableBackend::Flat(t) => t.bank_entries(trial),
+        }
+    }
+
+    /// The hash table, if that is the backing (distributed merge paths).
+    pub fn as_hash(&self) -> Option<&SketchTable> {
+        match self {
+            TableBackend::Hash(t) => Some(t),
+            TableBackend::Flat(_) => None,
+        }
+    }
+
+    /// An owned hash-backed table with identical contents (legacy-format
+    /// writes and migrations; not a hot path).
+    pub fn to_sketch_table(&self) -> SketchTable {
+        match self {
+            TableBackend::Hash(t) => t.clone(),
+            TableBackend::Flat(t) => t.to_sketch_table(),
+        }
+    }
+
+    /// Short name of the backing, for logs and metrics labels.
+    pub fn backing(&self) -> &'static str {
+        match self {
+            TableBackend::Hash(_) => "hash",
+            TableBackend::Flat(_) => "flat",
+        }
+    }
+
+    /// Approximate resident bytes of the table structure.
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            TableBackend::Hash(t) => t.approx_bytes(),
+            TableBackend::Flat(t) => t.approx_bytes(),
+        }
+    }
+
+    /// Report `index.bucket_occupancy` observations per key into `rec`.
+    pub fn observe_occupancy(&self, rec: &dyn jem_obs::Recorder) {
+        match self {
+            TableBackend::Hash(t) => t.observe_occupancy(rec),
+            TableBackend::Flat(t) => t.observe_occupancy(rec),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatTable;
+
+    fn sample() -> SketchTable {
+        let mut t = SketchTable::new(2);
+        t.insert(0, 100, 5);
+        t.insert(0, 100, 2);
+        t.insert(0, 7, 1);
+        t.insert(1, 100, 9);
+        t
+    }
+
+    #[test]
+    fn both_backends_agree_on_everything() {
+        let hash = TableBackend::Hash(sample());
+        let flat = TableBackend::Flat(FlatTable::freeze(&sample()));
+        assert_eq!(hash.trials(), flat.trials());
+        assert_eq!(hash.key_count(), flat.key_count());
+        assert_eq!(hash.entry_count(), flat.entry_count());
+        assert_eq!(hash.backing(), "hash");
+        assert_eq!(flat.backing(), "flat");
+        for t in 0..2 {
+            assert_eq!(hash.bank_entries(t), flat.bank_entries(t));
+            for code in [7u64, 100, 9999] {
+                let (mut a, mut b) = (Vec::new(), Vec::new());
+                hash.lookup_into(t, code, &mut a);
+                flat.lookup_into(t, code, &mut b);
+                assert_eq!(a, b, "trial {t} code {code}");
+            }
+            let (mut ka, mut kb) = (Vec::new(), Vec::new());
+            hash.for_each_key(t, |c, n| ka.push((c, n)));
+            flat.for_each_key(t, |c, n| kb.push((c, n)));
+            ka.sort_unstable();
+            kb.sort_unstable();
+            assert_eq!(ka, kb);
+        }
+        assert!(hash.as_hash().is_some());
+        assert!(flat.as_hash().is_none());
+        assert_eq!(flat.to_sketch_table().entry_count(), 4);
+    }
+}

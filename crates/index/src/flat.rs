@@ -1,0 +1,675 @@
+//! Flat, arena-backed view of the sketch table — the in-memory shape of the
+//! JEMIDX v4 on-disk format.
+//!
+//! Where [`crate::table::SketchTable`] owns one [`crate::u64map::U64Map`]
+//! per trial (pointer-rich, rebuilt on every load), [`FlatTable`] is a
+//! *view over a word buffer*: per trial, a power-of-two open-addressing
+//! bucket array of `(code, offset·length)` pairs plus one contiguous
+//! posting arena of subject ids packed two-per-word. The buffer can be an
+//! owned `Vec<u64>` or a memory-mapped file — the table never copies out
+//! of it, which is what makes a multi-gigabyte index loadable in
+//! milliseconds (Platanus' `table` + `pos_pool` shape; mapquik's
+//! zero-rebuild load discipline).
+//!
+//! ## Blob layout (word offsets relative to the blob start)
+//!
+//! ```text
+//! word 0        trial count T
+//! words 1..1+4T per trial t: bucket_off, bucket_cap, arena_off, arena_len
+//!               (offsets are blob-relative word indices; arena_len counts
+//!                postings, i.e. u32 subject ids, not words)
+//! sections      for each trial, in order: bucket array then arena
+//! ```
+//!
+//! * The bucket array holds `bucket_cap` (a power of two, or 0 for an
+//!   empty trial) slot pairs `[code, off_len]`. `off_len == 0` marks an
+//!   empty slot — unambiguous because every real posting list has length
+//!   ≥ 1. Otherwise `off_len = (start << 24) | len`, addressing postings
+//!   `start .. start+len` of this trial's arena (lists are capped at
+//!   2^24−1 ids, arenas at 2^40 — far beyond any real contig set).
+//! * Slot placement uses the same Fibonacci-hash + linear-probe scheme as
+//!   [`crate::u64map::U64Map`], at load factor ≤ 0.5; lookups probe at
+//!   most `bucket_cap` slots, so even a corrupt all-full table terminates.
+//! * The arena packs subject ids little-end first: posting `j` lives in
+//!   the low (even `j`) or high (odd `j`) half of word `arena_off + j/2`.
+//!   The last word's unused half is zero.
+//!
+//! [`FlatTable::freeze_blob`] writes this layout *canonically* — codes in
+//! ascending order — so the bytes are a pure function of the logical table
+//! contents: save → load → save round-trips byte-identically regardless of
+//! which backend the table came from.
+//!
+//! Construction from untrusted bytes goes through the fallible
+//! [`FlatTable::from_source`] validator, which bounds-checks every section
+//! and slot so no later lookup can index out of range or fail to
+//! terminate. It deliberately does *not* verify checksums (the caller's
+//! file format owns integrity) nor that subject ids are dense — use
+//! [`FlatTable::max_subject`] to range-check ids against a subject count.
+
+use crate::table::{SketchTable, SubjectId};
+use std::fmt;
+use std::sync::Arc;
+
+/// Fibonacci multiplier, identical to `U64Map`'s.
+const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
+/// Low bits of `off_len` holding the posting-list length.
+const LEN_BITS: u32 = 24;
+const LEN_MASK: u64 = (1 << LEN_BITS) - 1;
+
+/// A borrowable buffer of `u64` words backing a [`FlatTable`].
+///
+/// Implemented by `Vec<u64>` (the owned / portable path) and by the mmap
+/// wrapper in `jem-mmap` (via a newtype in `jem-core`). The contract is
+/// just stability: the slice must not change length or contents while the
+/// table holds the source.
+pub trait WordSource: fmt::Debug + Send + Sync {
+    /// The backing words.
+    fn words(&self) -> &[u64];
+}
+
+impl WordSource for Vec<u64> {
+    fn words(&self) -> &[u64] {
+        self
+    }
+}
+
+/// Typed failure of validating a flat-table blob.
+///
+/// Every structural way a blob can violate the layout above maps to a
+/// variant here — validation never panics, no matter the input words.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlatError {
+    /// The blob (or a section it declares) extends past the buffer.
+    Truncated {
+        /// Words the layout required at the point of failure.
+        needed: usize,
+        /// Words actually available.
+        have: usize,
+    },
+    /// The blob declares a different trial count than expected.
+    TrialMismatch {
+        /// Trials the blob declares.
+        blob: u64,
+        /// Trials the caller expected.
+        expected: usize,
+    },
+    /// A trial's bucket capacity is neither zero nor a power of two.
+    BadCapacity {
+        /// The offending trial.
+        trial: usize,
+        /// The declared capacity.
+        cap: u64,
+    },
+    /// A bucket slot addresses postings outside its trial's arena.
+    PostingOutOfBounds {
+        /// The offending trial.
+        trial: usize,
+        /// The offending slot index.
+        slot: usize,
+    },
+}
+
+impl fmt::Display for FlatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlatError::Truncated { needed, have } => {
+                write!(
+                    f,
+                    "flat table truncated: needed {needed} words, have {have}"
+                )
+            }
+            FlatError::TrialMismatch { blob, expected } => {
+                write!(f, "flat table declares {blob} trials, expected {expected}")
+            }
+            FlatError::BadCapacity { trial, cap } => {
+                write!(
+                    f,
+                    "trial {trial} bucket capacity {cap} is not zero or a power of two"
+                )
+            }
+            FlatError::PostingOutOfBounds { trial, slot } => {
+                write!(
+                    f,
+                    "trial {trial} bucket slot {slot} addresses postings outside the arena"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlatError {}
+
+/// Validated per-trial section geometry (absolute word indices).
+#[derive(Clone, Copy, Debug)]
+struct TrialMeta {
+    bucket_off: usize,
+    cap: usize,
+    arena_off: usize,
+    arena_len: usize,
+}
+
+/// The flat sketch table: a validated, read-only view over a word buffer.
+///
+/// Cloning is cheap (an `Arc` bump plus the small meta vector) — the serve
+/// layer's epoch-pinned hot-reload swap relies on this.
+#[derive(Clone, Debug)]
+pub struct FlatTable {
+    source: Arc<dyn WordSource>,
+    trials: Vec<TrialMeta>,
+    key_count: usize,
+    entry_count: usize,
+}
+
+impl FlatTable {
+    /// Freeze a hash-backed table into an owned flat blob and wrap it.
+    pub fn freeze(table: &SketchTable) -> FlatTable {
+        let banks: Vec<Vec<(u64, Vec<SubjectId>)>> = (0..table.trials())
+            .map(|t| sorted_bank_of(table, t))
+            .collect();
+        let blob = Self::freeze_banks(&banks);
+        let trials = banks.len();
+        FlatTable::from_source(Arc::new(blob), 0, trials)
+            .expect("a freshly frozen blob always validates")
+    }
+
+    /// Serialize a hash-backed table to the canonical blob words.
+    pub fn freeze_blob(table: &SketchTable) -> Vec<u64> {
+        let banks: Vec<Vec<(u64, Vec<SubjectId>)>> = (0..table.trials())
+            .map(|t| sorted_bank_of(table, t))
+            .collect();
+        Self::freeze_banks(&banks)
+    }
+
+    /// Re-serialize this table to the canonical blob words. Because the
+    /// writer is canonical (codes ascending), the output is byte-identical
+    /// to the blob this table was loaded from, and to
+    /// [`FlatTable::freeze_blob`] of the equivalent hash table.
+    pub fn to_blob(&self) -> Vec<u64> {
+        let banks: Vec<Vec<(u64, Vec<SubjectId>)>> =
+            (0..self.trials()).map(|t| self.bank_entries(t)).collect();
+        Self::freeze_banks(&banks)
+    }
+
+    /// Canonical writer over per-trial `(code, postings)` banks, each
+    /// sorted ascending by code with sorted-unique non-empty postings.
+    fn freeze_banks(banks: &[Vec<(u64, Vec<SubjectId>)>]) -> Vec<u64> {
+        let t = banks.len();
+        let mut blob = vec![0u64; 1 + 4 * t];
+        blob[0] = t as u64;
+        for (ti, bank) in banks.iter().enumerate() {
+            let n_keys = bank.len();
+            let cap = if n_keys == 0 {
+                0
+            } else {
+                (n_keys * 2).next_power_of_two()
+            };
+            let bucket_off = blob.len();
+            blob.resize(bucket_off + 2 * cap, 0);
+            let arena_len: usize = bank.iter().map(|(_, v)| v.len()).sum();
+            let arena_off = blob.len();
+            blob.resize(arena_off + arena_len.div_ceil(2), 0);
+            assert!(
+                (arena_len as u64) <= (u64::MAX >> LEN_BITS),
+                "posting arena too large for v4 offsets"
+            );
+            let mask = cap.wrapping_sub(1);
+            let mut next = 0usize;
+            for (code, subjects) in bank {
+                assert!(
+                    !subjects.is_empty() && subjects.len() as u64 <= LEN_MASK,
+                    "posting list length {} outside v4 bounds [1, 2^24)",
+                    subjects.len()
+                );
+                for (idx, &s) in subjects.iter().enumerate() {
+                    let j = next + idx;
+                    blob[arena_off + (j >> 1)] |= u64::from(s) << (32 * (j & 1) as u32);
+                }
+                let off_len = ((next as u64) << LEN_BITS) | subjects.len() as u64;
+                let mut i = ((code.wrapping_mul(FIB)) >> 32) as usize & mask;
+                loop {
+                    let slot = bucket_off + 2 * i;
+                    if blob[slot + 1] == 0 {
+                        blob[slot] = *code;
+                        blob[slot + 1] = off_len;
+                        break;
+                    }
+                    i = (i + 1) & mask;
+                }
+                next += subjects.len();
+            }
+            blob[1 + 4 * ti] = bucket_off as u64; // blob-relative
+            blob[1 + 4 * ti + 1] = cap as u64;
+            blob[1 + 4 * ti + 2] = arena_off as u64;
+            blob[1 + 4 * ti + 3] = arena_len as u64;
+        }
+        blob
+    }
+
+    /// Validate a blob at `source.words()[base ..]` and wrap it.
+    ///
+    /// Checks the trial count against `expect_trials`, every section's
+    /// bounds against the buffer, capacity shapes, and every occupied
+    /// bucket slot's posting range — after which all accessors are
+    /// panic-free. Returns `Err` (never panics) on any violation.
+    pub fn from_source(
+        source: Arc<dyn WordSource>,
+        base: usize,
+        expect_trials: usize,
+    ) -> Result<FlatTable, FlatError> {
+        let words = source.words();
+        let have = words.len();
+        let need = |needed: usize| FlatError::Truncated { needed, have };
+        if base >= have {
+            return Err(need(base + 1));
+        }
+        let declared = words[base];
+        if declared != expect_trials as u64 {
+            return Err(FlatError::TrialMismatch {
+                blob: declared,
+                expected: expect_trials,
+            });
+        }
+        let t = expect_trials;
+        let meta_end = base
+            .checked_add(1)
+            .and_then(|v| v.checked_add(t.checked_mul(4)?))
+            .ok_or(need(usize::MAX))?;
+        if meta_end > have {
+            return Err(need(meta_end));
+        }
+        let mut trials = Vec::with_capacity(t);
+        let mut key_count = 0usize;
+        let mut entry_count = 0usize;
+        for ti in 0..t {
+            let m = base + 1 + 4 * ti;
+            let rel_bucket = words[m];
+            let cap = words[m + 1];
+            let rel_arena = words[m + 2];
+            let arena_len = words[m + 3];
+            if cap != 0 && !cap.is_power_of_two() {
+                return Err(FlatError::BadCapacity { trial: ti, cap });
+            }
+            let cap = to_index(cap, have)?;
+            let arena_len = to_index(arena_len, have)?;
+            let bucket_off = base
+                .checked_add(to_index(rel_bucket, have)?)
+                .ok_or(need(usize::MAX))?;
+            let bucket_end = bucket_off
+                .checked_add(cap.checked_mul(2).ok_or(need(usize::MAX))?)
+                .ok_or(need(usize::MAX))?;
+            if bucket_end > have {
+                return Err(need(bucket_end));
+            }
+            let arena_off = base
+                .checked_add(to_index(rel_arena, have)?)
+                .ok_or(need(usize::MAX))?;
+            let arena_end = arena_off
+                .checked_add(arena_len.div_ceil(2))
+                .ok_or(need(usize::MAX))?;
+            if arena_end > have {
+                return Err(need(arena_end));
+            }
+            for slot in 0..cap {
+                let off_len = words[bucket_off + 2 * slot + 1];
+                if off_len == 0 {
+                    continue;
+                }
+                let start = (off_len >> LEN_BITS) as usize;
+                let len = (off_len & LEN_MASK) as usize;
+                if len == 0 || start.checked_add(len).is_none_or(|end| end > arena_len) {
+                    return Err(FlatError::PostingOutOfBounds { trial: ti, slot });
+                }
+                key_count += 1;
+                entry_count += len;
+            }
+            trials.push(TrialMeta {
+                bucket_off,
+                cap,
+                arena_off,
+                arena_len,
+            });
+        }
+        Ok(FlatTable {
+            source,
+            trials,
+            key_count,
+            entry_count,
+        })
+    }
+
+    /// Number of trials `T`.
+    pub fn trials(&self) -> usize {
+        self.trials.len()
+    }
+
+    /// Total `(trial, code)` key count across banks.
+    pub fn key_count(&self) -> usize {
+        self.key_count
+    }
+
+    /// Total `(trial, code, subject)` association count.
+    pub fn entry_count(&self) -> usize {
+        self.entry_count
+    }
+
+    /// Append the subjects registered under `(trial, code)` — sorted
+    /// ascending, like [`SketchTable::lookup`] — to `out`. Appends nothing
+    /// on a miss.
+    pub fn lookup_into(&self, trial: usize, code: u64, out: &mut Vec<SubjectId>) {
+        let m = self.trials[trial];
+        if m.cap == 0 {
+            return;
+        }
+        let words = self.source.words();
+        let mask = m.cap - 1;
+        let mut i = ((code.wrapping_mul(FIB)) >> 32) as usize & mask;
+        for _ in 0..m.cap {
+            let slot = m.bucket_off + 2 * i;
+            let off_len = words[slot + 1];
+            if off_len == 0 {
+                return;
+            }
+            if words[slot] == code {
+                let start = (off_len >> LEN_BITS) as usize;
+                let len = (off_len & LEN_MASK) as usize;
+                extend_postings(words, m.arena_off, start, len, out);
+                return;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Visit every `(code, posting-count)` key of bank `trial`, in
+    /// unspecified order — the cheap walk behind shard occupancy counts.
+    pub fn for_each_key(&self, trial: usize, mut f: impl FnMut(u64, usize)) {
+        let m = self.trials[trial];
+        let words = self.source.words();
+        for slot in 0..m.cap {
+            let off_len = words[m.bucket_off + 2 * slot + 1];
+            if off_len != 0 {
+                f(
+                    words[m.bucket_off + 2 * slot],
+                    (off_len & LEN_MASK) as usize,
+                );
+            }
+        }
+    }
+
+    /// Bank `trial` as owned `(code, subjects)` entries, sorted ascending
+    /// by code — the canonical order the writer wants.
+    pub fn bank_entries(&self, trial: usize) -> Vec<(u64, Vec<SubjectId>)> {
+        let m = self.trials[trial];
+        let words = self.source.words();
+        let mut out = Vec::new();
+        for slot in 0..m.cap {
+            let off_len = words[m.bucket_off + 2 * slot + 1];
+            if off_len == 0 {
+                continue;
+            }
+            let code = words[m.bucket_off + 2 * slot];
+            let start = (off_len >> LEN_BITS) as usize;
+            let len = (off_len & LEN_MASK) as usize;
+            let mut subjects = Vec::new();
+            extend_postings(words, m.arena_off, start, len, &mut subjects);
+            out.push((code, subjects));
+        }
+        out.sort_unstable_by_key(|&(code, _)| code);
+        out
+    }
+
+    /// Rebuild an equivalent hash-backed [`SketchTable`] (migration and
+    /// legacy-format writes — not a hot path).
+    pub fn to_sketch_table(&self) -> SketchTable {
+        let mut table = SketchTable::new(self.trials());
+        for t in 0..self.trials() {
+            for (code, subjects) in self.bank_entries(t) {
+                for s in subjects {
+                    table.insert(t, code, s);
+                }
+            }
+        }
+        table
+    }
+
+    /// Largest subject id present in any arena, or `None` for an empty
+    /// table. Callers that know the subject count use this to range-check
+    /// a loaded table in one cheap sequential pass.
+    pub fn max_subject(&self) -> Option<SubjectId> {
+        let words = self.source.words();
+        let mut max: Option<SubjectId> = None;
+        for m in &self.trials {
+            for j in 0..m.arena_len {
+                let w = words[m.arena_off + (j >> 1)];
+                let id = if j & 1 == 0 {
+                    w as u32
+                } else {
+                    (w >> 32) as u32
+                };
+                max = Some(max.map_or(id, |v| v.max(id)));
+            }
+        }
+        max
+    }
+
+    /// Report one `index.bucket_occupancy` observation per key, matching
+    /// [`SketchTable::observe_occupancy`].
+    pub fn observe_occupancy(&self, rec: &dyn jem_obs::Recorder) {
+        for t in 0..self.trials() {
+            self.for_each_key(t, |_, len| {
+                rec.observe("index.bucket_occupancy", len as u64);
+            });
+        }
+    }
+
+    /// Approximate resident bytes attributable to this view: the backing
+    /// words when owned; an mmap'd source is shared page cache, but the
+    /// number still describes the artifact's footprint.
+    pub fn approx_bytes(&self) -> usize {
+        self.source.words().len() * 8
+    }
+}
+
+/// Decode packed postings `start..start+len` (validated in range) into `out`.
+fn extend_postings(
+    words: &[u64],
+    arena_off: usize,
+    start: usize,
+    len: usize,
+    out: &mut Vec<SubjectId>,
+) {
+    out.reserve(len);
+    for j in start..start + len {
+        let w = words[arena_off + (j >> 1)];
+        let id = if j & 1 == 0 {
+            w as u32
+        } else {
+            (w >> 32) as u32
+        };
+        out.push(id);
+    }
+}
+
+/// Convert an untrusted `u64` into a `usize` index, treating anything that
+/// cannot possibly fit the buffer as truncation.
+fn to_index(v: u64, have: usize) -> Result<usize, FlatError> {
+    usize::try_from(v).map_err(|_| FlatError::Truncated {
+        needed: usize::MAX,
+        have,
+    })
+}
+
+/// Bank `trial` of a hash table as sorted `(code, subjects)` entries.
+fn sorted_bank_of(table: &SketchTable, trial: usize) -> Vec<(u64, Vec<SubjectId>)> {
+    let mut bank: Vec<(u64, Vec<SubjectId>)> = table
+        .iter_bank(trial)
+        .map(|(code, subjects)| (code, subjects.to_vec()))
+        .collect();
+    bank.sort_unstable_by_key(|&(code, _)| code);
+    bank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jem_sketch::{sketch_by_jem, HashFamily, JemParams};
+
+    fn rng_seq(n: usize, seed: u64) -> Vec<u8> {
+        (0..n)
+            .scan(seed, |s, _| {
+                *s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                Some(b"ACGT"[((*s >> 33) % 4) as usize])
+            })
+            .collect()
+    }
+
+    fn sample_table(trials: usize, subjects: u32, seed: u64) -> SketchTable {
+        let family = HashFamily::generate(trials, seed);
+        let params = JemParams::new(6, 5, 80).unwrap();
+        let mut table = SketchTable::new(trials);
+        for subject in 0..subjects {
+            let seq = rng_seq(300, u64::from(subject) + seed * 100);
+            table.insert_sketch(&sketch_by_jem(&seq, params, &family), subject);
+        }
+        table
+    }
+
+    fn lookup_flat(flat: &FlatTable, t: usize, code: u64) -> Vec<SubjectId> {
+        let mut out = Vec::new();
+        flat.lookup_into(t, code, &mut out);
+        out
+    }
+
+    #[test]
+    fn freeze_preserves_every_lookup() {
+        let table = sample_table(4, 12, 3);
+        let flat = FlatTable::freeze(&table);
+        assert_eq!(flat.trials(), table.trials());
+        assert_eq!(flat.key_count(), table.key_count());
+        assert_eq!(flat.entry_count(), table.entry_count());
+        for t in 0..table.trials() {
+            for (code, subjects) in table.iter_bank(t) {
+                assert_eq!(lookup_flat(&flat, t, code), subjects.to_vec());
+            }
+            // A code that is absent stays absent.
+            assert!(lookup_flat(&flat, t, 0xDEAD_BEEF_0BAD_F00D).is_empty());
+        }
+    }
+
+    #[test]
+    fn freeze_is_canonical_and_roundtrips() {
+        let table = sample_table(3, 10, 7);
+        let blob = FlatTable::freeze_blob(&table);
+        let flat = FlatTable::from_source(Arc::new(blob.clone()), 0, 3).unwrap();
+        // Re-serializing the flat view reproduces the exact words.
+        assert_eq!(flat.to_blob(), blob);
+        // And rebuilding a hash table then re-freezing also reproduces them.
+        assert_eq!(FlatTable::freeze_blob(&flat.to_sketch_table()), blob);
+    }
+
+    #[test]
+    fn empty_table_freezes_and_validates() {
+        let table = SketchTable::new(5);
+        let flat = FlatTable::freeze(&table);
+        assert_eq!(flat.trials(), 5);
+        assert_eq!(flat.entry_count(), 0);
+        assert_eq!(flat.max_subject(), None);
+        assert!(lookup_flat(&flat, 2, 42).is_empty());
+    }
+
+    #[test]
+    fn bank_entries_sorted_by_code() {
+        let table = sample_table(2, 8, 11);
+        let flat = FlatTable::freeze(&table);
+        for t in 0..2 {
+            let entries = flat.bank_entries(t);
+            assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+            let total: usize = entries.iter().map(|(_, v)| v.len()).sum();
+            let mut expect: Vec<(u64, Vec<SubjectId>)> =
+                table.iter_bank(t).map(|(c, s)| (c, s.to_vec())).collect();
+            expect.sort_unstable_by_key(|&(c, _)| c);
+            assert_eq!(entries, expect);
+            let _ = total;
+        }
+    }
+
+    #[test]
+    fn max_subject_matches_table_contents() {
+        let table = sample_table(3, 9, 13);
+        let flat = FlatTable::freeze(&table);
+        let expect = (0..3)
+            .flat_map(|t| table.iter_bank(t))
+            .flat_map(|(_, s)| s.iter().copied())
+            .max();
+        assert_eq!(flat.max_subject(), expect);
+    }
+
+    #[test]
+    fn trial_mismatch_rejected() {
+        let blob = FlatTable::freeze_blob(&sample_table(3, 4, 17));
+        let err = FlatTable::from_source(Arc::new(blob), 0, 5).unwrap_err();
+        assert!(matches!(
+            err,
+            FlatError::TrialMismatch {
+                blob: 3,
+                expected: 5
+            }
+        ));
+    }
+
+    #[test]
+    fn truncation_at_every_length_rejected() {
+        let blob = FlatTable::freeze_blob(&sample_table(2, 6, 19));
+        for cut in 0..blob.len() {
+            let err = FlatTable::from_source(Arc::new(blob[..cut].to_vec()), 0, 2);
+            assert!(err.is_err(), "cut at {cut} validated");
+        }
+    }
+
+    #[test]
+    fn bad_capacity_rejected() {
+        let mut blob = FlatTable::freeze_blob(&sample_table(1, 6, 23));
+        blob[2] = 3; // trial 0 cap: not a power of two
+        let err = FlatTable::from_source(Arc::new(blob), 0, 1).unwrap_err();
+        assert!(matches!(err, FlatError::BadCapacity { trial: 0, cap: 3 }));
+    }
+
+    #[test]
+    fn posting_overrun_rejected() {
+        let table = sample_table(1, 6, 29);
+        let mut blob = FlatTable::freeze_blob(&table);
+        // Find an occupied slot and point it past the arena.
+        let cap = blob[2] as usize;
+        let bucket_off = blob[1] as usize;
+        let arena_len = blob[4];
+        let slot = (0..cap)
+            .find(|s| blob[bucket_off + 2 * s + 1] != 0)
+            .expect("sample table has keys");
+        blob[bucket_off + 2 * slot + 1] = (arena_len << LEN_BITS) | 2;
+        let err = FlatTable::from_source(Arc::new(blob), 0, 1).unwrap_err();
+        assert!(matches!(
+            err,
+            FlatError::PostingOutOfBounds { trial: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn flat_errors_display() {
+        assert!(FlatError::Truncated { needed: 9, have: 3 }
+            .to_string()
+            .contains("truncated"));
+        assert!(FlatError::TrialMismatch {
+            blob: 1,
+            expected: 2
+        }
+        .to_string()
+        .contains("trials"));
+        assert!(FlatError::BadCapacity { trial: 0, cap: 7 }
+            .to_string()
+            .contains("capacity"));
+        assert!(FlatError::PostingOutOfBounds { trial: 0, slot: 4 }
+            .to_string()
+            .contains("arena"));
+    }
+}

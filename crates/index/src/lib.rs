@@ -14,16 +14,27 @@
 //! * [`builder`] — shared-memory parallel table construction with rayon
 //!   (sketch subjects in parallel, merge per-chunk tables — the same
 //!   local-sketch/global-merge shape as the distributed steps S2–S3).
+//! * [`flat`] — the arena-backed flat view of the table (bucket array +
+//!   contiguous posting arena per trial): the in-memory shape of the
+//!   JEMIDX v4 format, loadable zero-copy over an owned buffer or a
+//!   memory-mapped file.
+//! * [`backend`] — [`TableBackend`], one lookup API over both storages so
+//!   the mapping drivers are byte-identical regardless of how the index
+//!   was obtained (built vs. loaded).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod builder;
+pub mod flat;
 pub mod hits;
 pub mod table;
 pub mod u64map;
 
+pub use backend::TableBackend;
 pub use builder::{build_table_parallel, build_table_parallel_scheme, build_table_with};
+pub use flat::{FlatError, FlatTable, WordSource};
 pub use hits::{HitCounter, HitStats, LazyHitCounter, NaiveHitCounter};
 pub use table::{checksum_words, DecodeError, SketchTable, SubjectId};
 pub use u64map::U64Map;

@@ -403,13 +403,15 @@ fn enqueue(
     }
 }
 
-/// Load, shard, and validate a persisted index for a hot reload. Checksum
-/// validation happens inside `load_index` (persist v3), so a truncated or
-/// corrupt artifact is a typed error here — never a panic, never a swap.
+/// Load, shard, and validate a persisted index for startup or a hot
+/// reload. `load_index_path` memory-maps JEMIDX v4 artifacts (zero
+/// posting-arena copy; hot reload is a remap) and falls back to an owned
+/// read for v3 or non-mmap platforms. Header/checksum validation happens
+/// before the mapper is built, so a truncated or corrupt artifact is a
+/// typed error here — never a panic, never a swap.
 fn load_sharded(path: &str, n_slots: usize, owned: Range<usize>) -> Result<ShardedIndex, String> {
-    let file = std::fs::File::open(path).map_err(|e| e.to_string())?;
-    let mut input = std::io::BufReader::new(file);
-    let mapper = jem_core::load_index(&mut input).map_err(|e| e.to_string())?;
+    let mapper =
+        jem_core::load_index_path(std::path::Path::new(path)).map_err(|e| e.to_string())?;
     Ok(ShardedIndex::with_slots(mapper, n_slots, owned))
 }
 

@@ -1,19 +1,24 @@
 //! Shard partitioning of the sketch table for the resident service.
 //!
 //! The service loads one index and answers queries from many worker
-//! threads, so the lookup structure must be shared read-only. Rather than
-//! one monolithic table, [`ShardedIndex`] splits every bank's entries into
-//! `n_shards` disjoint sub-tables keyed by a hash of the sketch code —
-//! the same table-splitting idea minimap2's multi-part `.mmi` index uses,
-//! applied to the in-memory resident artifact. Shards keep each
-//! open-addressing probe array smaller (better cache residency per probe)
-//! and give operators a dial between one huge allocation and many small
-//! ones; because each `(trial, code)` entry lands in exactly one shard and
-//! per-trial collision sets are deduplicated downstream, shard count can
-//! never change mapping output (pinned by the equivalence suite).
+//! threads, so the lookup structure must be shared read-only.
+//! [`ShardedIndex`] partitions the *slot space* — every `(trial, code)`
+//! entry hashes to exactly one of `n_slots` global slots, and an index
+//! owns a sub-range of them — the same table-splitting idea minimap2's
+//! multi-part `.mmi` index uses, applied to the resident artifact.
+//!
+//! Ownership is enforced at lookup time: a code whose slot falls outside
+//! the owned range resolves to the empty set, and owned codes go straight
+//! to the mapper's table backend. No per-slot sub-tables are materialized,
+//! so a shard process over a memory-mapped JEMIDX v4 index keeps *zero*
+//! private table memory — every shard on a host shares one read-only
+//! mapping of the artifact, and hot reload is a remap. Because each entry
+//! belongs to exactly one slot and per-trial collision sets are
+//! deduplicated downstream, slot count and ownership can never change
+//! mapping output (pinned by the equivalence suite).
 
 use jem_core::{JemMapper, MapScratch, Mapping, QuerySegment};
-use jem_index::{HitCounter, LazyHitCounter, SketchTable, SubjectId};
+use jem_index::{HitCounter, LazyHitCounter, SubjectId};
 use std::ops::Range;
 
 /// Fibonacci multiplier (`floor(2^64/φ)`) — mixes sketch codes into shard
@@ -23,18 +28,17 @@ use std::ops::Range;
 const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// A read-only [`JemMapper`] whose sketch table is partitioned into
-/// disjoint shards by sketch-code hash.
+/// disjoint slots by sketch-code hash, with ownership applied as a
+/// lookup-time filter.
 ///
 /// A full index owns every slot of the partition (`new`); a router-tier
 /// shard process owns only a sub-range of the global slot space
-/// (`with_slots`) and keeps tables for just those slots — codes hashing
-/// outside the owned range simply look up empty, which is exactly the
-/// per-trial partial set the router's merge unions back together.
+/// (`with_slots`) — codes hashing outside the owned range simply look up
+/// empty, which is exactly the per-trial partial set the router's merge
+/// unions back together.
 #[derive(Clone, Debug)]
 pub struct ShardedIndex {
     mapper: JemMapper,
-    /// Local tables, one per *owned* slot (index `g - owned.start`).
-    shards: Vec<SketchTable>,
     /// Size of the global slot space codes are hashed into.
     n_slots: usize,
     /// The slot sub-range this index owns (the full range for `new`).
@@ -51,11 +55,11 @@ impl ShardedIndex {
         ShardedIndex::with_slots(mapper, n_shards, 0..n_shards)
     }
 
-    /// Partition `mapper`'s table into a global space of `n_slots` slots
-    /// but keep only the tables for the `owned` sub-range — one shard
-    /// process of a router topology. Entries hashing outside `owned` are
-    /// dropped at build time, so a shard holds (and pays memory for)
-    /// exactly its share of the table.
+    /// Restrict `mapper` to the `owned` sub-range of a global space of
+    /// `n_slots` slots — one shard process of a router topology. No table
+    /// data is copied or rebuilt: ownership is a per-lookup filter over
+    /// the mapper's (possibly memory-mapped) backend, so a shard holds no
+    /// private table memory at all.
     ///
     /// # Panics
     /// Panics if `owned` is empty or reaches past `n_slots`.
@@ -69,24 +73,8 @@ impl ShardedIndex {
             owned.end <= n_slots,
             "owned slot range {owned:?} reaches past the {n_slots}-slot space"
         );
-        let trials = mapper.config().trials;
-        let mut shards: Vec<SketchTable> =
-            owned.clone().map(|_| SketchTable::new(trials)).collect();
-        for t in 0..trials {
-            for (code, subjects) in mapper.table().iter_bank(t) {
-                let g = shard_of(code, n_slots);
-                if !owned.contains(&g) {
-                    continue;
-                }
-                let shard = &mut shards[g - owned.start];
-                for &s in subjects {
-                    shard.insert(t, code, s);
-                }
-            }
-        }
         ShardedIndex {
             mapper,
-            shards,
             n_slots,
             owned,
         }
@@ -108,21 +96,31 @@ impl ShardedIndex {
         self.owned.clone()
     }
 
-    /// `(trial, code, subject)` association count per shard — the shard
-    /// balance signal (`serve.shard_entries` histogram at startup).
+    /// `(trial, code, subject)` association count per owned slot — the
+    /// shard balance signal (`serve.shard_entries` histogram at startup).
+    /// Computed by one walk over the backend's keys; entries outside the
+    /// owned range are not counted, matching what lookups can reach.
     pub fn shard_entry_counts(&self) -> Vec<usize> {
-        self.shards.iter().map(SketchTable::entry_count).collect()
+        let mut counts = vec![0usize; self.owned.len()];
+        let table = self.mapper.table();
+        for t in 0..table.trials() {
+            table.for_each_key(t, |code, n| {
+                let g = shard_of(code, self.n_slots);
+                if self.owned.contains(&g) {
+                    counts[g - self.owned.start] += n;
+                }
+            });
+        }
+        counts
     }
 
-    /// Subjects registered under `(trial, code)`, resolved through the
-    /// owning slot; empty when the slot belongs to another shard process.
+    /// Append the subjects registered under `(trial, code)` — resolved
+    /// through the owning slot — to `out`; appends nothing when the slot
+    /// belongs to another shard process.
     #[inline]
-    fn lookup(&self, trial: usize, code: u64) -> &[SubjectId] {
-        let g = shard_of(code, self.n_slots);
-        if self.owned.contains(&g) {
-            self.shards[g - self.owned.start].lookup(trial, code)
-        } else {
-            &[]
+    fn lookup_into(&self, trial: usize, code: u64, out: &mut Vec<SubjectId>) {
+        if self.owned.contains(&shard_of(code, self.n_slots)) {
+            self.mapper.table().lookup_into(trial, code, out);
         }
     }
 
@@ -163,7 +161,7 @@ impl ShardedIndex {
         for (t, codes) in sketch.per_trial.iter().enumerate() {
             trial_subjects.clear();
             for &code in codes {
-                trial_subjects.extend_from_slice(self.lookup(t, code));
+                self.lookup_into(t, code, trial_subjects);
             }
             counter.stats.probed += trial_subjects.len() as u64;
             trial_subjects.sort_unstable();
@@ -197,7 +195,7 @@ impl ShardedIndex {
         for (t, codes) in sketch.per_trial.iter().enumerate() {
             trial_subjects.clear();
             for &code in codes {
-                trial_subjects.extend_from_slice(self.lookup(t, code));
+                self.lookup_into(t, code, trial_subjects);
             }
             trial_subjects.sort_unstable();
             trial_subjects.dedup();

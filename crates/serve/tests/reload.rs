@@ -179,6 +179,56 @@ fn failed_reload_keeps_the_old_index_serving() {
 }
 
 #[test]
+fn corrupt_v4_reload_is_rejected_and_keeps_the_old_index_serving() {
+    let (old, new, segments) = worlds();
+    let seg = segments[..1].to_vec();
+    let expected = {
+        let mut m = old.map_segments(&seg);
+        m.sort_unstable();
+        m
+    };
+    // Start from a pristine v4 artifact, then break it two ways: flip one
+    // byte mid-file (posting arena / checksum mismatch) and truncate the
+    // tail (section bounds mismatch). Both must fail validation *before*
+    // the epoch swap with a typed error — never a panic, never a swap.
+    let pristine = persist(&new, "reload-pristine-v4.idx");
+    let bytes = std::fs::read(&pristine).unwrap();
+    let tmp = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let corrupt = tmp.join("reload-corrupt-v4.idx");
+    let mut flipped = bytes.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0xff;
+    std::fs::write(&corrupt, &flipped).unwrap();
+    let truncated = tmp.join("reload-truncated-v4.idx");
+    std::fs::write(&truncated, &bytes[..bytes.len() - 9]).unwrap();
+
+    let handle = jem_serve::start(
+        ShardedIndex::new(old, 2),
+        "127.0.0.1:0",
+        &ServerConfig::default(),
+    )
+    .unwrap();
+    let client = Client::new(handle.addr().to_string());
+
+    for path in [&corrupt, &truncated] {
+        match client.reload(path.display().to_string()) {
+            Err(ServeError::Remote(msg)) => assert!(msg.contains("reload"), "got: {msg}"),
+            other => panic!("expected a remote reload error, got {other:?}"),
+        }
+    }
+    // The old epoch never stopped serving correct answers, and the good
+    // artifact still reloads cleanly afterwards.
+    assert_eq!(client.map_segments(&seg).unwrap(), expected);
+    client
+        .reload(pristine.display().to_string())
+        .expect("the pristine v4 artifact must still reload");
+
+    let snapshot = handle.shutdown();
+    assert_eq!(snapshot.counter("serve.reloads"), 1);
+    assert_eq!(snapshot.counter("serve.reload_errors"), 2);
+}
+
+#[test]
 fn info_reflects_the_current_epoch() {
     let (old, new, _) = worlds();
     let old_names = old.subject_names().to_vec();
