@@ -1,0 +1,226 @@
+//! Colinear anchor chaining: the O(n log n) DP of the second stage.
+//!
+//! A *chain* is the longest sequence of anchors strictly increasing in both
+//! the query and the target coordinate — the minimap2 colinear-chaining
+//! objective restricted to unit anchor weights, which reduces to a 2-D
+//! longest-increasing-subsequence problem. [`chain_anchors`] solves it in
+//! `O(n log n)` with patience sorting over a reusable scratch;
+//! [`chain_anchors_naive`] is the quadratic reference DP the proptests pin
+//! the fast kernel against.
+//!
+//! Unit weights are the right objective here because the anchors inside one
+//! candidate window come from an ℓ-length end segment: gaps are bounded by
+//! the segment span, so maximizing the number of colinear sketch positions
+//! is the dominant signal and keeps the DP exactly equivalent to a cheap
+//! reference (the gap-penalized generalization has no exact
+//! `O(n log n)` form).
+
+use crate::anchor::Anchor;
+
+/// One chained alignment candidate over a single `(subject, strand)` group.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct Chain {
+    /// Number of chained anchors — the chain score.
+    pub n_anchors: u32,
+    /// Smallest chained query position.
+    pub q_start: u32,
+    /// Largest chained query position (inclusive; add `k` for a span end).
+    pub q_last: u32,
+    /// Smallest chained target position.
+    pub t_start: u32,
+    /// Largest chained target position (inclusive).
+    pub t_last: u32,
+}
+
+/// Reusable buffers for [`chain_anchors`]: the coordinate-sorted copy of
+/// the window's anchors, the patience piles and the parent links. One per
+/// refinement scratch, reused across every window of every segment.
+#[derive(Clone, Debug, Default)]
+pub struct ChainScratch {
+    sorted: Vec<Anchor>,
+    /// `tails[len]` = index (into `sorted`) of the anchor ending the best
+    /// known chain of length `len + 1` with the smallest tail `tpos`.
+    tails: Vec<u32>,
+    parent: Vec<u32>,
+}
+
+const NO_PARENT: u32 = u32::MAX;
+
+/// Best chain over `anchors` in `O(n log n)`; `None` when empty.
+///
+/// Equivalent to [`chain_anchors_naive`] in score for every input, and the
+/// returned chain is always *valid*: strictly increasing in `qpos` and
+/// `tpos` with exactly `n_anchors` links. Deterministic for a given input
+/// order (ties resolve through the total sort and the leftmost patience
+/// pile).
+pub fn chain_anchors(anchors: &[Anchor], scratch: &mut ChainScratch) -> Option<Chain> {
+    if anchors.is_empty() {
+        return None;
+    }
+    let ChainScratch {
+        sorted,
+        tails,
+        parent,
+    } = scratch;
+    sorted.clear();
+    sorted.extend_from_slice(anchors);
+    // qpos ascending; equal qpos sorted by tpos DESCENDING so two anchors
+    // sharing a query position can never co-occur in one strictly
+    // increasing tpos subsequence.
+    sorted.sort_unstable_by(|a, b| a.qpos.cmp(&b.qpos).then(b.tpos.cmp(&a.tpos)));
+    tails.clear();
+    parent.clear();
+    parent.resize(sorted.len(), NO_PARENT);
+    for (i, a) in sorted.iter().enumerate() {
+        // First pile whose tail tpos is >= a.tpos (strict increase).
+        let pos = tails.partition_point(|&j| sorted[j as usize].tpos < a.tpos);
+        if pos > 0 {
+            parent[i] = tails[pos - 1];
+        }
+        if pos == tails.len() {
+            tails.push(i as u32);
+        } else {
+            tails[pos] = i as u32;
+        }
+    }
+    let mut idx = *tails.last().expect("non-empty anchors");
+    let last = sorted[idx as usize];
+    let mut chain = Chain {
+        n_anchors: tails.len() as u32,
+        q_start: last.qpos,
+        q_last: last.qpos,
+        t_start: last.tpos,
+        t_last: last.tpos,
+    };
+    while parent[idx as usize] != NO_PARENT {
+        idx = parent[idx as usize];
+        let a = sorted[idx as usize];
+        chain.q_start = a.qpos;
+        chain.t_start = a.tpos;
+    }
+    Some(chain)
+}
+
+/// Quadratic reference DP: `f[i] = 1 + max { f[j] : qpos_j < qpos_i and
+/// tpos_j < tpos_i }` over the same sorted order as the fast kernel.
+/// Used by the proptest suite; not a production path.
+pub fn chain_anchors_naive(anchors: &[Anchor]) -> Option<Chain> {
+    if anchors.is_empty() {
+        return None;
+    }
+    let mut sorted = anchors.to_vec();
+    sorted.sort_unstable_by(|a, b| a.qpos.cmp(&b.qpos).then(b.tpos.cmp(&a.tpos)));
+    let n = sorted.len();
+    let mut f = vec![1u32; n];
+    let mut back = vec![NO_PARENT; n];
+    for i in 0..n {
+        for j in 0..i {
+            if sorted[j].qpos < sorted[i].qpos && sorted[j].tpos < sorted[i].tpos && f[j] + 1 > f[i]
+            {
+                f[i] = f[j] + 1;
+                back[i] = j as u32;
+            }
+        }
+    }
+    let (mut idx, _) = f
+        .iter()
+        .enumerate()
+        .max_by_key(|&(i, &s)| (s, std::cmp::Reverse(i)))
+        .expect("non-empty");
+    let last = sorted[idx];
+    let mut chain = Chain {
+        n_anchors: f[idx],
+        q_start: last.qpos,
+        q_last: last.qpos,
+        t_start: last.tpos,
+        t_last: last.tpos,
+    };
+    while back[idx] != NO_PARENT {
+        idx = back[idx] as usize;
+        chain.q_start = sorted[idx].qpos;
+        chain.t_start = sorted[idx].tpos;
+    }
+    Some(chain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(qpos: u32, tpos: u32) -> Anchor {
+        Anchor { qpos, tpos }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(chain_anchors(&[], &mut ChainScratch::default()), None);
+        assert_eq!(chain_anchors_naive(&[]), None);
+    }
+
+    #[test]
+    fn single_anchor() {
+        let c = chain_anchors(&[a(5, 9)], &mut ChainScratch::default()).unwrap();
+        assert_eq!(c.n_anchors, 1);
+        assert_eq!((c.q_start, c.t_start, c.q_last, c.t_last), (5, 9, 5, 9));
+    }
+
+    #[test]
+    fn perfect_diagonal_chains_fully() {
+        let anchors: Vec<Anchor> = (0..50).map(|i| a(i * 10, 1000 + i * 10)).collect();
+        let mut scratch = ChainScratch::default();
+        let c = chain_anchors(&anchors, &mut scratch).unwrap();
+        assert_eq!(c.n_anchors, 50);
+        assert_eq!(c.q_start, 0);
+        assert_eq!(c.t_start, 1000);
+        assert_eq!(c.q_last, 490);
+        assert_eq!(c.t_last, 1490);
+    }
+
+    #[test]
+    fn crossing_anchors_cannot_both_chain() {
+        // (0, 100) and (10, 50) cross: only one can be in any chain.
+        let c = chain_anchors(&[a(0, 100), a(10, 50)], &mut ChainScratch::default()).unwrap();
+        assert_eq!(c.n_anchors, 1);
+    }
+
+    #[test]
+    fn equal_coordinates_do_not_chain() {
+        // Strictness in both axes: shared qpos or tpos breaks the chain.
+        let same_q = [a(5, 10), a(5, 20)];
+        let same_t = [a(5, 10), a(9, 10)];
+        let mut s = ChainScratch::default();
+        assert_eq!(chain_anchors(&same_q, &mut s).unwrap().n_anchors, 1);
+        assert_eq!(chain_anchors(&same_t, &mut s).unwrap().n_anchors, 1);
+    }
+
+    #[test]
+    fn matches_naive_on_a_repetitive_grid() {
+        // Repeat-heavy pattern: every query position hits every target
+        // position (the worst case for chaining ambiguity).
+        let mut anchors = Vec::new();
+        for q in 0..8u32 {
+            for t in 0..8u32 {
+                anchors.push(a(q * 3, t * 7));
+            }
+        }
+        let fast = chain_anchors(&anchors, &mut ChainScratch::default()).unwrap();
+        let naive = chain_anchors_naive(&anchors).unwrap();
+        assert_eq!(fast.n_anchors, naive.n_anchors);
+        assert_eq!(fast.n_anchors, 8);
+    }
+
+    #[test]
+    fn scratch_reuse_is_stable() {
+        let mut scratch = ChainScratch::default();
+        let sets = [
+            vec![a(1, 1), a(2, 2), a(3, 3)],
+            vec![a(9, 1)],
+            vec![],
+            vec![a(0, 5), a(1, 4), a(2, 3), a(3, 6)],
+        ];
+        for set in &sets {
+            let fresh = chain_anchors(set, &mut ChainScratch::default());
+            assert_eq!(chain_anchors(set, &mut scratch), fresh);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Sweepmap-style dominance filtering of candidate windows.
+//!
+//! Stage 2 slides an ℓ-length window over each candidate target and scores
+//! every window start by its anchor support (a Jaccard-style count `j`).
+//! Nearby window starts describe the same placement, so before the chain DP
+//! runs we keep only windows that are not *dominated*: window `i` survives
+//! iff no other window within `sep` target bases of it has a strictly
+//! better `(j, -index)` key. [`filter_dominated`] does this in `O(n)` with
+//! a monotone deque (the sweepmap `filter_reasonable` idea);
+//! [`filter_dominated_naive`] is the quadratic reference used by the edge
+//! case tests and proptests.
+
+/// One candidate placement: a window start on the target plus its anchor
+/// support. Produced by the window sweep, consumed by the dominance filter
+/// and the chain DP.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Window {
+    /// Window start on the target (bases).
+    pub t_start: u32,
+    /// Anchor support for this window — shared sketch positions in
+    /// `[t_start, t_start + len)`.
+    pub j: u32,
+}
+
+/// Reusable deque storage for [`filter_dominated`].
+#[derive(Clone, Debug, Default)]
+pub struct FilterScratch {
+    deque: Vec<u32>,
+    head: usize,
+}
+
+/// Keep the windows not dominated within `sep` target bases, in `O(n)`.
+///
+/// `windows` must be sorted by `t_start` ascending (the sweep emits them in
+/// that order). Window `i` is *dominated* when some `j != i` with
+/// `|t_start_j - t_start_i| <= sep` has a greater `j` count, or an equal
+/// count and a smaller index — so among tied neighbours exactly the
+/// earliest survives. Survivors are appended to `out` preserving order.
+///
+/// The deque holds indices whose keys decrease front-to-back over the
+/// active span; a window survives iff it is at the front of its own span's
+/// deque, which the naive quadratic definition reproduces exactly.
+pub fn filter_dominated(
+    windows: &[Window],
+    sep: u32,
+    scratch: &mut FilterScratch,
+    out: &mut Vec<Window>,
+) {
+    debug_assert!(windows.windows(2).all(|p| p[0].t_start <= p[1].t_start));
+    scratch.deque.clear();
+    scratch.head = 0;
+    // right[i]: the deque front at the moment every window within +sep of
+    // window i has been pushed — i.e. the best key over [i - sep, i + sep].
+    // One forward pass suffices because keys use (j, -index): pushing later
+    // windows never evicts an earlier strictly-better one.
+    let mut right = 0usize;
+    for i in 0..windows.len() {
+        // Admit every window starting within sep of windows[i].
+        while right < windows.len()
+            && windows[right].t_start <= windows[i].t_start.saturating_add(sep)
+        {
+            // Pop keys not better than the incoming one: equal j loses to
+            // the earlier index, so pop only strictly smaller j.
+            while scratch.deque.len() > scratch.head {
+                let back = *scratch.deque.last().expect("non-empty tail") as usize;
+                if windows[back].j < windows[right].j {
+                    scratch.deque.pop();
+                } else {
+                    break;
+                }
+            }
+            scratch.deque.push(right as u32);
+            right += 1;
+        }
+        // Expire windows more than sep before windows[i].
+        while scratch.head < scratch.deque.len() {
+            let front = scratch.deque[scratch.head] as usize;
+            if windows[front].t_start.saturating_add(sep) < windows[i].t_start {
+                scratch.head += 1;
+            } else {
+                break;
+            }
+        }
+        if scratch.deque.get(scratch.head) == Some(&(i as u32)) {
+            out.push(windows[i]);
+        }
+    }
+}
+
+/// Quadratic reference for [`filter_dominated`]: the literal definition,
+/// one pairwise comparison per window pair. Test-only semantics oracle.
+pub fn filter_dominated_naive(windows: &[Window], sep: u32) -> Vec<Window> {
+    let mut out = Vec::new();
+    for (i, w) in windows.iter().enumerate() {
+        let dominated = windows.iter().enumerate().any(|(j, v)| {
+            j != i && v.t_start.abs_diff(w.t_start) <= sep && (v.j > w.j || (v.j == w.j && j < i))
+        });
+        if !dominated {
+            out.push(*w);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(windows: &[Window], sep: u32) -> Vec<Window> {
+        let mut out = Vec::new();
+        filter_dominated(windows, sep, &mut FilterScratch::default(), &mut out);
+        assert_eq!(out, filter_dominated_naive(windows, sep), "fast != naive");
+        out
+    }
+
+    fn w(t_start: u32, j: u32) -> Window {
+        Window { t_start, j }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        assert!(run(&[], 100).is_empty());
+    }
+
+    #[test]
+    fn lone_window_survives() {
+        assert_eq!(run(&[w(10, 3)], 0), vec![w(10, 3)]);
+    }
+
+    #[test]
+    fn peak_suppresses_neighbours() {
+        let windows = [w(0, 2), w(10, 5), w(20, 3)];
+        assert_eq!(run(&windows, 50), vec![w(10, 5)]);
+    }
+
+    #[test]
+    fn far_apart_windows_all_survive() {
+        let windows = [w(0, 2), w(1000, 5), w(2000, 3)];
+        assert_eq!(run(&windows, 50), windows);
+    }
+
+    #[test]
+    fn tie_keeps_only_the_earliest() {
+        let windows = [w(0, 4), w(5, 4), w(9, 4)];
+        assert_eq!(run(&windows, 50), vec![w(0, 4)]);
+    }
+
+    #[test]
+    fn tie_outside_sep_keeps_both() {
+        let windows = [w(0, 4), w(100, 4)];
+        assert_eq!(run(&windows, 50), windows);
+    }
+
+    #[test]
+    fn chain_of_local_dominance_is_not_transitive() {
+        // 0 dominates 40 (within 50), 80 dominates 40 too, but 0 and 80
+        // are 80 apart: both peaks survive, the valley does not.
+        let windows = [w(0, 5), w(40, 1), w(80, 5)];
+        assert_eq!(run(&windows, 50), vec![w(0, 5), w(80, 5)]);
+    }
+
+    #[test]
+    fn fully_nested_equal_starts() {
+        // Coincident window starts (fully nested spans): one survivor.
+        let windows = [w(7, 3), w(7, 9), w(7, 9), w(7, 1)];
+        assert_eq!(run(&windows, 0), vec![w(7, 9)]);
+    }
+
+    #[test]
+    fn sep_zero_only_exact_overlaps_compete() {
+        let windows = [w(0, 1), w(1, 9), w(2, 1)];
+        assert_eq!(run(&windows, 0), windows);
+    }
+
+    #[test]
+    fn saturating_sep_near_u32_max() {
+        let windows = [w(0, 2), w(u32::MAX - 1, 3)];
+        assert_eq!(run(&windows, u32::MAX), vec![w(u32::MAX - 1, 3)]);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh() {
+        let mut scratch = FilterScratch::default();
+        let sets: [&[Window]; 3] = [&[w(0, 2), w(10, 5), w(20, 3)], &[], &[w(3, 1), w(4, 1)]];
+        for set in sets {
+            let mut out = Vec::new();
+            filter_dominated(set, 8, &mut scratch, &mut out);
+            assert_eq!(out, filter_dominated_naive(set, 8));
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! PAF records and the MAPQ margin model for refined placements.
+//!
+//! One [`PafRow`] per placed end segment, with the standard 12 mandatory
+//! columns plus typed tags. Query names are the evaluation's segment keys
+//! (`<read_id>/<prefix|suffix>`) so PAF output joins directly against
+//! `jem simulate` truth tables; coordinates are 0-based half-open as the
+//! PAF convention requires.
+//!
+//! MAPQ follows the mapquik-style margin model: scale the relative gap
+//! between the best and second-best chain scores into `[0, 60]`, damped
+//! for thinly supported chains so a 2-anchor "unique" placement can never
+//! claim certainty.
+
+use crate::refine::Placement;
+use jem_core::{Mapping, ReadEnd};
+use jem_index::SubjectId;
+use jem_seq::SeqRecord;
+use std::io::{self, Write};
+
+/// Mapping quality from the best and second-best chain scores.
+///
+/// `0` when a co-optimal (or better) competitor exists; otherwise
+/// `round(60 · (best − second)/best · min(best/8, 1))`. The `best/8` damp
+/// means full confidence needs at least 8 chained anchors, mirroring how
+/// mapquik requires a minimum seed count before trusting uniqueness.
+pub fn mapq_from_scores(best: u32, second: u32) -> u8 {
+    if best == 0 || second >= best {
+        return 0;
+    }
+    let margin = (best - second) as f64 / best as f64;
+    let damp = (best as f64 / 8.0).min(1.0);
+    (60.0 * margin * damp).round() as u8
+}
+
+/// One PAF output record (a placed end segment).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PafRow {
+    /// Source read index (resolved to `<read_id>/<end>` at write time).
+    pub read_idx: u32,
+    /// Which end segment was placed.
+    pub end: ReadEnd,
+    /// Mapped subject id (resolved to its name at write time).
+    pub subject: SubjectId,
+    /// Segment length (PAF column 2).
+    pub q_len: u32,
+    /// Query start, 0-based (column 3).
+    pub q_start: u32,
+    /// Query end, exclusive (column 4).
+    pub q_end: u32,
+    /// `true` → strand column 5 is `-`.
+    pub reverse: bool,
+    /// Target length (column 7).
+    pub t_len: u32,
+    /// Target start (column 8).
+    pub t_start: u32,
+    /// Target end, exclusive (column 9).
+    pub t_end: u32,
+    /// Residue matches (column 10): chained anchors × k, capped by the
+    /// block length.
+    pub matches: u32,
+    /// Alignment block length (column 11): the longer of the two spans.
+    pub block: u32,
+    /// Mapping quality (column 12).
+    pub mapq: u8,
+    /// Best chain score (`s1:i` tag).
+    pub s1: u32,
+    /// Second-best chain score (`s2:i` tag).
+    pub s2: u32,
+    /// Chained anchors in the primary chain (`cm:i` tag).
+    pub n_anchors: u32,
+    /// Chains evaluated for this segment (`nh:i` tag).
+    pub n_chains: u32,
+    /// Stage-1 trial hits of the mapped subject (`jm:i` tag).
+    pub hits: u32,
+}
+
+impl PafRow {
+    /// Assemble a row from a stage-1 [`Mapping`] and its stage-2
+    /// [`Placement`]. `seg_len` is the end segment's length and `k` the
+    /// index k-mer size (for the residue-match estimate).
+    pub fn from_placement(mapping: &Mapping, p: &Placement, seg_len: usize, k: usize) -> Self {
+        debug_assert_eq!(mapping.subject, p.subject);
+        let block = (p.q_end - p.q_start).max(p.t_end - p.t_start);
+        PafRow {
+            read_idx: mapping.read_idx,
+            end: mapping.end,
+            subject: p.subject,
+            q_len: seg_len as u32,
+            q_start: p.q_start,
+            q_end: p.q_end,
+            reverse: p.reverse,
+            t_len: p.t_len,
+            t_start: p.t_start,
+            t_end: p.t_end,
+            matches: (p.n_anchors * k as u32).min(block),
+            block,
+            mapq: mapq_from_scores(p.n_anchors, p.second),
+            s1: p.n_anchors,
+            s2: p.second,
+            n_anchors: p.n_anchors,
+            n_chains: p.n_chains,
+            hits: p.hits,
+        }
+    }
+
+    /// The evaluation query key `"<read_id>/<end>"` of this row.
+    pub fn query_key(&self, reads: &[SeqRecord]) -> String {
+        format!("{}/{}", reads[self.read_idx as usize].id, self.end)
+    }
+
+    /// Serialize as one PAF line (no trailing newline).
+    pub fn to_line(&self, reads: &[SeqRecord], subject_names: &[String]) -> String {
+        format!(
+            "{}/{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\ttp:A:P\tcm:i:{}\ts1:i:{}\ts2:i:{}\tnh:i:{}\tjm:i:{}",
+            reads[self.read_idx as usize].id,
+            self.end,
+            self.q_len,
+            self.q_start,
+            self.q_end,
+            if self.reverse { '-' } else { '+' },
+            subject_names[self.subject as usize],
+            self.t_len,
+            self.t_start,
+            self.t_end,
+            self.matches,
+            self.block,
+            self.mapq,
+            self.n_anchors,
+            self.s1,
+            self.s2,
+            self.n_chains,
+            self.hits,
+        )
+    }
+}
+
+/// Write `rows` as PAF. Rows are emitted in the order given; drivers
+/// normalize to `(read_idx, end)` order beforehand.
+pub fn write_paf<W: Write>(
+    mut w: W,
+    rows: &[PafRow],
+    reads: &[SeqRecord],
+    subject_names: &[String],
+) -> io::Result<()> {
+    for row in rows {
+        writeln!(w, "{}", row.to_line(reads, subject_names))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapq_zero_on_ties_and_empty() {
+        assert_eq!(mapq_from_scores(0, 0), 0);
+        assert_eq!(mapq_from_scores(10, 10), 0);
+        assert_eq!(mapq_from_scores(10, 15), 0);
+    }
+
+    #[test]
+    fn mapq_saturates_at_sixty_for_unique_strong_chains() {
+        assert_eq!(mapq_from_scores(40, 0), 60);
+        assert_eq!(mapq_from_scores(8, 0), 60);
+    }
+
+    #[test]
+    fn mapq_damped_for_thin_chains() {
+        // A unique 2-anchor chain: margin 1.0 but damp 2/8.
+        assert_eq!(mapq_from_scores(2, 0), 15);
+        assert!(mapq_from_scores(3, 0) < 30);
+    }
+
+    #[test]
+    fn mapq_scales_with_margin() {
+        let close = mapq_from_scores(20, 18);
+        let far = mapq_from_scores(20, 2);
+        assert!(close < far, "close {close} far {far}");
+        assert!(close > 0);
+        assert!(far <= 60);
+    }
+
+    #[test]
+    fn row_serializes_with_twelve_mandatory_columns() {
+        let reads = vec![SeqRecord::new("read7", b"ACGT".to_vec())];
+        let names = vec!["contig_3".to_string()];
+        let row = PafRow {
+            read_idx: 0,
+            end: ReadEnd::Suffix,
+            subject: 0,
+            q_len: 600,
+            q_start: 10,
+            q_end: 580,
+            reverse: true,
+            t_len: 5_000,
+            t_start: 2_010,
+            t_end: 2_580,
+            matches: 220,
+            block: 570,
+            mapq: 60,
+            s1: 20,
+            s2: 0,
+            n_anchors: 20,
+            n_chains: 3,
+            hits: 12,
+        };
+        let line = row.to_line(&reads, &names);
+        let cols: Vec<&str> = line.split('\t').collect();
+        assert!(cols.len() >= 12, "line: {line}");
+        assert_eq!(cols[0], "read7/suffix");
+        assert_eq!(cols[4], "-");
+        assert_eq!(cols[5], "contig_3");
+        assert_eq!(cols[11], "60");
+        assert!(cols[12..].contains(&"tp:A:P"));
+        assert!(cols[12..].contains(&"cm:i:20"));
+        assert_eq!(row.query_key(&reads), "read7/suffix");
+    }
+
+    #[test]
+    fn writer_emits_one_line_per_row() {
+        let reads = vec![SeqRecord::new("r", b"ACGT".to_vec())];
+        let names = vec!["c".to_string()];
+        let row = PafRow {
+            read_idx: 0,
+            end: ReadEnd::Prefix,
+            subject: 0,
+            q_len: 100,
+            q_start: 0,
+            q_end: 90,
+            reverse: false,
+            t_len: 1_000,
+            t_start: 5,
+            t_end: 95,
+            matches: 80,
+            block: 90,
+            mapq: 31,
+            s1: 9,
+            s2: 3,
+            n_anchors: 9,
+            n_chains: 1,
+            hits: 7,
+        };
+        let mut buf = Vec::new();
+        write_paf(&mut buf, &[row, row], &reads, &names).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.ends_with('\n'));
+    }
+}

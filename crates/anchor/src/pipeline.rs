@@ -1,0 +1,322 @@
+//! End-to-end drivers: stage-1 sketch mapping fused with stage-2
+//! refinement.
+//!
+//! [`AnchorPipeline`] runs both stages off a single sketch pass per
+//! segment: the per-trial collision lists feed a candidate ranking whose
+//! top entry reproduces the legacy best-hit [`Mapping`] exactly (count
+//! descending, smaller id on ties — the lazy counter's order), and whose
+//! top-x entries form the stage-2 shortlist. The legacy TSV path is thus
+//! strictly additive: `mappings` out of these drivers is byte-identical to
+//! [`JemMapper::map_reads`] / [`jem_core::map_reads_parallel`], pinned by
+//! the `anchor_paf` integration test.
+
+use crate::paf::PafRow;
+use crate::refine::{RefineScratch, RefineStats, Refiner};
+use jem_core::{make_segments, JemMapper, MapScratch, Mapping, QuerySegment};
+use jem_index::SubjectId;
+use jem_seq::SeqRecord;
+use rayon::prelude::*;
+
+/// Both stages' output for one read set.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AnchorOutput {
+    /// Stage-1 best-hit mappings — identical to the legacy drivers'.
+    pub mappings: Vec<Mapping>,
+    /// Stage-2 coordinate placements, one per refinable segment, in
+    /// `(read_idx, end)` order.
+    pub paf: Vec<PafRow>,
+}
+
+/// Per-thread working state for the fused driver.
+#[derive(Clone, Debug, Default)]
+struct PipelineScratch {
+    map: MapScratch,
+    all: Vec<SubjectId>,
+    ranked: Vec<(SubjectId, u32)>,
+    refine: RefineScratch,
+}
+
+/// The fused stage-1 + stage-2 mapping pipeline.
+#[derive(Debug)]
+pub struct AnchorPipeline<'a> {
+    mapper: &'a JemMapper,
+    refiner: &'a Refiner,
+}
+
+impl<'a> AnchorPipeline<'a> {
+    /// Pair a stage-1 index with a stage-2 refiner.
+    ///
+    /// # Panics
+    /// Panics when the refiner's subject set does not match the index's
+    /// name table — refinement coordinates would silently refer to the
+    /// wrong contigs otherwise.
+    pub fn new(mapper: &'a JemMapper, refiner: &'a Refiner) -> Self {
+        assert_eq!(
+            refiner.n_subjects(),
+            mapper.n_subjects(),
+            "refiner holds {} subjects but the index names {}",
+            refiner.n_subjects(),
+            mapper.n_subjects()
+        );
+        for (id, name) in refiner.subject_names().enumerate() {
+            assert_eq!(
+                name,
+                mapper.subject_name(id as SubjectId),
+                "subject {id} name mismatch between index and refiner"
+            );
+        }
+        AnchorPipeline { mapper, refiner }
+    }
+
+    /// Stage 1 for one segment: sketch, collide per trial, rank candidates
+    /// by `(hits desc, id asc)` into `scratch.ranked`. The top entry is the
+    /// legacy best hit.
+    fn rank_candidates(&self, seg: &[u8], scratch: &mut PipelineScratch) {
+        let PipelineScratch {
+            map, all, ranked, ..
+        } = scratch;
+        self.mapper.sketch_segment_into(seg, map);
+        let (sketch, trial_subjects) = map.parts();
+        all.clear();
+        for (t, codes) in sketch.per_trial.iter().enumerate() {
+            // Hits_r[t] is a set: dedup within the trial before counting.
+            trial_subjects.clear();
+            for &code in codes {
+                self.mapper.table().lookup_into(t, code, trial_subjects);
+            }
+            trial_subjects.sort_unstable();
+            trial_subjects.dedup();
+            all.extend_from_slice(trial_subjects);
+        }
+        all.sort_unstable();
+        ranked.clear();
+        let mut i = 0;
+        while i < all.len() {
+            let subject = all[i];
+            let mut j = i + 1;
+            while j < all.len() && all[j] == subject {
+                j += 1;
+            }
+            ranked.push((subject, (j - i) as u32));
+            i = j;
+        }
+        ranked.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    }
+
+    /// Run both stages over one segment.
+    fn process_segment(
+        &self,
+        seg: &QuerySegment,
+        scratch: &mut PipelineScratch,
+        stats: &mut RefineStats,
+    ) -> (Option<Mapping>, Option<PafRow>) {
+        self.rank_candidates(&seg.seq, scratch);
+        let Some(&(subject, hits)) = scratch.ranked.first() else {
+            return (None, None);
+        };
+        let mapping = Mapping {
+            read_idx: seg.read_idx,
+            end: seg.end,
+            subject,
+            hits,
+        };
+        let row = self
+            .refiner
+            .refine_segment(&seg.seq, &scratch.ranked, &mut scratch.refine, stats)
+            .map(|p| {
+                PafRow::from_placement(
+                    &Mapping {
+                        subject: p.subject,
+                        hits: p.hits,
+                        ..mapping
+                    },
+                    &p,
+                    seg.seq.len(),
+                    self.mapper.config().k,
+                )
+            });
+        (Some(mapping), row)
+    }
+
+    /// Sequential driver: segment every read, run both stages per segment.
+    pub fn run(&self, reads: &[SeqRecord]) -> AnchorOutput {
+        let rec = jem_obs::recorder();
+        let _span = jem_obs::Span::enter(rec, "anchor/run");
+        let segments = make_segments(reads, self.mapper.config().ell);
+        let mut scratch = PipelineScratch::default();
+        let mut stats = RefineStats::default();
+        let mut out = AnchorOutput::default();
+        for seg in &segments {
+            let (mapping, row) = self.process_segment(seg, &mut scratch, &mut stats);
+            out.mappings.extend(mapping);
+            out.paf.extend(row);
+        }
+        self.flush_metrics(rec, &segments, &stats, &out);
+        out
+    }
+
+    /// Rayon driver: chunked like [`jem_core::map_reads_parallel_with`],
+    /// output normalized to the sequential driver's order. `threads =
+    /// Some(n)` bounds the chunk count; `None` uses the pool width.
+    pub fn run_parallel(&self, reads: &[SeqRecord], threads: Option<usize>) -> AnchorOutput {
+        let rec = jem_obs::recorder();
+        let _span = jem_obs::Span::enter(rec, "anchor/parallel");
+        let segments = make_segments(reads, self.mapper.config().ell);
+        let lanes = threads.unwrap_or_else(rayon::current_num_threads).max(1);
+        let chunk = segments.len().div_ceil(lanes).max(1);
+        let parts: Vec<(AnchorOutput, RefineStats)> = segments
+            .par_chunks(chunk)
+            .flat_map_iter(|chunk_segs| {
+                let mut scratch = PipelineScratch::default();
+                let mut stats = RefineStats::default();
+                let mut out = AnchorOutput::default();
+                for seg in chunk_segs {
+                    let (mapping, row) = self.process_segment(seg, &mut scratch, &mut stats);
+                    out.mappings.extend(mapping);
+                    out.paf.extend(row);
+                }
+                std::iter::once((out, stats))
+            })
+            .collect();
+        let mut stats = RefineStats::default();
+        let mut out = AnchorOutput::default();
+        for (part, part_stats) in parts {
+            out.mappings.extend(part.mappings);
+            out.paf.extend(part.paf);
+            stats.merge(&part_stats);
+        }
+        // Same normalization as the legacy parallel driver: total orders,
+        // at most one mapping and one row per (read_idx, end).
+        out.mappings.sort_unstable();
+        out.paf.sort_unstable();
+        self.flush_metrics(rec, &segments, &stats, &out);
+        out
+    }
+
+    fn flush_metrics(
+        &self,
+        rec: &dyn jem_obs::Recorder,
+        segments: &[QuerySegment],
+        stats: &RefineStats,
+        out: &AnchorOutput,
+    ) {
+        if !rec.enabled() {
+            return;
+        }
+        rec.add("anchor.input_segments", segments.len() as u64);
+        rec.add("anchor.mapped", out.mappings.len() as u64);
+        stats.flush(rec);
+        for row in &out.paf {
+            rec.observe("anchor.chain_anchors", u64::from(row.n_anchors));
+            rec.observe("anchor.mapq", u64::from(row.mapq));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jem_core::MapperConfig;
+    use jem_sim::{
+        contig_records, fragment_contigs, read_records, simulate_hifi, ContigProfile, Genome,
+        HifiProfile,
+    };
+
+    fn world() -> (Vec<SeqRecord>, Vec<SeqRecord>, MapperConfig) {
+        let genome = Genome::random(60_000, 0.5, 99);
+        let contigs = contig_records(&fragment_contigs(
+            &genome,
+            &ContigProfile {
+                error_rate: 0.0,
+                ..ContigProfile::small_genome()
+            },
+            1,
+        ));
+        let profile = HifiProfile {
+            coverage: 2.0,
+            mean_len: 4_000,
+            std_len: 800,
+            min_len: 1_000,
+            error_rate: 0.001,
+        };
+        let reads = read_records(&simulate_hifi(&genome, &profile, 5));
+        let config = MapperConfig {
+            k: 12,
+            w: 10,
+            trials: 12,
+            ell: 300,
+            seed: 7,
+        };
+        (contigs, reads, config)
+    }
+
+    #[test]
+    fn stage1_output_matches_legacy_driver_exactly() {
+        let (contigs, reads, config) = world();
+        let mapper = JemMapper::build(&contigs, &config);
+        let refiner = Refiner::new(mapper.scheme(), config.k, contigs.clone());
+        let pipeline = AnchorPipeline::new(&mapper, &refiner);
+        let out = pipeline.run(&reads);
+        assert_eq!(out.mappings, mapper.map_reads(&reads));
+        assert!(!out.paf.is_empty(), "no segment was refined");
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (contigs, reads, config) = world();
+        let mapper = JemMapper::build(&contigs, &config);
+        let refiner = Refiner::new(mapper.scheme(), config.k, contigs.clone());
+        let pipeline = AnchorPipeline::new(&mapper, &refiner);
+        let mut sequential = pipeline.run(&reads);
+        sequential.mappings.sort_unstable();
+        sequential.paf.sort_unstable();
+        for threads in [None, Some(1), Some(3), Some(16)] {
+            assert_eq!(pipeline.run_parallel(&reads, threads), sequential);
+        }
+    }
+
+    #[test]
+    fn rows_are_well_formed() {
+        let (contigs, reads, config) = world();
+        let mapper = JemMapper::build(&contigs, &config);
+        let refiner = Refiner::new(mapper.scheme(), config.k, contigs.clone());
+        let out = AnchorPipeline::new(&mapper, &refiner).run(&reads);
+        for row in &out.paf {
+            assert!(row.q_start < row.q_end, "{row:?}");
+            assert!(row.q_end <= row.q_len, "{row:?}");
+            assert!(row.t_start < row.t_end, "{row:?}");
+            assert!(row.t_end <= row.t_len, "{row:?}");
+            assert!(row.matches <= row.block, "{row:?}");
+            assert!(row.mapq <= 60, "{row:?}");
+            assert!((row.subject as usize) < mapper.n_subjects());
+        }
+        // Clean simulated reads over near-complete contig coverage should
+        // mostly refine with confident quality.
+        let confident = out.paf.iter().filter(|r| r.mapq >= 30).count();
+        assert!(
+            confident * 2 > out.paf.len(),
+            "only {}/{} rows with mapq >= 30",
+            confident,
+            out.paf.len()
+        );
+    }
+
+    #[test]
+    fn empty_reads_produce_empty_output() {
+        let (contigs, _, config) = world();
+        let mapper = JemMapper::build(&contigs, &config);
+        let refiner = Refiner::new(mapper.scheme(), config.k, contigs.clone());
+        let pipeline = AnchorPipeline::new(&mapper, &refiner);
+        assert_eq!(pipeline.run(&[]), AnchorOutput::default());
+        assert_eq!(pipeline.run_parallel(&[], None), AnchorOutput::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "subjects")]
+    fn mismatched_subject_sets_are_rejected() {
+        let (contigs, _, config) = world();
+        let mapper = JemMapper::build(&contigs, &config);
+        let refiner = Refiner::new(mapper.scheme(), config.k, contigs[..1].to_vec());
+        let _ = AnchorPipeline::new(&mapper, &refiner);
+    }
+}

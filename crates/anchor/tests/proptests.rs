@@ -1,0 +1,135 @@
+//! Property tests pinning the stage-2 kernels to their naive references:
+//! the O(n log n) chain DP against the O(n²) DP, and the O(n) monotone-
+//! deque dominance filter against the literal pairwise definition.
+
+use jem_anchor::{
+    chain_anchors, chain_anchors_naive, filter_dominated, filter_dominated_naive, Anchor,
+    ChainScratch, FilterScratch, Window,
+};
+use proptest::prelude::*;
+
+fn anchors_from(pairs: &[(u32, u32)]) -> Vec<Anchor> {
+    pairs
+        .iter()
+        .map(|&(qpos, tpos)| Anchor { qpos, tpos })
+        .collect()
+}
+
+fn windows_from(pairs: &[(u32, u32)]) -> Vec<Window> {
+    let mut windows: Vec<Window> = pairs
+        .iter()
+        .map(|&(t_start, j)| Window { t_start, j })
+        .collect();
+    // The sweep emits windows sorted by target start.
+    windows.sort_unstable_by_key(|w| w.t_start);
+    windows
+}
+
+/// A chain must be reachable from the input: strictly increasing in both
+/// coordinates with at least `n_anchors` compatible anchors. Cheap sanity
+/// bound (full reconstruction is the naive DP's job).
+fn chain_is_plausible(anchors: &[Anchor], chain: &jem_anchor::Chain) -> bool {
+    chain.n_anchors >= 1
+        && chain.n_anchors as usize <= anchors.len()
+        && chain.q_start <= chain.q_last
+        && chain.t_start <= chain.t_last
+        && anchors
+            .iter()
+            .any(|a| a.qpos == chain.q_start && a.tpos == chain.t_start)
+        && anchors
+            .iter()
+            .any(|a| a.qpos == chain.q_last && a.tpos == chain.t_last)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    /// The fast chain DP scores exactly like the quadratic reference on
+    /// arbitrary anchor sets (duplicates and collinear ties included —
+    /// coordinates drawn from a small range to force collisions).
+    #[test]
+    fn chain_matches_naive_dense(pairs in prop::collection::vec((0u32..40, 0u32..40), 0..80)) {
+        let anchors = anchors_from(&pairs);
+        let fast = chain_anchors(&anchors, &mut ChainScratch::default());
+        let naive = chain_anchors_naive(&anchors);
+        prop_assert_eq!(fast.is_some(), naive.is_some());
+        if let (Some(f), Some(n)) = (fast, naive) {
+            prop_assert_eq!(f.n_anchors, n.n_anchors, "fast {:?} naive {:?}", f, n);
+            prop_assert!(chain_is_plausible(&anchors, &f), "implausible {:?}", f);
+        }
+    }
+
+    /// Same equivalence on sparse coordinates (few ties, long chains).
+    #[test]
+    fn chain_matches_naive_sparse(
+        pairs in prop::collection::vec((0u32..100_000, 0u32..100_000), 0..60),
+    ) {
+        let anchors = anchors_from(&pairs);
+        let fast = chain_anchors(&anchors, &mut ChainScratch::default());
+        prop_assert_eq!(
+            fast.map(|c| c.n_anchors),
+            chain_anchors_naive(&anchors).map(|c| c.n_anchors)
+        );
+    }
+
+    /// Scratch reuse across random inputs never changes the result.
+    #[test]
+    fn chain_scratch_reuse_is_pure(
+        a in prop::collection::vec((0u32..50, 0u32..50), 0..40),
+        b in prop::collection::vec((0u32..50, 0u32..50), 0..40),
+    ) {
+        let (a, b) = (anchors_from(&a), anchors_from(&b));
+        let mut reused = ChainScratch::default();
+        let first = chain_anchors(&a, &mut reused);
+        let second = chain_anchors(&b, &mut reused);
+        prop_assert_eq!(first, chain_anchors(&a, &mut ChainScratch::default()));
+        prop_assert_eq!(second, chain_anchors(&b, &mut ChainScratch::default()));
+    }
+
+    /// The deque filter reproduces the pairwise dominance definition on
+    /// arbitrary window sets, tie-heavy by construction (small j range,
+    /// clustered starts — many exact ties and fully-nested spans).
+    #[test]
+    fn filter_matches_naive(
+        pairs in prop::collection::vec((0u32..60, 0u32..6), 0..60),
+        sep in 0u32..80,
+    ) {
+        let windows = windows_from(&pairs);
+        let mut out = Vec::new();
+        filter_dominated(&windows, sep, &mut FilterScratch::default(), &mut out);
+        prop_assert_eq!(out, filter_dominated_naive(&windows, sep));
+    }
+
+    /// Wide separations and wide support ranges (the "everything competes
+    /// with everything" and "nothing competes" extremes both appear).
+    #[test]
+    fn filter_matches_naive_wide(
+        pairs in prop::collection::vec((0u32..1_000_000, 0u32..1_000), 0..50),
+        sep in prop::sample::select(vec![0u32, 1, 499_999, 1_000_000, u32::MAX]),
+    ) {
+        let windows = windows_from(&pairs);
+        let mut out = Vec::new();
+        filter_dominated(&windows, sep, &mut FilterScratch::default(), &mut out);
+        prop_assert_eq!(out, filter_dominated_naive(&windows, sep));
+    }
+
+    /// Survivors are always a subsequence of the input, and the global
+    /// best-supported window always survives.
+    #[test]
+    fn filter_keeps_a_global_maximum(
+        pairs in prop::collection::vec((0u32..200, 0u32..50), 1..40),
+        sep in 0u32..300,
+    ) {
+        let windows = windows_from(&pairs);
+        let mut out = Vec::new();
+        filter_dominated(&windows, sep, &mut FilterScratch::default(), &mut out);
+        prop_assert!(!out.is_empty(), "filter emptied a non-empty input");
+        let best_j = windows.iter().map(|w| w.j).max().unwrap();
+        prop_assert!(out.iter().any(|w| w.j == best_j));
+        let mut cursor = 0usize;
+        for w in &out {
+            let found = windows[cursor..].iter().position(|v| v == w);
+            prop_assert!(found.is_some(), "{:?} out of order", w);
+            cursor += found.unwrap() + 1;
+        }
+    }
+}

@@ -3,12 +3,14 @@
 use crate::args::Args;
 use crate::error::CliError;
 use crate::io::{read_sequences, write_fasta, write_file_atomic, AtomicFile};
+use jem_anchor::{write_paf, AnchorPipeline, PafRow, RefineScratch, RefineStats, Refiner};
 use jem_core::{
-    load_index_path, make_segments, map_reads_parallel_with, run_distributed_resilient, save_index,
-    save_index_v3, write_mappings_tsv, write_mappings_tsv_named, JemMapper, MapperConfig, Mapping,
-    ReadEnd, ResilienceOptions,
+    load_index_path, load_index_path_opts, make_segments, map_reads_parallel_with,
+    run_distributed_resilient, save_index, save_index_v3, write_mappings_tsv,
+    write_mappings_tsv_named, Integrity, JemMapper, MapperConfig, Mapping, ReadEnd,
+    ResilienceOptions,
 };
-use jem_eval::{Benchmark, MappingMetrics};
+use jem_eval::{parse_paf, Benchmark, MappingMetrics, PafAccuracy};
 use jem_psim::{CostModel, ExecMode, FaultPlan};
 use jem_scaffold::{scaffold, AssemblyStats, ScaffoldParams};
 use jem_seq::{FastqRecord, FastqWriter, SeqRecord};
@@ -158,7 +160,14 @@ pub fn cmd_index(args: &Args) -> Result<(), CliError> {
     // that later fails checksum decode in `jem serve`/`jem map`.
     let mut out = AtomicFile::create(out_path).map_err(CliError::io(out_path))?;
     match format {
-        "v3" => save_index_v3(&mut out, &mapper).map_err(CliError::format(out_path))?,
+        "v3" => {
+            eprintln!(
+                "WARNING: --format v3 is deprecated; v4 is the default and the only \
+                 mmap-servable layout. v3 artifacts stay loadable, and `jem index \
+                 --upgrade` rewrites them as v4."
+            );
+            save_index_v3(&mut out, &mapper).map_err(CliError::format(out_path))?
+        }
         _ => save_index(&mut out, &mapper).map_err(CliError::format(out_path))?,
     }
     out.commit().map_err(CliError::io(out_path))?;
@@ -190,9 +199,38 @@ fn load_or_build_mapper(args: &Args) -> Result<JemMapper, CliError> {
     }
 }
 
+/// Build a stage-2 [`Refiner`] over `subjects`, first checking the contig
+/// set actually belongs to `mapper`'s index — coordinate output against
+/// the wrong FASTA would silently name the wrong contigs.
+fn build_refiner(mapper: &JemMapper, subjects: Vec<SeqRecord>) -> Result<Refiner, CliError> {
+    if subjects.len() != mapper.n_subjects() {
+        return Err(CliError::Data(format!(
+            "--subjects holds {} sequences but the index names {} — not the indexed contig set",
+            subjects.len(),
+            mapper.n_subjects()
+        )));
+    }
+    for (i, rec) in subjects.iter().enumerate() {
+        let expect = mapper.subject_name(i as u32);
+        if rec.id != expect {
+            return Err(CliError::Data(format!(
+                "--subjects disagrees with the index at subject {i}: {:?} vs indexed {expect:?}",
+                rec.id
+            )));
+        }
+    }
+    Ok(Refiner::new(mapper.scheme(), mapper.config().k, subjects))
+}
+
 /// `jem map (--index index.jem | --subjects contigs.fa) --queries reads.fq
-///  [--out out.tsv] [--parallel] [--threads N] [--metrics FILE]
-///  [config flags]`
+///  [--out out.tsv] [--paf out.paf] [--parallel] [--threads N]
+///  [--metrics FILE] [config flags]`
+///
+/// `--paf FILE` additionally runs stage-2 anchor refinement (chained
+/// coordinates, strand, MAPQ) and writes standard PAF records. It needs
+/// the contig sequences, so `--subjects` is required alongside it even
+/// when the stage-1 index comes from `--index`. The default TSV output is
+/// byte-identical with or without `--paf` — stage 2 is strictly additive.
 pub fn cmd_map(args: &Args) -> Result<(), CliError> {
     let metrics = metrics_recorder(args)?;
     let threads = thread_count(args)?;
@@ -204,12 +242,44 @@ pub fn cmd_map(args: &Args) -> Result<(), CliError> {
         mapper.n_subjects()
     );
     // `--threads N` implies the parallel driver (with its width bounded).
-    let mappings = if args.has("parallel") || threads.is_some() {
-        map_reads_parallel_with(&mapper, &reads, threads)
-    } else {
-        mapper.map_reads(&reads)
+    let parallel = args.has("parallel") || threads.is_some();
+    let (mappings, paf) = match args.get("paf") {
+        None => {
+            let mappings = if parallel {
+                map_reads_parallel_with(&mapper, &reads, threads)
+            } else {
+                mapper.map_reads(&reads)
+            };
+            (mappings, None)
+        }
+        Some(paf_path) => {
+            let subjects_path = args.get("subjects").ok_or_else(|| {
+                CliError::Usage(
+                    "--paf needs --subjects: stage-2 refinement re-sketches the contig sequences"
+                        .into(),
+                )
+            })?;
+            let refiner = build_refiner(&mapper, read_sequences(subjects_path)?)?;
+            let pipeline = AnchorPipeline::new(&mapper, &refiner);
+            let out = if parallel {
+                pipeline.run_parallel(&reads, threads)
+            } else {
+                pipeline.run(&reads)
+            };
+            (out.mappings, Some((paf_path, out.paf)))
+        }
     };
     eprintln!("{} end segments mapped", mappings.len());
+    if let Some((paf_path, rows)) = &paf {
+        let mut out = AtomicFile::create(paf_path).map_err(CliError::io(paf_path))?;
+        write_paf(&mut out, rows, &reads, mapper.subject_names())
+            .map_err(CliError::io(paf_path))?;
+        out.commit().map_err(CliError::io(paf_path))?;
+        eprintln!(
+            "{} segments refined to coordinates → {paf_path}",
+            rows.len()
+        );
+    }
     match args.get("out") {
         Some(path) => {
             let mut out = AtomicFile::create(path).map_err(CliError::io(path))?;
@@ -553,7 +623,13 @@ fn read_mapping_pairs(path: &str) -> Result<Vec<(String, String, u32)>, CliError
     Ok(out)
 }
 
-/// `jem eval --mappings out.tsv --truth truth.tsv [--k 16]`
+/// `jem eval (--mappings out.tsv | --paf out.paf | both) --truth truth.tsv
+///  [--k 16] [--tolerance 100]`
+///
+/// `--mappings` scores best-contig TSV output with the paper's Fig. 4
+/// precision/recall. `--paf` scores stage-2 coordinate output: a record is
+/// correct when the contig is a true subject *and* the placement projects
+/// to within `--tolerance` bases of the truth start (strand-agnostic).
 pub fn cmd_eval(args: &Args) -> Result<(), CliError> {
     let truth_path = args.req("truth")?;
     let k: u64 = args.get_or("k", 16)?;
@@ -589,21 +665,46 @@ pub fn cmd_eval(args: &Args) -> Result<(), CliError> {
             }
         }
     }
-    let bench = Benchmark::from_coordinates(&queries, &subjects, k);
-    let pairs: Vec<(String, String)> = read_mapping_pairs(args.req("mappings")?)?
-        .into_iter()
-        .map(|(q, s, _)| (q, s))
-        .collect();
-    let m = MappingMetrics::classify(&pairs, &bench);
-    println!(
-        "precision\t{:.4}\nrecall\t{:.4}\nf1\t{:.4}\ntp\t{}\nfp\t{}\nfn\t{}",
-        m.precision(),
-        m.recall(),
-        m.f1(),
-        m.tp,
-        m.fp,
-        m.fn_
-    );
+    if args.get("mappings").is_none() && args.get("paf").is_none() {
+        return Err(CliError::Usage("need --mappings or --paf (or both)".into()));
+    }
+    if let Some(mappings_path) = args.get("mappings") {
+        let bench = Benchmark::from_coordinates(&queries, &subjects, k);
+        let pairs: Vec<(String, String)> = read_mapping_pairs(mappings_path)?
+            .into_iter()
+            .map(|(q, s, _)| (q, s))
+            .collect();
+        let m = MappingMetrics::classify(&pairs, &bench);
+        println!(
+            "precision\t{:.4}\nrecall\t{:.4}\nf1\t{:.4}\ntp\t{}\nfp\t{}\nfn\t{}",
+            m.precision(),
+            m.recall(),
+            m.f1(),
+            m.tp,
+            m.fp,
+            m.fn_
+        );
+    }
+    if let Some(paf_path) = args.get("paf") {
+        let tolerance: u64 = args.get_or("tolerance", 100)?;
+        let text = std::fs::read_to_string(paf_path).map_err(CliError::io(paf_path))?;
+        let records = parse_paf(&text).map_err(|e| CliError::Data(format!("{paf_path}: {e}")))?;
+        let acc = PafAccuracy::classify(&records, &queries, &subjects, k, tolerance);
+        println!(
+            "paf_accuracy\t{:.4}\npaf_recall\t{:.4}\npaf_mean_offset\t{:.2}\n\
+             paf_records\t{}\npaf_correct\t{}\npaf_wrong_contig\t{}\npaf_wrong_position\t{}\n\
+             paf_unknown_query\t{}\npaf_missed\t{}",
+            acc.accuracy(),
+            acc.recall(),
+            acc.mean_offset(),
+            acc.records,
+            acc.correct,
+            acc.wrong_contig,
+            acc.wrong_position,
+            acc.unknown_query,
+            acc.missed
+        );
+    }
     Ok(())
 }
 
@@ -856,7 +957,7 @@ fn parse_slot_range(spec: &str, n_slots: usize) -> Result<std::ops::Range<usize>
 }
 
 /// `jem serve --index index.jem [--addr 127.0.0.1:7878] [--shards 4]
-///  [--slots LO-HI] [--workers 4] [--queue 64] [--batch 16]
+///  [--slots LO-HI] [--workers 4] [--queue 64] [--batch 16] [--prefault]
 ///  [--metrics FILE] [--straggle-ms 0] [--panic-every 0]` — load a
 ///  persisted index into a shard-partitioned resident table and serve
 ///  mapping requests until a remote `jem query --shutdown`. The shutdown
@@ -887,7 +988,11 @@ pub fn cmd_serve(args: &Args) -> Result<(), CliError> {
         panic_every: args.get_or("panic-every", 0u64)?,
         ..Default::default()
     };
-    let mapper = load_index_path(Path::new(index_path)).map_err(CliError::format(index_path))?;
+    // `--prefault` advises the kernel the whole v4 mapping will be needed
+    // and touches every page at load time, trading a slower start for no
+    // first-query page-fault stalls. Behavior is otherwise identical.
+    let mapper = load_index_path_opts(Path::new(index_path), Integrity::Full, args.has("prefault"))
+        .map_err(CliError::format(index_path))?;
     eprintln!(
         "loaded {index_path}: {} subjects, {} sketch entries → slots {}-{} of {shards}",
         mapper.n_subjects(),
@@ -978,7 +1083,7 @@ pub fn cmd_route(args: &Args) -> Result<(), CliError> {
 
 /// `jem query --addr HOST:PORT (--queries reads.fq | --queries - | --ping |
 ///  --shutdown | --reload FILE) [--chunk 64] [--deadline MS] [--out FILE]
-///  [--via-router [--allow-degraded]]`
+///  [--paf FILE --subjects contigs.fa] [--via-router [--allow-degraded]]`
 ///  — map reads through a running `jem serve`. The index parameters
 ///  (segment length, subject names, trial count) come from the server's
 ///  `Info` response, so the rendered TSV is byte-identical to an offline
@@ -1057,6 +1162,77 @@ pub fn cmd_query(args: &Args) -> Result<(), CliError> {
     // total order so the TSV matches the offline driver byte for byte.
     mappings.sort_unstable();
     eprintln!("{} end segments mapped", mappings.len());
+    if let Some(paf_path) = args.get("paf") {
+        // Client-side stage 2: the server answers best-contig only, so the
+        // client re-sketches its local copy of the contig set (validated
+        // against the served name table) and refines each served hit into
+        // coordinates. MAPQ margins here see one candidate contig per
+        // segment — within-contig competitors only.
+        let subjects_path = args.get("subjects").ok_or_else(|| {
+            CliError::Usage(
+                "--paf needs --subjects: stage-2 refinement runs client-side over the contig \
+                 sequences"
+                    .into(),
+            )
+        })?;
+        let subjects = read_sequences(subjects_path)?;
+        if subjects.len() != info.subject_names.len() {
+            return Err(CliError::Data(format!(
+                "--subjects holds {} sequences but the server names {}",
+                subjects.len(),
+                info.subject_names.len()
+            )));
+        }
+        for (rec, served) in subjects.iter().zip(&info.subject_names) {
+            if rec.id != *served {
+                return Err(CliError::Data(format!(
+                    "--subjects disagrees with the served index: {:?} vs served {served:?}",
+                    rec.id
+                )));
+            }
+        }
+        let refiner = Refiner::new(info.scheme, info.config.k, subjects);
+        let by_key: std::collections::HashMap<(u32, ReadEnd), usize> = segments
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ((s.read_idx, s.end), i))
+            .collect();
+        let mut scratch = RefineScratch::default();
+        let mut stats = RefineStats::default();
+        let mut rows: Vec<PafRow> = Vec::new();
+        for m in &mappings {
+            let Some(&i) = by_key.get(&(m.read_idx, m.end)) else {
+                continue;
+            };
+            let seg = &segments[i];
+            if let Some(p) =
+                refiner.refine_segment(&seg.seq, &[(m.subject, m.hits)], &mut scratch, &mut stats)
+            {
+                let placed = Mapping {
+                    subject: p.subject,
+                    hits: p.hits,
+                    ..*m
+                };
+                rows.push(PafRow::from_placement(
+                    &placed,
+                    &p,
+                    seg.seq.len(),
+                    info.config.k,
+                ));
+            }
+        }
+        let rec = jem_obs::recorder();
+        if rec.enabled() {
+            stats.flush(rec);
+        }
+        let mut out = AtomicFile::create(paf_path).map_err(CliError::io(paf_path))?;
+        write_paf(&mut out, &rows, &reads, &info.subject_names).map_err(CliError::io(paf_path))?;
+        out.commit().map_err(CliError::io(paf_path))?;
+        eprintln!(
+            "{} segments refined to coordinates → {paf_path}",
+            rows.len()
+        );
+    }
     if !missing.is_empty() {
         eprintln!(
             "WARNING: degraded answer — shards {:?} were missing from the merge; \

@@ -35,6 +35,8 @@ COMMANDS:
                 instead of minimizers]
   map         map long-read end segments to contigs (TSV to --out or stdout)
                 (--index FILE | --subjects FILE) --queries FILE|- [--out FILE]
+                [--paf FILE  also refine to coordinates + MAPQ as PAF;
+                needs --subjects for the contig sequences]
                 [--parallel] [--threads N] [--metrics FILE]
                 [config flags as for index]  (--queries - reads stdin)
   serve       keep a persisted index resident and serve mapping requests
@@ -43,6 +45,7 @@ COMMANDS:
                 [--slots LO-HI  own only this slice of the slot space,
                 as one shard of a `jem route` topology]
                 [--workers 4] [--queue 64] [--batch 16] [--metrics FILE]
+                [--prefault  touch every index page at load time]
                 [--straggle-ms 0  slow every batch, for deadline testing]
                 [--panic-every 0  panic every Nth index pass, chaos only]
   route       scatter-gather front-end over `jem serve --slots` shards:
@@ -58,7 +61,9 @@ COMMANDS:
                 --addr HOST:PORT (--queries FILE|- | --ping | --shutdown
                 | --reload FILE  hot-swap the server's index)
                 [--chunk 64] [--deadline MS  shed instead of serving late]
-                [--out FILE] [--via-router [--allow-degraded  accept
+                [--out FILE] [--paf FILE --subjects contigs.fa  refine the
+                served hits to coordinates client-side]
+                [--via-router [--allow-degraded  accept
                 partial answers, report missing shards on stderr]]
   distributed run the S1–S4 pipeline on simulated MPI ranks, with optional
               fault injection and recovery (makespan + fault report)
@@ -78,7 +83,9 @@ COMMANDS:
                 (--index FILE | --subjects FILE) --queries FILE
                 [--stride ELL/2] [--out FILE]
   eval        score a mapping TSV against truth coordinates (Fig. 4 benchmark)
-                --mappings FILE --truth FILE [--k 16]
+                (--mappings FILE | --paf FILE | both) --truth FILE [--k 16]
+                [--tolerance 100  max start offset in bases for a PAF
+                placement to count as correct]
   bench       std-only micro-benchmarks on a seeded simulated dataset
               (stage: sketch). Writes a JSON perf trajectory file.
                 jem bench sketch [--out BENCH_sketch.json]

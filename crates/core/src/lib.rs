@@ -43,7 +43,8 @@ pub use distributed::{run_distributed, DistributedOutcome, StepBreakdown};
 pub use mapper::{JemMapper, MapScratch, Mapping};
 pub use parallel::{map_reads_parallel, map_reads_parallel_with};
 pub use persist::{
-    load_index, load_index_path, load_index_path_with, save_index, save_index_v3, Integrity,
+    load_index, load_index_path, load_index_path_opts, load_index_path_with, save_index,
+    save_index_v3, Integrity,
 };
 pub use report::{mapping_pairs, write_mappings_tsv, write_mappings_tsv_named};
 pub use resilient::{run_distributed_resilient, ResilienceError, ResilienceOptions};

@@ -314,6 +314,23 @@ pub fn load_index_path_with(
     path: impl AsRef<Path>,
     integrity: Integrity,
 ) -> Result<JemMapper, SeqError> {
+    load_index_path_opts(path, integrity, false)
+}
+
+/// [`load_index_path_with`] plus a readahead choice: with `prefault` set,
+/// a v4 mapping is opened through [`MmapWords::map_with`] — the kernel is
+/// advised the whole file will be needed and every page is touched at load
+/// time, so a freshly started `jem serve --prefault` pays its page faults
+/// before the first query instead of during it. Purely advisory: the
+/// loaded mapper is identical either way, and the flag is a no-op for v3
+/// files and the owned-read fallback (both are fully resident already).
+/// Adds `persist.load_prefault` to the load-path metrics when the eager
+/// mmap path is taken.
+pub fn load_index_path_opts(
+    path: impl AsRef<Path>,
+    integrity: Integrity,
+    prefault: bool,
+) -> Result<JemMapper, SeqError> {
     let rec = jem_obs::recorder();
     let _span = jem_obs::Span::enter(rec, "persist/load");
     let mut file = File::open(path.as_ref())?;
@@ -354,9 +371,12 @@ pub fn load_index_path_with(
                 file_len
             )));
         }
-        match MmapWords::map(&file) {
+        match MmapWords::map_with(&file, prefault) {
             Ok(map) => {
                 rec.add("persist.load_mmap", 1);
+                if prefault {
+                    rec.add("persist.load_prefault", 1);
+                }
                 rec.add("persist.arena_copy_bytes", 0);
                 parse_v4(Arc::new(MappedWords(map)), integrity)
             }
@@ -696,6 +716,32 @@ mod tests {
         save_index(&mut again, &loaded).unwrap();
         assert_eq!(again, std::fs::read(&path).unwrap());
         drop(loaded);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn prefault_load_is_equivalent_to_lazy_load() {
+        let (mapper, subjects) = build();
+        let path = temp_path("prefault");
+        let mut f = File::create(&path).unwrap();
+        save_index(&mut f, &mapper).unwrap();
+        drop(f);
+        let eager = load_index_path_opts(&path, Integrity::Full, true).unwrap();
+        let lazy = load_index_path(&path).unwrap();
+        assert_eq!(eager.table().backing(), lazy.table().backing());
+        let query = subjects[1].seq[..250.min(subjects[1].seq.len())].to_vec();
+        let mut c1 = eager.new_counter();
+        let mut c2 = lazy.new_counter();
+        assert_eq!(
+            eager.map_segment(&query, 0, &mut c1),
+            lazy.map_segment(&query, 0, &mut c2)
+        );
+        // The prefaulted mapper re-serializes to the same bytes too.
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        save_index(&mut a, &eager).unwrap();
+        save_index(&mut b, &lazy).unwrap();
+        assert_eq!(a, b);
+        drop((eager, lazy));
         std::fs::remove_file(&path).unwrap();
     }
 

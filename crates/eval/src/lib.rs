@@ -10,6 +10,9 @@
 //!   alignment with identity accounting — the BLAST substitute behind the
 //!   percent-identity distribution of Fig. 9.
 //! * [`identity`] — percent-identity histograms over mapped pairs.
+//! * [`paf`] — PAF parsing plus the coordinate-level accuracy metric for
+//!   stage-2 placements (right contig *and* right position, within a
+//!   tolerance, against simulated truth intervals).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,8 +21,10 @@ pub mod align;
 pub mod bench;
 pub mod identity;
 pub mod metrics;
+pub mod paf;
 
 pub use align::{align_fitting, align_global, align_local, banded_global, AlignmentResult};
 pub use bench::Benchmark;
 pub use identity::{percent_identity, IdentityHistogram};
 pub use metrics::MappingMetrics;
+pub use paf::{parse_paf, PafAccuracy, PafRecord};

@@ -1,0 +1,429 @@
+//! PAF parsing and coordinate-level accuracy against simulated truth.
+//!
+//! Stage-2 refinement (`jem map --paf`) claims *positions*, not just
+//! subjects, so the Fig. 4 benchmark is extended with a placement check:
+//! a PAF record is **correct** when its target contig is a true subject of
+//! the query (interval intersection ≥ `k`, exactly as [`Benchmark`]) *and*
+//! the placement, projected back onto reference-genome coordinates through
+//! the contig's own truth interval, starts within `tolerance` bases of the
+//! query segment's true start. The projection subtracts the unaligned
+//! query clip (head on `+`, tail on `-`), so partial chains and
+//! reverse-strand reads are scored on the same footing.
+//!
+//! Only the 12 mandatory PAF columns are read; typed tags are ignored, so
+//! the metric applies to minimap2-style output as well as `jem`'s own.
+
+use crate::bench::Benchmark;
+use std::collections::{HashMap, HashSet};
+
+/// One parsed PAF record — the 12 mandatory columns, tags dropped.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PafRecord {
+    /// Query name (column 1) — `jem`'s are `<read_id>/<prefix|suffix>`,
+    /// the truth table's `Q` keys.
+    pub qname: String,
+    /// Query length (column 2).
+    pub q_len: u64,
+    /// Query start, 0-based (column 3).
+    pub q_start: u64,
+    /// Query end, exclusive (column 4).
+    pub q_end: u64,
+    /// `true` when strand column 5 is `-`.
+    pub reverse: bool,
+    /// Target name (column 6).
+    pub tname: String,
+    /// Target length (column 7).
+    pub t_len: u64,
+    /// Target start (column 8).
+    pub t_start: u64,
+    /// Target end, exclusive (column 9).
+    pub t_end: u64,
+    /// Residue matches (column 10).
+    pub matches: u64,
+    /// Alignment block length (column 11).
+    pub block: u64,
+    /// Mapping quality (column 12), 255 = missing.
+    pub mapq: u8,
+}
+
+impl PafRecord {
+    /// Parse one PAF line. Errors (never panics) on fewer than 12 columns,
+    /// non-numeric coordinate fields, a strand other than `+`/`-`, or
+    /// structurally impossible intervals (`start > end`, `end > length`,
+    /// `matches > block`, `mapq > 255`).
+    pub fn parse(line: &str) -> Result<PafRecord, String> {
+        let cols: Vec<&str> = line.split('\t').collect();
+        if cols.len() < 12 {
+            return Err(format!(
+                "expected at least 12 tab-separated columns, got {}",
+                cols.len()
+            ));
+        }
+        let num = |i: usize| -> Result<u64, String> {
+            cols[i]
+                .parse()
+                .map_err(|_| format!("column {} is not an integer: {:?}", i + 1, cols[i]))
+        };
+        let reverse = match cols[4] {
+            "+" => false,
+            "-" => true,
+            other => return Err(format!("strand column must be + or -, got {other:?}")),
+        };
+        let mapq = num(11)?;
+        if mapq > 255 {
+            return Err(format!("mapq {mapq} out of range (0..=255)"));
+        }
+        let rec = PafRecord {
+            qname: cols[0].to_string(),
+            q_len: num(1)?,
+            q_start: num(2)?,
+            q_end: num(3)?,
+            reverse,
+            tname: cols[5].to_string(),
+            t_len: num(6)?,
+            t_start: num(7)?,
+            t_end: num(8)?,
+            matches: num(9)?,
+            block: num(10)?,
+            mapq: mapq as u8,
+        };
+        if rec.q_start > rec.q_end || rec.q_end > rec.q_len {
+            return Err(format!(
+                "query interval {}..{} invalid for length {}",
+                rec.q_start, rec.q_end, rec.q_len
+            ));
+        }
+        if rec.t_start > rec.t_end || rec.t_end > rec.t_len {
+            return Err(format!(
+                "target interval {}..{} invalid for length {}",
+                rec.t_start, rec.t_end, rec.t_len
+            ));
+        }
+        if rec.matches > rec.block {
+            return Err(format!(
+                "matches {} exceed block length {}",
+                rec.matches, rec.block
+            ));
+        }
+        Ok(rec)
+    }
+
+    /// Reference-genome start of the *whole* query segment implied by this
+    /// placement, given the genome start of the target contig. The clip of
+    /// unaligned query bases before the chain (head on `+`, tail on `-`)
+    /// is projected left of the target start.
+    pub fn projected_segment_start(&self, subject_start: u64) -> u64 {
+        let clip = if self.reverse {
+            self.q_len - self.q_end
+        } else {
+            self.q_start
+        };
+        (subject_start + self.t_start).saturating_sub(clip)
+    }
+}
+
+/// Parse a whole PAF text (one record per line, blank lines skipped).
+/// Errors name the 1-based line number.
+pub fn parse_paf(text: &str) -> Result<Vec<PafRecord>, String> {
+    let mut out = Vec::new();
+    for (no, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(PafRecord::parse(line).map_err(|e| format!("PAF line {}: {e}", no + 1))?);
+    }
+    Ok(out)
+}
+
+/// Coordinate-level classification of a PAF run against simulated truth.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PafAccuracy {
+    /// Records evaluated.
+    pub records: usize,
+    /// True subject *and* projected start within tolerance.
+    pub correct: usize,
+    /// Target contig is not a true subject of the query.
+    pub wrong_contig: usize,
+    /// Right contig, but the projected start misses by more than the
+    /// tolerance.
+    pub wrong_position: usize,
+    /// Query name absent from the truth table.
+    pub unknown_query: usize,
+    /// Mappable truth queries with no PAF record at all.
+    pub missed: usize,
+    /// Sum of absolute start offsets over the `correct` records.
+    pub total_offset: u64,
+}
+
+impl PafAccuracy {
+    /// Classify `records` against truth coordinate intervals (`queries`
+    /// and `subjects` as in [`Benchmark::from_coordinates`], `k` the
+    /// intersection threshold). `tolerance` is the maximum allowed
+    /// distance, in bases, between the projected and true segment starts.
+    pub fn classify(
+        records: &[PafRecord],
+        queries: &[(String, (u64, u64))],
+        subjects: &[(String, (u64, u64))],
+        k: u64,
+        tolerance: u64,
+    ) -> PafAccuracy {
+        let bench = Benchmark::from_coordinates(queries, subjects, k);
+        let truth_start: HashMap<&str, u64> =
+            queries.iter().map(|(q, (s, _))| (q.as_str(), *s)).collect();
+        let subject_start: HashMap<&str, u64> = subjects
+            .iter()
+            .map(|(s, (start, _))| (s.as_str(), *start))
+            .collect();
+        let mut seen: HashSet<&str> = HashSet::with_capacity(records.len());
+        let mut acc = PafAccuracy {
+            records: records.len(),
+            ..PafAccuracy::default()
+        };
+        for r in records {
+            seen.insert(r.qname.as_str());
+            let Some(&true_start) = truth_start.get(r.qname.as_str()) else {
+                acc.unknown_query += 1;
+                continue;
+            };
+            if !bench.contains(&r.qname, &r.tname) {
+                acc.wrong_contig += 1;
+                continue;
+            }
+            let Some(&ss) = subject_start.get(r.tname.as_str()) else {
+                acc.wrong_contig += 1;
+                continue;
+            };
+            let offset = r.projected_segment_start(ss).abs_diff(true_start);
+            if offset <= tolerance {
+                acc.correct += 1;
+                acc.total_offset += offset;
+            } else {
+                acc.wrong_position += 1;
+            }
+        }
+        acc.missed = bench.queries().filter(|q| !seen.contains(q)).count();
+        acc
+    }
+
+    /// `correct / records`; 0 when no records.
+    pub fn accuracy(&self) -> f64 {
+        if self.records == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.records as f64
+        }
+    }
+
+    /// `correct / (records + missed)` — accuracy that also charges the
+    /// mappable queries the run never placed.
+    pub fn recall(&self) -> f64 {
+        let denom = self.records + self.missed;
+        if denom == 0 {
+            0.0
+        } else {
+            self.correct as f64 / denom as f64
+        }
+    }
+
+    /// Mean absolute start offset of the correct placements (0 when none).
+    pub fn mean_offset(&self) -> f64 {
+        if self.correct == 0 {
+            0.0
+        } else {
+            self.total_offset as f64 / self.correct as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coords(items: &[(&str, u64, u64)]) -> Vec<(String, (u64, u64))> {
+        items
+            .iter()
+            .map(|&(id, s, e)| (id.to_string(), (s, e)))
+            .collect()
+    }
+
+    fn line(
+        qname: &str,
+        q: (u64, u64, u64),
+        strand: char,
+        tname: &str,
+        t: (u64, u64, u64),
+    ) -> String {
+        format!(
+            "{qname}\t{}\t{}\t{}\t{strand}\t{tname}\t{}\t{}\t{}\t100\t200\t60",
+            q.0, q.1, q.2, t.0, t.1, t.2
+        )
+    }
+
+    #[test]
+    fn parses_mandatory_columns_and_ignores_tags() {
+        let rec = PafRecord::parse(
+            "r1/prefix\t1000\t10\t990\t-\tcontig_2\t5000\t100\t1080\t800\t980\t42\ttp:A:P\tcm:i:50",
+        )
+        .unwrap();
+        assert_eq!(rec.qname, "r1/prefix");
+        assert_eq!((rec.q_len, rec.q_start, rec.q_end), (1000, 10, 990));
+        assert!(rec.reverse);
+        assert_eq!(rec.tname, "contig_2");
+        assert_eq!((rec.t_len, rec.t_start, rec.t_end), (5000, 100, 1080));
+        assert_eq!((rec.matches, rec.block, rec.mapq), (800, 980, 42));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(PafRecord::parse("short\tline").is_err());
+        let bad_strand = line("q", (100, 0, 90), '?', "c", (1000, 0, 90));
+        assert!(PafRecord::parse(&bad_strand).is_err());
+        let bad_num = "q\t100\tten\t90\t+\tc\t1000\t0\t90\t50\t90\t60";
+        assert!(PafRecord::parse(bad_num).is_err());
+        // q_end past q_len.
+        let bad_q = line("q", (100, 0, 101), '+', "c", (1000, 0, 90));
+        assert!(PafRecord::parse(&bad_q).is_err());
+        // t_start past t_end.
+        let bad_t = line("q", (100, 0, 90), '+', "c", (1000, 90, 10));
+        assert!(PafRecord::parse(&bad_t).is_err());
+        let bad_mapq = "q\t100\t0\t90\t+\tc\t1000\t0\t90\t50\t90\t300";
+        assert!(PafRecord::parse(bad_mapq).is_err());
+    }
+
+    #[test]
+    fn parse_paf_numbers_errors_and_skips_blanks() {
+        let ok = format!(
+            "{}\n\n{}\n",
+            line("a", (100, 0, 90), '+', "c", (1000, 5, 95)),
+            line("b", (100, 0, 90), '+', "c", (1000, 5, 95))
+        );
+        assert_eq!(parse_paf(&ok).unwrap().len(), 2);
+        let err = parse_paf("good\tbut\tnot\tpaf\n").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn projection_accounts_for_clip_and_strand() {
+        // Forward: 10 unaligned query bases before the chain.
+        let fwd =
+            PafRecord::parse(&line("q", (1000, 10, 990), '+', "c", (5000, 210, 1190))).unwrap();
+        // Contig starts at genome 4_000; chain target start 210; clip 10.
+        assert_eq!(fwd.projected_segment_start(4_000), 4_000 + 210 - 10);
+        // Reverse: the clip is the *tail* of the query (q_len - q_end).
+        let rev =
+            PafRecord::parse(&line("q", (1000, 10, 990), '-', "c", (5000, 210, 1190))).unwrap();
+        assert_eq!(rev.projected_segment_start(4_000), 4_000 + 210 - 10);
+        // Clip larger than the genome prefix saturates at 0.
+        let edge =
+            PafRecord::parse(&line("q", (1000, 500, 990), '+', "c", (5000, 100, 590))).unwrap();
+        assert_eq!(edge.projected_segment_start(0), 0);
+    }
+
+    #[test]
+    fn classify_scores_contig_and_position() {
+        // Genome layout: c1 at 0..5000, c2 at 4500..9000.
+        let subjects = coords(&[("c1", 0, 5_000), ("c2", 4_500, 9_000)]);
+        // q1 truly starts at 1_000 (inside c1); q2 at 6_000 (inside c2).
+        let queries = coords(&[("q1", 1_000, 2_000), ("q2", 6_000, 7_000)]);
+        let records = vec![
+            // Exact placement of q1 on c1.
+            PafRecord::parse(&line(
+                "q1",
+                (1_000, 0, 1_000),
+                '+',
+                "c1",
+                (5_000, 1_000, 2_000),
+            ))
+            .unwrap(),
+            // q2 placed on c2 but 300 bases off.
+            PafRecord::parse(&line(
+                "q2",
+                (1_000, 0, 1_000),
+                '+',
+                "c2",
+                (4_500, 1_800, 2_800),
+            ))
+            .unwrap(),
+        ];
+        let acc = PafAccuracy::classify(&records, &queries, &subjects, 16, 50);
+        assert_eq!(
+            (
+                acc.correct,
+                acc.wrong_contig,
+                acc.wrong_position,
+                acc.missed
+            ),
+            (1, 0, 1, 0)
+        );
+        assert_eq!(acc.total_offset, 0);
+        // A looser tolerance accepts the off-by-300 placement too.
+        let acc = PafAccuracy::classify(&records, &queries, &subjects, 16, 500);
+        assert_eq!(acc.correct, 2);
+        assert_eq!(acc.total_offset, 300);
+        assert!((acc.mean_offset() - 150.0).abs() < 1e-9);
+        assert_eq!(acc.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn classify_charges_wrong_contigs_unknowns_and_misses() {
+        let subjects = coords(&[("c1", 0, 5_000), ("c2", 10_000, 15_000)]);
+        let queries = coords(&[("q1", 1_000, 2_000), ("q2", 11_000, 12_000)]);
+        let records = vec![
+            // q1 placed on the wrong contig.
+            PafRecord::parse(&line(
+                "q1",
+                (1_000, 0, 1_000),
+                '+',
+                "c2",
+                (5_000, 1_000, 2_000),
+            ))
+            .unwrap(),
+            // A query the truth never heard of.
+            PafRecord::parse(&line(
+                "ghost",
+                (1_000, 0, 1_000),
+                '+',
+                "c1",
+                (5_000, 0, 1_000),
+            ))
+            .unwrap(),
+        ];
+        let acc = PafAccuracy::classify(&records, &queries, &subjects, 16, 50);
+        assert_eq!(acc.wrong_contig, 1);
+        assert_eq!(acc.unknown_query, 1);
+        // q2 was never placed.
+        assert_eq!(acc.missed, 1);
+        assert_eq!(acc.correct, 0);
+        assert_eq!(acc.accuracy(), 0.0);
+        assert_eq!(acc.recall(), 0.0);
+    }
+
+    #[test]
+    fn reverse_strand_truth_join_is_strand_agnostic() {
+        // A reverse-strand read still gets genome-forward truth intervals;
+        // the projection must land on the same coordinates.
+        let subjects = coords(&[("c1", 2_000, 8_000)]);
+        let queries = coords(&[("r/prefix", 3_000, 4_000)]);
+        // Chain covers query 20..980 on '-': tail clip 20 projects left.
+        let rec = PafRecord::parse(&line(
+            "r/prefix",
+            (1_000, 20, 980),
+            '-',
+            "c1",
+            (6_000, 1_020, 1_980),
+        ))
+        .unwrap();
+        // Projected: 2_000 + 1_020 - (1_000 - 980) = 3_000. Exact.
+        let acc = PafAccuracy::classify(&[rec], &queries, &subjects, 16, 0);
+        assert_eq!(acc.correct, 1);
+        assert_eq!(acc.total_offset, 0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let acc = PafAccuracy::classify(&[], &[], &[], 16, 50);
+        assert_eq!(acc, PafAccuracy::default());
+        assert_eq!(acc.accuracy(), 0.0);
+        assert_eq!(acc.mean_offset(), 0.0);
+    }
+}

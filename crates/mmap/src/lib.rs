@@ -14,7 +14,13 @@
 //!   index format is specified in words, so this is the natural unit and
 //!   makes the alignment story trivial — `mmap` returns page-aligned
 //!   memory, which is always 8-byte aligned);
-//! * no `libc` dependency: the two syscall wrappers are declared directly.
+//! * no `libc` dependency: the three syscall wrappers are declared
+//!   directly;
+//! * optional readahead: [`MmapWords::map_with`] can advise the kernel the
+//!   whole mapping will be needed (`madvise(MADV_WILLNEED)`) and touch one
+//!   word per page so a served index pays its page faults at load time, not
+//!   on the first query. Purely advisory — the mapped contents are
+//!   identical either way, and an `madvise` failure is ignored.
 //!
 //! On non-Unix targets [`MmapWords::map`] returns
 //! [`std::io::ErrorKind::Unsupported`]; callers fall back to reading the
@@ -56,6 +62,15 @@ impl MmapWords {
     /// empty, its length is not a multiple of 8, or the `mmap` syscall
     /// itself errors.
     pub fn map(file: &File) -> io::Result<MmapWords> {
+        MmapWords::map_with(file, false)
+    }
+
+    /// [`MmapWords::map`] with an explicit readahead choice. With
+    /// `prefault` set, the kernel is advised the whole mapping will be
+    /// needed and every page is touched once, so the faults happen here
+    /// rather than on first access. The mapped words are identical either
+    /// way.
+    pub fn map_with(file: &File, prefault: bool) -> io::Result<MmapWords> {
         let len = file.metadata()?.len();
         if len == 0 {
             return Err(io::Error::new(
@@ -75,9 +90,11 @@ impl MmapWords {
                 "file too large to map on this architecture",
             )
         })?;
-        Ok(MmapWords {
-            inner: imp::Map::new(file, bytes)?,
-        })
+        let inner = imp::Map::new(file, bytes)?;
+        if prefault {
+            inner.prefault();
+        }
+        Ok(MmapWords { inner })
     }
 
     /// The mapped file as little-endian `u64` words.
@@ -116,6 +133,7 @@ mod imp {
 
     const PROT_READ: c_int = 1;
     const MAP_PRIVATE: c_int = 2;
+    const MADV_WILLNEED: c_int = 3;
 
     extern "C" {
         fn mmap(
@@ -129,6 +147,7 @@ mod imp {
             offset: isize,
         ) -> *mut c_void;
         fn munmap(addr: *mut c_void, len: usize) -> c_int;
+        fn madvise(addr: *mut c_void, len: usize, advice: c_int) -> c_int;
     }
 
     pub struct Map {
@@ -172,6 +191,26 @@ mod imp {
             // never written through any alias.
             unsafe { std::slice::from_raw_parts(self.ptr as *const u64, self.bytes / 8) }
         }
+
+        /// Advise the kernel the whole mapping will be needed, then touch
+        /// one word per page. Advisory only: an `madvise` failure (e.g. a
+        /// filesystem without readahead support) is deliberately ignored,
+        /// and the touch loop is plain reads through the safe slice.
+        pub fn prefault(&self) {
+            // SAFETY: `ptr`/`bytes` describe the live mapping created in
+            // `new`; MADV_WILLNEED never alters the mapped contents.
+            unsafe {
+                madvise(self.ptr, self.bytes, MADV_WILLNEED);
+            }
+            let words = self.words();
+            const WORDS_PER_PAGE: usize = 4096 / 8;
+            let mut checksum = 0u64;
+            for i in (0..words.len()).step_by(WORDS_PER_PAGE) {
+                checksum ^= words[i];
+            }
+            // Keep the reads observable so the loop cannot be elided.
+            std::hint::black_box(checksum);
+        }
     }
 
     impl Drop for Map {
@@ -205,6 +244,8 @@ mod imp {
         pub fn words(&self) -> &[u64] {
             &[]
         }
+
+        pub fn prefault(&self) {}
     }
 }
 
@@ -232,6 +273,38 @@ mod tests {
         assert_eq!(map.len(), expect.len());
         assert!(!map.is_empty());
         drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn prefault_mapping_is_byte_identical_to_lazy() {
+        // 100 pages of words, so the touch loop strides several times.
+        let path = temp_path("prefault");
+        let expect: Vec<u64> = (0..51_200u64)
+            .map(|i| i.wrapping_mul(0x2545_F491))
+            .collect();
+        {
+            let mut f = File::create(&path).unwrap();
+            for w in &expect {
+                f.write_all(&w.to_le_bytes()).unwrap();
+            }
+        }
+        let lazy = MmapWords::map(&File::open(&path).unwrap()).unwrap();
+        let eager = MmapWords::map_with(&File::open(&path).unwrap(), true).unwrap();
+        assert_eq!(lazy.words(), eager.words());
+        assert_eq!(eager.words(), expect.as_slice());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn prefault_on_a_single_word_file() {
+        let path = temp_path("prefault-tiny");
+        {
+            let mut f = File::create(&path).unwrap();
+            f.write_all(&7u64.to_le_bytes()).unwrap();
+        }
+        let map = MmapWords::map_with(&File::open(&path).unwrap(), true).unwrap();
+        assert_eq!(map.words(), &[7]);
         std::fs::remove_file(&path).unwrap();
     }
 
