@@ -935,9 +935,27 @@ fn bench_sketch(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
-/// Map a serving-layer failure onto the CLI error taxonomy.
+/// Map a serving-layer failure onto the CLI error taxonomy. Quota
+/// refusals keep their type (and retry hint) so the process exits with
+/// `EX_TEMPFAIL` instead of a generic failure.
 fn serve_err(e: jem_serve::ServeError) -> CliError {
-    CliError::Data(format!("serve: {e}"))
+    match e {
+        jem_serve::ServeError::Throttled { retry_after } => CliError::Throttled { retry_after },
+        other => CliError::Data(format!("serve: {other}")),
+    }
+}
+
+/// Parse the `--quota-rate`/`--quota-burst` pair shared by `jem serve`
+/// and `jem route` into a validated [`jem_serve::QuotaConfig`].
+fn quota_config(args: &Args) -> Result<jem_serve::QuotaConfig, CliError> {
+    let quota = jem_serve::QuotaConfig {
+        rate: args.get_or("quota-rate", 0.0f64)?,
+        burst: args.get_or("quota-burst", 0.0f64)?,
+    };
+    quota
+        .validate()
+        .map_err(|e| CliError::Usage(format!("--quota-rate/--quota-burst: {e}")))?;
+    Ok(quota)
 }
 
 /// Parse a `LO-HI` half-open slot range (for `jem serve --slots`).
@@ -958,11 +976,20 @@ fn parse_slot_range(spec: &str, n_slots: usize) -> Result<std::ops::Range<usize>
 
 /// `jem serve --index index.jem [--addr 127.0.0.1:7878] [--shards 4]
 ///  [--slots LO-HI] [--workers 4] [--queue 64] [--batch 16] [--prefault]
-///  [--metrics FILE] [--straggle-ms 0] [--panic-every 0]` — load a
-///  persisted index into a shard-partitioned resident table and serve
-///  mapping requests until a remote `jem query --shutdown`. The shutdown
-///  drains every admitted request, then the final metrics snapshot is
-///  written to `--metrics`.
+///  [--quota-rate TOKENS/S [--quota-burst N]] [--max-conns 256]
+///  [--max-inflight 32] [--idle-timeout-ms 2000] [--metrics FILE]
+///  [--straggle-ms 0] [--panic-every 0]` — load a persisted index into a
+///  shard-partitioned resident table and serve mapping requests until a
+///  remote `jem query --shutdown`. The shutdown drains every admitted
+///  request, then the final metrics snapshot is written to `--metrics`.
+///
+/// `--quota-rate` turns on per-client admission control (token-bucket,
+/// one token per mapped segment, keyed by `jem query --client-id`);
+/// over-quota v3 clients are answered `Throttled` with a retry hint,
+/// older clients `Busy`. `--max-conns` bounds concurrent connections,
+/// `--max-inflight` bounds queued requests per connection, and
+/// `--idle-timeout-ms` reaps connections that go quiet mid-handshake
+/// (slow-loris defense).
 ///
 /// `--slots LO-HI` makes this process one shard of a router topology: it
 /// keeps only the sketch entries hashing into that slice of the
@@ -986,6 +1013,14 @@ pub fn cmd_serve(args: &Args) -> Result<(), CliError> {
         batch: positive_count(args, "batch", 16)?,
         straggle_ms: args.get_or("straggle-ms", 0u64)?,
         panic_every: args.get_or("panic-every", 0u64)?,
+        quota: quota_config(args)?,
+        max_conns: positive_count(args, "max-conns", 256)?,
+        max_inflight: positive_count(args, "max-inflight", 32)?,
+        idle_timeout: std::time::Duration::from_millis(positive_count(
+            args,
+            "idle-timeout-ms",
+            2_000,
+        )? as u64),
         ..Default::default()
     };
     // `--prefault` advises the kernel the whole v4 mapping will be needed
@@ -1022,6 +1057,8 @@ pub fn cmd_serve(args: &Args) -> Result<(), CliError> {
 /// `jem route --topology "LO-HI@ADDR[,REPLICA];..." [--addr 127.0.0.1:7979]
 ///  [--epoch 0] [--hedge-ms 50] [--breaker-failures 3]
 ///  [--breaker-cooldown-ms 250] [--deadline MS] [--io-timeout-ms 10000]
+///  [--quota-rate TOKENS/S [--quota-burst N]] [--max-inflight 256]
+///  [--idle-timeout-ms 2000] [--pool-idle 4] [--pool-age-ms 1500]
 ///  [--metrics FILE] [--snapshot FILE]` — front a set of `jem serve
 ///  --slots` shard processes with a scatter-gather router: full answers
 ///  are byte-identical to a single-process `jem serve`; when shards are
@@ -1030,8 +1067,14 @@ pub fn cmd_serve(args: &Args) -> Result<(), CliError> {
 ///
 /// `--hedge-ms 0` disables hedged retries; `--deadline MS` caps every
 /// query's budget router-side (the remaining budget is forwarded to the
-/// shards). Runs until `jem query --addr <router> --shutdown`; the final
-/// metrics go to `--metrics` and a topology + breaker-state report to
+/// shards). `--quota-rate` turns on per-client admission control at the
+/// router's front door and `--max-inflight` caps concurrently dispatched
+/// queries. Shard fetches reuse pooled keep-alive connections:
+/// `--pool-idle` bounds the idle set per shard endpoint (0 disables
+/// reuse) and `--pool-age-ms` retires a socket before the shard's own
+/// idle reaper would (keep it below the shards' `--idle-timeout-ms`).
+/// Runs until `jem query --addr <router> --shutdown`; the final metrics
+/// go to `--metrics` and a topology + breaker-state report to
 /// `--snapshot` (both written atomically).
 pub fn cmd_route(args: &Args) -> Result<(), CliError> {
     let topology = args.req("topology")?;
@@ -1054,6 +1097,17 @@ pub fn cmd_route(args: &Args) -> Result<(), CliError> {
             std::time::Duration::from_millis(cooldown_ms),
         ),
         deadline: (deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms)),
+        quota: quota_config(args)?,
+        max_inflight: positive_count(args, "max-inflight", 256)?,
+        idle_timeout: std::time::Duration::from_millis(positive_count(
+            args,
+            "idle-timeout-ms",
+            2_000,
+        )? as u64),
+        pool_max_idle: args.get_or("pool-idle", 4usize)?,
+        pool_max_age: std::time::Duration::from_millis(
+            positive_count(args, "pool-age-ms", 1_500)? as u64
+        ),
     };
     let (n_shards, n_slots) = (registry.len(), registry.n_slots());
     let handle = jem_serve::start_router(registry, addr, &config).map_err(serve_err)?;
@@ -1082,8 +1136,9 @@ pub fn cmd_route(args: &Args) -> Result<(), CliError> {
 }
 
 /// `jem query --addr HOST:PORT (--queries reads.fq | --queries - | --ping |
-///  --shutdown | --reload FILE) [--chunk 64] [--deadline MS] [--out FILE]
-///  [--paf FILE --subjects contigs.fa] [--via-router [--allow-degraded]]`
+///  --shutdown | --reload FILE) [--client-id NAME] [--chunk 64]
+///  [--deadline MS] [--out FILE] [--paf FILE --subjects contigs.fa]
+///  [--via-router [--allow-degraded]]`
 ///  — map reads through a running `jem serve`. The index parameters
 ///  (segment length, subject names, trial count) come from the server's
 ///  `Info` response, so the rendered TSV is byte-identical to an offline
@@ -1091,6 +1146,11 @@ pub fn cmd_route(args: &Args) -> Result<(), CliError> {
 ///  hot-swap its resident index (the path is resolved on the *server's*
 ///  filesystem); `--deadline MS` attaches a queue deadline to each mapping
 ///  request so an overloaded server sheds it instead of serving it late.
+///
+/// `--client-id NAME` identifies this invocation to quota-enforcing
+/// servers (requests ride a v3 tagged envelope); an over-quota reply is a
+/// typed `Throttled` whose retry hint the built-in retries honor, and an
+/// exhausted retry budget exits 75 (`EX_TEMPFAIL`) rather than 1.
 ///
 /// `--via-router` declares that `--addr` points at a `jem route` front-end;
 /// with `--allow-degraded` on top, queries accept partial answers when
@@ -1109,6 +1169,16 @@ pub fn cmd_query(args: &Args) -> Result<(), CliError> {
         ));
     }
     let mut client = jem_serve::Client::new(addr);
+    if let Some(id) = args.get("client-id") {
+        if id.len() > jem_serve::MAX_CLIENT_ID {
+            return Err(CliError::Usage(format!(
+                "--client-id must be at most {} bytes, got {}",
+                jem_serve::MAX_CLIENT_ID,
+                id.len()
+            )));
+        }
+        client = client.with_client_id(id);
+    }
     if args.has("ping") {
         client.ping().map_err(serve_err)?;
         eprintln!("pong from {addr}");

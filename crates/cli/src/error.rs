@@ -29,6 +29,13 @@ pub enum CliError {
     /// Inputs parse individually but are semantically inconsistent (e.g. a
     /// mapping TSV referencing an unknown contig).
     Data(String),
+    /// The server refused the request under per-client admission control.
+    /// Distinct from transient `Busy` failures: the server named a wait,
+    /// and retrying sooner is guaranteed to be refused again.
+    Throttled {
+        /// How long the server said to wait before retrying.
+        retry_after: std::time::Duration,
+    },
     /// The resilient distributed run could not complete.
     Resilience(ResilienceError),
 }
@@ -51,10 +58,13 @@ impl CliError {
     }
 
     /// Process exit code for this failure: 2 for usage errors (like
-    /// conventional Unix tools), 1 for everything else.
+    /// conventional Unix tools), 75 (`EX_TEMPFAIL`) for quota throttling
+    /// — scripts can branch on it and honor the retry hint — and 1 for
+    /// everything else.
     pub fn exit_code(&self) -> i32 {
         match self {
             CliError::Usage(_) => 2,
+            CliError::Throttled { .. } => 75,
             _ => 1,
         }
     }
@@ -67,6 +77,11 @@ impl fmt::Display for CliError {
             CliError::Io { path, source } => write!(f, "{path}: {source}"),
             CliError::Format { path, source } => write!(f, "{path}: {source}"),
             CliError::Data(msg) => write!(f, "{msg}"),
+            CliError::Throttled { retry_after } => write!(
+                f,
+                "server throttled this client: retry after {}ms",
+                retry_after.as_millis()
+            ),
             CliError::Resilience(e) => write!(f, "{e}"),
         }
     }
@@ -112,6 +127,9 @@ mod tests {
                 },
             },
             CliError::Data("mapping references unknown contig \"c9\"".into()),
+            CliError::Throttled {
+                retry_after: std::time::Duration::from_millis(250),
+            },
         ];
         for e in errs {
             let s = e.to_string();
@@ -124,6 +142,11 @@ mod tests {
     fn exit_codes() {
         assert_eq!(CliError::Usage("x".into()).exit_code(), 2);
         assert_eq!(CliError::Data("x".into()).exit_code(), 1);
+        let throttled = CliError::Throttled {
+            retry_after: std::time::Duration::from_millis(100),
+        };
+        assert_eq!(throttled.exit_code(), 75, "EX_TEMPFAIL for quota refusals");
+        assert!(throttled.to_string().contains("100ms"));
     }
 
     #[test]

@@ -46,20 +46,31 @@ COMMANDS:
                 as one shard of a `jem route` topology]
                 [--workers 4] [--queue 64] [--batch 16] [--metrics FILE]
                 [--prefault  touch every index page at load time]
+                [--quota-rate T/S  per-client admission quota, 0 = off]
+                [--quota-burst N] [--max-conns 256] [--max-inflight 32]
+                [--idle-timeout-ms 2000  reap idle/half-open conns]
                 [--straggle-ms 0  slow every batch, for deadline testing]
                 [--panic-every 0  panic every Nth index pass, chaos only]
   route       scatter-gather front-end over `jem serve --slots` shards:
-              hedged retries, per-shard circuit breakers, degraded
-              answers naming missing shards (DESIGN.md §13)
+              pooled shard connections, hedged retries, per-shard circuit
+              breakers, per-client admission quotas, degraded answers
+              naming missing shards (DESIGN.md §13, §16)
                 --topology 'LO-HI@ADDR[,REPLICA];...' [--addr
                 127.0.0.1:7979] [--epoch 0] [--hedge-ms 50  0 = off]
                 [--breaker-failures 3] [--breaker-cooldown-ms 250]
-                [--deadline MS] [--io-timeout-ms 10000] [--metrics FILE]
+                [--deadline MS] [--io-timeout-ms 10000]
+                [--quota-rate T/S  0 = off] [--quota-burst N]
+                [--max-inflight 256] [--idle-timeout-ms 2000]
+                [--pool-idle 4  idle conns kept per shard, 0 = off]
+                [--pool-age-ms 1500  retire pooled conns older than this]
+                [--metrics FILE]
                 [--snapshot FILE  topology + breaker-state report]
   query       map reads through a running `jem serve` or `jem route`
               (TSV as for map)
                 --addr HOST:PORT (--queries FILE|- | --ping | --shutdown
                 | --reload FILE  hot-swap the server's index)
+                [--client-id NAME  identify to quota-enforcing servers;
+                over-quota exits 75 with the server's retry hint]
                 [--chunk 64] [--deadline MS  shed instead of serving late]
                 [--out FILE] [--paf FILE --subjects contigs.fa  refine the
                 served hits to coordinates client-side]

@@ -1,0 +1,275 @@
+//! Per-client admission control: token-bucket quotas keyed by the client
+//! identity carried in a [`Request::Tagged`] envelope.
+//!
+//! [`Request::Tagged`]: crate::Request::Tagged
+//!
+//! The serving tier already has two overload defenses — the bounded queue
+//! (`Busy`) and per-request deadlines (`Expired`) — but both are *global*:
+//! one greedy client fills the queue and every client sees `Busy`.
+//! Admission control makes the rejection *per client*: each identity owns
+//! a token bucket refilled at a configured rate, a mapping request costs
+//! one token per segment, and a client whose bucket is dry is answered
+//! [`Throttled`] with a computed `retry_after` hint while everyone else's
+//! requests sail through untouched.
+//!
+//! [`Throttled`]: crate::Response::Throttled
+//!
+//! Design constraints, in the spirit of the rest of the crate:
+//!
+//! * **Bounded memory.** Client ids come off the wire, so the bucket map
+//!   is capped; once `max_clients` distinct ids are tracked, unseen ids
+//!   share the anonymous bucket (key `""`) rather than growing the map.
+//!   An attacker rotating ids gains nothing: the rotations pool into one
+//!   bucket and throttle collectively.
+//! * **No background threads.** Buckets refill lazily on access from the
+//!   elapsed wall time — the same trick as the lazy hit counters.
+//! * **Quotas off by default.** A rate of `0.0` disables admission checks
+//!   entirely, so existing deployments (and the existing test suites)
+//!   never see a `Throttled` unless they opt in.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Per-client quota knobs. `rate == 0.0` means admission control is off.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QuotaConfig {
+    /// Tokens refilled per second, per client. One mapped segment costs
+    /// one token (a request costs at least one).
+    pub rate: f64,
+    /// Bucket capacity — the burst a client may spend instantly. `0.0`
+    /// defaults to four seconds' worth of refill (at least one token).
+    pub burst: f64,
+}
+
+impl Default for QuotaConfig {
+    fn default() -> Self {
+        QuotaConfig {
+            rate: 0.0,
+            burst: 0.0,
+        }
+    }
+}
+
+impl QuotaConfig {
+    /// Is admission control enabled at all?
+    pub fn enabled(&self) -> bool {
+        self.rate > 0.0
+    }
+
+    /// The effective bucket capacity.
+    pub fn effective_burst(&self) -> f64 {
+        if self.burst > 0.0 {
+            self.burst
+        } else {
+            (self.rate * 4.0).max(1.0)
+        }
+    }
+
+    /// Reject non-finite or negative knobs before they reach a bucket.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [("rate", self.rate), ("burst", self.burst)] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("quota {name} must be finite and >= 0, got {v}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+struct Bucket {
+    tokens: f64,
+    last: Instant,
+}
+
+/// A bounded map of lazily-refilled token buckets, one per client id.
+/// Shared by the server and router front-ends.
+pub struct AdmissionControl {
+    quota: QuotaConfig,
+    max_clients: usize,
+    buckets: Mutex<HashMap<String, Bucket>>,
+}
+
+/// How many distinct client ids the bucket map tracks before further ids
+/// collapse into the shared anonymous bucket.
+pub const MAX_TRACKED_CLIENTS: usize = 1024;
+
+impl AdmissionControl {
+    /// Build a controller for `quota`. With `quota.rate == 0.0` every
+    /// admission check is a no-op `Ok`.
+    pub fn new(quota: QuotaConfig) -> Self {
+        AdmissionControl {
+            quota,
+            max_clients: MAX_TRACKED_CLIENTS,
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    #[cfg(test)]
+    fn with_max_clients(quota: QuotaConfig, max_clients: usize) -> Self {
+        AdmissionControl {
+            quota,
+            max_clients,
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Is admission control enabled?
+    pub fn enabled(&self) -> bool {
+        self.quota.enabled()
+    }
+
+    /// Charge `cost` tokens to `client` (the anonymous id `""` is a
+    /// client like any other). `Ok` admits the request; `Err(retry_after)`
+    /// rejects it with the wait until the bucket could afford it.
+    pub fn try_admit(&self, client: &str, cost: u64) -> Result<(), Duration> {
+        if !self.quota.enabled() {
+            return Ok(());
+        }
+        let rate = self.quota.rate;
+        let burst = self.quota.effective_burst();
+        // A request larger than the whole bucket clamps to it: it drains
+        // a full bucket rather than starving forever behind a rejection
+        // whose retry hint (time until the bucket could afford it) would
+        // never arrive.
+        let cost = (cost.max(1) as f64).min(burst);
+        let now = Instant::now();
+        let mut buckets = self.buckets.lock().expect("admission lock");
+        // Bound the map: a brand-new id past the cap shares the anonymous
+        // bucket instead of allocating another entry.
+        let key: &str = if buckets.len() >= self.max_clients && !buckets.contains_key(client) {
+            ""
+        } else {
+            client
+        };
+        let bucket = buckets.entry(key.to_string()).or_insert(Bucket {
+            tokens: burst,
+            last: now,
+        });
+        let elapsed = now.saturating_duration_since(bucket.last).as_secs_f64();
+        bucket.tokens = (bucket.tokens + elapsed * rate).min(burst);
+        bucket.last = now;
+        if bucket.tokens >= cost {
+            bucket.tokens -= cost;
+            Ok(())
+        } else {
+            // Never charge a rejected request; just report the deficit
+            // (positive, since the clamped cost is affordable at burst).
+            let deficit = (cost - bucket.tokens).max(0.0);
+            let secs = deficit / rate;
+            // Round up to a whole millisecond so an honest client that
+            // sleeps exactly `retry_after` finds the tokens present.
+            Err(Duration::from_millis((secs * 1000.0).ceil() as u64))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread::sleep;
+
+    fn quota(rate: f64, burst: f64) -> QuotaConfig {
+        QuotaConfig { rate, burst }
+    }
+
+    #[test]
+    fn disabled_quota_admits_everything() {
+        let ac = AdmissionControl::new(QuotaConfig::default());
+        assert!(!ac.enabled());
+        for _ in 0..10_000 {
+            assert!(ac.try_admit("anyone", 1_000_000).is_ok());
+        }
+    }
+
+    #[test]
+    fn burst_then_throttle_with_sane_retry_after() {
+        let ac = AdmissionControl::new(quota(10.0, 5.0));
+        for _ in 0..5 {
+            assert!(ac.try_admit("alice", 1).is_ok());
+        }
+        let wait = ac.try_admit("alice", 1).unwrap_err();
+        // One token at 10/s is 100ms away; allow rounding slack.
+        assert!(wait >= Duration::from_millis(1), "wait = {wait:?}");
+        assert!(wait <= Duration::from_millis(150), "wait = {wait:?}");
+    }
+
+    #[test]
+    fn clients_have_independent_buckets() {
+        let ac = AdmissionControl::new(quota(1.0, 2.0));
+        assert!(ac.try_admit("greedy", 2).is_ok());
+        assert!(ac.try_admit("greedy", 1).is_err());
+        // A different client is unaffected by greedy's empty bucket.
+        assert!(ac.try_admit("polite", 1).is_ok());
+    }
+
+    #[test]
+    fn bucket_refills_over_time() {
+        let ac = AdmissionControl::new(quota(1000.0, 2.0));
+        assert!(ac.try_admit("alice", 2).is_ok());
+        assert!(ac.try_admit("alice", 1).is_err());
+        sleep(Duration::from_millis(20));
+        assert!(ac.try_admit("alice", 1).is_ok());
+    }
+
+    #[test]
+    fn refill_caps_at_burst() {
+        // 1000/s refills to the 3-token burst within the 50ms sleep, but
+        // cannot refill 3 more tokens in the microseconds between the two
+        // back-to-back calls below.
+        let ac = AdmissionControl::new(quota(1000.0, 3.0));
+        assert!(ac.try_admit("alice", 1).is_ok());
+        sleep(Duration::from_millis(50));
+        // However long the idle, the bucket holds at most `burst` tokens.
+        assert!(ac.try_admit("alice", 3).is_ok());
+        assert!(ac.try_admit("alice", 3).is_err());
+    }
+
+    #[test]
+    fn oversized_cost_drains_the_bucket_then_reports_a_real_wait() {
+        let ac = AdmissionControl::new(quota(10.0, 5.0));
+        // A request costing more than the whole bucket clamps to the
+        // burst: a full bucket affords it (and is drained to zero) rather
+        // than rejecting it forever.
+        assert!(ac.try_admit("alice", 1_000).is_ok());
+        // With the bucket empty the retry hint is the time to a *full*
+        // bucket — achievable, never zero.
+        let wait = ac.try_admit("alice", 1_000).unwrap_err();
+        assert!(wait > Duration::ZERO, "wait = {wait:?}");
+        assert!(wait <= Duration::from_millis(600), "wait = {wait:?}");
+    }
+
+    #[test]
+    fn id_rotation_past_the_cap_shares_one_bucket() {
+        let ac = AdmissionControl::with_max_clients(quota(1.0, 1.0), 2);
+        assert!(ac.try_admit("a", 1).is_ok());
+        assert!(ac.try_admit("b", 1).is_ok());
+        // The map is full: ids c and d resolve to the anonymous bucket,
+        // which only affords one token between them.
+        assert!(ac.try_admit("c", 1).is_ok());
+        assert!(ac.try_admit("d", 1).is_err());
+    }
+
+    #[test]
+    fn zero_cost_charges_one_token() {
+        let ac = AdmissionControl::new(quota(1.0, 1.0));
+        assert!(ac.try_admit("alice", 0).is_ok());
+        assert!(ac.try_admit("alice", 0).is_err());
+    }
+
+    #[test]
+    fn config_validation_rejects_nonsense() {
+        assert!(quota(-1.0, 0.0).validate().is_err());
+        assert!(quota(f64::NAN, 0.0).validate().is_err());
+        assert!(quota(1.0, f64::INFINITY).validate().is_err());
+        assert!(quota(0.0, 0.0).validate().is_ok());
+        assert!(quota(100.0, 50.0).validate().is_ok());
+    }
+
+    #[test]
+    fn effective_burst_defaults_scale_with_rate() {
+        assert_eq!(quota(10.0, 0.0).effective_burst(), 40.0);
+        assert_eq!(quota(0.1, 0.0).effective_burst(), 1.0);
+        assert_eq!(quota(10.0, 7.0).effective_burst(), 7.0);
+    }
+}

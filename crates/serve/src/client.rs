@@ -9,6 +9,11 @@
 //! The client speaks the oldest protocol revision each request fits in
 //! ([`Request::wire_version`]): a deadline-free client is byte-identical
 //! on the wire to a pre-`JEMSRV2` build, so it can talk to old servers.
+//! A client with an identity ([`Client::with_client_id`]) wraps every
+//! request in a `JEMSRV3` [`Request::Tagged`] envelope, which keys the
+//! server's per-client admission quota and fair-queue lane — and makes
+//! [`ServeError::Throttled`] (with its server-computed `retry_after`
+//! hint, honored by [`RetryPolicy`] retries) possible in return.
 
 use crate::protocol::{
     fnv1a64, read_frame_versioned, write_frame_versioned, Request, Response, SegmentPartials,
@@ -25,16 +30,19 @@ pub struct Client {
     addr: String,
     timeout: Duration,
     deadline: Option<Duration>,
+    client_id: Option<String>,
 }
 
 impl Client {
     /// Client for the server at `addr` (e.g. `"127.0.0.1:7878"`), with a
-    /// default 30-second I/O timeout and no request deadline.
+    /// default 30-second I/O timeout, no request deadline, and no client
+    /// identity (requests ride the server's anonymous quota lane).
     pub fn new(addr: impl Into<String>) -> Self {
         Client {
             addr: addr.into(),
             timeout: Duration::from_secs(30),
             deadline: None,
+            client_id: None,
         }
     }
 
@@ -64,6 +72,18 @@ impl Client {
         self
     }
 
+    /// Same client carrying a caller-chosen identity: every request is
+    /// wrapped in a `JEMSRV3` [`Request::Tagged`] envelope, keying the
+    /// server's per-client admission quota and fair-queue lane. An empty
+    /// id clears the identity (anonymous again). Identified clients can
+    /// be answered [`ServeError::Throttled`] with a typed `retry_after`
+    /// hint where anonymous over-quota clients just see `Busy`.
+    pub fn with_client_id(mut self, id: impl Into<String>) -> Self {
+        let id = id.into();
+        self.client_id = if id.is_empty() { None } else { Some(id) };
+        self
+    }
+
     /// The server address this client targets.
     pub fn addr(&self) -> &str {
         &self.addr
@@ -86,11 +106,23 @@ impl Client {
     }
 
     /// One request/response exchange on a fresh connection, framed in the
-    /// oldest revision the request fits in.
+    /// oldest revision the request fits in — unless this client carries an
+    /// identity, which upgrades the frame to a `JEMSRV3` tagged envelope.
     fn exchange_once(&self, req: &Request) -> Result<Response, ServeError> {
         let addr = self.addr.to_socket_addrs()?.next().ok_or_else(|| {
             ServeError::protocol(format!("address {:?} resolves to nothing", self.addr))
         })?;
+        let tagged;
+        let req = match &self.client_id {
+            Some(id) => {
+                tagged = Request::Tagged {
+                    client_id: id.clone(),
+                    inner: Box::new(req.clone()),
+                };
+                &tagged
+            }
+            None => req,
+        };
         let mut conn = TcpStream::connect_timeout(&addr, self.timeout)?;
         conn.set_read_timeout(Some(self.timeout))?;
         conn.set_write_timeout(Some(self.timeout))?;
@@ -151,8 +183,14 @@ impl Client {
         self.with_busy_retry(policy, || self.map_segments(segments))
     }
 
-    /// Run `call` with retries on [`ServeError::Busy`] under `policy`. Any
-    /// other outcome (success or a different error) returns immediately.
+    /// Run `call` with retries on [`ServeError::Busy`] and
+    /// [`ServeError::Throttled`] under `policy`. Any other outcome
+    /// (success or a different error) returns immediately. A throttled
+    /// rejection carries the server's own `retry_after` hint, so the pause
+    /// before that retry is at least the hint — sleeping less would just
+    /// be rejected again by the same dry token bucket. On exhaustion the
+    /// *last* typed rejection surfaces, so a caller over quota sees
+    /// `Throttled` (with the hint), not a generic `Busy`.
     fn with_busy_retry<T>(
         &self,
         policy: &RetryPolicy,
@@ -160,23 +198,31 @@ impl Client {
     ) -> Result<T, ServeError> {
         let attempts = policy.attempts.max(1);
         let mut slept = Duration::ZERO;
+        let mut last = ServeError::Busy;
         for attempt in 0..attempts {
             if attempt > 0 {
-                let pause = policy.pause_before(attempt);
+                let mut pause = policy.pause_before(attempt);
+                if let ServeError::Throttled { retry_after } = &last {
+                    pause = pause.max(*retry_after);
+                }
                 if slept + pause > policy.budget {
                     // Budget exhausted: stop retrying rather than sleep
                     // past what the caller was willing to wait.
-                    return Err(ServeError::Busy);
+                    return Err(last);
                 }
                 slept += pause;
                 std::thread::sleep(pause);
             }
             match call() {
-                Err(ServeError::Busy) if attempt + 1 < attempts => continue,
+                Err(e @ (ServeError::Busy | ServeError::Throttled { .. }))
+                    if attempt + 1 < attempts =>
+                {
+                    last = e;
+                }
                 other => return other,
             }
         }
-        Err(ServeError::Busy)
+        Err(last)
     }
 
     /// [`Client::map_segments`] with bounded retries on
@@ -365,9 +411,14 @@ fn splitmix64(seed: u64) -> u64 {
 }
 
 /// Whether re-sending `req` can never make the server act twice. Queries
-/// and probes are pure; `Shutdown` and `Reload` mutate server state.
-fn is_idempotent(req: &Request) -> bool {
-    !matches!(req, Request::Shutdown | Request::Reload { .. })
+/// and probes are pure; `Shutdown` and `Reload` mutate server state. A
+/// tagged envelope is exactly as idempotent as the request it wraps.
+pub(crate) fn is_idempotent(req: &Request) -> bool {
+    match req {
+        Request::Shutdown | Request::Reload { .. } => false,
+        Request::Tagged { inner, .. } => is_idempotent(inner),
+        _ => true,
+    }
 }
 
 /// Whether `e` is a mid-request connection loss a fresh connection can
@@ -384,12 +435,16 @@ fn is_connection_loss(e: &std::io::Error) -> bool {
     )
 }
 
-/// Map an unexpected response onto the matching error.
-fn unexpected(wanted: &str, got: &Response) -> ServeError {
+/// Map an unexpected response onto the matching error. Shared with the
+/// router's pooled fetch path, which speaks the same response vocabulary.
+pub(crate) fn unexpected(wanted: &str, got: &Response) -> ServeError {
     match got {
         Response::Busy => ServeError::Busy,
         Response::Expired => ServeError::Expired,
         Response::ShuttingDown => ServeError::ShuttingDown,
+        Response::Throttled { retry_after_ms } => ServeError::Throttled {
+            retry_after: Duration::from_millis(*retry_after_ms),
+        },
         Response::Error(msg) => ServeError::Remote(msg.clone()),
         other => ServeError::protocol(format!("expected {wanted}, got {other:?}")),
     }
@@ -435,6 +490,12 @@ mod tests {
         assert!(pause <= policy.cap + policy.cap / 2);
     }
 
+    /// The one timeout the reconnect stubs and their clients share: the
+    /// stub's read timeouts derive from what the client under test is
+    /// configured with, not from an unrelated magic constant (a client
+    /// slower than the stub's patience would see spurious failures).
+    const STUB_TIMEOUT: Duration = Duration::from_secs(5);
+
     /// A stub server whose first connection is half-closed after reading
     /// the request (no reply — the client sees `UnexpectedEof`), and whose
     /// later connections are answered with `reply`.
@@ -444,7 +505,7 @@ mod tests {
         let handle = std::thread::spawn(move || {
             // First connection: swallow the request, close without a reply.
             if let Ok((mut conn, _)) = listener.accept() {
-                let _ = conn.set_read_timeout(Some(Duration::from_secs(2)));
+                let _ = conn.set_read_timeout(Some(STUB_TIMEOUT));
                 let _ = read_frame_versioned(&mut conn);
             }
             // Any later connection gets a real reply (at most two matter).
@@ -452,7 +513,7 @@ mod tests {
                 let Ok((mut conn, _)) = listener.accept() else {
                     return;
                 };
-                let _ = conn.set_read_timeout(Some(Duration::from_secs(2)));
+                let _ = conn.set_read_timeout(Some(STUB_TIMEOUT));
                 if read_frame_versioned(&mut conn).is_ok() {
                     let _ = write_frame_versioned(&mut conn, &reply.encode(), reply.wire_version());
                 }
@@ -464,7 +525,7 @@ mod tests {
     #[test]
     fn idempotent_request_reconnects_once_after_half_close() {
         let (addr, server) = half_close_then(Response::Pong);
-        let client = Client::new(addr.clone()).with_timeout(Duration::from_secs(5));
+        let client = Client::new(addr.clone()).with_timeout(STUB_TIMEOUT);
         client
             .ping()
             .expect("one half-close must be absorbed by a transparent reconnect");
@@ -479,7 +540,7 @@ mod tests {
         // second accept would answer ShuttingDown and the call would
         // succeed; the contract is that the io error surfaces instead.
         let (addr, server) = half_close_then(Response::ShuttingDown);
-        let client = Client::new(addr.clone()).with_timeout(Duration::from_secs(5));
+        let client = Client::new(addr.clone()).with_timeout(STUB_TIMEOUT);
         let err = client
             .shutdown_server()
             .expect_err("a half-closed Shutdown must surface, not be re-sent");
@@ -517,6 +578,88 @@ mod tests {
         }));
         assert!(!is_idempotent(&Request::Shutdown));
         assert!(!is_idempotent(&Request::Reload { path: "x".into() }));
+        // The envelope is as idempotent as what it wraps.
+        assert!(is_idempotent(&Request::Tagged {
+            client_id: "c".into(),
+            inner: Box::new(Request::Ping),
+        }));
+        assert!(!is_idempotent(&Request::Tagged {
+            client_id: "c".into(),
+            inner: Box::new(Request::Shutdown),
+        }));
+    }
+
+    #[test]
+    fn throttled_response_maps_to_the_typed_error() {
+        let err = unexpected("Mappings", &Response::Throttled { retry_after_ms: 40 });
+        match err {
+            ServeError::Throttled { retry_after } => {
+                assert_eq!(retry_after, Duration::from_millis(40));
+            }
+            other => panic!("expected Throttled, got {other}"),
+        }
+    }
+
+    #[test]
+    fn an_identified_client_speaks_v3_envelopes_on_the_wire() {
+        use crate::protocol::{ProtocolVersion, MAGIC_V3};
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let _ = conn.set_read_timeout(Some(STUB_TIMEOUT));
+            let (version, body) = read_frame_versioned(&mut conn).unwrap();
+            let req = Request::decode_versioned(&body, version).unwrap();
+            let _ = write_frame_versioned(
+                &mut conn,
+                &Response::Pong.encode(),
+                Response::Pong.wire_version(),
+            );
+            (version, req)
+        });
+        let client = Client::new(addr)
+            .with_timeout(STUB_TIMEOUT)
+            .with_client_id("triage-7");
+        client.ping().unwrap();
+        let (version, req) = server.join().unwrap();
+        assert_eq!(version, ProtocolVersion::V3);
+        assert_eq!(version.magic(), MAGIC_V3);
+        assert_eq!(req.untag(), (Some("triage-7".to_string()), Request::Ping));
+    }
+
+    #[test]
+    fn retry_honors_the_throttle_hint_and_surfaces_the_typed_error() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let client = Client::new("127.0.0.1:1");
+        // The pause before the retry after a Throttled must be at least
+        // the hint, even when the policy's own backoff is smaller.
+        let policy = RetryPolicy::new(2, Duration::from_millis(1));
+        let hint = Duration::from_millis(30);
+        let calls = AtomicUsize::new(0);
+        let started = std::time::Instant::now();
+        let out: Result<(), ServeError> = client.with_busy_retry(&policy, || {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Err(ServeError::Throttled { retry_after: hint })
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+        assert!(
+            started.elapsed() >= hint,
+            "the retry must sleep at least the server's hint"
+        );
+        match out {
+            Err(ServeError::Throttled { retry_after }) => assert_eq!(retry_after, hint),
+            other => panic!("exhaustion must surface the typed Throttled, got {other:?}"),
+        }
+        // A hint beyond the sleep budget stops retrying immediately but
+        // still reports the throttle, not a generic Busy.
+        let stingy =
+            RetryPolicy::new(3, Duration::from_millis(1)).with_budget(Duration::from_millis(5));
+        let out: Result<(), ServeError> = client.with_busy_retry(&stingy, || {
+            Err(ServeError::Throttled {
+                retry_after: Duration::from_secs(60),
+            })
+        });
+        assert!(matches!(out, Err(ServeError::Throttled { .. })));
     }
 
     #[test]

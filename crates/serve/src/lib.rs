@@ -35,6 +35,7 @@
 //! — answers [`Response::Degraded`] naming exactly which ids its answer
 //! lacks, so a partial answer is never mistaken for a full one.
 
+pub mod admission;
 pub mod chaos;
 pub mod client;
 pub mod protocol;
@@ -44,16 +45,18 @@ pub mod router;
 pub mod server;
 pub mod shard;
 
+pub use admission::{AdmissionControl, QuotaConfig};
 pub use chaos::{ChaosAction, ChaosPlan, ChaosProxy};
 pub use client::{Client, RetryPolicy};
 pub use protocol::{
     read_frame, read_frame_versioned, write_frame, write_frame_versioned, ProtocolVersion, Request,
-    Response, SegmentPartials, ServerInfo, MAGIC, MAGIC_V2, MAX_BODY,
+    Response, SegmentPartials, ServerInfo, MAGIC, MAGIC_V2, MAGIC_V3, MAX_BODY, MAX_CLIENT_ID,
 };
-pub use queue::{BoundedQueue, PushError};
+pub use queue::{BoundedQueue, FairQueue, PushError};
 pub use registry::{ShardRegistry, ShardSpec};
 pub use router::{
     merge_partials, start_router, validate_partials, RouterConfig, RouterHandle, RouterReport,
+    ShardConnPool,
 };
 pub use server::{start, ServerConfig, ServerHandle};
 pub use shard::ShardedIndex;
@@ -80,6 +83,15 @@ pub enum ServeError {
     Expired,
     /// The server is shutting down and no longer admits work.
     ShuttingDown,
+    /// This client's admission quota is exhausted. Unlike
+    /// [`ServeError::Busy`] (the *server* is saturated), the server has
+    /// capacity but the caller is over its per-client rate; the hint says
+    /// when its token bucket can afford the retry.
+    Throttled {
+        /// Server-computed wait until the rejected request would be
+        /// admitted.
+        retry_after: std::time::Duration,
+    },
     /// The server answered with an error message.
     Remote(String),
     /// Invalid local configuration (zero workers/queue/batch/shards).
@@ -104,6 +116,11 @@ impl fmt::Display for ServeError {
                 "request deadline expired while queued; the server shed it"
             ),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Throttled { retry_after } => write!(
+                f,
+                "client quota exhausted: retry after {}ms",
+                retry_after.as_millis()
+            ),
             ServeError::Remote(msg) => write!(f, "server error: {msg}"),
             ServeError::Config(msg) => write!(f, "invalid configuration: {msg}"),
         }
@@ -133,6 +150,11 @@ mod tests {
     fn error_display_names_the_failure() {
         assert!(ServeError::Busy.to_string().contains("retry"));
         assert!(ServeError::Expired.to_string().contains("deadline"));
+        let throttled = ServeError::Throttled {
+            retry_after: std::time::Duration::from_millis(250),
+        };
+        assert!(throttled.to_string().contains("250ms"));
+        assert!(throttled.to_string().contains("quota"));
         assert!(ServeError::protocol("bad magic")
             .to_string()
             .contains("bad magic"));

@@ -4,7 +4,7 @@
 //! Frame layout (all integers little-endian; see DESIGN.md §10):
 //!
 //! ```text
-//! magic  b"JEMSRV1\0" | b"JEMSRV2\0"     8 bytes
+//! magic  b"JEMSRV1\0" | b"JEMSRV2\0" | b"JEMSRV3!"     8 bytes
 //! body_len (bytes)        u64   (capped at MAX_BODY)
 //! fnv1a64(body)           u64
 //! body:
@@ -27,6 +27,18 @@
 //!   A client only emits a `JEMSRV2` frame when it actually uses a v2
 //!   feature ([`Request::wire_version`]), so a deadline-free exchange is
 //!   byte-identical to v1.
+//! * **`JEMSRV3`** — adds the [`Request::Tagged`] envelope (an optional
+//!   client identity wrapped around any v1/v2 request, feeding per-client
+//!   admission quotas and fair queueing) and the [`Response::Throttled`]
+//!   rejection carrying a `retry_after` hint. The v3 magic pads with `'!'`
+//!   rather than `'\0'` deliberately: `'1' ^ 0x02 == '3'` and
+//!   `'2' ^ 0x01 == '3'`, so a `\0`-padded v3 magic would be one bit flip
+//!   away from each frozen revision and a single-bit transit error could
+//!   alias revisions undetected (the checksum covers only the body). With
+//!   the `'!'` pad every pair of magics differs in at least two bits. A v3
+//!   frame also signals that the connection may be reused for further
+//!   requests (keep-alive); v1/v2 connections stay one-shot, exactly as
+//!   before.
 //!
 //! The frame checksum follows the persist-v3 convention of
 //! `jem_core::persist`: FNV-1a over the whole body, so any byte-level
@@ -46,6 +58,15 @@ pub const MAGIC: &[u8; 8] = b"JEMSRV1\0";
 /// Frame magic of protocol revision 2 (deadlines, reload).
 pub const MAGIC_V2: &[u8; 8] = b"JEMSRV2\0";
 
+/// Frame magic of protocol revision 3 (client identity, throttling,
+/// connection reuse). Padded with `'!'` so that no single-bit flip can
+/// turn one revision's magic into another's (see the module docs).
+pub const MAGIC_V3: &[u8; 8] = b"JEMSRV3!";
+
+/// Longest client id a [`Request::Tagged`] envelope may carry. Ids feed a
+/// bounded per-client bucket map, so the bound is hygiene, not capacity.
+pub const MAX_CLIENT_ID: usize = 128;
+
 /// Deadline word meaning "no deadline" in a v2 `Map` body.
 const NO_DEADLINE: u64 = u64::MAX;
 
@@ -62,6 +83,8 @@ pub enum ProtocolVersion {
     V1,
     /// `JEMSRV2`: optional `Map` deadline, `Reload`, `Expired`, `Reloaded`.
     V2,
+    /// `JEMSRV3`: client identity (`Tagged`), `Throttled`, keep-alive.
+    V3,
 }
 
 impl ProtocolVersion {
@@ -70,6 +93,7 @@ impl ProtocolVersion {
         match self {
             ProtocolVersion::V1 => MAGIC,
             ProtocolVersion::V2 => MAGIC_V2,
+            ProtocolVersion::V3 => MAGIC_V3,
         }
     }
 }
@@ -134,6 +158,30 @@ pub enum Request {
         /// Same semantics as [`Request::Map::deadline_ms`].
         deadline_ms: Option<u64>,
     },
+    /// A client-identity envelope around any v1/v2 request (v3 only).
+    /// The id keys per-client admission quotas and fair-queue lanes;
+    /// untagged requests share an anonymous lane. Wrapping an envelope in
+    /// another envelope is a protocol error, as is an empty or oversized
+    /// id. Because the identity rides in a *wrapper* rather than in new
+    /// fields on existing variants, every v1/v2 body layout — and every
+    /// pre-v3 decoder — is untouched.
+    Tagged {
+        /// Caller-chosen identity, at most [`MAX_CLIENT_ID`] bytes.
+        client_id: String,
+        /// The request being made on that client's behalf.
+        inner: Box<Request>,
+    },
+}
+
+impl Request {
+    /// Split off the optional [`Request::Tagged`] envelope: the client id
+    /// (if any) and the request proper.
+    pub fn untag(self) -> (Option<String>, Request) {
+        match self {
+            Request::Tagged { client_id, inner } => (Some(client_id), *inner),
+            other => (None, other),
+        }
+    }
 }
 
 /// A server-to-client message.
@@ -175,6 +223,16 @@ pub enum Response {
         /// Registry ids of the shards missing from the merge (sorted,
         /// deduplicated, never empty).
         missing: Vec<u32>,
+    },
+    /// The client's admission quota is exhausted (v3 only — only a
+    /// [`Request::Tagged`] peer can receive it; pre-v3 and anonymous peers
+    /// get [`Response::Busy`] instead). Distinct from `Busy`: the server
+    /// has capacity, but *this client* is over its rate, and the hint says
+    /// when its bucket will afford the retry.
+    Throttled {
+        /// Milliseconds until the client's token bucket can afford the
+        /// rejected request.
+        retry_after_ms: u64,
     },
 }
 
@@ -227,6 +285,7 @@ const REQ_SHUTDOWN: u64 = 3;
 const REQ_RELOAD: u64 = 4;
 const REQ_MAP_PARTIAL: u64 = 5;
 const REQ_MAP_DEGRADED: u64 = 6;
+const REQ_TAGGED: u64 = 7;
 
 const RESP_PONG: u64 = 0;
 const RESP_INFO: u64 = 1;
@@ -238,6 +297,7 @@ const RESP_EXPIRED: u64 = 6;
 const RESP_RELOADED: u64 = 7;
 const RESP_PARTIALS: u64 = 8;
 const RESP_DEGRADED: u64 = 9;
+const RESP_THROTTLED: u64 = 10;
 
 // --- body primitives ----------------------------------------------------
 
@@ -387,6 +447,7 @@ impl Request {
     /// revision's body layout, so encoders and the wire magic agree.
     pub fn wire_version(&self) -> ProtocolVersion {
         match self {
+            Request::Tagged { .. } => ProtocolVersion::V3,
             Request::Reload { .. } => ProtocolVersion::V2,
             Request::MapPartial { .. } | Request::MapDegraded { .. } => ProtocolVersion::V2,
             Request::Map {
@@ -443,6 +504,22 @@ impl Request {
                 );
                 put_segments(&mut body, segments);
             }
+            Request::Tagged { client_id, inner } => {
+                // The inner request is nested as an opaque sub-body in its
+                // *own* revision's layout (named by the version word), so
+                // the envelope reuses the frozen v1/v2 encoders verbatim.
+                put_u64(&mut body, REQ_TAGGED);
+                let inner_version = match inner.wire_version() {
+                    ProtocolVersion::V1 => 1,
+                    ProtocolVersion::V2 => 2,
+                    // Nested envelopes never encode; decode rejects them
+                    // too, so the wire format stays one level deep.
+                    ProtocolVersion::V3 => 3,
+                };
+                put_u64(&mut body, inner_version);
+                put_bytes(&mut body, client_id.as_bytes());
+                put_bytes(&mut body, &inner.encode());
+            }
         }
         body
     }
@@ -470,7 +547,7 @@ impl Request {
             REQ_MAP => {
                 let deadline_ms = match version {
                     ProtocolVersion::V1 => None,
-                    ProtocolVersion::V2 => match c.u64()? {
+                    ProtocolVersion::V2 | ProtocolVersion::V3 => match c.u64()? {
                         NO_DEADLINE => None,
                         ms => Some(ms),
                     },
@@ -502,6 +579,38 @@ impl Request {
                     }
                 }
             }
+            REQ_TAGGED => {
+                if version != ProtocolVersion::V3 {
+                    return Err(ServeError::protocol("unknown request tag 7"));
+                }
+                let inner_version = match c.u64()? {
+                    1 => ProtocolVersion::V1,
+                    2 => ProtocolVersion::V2,
+                    other => {
+                        return Err(ServeError::protocol(format!(
+                            "tagged envelope names unsupported inner revision {other}"
+                        )))
+                    }
+                };
+                let client_id = c.string()?;
+                if client_id.is_empty() {
+                    return Err(ServeError::protocol("empty client id in tagged envelope"));
+                }
+                if client_id.len() > MAX_CLIENT_ID {
+                    return Err(ServeError::protocol(format!(
+                        "client id of {} bytes exceeds the {MAX_CLIENT_ID}-byte bound",
+                        client_id.len()
+                    )));
+                }
+                // Inner revision is pinned to 1|2 above, so a nested
+                // envelope (tag 7 under v1/v2) fails right here — the
+                // format is one level deep by construction.
+                let inner = Request::decode_versioned(c.bytes()?, inner_version)?;
+                Request::Tagged {
+                    client_id,
+                    inner: Box::new(inner),
+                }
+            }
             other => return Err(ServeError::protocol(format!("unknown request tag {other}"))),
         };
         c.finish()?;
@@ -515,6 +624,7 @@ impl Response {
     /// everything else stays v1 so old clients decode it unchanged.
     pub fn wire_version(&self) -> ProtocolVersion {
         match self {
+            Response::Throttled { .. } => ProtocolVersion::V3,
             Response::Expired
             | Response::Reloaded(_)
             | Response::Partials(_)
@@ -538,6 +648,10 @@ impl Response {
             Response::Reloaded(msg) => {
                 put_u64(&mut body, RESP_RELOADED);
                 put_bytes(&mut body, msg.as_bytes());
+            }
+            Response::Throttled { retry_after_ms } => {
+                put_u64(&mut body, RESP_THROTTLED);
+                put_u64(&mut body, *retry_after_ms);
             }
             Response::Mappings(mappings) => {
                 put_u64(&mut body, RESP_MAPPINGS);
@@ -607,6 +721,9 @@ impl Response {
             RESP_EXPIRED => Response::Expired,
             RESP_ERROR => Response::Error(c.string()?),
             RESP_RELOADED => Response::Reloaded(c.string()?),
+            RESP_THROTTLED => Response::Throttled {
+                retry_after_ms: c.u64()?,
+            },
             RESP_MAPPINGS => Response::Mappings(read_mappings(&mut c, body.len())?),
             RESP_PARTIALS => {
                 let n = c.usize()?;
@@ -731,6 +848,8 @@ pub fn read_frame_versioned<R: Read>(
         ProtocolVersion::V1
     } else if &header[..8] == MAGIC_V2 {
         ProtocolVersion::V2
+    } else if &header[..8] == MAGIC_V3 {
+        ProtocolVersion::V3
     } else {
         return Err(ServeError::protocol("bad frame magic"));
     };
@@ -972,5 +1091,129 @@ mod tests {
         let mut body = Request::Ping.encode();
         body.push(0);
         assert!(Request::decode(&body).is_err());
+    }
+
+    // --- v3: tagged envelopes, throttling -------------------------------
+
+    fn tagged(client_id: &str, inner: Request) -> Request {
+        Request::Tagged {
+            client_id: client_id.into(),
+            inner: Box::new(inner),
+        }
+    }
+
+    #[test]
+    fn v3_tagged_requests_roundtrip() {
+        for inner in [
+            Request::Ping,
+            Request::Map {
+                segments: vec![QuerySegment {
+                    read_idx: 4,
+                    end: ReadEnd::Suffix,
+                    seq: b"ACGTACGT".to_vec(),
+                }],
+                deadline_ms: None,
+            },
+            Request::Map {
+                segments: Vec::new(),
+                deadline_ms: Some(250),
+            },
+            Request::MapPartial {
+                segments: vec![QuerySegment {
+                    read_idx: 0,
+                    end: ReadEnd::Prefix,
+                    seq: b"ACGT".to_vec(),
+                }],
+                deadline_ms: Some(99),
+            },
+        ] {
+            roundtrip_request(tagged("alice", inner));
+        }
+        roundtrip_response(Response::Throttled { retry_after_ms: 0 });
+        roundtrip_response(Response::Throttled {
+            retry_after_ms: 1234,
+        });
+    }
+
+    #[test]
+    fn v3_tags_refuse_pre_v3_decode() {
+        let req = tagged("alice", Request::Ping);
+        assert_eq!(req.wire_version(), ProtocolVersion::V3);
+        assert!(Request::decode(&req.encode()).is_err());
+        assert!(Request::decode_versioned(&req.encode(), ProtocolVersion::V2).is_err());
+    }
+
+    #[test]
+    fn nested_and_malformed_envelopes_rejected() {
+        // A nested envelope names inner revision 3, which decode refuses.
+        let nested = tagged("outer", tagged("inner", Request::Ping));
+        assert!(Request::decode_versioned(&nested.encode(), ProtocolVersion::V3).is_err());
+        // Empty and oversized ids are protocol errors, not lane keys.
+        let empty = tagged("", Request::Ping);
+        assert!(Request::decode_versioned(&empty.encode(), ProtocolVersion::V3).is_err());
+        let huge = tagged(&"x".repeat(MAX_CLIENT_ID + 1), Request::Ping);
+        assert!(Request::decode_versioned(&huge.encode(), ProtocolVersion::V3).is_err());
+        let max = tagged(&"x".repeat(MAX_CLIENT_ID), Request::Ping);
+        assert!(Request::decode_versioned(&max.encode(), ProtocolVersion::V3).is_ok());
+    }
+
+    #[test]
+    fn v3_frame_every_byte_flip_detected() {
+        let req = tagged(
+            "greedy-7",
+            Request::Map {
+                segments: vec![QuerySegment {
+                    read_idx: 1,
+                    end: ReadEnd::Prefix,
+                    seq: b"ACGT".to_vec(),
+                }],
+                deadline_ms: Some(25),
+            },
+        );
+        let mut wire = Vec::new();
+        write_frame_versioned(&mut wire, &req.encode(), req.wire_version()).unwrap();
+        for i in 0..wire.len() {
+            let mut bad = wire.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                read_frame_versioned(&mut bad.as_slice()).is_err(),
+                "flip of byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn no_single_bit_flip_aliases_any_two_magics() {
+        // The property the '!' pad buys: every pair of revision magics
+        // differs in at least two bits, so a one-bit transit error on the
+        // (unchecksummed) magic can never silently switch revisions.
+        let magics = [MAGIC, MAGIC_V2, MAGIC_V3];
+        for (i, a) in magics.iter().enumerate() {
+            for b in &magics[i + 1..] {
+                let bits: u32 = a
+                    .iter()
+                    .zip(b.iter())
+                    .map(|(x, y)| (x ^ y).count_ones())
+                    .sum();
+                assert!(bits >= 2, "{a:?} vs {b:?}: {bits} differing bits");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_padded_v3_magic_still_rejected() {
+        // Pinned by garbage_bytes_rejected since before v3 existed: the
+        // naive b"JEMSRV3\0" spelling stays invalid forever.
+        assert!(read_frame(&mut &b"JEMSRV3\0aaaaaaaaaaaaaaaa"[..]).is_err());
+    }
+
+    #[test]
+    fn untag_splits_envelope() {
+        let (id, inner) = tagged("alice", Request::Ping).untag();
+        assert_eq!(id.as_deref(), Some("alice"));
+        assert_eq!(inner, Request::Ping);
+        let (id, inner) = Request::Shutdown.untag();
+        assert!(id.is_none());
+        assert_eq!(inner, Request::Shutdown);
     }
 }

@@ -2,17 +2,32 @@
 //! to independent `jem serve` shard processes and merges their per-trial
 //! collision sets back into the single-process answer.
 //!
-//! Architecture (DESIGN.md §13):
+//! Architecture (DESIGN.md §13, §16):
 //!
 //! * **registry** — a validated [`ShardRegistry`]: slot range + primary
 //!   address (+ optional hedge replica) per shard, exact disjoint cover of
 //!   the slot space. Shard ids are registry indices; they are the ids a
 //!   [`Response::Degraded`] answer names.
+//! * **ingress** — the accept thread only accepts; each connection is
+//!   read on its own handler thread under an idle deadline, so a
+//!   half-open or slow-loris peer is reaped (`router.reaped_idle`)
+//!   instead of pinning admission. Mapping requests pass two gates before
+//!   dispatch: the per-client admission quota ([`AdmissionControl`],
+//!   answering [`Response::Throttled`] to v3 peers and `Busy` to older
+//!   revisions) and a router-wide in-flight cap.
 //! * **scatter** — one thread per shard per query (`std::thread::scope`),
 //!   each asking its shard for [`SegmentPartials`]
 //!   ([`Request::MapPartial`]) with the router's *remaining* deadline
 //!   budget forwarded, so a shard never works past the instant the client
 //!   stopped waiting.
+//! * **pooled connections** — shard fetches go through a
+//!   [`ShardConnPool`]: health-checked keep-alive connections per shard
+//!   endpoint (bounded idle set, age-based reaping, eviction on error),
+//!   so a steady query load reuses sockets instead of opening one per
+//!   shard per query — no FD exhaustion under fan-out, no handshake on
+//!   the tail. Requests are wrapped in a `JEMSRV3` [`Request::Tagged`]
+//!   envelope (forwarding the originating client id when there is one),
+//!   which is what makes the shard keep the connection alive.
 //! * **hedging** — a shard that has not answered within the straggler
 //!   threshold gets a second, racing request on its replica (or the
 //!   primary again); first answer wins, the loser is discarded. Hedges
@@ -21,9 +36,12 @@
 //! * **health gating** — a consecutive-failure circuit breaker per shard.
 //!   An open breaker skips the shard without burning a connection; after a
 //!   cooldown drawn from the shared [`RetryPolicy`] schedule (capped
-//!   exponential in the number of opens, deterministic seeded jitter) one
-//!   probe is let through — success closes the breaker, failure reopens it
-//!   with a longer cooldown.
+//!   exponential in the number of opens, deterministic seeded jitter)
+//!   exactly one probe is let through (the half-open slot is reserved
+//!   under the breaker lock, so racing fetches cannot double-probe) —
+//!   success closes the breaker, failure reopens it with a longer
+//!   cooldown. A shard's hard failure also evicts its pooled
+//!   connections: a breaker-open endpoint never serves stale sockets.
 //! * **merge** — per-trial subject sets from disjoint slot ranges union
 //!   associatively and commutatively ([`merge_partials`]); the argmax over
 //!   the union reproduces the lazy counter's answer bit for bit, so a
@@ -37,28 +55,41 @@
 //!   invariant: every query gets a typed error, a degraded answer naming
 //!   its gaps, or the correct full answer — never silence, never a wrong
 //!   answer dressed as a full one.
+//!
+//! [`AdmissionControl`]: crate::AdmissionControl
 
-use crate::client::{Client, RetryPolicy};
+use crate::admission::{AdmissionControl, QuotaConfig};
+use crate::client::{unexpected, Client, RetryPolicy};
 use crate::protocol::{
-    read_frame_versioned, write_frame_versioned, Request, Response, SegmentPartials, ServerInfo,
+    read_frame_versioned, write_frame_versioned, ProtocolVersion, Request, Response,
+    SegmentPartials, ServerInfo,
 };
 use crate::registry::ShardRegistry;
+use crate::server::is_timeout;
 use crate::ServeError;
 use jem_core::{Mapping, QuerySegment};
 use jem_index::SubjectId;
 use jem_obs::{MetricsRecorder, Recorder, Snapshot, Span};
-use std::collections::BTreeMap;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// The identity the router stamps on shard fetches when the originating
+/// request carried none — shard-side quotas then see the router's
+/// anonymous traffic as one client instead of a flood of strangers.
+const ROUTER_CLIENT_ID: &str = "jem-router";
 
 /// Tuning knobs of a [`start_router`]ed front-end.
 #[derive(Clone, Debug)]
 pub struct RouterConfig {
     /// Socket connect/read/write timeout per shard attempt.
     pub io_timeout: Duration,
+    /// How long an ingress connection may sit idle before it is reaped
+    /// (half-open / slow-loris defense).
+    pub idle_timeout: Duration,
     /// Straggler threshold: how long to wait for a shard before hedging a
     /// second request to its replica (or re-dispatching to the primary).
     /// `None` disables hedging.
@@ -72,16 +103,34 @@ pub struct RouterConfig {
     /// Router-side budget per query. Combined (min) with the client's own
     /// deadline; the *remaining* budget is forwarded to every shard.
     pub deadline: Option<Duration>,
+    /// Per-client admission quota at the router front door. `rate == 0.0`
+    /// (the default) disables admission control.
+    pub quota: QuotaConfig,
+    /// Router-wide cap on concurrently dispatched queries; past it new
+    /// mapping requests are answered `Busy` (≥ 1).
+    pub max_inflight: usize,
+    /// Idle pooled connections kept per shard endpoint. `0` disables
+    /// reuse (every fetch connects fresh, the pre-pool behavior).
+    pub pool_max_idle: usize,
+    /// Oldest a pooled connection may be before checkout discards it.
+    /// Keep it *below* the shard servers' `idle_timeout` so the pool
+    /// retires a socket before the shard's reaper does.
+    pub pool_max_age: Duration,
 }
 
 impl Default for RouterConfig {
     fn default() -> Self {
         RouterConfig {
             io_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(2),
             hedge_after: Some(Duration::from_millis(50)),
             breaker_failures: 3,
             breaker_cooldown: RetryPolicy::new(8, Duration::from_millis(250)),
             deadline: None,
+            quota: QuotaConfig::default(),
+            max_inflight: 256,
+            pool_max_idle: 4,
+            pool_max_age: Duration::from_millis(1500),
         }
     }
 }
@@ -93,7 +142,173 @@ impl RouterConfig {
                 "breaker_failures must be at least 1".into(),
             ));
         }
-        Ok(())
+        if self.max_inflight == 0 {
+            return Err(ServeError::Config("max_inflight must be at least 1".into()));
+        }
+        if self.idle_timeout.is_zero() {
+            return Err(ServeError::Config("idle_timeout must be positive".into()));
+        }
+        self.quota.validate().map_err(ServeError::Config)
+    }
+}
+
+/// One idle pooled connection and when it was last checked in.
+struct PooledConn {
+    stream: TcpStream,
+    since: Instant,
+}
+
+/// A bounded pool of health-checked keep-alive connections per shard
+/// endpoint. Checkout prefers the most recently used socket (it is the
+/// most likely to still be alive), discards ones past `max_age` or whose
+/// health peek fails, and counts every decision
+/// (`router.pool_{hit,miss,evict}`). [`ShardConnPool::exchange`] is the
+/// full fetch path: reuse a pooled connection when one is healthy,
+/// connect fresh otherwise, and absorb one stale-socket failure by
+/// retrying on a fresh connection — which is also what reconnects the
+/// pool after a shard restart. Exchanges through the pool must be
+/// idempotent requests (the router's fetches are).
+pub struct ShardConnPool {
+    max_idle: usize,
+    max_age: Duration,
+    conns: Mutex<HashMap<String, VecDeque<PooledConn>>>,
+    recorder: Arc<MetricsRecorder>,
+}
+
+impl ShardConnPool {
+    /// A pool keeping at most `max_idle` connections per endpoint, each
+    /// for at most `max_age` after check-in.
+    pub fn new(max_idle: usize, max_age: Duration, recorder: Arc<MetricsRecorder>) -> Self {
+        ShardConnPool {
+            max_idle,
+            max_age,
+            conns: Mutex::new(HashMap::new()),
+            recorder,
+        }
+    }
+
+    /// Is this idle socket still usable? A keep-alive peer between
+    /// requests has nothing to send, so a non-blocking peek must report
+    /// "would block": readable data means a desynchronized stream, a
+    /// zero-byte read means the peer closed, and any other error means
+    /// the socket is dead.
+    fn healthy(stream: &TcpStream) -> bool {
+        if stream.set_nonblocking(true).is_err() {
+            return false;
+        }
+        let mut probe = [0u8; 1];
+        let alive = matches!(stream.peek(&mut probe), Err(ref e) if is_timeout(e));
+        alive && stream.set_nonblocking(false).is_ok()
+    }
+
+    /// Take a healthy pooled connection for `addr`, evicting stale and
+    /// dead ones found on the way. `None` means the caller connects
+    /// fresh.
+    fn checkout(&self, addr: &str) -> Option<TcpStream> {
+        let mut conns = self.conns.lock().expect("pool lock poisoned");
+        let queue = conns.get_mut(addr)?;
+        while let Some(pooled) = queue.pop_back() {
+            if pooled.since.elapsed() > self.max_age || !Self::healthy(&pooled.stream) {
+                self.recorder.add("router.pool_evict", 1);
+                continue;
+            }
+            self.recorder.add("router.pool_hit", 1);
+            return Some(pooled.stream);
+        }
+        None
+    }
+
+    /// Return a connection to `addr`'s idle set after a successful
+    /// exchange, discarding the oldest if the set is full.
+    fn checkin(&self, addr: &str, stream: TcpStream) {
+        if self.max_idle == 0 {
+            return; // pooling disabled: every fetch connects fresh
+        }
+        let mut conns = self.conns.lock().expect("pool lock poisoned");
+        let queue = conns.entry(addr.to_string()).or_default();
+        queue.push_back(PooledConn {
+            stream,
+            since: Instant::now(),
+        });
+        while queue.len() > self.max_idle {
+            queue.pop_front();
+            self.recorder.add("router.pool_evict", 1);
+        }
+    }
+
+    /// Drop every pooled connection for `addr` — called when the endpoint
+    /// hard-fails, so a breaker-open shard never serves stale sockets on
+    /// its next probe.
+    pub fn evict_endpoint(&self, addr: &str) {
+        let mut conns = self.conns.lock().expect("pool lock poisoned");
+        if let Some(queue) = conns.remove(addr) {
+            self.recorder.add("router.pool_evict", queue.len() as u64);
+        }
+    }
+
+    /// How many idle connections the pool currently holds for `addr`.
+    pub fn idle(&self, addr: &str) -> usize {
+        let conns = self.conns.lock().expect("pool lock poisoned");
+        conns.get(addr).map_or(0, VecDeque::len)
+    }
+
+    /// One request/response round-trip against `addr`, through a pooled
+    /// connection when a healthy one is idle, else a fresh one (checked
+    /// in afterwards for the next exchange). A reused socket that turns
+    /// out to be dead mid-exchange — the shard restarted, or its reaper
+    /// beat our age bound — is absorbed by retrying once on a fresh
+    /// connection; `req` must therefore be idempotent.
+    pub fn exchange(
+        &self,
+        addr: &str,
+        req: &Request,
+        timeout: Duration,
+    ) -> Result<Response, ServeError> {
+        let body = req.encode();
+        let version = req.wire_version();
+        if let Some(mut conn) = self.checkout(addr) {
+            match Self::roundtrip(&mut conn, &body, version) {
+                // The pooled socket died underneath us — or its server is
+                // mid-shutdown (a restart in progress): fall through to a
+                // fresh connection instead of failing the fetch. If the
+                // endpoint really is gone, the fresh connect fails typed.
+                Err(ServeError::Io(_)) | Ok(Response::ShuttingDown) => {
+                    self.recorder.add("router.pool_evict", 1)
+                }
+                Ok(resp) => {
+                    self.checkin(addr, conn);
+                    return Ok(resp);
+                }
+                Err(e) => return Err(e),
+            }
+        } else {
+            self.recorder.add("router.pool_miss", 1);
+        }
+        let mut conn = Self::connect(addr, timeout)?;
+        let resp = Self::roundtrip(&mut conn, &body, version)?;
+        self.checkin(addr, conn);
+        Ok(resp)
+    }
+
+    fn connect(addr: &str, timeout: Duration) -> Result<TcpStream, ServeError> {
+        let resolved = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| ServeError::protocol(format!("address {addr:?} resolves to nothing")))?;
+        let conn = TcpStream::connect_timeout(&resolved, timeout)?;
+        conn.set_read_timeout(Some(timeout))?;
+        conn.set_write_timeout(Some(timeout))?;
+        Ok(conn)
+    }
+
+    fn roundtrip(
+        conn: &mut TcpStream,
+        body: &[u8],
+        version: ProtocolVersion,
+    ) -> Result<Response, ServeError> {
+        write_frame_versioned(conn, body, version)?;
+        let (_, resp_body) = read_frame_versioned(conn)?;
+        Response::decode(&resp_body)
     }
 }
 
@@ -108,26 +323,48 @@ struct Breaker {
     /// While `Some`, the breaker is open until the instant (then
     /// half-open: one probe is admitted and its outcome decides).
     open_until: Option<Instant>,
+    /// The half-open probe is in flight: `admit` reserved it and no
+    /// further request passes until `report` delivers its outcome. This
+    /// is what makes "exactly one probe" true under racing fetches.
+    probing: bool,
 }
 
-/// State shared by the accept loop and per-query gather threads.
+/// State shared by the accept loop, connection handlers, and per-query
+/// gather threads.
 struct RouterShared {
     registry: ShardRegistry,
     config: RouterConfig,
     states: Vec<Mutex<Breaker>>,
+    admission: AdmissionControl,
+    pool: Arc<ShardConnPool>,
     recorder: Arc<MetricsRecorder>,
     shutdown: AtomicBool,
+    /// The bound address — a remote `Shutdown` self-connects to wake the
+    /// accept loop out of its blocking accept.
+    addr: SocketAddr,
+    /// Concurrently dispatched queries, bounded by
+    /// [`RouterConfig::max_inflight`].
+    inflight: AtomicUsize,
     /// Lazily fetched shard `Info`, rewritten to the router's slot count.
     info: RwLock<Option<ServerInfo>>,
 }
 
 impl RouterShared {
-    /// Whether the breaker admits a request to `shard_id` right now
-    /// (closed, or open past its cooldown — the half-open probe).
+    /// Whether the breaker admits a request to `shard_id` right now:
+    /// closed, or open past its cooldown — in which case the single
+    /// half-open probe slot is reserved for this caller and concurrent
+    /// callers are refused until [`RouterShared::report`] decides.
     fn admit(&self, shard_id: usize) -> bool {
-        let st = self.states[shard_id].lock().expect("breaker lock poisoned");
+        let mut st = self.states[shard_id].lock().expect("breaker lock poisoned");
         match st.open_until {
-            Some(until) => Instant::now() >= until,
+            Some(until) => {
+                if Instant::now() >= until && !st.probing {
+                    st.probing = true;
+                    true
+                } else {
+                    false
+                }
+            }
             None => true,
         }
     }
@@ -135,6 +372,7 @@ impl RouterShared {
     /// Record a request outcome for `shard_id` and move the breaker.
     fn report(&self, shard_id: usize, ok: bool) {
         let mut st = self.states[shard_id].lock().expect("breaker lock poisoned");
+        st.probing = false;
         if ok {
             if st.open_until.is_some() {
                 self.recorder.add("router.breaker_close", 1);
@@ -233,10 +471,18 @@ pub fn start_router(
         .collect();
     let shared = Arc::new(RouterShared {
         registry,
-        config: config.clone(),
         states,
+        admission: AdmissionControl::new(config.quota),
+        pool: Arc::new(ShardConnPool::new(
+            config.pool_max_idle,
+            config.pool_max_age,
+            Arc::clone(&recorder),
+        )),
+        config: config.clone(),
         recorder,
         shutdown: AtomicBool::new(false),
+        addr,
+        inflight: AtomicUsize::new(0),
         info: RwLock::new(None),
     });
     let accept = {
@@ -260,7 +506,7 @@ fn respond(conn: &mut TcpStream, recorder: &MetricsRecorder, resp: &Response) {
 fn accept_loop(listener: &TcpListener, shared: &Arc<RouterShared>) {
     let recorder = &*shared.recorder;
     loop {
-        let mut conn = match listener.accept() {
+        let conn = match listener.accept() {
             Ok((conn, _)) => conn,
             Err(_) => {
                 if shared.shutdown.load(Ordering::SeqCst) {
@@ -273,67 +519,184 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<RouterShared>) {
             return;
         }
         recorder.add("router.connections", 1);
-        if conn
-            .set_read_timeout(Some(shared.config.io_timeout))
+        // Read on a handler thread under an idle deadline: a half-open
+        // peer must never pin admission of other clients.
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || handle_conn(&shared, conn));
+    }
+}
+
+/// Serve one ingress connection: reap it if it idles before sending, read
+/// one request, dispatch. The router stays one-request-per-connection on
+/// its front door (its own clients are one-shot); keep-alive lives on the
+/// router-to-shard pooled connections.
+fn handle_conn(shared: &Arc<RouterShared>, mut conn: TcpStream) {
+    let recorder = &*shared.recorder;
+    if conn
+        .set_write_timeout(Some(shared.config.io_timeout))
+        .is_err()
+        || conn
+            .set_read_timeout(Some(shared.config.idle_timeout))
             .is_err()
-            || conn
-                .set_write_timeout(Some(shared.config.io_timeout))
-                .is_err()
-        {
-            continue;
+    {
+        return;
+    }
+    // Idle phase: a peer that connects and never sends is reaped.
+    let mut first = [0u8; 1];
+    match conn.peek(&mut first) {
+        Ok(0) => return, // peer closed
+        Ok(_) => {}
+        Err(e) if is_timeout(&e) => {
+            recorder.add("router.reaped_idle", 1);
+            return;
         }
-        let received = Instant::now();
-        match read_frame_versioned(&mut conn)
-            .and_then(|(version, body)| Request::decode_versioned(&body, version))
-        {
-            Err(e) => {
-                recorder.add("router.protocol_errors", 1);
-                respond(&mut conn, recorder, &Response::Error(e.to_string()));
-            }
-            Ok(Request::Ping) => respond(&mut conn, recorder, &Response::Pong),
-            Ok(Request::Info) => {
-                let resp = router_info(shared);
-                respond(&mut conn, recorder, &resp);
-            }
-            Ok(Request::Shutdown) => {
-                recorder.add("router.shutdown_requests", 1);
-                respond(&mut conn, recorder, &Response::ShuttingDown);
-                return;
-            }
-            Ok(Request::Reload { .. }) => respond(
+        Err(_) => return,
+    }
+    if conn
+        .set_read_timeout(Some(shared.config.io_timeout))
+        .is_err()
+    {
+        return;
+    }
+    let received = Instant::now();
+    let decoded = read_frame_versioned(&mut conn)
+        .and_then(|(version, body)| Ok((version, Request::decode_versioned(&body, version)?)));
+    let (version, request) = match decoded {
+        Ok(pair) => pair,
+        Err(ServeError::Io(ref e)) if is_timeout(e) => {
+            recorder.add("router.reaped_idle", 1);
+            return;
+        }
+        Err(e) => {
+            recorder.add("router.protocol_errors", 1);
+            respond(&mut conn, recorder, &Response::Error(e.to_string()));
+            return;
+        }
+    };
+    let (client_id, request) = request.untag();
+    match request {
+        Request::Ping => respond(&mut conn, recorder, &Response::Pong),
+        Request::Info => {
+            let resp = router_info(shared);
+            respond(&mut conn, recorder, &resp);
+        }
+        Request::Shutdown => {
+            recorder.add("router.shutdown_requests", 1);
+            respond(&mut conn, recorder, &Response::ShuttingDown);
+            shared.shutdown.store(true, Ordering::SeqCst);
+            // Wake the accept loop so it observes the flag.
+            let _ = TcpStream::connect(shared.addr);
+        }
+        Request::Reload { .. } => respond(
+            &mut conn,
+            recorder,
+            &Response::Error("the router holds no index; reload the shard servers directly".into()),
+        ),
+        Request::MapPartial { .. } => respond(
+            &mut conn,
+            recorder,
+            &Response::Error(
+                "the router serves merged answers; MapPartial is a shard-tier request".into(),
+            ),
+        ),
+        Request::Map {
+            segments,
+            deadline_ms,
+        } => route_map(
+            shared,
+            conn,
+            client_id,
+            version,
+            segments,
+            deadline_ms,
+            received,
+            false,
+        ),
+        Request::MapDegraded {
+            segments,
+            deadline_ms,
+        } => route_map(
+            shared,
+            conn,
+            client_id,
+            version,
+            segments,
+            deadline_ms,
+            received,
+            true,
+        ),
+        // decode_versioned rejects nested envelopes; refuse one
+        // defensively anyway rather than recurse.
+        Request::Tagged { .. } => {
+            recorder.add("router.protocol_errors", 1);
+            respond(
                 &mut conn,
                 recorder,
-                &Response::Error(
-                    "the router holds no index; reload the shard servers directly".into(),
-                ),
-            ),
-            Ok(Request::MapPartial { .. }) => respond(
-                &mut conn,
-                recorder,
-                &Response::Error(
-                    "the router serves merged answers; MapPartial is a shard-tier request".into(),
-                ),
-            ),
-            Ok(Request::Map {
-                segments,
-                deadline_ms,
-            }) => dispatch(shared, conn, segments, deadline_ms, received, false),
-            Ok(Request::MapDegraded {
-                segments,
-                deadline_ms,
-            }) => dispatch(shared, conn, segments, deadline_ms, received, true),
+                &Response::Error("nested tagged envelope".into()),
+            );
         }
     }
 }
 
+/// Gate one mapping query through the router's overload defenses — the
+/// per-client quota, then the router-wide in-flight cap — and dispatch it
+/// if both admit.
+#[allow(clippy::too_many_arguments)]
+fn route_map(
+    shared: &Arc<RouterShared>,
+    mut conn: TcpStream,
+    client_id: Option<String>,
+    version: ProtocolVersion,
+    segments: Vec<QuerySegment>,
+    deadline_ms: Option<u64>,
+    received: Instant,
+    allow_degraded: bool,
+) {
+    let recorder = &*shared.recorder;
+    let lane = client_id.as_deref().unwrap_or("");
+    let cost = (segments.len() as u64).max(1);
+    if let Err(retry_after) = shared.admission.try_admit(lane, cost) {
+        recorder.add("router.throttled", 1);
+        // Version negotiation: never answer a newer revision than the
+        // request spoke — pre-v3 peers cannot decode Throttled.
+        let resp = if version == ProtocolVersion::V3 {
+            Response::Throttled {
+                retry_after_ms: u64::try_from(retry_after.as_millis()).unwrap_or(u64::MAX),
+            }
+        } else {
+            Response::Busy
+        };
+        respond(&mut conn, recorder, &resp);
+        return;
+    }
+    let prev = shared.inflight.fetch_add(1, Ordering::AcqRel);
+    if prev >= shared.config.max_inflight {
+        shared.inflight.fetch_sub(1, Ordering::AcqRel);
+        recorder.add("router.inflight_rejected", 1);
+        respond(&mut conn, recorder, &Response::Busy);
+        return;
+    }
+    dispatch(
+        shared,
+        conn,
+        client_id,
+        segments,
+        deadline_ms,
+        received,
+        allow_degraded,
+    );
+}
+
 /// Answer one mapping query on its own thread: the gather can spend a
-/// hedge threshold + shard latency, and the accept loop must keep
-/// admitting other clients meanwhile. Backpressure lives at the shard
-/// tier (bounded queues answering `Busy`); the router itself is a thin
-/// fan-out.
+/// hedge threshold + shard latency, and the handler must not keep its
+/// ingress thread pinned meanwhile. Backpressure lives at the admission
+/// gates above and the shard tier's bounded queues; the gather itself is
+/// a thin fan-out. Releases the in-flight slot when the answer is
+/// written.
 fn dispatch(
     shared: &Arc<RouterShared>,
     mut conn: TcpStream,
+    client_id: Option<String>,
     segments: Vec<QuerySegment>,
     deadline_ms: Option<u64>,
     received: Instant,
@@ -341,10 +704,18 @@ fn dispatch(
 ) {
     let shared = Arc::clone(shared);
     std::thread::spawn(move || {
-        let resp = answer(&shared, &segments, deadline_ms, received, allow_degraded);
+        let resp = answer(
+            &shared,
+            client_id.as_deref(),
+            &segments,
+            deadline_ms,
+            received,
+            allow_degraded,
+        );
         respond(&mut conn, &shared.recorder, &resp);
         let latency = u64::try_from(received.elapsed().as_nanos()).unwrap_or(u64::MAX);
         shared.recorder.span_ns("router/request", latency);
+        shared.inflight.fetch_sub(1, Ordering::AcqRel);
     });
 }
 
@@ -397,6 +768,7 @@ fn effective_budget(router: Option<Duration>, client_ms: Option<u64>) -> Option<
 
 fn gather(
     shared: &Arc<RouterShared>,
+    client_id: Option<&str>,
     segments: &[QuerySegment],
     deadline_ms: Option<u64>,
     received: Instant,
@@ -410,7 +782,9 @@ fn gather(
     let outcomes: Vec<ShardOutcome> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..n)
             .map(|shard_id| {
-                scope.spawn(move || shard_outcome(shared, shard_id, segments, budget, received))
+                scope.spawn(move || {
+                    shard_outcome(shared, shard_id, client_id, segments, budget, received)
+                })
             })
             .collect();
         handles
@@ -437,10 +811,14 @@ fn gather(
 }
 
 /// One shard's share of a gather: breaker gate, fetch (with hedging),
-/// validation, breaker report.
+/// validation, breaker report. A hard failure also evicts the shard's
+/// pooled connections — a socket that just failed (or whose endpoint is
+/// about to sit behind an open breaker) must not be reused by the next
+/// query or the half-open probe.
 fn shard_outcome(
     shared: &Arc<RouterShared>,
     shard_id: usize,
+    client_id: Option<&str>,
     segments: &[QuerySegment],
     budget: Option<Duration>,
     received: Instant,
@@ -459,13 +837,22 @@ fn shard_outcome(
         recorder.add("router.breaker_skips", 1);
         return ShardOutcome::Missing;
     }
-    match fetch_partials(shared, shard_id, segments, remaining) {
+    let spec = &shared.registry.shards()[shard_id];
+    let evict = |reason: &str| {
+        let _ = reason;
+        shared.pool.evict_endpoint(&spec.addr);
+        if let Some(replica) = &spec.replica {
+            shared.pool.evict_endpoint(replica);
+        }
+    };
+    match fetch_partials(shared, shard_id, client_id, segments, remaining) {
         Ok(partials) => {
             if validate_partials(segments, &partials).is_err() {
                 // A shard answering mismatched echoes is unhealthy, and
                 // its data must never alias into the merge.
                 recorder.add("router.invalid_partials", 1);
                 recorder.add_dyn(format!("router.shard.{shard_id}.failures"), 1);
+                evict("invalid partials");
                 shared.report(shard_id, false);
                 ShardOutcome::Missing
             } else {
@@ -475,41 +862,75 @@ fn shard_outcome(
             }
         }
         // A shard shedding on deadline is healthy — the budget died, not
-        // the shard. Same for backpressure: `Busy` is load, not illness.
-        Err(ServeError::Expired) => ShardOutcome::Expired,
+        // the shard. Same for backpressure: `Busy` (and its per-client
+        // sibling `Throttled`) is load, not illness.
+        Err(ServeError::Expired) => {
+            shared.report(shard_id, true);
+            ShardOutcome::Expired
+        }
         Err(ServeError::Busy) => {
             recorder.add("router.shard_busy", 1);
+            shared.report(shard_id, true);
+            ShardOutcome::Missing
+        }
+        Err(ServeError::Throttled { .. }) => {
+            recorder.add("router.shard_throttled", 1);
+            shared.report(shard_id, true);
             ShardOutcome::Missing
         }
         Err(_) => {
             recorder.add_dyn(format!("router.shard.{shard_id}.failures"), 1);
+            evict("fetch failure");
             shared.report(shard_id, false);
             ShardOutcome::Missing
         }
     }
 }
 
-/// Fetch one shard's partials, hedging to the replica (or re-dispatching
-/// to the primary) if the first attempt goes silent past the straggler
-/// threshold. First answer wins; a losing attempt's result is discarded.
+/// Fetch one shard's partials through the connection pool, hedging to the
+/// replica (or re-dispatching to the primary) if the first attempt goes
+/// silent past the straggler threshold. First answer wins; a losing
+/// attempt's result is discarded (its connection still lands in the pool
+/// for the next query). The request rides a v3 tagged envelope — the
+/// originating client's id when there is one, the router's own otherwise
+/// — which is what keeps the pooled connection alive shard-side.
 fn fetch_partials(
     shared: &Arc<RouterShared>,
     shard_id: usize,
+    client_id: Option<&str>,
     segments: &[QuerySegment],
     budget: Option<Duration>,
 ) -> Result<Vec<SegmentPartials>, ServeError> {
     let spec = &shared.registry.shards()[shard_id];
+    let deadline_ms = budget.map(|d| {
+        let ms = u64::try_from(d.as_millis()).unwrap_or(u64::MAX - 1);
+        ms.max(1)
+    });
+    let tag = match client_id {
+        Some(id) if !id.is_empty() => id.to_string(),
+        _ => ROUTER_CLIENT_ID.to_string(),
+    };
+    let req = Request::Tagged {
+        client_id: tag,
+        inner: Box::new(Request::MapPartial {
+            segments: segments.to_vec(),
+            deadline_ms,
+        }),
+    };
     let (tx, rx) = mpsc::channel::<(bool, Result<Vec<SegmentPartials>, ServeError>)>();
     let io_timeout = shared.config.io_timeout;
     let spawn_attempt = |addr: String, hedged: bool| {
         let tx = tx.clone();
-        let segments = segments.to_vec();
+        let req = req.clone();
+        let pool = Arc::clone(&shared.pool);
         std::thread::spawn(move || {
-            let mut client = Client::new(addr).with_timeout(io_timeout);
-            if let Some(d) = budget {
-                client = client.with_deadline(d);
-            }
-            let _ = tx.send((hedged, client.map_segments_partial(&segments)));
+            let result = pool
+                .exchange(&addr, &req, io_timeout)
+                .and_then(|resp| match resp {
+                    Response::Partials(partials) => Ok(partials),
+                    other => Err(unexpected("Partials", &other)),
+                });
+            let _ = tx.send((hedged, result));
         });
     };
     spawn_attempt(spec.addr.clone(), false);
@@ -571,13 +992,14 @@ fn fetch_partials(
 /// Build the response for one query batch from a completed gather.
 fn answer(
     shared: &Arc<RouterShared>,
+    client_id: Option<&str>,
     segments: &[QuerySegment],
     deadline_ms: Option<u64>,
     received: Instant,
     allow_degraded: bool,
 ) -> Response {
     let recorder = &*shared.recorder;
-    let g = gather(shared, segments, deadline_ms, received);
+    let g = gather(shared, client_id, segments, deadline_ms, received);
     let merged = |present: &[(usize, Vec<SegmentPartials>)]| {
         let lists: Vec<&Vec<SegmentPartials>> = present.iter().map(|(_, p)| p).collect();
         merge_partials(segments, &lists)
@@ -732,13 +1154,14 @@ fn status_text(shared: &RouterShared) -> String {
         };
         let _ = writeln!(
             out,
-            "shard\t{i}\t{}-{}\t{}\treplica={}\tbreaker={phase}\tfailures={}\topens={}",
+            "shard\t{i}\t{}-{}\t{}\treplica={}\tbreaker={phase}\tfailures={}\topens={}\tpool_idle={}",
             spec.slots.start,
             spec.slots.end,
             spec.addr,
             spec.replica.as_deref().unwrap_or("-"),
             st.consecutive_failures,
-            st.opens
+            st.opens,
+            shared.pool.idle(&spec.addr)
         );
     }
     out
@@ -762,6 +1185,27 @@ mod tests {
             read_idx,
             end,
             trials,
+        }
+    }
+
+    /// A standalone `RouterShared` (no listener) for breaker unit tests.
+    fn test_shared(config: RouterConfig) -> RouterShared {
+        let recorder = Arc::new(MetricsRecorder::new());
+        RouterShared {
+            registry: ShardRegistry::parse("0-1@127.0.0.1:1").unwrap(),
+            states: vec![Mutex::new(Breaker::default())],
+            admission: AdmissionControl::new(config.quota),
+            pool: Arc::new(ShardConnPool::new(
+                config.pool_max_idle,
+                config.pool_max_age,
+                Arc::clone(&recorder),
+            )),
+            config,
+            recorder,
+            shutdown: AtomicBool::new(false),
+            addr: "127.0.0.1:0".parse().unwrap(),
+            inflight: AtomicUsize::new(0),
+            info: RwLock::new(None),
         }
     }
 
@@ -849,21 +1293,13 @@ mod tests {
 
     #[test]
     fn breaker_opens_after_threshold_and_probe_decides() {
-        let registry = ShardRegistry::parse("0-1@127.0.0.1:1").unwrap();
         let config = RouterConfig {
             breaker_failures: 2,
             breaker_cooldown: RetryPolicy::new(4, Duration::from_millis(1))
                 .with_cap(Duration::from_millis(2)),
             ..RouterConfig::default()
         };
-        let shared = RouterShared {
-            states: vec![Mutex::new(Breaker::default())],
-            registry,
-            config,
-            recorder: Arc::new(MetricsRecorder::new()),
-            shutdown: AtomicBool::new(false),
-            info: RwLock::new(None),
-        };
+        let shared = test_shared(config);
         assert!(shared.admit(0));
         shared.report(0, false);
         assert!(shared.admit(0), "one failure is below the threshold");
@@ -880,5 +1316,190 @@ mod tests {
         let snap = shared.recorder.snapshot();
         assert_eq!(snap.counter("router.breaker_open"), 2);
         assert_eq!(snap.counter("router.breaker_close"), 1);
+    }
+
+    #[test]
+    fn half_open_race_admits_exactly_one_probe() {
+        let config = RouterConfig {
+            breaker_failures: 1,
+            breaker_cooldown: RetryPolicy::new(4, Duration::from_millis(1))
+                .with_cap(Duration::from_millis(2)),
+            ..RouterConfig::default()
+        };
+        let shared = test_shared(config);
+        shared.report(0, false); // threshold 1: opens immediately
+        std::thread::sleep(Duration::from_millis(10)); // past the cooldown
+                                                       // Many fetches race the expired cooldown: the probe slot is
+                                                       // reserved under the breaker lock, so exactly one may pass.
+        let admitted: Vec<bool> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8).map(|_| scope.spawn(|| shared.admit(0))).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(
+            admitted.iter().filter(|&&ok| ok).count(),
+            1,
+            "exactly one racer may own the half-open probe, got {admitted:?}"
+        );
+        // The failed probe reopens the breaker — one reopen, not one per
+        // refused racer — and refuses admission again.
+        shared.report(0, false);
+        assert!(!shared.admit(0), "failed probe must reopen the breaker");
+        let snap = shared.recorder.snapshot();
+        assert_eq!(
+            snap.counter("router.breaker_open"),
+            2,
+            "initial open + probe reopen, no double-counting"
+        );
+        assert_eq!(snap.counter("router.breaker_close"), 0);
+        // And a successful probe after the next cooldown closes it.
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(shared.admit(0));
+        shared.report(0, true);
+        assert!(shared.admit(0));
+        assert_eq!(
+            shared.recorder.snapshot().counter("router.breaker_close"),
+            1
+        );
+    }
+
+    /// A stub shard that accepts `conns` connections and answers `Pong`
+    /// to every frame on each until the peer closes. Returns how many
+    /// requests each connection served.
+    fn pong_stub(conns: usize) -> (String, std::thread::JoinHandle<Vec<usize>>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || {
+            let mut served = Vec::new();
+            for _ in 0..conns {
+                let Ok((mut conn, _)) = listener.accept() else {
+                    break;
+                };
+                let _ = conn.set_read_timeout(Some(Duration::from_secs(5)));
+                let mut n = 0;
+                while read_frame_versioned(&mut conn).is_ok() {
+                    let pong = Response::Pong;
+                    if write_frame_versioned(&mut conn, &pong.encode(), pong.wire_version())
+                        .is_err()
+                    {
+                        break;
+                    }
+                    n += 1;
+                }
+                served.push(n);
+            }
+            served
+        });
+        (addr, handle)
+    }
+
+    fn tagged_ping() -> Request {
+        Request::Tagged {
+            client_id: "pool-test".into(),
+            inner: Box::new(Request::Ping),
+        }
+    }
+
+    #[test]
+    fn pooled_exchange_reuses_one_connection() {
+        let (addr, stub) = pong_stub(1);
+        let recorder = Arc::new(MetricsRecorder::new());
+        let pool = ShardConnPool::new(4, Duration::from_secs(5), Arc::clone(&recorder));
+        let req = tagged_ping();
+        for _ in 0..3 {
+            let resp = pool.exchange(&addr, &req, Duration::from_secs(5)).unwrap();
+            assert_eq!(resp, Response::Pong);
+        }
+        assert_eq!(pool.idle(&addr), 1);
+        drop(pool); // closes the idle socket so the stub's read loop ends
+        assert_eq!(
+            stub.join().unwrap(),
+            vec![3],
+            "all three exchanges must ride one connection"
+        );
+        let snap = recorder.snapshot();
+        assert_eq!(snap.counter("router.pool_miss"), 1);
+        assert_eq!(snap.counter("router.pool_hit"), 2);
+    }
+
+    #[test]
+    fn exchange_recovers_after_the_shard_restarts() {
+        // The stub answers one request per connection, then closes it —
+        // the shape of a shard that restarted between queries.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let stub = std::thread::spawn(move || {
+            for _ in 0..2 {
+                let Ok((mut conn, _)) = listener.accept() else {
+                    return;
+                };
+                let _ = conn.set_read_timeout(Some(Duration::from_secs(5)));
+                if read_frame_versioned(&mut conn).is_ok() {
+                    let pong = Response::Pong;
+                    let _ = write_frame_versioned(&mut conn, &pong.encode(), pong.wire_version());
+                }
+            }
+        });
+        let recorder = Arc::new(MetricsRecorder::new());
+        let pool = ShardConnPool::new(4, Duration::from_secs(5), Arc::clone(&recorder));
+        let req = tagged_ping();
+        assert_eq!(
+            pool.exchange(&addr, &req, Duration::from_secs(5)).unwrap(),
+            Response::Pong
+        );
+        // Give the stub's close time to reach our pooled socket, then
+        // exchange again: whether the health peek catches the dead socket
+        // or the retry-once path does, the answer must come back whole.
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(
+            pool.exchange(&addr, &req, Duration::from_secs(5)).unwrap(),
+            Response::Pong
+        );
+        stub.join().unwrap();
+        let snap = recorder.snapshot();
+        assert!(
+            snap.counter("router.pool_evict") >= 1,
+            "the dead pooled socket must be evicted"
+        );
+    }
+
+    #[test]
+    fn pool_evicts_stale_and_bounds_idle_conns() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        // Keep the server halves alive so health peeks see open sockets.
+        let mut server_halves = Vec::new();
+        let mut client_half = |pool: &ShardConnPool| {
+            let c = TcpStream::connect(&addr).unwrap();
+            server_halves.push(listener.accept().unwrap().0);
+            pool.checkin(&addr, c);
+        };
+        let recorder = Arc::new(MetricsRecorder::new());
+        // Age bound: a connection past max_age is discarded at checkout.
+        let pool = ShardConnPool::new(4, Duration::from_millis(1), Arc::clone(&recorder));
+        client_half(&pool);
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(pool.checkout(&addr).is_none(), "stale conn must not reuse");
+        assert_eq!(recorder.snapshot().counter("router.pool_evict"), 1);
+        // Idle bound: the set never exceeds max_idle.
+        let pool = ShardConnPool::new(2, Duration::from_secs(5), Arc::clone(&recorder));
+        for _ in 0..4 {
+            client_half(&pool);
+        }
+        assert_eq!(pool.idle(&addr), 2);
+        // Endpoint eviction empties the set.
+        pool.evict_endpoint(&addr);
+        assert_eq!(pool.idle(&addr), 0);
+    }
+
+    #[test]
+    fn pool_with_zero_idle_never_retains_connections() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let recorder = Arc::new(MetricsRecorder::new());
+        let pool = ShardConnPool::new(0, Duration::from_secs(5), recorder);
+        let c = TcpStream::connect(&addr).unwrap();
+        let _server_half = listener.accept().unwrap();
+        pool.checkin(&addr, c);
+        assert_eq!(pool.idle(&addr), 0, "max_idle 0 disables pooling");
     }
 }

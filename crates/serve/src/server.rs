@@ -1,52 +1,68 @@
-//! The mapping server: accept loop, bounded queue, supervised batching
-//! worker pool, deadline shedding, hot index reload, graceful shutdown.
+//! The mapping server: hardened ingress, per-client fair queueing and
+//! admission control, supervised batching worker pool, deadline shedding,
+//! hot index reload, graceful shutdown.
 //!
-//! Threading model (DESIGN.md §10–§11):
+//! Threading model (DESIGN.md §10–§11, §16):
 //!
-//! * **accept thread** — owns the listener. Reads one request frame per
-//!   connection (either protocol revision), answers `Ping`/`Info` inline,
-//!   enqueues `Map`/`MapPartial` jobs on the bounded queue (replying
-//!   [`Response::Busy`]
-//!   when it is full — the server never buffers unboundedly), hands
-//!   `Reload` to a one-off loader thread so a slow index load never blocks
-//!   admission, and on `Shutdown` stops accepting and closes the queue.
+//! * **accept thread** — owns the listener. It only accepts: each
+//!   connection is handed to a per-connection handler thread, bounded by
+//!   `max_conns` (past the cap the connection is answered
+//!   [`Response::Busy`] and closed — the server never accumulates
+//!   unbounded sockets).
+//! * **handler threads** (one per live connection) — read request frames
+//!   (any protocol revision), answer `Ping`/`Info` inline, and admit
+//!   `Map`/`MapPartial` jobs through three composed gates: per-client
+//!   token-bucket quotas ([`AdmissionControl`], rejecting
+//!   [`Response::Throttled`] for v3 peers and `Busy` for older revisions
+//!   that cannot decode it), a per-connection in-flight cap
+//!   (`max_inflight`), and the per-client deficit-round-robin queue
+//!   ([`FairQueue`], `Busy` when the client's lane is full). `Reload`
+//!   goes to a one-off loader thread so a slow index load never blocks
+//!   admission; `Shutdown` flips the flag and wakes the accept loop. A
+//!   peer that holds the socket open without sending (half-open,
+//!   slow-loris) is reaped after `idle_timeout` (`serve.reaped_idle`) —
+//!   before it pins the handler forever; stalling mid-frame is reaped on
+//!   the `io_timeout`. Connections that spoke `JEMSRV3` are kept alive
+//!   for further requests; v1/v2 connections keep their one-request
+//!   lifecycle byte-for-byte.
 //! * **worker threads** (supervised pool) — each owns one reused
 //!   [`LazyHitCounter`](jem_index::LazyHitCounter) and a running query-id;
-//!   workers pop up to `batch` queued requests per index pass, shed the
-//!   ones whose deadline has already expired ([`Response::Expired`],
-//!   `serve.shed`), map the rest with the one counter (no per-request
-//!   counter allocation or reset — the paper's lazy strategy is what makes
-//!   that reuse free), and write each response back on its own connection.
+//!   workers pop up to `batch` queued requests per index pass (the fair
+//!   queue interleaves lanes, so one greedy client cannot monopolize a
+//!   pass), shed the ones whose deadline has already expired
+//!   ([`Response::Expired`], `serve.shed`), map the rest with the one
+//!   counter, and write each response back on its own connection (writes
+//!   serialized through a per-connection mutex, since a keep-alive
+//!   connection can have several responses racing).
 //! * **supervisor thread** — owns the worker pool. Each worker's request
 //!   loop runs under `catch_unwind`; a panicking worker fails its
-//!   in-flight batch with an `Error` reply (a guard holds cloned
-//!   connection handles, so the clients are answered, never hung), the
-//!   panic is counted (`serve.worker_panic`), and the supervisor respawns
-//!   a replacement (`serve.worker_respawns`) so pool capacity never
-//!   decays — even mid-drain. Clean exits are counted in
-//!   `serve.worker_clean_exits`, which equals `serve.workers_configured`
-//!   at the end of any run whose pool recovered fully.
+//!   in-flight batch with an `Error` reply (a guard holds the connection
+//!   handles, so the clients are answered, never hung), the panic is
+//!   counted (`serve.worker_panic`), and the supervisor respawns a
+//!   replacement (`serve.worker_respawns`) so pool capacity never decays.
 //! * **index epochs** — the served [`ShardedIndex`] lives behind an
 //!   `RwLock`ed, `Arc`-swapped epoch. Workers pin the current epoch per
-//!   batch (one `Arc` clone), so a [`Request::Reload`](crate::Request)
-//!   swap lands atomically between batches: in-flight batches finish on
-//!   the old index, no request is dropped, and a failed load leaves the
-//!   old epoch serving.
+//!   batch, so a [`Request::Reload`](crate::Request) swap lands atomically
+//!   between batches and a failed load leaves the old epoch serving.
 //! * **shutdown** — [`ServerHandle::shutdown`] (or a remote
 //!   [`crate::Request::Shutdown`]) flips the flag, wakes the accept loop,
 //!   closes the queue; workers drain everything already queued, so every
-//!   admitted request is answered, then exit. The final metrics snapshot
-//!   is taken after the join, so it reflects the complete run.
+//!   admitted request is answered, then exit.
 //!
 //! All instrumentation flows through one [`MetricsRecorder`] owned by the
 //! server (not the process-global recorder): a resident service snapshots
 //! its own lifetime without racing other pipelines in the process, and
 //! tests can run many servers concurrently.
+//!
+//! [`AdmissionControl`]: crate::AdmissionControl
+//! [`FairQueue`]: crate::FairQueue
 
+use crate::admission::{AdmissionControl, QuotaConfig};
 use crate::protocol::{
-    read_frame_versioned, write_frame_versioned, Request, Response, SegmentPartials, ServerInfo,
+    read_frame_versioned, write_frame_versioned, ProtocolVersion, Request, Response,
+    SegmentPartials, ServerInfo,
 };
-use crate::queue::{BoundedQueue, PushError};
+use crate::queue::{FairQueue, PushError};
 use crate::shard::ShardedIndex;
 use crate::ServeError;
 use jem_core::{MapScratch, QuerySegment};
@@ -54,22 +70,43 @@ use jem_obs::{MetricsRecorder, Recorder, Snapshot, Span};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// How many distinct client lanes the fair queue keeps before further ids
+/// collapse into the shared anonymous lane — the same bounded-memory
+/// posture as [`admission::MAX_TRACKED_CLIENTS`](crate::admission::MAX_TRACKED_CLIENTS).
+const MAX_LANES: usize = 256;
 
 /// Tuning knobs of a [`start`]ed server.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Worker threads mapping queued requests (≥ 1).
     pub workers: usize,
-    /// Bounded request-queue capacity; a full queue answers `Busy` (≥ 1).
+    /// Bounded request-queue capacity *per client lane*; a full lane
+    /// answers `Busy` (≥ 1). A single-client workload sees exactly the
+    /// old global bound.
     pub queue_cap: usize,
     /// Max queued requests a worker folds into one index pass (≥ 1).
     pub batch: usize,
-    /// Per-connection socket read/write timeout.
+    /// Per-connection socket timeout while a frame is in flight.
     pub io_timeout: Duration,
+    /// How long a connection may sit idle between frames before it is
+    /// reaped (half-open / slow-loris defense). Applies from accept: a
+    /// peer that connects and never sends is closed after this long.
+    pub idle_timeout: Duration,
+    /// Max simultaneous live connections; past the cap new connections
+    /// are answered `Busy` and closed instead of pinning another handler
+    /// thread (≥ 1).
+    pub max_conns: usize,
+    /// Max in-flight (admitted, unanswered) requests per connection; a
+    /// pipelining peer past the cap is answered `Busy` (≥ 1).
+    pub max_inflight: usize,
+    /// Per-client admission quota. `rate == 0.0` (the default) disables
+    /// admission control entirely.
+    pub quota: QuotaConfig,
     /// Chaos knob (same spirit as `jem-psim`'s straggle fault): every
     /// worker sleeps this long before each index pass. `0` = off. Used by
     /// the saturation and drain tests to hold the queue full
@@ -89,6 +126,10 @@ impl Default for ServerConfig {
             queue_cap: 64,
             batch: 16,
             io_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(2),
+            max_conns: 256,
+            max_inflight: 32,
+            quota: QuotaConfig::default(),
             straggle_ms: 0,
             panic_every: 0,
         }
@@ -101,12 +142,19 @@ impl ServerConfig {
             ("workers", self.workers),
             ("queue_cap", self.queue_cap),
             ("batch", self.batch),
+            ("max_conns", self.max_conns),
+            ("max_inflight", self.max_inflight),
         ] {
             if v == 0 {
                 return Err(ServeError::Config(format!("{name} must be at least 1")));
             }
         }
-        Ok(())
+        if self.idle_timeout.is_zero() {
+            return Err(ServeError::Config(
+                "idle_timeout must be positive".to_string(),
+            ));
+        }
+        self.quota.validate().map_err(ServeError::Config)
     }
 }
 
@@ -119,9 +167,12 @@ enum JobKind {
 }
 
 /// One admitted mapping request: the segments plus the connection to
-/// answer.
+/// answer. The connection's write half is shared (keep-alive connections
+/// can have several responses racing), and `inflight` is the connection's
+/// in-flight count, decremented when this job is answered.
 struct Job {
-    conn: TcpStream,
+    conn: Arc<Mutex<TcpStream>>,
+    inflight: Arc<AtomicUsize>,
     segments: Vec<QuerySegment>,
     kind: JobKind,
     enqueued: Instant,
@@ -136,13 +187,23 @@ struct Epoch {
     index: Arc<ShardedIndex>,
 }
 
-/// State shared by the accept loop, the worker pool, the supervisor, and
-/// reload threads.
+/// State shared by the accept loop, connection handlers, the worker pool,
+/// the supervisor, and reload threads.
 struct Shared {
     epoch: RwLock<Epoch>,
-    queue: BoundedQueue<Job>,
+    queue: FairQueue<Job>,
+    admission: AdmissionControl,
     recorder: Arc<MetricsRecorder>,
     shutdown: AtomicBool,
+    /// The bound address — a remote `Shutdown` self-connects to wake the
+    /// accept loop out of its blocking accept.
+    addr: SocketAddr,
+    /// Live connection count, bounded by `max_conns`.
+    live_conns: AtomicUsize,
+    io_timeout: Duration,
+    idle_timeout: Duration,
+    max_inflight: usize,
+    max_conns: usize,
     /// Global index-pass ordinal (1-based), driving the `panic_every` knob.
     batch_ordinal: AtomicU64,
     batch: usize,
@@ -252,9 +313,18 @@ pub fn start(
             id: 0,
             index: Arc::new(index),
         }),
-        queue: BoundedQueue::new(config.queue_cap),
+        // Quantum = batch: one sweep visit lets a lane contribute about
+        // one index pass worth of segments before the next lane's turn.
+        queue: FairQueue::new(config.queue_cap, MAX_LANES, config.batch as u64),
+        admission: AdmissionControl::new(config.quota),
         recorder,
         shutdown: AtomicBool::new(false),
+        addr,
+        live_conns: AtomicUsize::new(0),
+        io_timeout: config.io_timeout,
+        idle_timeout: config.idle_timeout,
+        max_inflight: config.max_inflight,
+        max_conns: config.max_conns,
         batch_ordinal: AtomicU64::new(0),
         batch: config.batch,
         straggle_ms: config.straggle_ms,
@@ -271,9 +341,8 @@ pub fn start(
 
     let accept = {
         let shared = Arc::clone(&shared);
-        let io_timeout = config.io_timeout;
         std::thread::spawn(move || {
-            accept_loop(&listener, &shared, io_timeout);
+            accept_loop(&listener, &shared);
             // Whatever ended the loop (local flag or remote request):
             // refuse new work, let workers drain and exit.
             shared.shutdown.store(true, Ordering::SeqCst);
@@ -290,14 +359,36 @@ pub fn start(
 }
 
 /// Reply on `conn` with the revision the response needs, tolerating a peer
-/// that already hung up.
-fn respond(conn: &mut TcpStream, recorder: &MetricsRecorder, resp: &Response) {
-    if write_frame_versioned(conn, &resp.encode(), resp.wire_version()).is_err() {
+/// that already hung up. Writes are serialized through the connection
+/// mutex; a poisoned lock (a worker panicked mid-write) still answers —
+/// the peer gets a frame either way.
+fn respond(conn: &Mutex<TcpStream>, recorder: &MetricsRecorder, resp: &Response) {
+    let mut guard = conn.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    if write_frame_versioned(&mut *guard, &resp.encode(), resp.wire_version()).is_err() {
         recorder.add("serve.write_errors", 1);
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, io_timeout: Duration) {
+/// Saturating in-flight decrement: the chaos paths (panic guard racing a
+/// normal reply) may release the same slot twice, and a wrapped counter
+/// would wedge the connection's admission forever.
+fn release_inflight(inflight: &AtomicUsize) {
+    let _ = inflight.fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| {
+        Some(v.saturating_sub(1))
+    });
+}
+
+/// Is this i/o error a read timeout? (Unix reports `WouldBlock`, Windows
+/// `TimedOut`, for a socket read that hit `SO_RCVTIMEO`.) Shared with the
+/// router's ingress, which reaps idle connections the same way.
+pub(crate) fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     let recorder = &shared.recorder;
     loop {
         let mut conn = match listener.accept() {
@@ -313,92 +404,225 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, io_timeout: Duratio
             return;
         }
         recorder.add("serve.connections", 1);
-        if conn.set_read_timeout(Some(io_timeout)).is_err()
-            || conn.set_write_timeout(Some(io_timeout)).is_err()
-        {
+        // Connection cap: past it, answer Busy and close instead of
+        // spawning another handler — bounded threads, bounded FDs.
+        let prev = shared.live_conns.fetch_add(1, Ordering::AcqRel);
+        if prev >= shared.max_conns {
+            shared.live_conns.fetch_sub(1, Ordering::AcqRel);
+            recorder.add("serve.conn_rejected", 1);
+            let busy = Response::Busy;
+            let _ = conn.set_write_timeout(Some(shared.io_timeout));
+            let _ = write_frame_versioned(&mut conn, &busy.encode(), busy.wire_version());
             continue;
         }
-        let received = Instant::now();
-        match read_frame_versioned(&mut conn)
-            .and_then(|(version, body)| Request::decode_versioned(&body, version))
-        {
-            Err(e) => {
-                recorder.add("serve.protocol_errors", 1);
-                respond(&mut conn, recorder, &Response::Error(e.to_string()));
-            }
-            Ok(Request::Ping) => respond(&mut conn, recorder, &Response::Pong),
-            Ok(Request::Info) => {
-                respond(&mut conn, recorder, &Response::Info(shared.current_info()))
-            }
-            Ok(Request::Shutdown) => {
-                recorder.add("serve.shutdown_requests", 1);
-                respond(&mut conn, recorder, &Response::ShuttingDown);
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || {
+            let _ = catch_unwind(AssertUnwindSafe(|| handle_connection(&shared, conn)));
+            shared.live_conns.fetch_sub(1, Ordering::AcqRel);
+        });
+    }
+}
+
+/// Serve one connection: reap it if it idles, read frames while they
+/// arrive, dispatch each request. Connections speaking `JEMSRV3` are kept
+/// alive across requests; older revisions keep their one-request
+/// lifecycle (the job's shared handle keeps the socket open until the
+/// worker has answered).
+fn handle_connection(shared: &Arc<Shared>, mut reader: TcpStream) {
+    let recorder = &shared.recorder;
+    if reader.set_write_timeout(Some(shared.io_timeout)).is_err() {
+        return;
+    }
+    // Reads happen on `reader` without any lock; responses go through the
+    // shared write half (same underlying socket) so workers, reload
+    // threads, and this handler never interleave frames.
+    let writer = match reader.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let inflight = Arc::new(AtomicUsize::new(0));
+    loop {
+        // Idle phase: wait (bounded) for the next frame's first byte. A
+        // clean EOF ends the connection; a peer holding the socket open
+        // without sending is reaped — unless it is merely waiting for
+        // answers we still owe it.
+        if reader.set_read_timeout(Some(shared.idle_timeout)).is_err() {
+            return;
+        }
+        let mut first = [0u8; 1];
+        match reader.peek(&mut first) {
+            Ok(0) => return, // peer closed
+            Ok(_) => {}
+            Err(e) if is_timeout(&e) => {
+                if inflight.load(Ordering::Acquire) > 0 {
+                    continue; // quiet but waiting on us, not idle
+                }
+                recorder.add("serve.reaped_idle", 1);
                 return;
             }
-            Ok(Request::Reload { path }) => {
-                recorder.add("serve.reload_requests", 1);
-                // Load off the accept path: a multi-second index load must
-                // not stall admission of mapping requests.
-                spawn_reload(Arc::clone(shared), conn, path);
+            Err(_) => return,
+        }
+        // Frame phase: bytes are flowing, so hold the peer to the io
+        // timeout; a stall mid-frame is reaped like idleness.
+        if reader.set_read_timeout(Some(shared.io_timeout)).is_err() {
+            return;
+        }
+        let received = Instant::now();
+        let decoded = read_frame_versioned(&mut reader)
+            .and_then(|(version, body)| Ok((version, Request::decode_versioned(&body, version)?)));
+        let (version, request) = match decoded {
+            Ok(pair) => pair,
+            Err(ServeError::Io(e)) if is_timeout(&e) => {
+                recorder.add("serve.reaped_idle", 1);
+                return;
             }
-            Ok(Request::Map {
+            Err(e) => {
+                recorder.add("serve.protocol_errors", 1);
+                respond(&writer, recorder, &Response::Error(e.to_string()));
+                return;
+            }
+        };
+        let keep_alive = version == ProtocolVersion::V3;
+        let (client_id, request) = request.untag();
+        match request {
+            Request::Ping => respond(&writer, recorder, &Response::Pong),
+            Request::Info => respond(&writer, recorder, &Response::Info(shared.current_info())),
+            Request::Shutdown => {
+                recorder.add("serve.shutdown_requests", 1);
+                respond(&writer, recorder, &Response::ShuttingDown);
+                shared.shutdown.store(true, Ordering::SeqCst);
+                // Wake the accept loop so it observes the flag.
+                let _ = TcpStream::connect(shared.addr);
+                return;
+            }
+            Request::Reload { path } => {
+                recorder.add("serve.reload_requests", 1);
+                // Load off the handler path: a multi-second index load
+                // must not stall admission of this connection's requests.
+                spawn_reload(Arc::clone(shared), Arc::clone(&writer), path);
+            }
+            Request::Map {
                 segments,
                 deadline_ms,
-            }) => enqueue(shared, conn, segments, JobKind::Map, deadline_ms, received),
-            Ok(Request::MapPartial {
+            } => admit(
+                shared,
+                &writer,
+                &inflight,
+                client_id.as_deref(),
+                version,
+                segments,
+                JobKind::Map,
+                deadline_ms,
+                received,
+            ),
+            Request::MapPartial {
                 segments,
                 deadline_ms,
-            }) => {
+            } => {
                 recorder.add("serve.partial_requests", 1);
-                enqueue(
+                admit(
                     shared,
-                    conn,
+                    &writer,
+                    &inflight,
+                    client_id.as_deref(),
+                    version,
                     segments,
                     JobKind::Partial,
                     deadline_ms,
                     received,
                 );
             }
-            Ok(Request::MapDegraded { .. }) => respond(
-                &mut conn,
+            Request::MapDegraded { .. } => respond(
+                &writer,
                 recorder,
                 &Response::Error(
                     "degraded answers come from the router tier; this is a shard server".into(),
                 ),
             ),
+            // decode_versioned rejects nested envelopes; refuse one
+            // defensively anyway rather than recurse.
+            Request::Tagged { .. } => {
+                recorder.add("serve.protocol_errors", 1);
+                respond(
+                    &writer,
+                    recorder,
+                    &Response::Error("nested tagged envelope".into()),
+                );
+                return;
+            }
+        }
+        if !keep_alive {
+            return;
         }
     }
 }
 
-/// Admit one mapping job onto the bounded queue, answering `Busy` when it
-/// is full and `ShuttingDown` when it is closed.
-fn enqueue(
+/// Admit one mapping job through the three overload gates — per-client
+/// quota, per-connection in-flight cap, per-client queue lane — answering
+/// a typed rejection at whichever gate refuses.
+#[allow(clippy::too_many_arguments)]
+fn admit(
     shared: &Arc<Shared>,
-    conn: TcpStream,
+    writer: &Arc<Mutex<TcpStream>>,
+    inflight: &Arc<AtomicUsize>,
+    client_id: Option<&str>,
+    version: ProtocolVersion,
     segments: Vec<QuerySegment>,
     kind: JobKind,
     deadline_ms: Option<u64>,
     received: Instant,
 ) {
     let recorder = &shared.recorder;
+    let lane = client_id.unwrap_or("");
+    let cost = (segments.len() as u64).max(1);
+    if let Err(retry_after) = shared.admission.try_admit(lane, cost) {
+        recorder.add("serve.throttled", 1);
+        // Version negotiation: never answer a newer revision than the
+        // request spoke. Pre-v3 peers cannot decode Throttled, so an
+        // over-quota v1/v2 (or anonymous) request degrades to Busy.
+        let resp = if version == ProtocolVersion::V3 {
+            Response::Throttled {
+                retry_after_ms: u64::try_from(retry_after.as_millis()).unwrap_or(u64::MAX),
+            }
+        } else {
+            Response::Busy
+        };
+        respond(writer, recorder, &resp);
+        return;
+    }
+    let prev = inflight.fetch_add(1, Ordering::AcqRel);
+    if prev >= shared.max_inflight {
+        release_inflight(inflight);
+        recorder.add("serve.inflight_rejected", 1);
+        respond(writer, recorder, &Response::Busy);
+        return;
+    }
     if deadline_ms.is_some() {
         recorder.add("serve.deadline_requests", 1);
     }
     let job = Job {
-        conn,
+        conn: Arc::clone(writer),
+        inflight: Arc::clone(inflight),
         segments,
         kind,
         enqueued: received,
         expires: deadline_ms.map(|ms| received + Duration::from_millis(ms)),
     };
-    match shared.queue.try_push(job) {
-        Ok(depth) => recorder.observe("serve.queue_depth", depth as u64),
-        Err((mut job, PushError::Full)) => {
-            recorder.add("serve.busy", 1);
-            respond(&mut job.conn, recorder, &Response::Busy);
+    match shared.queue.try_push(lane, cost, job) {
+        Ok(depth) => {
+            recorder.observe("serve.queue_depth", depth.total as u64);
+            recorder.observe("serve.lane_depth", depth.lane as u64);
+            let shown = if lane.is_empty() { "anon" } else { lane };
+            recorder.add_dyn(format!("serve.lane.{shown}.enqueued"), 1);
         }
-        Err((mut job, PushError::Closed)) => {
-            respond(&mut job.conn, recorder, &Response::ShuttingDown);
+        Err((job, PushError::Full)) => {
+            release_inflight(&job.inflight);
+            recorder.add("serve.busy", 1);
+            respond(&job.conn, recorder, &Response::Busy);
+        }
+        Err((job, PushError::Closed)) => {
+            release_inflight(&job.inflight);
+            respond(&job.conn, recorder, &Response::ShuttingDown);
         }
     }
 }
@@ -418,7 +642,7 @@ fn load_sharded(path: &str, n_slots: usize, owned: Range<usize>) -> Result<Shard
 /// Run one reload on its own thread: load + validate the new index, then
 /// atomically bump the epoch. In-flight batches keep their pinned old
 /// epoch; a failed load answers `Error` and leaves the old index serving.
-fn spawn_reload(shared: Arc<Shared>, mut conn: TcpStream, path: String) {
+fn spawn_reload(shared: Arc<Shared>, conn: Arc<Mutex<TcpStream>>, path: String) {
     std::thread::spawn(move || {
         let resp = match load_sharded(&path, shared.n_slots, shared.owned.clone()) {
             Ok(index) => {
@@ -440,7 +664,7 @@ fn spawn_reload(shared: Arc<Shared>, mut conn: TcpStream, path: String) {
                 Response::Error(format!("reload {path}: {msg}"))
             }
         };
-        respond(&mut conn, &shared.recorder, &resp);
+        respond(&conn, &shared.recorder, &resp);
     });
 }
 
@@ -493,12 +717,13 @@ fn supervise(shared: &Arc<Shared>, workers: usize) {
     }
 }
 
-/// Panic insurance for one index pass: holds cloned connection handles for
-/// every job in the batch. If the pass unwinds, the guard's drop (running
-/// during the unwind) answers each client with a typed `Error` frame — a
-/// worker panic costs the batch an error reply, never a hung client.
+/// Panic insurance for one index pass: holds the connection handles (and
+/// in-flight counters) for every job in the batch. If the pass unwinds,
+/// the guard's drop (running during the unwind) answers each client with
+/// a typed `Error` frame and releases its in-flight slot — a worker panic
+/// costs the batch an error reply, never a hung client.
 struct BatchGuard<'a> {
-    conns: Vec<TcpStream>,
+    clients: Vec<(Arc<Mutex<TcpStream>>, Arc<AtomicUsize>)>,
     recorder: &'a MetricsRecorder,
     armed: bool,
 }
@@ -506,9 +731,9 @@ struct BatchGuard<'a> {
 impl<'a> BatchGuard<'a> {
     fn arm(jobs: &[Job], recorder: &'a MetricsRecorder) -> Self {
         BatchGuard {
-            conns: jobs
+            clients: jobs
                 .iter()
-                .filter_map(|j| j.conn.try_clone().ok())
+                .map(|j| (Arc::clone(&j.conn), Arc::clone(&j.inflight)))
                 .collect(),
             recorder,
             armed: true,
@@ -528,11 +753,13 @@ impl Drop for BatchGuard<'_> {
         }
         let resp = Response::Error("internal error: worker panicked on this batch".into());
         let body = resp.encode();
-        for conn in &mut self.conns {
-            let _ = write_frame_versioned(conn, &body, resp.wire_version());
+        for (conn, inflight) in &self.clients {
+            let mut guard = conn.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+            let _ = write_frame_versioned(&mut *guard, &body, resp.wire_version());
+            release_inflight(inflight);
         }
         self.recorder
-            .add("serve.panic_failed_requests", self.conns.len() as u64);
+            .add("serve.panic_failed_requests", self.clients.len() as u64);
     }
 }
 
@@ -569,10 +796,11 @@ fn worker_loop(shared: &Shared) {
         // nobody is waiting for anymore.
         let now = Instant::now();
         let mut live = Vec::with_capacity(jobs.len());
-        for mut job in jobs {
+        for job in jobs {
             if job.expires.is_some_and(|t| t <= now) {
                 recorder.add("serve.shed", 1);
-                respond(&mut job.conn, recorder, &Response::Expired);
+                respond(&job.conn, recorder, &Response::Expired);
+                release_inflight(&job.inflight);
             } else {
                 live.push(job);
             }
@@ -589,7 +817,7 @@ fn worker_loop(shared: &Shared) {
         if shared.panic_every > 0 && ordinal % shared.panic_every == 0 {
             panic!("injected chaos panic (index pass {ordinal})");
         }
-        for mut job in live {
+        for job in live {
             let resp = match job.kind {
                 JobKind::Map => {
                     let mut mappings =
@@ -617,7 +845,8 @@ fn worker_loop(shared: &Shared) {
             };
             recorder.add("serve.requests", 1);
             recorder.add("serve.segments", job.segments.len() as u64);
-            respond(&mut job.conn, recorder, &resp);
+            respond(&job.conn, recorder, &resp);
+            release_inflight(&job.inflight);
             let latency = u64::try_from(job.enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX);
             recorder.span_ns("serve/request", latency);
         }

@@ -1,0 +1,365 @@
+//! Overload chaos suite: the serving tier's behavior when clients are the
+//! fault injector.
+//!
+//! The chaos suite proves the tier survives a hostile *network*; this one
+//! proves it survives hostile *load*: greedy clients, half-open
+//! connections, pipelined floods, and shard restarts under a live
+//! connection pool. The invariant mirrors the chaos invariant — every
+//! request terminates with a typed outcome, never a hang — plus the
+//! overload-specific guarantees: a polite client's service holds while
+//! greedy clients are throttled, and the router's pooled connections
+//! recover to byte-identical answers after a shard restart.
+//!
+//! CI's `overload-smoke` job runs this suite with `JEM_OVERLOAD_METRICS`
+//! and `JEM_OVERLOAD_ROUTER_METRICS` pointing at snapshot paths it
+//! uploads and asserts on (`serve.throttled` > 0, `router.pool_hit` > 0).
+
+use jem_core::{make_segments, JemMapper, MapperConfig, QuerySegment};
+use jem_seq::SeqRecord;
+use jem_serve::{
+    read_frame_versioned, start_router, write_frame_versioned, Client, ProtocolVersion,
+    QuotaConfig, Request, Response, RouterConfig, ServeError, ServerConfig, ShardRegistry,
+    ShardSpec, ShardedIndex,
+};
+use jem_sim::{
+    contig_records, fragment_contigs, simulate_hifi, ContigProfile, Genome, HifiProfile,
+};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+fn world() -> (JemMapper, Vec<QuerySegment>) {
+    let genome = Genome::random(30_000, 0.5, 51);
+    let contigs = fragment_contigs(&genome, &ContigProfile::small_genome(), 52);
+    let reads = simulate_hifi(
+        &genome,
+        &HifiProfile {
+            coverage: 1.0,
+            ..Default::default()
+        },
+        53,
+    );
+    let config = MapperConfig {
+        ell: 400,
+        trials: 8,
+        ..MapperConfig::default()
+    };
+    let mapper = JemMapper::build(&contig_records(&contigs), &config);
+    let read_recs: Vec<SeqRecord> = reads
+        .iter()
+        .map(|r| SeqRecord::new(r.id.clone(), r.seq.clone()))
+        .collect();
+    let segments = make_segments(&read_recs, config.ell);
+    (mapper, segments)
+}
+
+fn offline(mapper: &JemMapper, seg: &[QuerySegment]) -> Vec<jem_core::Mapping> {
+    let mut m = mapper.map_segments(seg);
+    m.sort_unstable();
+    m
+}
+
+/// N greedy clients hammer a quota-enforcing server while one polite
+/// client keeps a modest pace. The polite client's requests must all
+/// succeed byte-correct and on time; every greedy request must terminate
+/// with a typed outcome — the correct answer, `Throttled` with a usable
+/// retry hint, `Busy`, or `Expired` — never a hang or an untyped error.
+#[test]
+fn greedy_clients_throttle_while_the_polite_client_sails() {
+    let (mapper, segments) = world();
+    let seg = segments[..2].to_vec();
+    let expected = offline(&mapper, &seg);
+    let handle = jem_serve::start(
+        ShardedIndex::new(mapper, 2),
+        "127.0.0.1:0",
+        &ServerConfig {
+            io_timeout: Duration::from_secs(5),
+            // ~20 two-segment requests per second per client, burst of 4.
+            quota: QuotaConfig {
+                rate: 40.0,
+                burst: 8.0,
+            },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.addr().to_string();
+
+    const GREEDY: usize = 3;
+    const GREEDY_REQUESTS: usize = 40;
+    let outcomes = std::thread::scope(|scope| {
+        let greedy_handles: Vec<_> = (0..GREEDY)
+            .map(|g| {
+                let addr = addr.clone();
+                let seg = seg.clone();
+                let expected = &expected;
+                scope.spawn(move || {
+                    let client = Client::new(addr)
+                        .with_timeout(Duration::from_secs(5))
+                        .with_client_id(format!("greedy-{g}"));
+                    let (mut ok, mut throttled, mut shed) = (0u64, 0u64, 0u64);
+                    for i in 0..GREEDY_REQUESTS {
+                        match client.map_segments(&seg) {
+                            Ok(got) => {
+                                assert_eq!(got, *expected, "greedy-{g} request {i}");
+                                ok += 1;
+                            }
+                            Err(ServeError::Throttled { retry_after }) => {
+                                assert!(
+                                    retry_after > Duration::ZERO,
+                                    "a throttle must carry a usable retry hint"
+                                );
+                                throttled += 1;
+                            }
+                            Err(ServeError::Busy | ServeError::Expired) => shed += 1,
+                            Err(other) => {
+                                panic!("greedy-{g} request {i}: untyped outcome {other:?}")
+                            }
+                        }
+                    }
+                    (ok, throttled, shed)
+                })
+            })
+            .collect();
+
+        // The polite client stays inside its own bucket (~13 tokens/s
+        // against a 40/s refill) and must never be punished for the
+        // greedy clients' behavior: independent buckets, independent
+        // queue lanes.
+        let polite = {
+            let addr = addr.clone();
+            let seg = seg.clone();
+            let expected = &expected;
+            scope.spawn(move || {
+                let client = Client::new(addr)
+                    .with_timeout(Duration::from_secs(5))
+                    .with_client_id("polite");
+                let started = Instant::now();
+                for i in 0..8 {
+                    let got = client
+                        .map_segments(&seg)
+                        .unwrap_or_else(|e| panic!("polite request {i} must succeed: {e}"));
+                    assert_eq!(got, *expected, "polite request {i} must be byte-correct");
+                    std::thread::sleep(Duration::from_millis(150));
+                }
+                started.elapsed()
+            })
+        };
+
+        let greedy: Vec<(u64, u64, u64)> = greedy_handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect();
+        (greedy, polite.join().unwrap())
+    });
+    let (greedy, polite_elapsed) = outcomes;
+
+    let total_throttled: u64 = greedy.iter().map(|(_, t, _)| t).sum();
+    let total_ok: u64 = greedy.iter().map(|(ok, _, _)| ok).sum();
+    assert!(
+        total_throttled > 0,
+        "greedy clients must see typed throttles, got {greedy:?}"
+    );
+    assert!(
+        total_ok > 0,
+        "the quota admits bursts — some greedy requests must succeed"
+    );
+    // 8 polite requests at a 150ms pace is ~1.2s of pure pacing; anything
+    // wildly past that means the greedy load starved the polite lane.
+    assert!(
+        polite_elapsed < Duration::from_secs(10),
+        "polite client took {polite_elapsed:?} — greedy load must not starve it"
+    );
+
+    let snapshot = handle.shutdown();
+    assert!(snapshot.counter("serve.throttled") > 0);
+    assert_eq!(
+        snapshot.counter("serve.protocol_errors"),
+        0,
+        "overload must surface as typed responses, not protocol damage"
+    );
+    if let Ok(path) = std::env::var("JEM_OVERLOAD_METRICS") {
+        std::fs::write(path, snapshot.to_json()).unwrap();
+    }
+}
+
+/// The router's pooled shard connections survive a shard restart: answers
+/// before, the pool reuses sockets; the shard restarts on the same
+/// address; answers after are byte-identical, with the dead pooled socket
+/// evicted rather than served.
+#[test]
+fn pooled_router_answers_identically_across_a_shard_restart() {
+    let (mapper, segments) = world();
+    let seg = segments[..2].to_vec();
+    let expected = offline(&mapper, &seg);
+
+    let boot = |owned: std::ops::Range<usize>| {
+        jem_serve::start(
+            ShardedIndex::with_slots(mapper.clone(), 2, owned),
+            "127.0.0.1:0",
+            &ServerConfig::default(),
+        )
+        .unwrap()
+    };
+    let shard0 = boot(0..1);
+    let shard1 = boot(1..2);
+    let shard1_addr = shard1.addr().to_string();
+    let registry = ShardRegistry::new(
+        2,
+        vec![
+            ShardSpec {
+                slots: 0..1,
+                addr: shard0.addr().to_string(),
+                replica: None,
+            },
+            ShardSpec {
+                slots: 1..2,
+                addr: shard1_addr.clone(),
+                replica: None,
+            },
+        ],
+    )
+    .unwrap();
+    let config = RouterConfig {
+        hedge_after: None, // keep the pool's traffic deterministic
+        io_timeout: Duration::from_secs(5),
+        ..RouterConfig::default()
+    };
+    let router = start_router(registry, "127.0.0.1:0", &config).unwrap();
+    let client = Client::new(router.addr().to_string()).with_timeout(Duration::from_secs(10));
+
+    // Two queries: the first opens the pooled connections, the second
+    // must reuse them.
+    for i in 0..2 {
+        assert_eq!(client.map_segments(&seg).unwrap(), expected, "query {i}");
+    }
+
+    // Restart shard 1 on the same address. The router's pooled socket to
+    // it is now dead metal.
+    let snapshot = shard1.shutdown();
+    assert!(snapshot.counter("serve.requests") > 0);
+    let shard1 = jem_serve::start(
+        ShardedIndex::with_slots(mapper.clone(), 2, 1..2),
+        &shard1_addr,
+        &ServerConfig::default(),
+    )
+    .expect("shard must rebind its old address after restart");
+
+    // The answer must come back whole and byte-identical — the pool
+    // detects the dead socket (health peek or one-retry-fresh) instead of
+    // failing the query or, worse, serving through it.
+    assert_eq!(
+        client.map_segments(&seg).unwrap(),
+        expected,
+        "the post-restart answer must be byte-identical"
+    );
+
+    let report = router.shutdown();
+    assert!(
+        report.metrics.counter("router.pool_hit") > 0,
+        "repeat queries must reuse pooled connections"
+    );
+    assert!(
+        report.metrics.counter("router.pool_evict") > 0,
+        "the restart's dead socket must be evicted"
+    );
+    assert_eq!(report.metrics.counter("router.full_answers"), 3);
+    if let Ok(path) = std::env::var("JEM_OVERLOAD_ROUTER_METRICS") {
+        std::fs::write(path, report.metrics.to_json()).unwrap();
+    }
+    drop(shard0);
+    drop(shard1);
+}
+
+/// Half-open and slow-loris connections are reaped on the idle deadline
+/// while honest traffic keeps flowing.
+#[test]
+fn slow_loris_connections_are_reaped_while_pings_keep_landing() {
+    let (mapper, _) = world();
+    let handle = jem_serve::start(
+        ShardedIndex::new(mapper, 2),
+        "127.0.0.1:0",
+        &ServerConfig {
+            idle_timeout: Duration::from_millis(200),
+            io_timeout: Duration::from_millis(500),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.addr();
+
+    // Three connections that say nothing, and one that sends half a magic
+    // then stalls mid-frame.
+    let silent: Vec<TcpStream> = (0..3).map(|_| TcpStream::connect(addr).unwrap()).collect();
+    let mut staller = TcpStream::connect(addr).unwrap();
+    std::io::Write::write_all(&mut staller, b"JEMS").unwrap();
+
+    // While the lorises dangle, honest requests must still be served.
+    let client = Client::new(addr.to_string()).with_timeout(Duration::from_secs(5));
+    client.ping().expect("pings must land while lorises dangle");
+
+    // Give the reaper its deadline (idle 200ms, mid-frame 500ms), then
+    // confirm the server is still healthy and counted every reap.
+    std::thread::sleep(Duration::from_millis(900));
+    client.ping().expect("pings must land after the reaping");
+    drop(silent);
+    drop(staller);
+    let snapshot = handle.shutdown();
+    assert!(
+        snapshot.counter("serve.reaped_idle") >= 4,
+        "3 silent + 1 mid-frame stall must all be reaped, got {}",
+        snapshot.counter("serve.reaped_idle")
+    );
+}
+
+/// A v3 client pipelining past its per-connection in-flight cap gets
+/// typed `Busy` for the excess — and answers for the admitted work — with
+/// no protocol-level hang.
+#[test]
+fn pipelining_past_the_inflight_cap_is_shed_with_typed_busy() {
+    let (mapper, segments) = world();
+    let seg = segments[..1].to_vec();
+    let handle = jem_serve::start(
+        ShardedIndex::new(mapper, 2),
+        "127.0.0.1:0",
+        &ServerConfig {
+            max_inflight: 1,
+            straggle_ms: 150, // hold the admitted job so the pipeline races it
+            io_timeout: Duration::from_secs(5),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    let req = Request::Tagged {
+        client_id: "pipeliner".into(),
+        inner: Box::new(Request::Map {
+            segments: seg,
+            deadline_ms: None,
+        }),
+    };
+    let body = req.encode();
+    let mut conn = TcpStream::connect(handle.addr()).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // Three requests back to back on one connection, nothing read yet:
+    // the cap admits one, the rest must be answered Busy immediately.
+    for _ in 0..3 {
+        write_frame_versioned(&mut conn, &body, ProtocolVersion::V3).unwrap();
+    }
+    let (mut mappings, mut busy) = (0u64, 0u64);
+    for i in 0..3 {
+        let (_, resp_body) = read_frame_versioned(&mut conn)
+            .unwrap_or_else(|e| panic!("response {i} must arrive, not hang: {e}"));
+        match Response::decode(&resp_body).unwrap() {
+            Response::Mappings(_) => mappings += 1,
+            Response::Busy => busy += 1,
+            other => panic!("response {i}: expected Mappings or Busy, got {other:?}"),
+        }
+    }
+    drop(conn);
+    let snapshot = handle.shutdown();
+    assert!(busy >= 1, "the excess pipeline depth must be shed as Busy");
+    assert!(mappings >= 1, "the admitted request must still be answered");
+    assert_eq!(mappings + busy, 3);
+    assert!(snapshot.counter("serve.inflight_rejected") >= 1);
+}

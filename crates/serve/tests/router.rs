@@ -251,6 +251,7 @@ fn breaker_gates_a_flapping_shard_and_recloses_on_probe() {
             .with_cap(Duration::from_millis(50)),
         io_timeout: Duration::from_secs(5),
         deadline: None,
+        ..RouterConfig::default()
     };
     let router = start_router(registry, "127.0.0.1:0", &config).unwrap();
     let client = Client::new(router.addr().to_string()).with_timeout(Duration::from_secs(10));

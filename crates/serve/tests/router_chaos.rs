@@ -156,6 +156,7 @@ fn flapping_shard_degrades_then_recovers_without_restart() {
         breaker_cooldown: RetryPolicy::new(4, Duration::from_millis(40))
             .with_cap(Duration::from_millis(80)),
         deadline: None,
+        ..RouterConfig::default()
     };
     let router = start_router(reg, "127.0.0.1:0", &config).unwrap();
     let client = Client::new(router.addr().to_string()).with_timeout(Duration::from_secs(10));
@@ -305,6 +306,7 @@ fn seeded_random_soak_upholds_the_router_invariant() {
         breaker_cooldown: RetryPolicy::new(4, Duration::from_millis(30))
             .with_cap(Duration::from_millis(60)),
         deadline: None,
+        ..RouterConfig::default()
     };
     let router = start_router(reg, "127.0.0.1:0", &config).unwrap();
     let client = Client::new(router.addr().to_string()).with_timeout(Duration::from_secs(10));
