@@ -1058,7 +1058,8 @@ pub fn cmd_serve(args: &Args) -> Result<(), CliError> {
 ///  [--epoch 0] [--hedge-ms 50] [--breaker-failures 3]
 ///  [--breaker-cooldown-ms 250] [--deadline MS] [--io-timeout-ms 10000]
 ///  [--quota-rate TOKENS/S [--quota-burst N]] [--max-inflight 256]
-///  [--idle-timeout-ms 2000] [--pool-idle 4] [--pool-age-ms 1500]
+///  [--max-conns 1024] [--idle-timeout-ms 2000] [--pool-idle 4]
+///  [--pool-age-ms 1500]
 ///  [--metrics FILE] [--snapshot FILE]` — front a set of `jem serve
 ///  --slots` shard processes with a scatter-gather router: full answers
 ///  are byte-identical to a single-process `jem serve`; when shards are
@@ -1068,8 +1069,10 @@ pub fn cmd_serve(args: &Args) -> Result<(), CliError> {
 /// `--hedge-ms 0` disables hedged retries; `--deadline MS` caps every
 /// query's budget router-side (the remaining budget is forwarded to the
 /// shards). `--quota-rate` turns on per-client admission control at the
-/// router's front door and `--max-inflight` caps concurrently dispatched
-/// queries. Shard fetches reuse pooled keep-alive connections:
+/// router's front door, `--max-inflight` caps concurrently dispatched
+/// queries, and `--max-conns` caps live ingress connections (excess
+/// answered `Busy` and closed). Shard fetches reuse pooled keep-alive
+/// connections:
 /// `--pool-idle` bounds the idle set per shard endpoint (0 disables
 /// reuse) and `--pool-age-ms` retires a socket before the shard's own
 /// idle reaper would (keep it below the shards' `--idle-timeout-ms`).
@@ -1099,6 +1102,7 @@ pub fn cmd_route(args: &Args) -> Result<(), CliError> {
         deadline: (deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms)),
         quota: quota_config(args)?,
         max_inflight: positive_count(args, "max-inflight", 256)?,
+        max_conns: positive_count(args, "max-conns", 1_024)?,
         idle_timeout: std::time::Duration::from_millis(positive_count(
             args,
             "idle-timeout-ms",

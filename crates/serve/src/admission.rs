@@ -162,6 +162,29 @@ impl AdmissionControl {
             Err(Duration::from_millis((secs * 1000.0).ceil() as u64))
         }
     }
+
+    /// Return `cost` tokens to `client`'s bucket — the undo of a
+    /// [`AdmissionControl::try_admit`] whose request was subsequently
+    /// rejected by a later gate (a full queue lane, shutdown). Uses the
+    /// same cost clamp and bounded-map key resolution as the charge, so
+    /// the refund lands in exactly the bucket that paid; capped at the
+    /// burst so a refund can never mint tokens.
+    pub fn refund(&self, client: &str, cost: u64) {
+        if !self.quota.enabled() {
+            return;
+        }
+        let burst = self.quota.effective_burst();
+        let cost = (cost.max(1) as f64).min(burst);
+        let mut buckets = self.buckets.lock().expect("admission lock");
+        let key: &str = if buckets.contains_key(client) {
+            client
+        } else {
+            ""
+        };
+        if let Some(bucket) = buckets.get_mut(key) {
+            bucket.tokens = (bucket.tokens + cost).min(burst);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -248,6 +271,37 @@ mod tests {
         // which only affords one token between them.
         assert!(ac.try_admit("c", 1).is_ok());
         assert!(ac.try_admit("d", 1).is_err());
+    }
+
+    #[test]
+    fn refund_restores_charged_tokens_without_minting() {
+        let ac = AdmissionControl::new(quota(1.0, 2.0));
+        assert!(ac.try_admit("alice", 2).is_ok());
+        assert!(ac.try_admit("alice", 1).is_err(), "bucket drained");
+        // The queue rejected the admitted request: the refund makes the
+        // charge-then-reject sequence a no-op.
+        ac.refund("alice", 2);
+        assert!(ac.try_admit("alice", 2).is_ok());
+        // Refunding into a full bucket cannot exceed the burst.
+        ac.refund("alice", 2);
+        ac.refund("alice", 2);
+        assert!(ac.try_admit("alice", 2).is_ok());
+        assert!(ac.try_admit("alice", 1).is_err());
+        // Disabled quotas make refund a no-op, like try_admit.
+        let off = AdmissionControl::new(QuotaConfig::default());
+        off.refund("anyone", 10);
+    }
+
+    #[test]
+    fn refund_past_the_cap_lands_in_the_anonymous_bucket() {
+        let ac = AdmissionControl::with_max_clients(quota(1.0, 1.0), 2);
+        assert!(ac.try_admit("a", 1).is_ok());
+        assert!(ac.try_admit("b", 1).is_ok());
+        // "c" resolves to the anonymous bucket; its refund must too.
+        assert!(ac.try_admit("c", 1).is_ok());
+        assert!(ac.try_admit("d", 1).is_err());
+        ac.refund("c", 1);
+        assert!(ac.try_admit("d", 1).is_ok());
     }
 
     #[test]

@@ -109,6 +109,11 @@ pub struct RouterConfig {
     /// Router-wide cap on concurrently dispatched queries; past it new
     /// mapping requests are answered `Busy` (≥ 1).
     pub max_inflight: usize,
+    /// Max simultaneous live ingress connections; past the cap new
+    /// connections are answered `Busy` and closed instead of pinning
+    /// another handler thread (≥ 1) — the same flood/slow-loris bound the
+    /// shard servers enforce.
+    pub max_conns: usize,
     /// Idle pooled connections kept per shard endpoint. `0` disables
     /// reuse (every fetch connects fresh, the pre-pool behavior).
     pub pool_max_idle: usize,
@@ -129,6 +134,7 @@ impl Default for RouterConfig {
             deadline: None,
             quota: QuotaConfig::default(),
             max_inflight: 256,
+            max_conns: 1024,
             pool_max_idle: 4,
             pool_max_age: Duration::from_millis(1500),
         }
@@ -144,6 +150,9 @@ impl RouterConfig {
         }
         if self.max_inflight == 0 {
             return Err(ServeError::Config("max_inflight must be at least 1".into()));
+        }
+        if self.max_conns == 0 {
+            return Err(ServeError::Config("max_conns must be at least 1".into()));
         }
         if self.idle_timeout.is_zero() {
             return Err(ServeError::Config("idle_timeout must be positive".into()));
@@ -345,28 +354,69 @@ struct RouterShared {
     /// Concurrently dispatched queries, bounded by
     /// [`RouterConfig::max_inflight`].
     inflight: AtomicUsize,
+    /// Live ingress connections, bounded by [`RouterConfig::max_conns`].
+    live_conns: AtomicUsize,
     /// Lazily fetched shard `Info`, rewritten to the router's slot count.
     info: RwLock<Option<ServerInfo>>,
+}
+
+/// An admission granted by a shard's breaker, to be resolved by
+/// [`BreakerAdmit::report`]. When the admission holds the half-open probe
+/// slot, the slot is released on drop if no report ever arrives — a panic
+/// (or any early return) on the fetch path frees the probe for the next
+/// query instead of wedging the shard out of rotation forever.
+struct BreakerAdmit<'a> {
+    shared: &'a RouterShared,
+    shard_id: usize,
+    /// This admission reserved the half-open probe slot.
+    probe: bool,
+    reported: bool,
+}
+
+impl BreakerAdmit<'_> {
+    /// Deliver the request's outcome to the breaker.
+    fn report(mut self, ok: bool) {
+        self.reported = true;
+        self.shared.report(self.shard_id, ok);
+    }
+}
+
+impl Drop for BreakerAdmit<'_> {
+    fn drop(&mut self) {
+        if self.probe && !self.reported {
+            let mut st = self.shared.states[self.shard_id]
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            st.probing = false;
+        }
+    }
 }
 
 impl RouterShared {
     /// Whether the breaker admits a request to `shard_id` right now:
     /// closed, or open past its cooldown — in which case the single
-    /// half-open probe slot is reserved for this caller and concurrent
-    /// callers are refused until [`RouterShared::report`] decides.
-    fn admit(&self, shard_id: usize) -> bool {
+    /// half-open probe slot is reserved for the returned admission and
+    /// concurrent callers are refused until [`BreakerAdmit::report`]
+    /// decides (or the admission drops unreported, releasing the slot).
+    fn admit(&self, shard_id: usize) -> Option<BreakerAdmit<'_>> {
         let mut st = self.states[shard_id].lock().expect("breaker lock poisoned");
-        match st.open_until {
+        let probe = match st.open_until {
             Some(until) => {
                 if Instant::now() >= until && !st.probing {
                     st.probing = true;
                     true
                 } else {
-                    false
+                    return None;
                 }
             }
-            None => true,
-        }
+            None => false,
+        };
+        Some(BreakerAdmit {
+            shared: self,
+            shard_id,
+            probe,
+            reported: false,
+        })
     }
 
     /// Record a request outcome for `shard_id` and move the breaker.
@@ -483,6 +533,7 @@ pub fn start_router(
         shutdown: AtomicBool::new(false),
         addr,
         inflight: AtomicUsize::new(0),
+        live_conns: AtomicUsize::new(0),
         info: RwLock::new(None),
     });
     let accept = {
@@ -506,7 +557,7 @@ fn respond(conn: &mut TcpStream, recorder: &MetricsRecorder, resp: &Response) {
 fn accept_loop(listener: &TcpListener, shared: &Arc<RouterShared>) {
     let recorder = &*shared.recorder;
     loop {
-        let conn = match listener.accept() {
+        let mut conn = match listener.accept() {
             Ok((conn, _)) => conn,
             Err(_) => {
                 if shared.shutdown.load(Ordering::SeqCst) {
@@ -519,10 +570,29 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<RouterShared>) {
             return;
         }
         recorder.add("router.connections", 1);
+        // Connection cap: past it, answer Busy and close instead of
+        // spawning another handler — a connection flood or slow-loris
+        // swarm pins at most `max_conns` threads and FDs. (A connection
+        // handed off to a dispatched gather stops counting here; that
+        // phase is bounded separately by `max_inflight`.)
+        let prev = shared.live_conns.fetch_add(1, Ordering::AcqRel);
+        if prev >= shared.config.max_conns {
+            shared.live_conns.fetch_sub(1, Ordering::AcqRel);
+            recorder.add("router.conn_rejected", 1);
+            let busy = Response::Busy;
+            let _ = conn.set_write_timeout(Some(shared.config.io_timeout));
+            let _ = write_frame_versioned(&mut conn, &busy.encode(), busy.wire_version());
+            continue;
+        }
         // Read on a handler thread under an idle deadline: a half-open
         // peer must never pin admission of other clients.
         let shared = Arc::clone(shared);
-        std::thread::spawn(move || handle_conn(&shared, conn));
+        std::thread::spawn(move || {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                handle_conn(&shared, conn)
+            }));
+            shared.live_conns.fetch_sub(1, Ordering::AcqRel);
+        });
     }
 }
 
@@ -639,8 +709,10 @@ fn handle_conn(shared: &Arc<RouterShared>, mut conn: TcpStream) {
 }
 
 /// Gate one mapping query through the router's overload defenses — the
-/// per-client quota, then the router-wide in-flight cap — and dispatch it
-/// if both admit.
+/// router-wide in-flight cap, then the per-client quota — and dispatch it
+/// if both admit. The in-flight cap runs first because it charges
+/// nothing: a request it sheds never costs quota tokens, keeping the
+/// invariant that rejected requests are never charged.
 #[allow(clippy::too_many_arguments)]
 fn route_map(
     shared: &Arc<RouterShared>,
@@ -655,7 +727,15 @@ fn route_map(
     let recorder = &*shared.recorder;
     let lane = client_id.as_deref().unwrap_or("");
     let cost = (segments.len() as u64).max(1);
+    let prev = shared.inflight.fetch_add(1, Ordering::AcqRel);
+    if prev >= shared.config.max_inflight {
+        shared.inflight.fetch_sub(1, Ordering::AcqRel);
+        recorder.add("router.inflight_rejected", 1);
+        respond(&mut conn, recorder, &Response::Busy);
+        return;
+    }
     if let Err(retry_after) = shared.admission.try_admit(lane, cost) {
+        shared.inflight.fetch_sub(1, Ordering::AcqRel);
         recorder.add("router.throttled", 1);
         // Version negotiation: never answer a newer revision than the
         // request spoke — pre-v3 peers cannot decode Throttled.
@@ -667,13 +747,6 @@ fn route_map(
             Response::Busy
         };
         respond(&mut conn, recorder, &resp);
-        return;
-    }
-    let prev = shared.inflight.fetch_add(1, Ordering::AcqRel);
-    if prev >= shared.config.max_inflight {
-        shared.inflight.fetch_sub(1, Ordering::AcqRel);
-        recorder.add("router.inflight_rejected", 1);
-        respond(&mut conn, recorder, &Response::Busy);
         return;
     }
     dispatch(
@@ -833,10 +906,13 @@ fn shard_outcome(
         },
         None => None,
     };
-    if !shared.admit(shard_id) {
+    // The admission is an RAII reservation: if anything between here and
+    // the breaker report unwinds or returns early, a held half-open probe
+    // slot is released on drop instead of wedging the shard forever.
+    let Some(admission) = shared.admit(shard_id) else {
         recorder.add("router.breaker_skips", 1);
         return ShardOutcome::Missing;
-    }
+    };
     let spec = &shared.registry.shards()[shard_id];
     let evict = |reason: &str| {
         let _ = reason;
@@ -853,11 +929,11 @@ fn shard_outcome(
                 recorder.add("router.invalid_partials", 1);
                 recorder.add_dyn(format!("router.shard.{shard_id}.failures"), 1);
                 evict("invalid partials");
-                shared.report(shard_id, false);
+                admission.report(false);
                 ShardOutcome::Missing
             } else {
                 recorder.add_dyn(format!("router.shard.{shard_id}.ok"), 1);
-                shared.report(shard_id, true);
+                admission.report(true);
                 ShardOutcome::Partials(partials)
             }
         }
@@ -865,23 +941,23 @@ fn shard_outcome(
         // the shard. Same for backpressure: `Busy` (and its per-client
         // sibling `Throttled`) is load, not illness.
         Err(ServeError::Expired) => {
-            shared.report(shard_id, true);
+            admission.report(true);
             ShardOutcome::Expired
         }
         Err(ServeError::Busy) => {
             recorder.add("router.shard_busy", 1);
-            shared.report(shard_id, true);
+            admission.report(true);
             ShardOutcome::Missing
         }
         Err(ServeError::Throttled { .. }) => {
             recorder.add("router.shard_throttled", 1);
-            shared.report(shard_id, true);
+            admission.report(true);
             ShardOutcome::Missing
         }
         Err(_) => {
             recorder.add_dyn(format!("router.shard.{shard_id}.failures"), 1);
             evict("fetch failure");
-            shared.report(shard_id, false);
+            admission.report(false);
             ShardOutcome::Missing
         }
     }
@@ -1205,6 +1281,7 @@ mod tests {
             shutdown: AtomicBool::new(false),
             addr: "127.0.0.1:0".parse().unwrap(),
             inflight: AtomicUsize::new(0),
+            live_conns: AtomicUsize::new(0),
             info: RwLock::new(None),
         }
     }
@@ -1300,19 +1377,27 @@ mod tests {
             ..RouterConfig::default()
         };
         let shared = test_shared(config);
-        assert!(shared.admit(0));
-        shared.report(0, false);
-        assert!(shared.admit(0), "one failure is below the threshold");
-        shared.report(0, false);
-        assert!(!shared.admit(0), "second failure must open the breaker");
+        shared.admit(0).expect("fresh breaker admits").report(false);
+        shared
+            .admit(0)
+            .expect("one failure is below the threshold")
+            .report(false);
+        assert!(
+            shared.admit(0).is_none(),
+            "second failure must open the breaker"
+        );
         std::thread::sleep(Duration::from_millis(10));
-        assert!(shared.admit(0), "cooldown elapsed: half-open probe");
-        shared.report(0, false);
-        assert!(!shared.admit(0), "failed probe must reopen immediately");
+        shared
+            .admit(0)
+            .expect("cooldown elapsed: half-open probe")
+            .report(false);
+        assert!(
+            shared.admit(0).is_none(),
+            "failed probe must reopen immediately"
+        );
         std::thread::sleep(Duration::from_millis(10));
-        assert!(shared.admit(0));
-        shared.report(0, true);
-        assert!(shared.admit(0), "success closes the breaker");
+        shared.admit(0).expect("second cooldown probe").report(true);
+        assert!(shared.admit(0).is_some(), "success closes the breaker");
         let snap = shared.recorder.snapshot();
         assert_eq!(snap.counter("router.breaker_open"), 2);
         assert_eq!(snap.counter("router.breaker_close"), 1);
@@ -1331,19 +1416,25 @@ mod tests {
         std::thread::sleep(Duration::from_millis(10)); // past the cooldown
                                                        // Many fetches race the expired cooldown: the probe slot is
                                                        // reserved under the breaker lock, so exactly one may pass.
-        let admitted: Vec<bool> = std::thread::scope(|scope| {
+                                                       // The granted admissions are held (not dropped) until counted —
+                                                       // dropping one unreported would hand the slot to the next racer.
+        let admitted: Vec<Option<BreakerAdmit<'_>>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..8).map(|_| scope.spawn(|| shared.admit(0))).collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
+        let mut granted: Vec<BreakerAdmit<'_>> = admitted.into_iter().flatten().collect();
         assert_eq!(
-            admitted.iter().filter(|&&ok| ok).count(),
+            granted.len(),
             1,
-            "exactly one racer may own the half-open probe, got {admitted:?}"
+            "exactly one racer may own the half-open probe"
         );
         // The failed probe reopens the breaker — one reopen, not one per
         // refused racer — and refuses admission again.
-        shared.report(0, false);
-        assert!(!shared.admit(0), "failed probe must reopen the breaker");
+        granted.pop().expect("counted above").report(false);
+        assert!(
+            shared.admit(0).is_none(),
+            "failed probe must reopen the breaker"
+        );
         let snap = shared.recorder.snapshot();
         assert_eq!(
             snap.counter("router.breaker_open"),
@@ -1353,13 +1444,40 @@ mod tests {
         assert_eq!(snap.counter("router.breaker_close"), 0);
         // And a successful probe after the next cooldown closes it.
         std::thread::sleep(Duration::from_millis(10));
-        assert!(shared.admit(0));
-        shared.report(0, true);
-        assert!(shared.admit(0));
+        shared.admit(0).expect("next cooldown probe").report(true);
+        assert!(shared.admit(0).is_some());
         assert_eq!(
             shared.recorder.snapshot().counter("router.breaker_close"),
             1
         );
+    }
+
+    /// The fetch path between `admit` and `report` can unwind (a panic in
+    /// validation, an early return added later): a half-open admission
+    /// dropped without a report must release the probe slot, not wedge
+    /// the shard out of rotation forever.
+    #[test]
+    fn unreported_probe_admission_releases_the_slot_on_drop() {
+        let config = RouterConfig {
+            breaker_failures: 1,
+            breaker_cooldown: RetryPolicy::new(4, Duration::from_millis(1))
+                .with_cap(Duration::from_millis(2)),
+            ..RouterConfig::default()
+        };
+        let shared = test_shared(config);
+        shared.admit(0).expect("fresh breaker").report(false); // opens
+        std::thread::sleep(Duration::from_millis(10));
+        let probe = shared.admit(0).expect("cooldown elapsed: probe");
+        // While the probe is held, racers are refused...
+        assert!(shared.admit(0).is_none(), "held probe refuses racers");
+        // ...and dropping it unreported frees the slot for the next probe
+        // instead of leaving `probing` stuck true.
+        drop(probe);
+        shared
+            .admit(0)
+            .expect("dropped probe must release the half-open slot")
+            .report(true);
+        assert!(shared.admit(0).is_some(), "successful probe closed it");
     }
 
     /// A stub shard that accepts `conns` connections and answers `Pong`

@@ -11,29 +11,35 @@
 //!   unbounded sockets).
 //! * **handler threads** (one per live connection) — read request frames
 //!   (any protocol revision), answer `Ping`/`Info` inline, and admit
-//!   `Map`/`MapPartial` jobs through three composed gates: per-client
+//!   `Map`/`MapPartial` jobs through three composed gates: a
+//!   per-connection in-flight cap (`max_inflight`), per-client
 //!   token-bucket quotas ([`AdmissionControl`], rejecting
 //!   [`Response::Throttled`] for v3 peers and `Busy` for older revisions
-//!   that cannot decode it), a per-connection in-flight cap
-//!   (`max_inflight`), and the per-client deficit-round-robin queue
-//!   ([`FairQueue`], `Busy` when the client's lane is full). `Reload`
-//!   goes to a one-off loader thread so a slow index load never blocks
-//!   admission; `Shutdown` flips the flag and wakes the accept loop. A
-//!   peer that holds the socket open without sending (half-open,
-//!   slow-loris) is reaped after `idle_timeout` (`serve.reaped_idle`) —
-//!   before it pins the handler forever; stalling mid-frame is reaped on
-//!   the `io_timeout`. Connections that spoke `JEMSRV3` are kept alive
-//!   for further requests; v1/v2 connections keep their one-request
-//!   lifecycle byte-for-byte.
+//!   that cannot decode it — a request the queue then refuses is refunded,
+//!   so rejected work is never charged), and the per-client
+//!   deficit-round-robin queue ([`FairQueue`], `Busy` when the client's
+//!   lane is full). `Reload` goes to a one-off loader thread so a slow
+//!   index load never blocks admission; `Shutdown` flips the flag and
+//!   wakes the accept loop. A peer that holds the socket open without
+//!   sending (half-open, slow-loris) is reaped after `idle_timeout`
+//!   (`serve.reaped_idle`) — before it pins the handler forever; stalling
+//!   mid-frame is reaped on the `io_timeout`. Connections that spoke
+//!   `JEMSRV3` are kept alive for further requests; v1/v2 connections
+//!   keep their one-request lifecycle byte-for-byte.
 //! * **worker threads** (supervised pool) — each owns one reused
 //!   [`LazyHitCounter`](jem_index::LazyHitCounter) and a running query-id;
 //!   workers pop up to `batch` queued requests per index pass (the fair
 //!   queue interleaves lanes, so one greedy client cannot monopolize a
 //!   pass), shed the ones whose deadline has already expired
 //!   ([`Response::Expired`], `serve.shed`), map the rest with the one
-//!   counter, and write each response back on its own connection (writes
-//!   serialized through a per-connection mutex, since a keep-alive
-//!   connection can have several responses racing).
+//!   counter, and write each response back on its own connection. The
+//!   wire protocol carries no correlation id, so a keep-alive connection's
+//!   responses go through a per-connection [`ConnWriter`] that restores
+//!   *request order*: an answer finishing ahead of an earlier request's
+//!   answer (separate batches complete out of order, and rejections
+//!   complete inline) is buffered until everything before it is on the
+//!   wire — a pipelining v3 peer matches responses to requests
+//!   positionally, never misattributed.
 //! * **supervisor thread** — owns the worker pool. Each worker's request
 //!   loop runs under `catch_unwind`; a panicking worker fails its
 //!   in-flight batch with an `Error` reply (a guard holds the connection
@@ -67,11 +73,12 @@ use crate::shard::ShardedIndex;
 use crate::ServeError;
 use jem_core::{MapScratch, QuerySegment};
 use jem_obs::{MetricsRecorder, Recorder, Snapshot, Span};
+use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -168,16 +175,113 @@ enum JobKind {
 
 /// One admitted mapping request: the segments plus the connection to
 /// answer. The connection's write half is shared (keep-alive connections
-/// can have several responses racing), and `inflight` is the connection's
-/// in-flight count, decremented when this job is answered.
+/// can have several responses racing), `seq` is the request's arrival
+/// ordinal on its connection (the [`ConnWriter`] answers in that order),
+/// and `inflight` is the connection's in-flight count, decremented when
+/// this job is answered.
 struct Job {
-    conn: Arc<Mutex<TcpStream>>,
+    conn: Arc<ConnWriter>,
+    seq: u64,
     inflight: Arc<AtomicUsize>,
     segments: Vec<QuerySegment>,
     kind: JobKind,
     enqueued: Instant,
     /// When the client's deadline budget runs out (None = never expires).
     expires: Option<Instant>,
+}
+
+/// A connection's response path, restoring request order. The wire
+/// protocol has no correlation id, so a pipelining v3 peer can only match
+/// answers to requests positionally — but worker batches complete out of
+/// order and rejections (`Busy`, `Throttled`) complete inline, ahead of
+/// earlier in-flight answers. Every response is therefore tagged with its
+/// request's arrival sequence and held until all earlier sequences are on
+/// the wire. The buffer is bounded by the handler's read gate
+/// ([`ConnWriter::wait_for_room`]): the handler stops reading new frames
+/// while too many answers are outstanding.
+struct ConnWriter {
+    state: Mutex<WriteState>,
+    /// Signaled whenever a response lands on the wire (the read gate
+    /// waits on this for room).
+    flushed: Condvar,
+}
+
+struct WriteState {
+    stream: TcpStream,
+    /// The next sequence to go on the wire.
+    next: u64,
+    /// Responses that finished ahead of their turn, encoded, by sequence.
+    pending: BTreeMap<u64, (Vec<u8>, ProtocolVersion)>,
+}
+
+impl ConnWriter {
+    fn new(stream: TcpStream) -> Self {
+        ConnWriter {
+            state: Mutex::new(WriteState {
+                stream,
+                next: 0,
+                pending: BTreeMap::new(),
+            }),
+            flushed: Condvar::new(),
+        }
+    }
+
+    /// Answer request `seq` with `resp`, writing it now if every earlier
+    /// request is answered and buffering it otherwise. A duplicate answer
+    /// for a sequence already written or buffered is dropped — the panic
+    /// guard can race a normal reply on the chaos paths, and the peer
+    /// must see exactly one frame per request. Tolerates a peer that
+    /// already hung up (the write error is counted and the sequence still
+    /// advances, so later answers never jam behind a dead socket).
+    fn send(&self, seq: u64, recorder: &MetricsRecorder, resp: &Response) {
+        let mut st = self
+            .state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if seq < st.next || st.pending.contains_key(&seq) {
+            return;
+        }
+        st.pending.insert(seq, (resp.encode(), resp.wire_version()));
+        let mut wrote = false;
+        while let Some((body, version)) = {
+            let key = st.next;
+            st.pending.remove(&key)
+        } {
+            if write_frame_versioned(&mut st.stream, &body, version).is_err() {
+                recorder.add("serve.write_errors", 1);
+            }
+            st.next += 1;
+            wrote = true;
+        }
+        drop(st);
+        if wrote {
+            self.flushed.notify_all();
+        }
+    }
+
+    /// Block until fewer than `limit` requests are outstanding
+    /// (`next_seq` assigned, answers not yet on the wire) — the handler's
+    /// read gate, bounding the reorder buffer against a peer that floods
+    /// cheap requests behind a slow one. Returns `false` on `timeout`
+    /// (the connection is wedged; the caller closes it).
+    fn wait_for_room(&self, next_seq: u64, limit: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut st = self
+            .state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        while next_seq.saturating_sub(st.next) >= limit {
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                return false;
+            };
+            let (guard, _) = self
+                .flushed
+                .wait_timeout(st, left)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            st = guard;
+        }
+        true
+    }
 }
 
 /// One generation of the served index. Bumped atomically by a successful
@@ -358,17 +462,6 @@ pub fn start(
     })
 }
 
-/// Reply on `conn` with the revision the response needs, tolerating a peer
-/// that already hung up. Writes are serialized through the connection
-/// mutex; a poisoned lock (a worker panicked mid-write) still answers —
-/// the peer gets a frame either way.
-fn respond(conn: &Mutex<TcpStream>, recorder: &MetricsRecorder, resp: &Response) {
-    let mut guard = conn.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
-    if write_frame_versioned(&mut *guard, &resp.encode(), resp.wire_version()).is_err() {
-        recorder.add("serve.write_errors", 1);
-    }
-}
-
 /// Saturating in-flight decrement: the chaos paths (panic guard racing a
 /// normal reply) may release the same slot twice, and a wrapped counter
 /// would wedge the connection's admission forever.
@@ -435,13 +528,25 @@ fn handle_connection(shared: &Arc<Shared>, mut reader: TcpStream) {
     }
     // Reads happen on `reader` without any lock; responses go through the
     // shared write half (same underlying socket) so workers, reload
-    // threads, and this handler never interleave frames.
+    // threads, and this handler never interleave frames — and the writer
+    // restores request order across them.
     let writer = match reader.try_clone() {
-        Ok(w) => Arc::new(Mutex::new(w)),
+        Ok(w) => Arc::new(ConnWriter::new(w)),
         Err(_) => return,
     };
     let inflight = Arc::new(AtomicUsize::new(0));
+    // Arrival ordinal of the next request on this connection; every
+    // request consumes one and is answered at it.
+    let mut seq: u64 = 0;
+    // Read gate: cap the writer's reorder buffer. Admitted jobs are
+    // already capped by `max_inflight`; the slack covers inline answers
+    // (pings, rejections) buffered behind a slow in-flight batch.
+    let room = shared.max_inflight as u64 + 16;
     loop {
+        if !writer.wait_for_room(seq, room, shared.io_timeout) {
+            recorder.add("serve.write_stalled", 1);
+            return;
+        }
         // Idle phase: wait (bounded) for the next frame's first byte. A
         // clean EOF ends the connection; a peer holding the socket open
         // without sending is reaped — unless it is merely waiting for
@@ -478,18 +583,22 @@ fn handle_connection(shared: &Arc<Shared>, mut reader: TcpStream) {
             }
             Err(e) => {
                 recorder.add("serve.protocol_errors", 1);
-                respond(&writer, recorder, &Response::Error(e.to_string()));
+                writer.send(seq, recorder, &Response::Error(e.to_string()));
                 return;
             }
         };
+        // This request's answer slot: responses on this connection go out
+        // in arrival order, whichever thread produces them first.
+        let at = seq;
+        seq += 1;
         let keep_alive = version == ProtocolVersion::V3;
         let (client_id, request) = request.untag();
         match request {
-            Request::Ping => respond(&writer, recorder, &Response::Pong),
-            Request::Info => respond(&writer, recorder, &Response::Info(shared.current_info())),
+            Request::Ping => writer.send(at, recorder, &Response::Pong),
+            Request::Info => writer.send(at, recorder, &Response::Info(shared.current_info())),
             Request::Shutdown => {
                 recorder.add("serve.shutdown_requests", 1);
-                respond(&writer, recorder, &Response::ShuttingDown);
+                writer.send(at, recorder, &Response::ShuttingDown);
                 shared.shutdown.store(true, Ordering::SeqCst);
                 // Wake the accept loop so it observes the flag.
                 let _ = TcpStream::connect(shared.addr);
@@ -499,7 +608,7 @@ fn handle_connection(shared: &Arc<Shared>, mut reader: TcpStream) {
                 recorder.add("serve.reload_requests", 1);
                 // Load off the handler path: a multi-second index load
                 // must not stall admission of this connection's requests.
-                spawn_reload(Arc::clone(shared), Arc::clone(&writer), path);
+                spawn_reload(Arc::clone(shared), Arc::clone(&writer), at, path);
             }
             Request::Map {
                 segments,
@@ -507,6 +616,7 @@ fn handle_connection(shared: &Arc<Shared>, mut reader: TcpStream) {
             } => admit(
                 shared,
                 &writer,
+                at,
                 &inflight,
                 client_id.as_deref(),
                 version,
@@ -523,6 +633,7 @@ fn handle_connection(shared: &Arc<Shared>, mut reader: TcpStream) {
                 admit(
                     shared,
                     &writer,
+                    at,
                     &inflight,
                     client_id.as_deref(),
                     version,
@@ -532,8 +643,8 @@ fn handle_connection(shared: &Arc<Shared>, mut reader: TcpStream) {
                     received,
                 );
             }
-            Request::MapDegraded { .. } => respond(
-                &writer,
+            Request::MapDegraded { .. } => writer.send(
+                at,
                 recorder,
                 &Response::Error(
                     "degraded answers come from the router tier; this is a shard server".into(),
@@ -543,8 +654,8 @@ fn handle_connection(shared: &Arc<Shared>, mut reader: TcpStream) {
             // defensively anyway rather than recurse.
             Request::Tagged { .. } => {
                 recorder.add("serve.protocol_errors", 1);
-                respond(
-                    &writer,
+                writer.send(
+                    at,
                     recorder,
                     &Response::Error("nested tagged envelope".into()),
                 );
@@ -557,13 +668,17 @@ fn handle_connection(shared: &Arc<Shared>, mut reader: TcpStream) {
     }
 }
 
-/// Admit one mapping job through the three overload gates — per-client
-/// quota, per-connection in-flight cap, per-client queue lane — answering
-/// a typed rejection at whichever gate refuses.
+/// Admit one mapping job through the three overload gates — the
+/// per-connection in-flight cap, the per-client quota, the per-client
+/// queue lane — answering a typed rejection at whichever gate refuses.
+/// The in-flight cap runs first (it charges nothing), and a request the
+/// queue refuses after the quota charged it is refunded: a rejected
+/// request never costs tokens, whatever gate rejected it.
 #[allow(clippy::too_many_arguments)]
 fn admit(
     shared: &Arc<Shared>,
-    writer: &Arc<Mutex<TcpStream>>,
+    writer: &Arc<ConnWriter>,
+    seq: u64,
     inflight: &Arc<AtomicUsize>,
     client_id: Option<&str>,
     version: ProtocolVersion,
@@ -575,7 +690,15 @@ fn admit(
     let recorder = &shared.recorder;
     let lane = client_id.unwrap_or("");
     let cost = (segments.len() as u64).max(1);
+    let prev = inflight.fetch_add(1, Ordering::AcqRel);
+    if prev >= shared.max_inflight {
+        release_inflight(inflight);
+        recorder.add("serve.inflight_rejected", 1);
+        writer.send(seq, recorder, &Response::Busy);
+        return;
+    }
     if let Err(retry_after) = shared.admission.try_admit(lane, cost) {
+        release_inflight(inflight);
         recorder.add("serve.throttled", 1);
         // Version negotiation: never answer a newer revision than the
         // request spoke. Pre-v3 peers cannot decode Throttled, so an
@@ -587,14 +710,7 @@ fn admit(
         } else {
             Response::Busy
         };
-        respond(writer, recorder, &resp);
-        return;
-    }
-    let prev = inflight.fetch_add(1, Ordering::AcqRel);
-    if prev >= shared.max_inflight {
-        release_inflight(inflight);
-        recorder.add("serve.inflight_rejected", 1);
-        respond(writer, recorder, &Response::Busy);
+        writer.send(seq, recorder, &resp);
         return;
     }
     if deadline_ms.is_some() {
@@ -602,6 +718,7 @@ fn admit(
     }
     let job = Job {
         conn: Arc::clone(writer),
+        seq,
         inflight: Arc::clone(inflight),
         segments,
         kind,
@@ -610,19 +727,20 @@ fn admit(
     };
     match shared.queue.try_push(lane, cost, job) {
         Ok(depth) => {
+            recorder.add("serve.enqueued", 1);
             recorder.observe("serve.queue_depth", depth.total as u64);
             recorder.observe("serve.lane_depth", depth.lane as u64);
-            let shown = if lane.is_empty() { "anon" } else { lane };
-            recorder.add_dyn(format!("serve.lane.{shown}.enqueued"), 1);
         }
         Err((job, PushError::Full)) => {
+            shared.admission.refund(lane, cost);
             release_inflight(&job.inflight);
             recorder.add("serve.busy", 1);
-            respond(&job.conn, recorder, &Response::Busy);
+            job.conn.send(job.seq, recorder, &Response::Busy);
         }
         Err((job, PushError::Closed)) => {
+            shared.admission.refund(lane, cost);
             release_inflight(&job.inflight);
-            respond(&job.conn, recorder, &Response::ShuttingDown);
+            job.conn.send(job.seq, recorder, &Response::ShuttingDown);
         }
     }
 }
@@ -642,7 +760,7 @@ fn load_sharded(path: &str, n_slots: usize, owned: Range<usize>) -> Result<Shard
 /// Run one reload on its own thread: load + validate the new index, then
 /// atomically bump the epoch. In-flight batches keep their pinned old
 /// epoch; a failed load answers `Error` and leaves the old index serving.
-fn spawn_reload(shared: Arc<Shared>, conn: Arc<Mutex<TcpStream>>, path: String) {
+fn spawn_reload(shared: Arc<Shared>, conn: Arc<ConnWriter>, seq: u64, path: String) {
     std::thread::spawn(move || {
         let resp = match load_sharded(&path, shared.n_slots, shared.owned.clone()) {
             Ok(index) => {
@@ -664,7 +782,7 @@ fn spawn_reload(shared: Arc<Shared>, conn: Arc<Mutex<TcpStream>>, path: String) 
                 Response::Error(format!("reload {path}: {msg}"))
             }
         };
-        respond(&conn, &shared.recorder, &resp);
+        conn.send(seq, &shared.recorder, &resp);
     });
 }
 
@@ -723,7 +841,7 @@ fn supervise(shared: &Arc<Shared>, workers: usize) {
 /// a typed `Error` frame and releases its in-flight slot — a worker panic
 /// costs the batch an error reply, never a hung client.
 struct BatchGuard<'a> {
-    clients: Vec<(Arc<Mutex<TcpStream>>, Arc<AtomicUsize>)>,
+    clients: Vec<(Arc<ConnWriter>, u64, Arc<AtomicUsize>)>,
     recorder: &'a MetricsRecorder,
     armed: bool,
 }
@@ -733,7 +851,7 @@ impl<'a> BatchGuard<'a> {
         BatchGuard {
             clients: jobs
                 .iter()
-                .map(|j| (Arc::clone(&j.conn), Arc::clone(&j.inflight)))
+                .map(|j| (Arc::clone(&j.conn), j.seq, Arc::clone(&j.inflight)))
                 .collect(),
             recorder,
             armed: true,
@@ -752,10 +870,8 @@ impl Drop for BatchGuard<'_> {
             return;
         }
         let resp = Response::Error("internal error: worker panicked on this batch".into());
-        let body = resp.encode();
-        for (conn, inflight) in &self.clients {
-            let mut guard = conn.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
-            let _ = write_frame_versioned(&mut *guard, &body, resp.wire_version());
+        for (conn, seq, inflight) in &self.clients {
+            conn.send(*seq, self.recorder, &resp);
             release_inflight(inflight);
         }
         self.recorder
@@ -799,7 +915,7 @@ fn worker_loop(shared: &Shared) {
         for job in jobs {
             if job.expires.is_some_and(|t| t <= now) {
                 recorder.add("serve.shed", 1);
-                respond(&job.conn, recorder, &Response::Expired);
+                job.conn.send(job.seq, recorder, &Response::Expired);
                 release_inflight(&job.inflight);
             } else {
                 live.push(job);
@@ -845,7 +961,7 @@ fn worker_loop(shared: &Shared) {
             };
             recorder.add("serve.requests", 1);
             recorder.add("serve.segments", job.segments.len() as u64);
-            respond(&job.conn, recorder, &resp);
+            job.conn.send(job.seq, recorder, &resp);
             release_inflight(&job.inflight);
             let latency = u64::try_from(job.enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX);
             recorder.span_ns("serve/request", latency);

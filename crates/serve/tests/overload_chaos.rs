@@ -311,6 +311,99 @@ fn slow_loris_connections_are_reaped_while_pings_keep_landing() {
     );
 }
 
+/// The wire protocol has no correlation id, so a pipelining v3 client
+/// matches responses to requests positionally: the server must answer in
+/// request order even when a cheap inline answer (`Pong`) completes while
+/// an earlier mapping request is still straggling in a worker batch.
+#[test]
+fn pipelined_v3_responses_arrive_in_request_order() {
+    let (mapper, segments) = world();
+    let seg = segments[..1].to_vec();
+    let handle = jem_serve::start(
+        ShardedIndex::new(mapper, 2),
+        "127.0.0.1:0",
+        &ServerConfig {
+            straggle_ms: 100, // hold the Map answers so the Pongs race them
+            io_timeout: Duration::from_secs(5),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let tagged = |inner: Request| Request::Tagged {
+        client_id: "orderer".into(),
+        inner: Box::new(inner),
+    };
+    let map = tagged(Request::Map {
+        segments: seg,
+        deadline_ms: None,
+    })
+    .encode();
+    let ping = tagged(Request::Ping).encode();
+    let mut conn = TcpStream::connect(handle.addr()).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // Map, Ping, Map, Ping back to back: without order restoration the
+    // Pongs would land first (they are answered inline while the Maps
+    // straggle) and the client would misattribute every answer.
+    for body in [&map, &ping, &map, &ping] {
+        write_frame_versioned(&mut conn, body, ProtocolVersion::V3).unwrap();
+    }
+    let mut kinds = Vec::new();
+    for i in 0..4 {
+        let (_, resp_body) = read_frame_versioned(&mut conn)
+            .unwrap_or_else(|e| panic!("response {i} must arrive, not hang: {e}"));
+        kinds.push(match Response::decode(&resp_body).unwrap() {
+            Response::Mappings(_) => "mappings",
+            Response::Pong => "pong",
+            other => panic!("response {i}: unexpected {other:?}"),
+        });
+    }
+    assert_eq!(
+        kinds,
+        ["mappings", "pong", "mappings", "pong"],
+        "responses must come back in request order, not completion order"
+    );
+    drop(conn);
+    handle.shutdown();
+}
+
+/// The router's front door is capped like the shard servers': past
+/// `max_conns` live connections, new ones are answered typed `Busy` and
+/// closed instead of pinning an unbounded number of handler threads, and
+/// the idle reaper frees the flooded slots.
+#[test]
+fn router_connection_flood_past_the_cap_is_answered_busy() {
+    let registry = ShardRegistry::parse("0-1@127.0.0.1:1").unwrap();
+    let config = RouterConfig {
+        max_conns: 2,
+        idle_timeout: Duration::from_millis(300),
+        io_timeout: Duration::from_secs(2),
+        ..RouterConfig::default()
+    };
+    let router = start_router(registry, "127.0.0.1:0", &config).unwrap();
+    let addr = router.addr().to_string();
+    // Two slow-loris connections fill the cap.
+    let lorises: Vec<TcpStream> = (0..2)
+        .map(|_| TcpStream::connect(router.addr()).unwrap())
+        .collect();
+    std::thread::sleep(Duration::from_millis(100)); // let the accept loop count them
+    let client = Client::new(addr).with_timeout(Duration::from_secs(2));
+    match client.ping() {
+        Err(ServeError::Busy) => {}
+        other => panic!("past the cap a connection must see typed Busy, got {other:?}"),
+    }
+    // The idle reaper retires the lorises (still held open, still silent),
+    // freeing their slots for honest traffic.
+    std::thread::sleep(Duration::from_millis(600));
+    client
+        .ping()
+        .expect("after the reap the router must serve again");
+    drop(lorises);
+    let report = router.shutdown();
+    assert!(report.metrics.counter("router.conn_rejected") >= 1);
+    assert!(report.metrics.counter("router.reaped_idle") >= 2);
+}
+
 /// A v3 client pipelining past its per-connection in-flight cap gets
 /// typed `Busy` for the excess — and answers for the admitted work — with
 /// no protocol-level hang.
