@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Gate sketch-kernel throughput against the committed baseline.
 
-Compares the ``select`` and ``map`` stage throughput (bases/sec) of a fresh
+Compares the ``minimizers``, ``select``, and ``map`` stage throughput
+(bases/sec) of a fresh
 ``jem bench sketch`` run against ``results/BENCH_sketch.baseline.json`` and
 fails when any gated stage regresses by more than the allowed fraction
 (default 15%). Improvements never fail the gate, but a large one prints a
@@ -23,7 +24,7 @@ import argparse
 import json
 import sys
 
-GATED_STAGES = ("select", "map")
+GATED_STAGES = ("minimizers", "select", "map")
 
 
 def throughput(report, stage):

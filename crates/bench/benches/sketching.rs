@@ -1,5 +1,5 @@
 //! Sketching microbenchmarks and ablations:
-//! * minimizer extraction — O(n) deque vs quadratic reference;
+//! * minimizer extraction — O(n) two-pass winnow vs quadratic reference;
 //! * JEM sketch — sliding-min vs naive Algorithm 1 transliteration;
 //! * JEM sketch vs classical MinHash at equal T.
 
@@ -27,7 +27,7 @@ fn bench_minimizers(c: &mut Criterion) {
     for n in [10_000usize, 100_000] {
         let seq = rng_seq(n, 1);
         g.throughput(Throughput::Bytes(n as u64));
-        g.bench_with_input(BenchmarkId::new("deque", n), &seq, |b, s| {
+        g.bench_with_input(BenchmarkId::new("fast", n), &seq, |b, s| {
             b.iter(|| minimizers(s, params))
         });
         if n <= 10_000 {

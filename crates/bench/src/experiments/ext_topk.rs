@@ -24,12 +24,13 @@ pub fn run() {
 
     let max_x = *TOP_X.last().expect("non-empty");
     // For each segment, the deepest candidate list once; prefixes give x<max.
+    let mut scratch = jem_core::MapScratch::new();
     let candidates: Vec<(String, Vec<u32>)> = segments
         .iter()
         .map(|seg| {
             let key = seg.key(&prep.reads);
             let top: Vec<u32> = mapper
-                .map_segment_topk(&seg.seq, max_x)
+                .map_segment_topk_with(&seg.seq, max_x, &mut scratch)
                 .into_iter()
                 .map(|(s, _)| s)
                 .collect();

@@ -304,18 +304,33 @@ impl JemMapper {
     /// extend our method to report a fixed number, say top x hits per read,
     /// several of the missing contig hits could possibly be recovered").
     pub fn map_segment_topk(&self, seg: &[u8], x: usize) -> Vec<(SubjectId, u32)> {
-        let sketch = self.sketch(seg);
+        let mut scratch = MapScratch::new();
+        self.map_segment_topk_with(seg, x, &mut scratch)
+    }
+
+    /// [`JemMapper::map_segment_topk`] with caller-provided scratch: the
+    /// segment is sketched through the reused buffers (block encoder,
+    /// winnow scratch, trial stack) instead of the allocating path, so a
+    /// top-x sweep over many segments reuses one warm scratch. Identical
+    /// ranking for every input.
+    pub fn map_segment_topk_with(
+        &self,
+        seg: &[u8],
+        x: usize,
+        scratch: &mut MapScratch,
+    ) -> Vec<(SubjectId, u32)> {
+        self.sketch_segment_into(seg, scratch);
+        let (sketch, trial_subjects) = scratch.parts();
         let mut counts: std::collections::HashMap<SubjectId, u32> =
             std::collections::HashMap::new();
-        let mut trial_subjects: Vec<SubjectId> = Vec::new();
         for (t, codes) in sketch.per_trial.iter().enumerate() {
             trial_subjects.clear();
             for &code in codes {
-                self.table.lookup_into(t, code, &mut trial_subjects);
+                self.table.lookup_into(t, code, trial_subjects);
             }
             trial_subjects.sort_unstable();
             trial_subjects.dedup();
-            for &s in &trial_subjects {
+            for &s in trial_subjects.iter() {
                 *counts.entry(s).or_insert(0) += 1;
             }
         }

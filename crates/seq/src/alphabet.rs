@@ -9,18 +9,41 @@
 /// Number of symbols in the DNA alphabet.
 pub const ALPHABET_SIZE: usize = 4;
 
+/// Sentinel stored in [`ENCODE_LUT`] for bytes that are not unambiguous DNA.
+pub const INVALID_CODE: u8 = 0xFF;
+
+/// Full 256-entry encoding table: `ENCODE_LUT[b as usize]` is the 2-bit code
+/// of nucleotide `b` (either case) or [`INVALID_CODE`].
+///
+/// The block encoder ([`crate::block`]) translates whole 32-byte blocks
+/// through this table with no per-byte branching; [`encode_base`] is the same
+/// table wrapped in an `Option`.
+pub const ENCODE_LUT: [u8; 256] = build_encode_lut();
+
+const fn build_encode_lut() -> [u8; 256] {
+    let mut t = [INVALID_CODE; 256];
+    t[b'A' as usize] = 0;
+    t[b'a' as usize] = 0;
+    t[b'C' as usize] = 1;
+    t[b'c' as usize] = 1;
+    t[b'G' as usize] = 2;
+    t[b'g' as usize] = 2;
+    t[b'T' as usize] = 3;
+    t[b't' as usize] = 3;
+    t
+}
+
 /// Encode an ASCII nucleotide into its 2-bit code.
 ///
 /// Returns `None` for ambiguity codes (`N`, `R`, ...) and any non-nucleotide
 /// byte. Lower-case input is accepted.
 #[inline]
 pub fn encode_base(b: u8) -> Option<u8> {
-    match b {
-        b'A' | b'a' => Some(0),
-        b'C' | b'c' => Some(1),
-        b'G' | b'g' => Some(2),
-        b'T' | b't' => Some(3),
-        _ => None,
+    let c = ENCODE_LUT[b as usize];
+    if c == INVALID_CODE {
+        None
+    } else {
+        Some(c)
     }
 }
 
@@ -82,6 +105,21 @@ pub fn revcomp_in_place(seq: &mut [u8]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn lut_matches_encode_base_for_all_bytes() {
+        for b in 0u8..=255 {
+            let expect = match b {
+                b'A' | b'a' => Some(0),
+                b'C' | b'c' => Some(1),
+                b'G' | b'g' => Some(2),
+                b'T' | b't' => Some(3),
+                _ => None,
+            };
+            assert_eq!(encode_base(b), expect, "byte {b}");
+            assert_eq!(ENCODE_LUT[b as usize], expect.unwrap_or(INVALID_CODE));
+        }
+    }
 
     #[test]
     fn encode_decode_roundtrip() {

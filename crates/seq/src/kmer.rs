@@ -140,6 +140,18 @@ pub fn kmer_mask(k: usize) -> u64 {
     }
 }
 
+/// One step of the canonical rolling pair: push 2-bit code `c` into the
+/// forward code and its complement into the high end of the reverse code.
+///
+/// `mask` is [`kmer_mask`]`(k)` and `rev_shift` is `2 * (k - 1)`. This is the
+/// single rolling update shared by [`CanonicalKmerIter`] (per-byte scalar
+/// path) and the branch-free block-run path in [`crate::block`]; keeping one
+/// definition is what makes the two byte-identical by construction.
+#[inline(always)]
+pub fn roll_canonical(fwd: u64, rev: u64, c: u64, mask: u64, rev_shift: u32) -> (u64, u64) {
+    (((fwd << 2) | c) & mask, (rev >> 2) | ((3 - c) << rev_shift))
+}
+
 /// Rolling iterator over all k-mers of a byte sequence, in order.
 ///
 /// Windows containing an ambiguous base are skipped; iteration resumes at the
@@ -254,9 +266,9 @@ impl Iterator for CanonicalKmerIter<'_> {
             self.next += 1;
             match encode_base(b) {
                 Some(c) => {
-                    self.fwd = ((self.fwd << 2) | u64::from(c)) & self.mask;
-                    // Complement enters at the high end of the rc code.
-                    self.rev = (self.rev >> 2) | (u64::from(3 - c) << (2 * (self.k - 1)));
+                    let rev_shift = (2 * (self.k - 1)) as u32;
+                    (self.fwd, self.rev) =
+                        roll_canonical(self.fwd, self.rev, u64::from(c), self.mask, rev_shift);
                     self.filled += 1;
                     if self.filled >= self.k {
                         let pos = self.next - self.k;

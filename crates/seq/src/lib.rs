@@ -9,6 +9,9 @@
 //!   rank" both rely on lexicographic order).
 //! * [`kmer`] — fixed-`k` k-mers packed into a `u64` (`k ≤ 32`), reverse
 //!   complements, canonical forms, and rolling iteration over byte sequences.
+//! * [`block`] — branch-free block 2-bit encoding: LUT-translated 32-base
+//!   blocks packed into `u64` words with validity masks, split once into
+//!   maximal valid runs for the sketching hot loops.
 //! * [`packed`] — 2-bit packed sequences for memory-efficient storage of
 //!   contigs and reads.
 //! * [`record`] — named sequence records shared by the FASTA/FASTQ codecs.
@@ -20,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod alphabet;
+pub mod block;
 pub mod error;
 pub mod fasta;
 pub mod fastq;
@@ -28,6 +32,7 @@ pub mod packed;
 pub mod record;
 
 pub use alphabet::{complement_base, decode_base, encode_base, is_dna, revcomp_bytes};
+pub use block::{BlockEncoded, Run, RunCodes};
 pub use error::SeqError;
 pub use fasta::{FastaReader, FastaWriter};
 pub use fastq::{FastqReader, FastqWriter};

@@ -7,6 +7,7 @@
 //! unpacking to ASCII first.
 
 use crate::alphabet::{decode_base, encode_base};
+use crate::block::BlockEncoded;
 use crate::error::SeqError;
 use crate::kmer::{kmer_mask, Kmer, MAX_K};
 
@@ -33,13 +34,29 @@ impl PackedSeq {
     }
 
     /// Pack an ASCII sequence. Fails on the first ambiguous base.
+    ///
+    /// Runs through the block encoder ([`crate::block`]); the packed word
+    /// layout there is exactly the little-endian byte image of this struct's
+    /// `data`, so a fully-valid encoding converts by copying word bytes.
     pub fn from_bytes(seq: &[u8]) -> Result<Self, SeqError> {
-        let mut p = PackedSeq::with_capacity(seq.len());
-        for (pos, &b) in seq.iter().enumerate() {
-            let c = encode_base(b).ok_or(SeqError::InvalidBase { byte: b, pos })?;
-            p.push_code(c);
+        let mut enc = BlockEncoded::default();
+        enc.encode_into(seq);
+        if let Some(pos) = enc.first_invalid() {
+            return Err(SeqError::InvalidBase {
+                byte: seq[pos],
+                pos,
+            });
         }
-        Ok(p)
+        let n_bytes = seq.len().div_ceil(4);
+        let mut data = Vec::with_capacity(enc.words().len() * 8);
+        for w in enc.words() {
+            data.extend_from_slice(&w.to_le_bytes());
+        }
+        data.truncate(n_bytes);
+        Ok(PackedSeq {
+            data,
+            len: seq.len(),
+        })
     }
 
     /// Pack an ASCII sequence, replacing ambiguous bases with `A`.
@@ -262,6 +279,23 @@ mod tests {
         let seq = vec![b'A'; 1000];
         let p = PackedSeq::from_bytes(&seq).unwrap();
         assert_eq!(p.data.len(), 250);
+    }
+
+    #[test]
+    fn from_bytes_matches_push_path_bytewise() {
+        // `PartialEq`/`Hash` derive over `data`, so the block-encoded
+        // constructor must produce the exact bytes of the push_code path,
+        // including tail padding.
+        for n in [0usize, 1, 3, 4, 5, 31, 32, 33, 63, 64, 65, 127, 1000] {
+            let seq: Vec<u8> = (0..n).map(|i| b"ACGT"[(i * 7 + i / 3) % 4]).collect();
+            let fast = PackedSeq::from_bytes(&seq).unwrap();
+            let mut slow = PackedSeq::with_capacity(n);
+            for &b in &seq {
+                slow.push_base(b).unwrap();
+            }
+            assert_eq!(fast.data, slow.data, "len {n}");
+            assert_eq!(fast, slow);
+        }
     }
 
     #[test]

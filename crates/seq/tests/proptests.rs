@@ -1,10 +1,23 @@
 //! Property-based tests for the sequence substrate.
 
 use jem_seq::{
-    alphabet::revcomp_bytes, CanonicalKmerIter, FastaReader, FastaWriter, FastqReader, FastqRecord,
-    FastqWriter, Kmer, KmerIter, PackedSeq, SeqRecord,
+    alphabet::revcomp_bytes, encode_base, BlockEncoded, CanonicalKmerIter, FastaReader,
+    FastaWriter, FastqReader, FastqRecord, FastqWriter, Kmer, KmerIter, PackedSeq, RunCodes,
+    SeqRecord,
 };
 use proptest::prelude::*;
+
+/// Strategy: byte soup — upper/lowercase DNA weighted heavily so valid
+/// runs appear, plus ambiguity codes and outright junk bytes.
+fn byte_soup(max: usize) -> impl Strategy<Value = Vec<u8>> {
+    let mut palette = Vec::new();
+    for b in [b'A', b'C', b'G', b'T'] {
+        palette.extend(std::iter::repeat_n(b, 6));
+    }
+    palette.extend([b'a', b'c', b'g', b't']);
+    palette.extend([b'N', b'n', b'R', b'-', b'@', b' ', b'Z', 0u8, 0x80, 0xFF]);
+    prop::collection::vec(prop::sample::select(palette), 0..max)
+}
 
 /// Strategy: an ACGT-only sequence of length `0..max`.
 fn dna(max: usize) -> impl Strategy<Value = Vec<u8>> {
@@ -145,5 +158,72 @@ proptest! {
         let p = PackedSeq::from_bytes(&seq).unwrap();
         let km = p.kmer_at(start, k).unwrap();
         prop_assert_eq!(km.to_bytes(), seq[start..start + k].to_vec());
+    }
+
+    /// The block encoder's per-position codes must match the scalar LUT,
+    /// and its runs must be exactly the maximal valid stretches.
+    #[test]
+    fn block_encoder_matches_scalar(seq in byte_soup(300)) {
+        let mut enc = BlockEncoded::default();
+        enc.encode_into(&seq);
+        prop_assert_eq!(enc.len(), seq.len());
+
+        // Per-position code agreement on valid bases.
+        for (i, &b) in seq.iter().enumerate() {
+            if let Some(c) = encode_base(b) {
+                prop_assert_eq!(enc.code_at(i), c, "position {}", i);
+            }
+        }
+
+        // Runs are exactly the maximal valid stretches: disjoint, in
+        // order, fully valid inside, invalid (or edge) on both flanks.
+        let valid: Vec<bool> = seq.iter().map(|&b| encode_base(b).is_some()).collect();
+        let mut expected = Vec::new();
+        let mut i = 0usize;
+        while i < seq.len() {
+            if valid[i] {
+                let start = i;
+                while i < seq.len() && valid[i] { i += 1; }
+                expected.push((start as u32, (i - start) as u32));
+            } else {
+                i += 1;
+            }
+        }
+        let got: Vec<(u32, u32)> = enc.runs().iter().map(|r| (r.start, r.len)).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Streaming codes out of a packed run must reproduce `code_at` for
+    /// every position, across arbitrary word alignments.
+    #[test]
+    fn run_codes_stream_matches_code_at(seq in byte_soup(300)) {
+        let mut enc = BlockEncoded::default();
+        enc.encode_into(&seq);
+        for &run in enc.runs() {
+            let mut stream = RunCodes::new(&enc, run);
+            for i in run.start as usize..run.end() {
+                prop_assert_eq!(stream.next_code(), u64::from(enc.code_at(i)), "pos {}", i);
+            }
+        }
+    }
+
+    /// Scratch reuse: re-encoding a different sequence into the same
+    /// buffers must leave no stale state behind.
+    #[test]
+    fn block_encoder_reuse_is_clean(a in byte_soup(250), b in byte_soup(250)) {
+        let mut reused = BlockEncoded::default();
+        reused.encode_into(&a);
+        reused.encode_into(&b);
+        let mut fresh = BlockEncoded::default();
+        fresh.encode_into(&b);
+        prop_assert_eq!(reused.len(), fresh.len());
+        let ra: Vec<(u32, u32)> = reused.runs().iter().map(|r| (r.start, r.len)).collect();
+        let rb: Vec<(u32, u32)> = fresh.runs().iter().map(|r| (r.start, r.len)).collect();
+        prop_assert_eq!(ra, rb);
+        for r in fresh.runs() {
+            for i in r.start as usize..r.end() {
+                prop_assert_eq!(reused.code_at(i), fresh.code_at(i));
+            }
+        }
     }
 }

@@ -16,6 +16,58 @@
 /// The Mersenne prime `2^61 − 1` used as the default modulus.
 pub const MERSENNE_P61: u64 = (1u64 << 61) - 1;
 
+/// Lane width of the fixed-size chunks the batched hash kernels iterate in.
+///
+/// Eight `u64` lanes span two AVX2 registers (or four SSE2 ones); the chunk
+/// loops are written over `[u64; LANES]` arrays with no early exits so LLVM
+/// unrolls and autovectorizes them on stable Rust.
+pub const LANES: usize = 8;
+
+/// Fold a partial sum `s < 2^63` into `[0, P)` for `P = 2^61 − 1`.
+///
+/// `s >> 61` is at most 3, so one fold plus a single conditional subtract
+/// (written branchless so it vectorizes as a compare/select) is exact.
+#[inline(always)]
+fn p61_fold_63(s: u64) -> u64 {
+    let f = (s & MERSENNE_P61) + (s >> 61); // ≤ P + 2
+    f - (MERSENNE_P61 & (u64::from(f >= MERSENNE_P61).wrapping_neg()))
+}
+
+/// Evaluate `(a·x + b) mod (2^61 − 1)` for `x < 2^32` without u128 products.
+///
+/// The multiplier splits as `a = a_hi·2^32 + a_lo` with `a_hi < 2^29` (since
+/// `a < P < 2^61`), so both partial products fit `u64`:
+/// `m1 = a_hi·x < 2^61`, `m0 = a_lo·x < 2^64`. Using `2^61 ≡ 1 (mod P)`:
+///
+/// ```text
+/// a·x + b = m1·2^32 + m0 + b
+///         ≡ (m1 >> 29) + ((m1 & (2^29−1)) << 32)   // m1·2^32, folded
+///         + (m0 >> 61) + (m0 & P)                  // m0, folded
+///         + b                               (mod P)
+/// ```
+///
+/// Every summand is < 2^61, the total is < 2^63, and [`p61_fold_63`]
+/// finishes the reduction — the mathematically identical residue to
+/// [`reduce_p61`] of the u128 product, hence byte-identical sketches. All
+/// operations are 32×32→64 multiplies, shifts, masks and adds, which is
+/// precisely the set SSE2/AVX2 provide for 64-bit lanes.
+#[inline(always)]
+fn hash32_one(a: u64, b: u64, x: u64) -> u64 {
+    debug_assert!(x <= u64::from(u32::MAX));
+    let a_hi = a >> 32;
+    let a_lo = a & 0xFFFF_FFFF;
+    let m1 = a_hi * x;
+    let m0 = a_lo * x;
+    let s = (m1 >> 29) + ((m1 & ((1u64 << 29) - 1)) << 32) + (m0 >> 61) + (m0 & MERSENNE_P61) + b;
+    p61_fold_63(s)
+}
+
+/// Scalar u128 evaluation for codes that may exceed 2^32 (`k > 16`).
+#[inline(always)]
+fn hash_wide_one(a: u64, b: u64, x: u64) -> u64 {
+    reduce_p61(u128::from(a) * u128::from(x) + u128::from(b))
+}
+
 /// Reduce `v` modulo the Mersenne prime `P = 2^61 − 1` with shifts and adds.
 ///
 /// Because `2^61 ≡ 1 (mod P)`, any `v = hi·2^61 + lo` satisfies
@@ -35,6 +87,140 @@ pub fn reduce_p61(v: u128) -> u64 {
     } else {
         folded
     }
+}
+
+/// One trial over a block of codes: the portable lane loop.
+///
+/// Iterates `LANES`-wide fixed-size chunks; each chunk first checks (with a
+/// branch-free OR-fold) that every code fits 32 bits — always true for
+/// `k ≤ 16`, the paper's default — and takes the vectorizable 32-bit-split
+/// path, falling back to scalar u128 arithmetic otherwise. `#[inline(always)]`
+/// so the `simd`-feature AVX2 wrapper recompiles this exact body with wider
+/// registers enabled (same arithmetic → byte-identical output).
+#[inline(always)]
+fn hash_codes_kernel(a: u64, b: u64, codes: &[u64], out: &mut [u64]) {
+    debug_assert_eq!(codes.len(), out.len());
+    let mut xs_chunks = codes.chunks_exact(LANES);
+    let mut out_chunks = out.chunks_exact_mut(LANES);
+    for (xs, os) in (&mut xs_chunks).zip(&mut out_chunks) {
+        let xs: &[u64; LANES] = xs.try_into().expect("exact chunk");
+        let os: &mut [u64; LANES] = os.try_into().expect("exact chunk");
+        let mut or_fold = 0u64;
+        for &x in xs.iter() {
+            or_fold |= x;
+        }
+        if or_fold >> 32 == 0 {
+            for i in 0..LANES {
+                os[i] = hash32_one(a, b, xs[i]);
+            }
+        } else {
+            for i in 0..LANES {
+                os[i] = hash_wide_one(a, b, xs[i]);
+            }
+        }
+    }
+    for (&x, o) in xs_chunks
+        .remainder()
+        .iter()
+        .zip(out_chunks.into_remainder())
+    {
+        *o = hash_wide_one(a, b, x);
+    }
+}
+
+/// All trials on one code: lanes run over the SoA coefficient arrays.
+#[inline(always)]
+fn hash_all_kernel(a: &[u64], b: &[u64], x: u64, out: &mut [u64]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len());
+    let mut a_chunks = a.chunks_exact(LANES);
+    let mut b_chunks = b.chunks_exact(LANES);
+    let mut out_chunks = out.chunks_exact_mut(LANES);
+    if x >> 32 == 0 {
+        for ((aa, bb), os) in (&mut a_chunks).zip(&mut b_chunks).zip(&mut out_chunks) {
+            let aa: &[u64; LANES] = aa.try_into().expect("exact chunk");
+            let bb: &[u64; LANES] = bb.try_into().expect("exact chunk");
+            let os: &mut [u64; LANES] = os.try_into().expect("exact chunk");
+            for i in 0..LANES {
+                os[i] = hash32_one(aa[i], bb[i], x);
+            }
+        }
+    } else {
+        for ((aa, bb), os) in (&mut a_chunks).zip(&mut b_chunks).zip(&mut out_chunks) {
+            for i in 0..LANES {
+                os[i] = hash_wide_one(aa[i], bb[i], x);
+            }
+        }
+    }
+    for ((&aa, &bb), o) in a_chunks
+        .remainder()
+        .iter()
+        .zip(b_chunks.remainder())
+        .zip(out_chunks.into_remainder())
+    {
+        *o = hash_wide_one(aa, bb, x);
+    }
+}
+
+/// Runtime-dispatched AVX2 versions of the lane kernels, enabled by the
+/// `simd` cargo feature. Each wrapper recompiles the *same* portable kernel
+/// body under `target_feature(enable = "avx2")` — identical arithmetic, so
+/// the output is byte-identical to the fallback; only the instruction
+/// selection differs. `unsafe fn` form is required at the crate's MSRV
+/// (safe `#[target_feature]` needs a newer toolchain); the only safety
+/// obligation is the CPU check, done once at the call site.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[allow(unsafe_code)]
+mod simd {
+    /// Does this CPU support AVX2? (cached by std's feature detection)
+    #[inline]
+    pub fn have_avx2() -> bool {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2 ([`have_avx2`]).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn hash_codes_avx2(a: u64, b: u64, codes: &[u64], out: &mut [u64]) {
+        super::hash_codes_kernel(a, b, codes, out);
+    }
+
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2 ([`have_avx2`]).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn hash_all_avx2(a: &[u64], b: &[u64], x: u64, out: &mut [u64]) {
+        super::hash_all_kernel(a, b, x, out);
+    }
+}
+
+/// Dispatch one-trial/many-codes to the best available kernel.
+#[inline]
+fn hash_codes_dispatch(a: u64, b: u64, codes: &[u64], out: &mut [u64]) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd::have_avx2() {
+        // SAFETY: AVX2 presence verified at runtime just above.
+        #[allow(unsafe_code)]
+        unsafe {
+            simd::hash_codes_avx2(a, b, codes, out)
+        };
+        return;
+    }
+    hash_codes_kernel(a, b, codes, out);
+}
+
+/// Dispatch all-trials/one-code to the best available kernel.
+#[inline]
+fn hash_all_dispatch(a: &[u64], b: &[u64], x: u64, out: &mut [u64]) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd::have_avx2() {
+        // SAFETY: AVX2 presence verified at runtime just above.
+        #[allow(unsafe_code)]
+        unsafe {
+            simd::hash_all_avx2(a, b, x, out)
+        };
+        return;
+    }
+    hash_all_kernel(a, b, x, out);
 }
 
 /// One linear-congruential hash function over `Z_P`.
@@ -148,18 +334,42 @@ impl HashFamily {
 
     /// Evaluate *all* `T` trials on `x` in one batched pass.
     ///
-    /// `out` is resized to `T`; `out[t]` receives `h_t(x)`. This is the
-    /// sketching kernel's inner loop: one contiguous sweep over the `A`/`B`
-    /// arrays, one multiply-add-fold per trial, no division anywhere.
+    /// `out` is resized to `T`; `out[t]` receives `h_t(x)`. Delegates to
+    /// [`hash_all_lanes`](Self::hash_all_lanes), the lane-parallel sweep.
     #[inline]
     pub fn hash_all_into(&self, x: u64, out: &mut Vec<u64>) {
+        self.hash_all_lanes(x, out);
+    }
+
+    /// Lane-parallel evaluation of all `T` trials on one code.
+    ///
+    /// Sweeps the SoA `A`/`B` arrays in [`LANES`]-wide chunks; for
+    /// `x < 2^32` (every `k ≤ 16` code) the inner step is the 32-bit-split
+    /// reduction of [`hash32_one`], which autovectorizes (and takes an AVX2
+    /// `target_feature` path under the `simd` cargo feature). Byte-identical
+    /// to calling [`hash`](Self::hash) per trial on every input.
+    #[inline]
+    pub fn hash_all_lanes(&self, x: u64, out: &mut Vec<u64>) {
         out.clear();
-        out.extend(
-            self.a
-                .iter()
-                .zip(&self.b)
-                .map(|(&a, &b)| reduce_p61((a as u128) * (x as u128) + (b as u128))),
-        );
+        out.resize(self.a.len(), 0);
+        hash_all_dispatch(&self.a, &self.b, x, out);
+    }
+
+    /// Evaluate trial `t` on a whole block of codes: `out[i] = h_t(codes[i])`.
+    ///
+    /// The selection kernel's batched form — coefficients broadcast, lanes
+    /// run across the code array. `out` is resized to `codes.len()`.
+    /// Byte-identical to calling [`hash`](Self::hash) per code.
+    #[inline]
+    pub fn hash_codes_into(&self, t: usize, codes: &[u64], out: &mut Vec<u64>) {
+        // Only adjust the length when it changes: across a trial-major loop
+        // the buffer is already the right size, and the kernel overwrites
+        // every slot, so a re-zeroing resize would be a wasted memset.
+        if out.len() != codes.len() {
+            out.clear();
+            out.resize(codes.len(), 0);
+        }
+        hash_codes_dispatch(self.a[t], self.b[t], codes, out);
     }
 
     /// Restrict to the first `t` trials (for trial-sweep experiments).
@@ -261,6 +471,74 @@ mod tests {
             for (t, &got) in out.iter().enumerate() {
                 assert_eq!(got, f.hash(t, x), "trial {t} x={x}");
                 assert_eq!(got, f.get(t).hash(x), "scalar path trial {t} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_path_matches_u128_reduction_on_corners() {
+        // The 32-bit-split lane arithmetic must equal reduce_p61 of the full
+        // u128 product for every x < 2^32, across adversarial coefficients.
+        let p = MERSENNE_P61;
+        let coeffs_a = [
+            1u64,
+            2,
+            (1 << 29) - 1,
+            1 << 29,
+            (1 << 32) - 1,
+            1 << 32,
+            p / 2,
+            p - 1,
+        ];
+        let coeffs_b = [0u64, 1, (1 << 32) - 1, p - 1];
+        let xs = [0u64, 1, 2, 0xFFFF, 0xFFFF_FFFE, 0xFFFF_FFFF];
+        for &a in &coeffs_a {
+            for &b in &coeffs_b {
+                for &x in &xs {
+                    let expect = reduce_p61(u128::from(a) * u128::from(x) + u128::from(b));
+                    assert_eq!(hash32_one(a, b, x), expect, "a={a} b={b} x={x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hash_codes_into_matches_per_code() {
+        let f = HashFamily::generate(30, 17);
+        // Mixed block: small codes (k<=16), large codes (k>16), ragged tail.
+        let mut codes: Vec<u64> = (0..100u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> if i % 3 == 0 { 0 } else { 33 })
+            .collect();
+        codes.push(u64::MAX);
+        codes.push(0);
+        let mut out = Vec::new();
+        for t in [0usize, 7, 29] {
+            f.hash_codes_into(t, &codes, &mut out);
+            assert_eq!(out.len(), codes.len());
+            for (i, &x) in codes.iter().enumerate() {
+                assert_eq!(out[i], f.hash(t, x), "t={t} i={i} x={x}");
+            }
+        }
+        // Blocks shorter than one lane chunk go through the remainder path.
+        f.hash_codes_into(0, &codes[..3], &mut out);
+        assert_eq!(out.len(), 3);
+        for (i, &x) in codes[..3].iter().enumerate() {
+            assert_eq!(out[i], f.hash(0, x));
+        }
+        f.hash_codes_into(0, &[], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn hash_all_lanes_matches_per_trial() {
+        // T = 30 exercises 3 full lane chunks + a remainder of 6.
+        let f = HashFamily::generate(30, 23);
+        let mut out = Vec::new();
+        for x in [0u64, 1, 42, (1 << 32) - 1, 1 << 32, MERSENNE_P61, u64::MAX] {
+            f.hash_all_lanes(x, &mut out);
+            assert_eq!(out.len(), 30);
+            for (t, &got) in out.iter().enumerate() {
+                assert_eq!(got, f.hash(t, x), "trial {t} x={x}");
             }
         }
     }

@@ -102,22 +102,30 @@ impl JemSketch {
 /// trials in turn (trial-major order), so the working set per trial is a
 /// single L1-resident buffer instead of `T` interleaved deques.
 ///
-/// Each slot packs a candidate's `(h_t(code), code)` ranking pair into one
-/// `u128` key (hash in the high half), so the pop comparison is a single
-/// branch, and records the candidate's minimizer index.
+/// Candidates rank by the `(h_t(code), code)` pair. When every code is
+/// below the hash modulus `P = 2^61 − 1`, the LCG `h_t(x) = (A_t·x + B_t)
+/// mod P` with `A_t ∈ [1, P−1]` is *injective* (multiplication by `A_t` is
+/// invertible mod a prime), so distinct codes never share a hash and the
+/// scan can rank by the bare `u64` hash — same pops, same winners, half the
+/// key traffic. Codes reach `P` only for `k ≥ 31`, where the scan falls
+/// back to full `u128` `(hash, code)` keys. Both paths keep a sentinel at
+/// slot 0 (key `0` is never popped by a strictly-greater compare) so the
+/// pop loop tests one condition, not two.
 #[derive(Clone, Debug, Default)]
 pub(crate) struct MonotoneStack {
     key: Vec<u128>,
+    hkey: Vec<u64>,
     idx: Vec<u32>,
 }
 
 impl MonotoneStack {
-    /// Prepare a stack of capacity ≥ `min_cap`, reusing existing storage
-    /// whenever it is large enough.
+    /// Prepare a stack of capacity ≥ `min_cap` entries plus the sentinel
+    /// slot, reusing existing storage whenever it is large enough.
     fn reset(&mut self, min_cap: usize) {
-        if self.key.len() < min_cap {
-            self.key.resize(min_cap, 0);
-            self.idx.resize(min_cap, 0);
+        if self.key.len() < min_cap + 1 {
+            self.key.resize(min_cap + 1, 0);
+            self.hkey.resize(min_cap + 1, 0);
+            self.idx.resize(min_cap + 1, 0);
         }
     }
 
@@ -141,43 +149,111 @@ impl MonotoneStack {
     /// Ties keep the earlier entry, matching the reference deque — and an
     /// equal key is the same k-mer code, so tie direction cannot change the
     /// emitted *set*, which is all the sketch keeps.
+    ///
+    /// `hashes[j]` must hold `h_t(codes[j])` — the trial's hash values are
+    /// precomputed lane-parallel by [`HashFamily::hash_codes_into`] rather
+    /// than one u128 multiply-reduce per element here. `hash_injective`
+    /// asserts that all codes are below the hash modulus (checked once per
+    /// selection by the caller), enabling the `u64`-key scan.
     fn run_trial(
         &mut self,
-        a: u64,
-        b: u64,
-        mins: &[Minimizer],
+        hashes: &[u64],
+        codes: &[u64],
+        ends: &[u32],
+        starts: &[u32],
+        hash_injective: bool,
+        out: &mut Vec<u64>,
+    ) {
+        if hash_injective {
+            self.run_trial_hash_keys(hashes, codes, ends, starts, out);
+        } else {
+            self.run_trial_wide_keys(hashes, codes, ends, starts, out);
+        }
+    }
+
+    /// `u64`-key scan: ranks by hash alone. Valid only when the trial hash
+    /// is injective over the code set (`hash_injective` above), which makes
+    /// every comparison — and therefore every pop and every winner — equal
+    /// to the `(hash, code)` ranking's.
+    fn run_trial_hash_keys(
+        &mut self,
+        hashes: &[u64],
+        codes: &[u64],
         ends: &[u32],
         starts: &[u32],
         out: &mut Vec<u64>,
     ) {
-        let n = mins.len();
-        let key = &mut self.key[..n];
-        let idx = &mut self.idx[..n];
-        let mut sp = 0usize;
-        for (j, m) in mins.iter().enumerate() {
-            let code = m.code;
-            let hv = crate::hash::reduce_p61(u128::from(a) * u128::from(code) + u128::from(b));
-            let new_key = (u128::from(hv) << 64) | u128::from(code);
-            while sp > 0 && key[sp - 1] > new_key {
+        let n = codes.len();
+        debug_assert_eq!(hashes.len(), n);
+        let key = &mut self.hkey[..n + 1];
+        let idx = &mut self.idx[..n + 1];
+        key[0] = 0; // sentinel: strictly-greater pops can never remove it
+        idx[0] = u32::MAX; // wrapping_add(1) below yields interval 0
+        let mut sp = 1usize;
+        // The stack top lives in a register: the common no-pop iteration is
+        // compare + store with no dependent load.
+        let mut top = 0u64;
+        for (j, &new_key) in hashes.iter().enumerate() {
+            while top > new_key {
                 let x = idx[sp - 1] as usize;
-                let lo = if sp >= 2 { idx[sp - 2] + 1 } else { 0 };
+                let lo = idx[sp - 2].wrapping_add(1);
                 let i0 = lo.max(starts[x]) as usize;
                 if ends[i0] <= j as u32 {
-                    out.push(key[sp - 1] as u64);
+                    out.push(codes[x]);
                 }
                 sp -= 1;
+                top = key[sp - 1];
             }
             key[sp] = new_key;
             idx[sp] = j as u32;
             sp += 1;
+            top = new_key;
         }
         // No later rival beats what remains: every survivor is a winner.
-        out.extend(key[..sp].iter().map(|&k| k as u64));
+        out.extend(idx[1..sp].iter().map(|&x| codes[x as usize]));
+    }
+
+    /// Full `(hash, code)` `u128`-key scan, used when codes may reach the
+    /// hash modulus (`k ≥ 31`) and distinct codes could share a hash.
+    fn run_trial_wide_keys(
+        &mut self,
+        hashes: &[u64],
+        codes: &[u64],
+        ends: &[u32],
+        starts: &[u32],
+        out: &mut Vec<u64>,
+    ) {
+        let n = codes.len();
+        debug_assert_eq!(hashes.len(), n);
+        let key = &mut self.key[..n + 1];
+        let idx = &mut self.idx[..n + 1];
+        key[0] = 0;
+        idx[0] = u32::MAX;
+        let mut sp = 1usize;
+        let mut top = 0u128;
+        for j in 0..n {
+            let new_key = (u128::from(hashes[j]) << 64) | u128::from(codes[j]);
+            while top > new_key {
+                let x = idx[sp - 1] as usize;
+                let lo = idx[sp - 2].wrapping_add(1);
+                let i0 = lo.max(starts[x]) as usize;
+                if ends[i0] <= j as u32 {
+                    out.push(top as u64);
+                }
+                sp -= 1;
+                top = key[sp - 1];
+            }
+            key[sp] = new_key;
+            idx[sp] = j as u32;
+            sp += 1;
+            top = new_key;
+        }
+        out.extend(key[1..sp].iter().map(|&k| k as u64));
     }
 }
 
 /// Reusable scratch state for the whole sketching pipeline: the minimizer
-/// buffer, the winnowing deque, the interval-geometry buffers and the
+/// buffer, the winnowing scratch, the interval-geometry buffers and the
 /// monotone stack. One of these threads through a mapping loop (or a
 /// rayon chunk, or a serve worker) so steady-state sketching allocates
 /// nothing.
@@ -187,6 +263,12 @@ pub struct SketchScratch {
     pub(crate) winnow: WinnowScratch,
     pub(crate) ends: Vec<u32>,
     pub(crate) starts: Vec<u32>,
+    /// Minimizer codes extracted into a flat array once per selection, so
+    /// the per-trial hash kernel streams contiguous `u64`s instead of
+    /// striding through 16-byte `Minimizer` structs.
+    pub(crate) codes: Vec<u64>,
+    /// Per-trial hash values, filled lane-parallel before each stack sweep.
+    pub(crate) hashes: Vec<u64>,
     pub(crate) stack: MonotoneStack,
 }
 
@@ -231,10 +313,14 @@ pub fn sketch_by_jem_into(
         winnow,
         ends,
         starts,
+        codes,
+        hashes,
         stack,
     } = scratch;
     minimizers_into(seq, params.minimizer_params(), winnow, mins);
-    select_into(mins, params.ell, family, ends, starts, stack, out);
+    select_into(
+        mins, params.ell, family, ends, starts, codes, hashes, stack, out,
+    );
 }
 
 /// Compute the JEM sketch from a precomputed minimizer list.
@@ -265,6 +351,8 @@ pub fn sketch_minimizer_list_into(
         family,
         &mut scratch.ends,
         &mut scratch.starts,
+        &mut scratch.codes,
+        &mut scratch.hashes,
         &mut scratch.stack,
         out,
     );
@@ -276,21 +364,27 @@ pub fn sketch_minimizer_list_into(
 /// emit, in `O(|mins| · T)`. The interval geometry is trial-independent, so
 /// a two-pointer prepass computes it once: `ends[i]` is interval `i`'s
 /// exclusive right edge and `starts[j]` the first interval containing
-/// minimizer `j`. The trials then run **trial-major**, each sweeping the
-/// one L1-resident monotone [`MonotoneStack`] with its own `(A_t, B_t)`
-/// coefficients held in registers — a next-smaller-element scan that emits
-/// only actual winners, with no per-interval retire/emit loops at all.
+/// minimizer `j`. The trials then run **trial-major**: each trial's hash
+/// values are evaluated lane-parallel over the flat `codes` array
+/// ([`HashFamily::hash_codes_into`]) and the one L1-resident monotone
+/// [`MonotoneStack`] then sweeps the precomputed `(hash, code)` pairs —
+/// a next-smaller-element scan that emits only actual winners, with no
+/// per-interval retire/emit loops at all.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn select_into(
     mins: &[Minimizer],
     ell: usize,
     family: &HashFamily,
     ends: &mut Vec<u32>,
     starts: &mut Vec<u32>,
+    codes: &mut Vec<u64>,
+    hashes: &mut Vec<u64>,
     stack: &mut MonotoneStack,
     out: &mut JemSketch,
 ) {
     let rec = jem_obs::recorder();
-    let _span = jem_obs::Span::enter(rec, "sketch/select");
+    let enabled = rec.enabled();
+    let _span = enabled.then(|| jem_obs::Span::enter(rec, "sketch/select"));
     let t_count = family.len();
     out.reset(t_count);
     if mins.is_empty() || t_count == 0 {
@@ -320,6 +414,13 @@ pub(crate) fn select_into(
         starts.push(i);
     }
     stack.reset(mins.len());
+    // Flatten the codes once: the per-trial hash kernel then streams
+    // contiguous u64s instead of striding through 16-byte structs.
+    codes.clear();
+    codes.extend(mins.iter().map(|m| m.code));
+    // Below the modulus, every trial hash is injective over the codes (see
+    // [`MonotoneStack`]) and the stack can rank by bare u64 hashes.
+    let hash_injective = codes.iter().all(|&c| c < crate::hash::MERSENNE_P61);
     // Raw emission is at most one code per (minimizer, trial): pre-size the
     // trial lists so the emit loop never regrows them.
     for list in out.per_trial.iter_mut() {
@@ -327,12 +428,12 @@ pub(crate) fn select_into(
     }
 
     for (t, list) in out.per_trial.iter_mut().enumerate() {
-        let h = family.get(t);
-        stack.run_trial(h.a, h.b, mins, ends, starts, list);
+        family.hash_codes_into(t, codes, hashes);
+        stack.run_trial(hashes, codes, ends, starts, hash_injective, list);
         list.sort_unstable();
         list.dedup();
     }
-    if rec.enabled() {
+    if enabled {
         rec.add(
             "sketch.sketches_emitted",
             out.per_trial.iter().map(|l| l.len() as u64).sum(),

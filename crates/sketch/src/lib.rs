@@ -7,8 +7,9 @@
 //!   (paper §III-B-2, implementation notes). Constants are generated a
 //!   priori from a seed, exactly as the paper prescribes.
 //! * [`minimizer`] — window-`w` minimizers under lexicographic order of
-//!   canonical k-mers (paper §III-B-2), extracted in O(n) with a monotone
-//!   deque; the minimizer list `Mo(s, w)` keeps `(kmer, position)` tuples
+//!   canonical k-mers (paper §III-B-2), extracted in O(n) by a two-pass
+//!   winnow over block 2-bit encoded runs; the minimizer list `Mo(s, w)`
+//!   keeps `(kmer, position)` tuples
 //!   sorted by position and deduplicates per the winnowing rule ("added only
 //!   if they change or the current minimizer goes out of bounds").
 //! * [`minhash`] — the classical Broder MinHash sketch over all k-mers of a
@@ -19,7 +20,11 @@
 //! * [`jaccard`] — exact Jaccard, the minimizer Jaccard estimate
 //!   `J_m(A,B;w) = J(M(A,w), M(B,w))`, and MinHash collision estimators.
 
-#![forbid(unsafe_code)]
+// `unsafe` is forbidden except under the `simd` feature, whose only unsafe
+// code is the AVX2 `target_feature` wrappers in `hash` (runtime-detected,
+// byte-identical to the safe fallback).
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod hash;

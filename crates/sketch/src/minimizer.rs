@@ -9,11 +9,15 @@
 //! changes or the current one goes out of bounds" — i.e. classic winnowing
 //! deduplication.
 //!
-//! [`minimizers`] runs in O(n) using a monotone deque; [`minimizers_naive`]
-//! is the quadratic reference used by tests.
+//! [`minimizers`] runs in O(n): the sequence is block-2-bit encoded once
+//! ([`jem_seq::block`]), canonical codes roll branch-free over each maximal
+//! valid run into a flat buffer, and a second pass selects leftmost window
+//! minima with two predictable compares per k-mer.
+//! [`minimizers_naive`] is the quadratic reference used by tests.
 
+use jem_seq::block::{BlockEncoded, Run, RunCodes};
+use jem_seq::kmer::{kmer_mask, roll_canonical, MAX_K};
 use jem_seq::{CanonicalKmerIter, Kmer, SeqError};
-use std::collections::VecDeque;
 
 /// Parameters for minimizer extraction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -54,16 +58,23 @@ pub struct Minimizer {
     pub pos: u32,
 }
 
-/// Reusable winnowing state: the monotone deque backing
-/// [`minimizers_into`]. One per sketching scratch; reusing it across calls
-/// keeps the hot path free of per-sequence heap allocation (the `VecDeque`
-/// is a contiguous ring buffer, so reuse also keeps it cache-resident).
+/// Reusable winnowing state backing [`minimizers_into`] (and the syncmer
+/// extractor, which shares the block encoding buffers).
+///
+/// `codes` is a flat buffer of canonical k-mer codes for the run currently
+/// being winnowed: the rolling-code pass and the window-minimum scan are
+/// split into two simple loops over it, replacing the
+/// `VecDeque<(usize, u32, u64)>` of the previous kernel. `encoded` holds
+/// the block 2-bit encoding of the current sequence (see
+/// [`jem_seq::block`]), reused across calls.
 #[derive(Clone, Debug, Default)]
 pub struct WinnowScratch {
-    deque: VecDeque<(usize, u32, u64)>,
+    codes: Vec<u64>,
+    pub(crate) encoded: BlockEncoded,
 }
 
-/// Extract the minimizer list `Mo(s, w)` in O(n) with a monotone deque.
+/// Extract the minimizer list `Mo(s, w)` in O(n) with a two-pass
+/// winnow over the block-encoded runs.
 ///
 /// Runs of valid bases separated by ambiguity codes are winnowed
 /// independently (a window never spans an `N`). Sequences shorter than a
@@ -88,8 +99,9 @@ pub fn minimizers(seq: &[u8], params: MinimizerParams) -> Vec<Minimizer> {
 }
 
 /// Allocation-free variant of [`minimizers`]: writes the minimizer list
-/// into `out` (cleared first), reusing `scratch`'s deque storage. Produces
-/// exactly the same list as [`minimizers`] for every input.
+/// into `out` (cleared first), reusing `scratch`'s code buffer and encoder
+/// storage. Produces exactly the same list as [`minimizers`] for every
+/// input.
 pub fn minimizers_into(
     seq: &[u8],
     params: MinimizerParams,
@@ -98,87 +110,145 @@ pub fn minimizers_into(
 ) {
     let MinimizerParams { k, w } = params;
     let rec = jem_obs::recorder();
-    let _span = jem_obs::Span::enter(rec, "sketch/minimizers");
-    let mut windows_scanned = 0u64;
+    // Span construction and counter updates are hoisted behind one enabled()
+    // check so a disabled recorder costs nothing on the per-sequence path.
+    let enabled = rec.enabled();
+    let _span = enabled.then(|| jem_obs::Span::enter(rec, "sketch/minimizers"));
     out.clear();
     // Expected winnowing density is 2/(w+1): pre-size the output so growth
     // never interrupts the scan (⌈2n/(w+1)⌉ is a slight over-estimate).
     out.reserve((2 * seq.len()).div_ceil(w + 1));
-    let iter = match CanonicalKmerIter::new(seq, k) {
-        Ok(it) => it,
-        Err(_) => return,
-    };
+    if k == 0 || k > MAX_K || w == 0 {
+        return;
+    }
 
-    // Monotone deque of (index-in-run, pos, code); front is the window min.
-    let deque = &mut scratch.deque;
-    deque.clear();
-    let mut prev_pos: Option<usize> = None; // position of previous yielded k-mer
-    let mut idx_in_run = 0usize;
-    let mut last_emitted: Option<(u32, u64)> = None;
-
-    let flush_short_run =
-        |deque: &VecDeque<(usize, u32, u64)>, count: usize, out: &mut Vec<Minimizer>| {
-            // Run ended with fewer than w k-mers: emit the run minimum so
-            // short contigs/segments are never silently dropped.
-            if count > 0 && count < w {
-                if let Some(&(_, pos, code)) = deque.front() {
-                    out.push(Minimizer { code, pos });
-                }
-            }
-        };
-
-    for (pos, kmer) in iter {
-        windows_scanned += 1;
-        // Detect run breaks (KmerIter skips over ambiguous bases, so
-        // consecutive yielded positions jump by more than 1 at a break).
-        let is_new_run = matches!(prev_pos, Some(pp) if pos != pp + 1);
-        if is_new_run {
-            flush_short_run(deque, idx_in_run, out);
-            deque.clear();
-            idx_in_run = 0;
-            last_emitted = None;
-        }
-        prev_pos = Some(pos);
-
-        let code = kmer.code();
-        // Pop strictly larger entries: `<=` keeps the leftmost on ties.
-        while let Some(&(_, _, back_code)) = deque.back() {
-            if back_code > code {
-                deque.pop_back();
-            } else {
-                break;
-            }
-        }
-        deque.push_back((idx_in_run, pos as u32, code));
-        idx_in_run += 1;
-
-        if idx_in_run >= w {
-            // Window of the last w k-mers is full: evict out-of-window front.
-            let window_lo = idx_in_run - w;
-            while let Some(&(i, _, _)) = deque.front() {
-                if i < window_lo {
-                    deque.pop_front();
-                } else {
-                    break;
-                }
-            }
-            let &(_, mpos, mcode) = deque.front().expect("window is non-empty");
-            // Winnowing dedup: emit only on change (pos identifies occurrence).
-            if last_emitted != Some((mpos, mcode)) {
-                out.push(Minimizer {
-                    code: mcode,
-                    pos: mpos,
-                });
-                last_emitted = Some((mpos, mcode));
-            }
+    let WinnowScratch { codes, encoded } = scratch;
+    encoded.encode_into(seq);
+    let mask = kmer_mask(k);
+    let rev_shift = (2 * (k - 1)) as u32;
+    for &run in encoded.runs() {
+        let len = run.len as usize;
+        if len >= k {
+            winnow_run(encoded, run, k, w, mask, rev_shift, codes, out);
         }
     }
-    // Tail: if the final run never filled a window, emit its overall min.
-    flush_short_run(deque, idx_in_run, out);
-    if rec.enabled() {
+    if enabled {
+        // k-mers scanned = Σ over runs of max(0, run_len − k + 1); computed
+        // arithmetically instead of counting in the hot loop.
+        let windows: u64 = encoded
+            .runs()
+            .iter()
+            .map(|r| (r.len as usize).saturating_sub(k - 1) as u64)
+            .sum();
         rec.add("sketch.sequences", 1);
-        rec.add("sketch.windows_scanned", windows_scanned);
+        rec.add("sketch.windows_scanned", windows);
         rec.add("sketch.minimizers_kept", out.len() as u64);
+    }
+}
+
+/// Winnow one valid run in two flat passes.
+///
+/// Pass 1 rolls canonical codes branch-free over the packed words into the
+/// `codes` scratch buffer. Pass 2 tracks the leftmost window minimum with
+/// two predictable compares per k-mer: a strictly-smaller code takes over
+/// immediately (strict, so the leftmost of a tie survives), and when the
+/// current minimum falls out of the window the last `w` codes are rescanned.
+/// Rescans happen at the winnowing density ~2/(w+1) and cost `w`, so the
+/// scan stays O(n) amortized. Emits follow the winnowing dedup rule (a
+/// tuple is appended only when the `(pos, code)` occurrence changes), and a
+/// run with fewer than `w` k-mers emits its overall leftmost minimum, both
+/// exactly as the per-byte reference does.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn winnow_run(
+    encoded: &BlockEncoded,
+    run: Run,
+    k: usize,
+    w: usize,
+    mask: u64,
+    rev_shift: u32,
+    codes_buf: &mut Vec<u64>,
+    out: &mut Vec<Minimizer>,
+) {
+    let len = run.len as usize;
+    let m = len - k + 1; // number of k-mers in this run (caller checks len >= k)
+    if codes_buf.len() < m {
+        codes_buf.resize(m, 0);
+    }
+    let codes = &mut codes_buf[..m];
+
+    // Pass 1: canonical codes of every k-mer in the run.
+    let mut stream = RunCodes::new(encoded, run);
+    let mut fwd = 0u64;
+    let mut rev = 0u64;
+    for _ in 0..k - 1 {
+        let c = stream.next_code();
+        (fwd, rev) = roll_canonical(fwd, rev, c, mask, rev_shift);
+    }
+    for slot in codes.iter_mut() {
+        let c = stream.next_code();
+        (fwd, rev) = roll_canonical(fwd, rev, c, mask, rev_shift);
+        *slot = fwd.min(rev);
+    }
+
+    // Pass 2: leftmost window minimum, emit on change.
+    let codes = &codes[..];
+    let start = run.start as usize;
+    let mut min_j = 0usize;
+    let mut min_code = codes[0];
+    if m < w {
+        // Short run: one window over everything, emit its leftmost minimum.
+        for (j, &c) in codes.iter().enumerate().skip(1) {
+            if c < min_code {
+                min_code = c;
+                min_j = j;
+            }
+        }
+        out.push(Minimizer {
+            code: min_code,
+            pos: (start + min_j) as u32,
+        });
+        return;
+    }
+    // Warm-up: leftmost minimum of the first w-1 k-mers.
+    for (j, &c) in codes[..w - 1].iter().enumerate().skip(1) {
+        if c < min_code {
+            min_code = c;
+            min_j = j;
+        }
+    }
+    // `pos` never reaches u32::MAX (the encoder caps sequences at u32::MAX
+    // bases), so this sentinel can never equal a real first entry.
+    let mut last = (u32::MAX, 0u64);
+    for j in w - 1..m {
+        let c = codes[j];
+        if c < min_code {
+            // Strictly smaller than the previous window minimum, hence
+            // strictly smaller than everything else in this window.
+            min_code = c;
+            min_j = j;
+        } else if min_j + w <= j {
+            // The minimum fell out of the window [j-w+1, j]: rescan it for
+            // the leftmost minimum (strict compare keeps the leftmost tie).
+            let lo = j + 1 - w;
+            min_j = lo;
+            min_code = codes[lo];
+            for (t, &cc) in codes[lo + 1..=j].iter().enumerate() {
+                if cc < min_code {
+                    min_code = cc;
+                    min_j = lo + 1 + t;
+                }
+            }
+        }
+        let entry = ((start + min_j) as u32, min_code);
+        // Winnowing dedup: emit only on change (pos identifies occurrence).
+        if entry != last {
+            out.push(Minimizer {
+                code: entry.1,
+                pos: entry.0,
+            });
+            last = entry;
+        }
     }
 }
 

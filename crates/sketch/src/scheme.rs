@@ -68,7 +68,7 @@ impl SketchScheme {
                 Err(_) => out.clear(),
             },
             SketchScheme::ClosedSyncmer { s } => match SyncmerParams::new(k, s) {
-                Ok(p) => closed_syncmers_into(seq, p, out),
+                Ok(p) => closed_syncmers_into(seq, p, winnow, out),
                 Err(_) => out.clear(),
             },
         }
@@ -111,10 +111,12 @@ pub fn sketch_by_scheme_into(
         winnow,
         ends,
         starts,
+        codes,
+        hashes,
         stack,
     } = scratch;
     scheme.extract_into(seq, k, winnow, mins);
-    select_into(mins, ell, family, ends, starts, stack, out);
+    select_into(mins, ell, family, ends, starts, codes, hashes, stack, out);
 }
 
 #[cfg(test)]

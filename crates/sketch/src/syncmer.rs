@@ -17,9 +17,10 @@
 //! [`crate::minimizer::minimizers`]: the same `(code, pos)` tuples feed
 //! [`crate::jem::sketch_minimizer_list`].
 
-use crate::minimizer::Minimizer;
-use jem_seq::kmer::kmer_mask;
-use jem_seq::{CanonicalKmerIter, SeqError};
+use crate::minimizer::{Minimizer, WinnowScratch};
+use jem_seq::block::RunCodes;
+use jem_seq::kmer::{kmer_mask, roll_canonical, MAX_K};
+use jem_seq::SeqError;
 
 /// Parameters of closed-syncmer extraction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -87,27 +88,59 @@ pub fn is_closed_syncmer(code: u64, k: usize, s: usize) -> bool {
 /// Extract closed syncmers of a sequence as `(canonical code, position)`
 /// tuples sorted by position — drop-in replacement for the minimizer list.
 pub fn closed_syncmers(seq: &[u8], params: SyncmerParams) -> Vec<Minimizer> {
+    let mut scratch = WinnowScratch::default();
     let mut out = Vec::new();
-    closed_syncmers_into(seq, params, &mut out);
+    closed_syncmers_into(seq, params, &mut scratch, &mut out);
     out
 }
 
 /// Allocation-reusing variant of [`closed_syncmers`]: clears `out` and
-/// refills it, keeping its capacity across calls. Pre-sizes to the expected
-/// density `2/(k−s+1)` so a cold buffer grows at most once.
-pub fn closed_syncmers_into(seq: &[u8], params: SyncmerParams, out: &mut Vec<Minimizer>) {
+/// refills it, keeping its capacity across calls, and reuses `scratch`'s
+/// block-encoding buffers. Pre-sizes to the expected density `2/(k−s+1)`
+/// so a cold buffer grows at most once.
+///
+/// Canonical codes roll branch-free over the block-encoded valid runs
+/// (see [`jem_seq::block`]) — byte-identical to the per-byte
+/// `CanonicalKmerIter` path, which the equivalence suite pins.
+pub fn closed_syncmers_into(
+    seq: &[u8],
+    params: SyncmerParams,
+    scratch: &mut WinnowScratch,
+    out: &mut Vec<Minimizer>,
+) {
     out.clear();
-    let iter = match CanonicalKmerIter::new(seq, params.k) {
-        Ok(it) => it,
-        Err(_) => return,
-    };
-    out.reserve((2 * seq.len()).div_ceil(params.k - params.s + 1));
-    for (pos, kmer) in iter {
-        if is_closed_syncmer(kmer.code(), params.k, params.s) {
-            out.push(Minimizer {
-                code: kmer.code(),
-                pos: pos as u32,
-            });
+    let SyncmerParams { k, s } = params;
+    if k == 0 || k > MAX_K || s == 0 || s >= k {
+        return;
+    }
+    out.reserve((2 * seq.len()).div_ceil(k - s + 1));
+    let encoded = &mut scratch.encoded;
+    encoded.encode_into(seq);
+    let mask = kmer_mask(k);
+    let rev_shift = (2 * (k - 1)) as u32;
+    for &run in encoded.runs() {
+        let len = run.len as usize;
+        if len < k {
+            continue;
+        }
+        let mut codes = RunCodes::new(encoded, run);
+        let mut fwd = 0u64;
+        let mut rev = 0u64;
+        for _ in 0..k - 1 {
+            let c = codes.next_code();
+            (fwd, rev) = roll_canonical(fwd, rev, c, mask, rev_shift);
+        }
+        let start = run.start as usize;
+        for i in 0..len - k + 1 {
+            let c = codes.next_code();
+            (fwd, rev) = roll_canonical(fwd, rev, c, mask, rev_shift);
+            let code = fwd.min(rev);
+            if is_closed_syncmer(code, k, s) {
+                out.push(Minimizer {
+                    code,
+                    pos: (start + i) as u32,
+                });
+            }
         }
     }
 }

@@ -1,0 +1,162 @@
+//! Equivalence suite pinning the block-encoded fast paths to their scalar
+//! references across the full parameter space and arbitrary byte soup.
+//!
+//! The fast sketching front half (block 2-bit encoding → packed-run code
+//! streaming → two-pass winnowing) must be *byte-identical* to the naive
+//! per-byte implementations for every input, including lowercase bases,
+//! ambiguity codes, and outright junk bytes, and for every `k` in
+//! `1..=32`. These tests run in both the default and `--features simd`
+//! configurations; the outputs must not differ.
+
+use jem_seq::CanonicalKmerIter;
+use jem_sketch::{
+    closed_syncmers, hash::HashFamily, is_closed_syncmer, jem::sketch_by_jem_naive, minimizers,
+    minimizers_naive, sketch_by_jem, JemParams, Minimizer, MinimizerParams, SyncmerParams,
+};
+use proptest::prelude::*;
+
+/// Byte soup: uppercase/lowercase DNA, N runs, IUPAC ambiguity codes, and
+/// arbitrary junk bytes. Weighted so valid runs long enough to winnow
+/// still appear often.
+fn byte_soup(max: usize) -> impl Strategy<Value = Vec<u8>> {
+    let mut palette = Vec::new();
+    for b in [b'A', b'C', b'G', b'T'] {
+        palette.extend(std::iter::repeat_n(b, 8));
+    }
+    palette.extend([b'a', b'c', b'g', b't', b'a', b'c', b'g', b't']);
+    palette.extend([b'N', b'n', b'R', b'Y', b'W', b'S', 0u8, 0x80, 0xFF, b'*']);
+    prop::collection::vec(prop::sample::select(palette), 0..max)
+}
+
+/// Scalar syncmer reference: roll canonical codes with the per-byte
+/// [`CanonicalKmerIter`] and apply the closed-syncmer predicate.
+fn syncmers_reference(seq: &[u8], k: usize, s: usize) -> Vec<Minimizer> {
+    CanonicalKmerIter::new(seq, k)
+        .unwrap()
+        .filter(|(_, km)| is_closed_syncmer(km.code(), k, s))
+        .map(|(pos, km)| Minimizer {
+            code: km.code(),
+            pos: pos as u32,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Full k range over byte soup: the block-encoded winnower must match
+    /// the quadratic per-byte reference exactly.
+    #[test]
+    fn minimizers_match_naive_full_k_range(
+        seq in byte_soup(300),
+        k in 1usize..=32,
+        w in 1usize..=130,
+    ) {
+        let p = MinimizerParams::new(k, w).unwrap();
+        prop_assert_eq!(minimizers(&seq, p), minimizers_naive(&seq, p));
+    }
+
+    /// Sequences sized around multiples of the 32-base packing word so
+    /// runs straddle word boundaries in every alignment.
+    #[test]
+    fn minimizers_match_naive_word_straddling(
+        prefix in byte_soup(4),
+        body in prop::collection::vec(prop::sample::select(vec![b'A', b'C', b'G', b'T']), 28..=100),
+        k in 1usize..=32,
+        w in 1usize..=40,
+    ) {
+        let mut seq = prefix;
+        seq.extend_from_slice(&body);
+        let p = MinimizerParams::new(k, w).unwrap();
+        prop_assert_eq!(minimizers(&seq, p), minimizers_naive(&seq, p));
+    }
+
+    /// Syncmer extraction through the block-encoded path must match the
+    /// scalar canonical-iterator reference over byte soup.
+    #[test]
+    fn syncmers_match_scalar_reference(
+        seq in byte_soup(300),
+        k in 2usize..=32,
+        s_off in 1usize..32,
+    ) {
+        let s = 1 + (s_off - 1) % (k - 1); // s in 1..k
+        let p = SyncmerParams::new(k, s).unwrap();
+        prop_assert_eq!(closed_syncmers(&seq, p), syncmers_reference(&seq, k, s));
+    }
+}
+
+/// Invalid bytes pinned at every offset around the 32-base word
+/// boundaries, so run starts and ends exercise each packing alignment
+/// deterministically.
+#[test]
+fn minimizers_match_naive_invalid_at_word_boundaries() {
+    let bases = [b'A', b'C', b'G', b'T'];
+    let mut seq: Vec<u8> = (0..130).map(|i| bases[(i * 7 + 3) % 4]).collect();
+    for cut in [31usize, 32, 33, 63, 64, 65, 95, 96, 97] {
+        let mut s = seq.clone();
+        s[cut] = b'N';
+        for k in [1usize, 2, 15, 16, 17, 31, 32] {
+            for w in [1usize, 2, 5, 100] {
+                let p = MinimizerParams::new(k, w).unwrap();
+                assert_eq!(
+                    minimizers(&s, p),
+                    minimizers_naive(&s, p),
+                    "cut={cut} k={k} w={w}"
+                );
+            }
+        }
+    }
+    // Back-to-back invalid bytes producing empty and length-1 runs.
+    seq[10] = b'N';
+    seq[11] = b'x';
+    seq[13] = b'N';
+    let p = MinimizerParams::new(2, 3).unwrap();
+    assert_eq!(minimizers(&seq, p), minimizers_naive(&seq, p));
+}
+
+/// k = 31 and 32 drive canonical codes past the Mersenne prime 2^61−1,
+/// forcing the wide (hash, code) key fallback in trial selection; the
+/// winnowed lists must still match the reference.
+#[test]
+fn minimizers_match_naive_k_at_max() {
+    let bases = [b'T', b'G', b'C', b'A'];
+    let seq: Vec<u8> = (0..200).map(|i| bases[(i * 11 + 1) % 4]).collect();
+    for k in [30usize, 31, 32] {
+        for w in [1usize, 7, 64, 128] {
+            let p = MinimizerParams::new(k, w).unwrap();
+            assert_eq!(
+                minimizers(&seq, p),
+                minimizers_naive(&seq, p),
+                "k={k} w={w}"
+            );
+        }
+    }
+}
+
+/// Full JEM sketches at k = 31 and 32: codes can exceed 2^61−1, so
+/// `select_into` must take the wide-key monotone-stack path (u64 hash
+/// keys are no longer collision-free) and still reproduce the naive
+/// per-interval MinHash exactly. k = 30 rides along as the widest
+/// hash-key-path configuration.
+#[test]
+fn jem_sketch_wide_key_fallback_matches_naive() {
+    let bases = [b'G', b'A', b'T', b'C'];
+    let mut seq: Vec<u8> = (0..600).map(|i| bases[(i * 13 + 2) % 4]).collect();
+    // A poly-G stretch guarantees canonical codes above 2^61−1 at k = 32
+    // (both the 10-repeated forward and 01-repeated reverse-complement
+    // readings exceed the prime); at k = 31 the random body supplies them
+    // (w = 1 keeps every k-mer, and each 62-bit canonical code lands above
+    // 2^61 a quarter of the time).
+    seq[100..180].fill(b'G');
+    let family = HashFamily::generate(7, 23);
+    for k in [30usize, 31, 32] {
+        for (w, ell) in [(3usize, 50usize), (8, 120), (1, 40)] {
+            let params = JemParams::new(k, w, ell).unwrap();
+            assert_eq!(
+                sketch_by_jem(&seq, params, &family),
+                sketch_by_jem_naive(&seq, params, &family),
+                "k={k} w={w} ell={ell}"
+            );
+        }
+    }
+}

@@ -30,7 +30,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
-    fn deque_minimizers_match_naive(seq in dna_with_n(400), k in 2usize..9, w in 1usize..12) {
+    fn fast_minimizers_match_naive(seq in dna_with_n(400), k in 2usize..9, w in 1usize..12) {
         let p = MinimizerParams::new(k, w).unwrap();
         prop_assert_eq!(minimizers(&seq, p), minimizers_naive(&seq, p));
     }
